@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Figure 13: TRNG throughput projected onto DDR4 transfer rates from
+ * 2400 MT/s to 12 GT/s (four channels).
+ *
+ * Paper expectations at 12 GT/s: QUAC-TRNG 46.41, Talukder+-E 22.83,
+ * D-RaNGe-E 11.63, Talukder+-B 2.54, D-RaNGe-B 1.09 Gb/s; QUAC and
+ * Talukder+ scale with bandwidth, D-RaNGe saturates; QUAC beats the
+ * enhanced baselines by 2.03x / 3.99x at 12 GT/s.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sched/trng_programs.hh"
+#include "util.hh"
+
+using namespace quac;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"channels", "sib", "columns"});
+    double channels = static_cast<double>(args.getUint("channels", 4));
+    uint32_t sib = static_cast<uint32_t>(args.getUint("sib", 7));
+    uint32_t columns =
+        static_cast<uint32_t>(args.getUint("columns", 128));
+
+    benchutil::printExperimentHeader(
+        "Figure 13: throughput vs DDR4 transfer rate",
+        "QUAC and Talukder+ are bandwidth-bound and scale; D-RaNGe "
+        "is access-latency-bound and saturates",
+        "paper-average iteration profile (--sib/--columns)");
+
+    sched::QuacScheduleConfig quac_cfg;
+    quac_cfg.banks = 4;
+    quac_cfg.init = sched::InitMethod::RowClone;
+    quac_cfg.profile = {sib, columns, 128};
+
+    sched::DRangeScheduleConfig dre_cfg;
+    dre_cfg.bitsPerAccess = 256.0 / 6.0;
+    dre_cfg.accessesPerNumber = 6;
+    dre_cfg.useSha = true;
+    sched::DRangeScheduleConfig drb_cfg;
+    drb_cfg.bitsPerAccess = 4.0;
+    drb_cfg.accessesPerNumber = 64;
+
+    sched::TalukderScheduleConfig te_cfg;
+    te_cfg.bitsPerRow = 768.0;
+    te_cfg.rowCloneInit = true;
+    sched::TalukderScheduleConfig tb_cfg;
+    tb_cfg.bitsPerRow = 256.0 / 3.0;
+    tb_cfg.rowCloneInit = false;
+
+    const std::vector<uint32_t> rates = {2400, 3600, 4800, 7200,
+                                         9600, 12000};
+    Table table({"MT/s", "QUAC-TRNG", "Talukder+-E", "D-RaNGe-E",
+                 "Talukder+-B", "D-RaNGe-B"});
+    double quac_2400 = 0.0;
+    double quac_12000 = 0.0;
+    double te_12000 = 0.0;
+    double dre_12000 = 0.0;
+    double dre_2400 = 0.0;
+    for (uint32_t rate : rates) {
+        auto timing = dram::TimingParams::ddr4(rate);
+        double quac =
+            sched::simulateQuacTrng(timing, quac_cfg).throughputGbps() *
+            channels;
+        double te =
+            sched::simulateTalukder(timing, te_cfg).throughputGbps() *
+            channels;
+        double tb =
+            sched::simulateTalukder(timing, tb_cfg).throughputGbps() *
+            channels;
+        double dre =
+            sched::simulateDRange(timing, dre_cfg).throughputGbps() *
+            channels;
+        double drb =
+            sched::simulateDRange(timing, drb_cfg).throughputGbps() *
+            channels;
+        if (rate == 2400) {
+            quac_2400 = quac;
+            dre_2400 = dre;
+        }
+        if (rate == 12000) {
+            quac_12000 = quac;
+            te_12000 = te;
+            dre_12000 = dre;
+        }
+        table.addRow({std::to_string(rate), Table::num(quac, 2),
+                      Table::num(te, 2), Table::num(dre, 2),
+                      Table::num(tb, 2), Table::num(drb, 2)});
+    }
+    table.print();
+
+    std::printf("\nPaper reference at 12 GT/s: QUAC 46.41, "
+                "Talukder+-E 22.83, D-RaNGe-E 11.63, Talukder+-B "
+                "2.54, D-RaNGe-B 1.09 Gb/s\n");
+    std::printf("\nShape checks:\n");
+    std::printf("  QUAC scales quasi-linearly: %.2fx from 2400 to "
+                "12000 (paper 3.37x) -> %s\n",
+                quac_12000 / quac_2400,
+                (quac_12000 > 2.0 * quac_2400 &&
+                 quac_12000 < 5.0 * quac_2400) ? "OK" : "OFF");
+    std::printf("  D-RaNGe saturates: %.2fx -> %s\n",
+                dre_12000 / dre_2400,
+                dre_12000 < 1.3 * dre_2400 ? "OK" : "OFF");
+    std::printf("  QUAC / Talukder+-E at 12 GT/s: %.2fx (paper "
+                "2.03x)\n", quac_12000 / te_12000);
+    std::printf("  QUAC / D-RaNGe-E at 12 GT/s: %.2fx (paper "
+                "3.99x)\n", quac_12000 / dre_12000);
+    return 0;
+}

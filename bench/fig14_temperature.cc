@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Figure 14: temperature sensitivity of segment entropy at 50, 65
+ * and 85 degC over 40 chips from 5 modules.
+ *
+ * Paper expectations: two chip populations; trend-1 (24 of 40
+ * chips): entropy rises with temperature (max 2019.6 -> 2520.1);
+ * trend-2 (16 chips): entropy falls (max 2344.2 -> 1293.5).
+ */
+
+#include <array>
+#include <cstdio>
+
+#include "common/parallel.hh"
+#include "common/stats.hh"
+#include "dram/segment_model.hh"
+#include "util.hh"
+
+using namespace quac;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv,
+                 {"full", "stride", "modules", "threads"});
+    auto opts = benchutil::SweepOptions::parse(args, 64);
+    uint32_t module_count = std::min<uint32_t>(opts.moduleCount, 5);
+
+    benchutil::printExperimentHeader(
+        "Figure 14: segment entropy vs temperature",
+        "trend-1 chips gain entropy with temperature, trend-2 chips "
+        "lose it; both populations present (paper: 24 vs 16 of 40 "
+        "chips)",
+        opts.note() + ", 5 modules / 40 chips");
+
+    auto specs = benchutil::catalogModules(module_count);
+    const std::array<double, 3> temps = {50.0, 65.0, 85.0};
+    const dram::Geometry geom = dram::Geometry::paperScale();
+    uint32_t chips = geom.chipsPerRank;
+
+    // Per (module, chip, temp): average and max full-segment-
+    // equivalent entropy (chip contribution x chip count).
+    struct ChipSeries
+    {
+        bool trend1 = false;
+        std::array<RunningStats, 3> stats;
+    };
+    std::vector<std::vector<ChipSeries>> all(specs.size());
+
+    parallelFor(0, specs.size(), [&](size_t i) {
+        dram::DramModule module(specs[i]);
+        all[i].resize(chips);
+        for (uint32_t chip = 0; chip < chips; ++chip)
+            all[i][chip].trend1 =
+                module.variation().chipIsTrend1(chip);
+
+        for (size_t t = 0; t < temps.size(); ++t) {
+            for (uint32_t segment = 0;
+                 segment < geom.segmentsPerBank();
+                 segment += opts.stride) {
+                dram::SegmentModel model(
+                    geom, module.calibration(), module.variation(),
+                    0, segment, temps[t], 0.0);
+                auto bit_entropy = model.bitlineEntropies(
+                    dram::patternFromString("0111"),
+                    dram::quacWeights(module.calibration(), 0, 2.5,
+                                      2.5));
+                std::vector<double> per_chip(chips, 0.0);
+                for (uint32_t b = 0; b < geom.bitlinesPerRow; ++b)
+                    per_chip[geom.chipOfBitline(b)] += bit_entropy[b];
+                for (uint32_t chip = 0; chip < chips; ++chip) {
+                    all[i][chip].stats[t].add(per_chip[chip] * chips);
+                }
+            }
+        }
+    }, opts.threads);
+
+    // Aggregate by trend group.
+    std::array<RunningStats, 3> trend1_avg;
+    std::array<RunningStats, 3> trend2_avg;
+    std::array<double, 3> trend1_max{};
+    std::array<double, 3> trend2_max{};
+    int trend1_count = 0;
+    int trend2_count = 0;
+    for (const auto &module_chips : all) {
+        for (const auto &chip : module_chips) {
+            (chip.trend1 ? trend1_count : trend2_count)++;
+            for (size_t t = 0; t < temps.size(); ++t) {
+                if (chip.trend1) {
+                    trend1_avg[t].add(chip.stats[t].mean());
+                    trend1_max[t] = std::max(trend1_max[t],
+                                             chip.stats[t].max());
+                } else {
+                    trend2_avg[t].add(chip.stats[t].mean());
+                    trend2_max[t] = std::max(trend2_max[t],
+                                             chip.stats[t].max());
+                }
+            }
+        }
+    }
+
+    std::printf("Chip populations: trend-1 %d, trend-2 %d (paper: 24 "
+                "vs 16)\n\n",
+                trend1_count, trend2_count);
+
+    Table table({"group", "metric", "50C (paper)", "65C (paper)",
+                 "85C (paper)"});
+    table.addRow({"trend-1", "max",
+                  benchutil::vsPaper(trend1_max[0], 2019.6, 0),
+                  benchutil::vsPaper(trend1_max[1], 2389.8, 0),
+                  benchutil::vsPaper(trend1_max[2], 2520.1, 0)});
+    table.addRow({"trend-1", "avg",
+                  benchutil::vsPaper(trend1_avg[0].mean(), 1442.0, 0),
+                  benchutil::vsPaper(trend1_avg[1].mean(), 1569.5, 0),
+                  benchutil::vsPaper(trend1_avg[2].mean(), 1659.6, 0)});
+    table.addRow({"trend-2", "max",
+                  benchutil::vsPaper(trend2_max[0], 2344.2, 0),
+                  benchutil::vsPaper(trend2_max[1], 1565.8, 0),
+                  benchutil::vsPaper(trend2_max[2], 1293.5, 0)});
+    table.addRow({"trend-2", "avg",
+                  benchutil::vsPaper(trend2_avg[0].mean(), 1710.6, 0),
+                  benchutil::vsPaper(trend2_avg[1].mean(), 1083.1, 0),
+                  benchutil::vsPaper(trend2_avg[2].mean(), 892.5, 0)});
+    table.print();
+
+    std::printf("\nShape checks:\n");
+    std::printf("  trend-1 avg rises with temperature: %s\n",
+                (trend1_avg[2].mean() > trend1_avg[0].mean())
+                    ? "OK" : "OFF");
+    std::printf("  trend-2 avg falls with temperature: %s\n",
+                (trend2_avg[2].mean() < trend2_avg[0].mean())
+                    ? "OK" : "OFF");
+    std::printf("  both populations present: %s\n",
+                (trend1_count > 0 && trend2_count > 0) ? "OK" : "OFF");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Figure 9: spatial distribution of segment entropy across a DRAM
+ * bank (pattern "0111").
+ *
+ * Paper expectations: a wave-like pattern as segment id grows,
+ * module-specific local minima/maxima (M1 vs M2 differ at the same
+ * segment), a rise toward the ~8000th segment and a drop at the very
+ * end of the bank.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/parallel.hh"
+#include "common/stats.hh"
+#include "core/characterizer.hh"
+#include "util.hh"
+
+using namespace quac;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv,
+                 {"full", "stride", "modules", "threads", "buckets"});
+    auto opts = benchutil::SweepOptions::parse(args, 32);
+    uint32_t buckets =
+        static_cast<uint32_t>(args.getUint("buckets", 16));
+
+    benchutil::printExperimentHeader(
+        "Figure 9: segment entropy across the bank",
+        "wave-like spatial pattern; module idiosyncrasies; "
+        "end-of-bank rise then terminal drop",
+        opts.note());
+
+    auto specs = benchutil::catalogModules(opts.moduleCount);
+    std::vector<std::vector<core::SegmentEntropy>> series(specs.size());
+    parallelFor(0, specs.size(), [&](size_t i) {
+        dram::DramModule module(specs[i]);
+        core::Characterizer characterizer(module);
+        core::CharacterizerConfig cfg;
+        cfg.segmentStride = opts.stride;
+        cfg.threads = 1;
+        series[i] = characterizer.segmentEntropies(cfg);
+    }, opts.threads);
+
+    size_t npoints = series[0].size();
+    uint32_t nseg = dram::Geometry::paperScale().segmentsPerBank();
+
+    // Bucketed cross-module average plus the two highlighted modules
+    // (the figure's red/black/blue curves).
+    Table table({"segment range", "avg all modules", "M1", "M2"});
+    std::vector<double> bucket_avg(buckets, 0.0);
+    for (uint32_t bucket = 0; bucket < buckets; ++bucket) {
+        size_t begin = bucket * npoints / buckets;
+        size_t end = (bucket + 1) * npoints / buckets;
+        RunningStats all;
+        RunningStats m1;
+        RunningStats m2;
+        for (size_t i = 0; i < series.size(); ++i) {
+            for (size_t k = begin; k < end; ++k) {
+                all.add(series[i][k].entropy);
+                if (i == 0)
+                    m1.add(series[i][k].entropy);
+                if (i == 1 && series.size() > 1)
+                    m2.add(series[i][k].entropy);
+            }
+        }
+        bucket_avg[bucket] = all.mean();
+        table.addRow({
+            std::to_string(series[0][begin].segment) + "-" +
+                std::to_string(series[0][end - 1].segment),
+            Table::num(all.mean(), 1),
+            Table::num(m1.mean(), 1),
+            Table::num(m2.count() ? m2.mean() : 0.0, 1),
+        });
+    }
+    table.print();
+
+    // Per-module aggregates.
+    std::printf("\nPer-module segment entropy (avg / max over sampled "
+                "segments):\n");
+    for (size_t i = 0; i < specs.size(); ++i) {
+        RunningStats stats;
+        for (const auto &point : series[i])
+            stats.add(point.entropy);
+        std::printf("  %-4s avg %7.1f  max %7.1f  (Table 3: %7.1f / "
+                    "%7.1f)\n",
+                    specs[i].name.c_str(), stats.mean(), stats.max(),
+                    dram::paperCatalog()[i].avgSegmentEntropy,
+                    dram::paperCatalog()[i].maxSegmentEntropy);
+    }
+
+    // Shape checks.
+    // Wave: count direction changes of the bucketed average.
+    int turns = 0;
+    for (uint32_t b = 2; b < buckets; ++b) {
+        double d1 = bucket_avg[b - 1] - bucket_avg[b - 2];
+        double d2 = bucket_avg[b] - bucket_avg[b - 1];
+        if (d1 * d2 < 0.0)
+            ++turns;
+    }
+    // End-of-bank: compare the rise window and the final points.
+    RunningStats rise;
+    RunningStats body;
+    double tail_last = series[0].back().entropy;
+    RunningStats tail_peak;
+    for (size_t i = 0; i < series.size(); ++i) {
+        for (const auto &point : series[i]) {
+            double x = static_cast<double>(point.segment) / nseg;
+            if (x >= 0.90 && x < 0.985)
+                rise.add(point.entropy);
+            else if (x < 0.90)
+                body.add(point.entropy);
+            if (x >= 0.95 && x < 0.985)
+                tail_peak.add(point.entropy);
+        }
+    }
+    std::printf("\nShape checks:\n");
+    std::printf("  wave-like pattern: %d direction changes across %u "
+                "buckets -> %s\n",
+                turns, buckets, turns >= 3 ? "OK" : "OFF");
+    std::printf("  end-of-bank rise: segments in [0.90, 0.985) avg "
+                "%.1f vs body %.1f -> %s\n",
+                rise.mean(), body.mean(),
+                rise.mean() > body.mean() ? "OK" : "OFF");
+    std::printf("  terminal drop: last sampled segment (M1) %.1f vs "
+                "pre-drop peak %.1f -> %s\n",
+                tail_last, tail_peak.mean(),
+                tail_last < tail_peak.mean() ? "OK" : "OFF");
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot operations:
+ * SHA-256 hashing, QUAC resolution, analytic characterization, the
+ * Von Neumann corrector, and representative NIST tests.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/characterizer.hh"
+#include "core/trng.hh"
+#include "crypto/sha256.hh"
+#include "dram/segment_model.hh"
+#include "nist/sts.hh"
+#include "postprocess/von_neumann.hh"
+
+using namespace quac;
+
+namespace
+{
+
+dram::ModuleSpec
+testSpec()
+{
+    dram::ModuleSpec spec;
+    spec.geometry = dram::Geometry::testScale();
+    spec.seed = 1;
+    return spec;
+}
+
+void
+BM_Sha256_64B(benchmark::State &state)
+{
+    std::vector<uint8_t> data(64, 0xAB);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Sha256::hash(data));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha256_64B);
+
+void
+BM_Sha256_8KB(benchmark::State &state)
+{
+    std::vector<uint8_t> data(8192, 0xCD);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Sha256::hash(data));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_Sha256_8KB);
+
+void
+BM_QuacCommandIteration(benchmark::State &state)
+{
+    dram::DramModule module(testSpec());
+    core::QuacTrngConfig cfg;
+    cfg.banks = {0};
+    cfg.sibEntropyTarget = 24.0;
+    cfg.characterizeStride = 4;
+    core::QuacTrng trng(module, cfg);
+    trng.setup();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trng.rawIteration(0));
+}
+BENCHMARK(BM_QuacCommandIteration);
+
+void
+BM_QuacAnalyticProbabilities(benchmark::State &state)
+{
+    dram::DramModule module(testSpec());
+    module.bank(0).pokeSegmentPattern(2, 0b1110);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(module.bank(0).quacProbabilities(2));
+}
+BENCHMARK(BM_QuacAnalyticProbabilities);
+
+void
+BM_SegmentModelConstruct(benchmark::State &state)
+{
+    dram::ModuleSpec spec = testSpec();
+    dram::DramModule module(std::move(spec));
+    uint32_t segment = 0;
+    for (auto _ : state) {
+        dram::SegmentModel model(module.geometry(),
+                                 module.calibration(),
+                                 module.variation(), 0,
+                                 segment % 16, 50.0, 0.0);
+        benchmark::DoNotOptimize(model.segmentEntropy(0b1110));
+        ++segment;
+    }
+}
+BENCHMARK(BM_SegmentModelConstruct);
+
+void
+BM_VonNeumann_1Mbit(benchmark::State &state)
+{
+    Xoshiro256pp rng(3);
+    Bitstream bits;
+    for (int i = 0; i < (1 << 20); ++i)
+        bits.append(rng.bernoulli(0.5));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(postprocess::vonNeumann(bits));
+}
+BENCHMARK(BM_VonNeumann_1Mbit);
+
+Bitstream
+randomBits(size_t n)
+{
+    Xoshiro256pp rng(9);
+    Bitstream bits;
+    for (size_t i = 0; i < n; i += 64)
+        bits.appendWord(rng.next(), std::min<size_t>(64, n - i));
+    return bits;
+}
+
+void
+BM_NistMonobit_1Mbit(benchmark::State &state)
+{
+    Bitstream bits = randomBits(1 << 20);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nist::monobit(bits));
+}
+BENCHMARK(BM_NistMonobit_1Mbit);
+
+void
+BM_NistSerial_256Kbit(benchmark::State &state)
+{
+    Bitstream bits = randomBits(1 << 18);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nist::serial(bits));
+}
+BENCHMARK(BM_NistSerial_256Kbit);
+
+void
+BM_NistDft_256Kbit(benchmark::State &state)
+{
+    Bitstream bits = randomBits(1 << 18);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nist::dft(bits));
+}
+BENCHMARK(BM_NistDft_256Kbit);
+
+void
+BM_NistLinearComplexity_64Kbit(benchmark::State &state)
+{
+    Bitstream bits = randomBits(1 << 16);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nist::linearComplexityTest(bits));
+}
+BENCHMARK(BM_NistLinearComplexity_64Kbit);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

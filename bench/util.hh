@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared helpers for the per-experiment benchmark harnesses.
+ */
+
+#ifndef QUAC_BENCH_UTIL_HH
+#define QUAC_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "dram/catalog.hh"
+
+namespace quac::benchutil
+{
+
+/** Print the experiment banner with its paper reference. */
+inline void
+printExperimentHeader(const std::string &experiment,
+                      const std::string &claim,
+                      const std::string &scale_note)
+{
+    std::printf("==============================================\n");
+    std::printf("%s\n", experiment.c_str());
+    std::printf("Paper: %s\n", claim.c_str());
+    if (!scale_note.empty())
+        std::printf("Scale: %s\n", scale_note.c_str());
+    std::printf("==============================================\n");
+}
+
+/** Common flags for characterization benches. */
+struct SweepOptions
+{
+    bool full = false;
+    uint32_t stride = 32;
+    uint32_t moduleCount = 17;
+    unsigned threads = 0;
+
+    static SweepOptions
+    parse(const CliArgs &args, uint32_t default_stride = 32)
+    {
+        SweepOptions opts;
+        opts.full = args.getBool("full");
+        opts.stride = static_cast<uint32_t>(
+            args.getUint("stride", opts.full ? 1 : default_stride));
+        opts.moduleCount = static_cast<uint32_t>(
+            args.getUint("modules", 17));
+        opts.threads =
+            static_cast<unsigned>(args.getUint("threads", 0));
+        return opts;
+    }
+
+    std::string
+    note() const
+    {
+        return "segment stride " + std::to_string(stride) + ", " +
+               std::to_string(moduleCount) +
+               " modules (use --full / --stride / --modules to change)";
+    }
+};
+
+/** The first @p count catalog module specs at paper geometry. */
+inline std::vector<dram::ModuleSpec>
+catalogModules(uint32_t count)
+{
+    auto specs =
+        dram::paperModuleSpecs(dram::Geometry::paperScale());
+    if (count < specs.size())
+        specs.resize(count);
+    return specs;
+}
+
+/** Format "measured (paper X)" cells. */
+inline std::string
+vsPaper(double measured, double paper, int precision = 2)
+{
+    return Table::num(measured, precision) + " (" +
+           Table::num(paper, precision) + ")";
+}
+
+} // namespace quac::benchutil
+
+#endif // QUAC_BENCH_UTIL_HH

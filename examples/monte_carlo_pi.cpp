@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Scientific-simulation scenario from the paper's motivation: a
+ * Monte-Carlo integrator fed by QUAC-TRNG, estimating pi from random
+ * points in the unit square and comparing convergence against the
+ * expected 1/sqrt(n) law.
+ *
+ *   ./monte_carlo_pi [--samples N]
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "core/trng.hh"
+#include "dram/catalog.hh"
+
+using namespace quac;
+
+namespace
+{
+
+/** Uniform double in [0, 1) from 32 TRNG bits. */
+double
+uniformFrom(core::Trng &trng)
+{
+    uint32_t word = 0;
+    trng.fill(reinterpret_cast<uint8_t *>(&word), sizeof(word));
+    return word * 0x1p-32;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"samples"});
+    size_t samples = args.getUint("samples", 200000);
+
+    dram::DramModule module(dram::specFor(
+        dram::paperCatalog()[15], dram::Geometry::paperScale()));
+    core::QuacTrng trng(module);
+    trng.setup();
+
+    std::printf("Monte-Carlo pi with QUAC-TRNG randomness (%s)\n\n",
+                module.spec().name.c_str());
+    std::printf("%12s %12s %12s %12s\n", "samples", "estimate",
+                "|error|", "1.64/sqrt(n)");
+
+    size_t inside = 0;
+    size_t next_report = 1000;
+    for (size_t n = 1; n <= samples; ++n) {
+        double x = uniformFrom(trng);
+        double y = uniformFrom(trng);
+        if (x * x + y * y < 1.0)
+            ++inside;
+        if (n == next_report || n == samples) {
+            double estimate = 4.0 * static_cast<double>(inside) /
+                              static_cast<double>(n);
+            double error = std::fabs(estimate - M_PI);
+            double bound = 1.64 * std::sqrt(M_PI * (4.0 - M_PI) /
+                                            static_cast<double>(n));
+            std::printf("%12zu %12.6f %12.6f %12.6f %s\n", n,
+                        estimate, error, bound,
+                        error < bound ? "" : "(outside 90% bound)");
+            next_report *= 4;
+        }
+    }
+
+    std::printf("\nfinal estimate %.6f (pi = %.6f) from %llu QUAC "
+                "iterations\n",
+                4.0 * static_cast<double>(inside) /
+                    static_cast<double>(samples),
+                M_PI,
+                static_cast<unsigned long long>(trng.iterations()));
+    return 0;
+}

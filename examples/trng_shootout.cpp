@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Run all three DRAM TRNGs (QUAC-TRNG, D-RaNGe, Talukder+) on the
+ * same simulated module, compare their harvest characteristics, and
+ * score their output with the quick NIST tests — the paper's
+ * Section 7.4 comparison as a live program.
+ *
+ *   ./trng_shootout [--bits N]
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/drange.hh"
+#include "baselines/talukder.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "core/trng.hh"
+#include "dram/catalog.hh"
+#include "nist/sts.hh"
+
+using namespace quac;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"bits"});
+    size_t nbits = args.getUint("bits", 1u << 17);
+
+    dram::DramModule module(dram::specFor(
+        dram::paperCatalog()[12], dram::Geometry::paperScale()));
+
+    auto quac_trng = std::make_unique<core::QuacTrng>(module);
+    quac_trng->setup();
+
+    baselines::DRangeConfig drange_cfg;
+    auto drange =
+        std::make_unique<baselines::DRangeTrng>(module, drange_cfg);
+    drange->setup();
+
+    baselines::TalukderConfig taluk_cfg;
+    auto taluk =
+        std::make_unique<baselines::TalukderTrng>(module, taluk_cfg);
+    taluk->setup();
+
+    std::printf("TRNG shootout on module %s\n\n",
+                module.spec().name.c_str());
+
+    std::printf("Harvest characteristics:\n");
+    double quac_entropy = 0.0;
+    for (const auto &plan : quac_trng->plans())
+        quac_entropy += plan.segmentEntropy;
+    quac_entropy /= quac_trng->plans().size();
+    std::printf("  QUAC-TRNG:  %7.1f bits per segment (64 Kbit read)\n",
+                quac_entropy);
+    std::printf("  Talukder+:  %7.1f bits per row     (64 Kbit read)\n",
+                taluk->avgRowEntropy());
+    std::printf("  D-RaNGe:    %7.1f bits per block   (512 bit read)\n",
+                drange->avgBlockEntropy());
+    std::printf("(QUAC harvests ~%.0fx more entropy per row-sized "
+                "read than the tRP-failure substrate)\n\n",
+                quac_entropy / taluk->avgRowEntropy());
+
+    std::vector<core::Trng *> trngs = {quac_trng.get(), drange.get(),
+                                       taluk.get()};
+    Table table({"generator", "monobit p", "runs p", "serial p",
+                 "verdict"});
+    for (core::Trng *trng : trngs) {
+        Bitstream bits = trng->generateBits(nbits);
+        auto monobit = nist::monobit(bits);
+        auto runs = nist::runs(bits);
+        auto serial = nist::serial(bits);
+        bool ok = monobit.passed() && runs.passed() && serial.passed();
+        table.addRow({trng->name(), Table::num(monobit.minP(), 4),
+                      Table::num(runs.minP(), 4),
+                      Table::num(serial.minP(), 4),
+                      ok ? "random" : "suspect"});
+    }
+    table.print();
+    std::printf("\nAll three whitened generators produce random "
+                "streams; they differ in throughput (see "
+                "bench/table2_comparison).\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Analytical models of the low-throughput DRAM TRNGs the paper
+ * compares against in Table 2 and Section 10.1. These mechanisms are
+ * orders of magnitude too slow to simulate bit-by-bit; the paper
+ * itself evaluates them analytically, and we reproduce its
+ * derivations.
+ */
+
+#ifndef QUAC_BASELINES_LOW_THROUGHPUT_HH
+#define QUAC_BASELINES_LOW_THROUGHPUT_HH
+
+#include <string>
+#include <vector>
+
+namespace quac::baselines
+{
+
+/** Derived performance of one low-throughput proposal. */
+struct LowThroughputModel
+{
+    std::string name;
+    std::string entropySource;
+    /** Peak random-number throughput in Mb/s (0 = not streaming). */
+    double throughputMbps = 0.0;
+    /** Latency to produce one 256-bit number, in ns. */
+    double latency256Ns = 0.0;
+    /** How the numbers were derived. */
+    std::string derivation;
+};
+
+/**
+ * D-PUF (Sutar et al.): retention failures accumulated over 40 s in
+ * 4 MiB regions, SHA-256 per region.
+ *
+ * @param dram_gib total DRAM dedicated to generation.
+ */
+LowThroughputModel dpufModel(double dram_gib = 128.0);
+
+/** Keller et al.: retention failures in 1 MiB regions. */
+LowThroughputModel kellerModel(double dram_gib = 128.0);
+
+/** DRNG (Eckert et al.): DRAM start-up values (needs a power cycle). */
+LowThroughputModel drngModel();
+
+/**
+ * Pyo et al.: DRAM command-schedule jitter; 45000 CPU cycles per
+ * 8-bit number on the Section 7.3 system (3.2 GHz, four channels).
+ */
+LowThroughputModel pyoModel(double cpu_ghz = 3.2,
+                            unsigned channels = 4);
+
+/** All four, in Table 2 order. */
+std::vector<LowThroughputModel> lowThroughputModels();
+
+} // namespace quac::baselines
+
+#endif // QUAC_BASELINES_LOW_THROUGHPUT_HH

@@ -1,0 +1,152 @@
+#include "common/bitstream.hh"
+
+#include <bit>
+
+#include "common/error.hh"
+
+namespace quac
+{
+
+Bitstream::Bitstream(size_t nbits)
+    : words_((nbits + 63) / 64, 0), size_(nbits)
+{
+}
+
+Bitstream
+Bitstream::fromString(const std::string &bits)
+{
+    Bitstream bs;
+    for (char c : bits) {
+        if (c == '0') {
+            bs.append(false);
+        } else if (c == '1') {
+            bs.append(true);
+        } else {
+            fatal("Bitstream::fromString: invalid character '%c'", c);
+        }
+    }
+    return bs;
+}
+
+Bitstream
+Bitstream::fromBytes(const std::vector<uint8_t> &bytes)
+{
+    Bitstream bs;
+    for (uint8_t byte : bytes)
+        bs.appendWord(byte, 8);
+    return bs;
+}
+
+void
+Bitstream::append(bool bit)
+{
+    size_t word = size_ / 64;
+    unsigned offset = size_ % 64;
+    if (offset == 0)
+        words_.push_back(0);
+    if (bit)
+        words_[word] |= (uint64_t{1} << offset);
+    ++size_;
+}
+
+void
+Bitstream::appendWord(uint64_t word, unsigned nbits)
+{
+    QUAC_ASSERT(nbits <= 64, "nbits=%u", nbits);
+    for (unsigned i = 0; i < nbits; ++i)
+        append((word >> i) & 1);
+}
+
+void
+Bitstream::append(const Bitstream &other)
+{
+    for (size_t i = 0; i < other.size(); ++i)
+        append(other[i]);
+}
+
+bool
+Bitstream::operator[](size_t index) const
+{
+    QUAC_ASSERT(index < size_, "index=%zu size=%zu", index, size_);
+    return (words_[index / 64] >> (index % 64)) & 1;
+}
+
+void
+Bitstream::set(size_t index, bool bit)
+{
+    QUAC_ASSERT(index < size_, "index=%zu size=%zu", index, size_);
+    uint64_t mask = uint64_t{1} << (index % 64);
+    if (bit)
+        words_[index / 64] |= mask;
+    else
+        words_[index / 64] &= ~mask;
+}
+
+void
+Bitstream::clear()
+{
+    words_.clear();
+    size_ = 0;
+}
+
+size_t
+Bitstream::popcount() const
+{
+    size_t count = 0;
+    for (size_t w = 0; w + 1 < words_.size(); ++w)
+        count += static_cast<size_t>(std::popcount(words_[w]));
+    if (!words_.empty()) {
+        unsigned tail = size_ % 64;
+        uint64_t last = words_.back();
+        if (tail != 0)
+            last &= (uint64_t{1} << tail) - 1;
+        count += static_cast<size_t>(std::popcount(last));
+    }
+    return count;
+}
+
+Bitstream
+Bitstream::slice(size_t start, size_t len) const
+{
+    QUAC_ASSERT(start + len <= size_, "start=%zu len=%zu size=%zu",
+                start, len, size_);
+    Bitstream out;
+    for (size_t i = 0; i < len; ++i)
+        out.append((*this)[start + i]);
+    return out;
+}
+
+std::vector<uint8_t>
+Bitstream::toBytes() const
+{
+    std::vector<uint8_t> bytes((size_ + 7) / 8, 0);
+    for (size_t i = 0; i < size_; ++i) {
+        if ((*this)[i])
+            bytes[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    }
+    return bytes;
+}
+
+std::string
+Bitstream::toString() const
+{
+    std::string out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i)
+        out.push_back((*this)[i] ? '1' : '0');
+    return out;
+}
+
+bool
+Bitstream::operator==(const Bitstream &other) const
+{
+    if (size_ != other.size_)
+        return false;
+    for (size_t i = 0; i < size_; ++i) {
+        if ((*this)[i] != other[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace quac

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Compact bit container used for TRNG output streams and NIST STS
+ * inputs. Bits are stored LSB-first within 64-bit words.
+ */
+
+#ifndef QUAC_COMMON_BITSTREAM_HH
+#define QUAC_COMMON_BITSTREAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quac
+{
+
+/** Growable sequence of bits with O(1) append and random access. */
+class Bitstream
+{
+  public:
+    Bitstream() = default;
+
+    /** Construct with a given number of zero bits. */
+    explicit Bitstream(size_t nbits);
+
+    /** Build from an ASCII string of '0'/'1' characters. */
+    static Bitstream fromString(const std::string &bits);
+
+    /** Build from raw bytes; each byte contributes 8 bits LSB-first. */
+    static Bitstream fromBytes(const std::vector<uint8_t> &bytes);
+
+    /** Append a single bit. */
+    void append(bool bit);
+
+    /** Append the low @p nbits bits of @p word, LSB-first. */
+    void appendWord(uint64_t word, unsigned nbits);
+
+    /** Append all bits of another stream. */
+    void append(const Bitstream &other);
+
+    /** Read the bit at @p index. @pre index < size(). */
+    bool operator[](size_t index) const;
+
+    /** Set the bit at @p index. @pre index < size(). */
+    void set(size_t index, bool bit);
+
+    /** Number of bits in the stream. */
+    size_t size() const { return size_; }
+
+    /** True if the stream holds no bits. */
+    bool empty() const { return size_ == 0; }
+
+    /** Remove all bits. */
+    void clear();
+
+    /** Number of one-bits in the stream. */
+    size_t popcount() const;
+
+    /** Extract bits [start, start+len) as a new stream. */
+    Bitstream slice(size_t start, size_t len) const;
+
+    /**
+     * Pack into bytes, LSB-first within each byte; the final partial
+     * byte (if any) is zero-padded.
+     */
+    std::vector<uint8_t> toBytes() const;
+
+    /** Render as an ASCII string of '0'/'1' characters. */
+    std::string toString() const;
+
+    /** Bitwise equality (size and content). */
+    bool operator==(const Bitstream &other) const;
+
+  private:
+    std::vector<uint64_t> words_;
+    size_t size_ = 0;
+};
+
+} // namespace quac
+
+#endif // QUAC_COMMON_BITSTREAM_HH

@@ -1,0 +1,93 @@
+#include "common/cli.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace quac
+{
+
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 const std::vector<std::string> &known)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '%s'", arg.c_str());
+        arg = arg.substr(2);
+
+        std::string name;
+        std::string value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            // Consume a following non-flag token as the value.
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+
+        if (std::find(known.begin(), known.end(), name) == known.end())
+            fatal("unknown flag '--%s'", name.c_str());
+        values_[name] = value;
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return it->second == "true" || it->second == "1";
+}
+
+int64_t
+CliArgs::getInt(const std::string &name, int64_t def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::stoll(it->second);
+}
+
+uint64_t
+CliArgs::getUint(const std::string &name, uint64_t def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::stoull(it->second);
+}
+
+double
+CliArgs::getDouble(const std::string &name, double def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::stod(it->second);
+}
+
+std::string
+CliArgs::getString(const std::string &name, const std::string &def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return it->second;
+}
+
+} // namespace quac

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal command-line flag parser shared by benches and examples.
+ *
+ * Supports "--name value", "--name=value" and boolean "--name" forms.
+ * Unknown flags are fatal so typos do not silently fall back to
+ * defaults.
+ */
+
+#ifndef QUAC_COMMON_CLI_HH
+#define QUAC_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace quac
+{
+
+/** Parsed command-line flags with typed accessors and defaults. */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv. @p known lists accepted flag names (without the
+     * leading dashes); anything else is a fatal error.
+     */
+    CliArgs(int argc, const char *const *argv,
+            const std::vector<std::string> &known);
+
+    /** True if the flag appeared on the command line. */
+    bool has(const std::string &name) const;
+
+    /** Boolean flag: present (without value) or "true"/"1". */
+    bool getBool(const std::string &name, bool def = false) const;
+
+    /** Integer flag. */
+    int64_t getInt(const std::string &name, int64_t def) const;
+
+    /** Unsigned 64-bit flag. */
+    uint64_t getUint(const std::string &name, uint64_t def) const;
+
+    /** Floating-point flag. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** String flag. */
+    std::string getString(const std::string &name,
+                          const std::string &def = "") const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace quac
+
+#endif // QUAC_COMMON_CLI_HH

@@ -1,0 +1,44 @@
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace quac
+{
+
+void
+parallelFor(size_t begin, size_t end,
+            const std::function<void(size_t)> &fn, unsigned threads)
+{
+    if (begin >= end)
+        return;
+    if (threads == 0)
+        threads = std::thread::hardware_concurrency();
+    size_t span = end - begin;
+    if (threads <= 1 || span == 1) {
+        for (size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+    threads = static_cast<unsigned>(
+        std::min<size_t>(threads, span));
+
+    std::atomic<size_t> next(begin);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&]() {
+            for (;;) {
+                size_t i = next.fetch_add(1);
+                if (i >= end)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+}
+
+} // namespace quac

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Minimal data-parallel helper for characterization sweeps.
+ */
+
+#ifndef QUAC_COMMON_PARALLEL_HH
+#define QUAC_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace quac
+{
+
+/**
+ * Run fn(i) for i in [begin, end) across worker threads. Blocks until
+ * every index has completed. fn must be safe to call concurrently for
+ * distinct indices.
+ *
+ * @param threads worker count; 0 selects the hardware concurrency.
+ */
+void parallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)> &fn,
+                 unsigned threads = 0);
+
+} // namespace quac
+
+#endif // QUAC_COMMON_PARALLEL_HH

@@ -1,0 +1,173 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace quac
+{
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+constexpr uint32_t philoxM0 = 0xD2511F53u;
+constexpr uint32_t philoxM1 = 0xCD9E8D57u;
+constexpr uint32_t philoxW0 = 0x9E3779B9u;
+constexpr uint32_t philoxW1 = 0xBB67AE85u;
+
+/** High 32 bits of a 32x32 multiply, with the low half via out-param. */
+inline uint32_t
+mulhilo(uint32_t a, uint32_t b, uint32_t &lo)
+{
+    uint64_t prod = static_cast<uint64_t>(a) * b;
+    lo = static_cast<uint32_t>(prod);
+    return static_cast<uint32_t>(prod >> 32);
+}
+
+} // anonymous namespace
+
+Philox4x32::Philox4x32(uint64_t key)
+    : keyX_(static_cast<uint32_t>(key)),
+      keyY_(static_cast<uint32_t>(key >> 32))
+{
+}
+
+Philox4x32::Block
+Philox4x32::block(const Counter &ctr) const
+{
+    uint32_t x0 = ctr[0], x1 = ctr[1], x2 = ctr[2], x3 = ctr[3];
+    uint32_t kx = keyX_, ky = keyY_;
+
+    for (int round = 0; round < 10; ++round) {
+        uint32_t lo0, lo1;
+        uint32_t hi0 = mulhilo(philoxM0, x0, lo0);
+        uint32_t hi1 = mulhilo(philoxM1, x2, lo1);
+        uint32_t y0 = hi1 ^ x1 ^ kx;
+        uint32_t y1 = lo1;
+        uint32_t y2 = hi0 ^ x3 ^ ky;
+        uint32_t y3 = lo0;
+        x0 = y0;
+        x1 = y1;
+        x2 = y2;
+        x3 = y3;
+        kx += philoxW0;
+        ky += philoxW1;
+    }
+    return Block{x0, x1, x2, x3};
+}
+
+double
+Philox4x32::uniform(const Counter &ctr, unsigned lane) const
+{
+    Block b = block(ctr);
+    // 2^-32 scaling; offset by half an ulp to stay inside [0, 1).
+    return (b[lane & 3] + 0.5) * 0x1p-32;
+}
+
+double
+Philox4x32::gaussian(const Counter &ctr, unsigned lane) const
+{
+    Block b = block(ctr);
+    unsigned base = (lane & 1) * 2;
+    double u1 = (b[base] + 0.5) * 0x1p-32;
+    double u2 = (b[base + 1] + 0.5) * 0x1p-32;
+    double r = std::sqrt(-2.0 * std::log(u1));
+    return r * std::cos(2.0 * M_PI * u2);
+}
+
+namespace
+{
+
+inline uint64_t
+rotl64(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Xoshiro256pp::Xoshiro256pp(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Xoshiro256pp::next()
+{
+    uint64_t result = rotl64(state_[0] + state_[3], 23) + state_[0];
+    uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl64(state_[3], 45);
+
+    return result;
+}
+
+double
+Xoshiro256pp::uniform()
+{
+    return (next() >> 11) * 0x1p-53;
+}
+
+double
+Xoshiro256pp::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Xoshiro256pp::uniformInt(uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Xoshiro256pp::gaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 0.0)
+        u1 = uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    spare_ = r * std::sin(theta);
+    hasSpare_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Xoshiro256pp::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+bool
+Xoshiro256pp::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace quac

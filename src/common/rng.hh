@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic random-number sources used by the simulator.
+ *
+ * Two generators are provided:
+ *
+ *  - Philox4x32: a counter-based generator. Given the same key and
+ *    counter it always produces the same block, which lets the DRAM
+ *    model attach reproducible, randomly-accessible noise to any
+ *    (module, segment, bitline, iteration) coordinate without storing
+ *    per-coordinate state.
+ *
+ *  - Xoshiro256pp: a fast sequential generator for workloads that just
+ *    need a stream (trace generation, Monte-Carlo sampling).
+ *
+ * These drive the *simulated physics* (thermal noise, process
+ * variation). The TRNG-under-test observes them only through the DRAM
+ * device model, mirroring how real hardware observes real noise.
+ */
+
+#ifndef QUAC_COMMON_RNG_HH
+#define QUAC_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace quac
+{
+
+/** SplitMix64 step; used to derive seeds/keys from a single seed. */
+uint64_t splitmix64(uint64_t &state);
+
+/**
+ * Philox4x32-10 counter-based PRNG (Salmon et al., SC'11).
+ *
+ * Stateless apart from the key: block(counter) maps a 128-bit counter
+ * to 128 bits of output through 10 rounds of multiply-bumped-key
+ * mixing.
+ */
+class Philox4x32
+{
+  public:
+    using Counter = std::array<uint32_t, 4>;
+    using Block = std::array<uint32_t, 4>;
+
+    /** Construct with a 64-bit key. */
+    explicit Philox4x32(uint64_t key);
+
+    /** Generate the 128-bit block for a counter value. */
+    Block block(const Counter &ctr) const;
+
+    /** Convenience: block addressed by four 32-bit coordinates. */
+    Block
+    block(uint32_t a, uint32_t b, uint32_t c, uint32_t d) const
+    {
+        return block(Counter{a, b, c, d});
+    }
+
+    /** Uniform double in [0, 1) from one lane of a counter's block. */
+    double uniform(const Counter &ctr, unsigned lane = 0) const;
+
+    /**
+     * Standard-normal sample addressed by counter (Box-Muller over
+     * lanes 2·lane and 2·lane+1 of the block).
+     *
+     * @param ctr counter selecting the block.
+     * @param lane 0 or 1, selecting which normal pair member.
+     */
+    double gaussian(const Counter &ctr, unsigned lane = 0) const;
+
+  private:
+    uint32_t keyX_;
+    uint32_t keyY_;
+};
+
+/** xoshiro256++ sequential PRNG (Blackman & Vigna). */
+class Xoshiro256pp
+{
+  public:
+    /** Seed via four SplitMix64 draws. */
+    explicit Xoshiro256pp(uint64_t seed);
+
+    /** Next 64 random bits. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t uniformInt(uint64_t bound);
+
+    /** Standard-normal sample (Box-Muller, cached spare). */
+    double gaussian();
+
+    /** Normal sample with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool bernoulli(double p);
+
+  private:
+    std::array<uint64_t, 4> state_;
+    double spare_ = 0.0;
+    bool hasSpare_ = false;
+};
+
+} // namespace quac
+
+#endif // QUAC_COMMON_RNG_HH

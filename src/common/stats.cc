@@ -1,0 +1,138 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quac
+{
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    size_t total = count_ + other.count_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    mean_ += delta * nb / static_cast<double>(total);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(total);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = total;
+}
+
+double
+RunningStats::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+RunningStats::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+binaryEntropy(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        return 0.0;
+    return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double
+shannonEntropy(const std::vector<size_t> &counts)
+{
+    size_t total = 0;
+    for (size_t c : counts)
+        total += c;
+    if (total == 0)
+        return 0.0;
+    double h = 0.0;
+    for (size_t c : counts) {
+        if (c == 0)
+            continue;
+        double p = static_cast<double>(c) / static_cast<double>(total);
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+} // namespace quac

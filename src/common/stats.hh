@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small statistics helpers: running summaries and Shannon entropy.
+ */
+
+#ifndef QUAC_COMMON_STATS_HH
+#define QUAC_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace quac
+{
+
+/** Accumulates count/mean/min/max/stddev of a stream of samples. */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    size_t count() const { return count_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+    /** Sample variance (n-1 denominator); 0 when count < 2. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Binary Shannon entropy H(p) in bits (Equation 1 of the paper with
+ * p(x1)=p, p(x2)=1-p). Returns 0 for p outside (0, 1).
+ */
+double binaryEntropy(double p);
+
+/**
+ * Shannon entropy in bits of an empirical distribution given by raw
+ * counts. Zero-count symbols contribute nothing.
+ */
+double shannonEntropy(const std::vector<size_t> &counts);
+
+/** Arithmetic mean of a vector; 0 for empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation of a vector; 0 for size < 2. */
+double stddev(const std::vector<double> &xs);
+
+/** Median (by copy-and-sort); 0 for empty input. */
+double median(std::vector<double> xs);
+
+} // namespace quac
+
+#endif // QUAC_COMMON_STATS_HH

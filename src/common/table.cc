@@ -1,0 +1,80 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace quac
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    QUAC_ASSERT(cells.size() == headers_.size(),
+                "row arity %zu != header arity %zu",
+                cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << "| " << row[c]
+                << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        out << "|\n";
+    };
+
+    auto emit_rule = [&]() {
+        for (size_t c = 0; c < widths.size(); ++c)
+            out << "+" << std::string(widths[c] + 2, '-');
+        out << "+\n";
+    };
+
+    emit_rule();
+    emit_row(headers_);
+    emit_rule();
+    for (const auto &row : rows_)
+        emit_row(row);
+    emit_rule();
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+void
+printBanner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace quac

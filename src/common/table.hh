@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer used by the benchmark harnesses to
+ * emit paper-versus-measured rows.
+ */
+
+#ifndef QUAC_COMMON_TABLE_HH
+#define QUAC_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace quac
+{
+
+/** Builds and prints an aligned text table. */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Add a row; must have the same arity as the headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render the whole table to a string. */
+    std::string str() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner ("=== title ===") to stdout. */
+void printBanner(const std::string &title);
+
+} // namespace quac
+
+#endif // QUAC_COMMON_TABLE_HH

@@ -1,0 +1,165 @@
+#include "core/characterizer.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "common/parallel.hh"
+
+namespace quac::core
+{
+
+std::vector<ColumnRange>
+sibRanges(const std::vector<double> &cache_block_entropy, double target)
+{
+    QUAC_ASSERT(target > 0.0, "target=%f", target);
+    std::vector<ColumnRange> ranges;
+    ColumnRange current;
+    current.beginColumn = 0;
+    for (uint32_t col = 0; col < cache_block_entropy.size(); ++col) {
+        current.entropy += cache_block_entropy[col];
+        if (current.entropy >= target) {
+            current.endColumn = col + 1;
+            ranges.push_back(current);
+            current = ColumnRange{};
+            current.beginColumn = col + 1;
+        }
+    }
+    // A trailing range that never reached the target is discarded:
+    // hashing it would over-claim entropy.
+    return ranges;
+}
+
+Characterizer::Characterizer(const dram::DramModule &module)
+    : module_(module)
+{
+}
+
+std::vector<SegmentEntropy>
+Characterizer::segmentEntropies(const CharacterizerConfig &cfg) const
+{
+    const dram::Geometry &geom = module_.geometry();
+    QUAC_ASSERT(cfg.bank < geom.banks, "bank=%u", cfg.bank);
+    QUAC_ASSERT(cfg.segmentStride >= 1, "stride=%u", cfg.segmentStride);
+
+    std::vector<uint32_t> segments;
+    for (uint32_t s = 0; s < geom.segmentsPerBank();
+         s += cfg.segmentStride) {
+        segments.push_back(s);
+    }
+
+    std::vector<SegmentEntropy> out(segments.size());
+    parallelFor(0, segments.size(), [&](size_t i) {
+        uint32_t segment = segments[i];
+        dram::SegmentModel model(geom, module_.calibration(),
+                                 module_.variation(), cfg.bank, segment,
+                                 cfg.temperatureC, cfg.ageDays);
+        out[i] = {segment, model.segmentEntropy(cfg.pattern)};
+    }, cfg.threads);
+    return out;
+}
+
+SegmentEntropy
+Characterizer::bestSegment(const CharacterizerConfig &cfg) const
+{
+    SegmentEntropy best;
+    for (const SegmentEntropy &se : segmentEntropies(cfg)) {
+        if (se.entropy > best.entropy)
+            best = se;
+    }
+    return best;
+}
+
+std::vector<double>
+Characterizer::cacheBlockEntropies(uint32_t bank, uint32_t segment,
+                                   uint8_t pattern, double temperature_c,
+                                   double age_days) const
+{
+    dram::SegmentModel model(module_.geometry(), module_.calibration(),
+                             module_.variation(), bank, segment,
+                             temperature_c, age_days);
+    return model.cacheBlockEntropies(pattern);
+}
+
+std::vector<PatternStats>
+Characterizer::patternSweep(const CharacterizerConfig &cfg) const
+{
+    const dram::Geometry &geom = module_.geometry();
+    QUAC_ASSERT(cfg.bank < geom.banks, "bank=%u", cfg.bank);
+
+    std::vector<uint32_t> segments;
+    for (uint32_t s = 0; s < geom.segmentsPerBank();
+         s += cfg.segmentStride) {
+        segments.push_back(s);
+    }
+
+    auto patterns = dram::allPatterns();
+    // Per-segment partial aggregates, merged after the parallel loop.
+    struct Partial
+    {
+        std::vector<double> sumCb;
+        std::vector<double> maxCb;
+        std::vector<double> sumSegment;
+        size_t cbCount = 0;
+    };
+    std::vector<Partial> partials(segments.size());
+
+    parallelFor(0, segments.size(), [&](size_t i) {
+        dram::SegmentModel model(geom, module_.calibration(),
+                                 module_.variation(), cfg.bank,
+                                 segments[i], cfg.temperatureC,
+                                 cfg.ageDays);
+        Partial &partial = partials[i];
+        partial.sumCb.assign(patterns.size(), 0.0);
+        partial.maxCb.assign(patterns.size(), 0.0);
+        partial.sumSegment.assign(patterns.size(), 0.0);
+        for (size_t p = 0; p < patterns.size(); ++p) {
+            auto blocks = model.cacheBlockEntropies(patterns[p]);
+            partial.cbCount = blocks.size();
+            for (double h : blocks) {
+                partial.sumCb[p] += h;
+                partial.maxCb[p] = std::max(partial.maxCb[p], h);
+                partial.sumSegment[p] += h;
+            }
+        }
+    }, cfg.threads);
+
+    std::vector<PatternStats> stats(patterns.size());
+    size_t total_blocks = 0;
+    for (const Partial &partial : partials)
+        total_blocks += partial.cbCount;
+    for (size_t p = 0; p < patterns.size(); ++p) {
+        stats[p].pattern = patterns[p];
+        double sum_cb = 0.0;
+        double max_cb = 0.0;
+        double sum_segment = 0.0;
+        for (const Partial &partial : partials) {
+            if (partial.sumCb.empty())
+                continue;
+            sum_cb += partial.sumCb[p];
+            max_cb = std::max(max_cb, partial.maxCb[p]);
+            sum_segment += partial.sumSegment[p];
+        }
+        stats[p].avgCacheBlockEntropy =
+            total_blocks ? sum_cb / static_cast<double>(total_blocks)
+                         : 0.0;
+        stats[p].maxCacheBlockEntropy = max_cb;
+        stats[p].avgSegmentEntropy =
+            segments.empty()
+                ? 0.0
+                : sum_segment / static_cast<double>(segments.size());
+    }
+    return stats;
+}
+
+double
+Characterizer::segmentEntropy(uint32_t bank, uint32_t segment,
+                              uint8_t pattern, double temperature_c,
+                              double age_days) const
+{
+    dram::SegmentModel model(module_.geometry(), module_.calibration(),
+                             module_.variation(), bank, segment,
+                             temperature_c, age_days);
+    return model.segmentEntropy(pattern);
+}
+
+} // namespace quac::core

@@ -1,0 +1,77 @@
+#include "core/rng_service.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hh"
+
+namespace quac::core
+{
+
+RngService::RngService(Trng &source, RngServiceConfig cfg)
+    : source_(source), cfg_(cfg)
+{
+    if (cfg_.capacityBytes == 0)
+        fatal("RngService needs a non-zero buffer");
+    if (cfg_.refillWatermark < 0.0 || cfg_.refillWatermark > 1.0)
+        fatal("refill watermark must be in [0, 1]");
+    buffer_.reserve(cfg_.capacityBytes);
+}
+
+void
+RngService::compact()
+{
+    if (head_ == 0)
+        return;
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(head_));
+    head_ = 0;
+}
+
+bool
+RngService::request(uint8_t *out, size_t len)
+{
+    ++served_;
+    size_t available = level();
+    if (available >= len) {
+        std::memcpy(out, buffer_.data() + head_, len);
+        head_ += len;
+        ++hits_;
+        return true;
+    }
+
+    // Drain what the buffer has, then generate the rest on demand
+    // (the paper's fallback when requests outpace idle bandwidth).
+    std::memcpy(out, buffer_.data() + head_, available);
+    head_ += available;
+    source_.fill(out + available, len - available);
+    ++misses_;
+    return false;
+}
+
+std::vector<uint8_t>
+RngService::request(size_t len)
+{
+    std::vector<uint8_t> out(len);
+    request(out.data(), len);
+    return out;
+}
+
+size_t
+RngService::refillIfBelowWatermark()
+{
+    size_t current = level();
+    size_t threshold = static_cast<size_t>(
+        cfg_.refillWatermark * static_cast<double>(cfg_.capacityBytes));
+    if (current > threshold)
+        return 0;
+
+    compact();
+    size_t want = cfg_.capacityBytes - buffer_.size();
+    size_t old_size = buffer_.size();
+    buffer_.resize(cfg_.capacityBytes);
+    source_.fill(buffer_.data() + old_size, want);
+    return want;
+}
+
+} // namespace quac::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Buffered random-number service (paper Section 9): the memory
+ * controller periodically uses idle DRAM bandwidth to top up a small
+ * buffer of random numbers so application requests are served
+ * immediately, falling back to on-demand generation when drained.
+ */
+
+#ifndef QUAC_CORE_RNG_SERVICE_HH
+#define QUAC_CORE_RNG_SERVICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trng.hh"
+
+namespace quac::core
+{
+
+/** Service configuration. */
+struct RngServiceConfig
+{
+    /** Buffer capacity in bytes (controller SRAM). */
+    size_t capacityBytes = 4096;
+    /**
+     * Refill threshold: background refills trigger once the fill
+     * level drops below this fraction of capacity.
+     */
+    double refillWatermark = 0.5;
+};
+
+/** Buffered front-end over any Trng. */
+class RngService
+{
+  public:
+    /**
+     * @param source backing generator (kept by reference).
+     * @param cfg buffer parameters.
+     */
+    RngService(Trng &source, RngServiceConfig cfg = {});
+
+    /**
+     * Serve a request. Returns true if it was served entirely from
+     * the buffer ("immediate" in the paper's terms), false if the
+     * generator had to run synchronously.
+     */
+    bool request(uint8_t *out, size_t len);
+
+    /** Convenience byte-vector request. */
+    std::vector<uint8_t> request(size_t len);
+
+    /**
+     * Background top-up, as the controller would do with idle DRAM
+     * bandwidth; refills to capacity when at or below the watermark.
+     * @return bytes added.
+     */
+    size_t refillIfBelowWatermark();
+
+    /** Current fill level in bytes. */
+    size_t level() const { return buffer_.size() - head_; }
+
+    size_t capacity() const { return cfg_.capacityBytes; }
+
+    /** @name Service statistics */
+    /**@{*/
+    uint64_t requestsServed() const { return served_; }
+    uint64_t bufferHits() const { return hits_; }
+    uint64_t synchronousFills() const { return misses_; }
+    /**@}*/
+
+  private:
+    void compact();
+
+    Trng &source_;
+    RngServiceConfig cfg_;
+    std::vector<uint8_t> buffer_;
+    size_t head_ = 0;
+    uint64_t served_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace quac::core
+
+#endif // QUAC_CORE_RNG_SERVICE_HH

@@ -1,0 +1,75 @@
+#include "core/sa_stream.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "dram/segment_model.hh"
+
+namespace quac::core
+{
+
+SaStreamSampler::SaStreamSampler(const dram::DramModule &module,
+                                 uint32_t bank, uint32_t segment,
+                                 uint8_t pattern, uint64_t noise_seed)
+    : rng_(noise_seed)
+{
+    dram::SegmentModel model(module.geometry(), module.calibration(),
+                             module.variation(), bank, segment,
+                             module.temperature(), module.ageDays());
+    probs_ = model.patternProbabilities(pattern);
+}
+
+double
+SaStreamSampler::probability(uint32_t bitline) const
+{
+    QUAC_ASSERT(bitline < probs_.size(), "bitline=%u", bitline);
+    return probs_[bitline];
+}
+
+std::vector<uint32_t>
+SaStreamSampler::topMetastableBitlines(size_t k) const
+{
+    std::vector<uint32_t> indices(probs_.size());
+    for (uint32_t b = 0; b < probs_.size(); ++b)
+        indices[b] = b;
+    k = std::min(k, indices.size());
+    std::partial_sort(indices.begin(),
+                      indices.begin() + static_cast<ptrdiff_t>(k),
+                      indices.end(), [&](uint32_t a, uint32_t b) {
+                          return std::fabs(probs_[a] - 0.5f) <
+                                 std::fabs(probs_[b] - 0.5f);
+                      });
+    indices.resize(k);
+    return indices;
+}
+
+Bitstream
+SaStreamSampler::sample(uint32_t bitline, size_t nbits)
+{
+    double p = probability(bitline);
+    Bitstream bits;
+    for (size_t i = 0; i < nbits; ++i)
+        bits.append(rng_.bernoulli(p));
+    return bits;
+}
+
+Bitstream
+SaStreamSampler::sampleInterleaved(
+    const std::vector<uint32_t> &bitlines, size_t nbits)
+{
+    QUAC_ASSERT(!bitlines.empty(), "no bitlines selected");
+    Bitstream bits;
+    size_t produced = 0;
+    while (produced < nbits) {
+        for (uint32_t bitline : bitlines) {
+            if (produced >= nbits)
+                break;
+            bits.append(rng_.bernoulli(probability(bitline)));
+            ++produced;
+        }
+    }
+    return bits;
+}
+
+} // namespace quac::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-sense-amplifier bitstream sampler (paper Section 6.2).
+ *
+ * The paper collects 1 Mbit from each individual sense amplifier by
+ * repeating QUAC a million times. In the device model, thermal noise
+ * is drawn independently per sensing event, so the bits a given
+ * bitline produces across identically-initialized QUAC operations are
+ * iid Bernoulli(p) with p fixed by the variation oracle. This sampler
+ * exploits that to synthesize per-SA streams directly from p instead
+ * of replaying a million command sequences; the equivalence to the
+ * command path is asserted by BankTest.EmpiricalFrequencyTracksProbability.
+ */
+
+#ifndef QUAC_CORE_SA_STREAM_HH
+#define QUAC_CORE_SA_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.hh"
+#include "common/rng.hh"
+#include "dram/module.hh"
+
+namespace quac::core
+{
+
+/** Generates per-bitline streams for one (bank, segment, pattern). */
+class SaStreamSampler
+{
+  public:
+    /**
+     * @param module the simulated module.
+     * @param bank bank index.
+     * @param segment segment under QUAC.
+     * @param pattern init pattern nibble.
+     * @param noise_seed seed for the synthetic noise stream.
+     */
+    SaStreamSampler(const dram::DramModule &module, uint32_t bank,
+                    uint32_t segment, uint8_t pattern,
+                    uint64_t noise_seed = 1);
+
+    /** P(read 1) of a bitline under this QUAC configuration. */
+    double probability(uint32_t bitline) const;
+
+    /**
+     * Indices of the @p k bitlines whose probability is closest to
+     * 0.5 (the most metastable sense amplifiers).
+     */
+    std::vector<uint32_t> topMetastableBitlines(size_t k) const;
+
+    /** Sample @p nbits iid bits from one bitline's distribution. */
+    Bitstream sample(uint32_t bitline, size_t nbits);
+
+    /**
+     * Interleaved stream across several bitlines (one bit from each
+     * per QUAC iteration, mirroring how the experiment reads them).
+     */
+    Bitstream sampleInterleaved(const std::vector<uint32_t> &bitlines,
+                                size_t nbits);
+
+  private:
+    std::vector<float> probs_;
+    Xoshiro256pp rng_;
+};
+
+} // namespace quac::core
+
+#endif // QUAC_CORE_SA_STREAM_HH

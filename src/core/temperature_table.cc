@@ -1,0 +1,79 @@
+#include "core/temperature_table.hh"
+
+#include "common/error.hh"
+#include "dram/segment_model.hh"
+
+namespace quac::core
+{
+
+TemperatureTable
+TemperatureTable::build(const dram::DramModule &module, uint32_t bank,
+                        uint32_t segment, uint8_t pattern,
+                        double entropy_target, double min_c,
+                        double max_c, unsigned bands)
+{
+    QUAC_ASSERT(bands >= 1 && max_c > min_c,
+                "bands=%u range=[%f, %f]", bands, min_c, max_c);
+
+    TemperatureTable table;
+    double step = (max_c - min_c) / bands;
+    for (unsigned i = 0; i < bands; ++i) {
+        TemperatureBand band;
+        band.minC = min_c + i * step;
+        band.maxC = band.minC + step;
+
+        // Characterize both band edges and build the column set from
+        // the per-cache-block *minimum* entropy envelope, so every
+        // stored range carries the target at either edge regardless
+        // of how individual columns shift with temperature.
+        std::vector<double> envelope;
+        double worst_total = -1.0;
+        for (double temp : {band.minC, band.maxC}) {
+            dram::SegmentModel model(
+                module.geometry(), module.calibration(),
+                module.variation(), bank, segment, temp,
+                module.ageDays());
+            auto blocks = model.cacheBlockEntropies(pattern);
+            double total = 0.0;
+            for (double h : blocks)
+                total += h;
+            if (worst_total < 0.0 || total < worst_total)
+                worst_total = total;
+            if (envelope.empty()) {
+                envelope = std::move(blocks);
+            } else {
+                for (size_t col = 0; col < envelope.size(); ++col)
+                    envelope[col] = std::min(envelope[col],
+                                             blocks[col]);
+            }
+        }
+        band.segmentEntropy = worst_total;
+        band.ranges = sibRanges(envelope, entropy_target);
+        table.bands_.push_back(std::move(band));
+    }
+    return table;
+}
+
+const TemperatureBand &
+TemperatureTable::lookup(double temperature_c) const
+{
+    QUAC_ASSERT(!bands_.empty(), "empty temperature table");
+    for (const TemperatureBand &band : bands_) {
+        if (temperature_c < band.maxC)
+            return band;
+    }
+    return bands_.back();
+}
+
+size_t
+TemperatureTable::storageBits() const
+{
+    // Each range stores its end column (7 bits addresses 128 cache
+    // blocks); range starts are implied by the previous end.
+    size_t bits = 0;
+    for (const TemperatureBand &band : bands_)
+        bits += band.ranges.size() * 7;
+    return bits;
+}
+
+} // namespace quac::core

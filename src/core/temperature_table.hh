@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-temperature SHA-input-block column sets (paper Section 8).
+ *
+ * Segment entropy shifts with temperature, so the memory controller
+ * stores a list of column-address sets for non-overlapping
+ * temperature ranges, built during one-time offline characterization.
+ * At run time it selects the set for the current DRAM temperature,
+ * guaranteeing every SHA input block still carries the full 256 bits
+ * of Shannon entropy. The paper budgets 10 ranges of up to 11 column
+ * addresses in its Section 9 storage estimate.
+ */
+
+#ifndef QUAC_CORE_TEMPERATURE_TABLE_HH
+#define QUAC_CORE_TEMPERATURE_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/characterizer.hh"
+#include "dram/module.hh"
+
+namespace quac::core
+{
+
+/** One non-overlapping temperature range and its column set. */
+struct TemperatureBand
+{
+    double minC = 0.0;
+    double maxC = 0.0;   ///< exclusive upper edge
+    /** Column ranges valid across the band (sized at its hot edge). */
+    std::vector<ColumnRange> ranges;
+    /** Segment entropy at the band's characterization point. */
+    double segmentEntropy = 0.0;
+};
+
+/** Offline-characterized table of per-temperature column sets. */
+class TemperatureTable
+{
+  public:
+    /**
+     * Characterize @p segment across the operating range and build
+     * the band table (paper default: 10 bands).
+     *
+     * Within each band the column set is computed at the band edge
+     * with the *lower* entropy, so blocks never under-deliver when
+     * the temperature moves inside the band.
+     */
+    static TemperatureTable build(const dram::DramModule &module,
+                                  uint32_t bank, uint32_t segment,
+                                  uint8_t pattern,
+                                  double entropy_target = 256.0,
+                                  double min_c = 30.0,
+                                  double max_c = 90.0,
+                                  unsigned bands = 10);
+
+    /** Band covering @p temperature_c (clamped to the table edges). */
+    const TemperatureBand &lookup(double temperature_c) const;
+
+    size_t bandCount() const { return bands_.size(); }
+    const std::vector<TemperatureBand> &bands() const { return bands_; }
+
+    /**
+     * Controller storage footprint in bits: one column address per
+     * range boundary (7 bits for 128 cache blocks), as in the
+     * paper's Section 9 accounting.
+     */
+    size_t storageBits() const;
+
+  private:
+    std::vector<TemperatureBand> bands_;
+};
+
+} // namespace quac::core
+
+#endif // QUAC_CORE_TEMPERATURE_TABLE_HH

@@ -1,0 +1,220 @@
+#include "core/trng.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "crypto/sha256.hh"
+
+namespace quac::core
+{
+
+std::vector<uint8_t>
+Trng::generate(size_t len)
+{
+    std::vector<uint8_t> out(len);
+    fill(out.data(), len);
+    return out;
+}
+
+Bitstream
+Trng::generateBits(size_t nbits)
+{
+    std::vector<uint8_t> bytes = generate((nbits + 7) / 8);
+    Bitstream bits;
+    for (size_t i = 0; i < nbits; ++i)
+        bits.append((bytes[i / 8] >> (i % 8)) & 1);
+    return bits;
+}
+
+std::array<uint8_t, 32>
+Trng::random256()
+{
+    std::array<uint8_t, 32> out;
+    fill(out.data(), out.size());
+    return out;
+}
+
+QuacTrng::QuacTrng(dram::DramModule &module, QuacTrngConfig cfg)
+    : module_(module), host_(module), cfg_(std::move(cfg))
+{
+    const dram::Geometry &geom = module_.geometry();
+    if (cfg_.banks.empty())
+        fatal("QuacTrng needs at least one bank");
+    for (uint32_t bank : cfg_.banks) {
+        if (bank >= geom.banks)
+            fatal("bank %u out of range", bank);
+    }
+}
+
+void
+QuacTrng::setup()
+{
+    const dram::Geometry &geom = module_.geometry();
+    Characterizer characterizer(module_);
+    plans_.clear();
+
+    for (uint32_t bank : cfg_.banks) {
+        CharacterizerConfig ccfg;
+        ccfg.bank = bank;
+        ccfg.pattern = cfg_.pattern;
+        ccfg.temperatureC = module_.temperature();
+        ccfg.ageDays = module_.ageDays();
+        ccfg.segmentStride = cfg_.characterizeStride;
+        ccfg.threads = cfg_.threads;
+
+        BankPlan plan;
+        plan.bank = bank;
+        SegmentEntropy best = characterizer.bestSegment(ccfg);
+        plan.segment = best.segment;
+        plan.segmentEntropy = best.entropy;
+
+        // Reserve the two bulk-initialization rows in a neighbouring
+        // segment of the same subarray (RowClone cannot cross
+        // subarrays, and same-segment ACT pairs would QUAC).
+        uint32_t base = geom.firstRowOfSegment(plan.segment);
+        uint32_t neighbour;
+        if (plan.segment > 0 &&
+            geom.subarrayOfRow(base - 1) == geom.subarrayOfRow(base)) {
+            neighbour = base - dram::Geometry::rowsPerSegment;
+        } else {
+            neighbour = base + dram::Geometry::rowsPerSegment;
+            QUAC_ASSERT(geom.subarrayOfRow(neighbour) ==
+                        geom.subarrayOfRow(base),
+                        "no same-subarray neighbour for segment %u",
+                        plan.segment);
+        }
+        plan.zeroRow = neighbour;
+        plan.oneRow = neighbour + 1;
+
+        // SHA input block column ranges at the current temperature.
+        auto cb_entropy = characterizer.cacheBlockEntropies(
+            bank, plan.segment, cfg_.pattern, module_.temperature(),
+            module_.ageDays());
+        plan.ranges = sibRanges(cb_entropy, cfg_.sibEntropyTarget);
+        if (plan.ranges.empty()) {
+            fatal("segment %u of bank %u cannot supply %g bits of "
+                  "entropy per block",
+                  plan.segment, bank, cfg_.sibEntropyTarget);
+        }
+
+        // Fill the reserved rows once; RowClone re-reads them every
+        // iteration without consuming data-bus bandwidth.
+        host_.writeRowFill(bank, plan.zeroRow, false);
+        host_.writeRowFill(bank, plan.oneRow, true);
+
+        plans_.push_back(std::move(plan));
+    }
+    ready_ = true;
+}
+
+void
+QuacTrng::recharacterize()
+{
+    setup();
+}
+
+size_t
+QuacTrng::bitsPerIteration() const
+{
+    size_t sib = 0;
+    for (const BankPlan &plan : plans_)
+        sib += plan.ranges.size();
+    return sib * 256;
+}
+
+void
+QuacTrng::initSegment(const BankPlan &plan)
+{
+    const dram::Geometry &geom = module_.geometry();
+    uint32_t base = geom.firstRowOfSegment(plan.segment);
+    for (uint32_t i = 0; i < dram::Geometry::rowsPerSegment; ++i) {
+        bool one = (cfg_.pattern >> i) & 1;
+        host_.rowCloneCopy(plan.bank, one ? plan.oneRow : plan.zeroRow,
+                           base + i);
+    }
+}
+
+void
+QuacTrng::runIteration()
+{
+    const dram::TimingParams &timing = host_.timing();
+    for (const BankPlan &plan : plans_) {
+        initSegment(plan);
+        host_.quac(plan.bank, plan.segment);
+
+        for (const ColumnRange &range : plan.ranges) {
+            std::vector<uint8_t> raw;
+            raw.reserve((range.endColumn - range.beginColumn) *
+                        module_.geometry().cacheBlockBits / 8);
+            for (uint32_t col = range.beginColumn;
+                 col < range.endColumn; ++col) {
+                std::vector<uint64_t> block = host_.rd(plan.bank, col);
+                host_.wait(timing.tCCD_L);
+                for (uint64_t word : block) {
+                    for (int byte = 0; byte < 8; ++byte) {
+                        raw.push_back(
+                            static_cast<uint8_t>(word >> (8 * byte)));
+                    }
+                }
+            }
+            if (cfg_.useSha) {
+                Sha256::Digest digest = Sha256::hash(raw);
+                buffer_.insert(buffer_.end(), digest.begin(),
+                               digest.end());
+            } else {
+                buffer_.insert(buffer_.end(), raw.begin(), raw.end());
+            }
+        }
+        host_.preObeyed(plan.bank);
+    }
+    ++iterations_;
+}
+
+void
+QuacTrng::fill(uint8_t *out, size_t len)
+{
+    if (!ready_)
+        setup();
+    size_t produced = 0;
+    while (produced < len) {
+        if (bufferHead_ == buffer_.size()) {
+            buffer_.clear();
+            bufferHead_ = 0;
+            runIteration();
+        }
+        size_t available = buffer_.size() - bufferHead_;
+        size_t take = std::min(available, len - produced);
+        std::copy_n(buffer_.begin() +
+                        static_cast<ptrdiff_t>(bufferHead_),
+                    take, out + produced);
+        bufferHead_ += take;
+        produced += take;
+    }
+}
+
+Bitstream
+QuacTrng::rawIteration(size_t plan_index)
+{
+    if (!ready_)
+        setup();
+    QUAC_ASSERT(plan_index < plans_.size(), "plan %zu", plan_index);
+    const BankPlan &plan = plans_[plan_index];
+    const dram::TimingParams &timing = host_.timing();
+
+    initSegment(plan);
+    host_.quac(plan.bank, plan.segment);
+
+    Bitstream raw;
+    for (uint32_t col = 0;
+         col < module_.geometry().cacheBlocksPerRow(); ++col) {
+        std::vector<uint64_t> block = host_.rd(plan.bank, col);
+        host_.wait(timing.tCCD_L);
+        for (uint64_t word : block)
+            raw.appendWord(word, 64);
+    }
+    host_.preObeyed(plan.bank);
+    ++iterations_;
+    return raw;
+}
+
+} // namespace quac::core

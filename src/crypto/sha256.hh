@@ -1,0 +1,66 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-2) implemented from scratch.
+ *
+ * The paper uses SHA-256 as the post-processing (whitening) step of
+ * QUAC-TRNG: each 512-bit-wide read that carries >= 256 bits of
+ * Shannon entropy is hashed down to a 256-bit random number.
+ */
+
+#ifndef QUAC_CRYPTO_SHA256_HH
+#define QUAC_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quac
+{
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    /** The 32-byte digest type. */
+    using Digest = std::array<uint8_t, 32>;
+
+    Sha256();
+
+    /** Reset to the initial state. */
+    void reset();
+
+    /** Absorb @p len bytes from @p data. */
+    void update(const uint8_t *data, size_t len);
+
+    /** Absorb a byte vector. */
+    void update(const std::vector<uint8_t> &data);
+
+    /** Absorb the bytes of a string. */
+    void update(const std::string &data);
+
+    /** Apply padding and produce the digest; the hasher then resets. */
+    Digest finish();
+
+    /** One-shot convenience hash. */
+    static Digest hash(const uint8_t *data, size_t len);
+
+    /** One-shot convenience hash of a byte vector. */
+    static Digest hash(const std::vector<uint8_t> &data);
+
+    /** Render a digest as lowercase hex. */
+    static std::string hex(const Digest &digest);
+
+  private:
+    void processBlock(const uint8_t *block);
+
+    std::array<uint32_t, 8> state_;
+    std::array<uint8_t, 64> buffer_;
+    uint64_t totalBytes_;
+    size_t bufferLen_;
+};
+
+} // namespace quac
+
+#endif // QUAC_CRYPTO_SHA256_HH

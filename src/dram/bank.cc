@@ -1,0 +1,490 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace quac::dram
+{
+
+namespace
+{
+
+/** FNV-1a 64-bit accumulation over an arbitrary value's bytes. */
+template <typename T>
+uint64_t
+fnvMix(uint64_t hash, const T &value)
+{
+    const auto *bytes = reinterpret_cast<const unsigned char *>(&value);
+    for (size_t i = 0; i < sizeof(T); ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+uint64_t
+fnvMixWords(uint64_t hash, const std::vector<uint64_t> &words)
+{
+    for (uint64_t w : words)
+        hash = fnvMix(hash, w);
+    return hash;
+}
+
+constexpr uint64_t fnvBasis = 0xcbf29ce484222325ULL;
+
+} // anonymous namespace
+
+Bank::Bank(const BankContext *ctx, uint32_t bank_id, uint64_t noise_seed)
+    : ctx_(ctx), bankId_(bank_id), noise_(noise_seed)
+{
+    QUAC_ASSERT(ctx && ctx->geom && ctx->cal && ctx->variation,
+                "bank context incomplete");
+    sa_.assign(ctx_->geom->wordsPerRow(), 0);
+}
+
+std::vector<uint64_t> &
+Bank::rowStorage(uint32_t row)
+{
+    auto it = rows_.find(row);
+    if (it == rows_.end()) {
+        it = rows_.emplace(row,
+                           std::vector<uint64_t>(ctx_->geom->wordsPerRow(),
+                                                 0)).first;
+    }
+    return it->second;
+}
+
+bool
+Bank::cellValue(uint32_t row, uint32_t bitline) const
+{
+    auto it = rows_.find(row);
+    if (it == rows_.end())
+        return false;
+    return (it->second[bitline / 64] >> (bitline % 64)) & 1;
+}
+
+void
+Bank::latchFromRow(uint32_t row)
+{
+    if (row & 1)
+        latches_.a0 = true;
+    else
+        latches_.a0b = true;
+    if (row & 2)
+        latches_.a1 = true;
+    else
+        latches_.a1b = true;
+}
+
+std::vector<uint32_t>
+Bank::rowsSelectedByLatches() const
+{
+    // Product terms of the hypothetical decoder (paper Fig 4):
+    // S0 = A0b.A1b, S1 = A0.A1b, S2 = A0b.A1, S3 = A0.A1.
+    std::vector<uint32_t> rows;
+    uint32_t base = latches_.mwl << 2;
+    if (latches_.a0b && latches_.a1b)
+        rows.push_back(base + 0);
+    if (latches_.a0 && latches_.a1b)
+        rows.push_back(base + 1);
+    if (latches_.a0b && latches_.a1)
+        rows.push_back(base + 2);
+    if (latches_.a0 && latches_.a1)
+        rows.push_back(base + 3);
+    return rows;
+}
+
+void
+Bank::activate(uint32_t row, double t)
+{
+    const Calibration &cal = *ctx_->cal;
+    if (row >= ctx_->geom->rowsPerBank)
+        fatal("ACT row %u out of range", row);
+    if (phase_ == Phase::Opening || phase_ == Phase::Open)
+        fatal("ACT on bank %u while a row is open (missing PRE)", bankId_);
+
+    double gap = t - preTime_;
+    bool latches_survive = latches_.valid && preRasViolated_ &&
+                           phase_ == Phase::Precharging &&
+                           gap < cal.tPreReset;
+    double resid_amp = 0.0;
+    if (phase_ == Phase::Precharging)
+        resid_amp = preResidAmpMv_ * std::exp(-gap / cal.tauEqNs);
+    bool same_mwl = latches_survive && (row >> 2) == latches_.mwl;
+
+    pending_ = PendingSense{};
+    pending_.active = true;
+    pending_.actTime = t;
+
+    if (same_mwl) {
+        // The surviving LWL select latches OR in the new row's
+        // address bits; every row whose product term is now true
+        // opens simultaneously (QUAC when the 2 LSBs are inverted).
+        latchFromRow(row);
+        openRows_ = rowsSelectedByLatches();
+
+        double t1 = preTime_ - firstActTime_;
+        QuacWeights weights = quacWeights(cal, firstActRow_ & 3, t1, gap);
+        for (uint32_t open_row : openRows_) {
+            pending_.contribs.push_back(
+                {open_row, weights.w[open_row & 3] * cal.vShareMv});
+        }
+        // The first row's partial deviation is folded into its QUAC
+        // weight; the precharge residual must not be double counted.
+    } else {
+        // Fresh decode: any previously open rows are now closed and
+        // the latches take the new row's address.
+        openRows_.clear();
+        latches_ = Latches{};
+        latches_.mwl = row >> 2;
+        latches_.valid = true;
+        latchFromRow(row);
+        openRows_ = {row};
+        firstActRow_ = row;
+        firstActTime_ = t;
+
+        if (resid_amp > cal.residThresholdMv && !preResidBits_.empty()) {
+            // The row buffer was not fully drained: the new row's
+            // cells race the residual (RowClone copy when the
+            // residual dominates, tRP-failure flips when comparable).
+            pending_.contribs.push_back({row, cal.singleRowKickMv});
+            pending_.residAmpMv = resid_amp;
+            pending_.residBits = preResidBits_;
+        } else {
+            pending_.contribs.push_back({row, cal.singleRowShareMv});
+        }
+    }
+
+    saLatched_ = false;
+    phase_ = Phase::Opening;
+    lastActTime_ = t;
+}
+
+void
+Bank::precharge(double t)
+{
+    const Calibration &cal = *ctx_->cal;
+    if (phase_ == Phase::Idle || phase_ == Phase::Precharging)
+        return;
+
+    double elapsed = t - lastActTime_;
+    preRasViolated_ = elapsed < cal.tRasViolation;
+
+    if (pending_.active) {
+        if (elapsed >= cal.tSenseLatch) {
+            resolveSense(t);
+        } else {
+            // Sensing aborted (QUAC's first ACT): the first row's
+            // partially shared deviation stays on the bitlines.
+            pending_.active = false;
+            double share = 1.0 - std::exp(-std::max(elapsed, 0.0) / 2.0);
+            preResidAmpMv_ = cal.singleRowKickMv * share;
+            preResidBits_ = peekRow(firstActRow_);
+            saLatched_ = false;
+        }
+    }
+
+    if (saLatched_) {
+        // Restore all open rows, then snapshot the full-rail row
+        // buffer as the residual a violated follow-up ACT would see.
+        writeBackToOpenRows();
+        preResidAmpMv_ = cal.railMv;
+        preResidBits_ = sa_;
+    }
+
+    preTime_ = t;
+    phase_ = Phase::Precharging;
+    saLatched_ = false;
+}
+
+std::vector<uint64_t>
+Bank::read(uint32_t column, double t)
+{
+    const Geometry &geom = *ctx_->geom;
+    if (column >= geom.cacheBlocksPerRow())
+        fatal("RD column %u out of range", column);
+    if (phase_ != Phase::Opening && phase_ != Phase::Open)
+        fatal("RD on bank %u with no open row", bankId_);
+
+    if (pending_.active)
+        resolveSense(t);
+
+    size_t words = geom.cacheBlockBits / 64;
+    size_t start = static_cast<size_t>(column) * words;
+    return std::vector<uint64_t>(sa_.begin() + start,
+                                 sa_.begin() + start + words);
+}
+
+void
+Bank::write(uint32_t column, const std::vector<uint64_t> &data, double t)
+{
+    const Geometry &geom = *ctx_->geom;
+    if (column >= geom.cacheBlocksPerRow())
+        fatal("WR column %u out of range", column);
+    if (phase_ != Phase::Opening && phase_ != Phase::Open)
+        fatal("WR on bank %u with no open row", bankId_);
+    size_t words = geom.cacheBlockBits / 64;
+    if (data.size() != words)
+        fatal("WR data size %zu != %zu words", data.size(), words);
+
+    if (pending_.active)
+        resolveSense(t);
+
+    size_t start = static_cast<size_t>(column) * words;
+    std::copy(data.begin(), data.end(), sa_.begin() + start);
+
+    // Write through to all open rows so cell state stays coherent.
+    for (uint32_t row : openRows_) {
+        auto &storage = rowStorage(row);
+        std::copy(data.begin(), data.end(), storage.begin() + start);
+    }
+}
+
+void
+Bank::resolveSense(double t)
+{
+    const Calibration &cal = *ctx_->cal;
+    const Geometry &geom = *ctx_->geom;
+    QUAC_ASSERT(pending_.active, "resolveSense without pending sensing");
+
+    double develop = developFraction(cal, t - pending_.actTime);
+
+    bool normal_single =
+        pending_.contribs.size() == 1 &&
+        pending_.residAmpMv <= cal.residThresholdMv &&
+        pending_.contribs[0].scaleMv >= cal.singleRowShareMv * 0.999 &&
+        develop >= 1.0;
+
+    if (normal_single) {
+        // Obeyed-timing activation: guardbanded sensing never fails.
+        sa_ = peekRow(pending_.contribs[0].row);
+    } else {
+        uint64_t key = probCacheKey(pending_.contribs,
+                                    pending_.residBits.empty()
+                                        ? nullptr : &pending_.residBits,
+                                    pending_.residAmpMv, develop);
+        auto it = probCache_.find(key);
+        if (it == probCache_.end()) {
+            if (probCache_.size() > 64)
+                probCache_.clear();
+            std::vector<float> fresh;
+            computeProbabilities(pending_.contribs,
+                                 pending_.residBits.empty()
+                                     ? nullptr : &pending_.residBits,
+                                 pending_.residAmpMv, develop, fresh);
+            it = probCache_.emplace(key, std::move(fresh)).first;
+        }
+        const std::vector<float> &probs = it->second;
+
+        sa_.assign(geom.wordsPerRow(), 0);
+        for (uint32_t b = 0; b < geom.bitlinesPerRow; ++b) {
+            float p = probs[b];
+            bool bit;
+            if (p >= 1.0f - 1e-9f)
+                bit = true;
+            else if (p <= 1e-9f)
+                bit = false;
+            else
+                bit = noise_.uniform() < p;
+            if (bit)
+                sa_[b / 64] |= (uint64_t{1} << (b % 64));
+        }
+    }
+
+    saLatched_ = true;
+    pending_.active = false;
+    phase_ = Phase::Open;
+    writeBackToOpenRows();
+}
+
+void
+Bank::writeBackToOpenRows()
+{
+    for (uint32_t row : openRows_)
+        rowStorage(row) = sa_;
+}
+
+void
+Bank::computeProbabilities(const std::vector<Contribution> &contribs,
+                           const std::vector<uint64_t> *resid_bits,
+                           double resid_amp_mv, double develop,
+                           std::vector<float> &probs) const
+{
+    const Geometry &geom = *ctx_->geom;
+    const Calibration &cal = *ctx_->cal;
+    const VariationModel &var = *ctx_->variation;
+    QUAC_ASSERT(!contribs.empty(), "sensing with no contributions");
+
+    uint32_t nbits = geom.bitlinesPerRow;
+    probs.resize(nbits);
+
+    double sigma = var.noiseSigmaMv(ctx_->temperatureC) +
+                   cal.raceNoiseMv * (1.0 - develop);
+
+    // Segment-level systematics are defined by the first contributor.
+    uint32_t row0 = contribs[0].row;
+    uint32_t segment = geom.segmentOfRow(row0);
+    double seg_mean = var.segmentMeanMv(bankId_, segment);
+    double spatial = var.spatialScale(bankId_, segment);
+    double aging = var.agingScale(bankId_, segment, ctx_->ageDays);
+
+    std::vector<double> chip_factor(geom.chipsPerRank);
+    for (uint32_t chip = 0; chip < geom.chipsPerRank; ++chip)
+        chip_factor[chip] = var.temperatureFactor(chip,
+                                                  ctx_->temperatureC);
+
+    uint32_t cb_bits = geom.cacheBlockBits;
+    double col_shape = 0.0;
+    for (uint32_t b = 0; b < nbits; ++b) {
+        if (b % cb_bits == 0)
+            col_shape = var.columnShape(b / cb_bits);
+
+        double dev = 0.0;
+        for (const Contribution &contrib : contribs) {
+            double sign = cellValue(contrib.row, b) ? 1.0 : -1.0;
+            dev += contrib.scaleMv * sign *
+                   var.cellCapFactor(bankId_, contrib.row, b);
+        }
+        dev *= develop;
+        if (resid_bits) {
+            bool rbit = ((*resid_bits)[b / 64] >> (b % 64)) & 1;
+            dev += resid_amp_mv * (rbit ? 1.0 : -1.0);
+        }
+
+        double offset = (var.saOffsetMv(bankId_, row0, b) + seg_mean) /
+                        (spatial * col_shape * aging) *
+                        chip_factor[geom.chipOfBitline(b)];
+        probs[b] = static_cast<float>(probabilityOne(dev, offset, sigma));
+    }
+}
+
+uint64_t
+Bank::probCacheKey(const std::vector<Contribution> &contribs,
+                   const std::vector<uint64_t> *resid_bits,
+                   double resid_amp_mv, double develop) const
+{
+    uint64_t hash = fnvBasis;
+    hash = fnvMix(hash, ctx_->temperatureC);
+    hash = fnvMix(hash, ctx_->ageDays);
+    hash = fnvMix(hash, develop);
+    hash = fnvMix(hash, resid_amp_mv);
+    for (const Contribution &contrib : contribs) {
+        hash = fnvMix(hash, contrib.row);
+        hash = fnvMix(hash, contrib.scaleMv);
+        auto it = rows_.find(contrib.row);
+        if (it != rows_.end()) {
+            hash = fnvMix(hash, uint8_t{1});
+            hash = fnvMixWords(hash, it->second);
+        } else {
+            hash = fnvMix(hash, uint8_t{0});
+        }
+    }
+    if (resid_bits) {
+        hash = fnvMix(hash, uint8_t{2});
+        hash = fnvMixWords(hash, *resid_bits);
+    }
+    return hash;
+}
+
+bool
+Bank::peekCell(uint32_t row, uint32_t bitline) const
+{
+    QUAC_ASSERT(row < ctx_->geom->rowsPerBank &&
+                bitline < ctx_->geom->bitlinesPerRow,
+                "peek out of range");
+    return cellValue(row, bitline);
+}
+
+void
+Bank::pokeCell(uint32_t row, uint32_t bitline, bool value)
+{
+    QUAC_ASSERT(row < ctx_->geom->rowsPerBank &&
+                bitline < ctx_->geom->bitlinesPerRow,
+                "poke out of range");
+    auto &storage = rowStorage(row);
+    uint64_t mask = uint64_t{1} << (bitline % 64);
+    if (value)
+        storage[bitline / 64] |= mask;
+    else
+        storage[bitline / 64] &= ~mask;
+}
+
+void
+Bank::pokeRowFill(uint32_t row, bool value)
+{
+    QUAC_ASSERT(row < ctx_->geom->rowsPerBank, "poke row out of range");
+    rowStorage(row).assign(ctx_->geom->wordsPerRow(),
+                           value ? ~uint64_t{0} : uint64_t{0});
+}
+
+void
+Bank::pokeSegmentPattern(uint32_t segment, uint8_t pattern)
+{
+    QUAC_ASSERT(segment < ctx_->geom->segmentsPerBank(),
+                "segment out of range");
+    uint32_t base = ctx_->geom->firstRowOfSegment(segment);
+    for (uint32_t i = 0; i < Geometry::rowsPerSegment; ++i)
+        pokeRowFill(base + i, (pattern >> i) & 1);
+}
+
+std::vector<uint64_t>
+Bank::peekRow(uint32_t row) const
+{
+    auto it = rows_.find(row);
+    if (it != rows_.end())
+        return it->second;
+    return std::vector<uint64_t>(ctx_->geom->wordsPerRow(), 0);
+}
+
+void
+Bank::dropRow(uint32_t row)
+{
+    rows_.erase(row);
+}
+
+std::vector<float>
+Bank::quacProbabilities(uint32_t segment, unsigned first_offset,
+                        double t1_ns, double t2_ns) const
+{
+    const Geometry &geom = *ctx_->geom;
+    const Calibration &cal = *ctx_->cal;
+    QUAC_ASSERT(segment < geom.segmentsPerBank(), "segment out of range");
+
+    QuacWeights weights = quacWeights(cal, first_offset, t1_ns, t2_ns);
+    std::vector<Contribution> contribs;
+    uint32_t base = geom.firstRowOfSegment(segment);
+    for (unsigned i = 0; i < Geometry::rowsPerSegment; ++i)
+        contribs.push_back({base + i, weights.w[i] * cal.vShareMv});
+
+    std::vector<float> probs;
+    computeProbabilities(contribs, nullptr, 0.0, 1.0, probs);
+    return probs;
+}
+
+std::vector<float>
+Bank::earlyReadProbabilities(uint32_t row, double elapsed_ns) const
+{
+    const Calibration &cal = *ctx_->cal;
+    std::vector<Contribution> contribs = {{row, cal.singleRowShareMv}};
+    std::vector<float> probs;
+    computeProbabilities(contribs, nullptr, 0.0,
+                         developFraction(cal, elapsed_ns), probs);
+    return probs;
+}
+
+std::vector<float>
+Bank::racedActivateProbabilities(uint32_t row,
+                                 const std::vector<uint64_t> &resid_bits,
+                                 double gap_ns) const
+{
+    const Calibration &cal = *ctx_->cal;
+    double amp = cal.railMv * std::exp(-gap_ns / cal.tauEqNs);
+    std::vector<Contribution> contribs = {{row, cal.singleRowKickMv}};
+    std::vector<float> probs;
+    computeProbabilities(contribs, &resid_bits, amp, 1.0, probs);
+    return probs;
+}
+
+} // namespace quac::dram

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * DRAM bank model: cell array, row buffer (sense amplifiers), and the
+ * hierarchical-wordline decoder latches that enable QUAC (paper
+ * Sections 4-5).
+ *
+ * The bank consumes timed ACT/PRE/RD/WR commands and classifies each
+ * transition by the *actual intervals* between commands, yielding the
+ * behaviour classes characterized on real chips:
+ *
+ *  - obeyed timings: normal deterministic operation;
+ *  - ACT -> PRE -> ACT, both gaps violated, second ACT in the same
+ *    segment with inverted 2-LSB row address: QUAC (all four rows
+ *    open; metastable sensing);
+ *  - ACT(full sense) -> PRE -> ACT with a very short gap, different
+ *    segment: RowClone in-DRAM copy (SA residual wins the race);
+ *  - same with a moderate gap: tRP-failure bit flips (Talukder+);
+ *  - RD before the bitline has developed: tRCD-failure sampling
+ *    (D-RaNGe).
+ */
+
+#ifndef QUAC_DRAM_BANK_HH
+#define QUAC_DRAM_BANK_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "dram/calibration.hh"
+#include "dram/geometry.hh"
+#include "dram/sensing.hh"
+#include "dram/variation.hh"
+
+namespace quac::dram
+{
+
+/** Module-level context shared by all banks. */
+struct BankContext
+{
+    const Geometry *geom = nullptr;
+    const Calibration *cal = nullptr;
+    const VariationModel *variation = nullptr;
+    double temperatureC = 50.0;
+    double ageDays = 0.0;
+};
+
+/** One DRAM bank: sparse cell array plus row-buffer state machine. */
+class Bank
+{
+  public:
+    /**
+     * @param ctx shared module context (must outlive the bank).
+     * @param bank_id index of this bank within the module.
+     * @param noise_seed seed of this bank's thermal-noise stream.
+     */
+    Bank(const BankContext *ctx, uint32_t bank_id, uint64_t noise_seed);
+
+    /** @name Timed command interface (times in ns, non-decreasing) */
+    /**@{*/
+    /** Activate @p row at time @p t. */
+    void activate(uint32_t row, double t);
+
+    /** Precharge the bank at time @p t. */
+    void precharge(double t);
+
+    /**
+     * Read the 512-bit cache block at @p column from the row buffer.
+     * Reading before the bitlines have fully developed samples
+     * metastable values (tRCD-failure behaviour).
+     */
+    std::vector<uint64_t> read(uint32_t column, double t);
+
+    /** Write a 512-bit cache block into the row buffer. */
+    void write(uint32_t column, const std::vector<uint64_t> &data,
+               double t);
+    /**@}*/
+
+    /** Rows whose wordlines are currently (or still) enabled. */
+    const std::vector<uint32_t> &openRows() const { return openRows_; }
+
+    /** True once the sense amplifiers have latched values. */
+    bool saLatched() const { return saLatched_; }
+
+    /** @name Backdoor accessors for tests and initialization */
+    /**@{*/
+    /** Read a cell directly from the array (not the row buffer). */
+    bool peekCell(uint32_t row, uint32_t bitline) const;
+
+    /** Write a cell directly into the array. */
+    void pokeCell(uint32_t row, uint32_t bitline, bool value);
+
+    /** Fill an entire row with @p value. */
+    void pokeRowFill(uint32_t row, bool value);
+
+    /**
+     * Initialize the four rows of @p segment with a 4-bit pattern;
+     * bit i of @p pattern (LSB = row offset 0) fills row i.
+     */
+    void pokeSegmentPattern(uint32_t segment, uint8_t pattern);
+
+    /** Copy of a row's cell contents (bit-packed words). */
+    std::vector<uint64_t> peekRow(uint32_t row) const;
+
+    /** Release a row's backing storage (reads as all zeros again). */
+    void dropRow(uint32_t row);
+    /**@}*/
+
+    /** @name Analytic probability queries (do not disturb state) */
+    /**@{*/
+    /**
+     * Per-bitline probability of reading 1 after a QUAC operation on
+     * @p segment with the current cell contents.
+     *
+     * @param segment segment index within the bank.
+     * @param first_offset row offset (0..3) targeted by the first ACT.
+     * @param t1_ns ACT -> PRE gap.
+     * @param t2_ns PRE -> ACT gap.
+     */
+    std::vector<float> quacProbabilities(uint32_t segment,
+                                         unsigned first_offset = 0,
+                                         double t1_ns = 2.5,
+                                         double t2_ns = 2.5) const;
+
+    /**
+     * Per-bitline probability of reading 1 when @p row is read
+     * @p elapsed_ns after its ACT (tRCD-failure behaviour).
+     */
+    std::vector<float> earlyReadProbabilities(uint32_t row,
+                                              double elapsed_ns) const;
+
+    /**
+     * Per-bitline probability of reading 1 when @p row is activated
+     * @p gap_ns after a precharge that interrupted a latched row
+     * buffer holding @p resid_bits (tRP-failure / RowClone regimes).
+     */
+    std::vector<float>
+    racedActivateProbabilities(uint32_t row,
+                               const std::vector<uint64_t> &resid_bits,
+                               double gap_ns) const;
+    /**@}*/
+
+  private:
+    /** Row-buffer lifecycle. */
+    enum class Phase : uint8_t
+    {
+        Idle,         ///< Fully precharged.
+        Opening,      ///< ACT seen, sensing not yet resolved.
+        Open,         ///< Sense amps latched.
+        Precharging,  ///< PRE seen, settling toward VDD/2.
+    };
+
+    /** LWL select latches of the hypothetical decoder (Fig 4). */
+    struct Latches
+    {
+        bool a0 = false;
+        bool a0b = false;
+        bool a1 = false;
+        bool a1b = false;
+        uint32_t mwl = 0;
+        bool valid = false;
+    };
+
+    /** One row's additive contribution to the bitline deviation. */
+    struct Contribution
+    {
+        uint32_t row;
+        double scaleMv; ///< mV of deviation per unit cell value.
+    };
+
+    /** Deferred sensing event, resolved lazily at first access. */
+    struct PendingSense
+    {
+        bool active = false;
+        double actTime = 0.0;
+        std::vector<Contribution> contribs;
+        double residAmpMv = 0.0;
+        std::vector<uint64_t> residBits; ///< Empty when no residual.
+    };
+
+    std::vector<uint64_t> &rowStorage(uint32_t row);
+    bool cellValue(uint32_t row, uint32_t bitline) const;
+    void latchFromRow(uint32_t row);
+    std::vector<uint32_t> rowsSelectedByLatches() const;
+
+    /** Resolve pending sensing at time @p t (develop-dependent). */
+    void resolveSense(double t);
+
+    /** Write the latched SA values back into all open rows. */
+    void writeBackToOpenRows();
+
+    /**
+     * Compute per-bitline P(1) for a sensing setup. Shared by the
+     * empirical resolution path and the analytic queries.
+     */
+    void computeProbabilities(const std::vector<Contribution> &contribs,
+                              const std::vector<uint64_t> *resid_bits,
+                              double resid_amp_mv, double develop,
+                              std::vector<float> &probs) const;
+
+    /** Hash of everything computeProbabilities depends on. */
+    uint64_t probCacheKey(const std::vector<Contribution> &contribs,
+                          const std::vector<uint64_t> *resid_bits,
+                          double resid_amp_mv, double develop) const;
+
+    const BankContext *ctx_;
+    uint32_t bankId_;
+    Xoshiro256pp noise_;
+
+    Phase phase_ = Phase::Idle;
+    Latches latches_;
+    std::vector<uint32_t> openRows_;
+    std::vector<uint64_t> sa_;
+    bool saLatched_ = false;
+    PendingSense pending_;
+
+    double lastActTime_ = -1e18;
+    double firstActTime_ = -1e18; ///< ACT that started this episode.
+    uint32_t firstActRow_ = 0;
+    double preTime_ = -1e18;
+    bool preRasViolated_ = false;
+    /** Residual snapshot taken at PRE: amplitude and sign source. */
+    double preResidAmpMv_ = 0.0;
+    std::vector<uint64_t> preResidBits_;
+
+    std::unordered_map<uint32_t, std::vector<uint64_t>> rows_;
+
+    /**
+     * Memoized probability vectors keyed by the sensing-setup hash;
+     * the TRNG loop replays the same few setups (four RowClone init
+     * copies plus the QUAC itself) every iteration.
+     */
+    mutable std::unordered_map<uint64_t, std::vector<float>> probCache_;
+};
+
+} // namespace quac::dram
+
+#endif // QUAC_DRAM_BANK_HH

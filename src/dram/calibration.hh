@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Analog-behaviour calibration constants for the DRAM device model.
+ *
+ * The paper characterizes real SK Hynix DDR4 chips; we reproduce the
+ * reported behaviour with a phenomenological analog model whose
+ * constants are calibrated against the paper's measurements:
+ *
+ *  - Charge-sharing weights: the row activated first (R0) dominates
+ *    because the sense amplifier partially amplifies its deviation
+ *    during the ACT->PRE->ACT window (paper Section 6.1.3: entropy is
+ *    highest when R0 holds the inverse of the other three rows, i.e.
+ *    patterns "0111"/"1000" balance). Rows R1..R3 are staggered by
+ *    local-wordline driver enable order. The default weights place the
+ *    sixteen init patterns in exactly the order Figure 8 reports, with
+ *    the eight R0==R1 patterns below the "insufficient entropy" line.
+ *
+ *  - Sensing statistics: per-bitline SA offsets ~ N(0, saOffsetSigmaMv)
+ *    plus a per-segment systematic mean (segmentMeanSigmaMv); thermal
+ *    noise sigma scales with sqrt(T). The combined offset spread
+ *    sigma_tot = sqrt(4.35^2 + 3.2^2) = 5.4 mV and noise 0.12 mV give
+ *    a per-bitline expected entropy of ~1.36*sigma_n/sigma_tot = 0.022
+ *    bit for a balanced pattern, i.e. ~11 bits per 512-bit cache block
+ *    (Fig 8's 11.07) and ~1.4 kbit per 64 Kbit segment (Table 3's
+ *    1.1-1.9 kbit band).
+ *
+ *  - Pattern separation: vShareMv scales the net pattern imbalance
+ *    |delta| into mV. |delta| = 0.90 (patterns "0100"/"1011") yields a
+ *    2.9 sigma_tot mean shift, reproducing their ~60x lower average
+ *    entropy (Fig 8: 0.17 vs 11.07 bits) while the per-segment mean
+ *    lets rare segments cancel the shift ("0100"'s 53-bit outlier).
+ *
+ *  - Timing thresholds: behaviour-class boundaries for violated
+ *    timings (QUAC, RowClone copy, tRP-failure, tRCD-failure),
+ *    following Algorithm 1 and Section 7.4 of the paper.
+ */
+
+#ifndef QUAC_DRAM_CALIBRATION_HH
+#define QUAC_DRAM_CALIBRATION_HH
+
+namespace quac::dram
+{
+
+/** Tunable analog/behavioural constants of the device model. */
+struct Calibration
+{
+    // --- Charge sharing / QUAC -------------------------------------
+    /**
+     * Bitline deviation (mV) produced by one unit of net pattern
+     * imbalance after QUAC charge sharing (four cells loading the
+     * bitline).
+     */
+    double vShareMv = 17.0;
+
+    /**
+     * Effective weight of the first-activated row relative to the
+     * staggered weights of the other three (which sum to 1.0), i.e.
+     * patterns "0111"/"1000" produce zero mean deviation.
+     */
+    double firstRowWeight = 1.0;
+
+    /** Staggered weights of the three follower rows (LWL order). */
+    double rowWeight1 = 0.55;
+    double rowWeight2 = 0.28;
+    double rowWeight3 = 0.17;
+
+    /**
+     * Full single-cell differential (mV) at complete development
+     * (one cell loading the bitline; ~2.5x the four-cell share).
+     */
+    double singleRowShareMv = 120.0;
+
+    /**
+     * Single-cell differential (mV) developed by the time the sense
+     * amplifier regeneration kicks in; the scale a violated-precharge
+     * residual races against (Talukder+/RowClone regimes).
+     */
+    double singleRowKickMv = 20.0;
+
+    // --- Sensing statistics -----------------------------------------
+    /** Per-bitline SA offset standard deviation (mV). */
+    double saOffsetSigmaMv = 4.35;
+
+    /** Per-segment systematic offset standard deviation (mV). */
+    double segmentMeanSigmaMv = 3.2;
+
+    /**
+     * A small fraction of segments carry a much larger systematic
+     * offset (design-induced variation); these are the segments that
+     * "favor" unbalanced data patterns (Fig 8's 53-bit "0100"
+     * outlier).
+     */
+    double segmentMeanHeavyProb = 0.01;
+    double segmentMeanHeavySigmaMv = 12.0;
+
+    /** Per-cell capacitance variation (fraction of nominal). */
+    double cellCapSigma = 0.07;
+
+    /** Thermal noise sigma (mV) at the 50 degC reference point. */
+    double noiseSigmaMvAt50C = 0.12;
+
+    /**
+     * Extra sampling noise (mV) while the bitline is still
+     * developing: the column-access path races the sense amplifier,
+     * making tRCD-violated reads (D-RaNGe's substrate) noisy.
+     * Scales with (1 - developFraction).
+     */
+    double raceNoiseMv = 0.8;
+
+    // --- Timing behaviour thresholds (ns) ----------------------------
+    /**
+     * Interval after ACT before the sense amplifiers have latched;
+     * a PRE earlier than this aborts sensing (QUAC first ACT).
+     */
+    double tSenseLatch = 9.0;
+
+    /**
+     * ACT -> PRE interval below which tRAS is considered violated, so
+     * the PRE fails to reset the LWL select latches (paper Fig 4).
+     */
+    double tRasViolation = 28.0;
+
+    /**
+     * PRE -> ACT interval below which the LWL select latches (not yet
+     * reset because tRAS was violated) are still holding when the
+     * second ACT arrives, enabling QUAC.
+     */
+    double tPreReset = 9.0;
+
+    /** Bitline equalization time constant during PRE (ns). */
+    double tauEqNs = 1.8;
+
+    /** Full-rail SA drive level (mV) for residual computations. */
+    double railMv = 600.0;
+
+    /** Residual amplitude (mV) above which sensing is a race. */
+    double residThresholdMv = 1.0;
+
+    /** Dead time (ns) after ACT before the bitline starts developing. */
+    double tSenseDead = 5.5;
+
+    /** Time (ns) for a bitline to fully develop during sensing. */
+    double tFullDevelop = 11.0;
+
+    // --- Spatial variation (Fig 9 / Fig 10 shapes) --------------------
+    /** Amplitude of the long-wavelength segment entropy wave. */
+    double spatialWave1Amp = 0.18;
+    /** Wavelength (as fraction of a bank's segments) of wave 1. */
+    double spatialWave1Frac = 0.085;
+    /** Amplitude of the short-wavelength wave. */
+    double spatialWave2Amp = 0.10;
+    /** Wavelength fraction of wave 2. */
+    double spatialWave2Frac = 0.018;
+    /** Per-segment iid jitter sigma. */
+    double spatialJitterSigma = 0.05;
+    /** Start of the end-of-bank rise (fraction of bank). */
+    double endRiseStart = 0.90;
+    /** Peak boost of the end-of-bank rise. */
+    double endRiseBoost = 0.35;
+    /** Start of the terminal drop (fraction of bank). */
+    double endDropStart = 0.985;
+    /** Terminal drop floor (multiplier at the last segment). */
+    double endDropFloor = 0.55;
+    /** Probability that a segment contains remapped (repaired) rows. */
+    double rowRepairProb = 0.004;
+
+    // --- Temperature (Fig 14) -----------------------------------------
+    /** Fraction of chips whose entropy rises with temperature. */
+    double trend1Fraction = 0.60;
+    /** Mean/sigma of the trend-1 (rising) offset-shrink coefficient. */
+    double trend1KappaMean = 0.16;
+    double trend1KappaSigma = 0.05;
+    /** Mean/sigma of the trend-2 (falling) coefficient (negative). */
+    double trend2KappaMean = -0.85;
+    double trend2KappaSigma = 0.20;
+
+    // --- Baseline substrates (Section 7.4) ------------------------------
+    /**
+     * ACT -> RD interval (ns) used by the D-RaNGe driver; develops
+     * only ~6% of the differential so weak cells sample the race
+     * noise (calibrated to ~46.6 bits of max cache-block entropy and
+     * ~4 strongly-random cells per best block).
+     */
+    double drangeReadNs = 5.84;
+
+    /**
+     * PRE -> ACT interval (ns) used by the Talukder+ tRP-failure
+     * driver; the SA residual (~14 mV) then sits one offset-sigma
+     * below the single-cell kick differential, so weak cells flip
+     * or go metastable (calibrated to ~1 kbit of row entropy,
+     * matching the paper's Talukder+-Enhanced characterization).
+     */
+    double talukderPreNs = 7.0;
+
+    /** PRE -> ACT interval (ns) used for RowClone in-DRAM copy. */
+    double rowCloneGapNs = 2.5;
+
+    /** ACT -> PRE interval (ns) for RowClone (source fully sensed). */
+    double rowCloneSrcOpenNs = 10.0;
+
+    /** ACT -> PRE / PRE -> ACT interval (ns) for QUAC (Algorithm 1). */
+    double quacGapNs = 2.5;
+};
+
+} // namespace quac::dram
+
+#endif // QUAC_DRAM_CALIBRATION_HH

@@ -1,0 +1,99 @@
+#include "dram/catalog.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace quac::dram
+{
+
+const std::vector<CatalogEntry> &
+paperCatalog()
+{
+    // Appendix A, Table 3. Entropy columns are for data pattern
+    // "0111" at 50 degC; the 30-day column is only reported for five
+    // modules.
+    static const std::vector<CatalogEntry> catalog = {
+        {"M1", "Unknown", "H5AN4G8NAFR-TFC", 2133, 4,
+         1688.1, 2247.4, 0.0},
+        {"M2", "Unknown", "Unknown", 2133, 4, 1180.4, 1406.1, 0.0},
+        {"M3", "Unknown", "H5AN4G8NAFR-TFC", 2133, 4,
+         1205.0, 1858.3, 1192.9},
+        {"M4", "76TT21NUS1R8-4G", "H5AN4G8NAFR-TFC", 2133, 4,
+         1608.1, 2406.5, 1588.0},
+        {"M5", "Unknown", "T4D5128HT-21", 2133, 4, 1618.2, 2121.6, 0.0},
+        {"M6", "TLRD44G2666HC18F-SBK", "H5AN4G8NMFR-VKC", 2666, 4,
+         1211.5, 1444.6, 0.0},
+        {"M7", "TLRD44G2666HC18F-SBK", "H5AN4G8NMFR-VKC", 2666, 4,
+         1177.7, 1404.4, 0.0},
+        {"M8", "TLRD44G2666HC18F-SBK", "H5AN4G8NMFR-VKC", 2666, 4,
+         1332.9, 1600.9, 1407.0},
+        {"M9", "TLRD44G2666HC18F-SBK", "H5AN4G8NMFR-VKC", 2666, 4,
+         1137.1, 1370.9, 0.0},
+        {"M10", "TLRD44G2666HC18F-SBK", "H5AN4G8NMFR-VKC", 2666, 4,
+         1208.5, 1473.2, 1251.8},
+        {"M11", "TLRD44G2666HC18F-SBK", "H5AN4G8NMFR-VKC", 2666, 4,
+         1176.0, 1382.9, 1165.1},
+        {"M12", "TLRD44G2666HC18F-SBK", "H5AN4G8NMFR-VKC", 2666, 4,
+         1485.0, 1740.6, 0.0},
+        {"M13", "KSM32RD8/16HDR", "H5AN4G8NAFA-UHC", 2400, 4,
+         1853.5, 2849.6, 0.0},
+        {"M14", "F4-2400C17S-8GNT", "H5AN4G8NMFR-UHC", 2400, 8,
+         1369.3, 1942.2, 0.0},
+        {"M15", "F4-2400C17S-8GNT", "H5AN4G8NMFR-UHC", 3200, 8,
+         1545.8, 2147.2, 0.0},
+        {"M16", "KSM32RD8/16HDR", "H5AN8G8NDJR-XNC", 3200, 16,
+         1634.4, 1944.6, 0.0},
+        {"M17", "KSM32RD8/16HDR", "H5AN8G8NDJR-XNC", 3200, 16,
+         1664.7, 2016.6, 0.0},
+    };
+    return catalog;
+}
+
+ModuleSpec
+specFor(const CatalogEntry &entry, const Geometry &geometry,
+        uint64_t seed_salt)
+{
+    ModuleSpec spec;
+    spec.name = entry.name;
+    spec.moduleId = entry.moduleId;
+    spec.chipId = entry.chipId;
+    spec.transferRate = entry.transferRate;
+    spec.capacityGB = entry.capacityGB;
+    spec.geometry = geometry;
+
+    // A stable per-module seed derived from the module name.
+    uint64_t sm = 0x9e3779b97f4a7c15ULL ^ seed_salt;
+    for (char c : entry.name)
+        sm = sm * 131 + static_cast<unsigned char>(c);
+    spec.seed = splitmix64(sm);
+
+    spec.entropyScale = entry.avgSegmentEntropy / kNominalSegmentEntropy;
+    double excess = entry.maxSegmentEntropy / entry.avgSegmentEntropy - 1.0;
+    spec.waveScale = std::clamp((excess - kExcessBase) / kExcessSlope,
+                                0.10, 2.2);
+
+    if (entry.avgSegmentEntropy30d > 0.0) {
+        spec.agingDrift30d =
+            entry.avgSegmentEntropy30d / entry.avgSegmentEntropy - 1.0;
+    } else {
+        // Unreported modules drift by a small seeded amount consistent
+        // with the paper's 2.4% average / 5.2% max magnitude.
+        uint64_t sm2 = spec.seed ^ 0xA5A5A5A5A5A5A5A5ULL;
+        double u = splitmix64(sm2) * 0x1p-64;
+        spec.agingDrift30d = (u - 0.5) * 2.0 * 0.03;
+    }
+    return spec;
+}
+
+std::vector<ModuleSpec>
+paperModuleSpecs(const Geometry &geometry)
+{
+    std::vector<ModuleSpec> specs;
+    specs.reserve(paperCatalog().size());
+    for (const CatalogEntry &entry : paperCatalog())
+        specs.push_back(specFor(entry, geometry));
+    return specs;
+}
+
+} // namespace quac::dram

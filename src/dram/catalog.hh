@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Catalog of the 17 DDR4 modules characterized in the paper
+ * (Appendix A, Table 3), with per-module calibration targets.
+ */
+
+#ifndef QUAC_DRAM_CATALOG_HH
+#define QUAC_DRAM_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/module.hh"
+
+namespace quac::dram
+{
+
+/** One Table 3 row: identity plus measured entropy targets. */
+struct CatalogEntry
+{
+    std::string name;       ///< M1..M17.
+    std::string moduleId;   ///< Module part number ("Unknown" allowed).
+    std::string chipId;     ///< DRAM chip part number.
+    uint32_t transferRate;  ///< MT/s.
+    double capacityGB;      ///< Module capacity.
+    double avgSegmentEntropy; ///< Paper: average segment entropy (bits).
+    double maxSegmentEntropy; ///< Paper: maximum segment entropy (bits).
+    /** Paper: average entropy after 30 days (0 when not reported). */
+    double avgSegmentEntropy30d;
+};
+
+/**
+ * Average segment entropy (bits) produced by the device model with
+ * entropyScale = 1 at the default calibration (measured at paper
+ * scale over 512 sampled segments); catalog entries scale against
+ * this nominal value.
+ */
+constexpr double kNominalSegmentEntropy = 1410.0;
+
+/**
+ * Measured affine map from waveScale to the (max/avg - 1) segment
+ * entropy excess: excess ~= kExcessBase + kExcessSlope * waveScale.
+ * The base term comes from per-segment mean-offset luck and does not
+ * shrink with the wave amplitude.
+ */
+constexpr double kExcessBase = 0.325;
+constexpr double kExcessSlope = 0.44;
+
+/** All 17 Table 3 rows. */
+const std::vector<CatalogEntry> &paperCatalog();
+
+/**
+ * Build a ModuleSpec reproducing a catalog entry's entropy profile.
+ *
+ * @param entry catalog row.
+ * @param geometry module geometry (tests may pass a reduced one).
+ * @param seed_salt mixed into the per-module seed, letting callers
+ *        instantiate statistically independent copies.
+ */
+ModuleSpec specFor(const CatalogEntry &entry, const Geometry &geometry,
+                   uint64_t seed_salt = 0);
+
+/** Specs for all 17 modules at the given geometry. */
+std::vector<ModuleSpec> paperModuleSpecs(const Geometry &geometry);
+
+} // namespace quac::dram
+
+#endif // QUAC_DRAM_CATALOG_HH

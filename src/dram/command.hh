@@ -1,0 +1,49 @@
+/**
+ * @file
+ * DDR4 command representation for the device front-end.
+ */
+
+#ifndef QUAC_DRAM_COMMAND_HH
+#define QUAC_DRAM_COMMAND_HH
+
+#include <cstdint>
+#include <string>
+
+namespace quac::dram
+{
+
+/** DDR4 command opcodes modelled by the simulator. */
+enum class CommandType : uint8_t
+{
+    ACT,  ///< Activate a row.
+    PRE,  ///< Precharge one bank.
+    RD,   ///< Read a cache block from the row buffer.
+    WR,   ///< Write a cache block into the row buffer.
+};
+
+/** Human-readable opcode name. */
+inline const char *
+commandName(CommandType type)
+{
+    switch (type) {
+      case CommandType::ACT: return "ACT";
+      case CommandType::PRE: return "PRE";
+      case CommandType::RD:  return "RD";
+      case CommandType::WR:  return "WR";
+    }
+    return "?";
+}
+
+/** A single timed DDR4 command addressed to one bank. */
+struct Command
+{
+    CommandType type = CommandType::PRE;
+    uint32_t bank = 0;
+    uint32_t row = 0;       ///< Used by ACT.
+    uint32_t column = 0;    ///< Cache-block index, used by RD/WR.
+    double time = 0.0;      ///< Issue time in ns.
+};
+
+} // namespace quac::dram
+
+#endif // QUAC_DRAM_COMMAND_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * DRAM organization parameters (paper Section 2.1).
+ *
+ * A module is one rank of eight x8 chips. Rows striped across the
+ * chips form a 64 Kbit logical row at rank granularity (the paper's
+ * "DRAM row"); four consecutive rows sharing a master wordline form a
+ * *segment*; 512-bit groups of bitlines form *cache blocks*.
+ */
+
+#ifndef QUAC_DRAM_GEOMETRY_HH
+#define QUAC_DRAM_GEOMETRY_HH
+
+#include <cstdint>
+
+namespace quac::dram
+{
+
+/** Static geometry of a simulated DDR4 module (one rank). */
+struct Geometry
+{
+    /** Number of banks in the rank. */
+    uint32_t banks = 16;
+    /** Number of bank groups (DDR4 x8: 4). */
+    uint32_t bankGroups = 4;
+    /** Rows per bank. */
+    uint32_t rowsPerBank = 32768;
+    /** Bitlines (= columns of cells) per logical rank-level row. */
+    uint32_t bitlinesPerRow = 65536;
+    /** Rows per subarray (sense-amplifier stripe pitch). */
+    uint32_t rowsPerSubarray = 512;
+    /** Bits per cache block (64 B transfer granularity). */
+    uint32_t cacheBlockBits = 512;
+    /** x8 chips per rank. */
+    uint32_t chipsPerRank = 8;
+
+    /** Rows in a QUAC segment (fixed by the 2-LSB decoder design). */
+    static constexpr uint32_t rowsPerSegment = 4;
+
+    /** Number of segments per bank. */
+    uint32_t segmentsPerBank() const { return rowsPerBank / rowsPerSegment; }
+
+    /** Number of cache blocks per row. */
+    uint32_t cacheBlocksPerRow() const
+    {
+        return bitlinesPerRow / cacheBlockBits;
+    }
+
+    /** 64-bit words needed to hold one row's bits. */
+    uint32_t wordsPerRow() const { return (bitlinesPerRow + 63) / 64; }
+
+    /** Segment containing @p row. */
+    uint32_t segmentOfRow(uint32_t row) const { return row / rowsPerSegment; }
+
+    /** First row of @p segment. */
+    uint32_t firstRowOfSegment(uint32_t segment) const
+    {
+        return segment * rowsPerSegment;
+    }
+
+    /** Subarray containing @p row. */
+    uint32_t subarrayOfRow(uint32_t row) const { return row / rowsPerSubarray; }
+
+    /** Chip that drives @p bitline (byte-interleaved across chips). */
+    uint32_t chipOfBitline(uint32_t bitline) const
+    {
+        return (bitline / 8) % chipsPerRank;
+    }
+
+    /** Bank group of @p bank. */
+    uint32_t bankGroupOf(uint32_t bank) const { return bank % bankGroups; }
+
+    /**
+     * Full paper-scale geometry: 8 Gb-class chips, 8K segments per
+     * bank, 64K bitlines per rank row (footnote 7 of the paper).
+     */
+    static Geometry
+    paperScale()
+    {
+        return Geometry{};
+    }
+
+    /**
+     * Reduced geometry for unit tests: 64 segments per bank, 8 cache
+     * blocks per row. Preserves all structural relationships.
+     */
+    static Geometry
+    testScale()
+    {
+        Geometry g;
+        g.banks = 8;
+        g.bankGroups = 4;
+        g.rowsPerBank = 256;
+        g.bitlinesPerRow = 4096;
+        g.rowsPerSubarray = 64;
+        return g;
+    }
+};
+
+} // namespace quac::dram
+
+#endif // QUAC_DRAM_GEOMETRY_HH

@@ -1,0 +1,62 @@
+#include "dram/sensing.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace quac::dram
+{
+
+QuacWeights
+quacWeights(const Calibration &cal, unsigned first_offset,
+            double t1_ns, double t2_ns)
+{
+    QUAC_ASSERT(first_offset < 4, "first_offset=%u", first_offset);
+
+    // First-row weight: charge-share development, equalization decay,
+    // then partial SA amplification. Normalized so that the paper's
+    // 2.5 ns / 2.5 ns operating point yields firstRowWeight exactly.
+    auto raw = [&](double t1, double t2) {
+        double share = 1.0 - std::exp(-t1 / 1.2);
+        double decay = std::exp(-t2 / cal.tauEqNs);
+        double amp = std::exp((t1 + t2) / 5.17);
+        return share * decay * amp;
+    };
+    double w_first = cal.firstRowWeight * raw(t1_ns, t2_ns) / raw(2.5, 2.5);
+
+    // Staggered local-wordline weights for the other three rows, in
+    // ascending row-offset order.
+    std::array<double, 3> stagger = {cal.rowWeight1, cal.rowWeight2,
+                                     cal.rowWeight3};
+
+    QuacWeights weights{};
+    unsigned next = 0;
+    for (unsigned offset = 0; offset < 4; ++offset) {
+        if (offset == first_offset)
+            weights.w[offset] = w_first;
+        else
+            weights.w[offset] = stagger[next++];
+    }
+    return weights;
+}
+
+double
+developFraction(const Calibration &cal, double elapsed_ns)
+{
+    if (elapsed_ns <= cal.tSenseDead)
+        return 0.0;
+    double f = (elapsed_ns - cal.tSenseDead) /
+               (cal.tFullDevelop - cal.tSenseDead);
+    return std::min(f, 1.0);
+}
+
+double
+probabilityOne(double deviation_mv, double offset_mv, double noise_sigma_mv)
+{
+    QUAC_ASSERT(noise_sigma_mv > 0.0, "sigma=%f", noise_sigma_mv);
+    double z = (deviation_mv - offset_mv) / noise_sigma_mv;
+    // Phi(z) via erfc for numerical stability in both tails.
+    return 0.5 * std::erfc(-z / M_SQRT2);
+}
+
+} // namespace quac::dram

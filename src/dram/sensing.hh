@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Analog sensing math: charge-sharing deviations and the metastable
+ * sense-amplifier resolution probability (paper Sections 4-5).
+ */
+
+#ifndef QUAC_DRAM_SENSING_HH
+#define QUAC_DRAM_SENSING_HH
+
+#include <array>
+
+#include "dram/calibration.hh"
+
+namespace quac::dram
+{
+
+/**
+ * Effective charge-sharing weights of the four rows in a segment
+ * during a QUAC operation, indexed by row offset within the segment.
+ */
+struct QuacWeights
+{
+    std::array<double, 4> w;
+};
+
+/**
+ * Compute QUAC weights for the rows of a segment.
+ *
+ * The first-activated row's weight combines its charge-share
+ * development during @p t1_ns (ACT -> PRE), equalization decay during
+ * @p t2_ns (PRE -> ACT), and partial sense-amp amplification over the
+ * whole window; at the paper's 2.5 ns / 2.5 ns operating point it
+ * equals Calibration::firstRowWeight. The other three rows receive
+ * the staggered local-wordline weights.
+ *
+ * @param cal calibration constants.
+ * @param first_offset row offset (0..3) of the first ACT's target.
+ * @param t1_ns ACT -> PRE interval.
+ * @param t2_ns PRE -> ACT interval.
+ */
+QuacWeights quacWeights(const Calibration &cal, unsigned first_offset,
+                        double t1_ns, double t2_ns);
+
+/**
+ * Fraction of full bitline development reached @p elapsed_ns after an
+ * ACT: zero through the tSenseDead dead time, then linear up to 1.0
+ * at tFullDevelop.
+ */
+double developFraction(const Calibration &cal, double elapsed_ns);
+
+/**
+ * Probability that a sense amplifier resolves to logical 1 given the
+ * net bitline deviation, its effective offset, and thermal noise:
+ * P(1) = Phi((deviation - offset) / sigma).
+ */
+double probabilityOne(double deviation_mv, double offset_mv,
+                      double noise_sigma_mv);
+
+} // namespace quac::dram
+
+#endif // QUAC_DRAM_SENSING_HH

@@ -1,0 +1,44 @@
+#include "dram/timing.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace quac::dram
+{
+
+TimingParams
+TimingParams::ddr4(uint32_t rate_mts)
+{
+    if (rate_mts < 800)
+        fatal("DDR4 transfer rate %u MT/s is too low", rate_mts);
+
+    TimingParams t;
+    t.transferRate = rate_mts;
+    t.tCK = 2000.0 / rate_mts;
+
+    // Analog array timings: constant in ns across speed bins.
+    t.tRCD = 13.32;
+    t.tRAS = 32.0;
+    t.tRP = 13.32;
+    t.tCL = 13.32;
+    t.tCWL = 12.5;
+    t.tWR = 15.0;
+    t.tRTP = 7.5;
+    t.tFAW = 21.0;
+
+    // Clocked parameters: minimum cycle counts at the bus clock, with
+    // analog floors (JEDEC DDR4: tRRD_S >= max(4 tCK, 3.3 ns), etc.).
+    t.tRRD_S = std::max(4 * t.tCK, 3.33);
+    t.tRRD_L = std::max(4 * t.tCK, 4.90);
+    t.tCCD_S = 4 * t.tCK;
+    t.tCCD_L = std::max(5 * t.tCK, 5.00);
+    t.tWTR_S = std::max(2 * t.tCK, 2.5);
+    t.tWTR_L = std::max(4 * t.tCK, 7.5);
+
+    // BL8 burst occupies 4 clocks of the data bus.
+    t.tBurst = 4 * t.tCK;
+    return t;
+}
+
+} // namespace quac::dram

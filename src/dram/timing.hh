@@ -1,0 +1,64 @@
+/**
+ * @file
+ * JEDEC DDR4 timing parameters (paper Section 2.1, Figure 2).
+ *
+ * All values are in nanoseconds. Core array timings (tRCD/tRAS/tRP...)
+ * are fixed in ns across speed bins; bus-clocked parameters (tCCD,
+ * burst time) scale with the transfer rate.
+ */
+
+#ifndef QUAC_DRAM_TIMING_HH
+#define QUAC_DRAM_TIMING_HH
+
+#include <cstdint>
+
+namespace quac::dram
+{
+
+/** DDR4 timing parameter set, all in nanoseconds. */
+struct TimingParams
+{
+    /** Transfer rate in MT/s (two transfers per clock). */
+    uint32_t transferRate = 2400;
+
+    double tCK = 2000.0 / 2400;   ///< Clock period.
+    double tRCD = 13.32;          ///< ACT -> RD/WR.
+    double tRAS = 32.0;           ///< ACT -> PRE (same bank).
+    double tRP = 13.32;           ///< PRE -> ACT (same bank).
+    double tCL = 13.32;           ///< RD -> first data.
+    double tCWL = 12.5;           ///< WR -> first data.
+    double tRRD_S = 3.33;         ///< ACT -> ACT, different bank group.
+    double tRRD_L = 4.90;         ///< ACT -> ACT, same bank group.
+    double tCCD_S = 3.33;         ///< RD/WR -> RD/WR, different group.
+    double tCCD_L = 5.00;         ///< RD/WR -> RD/WR, same group.
+    double tFAW = 21.0;           ///< Four-activate window.
+    double tWR = 15.0;            ///< Write recovery.
+    double tRTP = 7.5;            ///< RD -> PRE.
+    double tWTR_S = 2.5;          ///< WR -> RD, different group.
+    double tWTR_L = 7.5;          ///< WR -> RD, same group.
+    double tBurst = 8 * 2000.0 / 2400 / 2; ///< BL8 data burst duration.
+
+    /** tRC = tRAS + tRP. */
+    double tRC() const { return tRAS + tRP; }
+
+    /**
+     * Peak data-bus bandwidth of one channel in Gbit/s
+     * (64-bit bus, transferRate MT/s).
+     */
+    double
+    peakBandwidthGbps() const
+    {
+        return 64.0 * transferRate * 1e6 / 1e9;
+    }
+
+    /**
+     * Build a timing set for a DDR4-like interface at @p rate_mts.
+     * Analog core timings stay constant in ns; clocked parameters
+     * scale with the bus clock, with JEDEC minimum-cycle floors.
+     */
+    static TimingParams ddr4(uint32_t rate_mts);
+};
+
+} // namespace quac::dram
+
+#endif // QUAC_DRAM_TIMING_HH

@@ -1,0 +1,198 @@
+#include "dram/variation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quac::dram
+{
+
+namespace
+{
+
+// Philox domain tags keeping independent draw families disjoint.
+enum DomainTag : uint32_t
+{
+    tagSaOffset = 1,
+    tagSegmentMean = 2,
+    tagCellCap = 3,
+    tagSpatialJitter = 4,
+    tagRepair = 5,
+    tagChipKappa = 6,
+    tagAgingJitter = 7,
+};
+
+} // anonymous namespace
+
+VariationModel::VariationModel(const Geometry &geom, const Calibration &cal,
+                               uint64_t seed, double entropy_scale,
+                               double wave_scale, double aging_drift_30d)
+    : geom_(geom), cal_(cal), philox_(seed),
+      entropyScale_(entropy_scale), waveScale_(wave_scale),
+      agingDrift30d_(aging_drift_30d)
+{
+    // Derive module-specific wave phases/wavelengths from the seed so
+    // different modules show different spatial idiosyncrasies (Fig 9,
+    // modules M1 vs M2).
+    uint64_t sm = seed ^ 0xABCDEF0123456789ULL;
+    wavePhase1_ = 2.0 * M_PI * (splitmix64(sm) * 0x1p-64);
+    wavePhase2_ = 2.0 * M_PI * (splitmix64(sm) * 0x1p-64);
+    double jitter1 = 0.8 + 0.4 * (splitmix64(sm) * 0x1p-64);
+    double jitter2 = 0.8 + 0.4 * (splitmix64(sm) * 0x1p-64);
+    waveLen1_ = cal.spatialWave1Frac * jitter1;
+    waveLen2_ = cal.spatialWave2Frac * jitter2;
+}
+
+double
+VariationModel::saOffsetMv(uint32_t bank, uint32_t row,
+                           uint32_t bitline) const
+{
+    // Offsets belong to the sense amplifier serving (subarray,
+    // bitline); segments in the same subarray share SAs.
+    uint32_t subarray = geom_.subarrayOfRow(row);
+    double g = philox_.gaussian({tagSaOffset, bank,
+                                 subarray, bitline});
+    return g * cal_.saOffsetSigmaMv;
+}
+
+double
+VariationModel::segmentMeanMv(uint32_t bank, uint32_t segment) const
+{
+    double g = philox_.gaussian({tagSegmentMean, bank, segment, 0});
+    double u = philox_.uniform({tagSegmentMean, bank, segment, 1});
+    double sigma = (u < cal_.segmentMeanHeavyProb)
+                       ? cal_.segmentMeanHeavySigmaMv
+                       : cal_.segmentMeanSigmaMv;
+    return g * sigma;
+}
+
+double
+VariationModel::cellCapFactor(uint32_t bank, uint32_t row,
+                              uint32_t bitline) const
+{
+    double g = philox_.gaussian({tagCellCap, bank, row, bitline});
+    double f = 1.0 + g * cal_.cellCapSigma;
+    return std::max(f, 0.2);
+}
+
+double
+VariationModel::spatialScale(uint32_t bank, uint32_t segment) const
+{
+    uint32_t nseg = geom_.segmentsPerBank();
+    double x = (segment + 0.5) / nseg;
+
+    double wave = 1.0 +
+        waveScale_ * cal_.spatialWave1Amp *
+            std::sin(2.0 * M_PI * x / waveLen1_ + wavePhase1_ +
+                     0.7 * bank) +
+        waveScale_ * cal_.spatialWave2Amp *
+            std::sin(2.0 * M_PI * x / waveLen2_ + wavePhase2_ +
+                     1.3 * bank);
+
+    // End-of-bank anomaly: entropy rises toward the ~8000th segment,
+    // then drops at the very end (differently-sized edge subarrays).
+    double end = 1.0;
+    if (x >= cal_.endDropStart) {
+        double f = (x - cal_.endDropStart) / (1.0 - cal_.endDropStart);
+        double peak = 1.0 + waveScale_ * cal_.endRiseBoost;
+        end = peak + f * (cal_.endDropFloor - peak);
+    } else if (x >= cal_.endRiseStart) {
+        double f = (x - cal_.endRiseStart) /
+                   (cal_.endDropStart - cal_.endRiseStart);
+        end = 1.0 + waveScale_ * cal_.endRiseBoost * f;
+    }
+
+    double jitter = 1.0 + cal_.spatialJitterSigma *
+        philox_.gaussian({tagSpatialJitter, bank, segment, 0});
+
+    double repair = 1.0;
+    if (isRepairedSegment(bank, segment)) {
+        // Remapped rows disturb the conflicting-pattern setup.
+        double u = philox_.uniform({tagRepair, bank, segment, 1});
+        repair = 0.30 + 0.35 * u;
+    }
+
+    double scale = entropyScale_ * wave * end * jitter * repair;
+    return std::max(scale, 0.05);
+}
+
+double
+VariationModel::columnShape(uint32_t column) const
+{
+    uint32_t ncols = geom_.cacheBlocksPerRow();
+    if (ncols <= 1)
+        return 1.0;
+    double x = static_cast<double>(column) / (ncols - 1);
+    // Bell profile peaking slightly left of centre; entropy
+    // deteriorates toward the high-numbered cache blocks (Fig 10).
+    return 0.62 + 0.52 * std::sin(M_PI * std::pow(x, 0.8));
+}
+
+bool
+VariationModel::isRepairedSegment(uint32_t bank, uint32_t segment) const
+{
+    double u = philox_.uniform({tagRepair, bank, segment, 0});
+    return u < cal_.rowRepairProb;
+}
+
+double
+VariationModel::chipKappa(uint32_t chip) const
+{
+    double u = philox_.uniform({tagChipKappa, chip, 0, 0});
+    double g = philox_.gaussian({tagChipKappa, chip, 1, 0});
+    if (u < cal_.trend1Fraction)
+        return cal_.trend1KappaMean + g * cal_.trend1KappaSigma;
+    return cal_.trend2KappaMean + g * cal_.trend2KappaSigma;
+}
+
+bool
+VariationModel::chipIsTrend1(uint32_t chip) const
+{
+    return chipKappa(chip) > 0.0;
+}
+
+double
+VariationModel::temperatureFactor(uint32_t chip, double temperature_c) const
+{
+    double kappa = chipKappa(chip);
+    double f = 1.0 - kappa * (temperature_c - 50.0) / 35.0;
+    return std::clamp(f, 0.05, 20.0);
+}
+
+double
+VariationModel::agingScale(uint32_t bank, uint32_t segment,
+                           double age_days) const
+{
+    if (age_days <= 0.0)
+        return 1.0;
+    double t = age_days / 30.0;
+    double jitter = philox_.gaussian({tagAgingJitter, bank, segment, 0});
+    double scale = 1.0 + agingDrift30d_ * t +
+                   0.01 * std::sqrt(t) * jitter;
+    return std::max(scale, 0.05);
+}
+
+double
+VariationModel::noiseSigmaMv(double temperature_c) const
+{
+    // Johnson noise power scales linearly with absolute temperature.
+    double t_kelvin = temperature_c + 273.15;
+    return cal_.noiseSigmaMvAt50C * std::sqrt(t_kelvin / 323.15);
+}
+
+double
+VariationModel::effectiveOffsetMv(uint32_t bank, uint32_t row,
+                                  uint32_t bitline, double temperature_c,
+                                  double age_days) const
+{
+    uint32_t segment = geom_.segmentOfRow(row);
+    uint32_t column = bitline / geom_.cacheBlockBits;
+    uint32_t chip = geom_.chipOfBitline(bitline);
+
+    double raw = saOffsetMv(bank, row, bitline) +
+                 segmentMeanMv(bank, segment);
+    double scale = spatialScale(bank, segment) * columnShape(column) *
+                   agingScale(bank, segment, age_days);
+    return raw / scale * temperatureFactor(chip, temperature_c);
+}
+
+} // namespace quac::dram

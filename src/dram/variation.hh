@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Manufacturing-variation model for a simulated DRAM module.
+ *
+ * Reproduces the variation structure the paper attributes its entropy
+ * distributions to (Sections 6.1.3, 6.1.4, 8):
+ *
+ *  - random per-SA offsets (process variation across sense amps),
+ *  - per-cell capacitance variation,
+ *  - a per-segment systematic mean offset (makes some segments
+ *    "favor" particular data patterns, Fig 8's 53-bit outlier),
+ *  - wave-like systematic variation across segment addresses plus an
+ *    end-of-bank rise-then-drop (Fig 9),
+ *  - a bell-shaped entropy profile across cache blocks within a
+ *    segment (Fig 10),
+ *  - sparse post-manufacturing row repair (local outliers, Fig 9),
+ *  - per-chip temperature coefficients in two populations (Fig 14),
+ *  - slow aging drift (Table 3's 30-day column).
+ *
+ * All draws are Philox counter-based: any coordinate can be queried in
+ * any order and always yields the same value for a given module seed.
+ */
+
+#ifndef QUAC_DRAM_VARIATION_HH
+#define QUAC_DRAM_VARIATION_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "dram/calibration.hh"
+#include "dram/geometry.hh"
+
+namespace quac::dram
+{
+
+/** Deterministic per-module variation oracle. */
+class VariationModel
+{
+  public:
+    /**
+     * @param geom module geometry.
+     * @param cal analog calibration constants.
+     * @param seed per-module seed (distinct seeds model distinct
+     *        physical modules).
+     * @param entropyScale global multiplier on segment entropy,
+     *        calibrated per catalog module against Table 3.
+     * @param waveScale multiplier on the spatial wave amplitudes,
+     *        shaping each module's max/avg segment entropy ratio.
+     */
+    VariationModel(const Geometry &geom, const Calibration &cal,
+                   uint64_t seed, double entropyScale = 1.0,
+                   double waveScale = 1.0, double agingDrift30d = 0.0);
+
+    /** Base (unscaled) sense-amp offset for a bitline's SA, in mV. */
+    double saOffsetMv(uint32_t bank, uint32_t row, uint32_t bitline) const;
+
+    /** Systematic per-segment mean offset, in mV. */
+    double segmentMeanMv(uint32_t bank, uint32_t segment) const;
+
+    /** Cell capacitance as a fraction of nominal (mean 1.0). */
+    double cellCapFactor(uint32_t bank, uint32_t row,
+                         uint32_t bitline) const;
+
+    /**
+     * Systematic entropy scale of a segment: module scale x spatial
+     * waves x end-of-bank shape x jitter x row-repair outliers.
+     * Larger values mean tighter offsets and hence more entropy.
+     */
+    double spatialScale(uint32_t bank, uint32_t segment) const;
+
+    /** Bell-shaped entropy profile across cache-block columns. */
+    double columnShape(uint32_t column) const;
+
+    /** True if the segment was hit by post-manufacturing row repair. */
+    bool isRepairedSegment(uint32_t bank, uint32_t segment) const;
+
+    /** Temperature trend coefficient of a chip (positive: trend-1). */
+    double chipKappa(uint32_t chip) const;
+
+    /** True if the chip's entropy rises with temperature (trend-1). */
+    bool chipIsTrend1(uint32_t chip) const;
+
+    /**
+     * Multiplier applied to offsets at temperature @p temperature_c;
+     * below 1 for trend-1 chips at high temperature (offsets shrink,
+     * entropy rises).
+     */
+    double temperatureFactor(uint32_t chip, double temperature_c) const;
+
+    /** Module-level multiplicative entropy drift after @p age_days. */
+    double agingScale(uint32_t bank, uint32_t segment,
+                      double age_days) const;
+
+    /** Thermal noise sigma (mV) at @p temperature_c. */
+    double noiseSigmaMv(double temperature_c) const;
+
+    /**
+     * Effective offset (mV) seen by the sense amplifier on a bitline:
+     * (SA offset + segment mean) / (spatial x column x aging scales)
+     * x per-chip temperature factor.
+     *
+     * Smaller effective offsets make the bitline metastable more
+     * often, so dividing by the entropy scales makes segment entropy
+     * track them.
+     */
+    double effectiveOffsetMv(uint32_t bank, uint32_t row,
+                             uint32_t bitline, double temperature_c,
+                             double age_days) const;
+
+  private:
+    Geometry geom_;
+    Calibration cal_;
+    Philox4x32 philox_;
+    double entropyScale_;
+    double waveScale_;
+    double agingDrift30d_;
+    // Per-module wave parameters derived from the seed.
+    double wavePhase1_;
+    double wavePhase2_;
+    double waveLen1_;
+    double waveLen2_;
+};
+
+} // namespace quac::dram
+
+#endif // QUAC_DRAM_VARIATION_HH

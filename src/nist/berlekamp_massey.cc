@@ -1,0 +1,52 @@
+#include "nist/berlekamp_massey.hh"
+
+namespace quac::nist
+{
+
+size_t
+linearComplexity(const std::vector<uint8_t> &bits)
+{
+    size_t n = bits.size();
+    if (n == 0)
+        return 0;
+
+    std::vector<uint8_t> c(n, 0);
+    std::vector<uint8_t> b(n, 0);
+    std::vector<uint8_t> t;
+    c[0] = 1;
+    b[0] = 1;
+
+    size_t l = 0;
+    size_t m = 0;   // steps since last length change, minus one
+    for (size_t i = 0; i < n; ++i) {
+        // Discrepancy: next bit predicted by the current LFSR.
+        uint8_t d = bits[i];
+        for (size_t j = 1; j <= l; ++j)
+            d ^= static_cast<uint8_t>(c[j] & bits[i - j]);
+
+        if (d == 0) {
+            ++m;
+            continue;
+        }
+
+        if (2 * l <= i) {
+            t = c;
+            for (size_t j = 0; j + m + 1 <= n - 1 && j < n; ++j) {
+                if (b[j])
+                    c[j + m + 1] ^= 1;
+            }
+            l = i + 1 - l;
+            b = t;
+            m = 0;
+        } else {
+            for (size_t j = 0; j + m + 1 <= n - 1 && j < n; ++j) {
+                if (b[j])
+                    c[j + m + 1] ^= 1;
+            }
+            ++m;
+        }
+    }
+    return l;
+}
+
+} // namespace quac::nist

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Berlekamp-Massey linear complexity over GF(2), used by the
+ * SP 800-22 linear complexity test.
+ */
+
+#ifndef QUAC_NIST_BERLEKAMP_MASSEY_HH
+#define QUAC_NIST_BERLEKAMP_MASSEY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace quac::nist
+{
+
+/**
+ * Length of the shortest LFSR generating the bit sequence.
+ * @param bits sequence of 0/1 values.
+ */
+size_t linearComplexity(const std::vector<uint8_t> &bits);
+
+} // namespace quac::nist
+
+#endif // QUAC_NIST_BERLEKAMP_MASSEY_HH

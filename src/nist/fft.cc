@@ -1,0 +1,110 @@
+#include "nist/fft.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace quac::nist
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+size_t
+nextPowerOfTwo(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // anonymous namespace
+
+void
+fftRadix2(std::vector<std::complex<double>> &data, bool inverse)
+{
+    size_t n = data.size();
+    QUAC_ASSERT(isPowerOfTwo(n), "FFT size %zu not a power of two", n);
+
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (size_t len = 2; len <= n; len <<= 1) {
+        double angle = 2.0 * M_PI / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+        std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (size_t k = 0; k < len / 2; ++k) {
+                std::complex<double> u = data[i + k];
+                std::complex<double> v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+std::vector<std::complex<double>>
+dftAnyLength(const std::vector<std::complex<double>> &input)
+{
+    size_t n = input.size();
+    QUAC_ASSERT(n > 0, "empty DFT input");
+
+    if (isPowerOfTwo(n)) {
+        std::vector<std::complex<double>> data = input;
+        fftRadix2(data);
+        return data;
+    }
+
+    // Bluestein: express the DFT as a convolution, evaluated with a
+    // power-of-two FFT of size >= 2n - 1.
+    size_t m = nextPowerOfTwo(2 * n - 1);
+    std::vector<std::complex<double>> a(m, {0.0, 0.0});
+    std::vector<std::complex<double>> b(m, {0.0, 0.0});
+
+    std::vector<std::complex<double>> chirp(n);
+    for (size_t k = 0; k < n; ++k) {
+        // w_k = exp(-i pi k^2 / n); k^2 taken mod 2n to avoid
+        // precision loss for large k.
+        uint64_t k2 = (static_cast<uint64_t>(k) * k) % (2 * n);
+        double angle = -M_PI * static_cast<double>(k2) /
+                       static_cast<double>(n);
+        chirp[k] = {std::cos(angle), std::sin(angle)};
+    }
+
+    for (size_t k = 0; k < n; ++k)
+        a[k] = input[k] * chirp[k];
+    b[0] = {1.0, 0.0};
+    for (size_t k = 1; k < n; ++k)
+        b[k] = b[m - k] = std::conj(chirp[k]);
+
+    fftRadix2(a);
+    fftRadix2(b);
+    for (size_t i = 0; i < m; ++i)
+        a[i] *= b[i];
+    fftRadix2(a, true);
+
+    std::vector<std::complex<double>> out(n);
+    double scale = 1.0 / static_cast<double>(m);
+    for (size_t k = 0; k < n; ++k)
+        out[k] = a[k] * scale * chirp[k];
+    return out;
+}
+
+} // namespace quac::nist

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Complex FFT used by the SP 800-22 discrete Fourier transform
+ * (spectral) test. Radix-2 for power-of-two sizes with a Bluestein
+ * fallback for arbitrary lengths.
+ */
+
+#ifndef QUAC_NIST_FFT_HH
+#define QUAC_NIST_FFT_HH
+
+#include <complex>
+#include <vector>
+
+namespace quac::nist
+{
+
+/**
+ * In-place iterative radix-2 FFT.
+ * @param data complex samples; size must be a power of two.
+ * @param inverse compute the (unnormalized) inverse transform.
+ */
+void fftRadix2(std::vector<std::complex<double>> &data,
+               bool inverse = false);
+
+/**
+ * Forward DFT of arbitrary length (Bluestein's algorithm when the
+ * length is not a power of two).
+ */
+std::vector<std::complex<double>>
+dftAnyLength(const std::vector<std::complex<double>> &input);
+
+} // namespace quac::nist
+
+#endif // QUAC_NIST_FFT_HH

@@ -1,0 +1,32 @@
+#include "nist/matrix_rank.hh"
+
+#include "common/error.hh"
+
+namespace quac::nist
+{
+
+unsigned
+gf2Rank(std::vector<uint64_t> rows, unsigned size)
+{
+    QUAC_ASSERT(size <= 64 && rows.size() >= size,
+                "bad matrix: size=%u rows=%zu", size, rows.size());
+    unsigned rank = 0;
+    for (unsigned col = 0; col < size && rank < size; ++col) {
+        uint64_t mask = uint64_t{1} << col;
+        // Find a pivot row at or below the current rank frontier.
+        unsigned pivot = rank;
+        while (pivot < size && !(rows[pivot] & mask))
+            ++pivot;
+        if (pivot == size)
+            continue;
+        std::swap(rows[rank], rows[pivot]);
+        for (unsigned r = 0; r < size; ++r) {
+            if (r != rank && (rows[r] & mask))
+                rows[r] ^= rows[rank];
+        }
+        ++rank;
+    }
+    return rank;
+}
+
+} // namespace quac::nist

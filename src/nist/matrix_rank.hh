@@ -1,0 +1,24 @@
+/**
+ * @file
+ * GF(2) matrix rank, used by the SP 800-22 binary matrix rank test.
+ */
+
+#ifndef QUAC_NIST_MATRIX_RANK_HH
+#define QUAC_NIST_MATRIX_RANK_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace quac::nist
+{
+
+/**
+ * Rank over GF(2) of a square matrix given as row bitmasks.
+ * @param rows row i's bits packed into a uint64_t (column j = bit j).
+ * @param size matrix dimension (<= 64).
+ */
+unsigned gf2Rank(std::vector<uint64_t> rows, unsigned size);
+
+} // namespace quac::nist
+
+#endif // QUAC_NIST_MATRIX_RANK_HH

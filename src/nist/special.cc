@@ -1,0 +1,92 @@
+#include "nist/special.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hh"
+
+namespace quac::nist
+{
+
+namespace
+{
+
+constexpr int maxIterations = 700;
+constexpr double epsilon = 3.0e-15;
+constexpr double tiny = 1.0e-300;
+
+/** Lower incomplete gamma P(a, x) by series expansion (x < a + 1). */
+double
+gammaSeriesP(double a, double x)
+{
+    double ap = a;
+    double sum = 1.0 / a;
+    double term = sum;
+    for (int i = 0; i < maxIterations; ++i) {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if (std::fabs(term) < std::fabs(sum) * epsilon)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Upper incomplete gamma Q(a, x) by continued fraction (x >= a+1). */
+double
+gammaContinuedQ(double a, double x)
+{
+    // Modified Lentz's method.
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= maxIterations; ++i) {
+        double an = -i * (i - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < epsilon)
+            break;
+    }
+    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+} // anonymous namespace
+
+double
+igam(double a, double x)
+{
+    QUAC_ASSERT(a > 0.0 && x >= 0.0, "a=%f x=%f", a, x);
+    if (x == 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return gammaSeriesP(a, x);
+    return 1.0 - gammaContinuedQ(a, x);
+}
+
+double
+igamc(double a, double x)
+{
+    QUAC_ASSERT(a > 0.0 && x >= 0.0, "a=%f x=%f", a, x);
+    if (x == 0.0)
+        return 1.0;
+    if (x < a + 1.0)
+        return 1.0 - gammaSeriesP(a, x);
+    return gammaContinuedQ(a, x);
+}
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / M_SQRT2);
+}
+
+} // namespace quac::nist

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Special functions needed by the NIST SP 800-22 statistical tests.
+ */
+
+#ifndef QUAC_NIST_SPECIAL_HH
+#define QUAC_NIST_SPECIAL_HH
+
+namespace quac::nist
+{
+
+/**
+ * Regularized upper incomplete gamma function Q(a, x) =
+ * Gamma(a, x) / Gamma(a), the "igamc" used throughout SP 800-22 for
+ * chi-squared p-values.
+ *
+ * @pre a > 0, x >= 0.
+ */
+double igamc(double a, double x);
+
+/** Regularized lower incomplete gamma function P(a, x) = 1 - Q(a, x). */
+double igam(double a, double x);
+
+/** Standard normal cumulative distribution function. */
+double normalCdf(double x);
+
+} // namespace quac::nist
+
+#endif // QUAC_NIST_SPECIAL_HH

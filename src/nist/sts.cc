@@ -1,0 +1,830 @@
+#include "nist/sts.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <complex>
+
+#include "common/error.hh"
+#include "nist/berlekamp_massey.hh"
+#include "nist/fft.hh"
+#include "nist/matrix_rank.hh"
+#include "nist/special.hh"
+#include "nist/templates.hh"
+
+namespace quac::nist
+{
+
+bool
+TestResult::passed(double alpha) const
+{
+    if (!applicable || pValues.empty())
+        return false;
+    for (double p : pValues) {
+        if (p < alpha)
+            return false;
+    }
+    return true;
+}
+
+bool
+TestResult::passedOrInapplicable(double alpha) const
+{
+    return !applicable || passed(alpha);
+}
+
+double
+TestResult::minP() const
+{
+    double min_p = 1.0;
+    for (double p : pValues)
+        min_p = std::min(min_p, p);
+    return min_p;
+}
+
+double
+TestResult::meanP() const
+{
+    if (pValues.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double p : pValues)
+        sum += p;
+    return sum / static_cast<double>(pValues.size());
+}
+
+namespace
+{
+
+/** Sequence as +-1 sums helper: number of ones. */
+size_t
+countOnes(const Bitstream &bits)
+{
+    return bits.popcount();
+}
+
+TestResult
+notApplicable(const std::string &name, const std::string &why)
+{
+    TestResult result;
+    result.name = name;
+    result.applicable = false;
+    result.note = why;
+    return result;
+}
+
+} // anonymous namespace
+
+TestResult
+monobit(const Bitstream &bits)
+{
+    TestResult result;
+    result.name = "monobit";
+    size_t n = bits.size();
+    if (n < 100)
+        return notApplicable(result.name, "need n >= 100");
+
+    double s = 2.0 * static_cast<double>(countOnes(bits)) -
+               static_cast<double>(n);
+    double s_obs = std::fabs(s) / std::sqrt(static_cast<double>(n));
+    result.pValues.push_back(std::erfc(s_obs / M_SQRT2));
+    return result;
+}
+
+TestResult
+frequencyWithinBlock(const Bitstream &bits, size_t block_len)
+{
+    TestResult result;
+    result.name = "frequency_within_block";
+    size_t n = bits.size();
+    if (n < 100 || block_len < 20)
+        return notApplicable(result.name, "need n >= 100, M >= 20");
+
+    size_t blocks = n / block_len;
+    if (blocks == 0)
+        return notApplicable(result.name, "sequence shorter than block");
+    blocks = std::min(blocks, static_cast<size_t>(999999));
+
+    double chi2 = 0.0;
+    for (size_t i = 0; i < blocks; ++i) {
+        size_t ones = 0;
+        for (size_t j = 0; j < block_len; ++j)
+            ones += bits[i * block_len + j];
+        double pi = static_cast<double>(ones) /
+                    static_cast<double>(block_len);
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * static_cast<double>(block_len);
+    result.pValues.push_back(
+        igamc(static_cast<double>(blocks) / 2.0, chi2 / 2.0));
+    return result;
+}
+
+TestResult
+runs(const Bitstream &bits)
+{
+    TestResult result;
+    result.name = "runs";
+    size_t n = bits.size();
+    if (n < 100)
+        return notApplicable(result.name, "need n >= 100");
+
+    double pi = static_cast<double>(countOnes(bits)) /
+                static_cast<double>(n);
+    // Frequency precondition from the specification.
+    if (std::fabs(pi - 0.5) >= 2.0 / std::sqrt(static_cast<double>(n))) {
+        result.pValues.push_back(0.0);
+        result.note = "monobit precondition failed";
+        return result;
+    }
+
+    size_t v = 1;
+    for (size_t i = 1; i < n; ++i)
+        v += bits[i] != bits[i - 1];
+
+    double num = std::fabs(static_cast<double>(v) -
+                           2.0 * n * pi * (1.0 - pi));
+    double den = 2.0 * std::sqrt(2.0 * n) * pi * (1.0 - pi);
+    result.pValues.push_back(std::erfc(num / den));
+    return result;
+}
+
+TestResult
+longestRunOfOnes(const Bitstream &bits)
+{
+    TestResult result;
+    result.name = "longest_run_ones_in_a_block";
+    size_t n = bits.size();
+    if (n < 128)
+        return notApplicable(result.name, "need n >= 128");
+
+    // Parameterization from SP 800-22 Section 2.4.
+    size_t m;
+    std::vector<size_t> edges;   // category upper bounds on run length
+    std::vector<double> pi;
+    if (n < 6272) {
+        m = 8;
+        edges = {1, 2, 3};
+        pi = {0.2148, 0.3672, 0.2305, 0.1875};
+    } else if (n < 750000) {
+        m = 128;
+        edges = {4, 5, 6, 7, 8};
+        pi = {0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124};
+    } else {
+        m = 10000;
+        edges = {10, 11, 12, 13, 14, 15};
+        pi = {0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727};
+    }
+
+    size_t blocks = n / m;
+    std::vector<size_t> v(pi.size(), 0);
+    for (size_t b = 0; b < blocks; ++b) {
+        size_t longest = 0;
+        size_t current = 0;
+        for (size_t j = 0; j < m; ++j) {
+            if (bits[b * m + j]) {
+                ++current;
+                longest = std::max(longest, current);
+            } else {
+                current = 0;
+            }
+        }
+        size_t category = edges.size();
+        for (size_t k = 0; k < edges.size(); ++k) {
+            if (longest <= edges[k]) {
+                category = k;
+                break;
+            }
+        }
+        v[category]++;
+    }
+
+    double chi2 = 0.0;
+    for (size_t k = 0; k < pi.size(); ++k) {
+        double expected = static_cast<double>(blocks) * pi[k];
+        double diff = static_cast<double>(v[k]) - expected;
+        chi2 += diff * diff / expected;
+    }
+    result.pValues.push_back(
+        igamc(static_cast<double>(pi.size() - 1) / 2.0, chi2 / 2.0));
+    return result;
+}
+
+TestResult
+binaryMatrixRank(const Bitstream &bits)
+{
+    TestResult result;
+    result.name = "binary_matrix_rank";
+    constexpr unsigned m = 32;
+    size_t n = bits.size();
+    size_t matrices = n / (m * m);
+    if (matrices < 38)
+        return notApplicable(result.name, "need >= 38 32x32 matrices");
+
+    // Asymptotic rank distribution for random GF(2) matrices.
+    constexpr double pFull = 0.2888;
+    constexpr double pMinus1 = 0.5776;
+    constexpr double pRest = 0.1336;
+
+    size_t f_full = 0;
+    size_t f_minus1 = 0;
+    size_t bit = 0;
+    for (size_t mat = 0; mat < matrices; ++mat) {
+        std::vector<uint64_t> rows(m, 0);
+        for (unsigned r = 0; r < m; ++r) {
+            for (unsigned c = 0; c < m; ++c) {
+                if (bits[bit++])
+                    rows[r] |= uint64_t{1} << c;
+            }
+        }
+        unsigned rank = gf2Rank(std::move(rows), m);
+        if (rank == m)
+            ++f_full;
+        else if (rank == m - 1)
+            ++f_minus1;
+    }
+    size_t f_rest = matrices - f_full - f_minus1;
+
+    double nm = static_cast<double>(matrices);
+    double chi2 =
+        (f_full - pFull * nm) * (f_full - pFull * nm) / (pFull * nm) +
+        (f_minus1 - pMinus1 * nm) * (f_minus1 - pMinus1 * nm) /
+            (pMinus1 * nm) +
+        (f_rest - pRest * nm) * (f_rest - pRest * nm) / (pRest * nm);
+    result.pValues.push_back(std::exp(-chi2 / 2.0));
+    return result;
+}
+
+TestResult
+dft(const Bitstream &bits)
+{
+    TestResult result;
+    result.name = "dft";
+    size_t n = bits.size();
+    if (n < 1000)
+        return notApplicable(result.name, "need n >= 1000");
+
+    std::vector<std::complex<double>> x(n);
+    for (size_t i = 0; i < n; ++i)
+        x[i] = {bits[i] ? 1.0 : -1.0, 0.0};
+
+    std::vector<std::complex<double>> spectrum = dftAnyLength(x);
+
+    double threshold = std::sqrt(std::log(1.0 / 0.05) *
+                                 static_cast<double>(n));
+    size_t half = n / 2;
+    size_t below = 0;
+    for (size_t j = 0; j < half; ++j) {
+        if (std::abs(spectrum[j]) < threshold)
+            ++below;
+    }
+
+    double n0 = 0.95 * static_cast<double>(half);
+    double d = (static_cast<double>(below) - n0) /
+               std::sqrt(static_cast<double>(n) * 0.95 * 0.05 / 4.0);
+    result.pValues.push_back(std::erfc(std::fabs(d) / M_SQRT2));
+    return result;
+}
+
+TestResult
+nonOverlappingTemplateMatching(const Bitstream &bits, unsigned m)
+{
+    TestResult result;
+    result.name = "non_overlapping_template_matching";
+    size_t n = bits.size();
+    constexpr size_t blocks = 8;
+    size_t block_len = n / blocks;
+    if (m < 2 || m > 16 || block_len < 2 * m)
+        return notApplicable(result.name, "sequence too short");
+
+    double mu = static_cast<double>(block_len - m + 1) /
+                std::pow(2.0, m);
+    double sigma2 =
+        static_cast<double>(block_len) *
+        (1.0 / std::pow(2.0, m) -
+         (2.0 * m - 1.0) / std::pow(2.0, 2.0 * m));
+    if (mu <= 0.0 || sigma2 <= 0.0)
+        return notApplicable(result.name, "degenerate statistics");
+
+    // Precompute the LSB-first m-bit window at every position once,
+    // then scan the integer array per template (the skip-on-match
+    // state is per-template, so matching cannot be fully shared).
+    size_t positions = block_len - m + 1;
+    std::vector<uint32_t> windows(blocks * positions);
+    uint32_t mask = (uint32_t{1} << m) - 1;
+    for (size_t b = 0; b < blocks; ++b) {
+        size_t start = b * block_len;
+        uint32_t window = 0;
+        for (unsigned j = 0; j < m; ++j)
+            window |= static_cast<uint32_t>(bits[start + j]) << j;
+        windows[b * positions] = window;
+        for (size_t i = 1; i < positions; ++i) {
+            window = (window >> 1) |
+                     (static_cast<uint32_t>(bits[start + i + m - 1])
+                      << (m - 1));
+            windows[b * positions + i] = window & mask;
+        }
+    }
+
+    for (uint32_t tmpl : aperiodicTemplates(m)) {
+        double chi2 = 0.0;
+        for (size_t b = 0; b < blocks; ++b) {
+            const uint32_t *w = windows.data() + b * positions;
+            size_t count = 0;
+            size_t i = 0;
+            while (i < positions) {
+                if (w[i] == tmpl) {
+                    ++count;
+                    i += m;   // non-overlapping: skip past the match
+                } else {
+                    ++i;
+                }
+            }
+            double diff = static_cast<double>(count) - mu;
+            chi2 += diff * diff / sigma2;
+        }
+        result.pValues.push_back(
+            igamc(static_cast<double>(blocks) / 2.0, chi2 / 2.0));
+    }
+    return result;
+}
+
+TestResult
+overlappingTemplateMatching(const Bitstream &bits, unsigned m)
+{
+    TestResult result;
+    result.name = "overlapping_template_matching";
+    size_t n = bits.size();
+    constexpr size_t block_len = 1032;
+    constexpr size_t k = 5;
+    size_t blocks = n / block_len;
+    if (blocks < 10)
+        return notApplicable(result.name, "need n >= ~10 Kbit");
+
+    // Class probabilities for K = 5, M = 1032, m = 9 (SP 800-22).
+    constexpr std::array<double, k + 1> pi = {
+        0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865};
+
+    std::array<size_t, k + 1> v{};
+    for (size_t b = 0; b < blocks; ++b) {
+        size_t start = b * block_len;
+        // A window of m ones ending at position i exists iff the
+        // current run of ones has length >= m.
+        size_t count = 0;
+        size_t run = 0;
+        for (size_t i = 0; i < block_len; ++i) {
+            run = bits[start + i] ? run + 1 : 0;
+            count += (run >= m);
+        }
+        v[std::min(count, k)]++;
+    }
+
+    double chi2 = 0.0;
+    for (size_t c = 0; c <= k; ++c) {
+        double expected = static_cast<double>(blocks) * pi[c];
+        double diff = static_cast<double>(v[c]) - expected;
+        chi2 += diff * diff / expected;
+    }
+    result.pValues.push_back(
+        igamc(static_cast<double>(k) / 2.0, chi2 / 2.0));
+    return result;
+}
+
+TestResult
+maurersUniversal(const Bitstream &bits)
+{
+    TestResult result;
+    result.name = "maurers_universal";
+    size_t n = bits.size();
+
+    // Block length by sequence size (SP 800-22 Section 2.9).
+    struct Config { size_t minN; unsigned l; double ev; double var; };
+    static const std::array<Config, 5> configs = {{
+        {387840, 6, 5.2177052, 2.954},
+        {904960, 7, 6.1962507, 3.125},
+        {2068480, 8, 7.1836656, 3.238},
+        {4654080, 9, 8.1764248, 3.311},
+        {10342400, 10, 9.1723243, 3.356},
+    }};
+
+    unsigned l = 0;
+    double expected = 0.0;
+    double variance = 0.0;
+    for (const Config &cfg : configs) {
+        if (n >= cfg.minN) {
+            l = cfg.l;
+            expected = cfg.ev;
+            variance = cfg.var;
+        }
+    }
+    if (l == 0)
+        return notApplicable(result.name, "need n >= 387840");
+
+    size_t q = 10 * (size_t{1} << l);
+    size_t total_blocks = n / l;
+    size_t k = total_blocks - q;
+
+    std::vector<size_t> last_seen(size_t{1} << l, 0);
+    auto block_value = [&](size_t index) {
+        size_t value = 0;
+        size_t base = index * l;
+        for (unsigned j = 0; j < l; ++j)
+            value |= static_cast<size_t>(bits[base + j]) << j;
+        return value;
+    };
+
+    for (size_t i = 0; i < q; ++i)
+        last_seen[block_value(i)] = i + 1;
+
+    double sum = 0.0;
+    for (size_t i = q; i < total_blocks; ++i) {
+        size_t value = block_value(i);
+        size_t distance = i + 1 - last_seen[value];
+        sum += std::log2(static_cast<double>(distance));
+        last_seen[value] = i + 1;
+    }
+    double fn = sum / static_cast<double>(k);
+
+    double c = 0.7 - 0.8 / l +
+               (4.0 + 32.0 / l) *
+                   std::pow(static_cast<double>(k), -3.0 / l) / 15.0;
+    double sigma = c * std::sqrt(variance / static_cast<double>(k));
+    result.pValues.push_back(
+        std::erfc(std::fabs(fn - expected) / (M_SQRT2 * sigma)));
+    return result;
+}
+
+TestResult
+linearComplexityTest(const Bitstream &bits, size_t block_len)
+{
+    TestResult result;
+    result.name = "linear_complexity";
+    size_t n = bits.size();
+    size_t blocks = n / block_len;
+    if (block_len < 500 || blocks < 20)
+        return notApplicable(result.name, "need M >= 500, N >= 20");
+
+    double m = static_cast<double>(block_len);
+    double sign_m = (block_len % 2 == 0) ? 1.0 : -1.0;
+    double mu = m / 2.0 + (9.0 - sign_m) / 36.0 -
+                (m / 3.0 + 2.0 / 9.0) / std::pow(2.0, m);
+
+    // Class probabilities for T (SP 800-22 Section 2.10).
+    constexpr std::array<double, 7> pi = {
+        0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833};
+    std::array<size_t, 7> v{};
+
+    std::vector<uint8_t> block(block_len);
+    for (size_t b = 0; b < blocks; ++b) {
+        for (size_t j = 0; j < block_len; ++j)
+            block[j] = bits[b * block_len + j];
+        double l = static_cast<double>(linearComplexity(block));
+        double t = sign_m * (l - mu) + 2.0 / 9.0;
+        size_t cls;
+        if (t <= -2.5)
+            cls = 0;
+        else if (t <= -1.5)
+            cls = 1;
+        else if (t <= -0.5)
+            cls = 2;
+        else if (t <= 0.5)
+            cls = 3;
+        else if (t <= 1.5)
+            cls = 4;
+        else if (t <= 2.5)
+            cls = 5;
+        else
+            cls = 6;
+        v[cls]++;
+    }
+
+    double chi2 = 0.0;
+    for (size_t c = 0; c < pi.size(); ++c) {
+        double expected = static_cast<double>(blocks) * pi[c];
+        double diff = static_cast<double>(v[c]) - expected;
+        chi2 += diff * diff / expected;
+    }
+    result.pValues.push_back(igamc(6.0 / 2.0, chi2 / 2.0));
+    return result;
+}
+
+namespace
+{
+
+/**
+ * psi-squared statistic over all overlapping m-bit patterns (with
+ * wraparound), shared by the serial and approximate entropy tests.
+ */
+double
+psiSquared(const Bitstream &bits, unsigned m)
+{
+    if (m == 0)
+        return 0.0;
+    size_t n = bits.size();
+    std::vector<size_t> counts(size_t{1} << m, 0);
+    size_t mask = (size_t{1} << m) - 1;
+
+    size_t window = 0;
+    for (unsigned j = 0; j < m - 1; ++j)
+        window = (window << 1) | bits[j];
+    for (size_t i = 0; i < n; ++i) {
+        size_t next = bits[(i + m - 1) % n];
+        window = ((window << 1) | next) & mask;
+        counts[window]++;
+    }
+
+    double sum = 0.0;
+    for (size_t c : counts)
+        sum += static_cast<double>(c) * static_cast<double>(c);
+    return sum * std::pow(2.0, m) / static_cast<double>(n) -
+           static_cast<double>(n);
+}
+
+} // anonymous namespace
+
+TestResult
+serial(const Bitstream &bits, unsigned m)
+{
+    TestResult result;
+    result.name = "serial";
+    size_t n = bits.size();
+    if (m < 3 || n < 128)
+        return notApplicable(result.name, "sequence too short");
+
+    // SP 800-22 requires m < floor(log2 n) - 2 for the chi-squared
+    // approximation to hold; clamp oversized m rather than emit
+    // invalid p-values.
+    unsigned max_m = 0;
+    while ((size_t{1} << (max_m + 1)) <= n)
+        ++max_m;
+    max_m = max_m > 3 ? max_m - 3 : 3;
+    if (m > max_m) {
+        result.note = "block length clamped to " +
+                      std::to_string(max_m);
+        m = max_m;
+    }
+
+    double psi_m = psiSquared(bits, m);
+    double psi_m1 = psiSquared(bits, m - 1);
+    double psi_m2 = psiSquared(bits, m - 2);
+
+    double d1 = psi_m - psi_m1;
+    double d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+
+    result.pValues.push_back(
+        igamc(std::pow(2.0, m - 2), d1 / 2.0));
+    result.pValues.push_back(
+        igamc(std::pow(2.0, m - 3), d2 / 2.0));
+    return result;
+}
+
+TestResult
+approximateEntropy(const Bitstream &bits, unsigned m)
+{
+    TestResult result;
+    result.name = "approximate_entropy";
+    size_t n = bits.size();
+    if (n < 1024)
+        return notApplicable(result.name, "sequence too short");
+
+    // SP 800-22 requires m < floor(log2 n) - 5; clamp oversized m.
+    unsigned max_m = 0;
+    while ((size_t{1} << (max_m + 1)) <= n)
+        ++max_m;
+    max_m = max_m > 6 ? max_m - 6 : 2;
+    if (m > max_m) {
+        result.note = "block length clamped to " +
+                      std::to_string(max_m);
+        m = max_m;
+    }
+
+    // phi_m from pattern frequencies (with wraparound).
+    auto phi = [&](unsigned mm) {
+        if (mm == 0)
+            return 0.0;
+        std::vector<size_t> counts(size_t{1} << mm, 0);
+        size_t mask = (size_t{1} << mm) - 1;
+        size_t window = 0;
+        for (unsigned j = 0; j < mm - 1; ++j)
+            window = (window << 1) | bits[j];
+        for (size_t i = 0; i < n; ++i) {
+            size_t next = bits[(i + mm - 1) % n];
+            window = ((window << 1) | next) & mask;
+            counts[window]++;
+        }
+        double sum = 0.0;
+        for (size_t c : counts) {
+            if (c == 0)
+                continue;
+            double p = static_cast<double>(c) / static_cast<double>(n);
+            sum += p * std::log(p);
+        }
+        return sum;
+    };
+
+    double apen = phi(m) - phi(m + 1);
+    double chi2 = 2.0 * static_cast<double>(n) * (std::log(2.0) - apen);
+    result.pValues.push_back(igamc(std::pow(2.0, m - 1), chi2 / 2.0));
+    return result;
+}
+
+TestResult
+cumulativeSums(const Bitstream &bits)
+{
+    TestResult result;
+    result.name = "cumulative_sums";
+    size_t n = bits.size();
+    if (n < 100)
+        return notApplicable(result.name, "need n >= 100");
+
+    auto p_value = [&](bool forward) {
+        int64_t sum = 0;
+        int64_t z = 0;
+        for (size_t i = 0; i < n; ++i) {
+            bool bit = forward ? bits[i] : bits[n - 1 - i];
+            sum += bit ? 1 : -1;
+            z = std::max<int64_t>(z, std::llabs(sum));
+        }
+        double zd = static_cast<double>(z);
+        double nd = static_cast<double>(n);
+        double sqrt_n = std::sqrt(nd);
+
+        double sum1 = 0.0;
+        int64_t k_lo = (-static_cast<int64_t>(nd / zd) + 1) / 4;
+        int64_t k_hi = static_cast<int64_t>(nd / zd - 1) / 4;
+        for (int64_t k = k_lo; k <= k_hi; ++k) {
+            sum1 += normalCdf((4.0 * k + 1.0) * zd / sqrt_n) -
+                    normalCdf((4.0 * k - 1.0) * zd / sqrt_n);
+        }
+        double sum2 = 0.0;
+        k_lo = (-static_cast<int64_t>(nd / zd) - 3) / 4;
+        k_hi = static_cast<int64_t>(nd / zd - 1) / 4;
+        for (int64_t k = k_lo; k <= k_hi; ++k) {
+            sum2 += normalCdf((4.0 * k + 3.0) * zd / sqrt_n) -
+                    normalCdf((4.0 * k + 1.0) * zd / sqrt_n);
+        }
+        return 1.0 - sum1 + sum2;
+    };
+
+    result.pValues.push_back(p_value(true));
+    result.pValues.push_back(p_value(false));
+    return result;
+}
+
+namespace
+{
+
+/** Cycle decomposition of the +-1 random walk for excursion tests. */
+std::vector<std::vector<int64_t>>
+walkCycles(const Bitstream &bits)
+{
+    std::vector<std::vector<int64_t>> cycles;
+    std::vector<int64_t> current;
+    current.push_back(0);
+    int64_t sum = 0;
+    for (size_t i = 0; i < bits.size(); ++i) {
+        sum += bits[i] ? 1 : -1;
+        current.push_back(sum);
+        if (sum == 0) {
+            cycles.push_back(std::move(current));
+            current.clear();
+            current.push_back(0);
+        }
+    }
+    if (current.size() > 1) {
+        current.push_back(0); // close the final partial cycle
+        cycles.push_back(std::move(current));
+    }
+    return cycles;
+}
+
+} // anonymous namespace
+
+TestResult
+randomExcursions(const Bitstream &bits)
+{
+    TestResult result;
+    result.name = "random_excursion";
+    if (bits.size() < 100000)
+        return notApplicable(result.name, "need n >= 10^5");
+
+    auto cycles = walkCycles(bits);
+    double j = static_cast<double>(cycles.size());
+    if (j < 500) {
+        return notApplicable(result.name,
+                             "fewer than 500 cycles in the walk");
+    }
+
+    // pi_k(x): probability that state x is visited exactly k times in
+    // a cycle (SP 800-22 Section 3.14).
+    auto pi = [](int x, int k) {
+        double ax = std::fabs(static_cast<double>(x));
+        double p_leave = 1.0 / (2.0 * ax);
+        if (k == 0)
+            return 1.0 - p_leave;
+        if (k < 5) {
+            return (1.0 / (4.0 * ax * ax)) *
+                   std::pow(1.0 - p_leave, k - 1);
+        }
+        return p_leave * std::pow(1.0 - p_leave, 4);
+    };
+
+    static const std::array<int, 8> states = {-4, -3, -2, -1,
+                                              1, 2, 3, 4};
+    for (int x : states) {
+        std::array<size_t, 6> v{};
+        for (const auto &cycle : cycles) {
+            size_t visits = 0;
+            for (int64_t s : cycle)
+                visits += (s == x);
+            v[std::min<size_t>(visits, 5)]++;
+        }
+        double chi2 = 0.0;
+        for (int k = 0; k <= 5; ++k) {
+            double expected = j * pi(x, k);
+            double diff = static_cast<double>(v[k]) - expected;
+            chi2 += diff * diff / expected;
+        }
+        result.pValues.push_back(igamc(5.0 / 2.0, chi2 / 2.0));
+    }
+    return result;
+}
+
+TestResult
+randomExcursionsVariant(const Bitstream &bits)
+{
+    TestResult result;
+    result.name = "random_excursion_variant";
+    if (bits.size() < 100000)
+        return notApplicable(result.name, "need n >= 10^5");
+
+    auto cycles = walkCycles(bits);
+    double j = static_cast<double>(cycles.size());
+    if (j < 500) {
+        return notApplicable(result.name,
+                             "fewer than 500 cycles in the walk");
+    }
+
+    for (int x = -9; x <= 9; ++x) {
+        if (x == 0)
+            continue;
+        size_t visits = 0;
+        for (const auto &cycle : cycles) {
+            for (int64_t s : cycle)
+                visits += (s == x);
+        }
+        double ax = std::fabs(static_cast<double>(x));
+        double denom = std::sqrt(2.0 * j * (4.0 * ax - 2.0));
+        result.pValues.push_back(
+            std::erfc(std::fabs(static_cast<double>(visits) - j) /
+                      denom));
+    }
+    return result;
+}
+
+std::vector<TestResult>
+runAll(const Bitstream &bits)
+{
+    return {
+        monobit(bits),
+        frequencyWithinBlock(bits),
+        runs(bits),
+        longestRunOfOnes(bits),
+        binaryMatrixRank(bits),
+        dft(bits),
+        nonOverlappingTemplateMatching(bits),
+        overlappingTemplateMatching(bits),
+        maurersUniversal(bits),
+        linearComplexityTest(bits),
+        serial(bits),
+        approximateEntropy(bits),
+        cumulativeSums(bits),
+        randomExcursions(bits),
+        randomExcursionsVariant(bits),
+    };
+}
+
+const std::vector<std::string> &
+testNames()
+{
+    static const std::vector<std::string> names = {
+        "monobit",
+        "frequency_within_block",
+        "runs",
+        "longest_run_ones_in_a_block",
+        "binary_matrix_rank",
+        "dft",
+        "non_overlapping_template_matching",
+        "overlapping_template_matching",
+        "maurers_universal",
+        "linear_complexity",
+        "serial",
+        "approximate_entropy",
+        "cumulative_sums",
+        "random_excursion",
+        "random_excursion_variant",
+    };
+    return names;
+}
+
+} // namespace quac::nist

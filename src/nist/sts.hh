@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The NIST SP 800-22 statistical test suite (all 15 tests), used to
+ * validate QUAC-TRNG output quality (paper Sections 6.2 and 7.1,
+ * Table 1).
+ *
+ * Each test returns one or more p-values; under the null hypothesis
+ * (the sequence is random) p-values are uniform on [0, 1]. A test
+ * passes at significance level alpha when every p-value >= alpha;
+ * the paper uses alpha = 0.001.
+ */
+
+#ifndef QUAC_NIST_STS_HH
+#define QUAC_NIST_STS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/bitstream.hh"
+
+namespace quac::nist
+{
+
+/** Significance level used by the paper (Section 6.2). */
+constexpr double kAlpha = 0.001;
+
+/** Outcome of one statistical test. */
+struct TestResult
+{
+    std::string name;
+    std::vector<double> pValues;
+    /** False when preconditions failed (e.g. too few cycles). */
+    bool applicable = true;
+    std::string note;
+
+    /** All p-values at or above alpha (inapplicable tests fail). */
+    bool passed(double alpha = kAlpha) const;
+
+    /**
+     * Pass, or not applicable. SP 800-22 skips tests whose
+     * preconditions fail (e.g. fewer than 500 cycles for the
+     * excursion tests — expected on ~1/3 of good 1 Mbit sequences);
+     * a skipped test does not fail the sequence.
+     */
+    bool passedOrInapplicable(double alpha = kAlpha) const;
+
+    /** Smallest p-value (1.0 when empty). */
+    double minP() const;
+
+    /** Mean p-value (as reported in the paper's Table 1). */
+    double meanP() const;
+};
+
+/** @name The fifteen SP 800-22 tests */
+/**@{*/
+TestResult monobit(const Bitstream &bits);
+TestResult frequencyWithinBlock(const Bitstream &bits,
+                                size_t block_len = 128);
+TestResult runs(const Bitstream &bits);
+TestResult longestRunOfOnes(const Bitstream &bits);
+TestResult binaryMatrixRank(const Bitstream &bits);
+TestResult dft(const Bitstream &bits);
+TestResult nonOverlappingTemplateMatching(const Bitstream &bits,
+                                          unsigned m = 9);
+TestResult overlappingTemplateMatching(const Bitstream &bits,
+                                       unsigned m = 9);
+TestResult maurersUniversal(const Bitstream &bits);
+TestResult linearComplexityTest(const Bitstream &bits,
+                                size_t block_len = 500);
+TestResult serial(const Bitstream &bits, unsigned m = 16);
+TestResult approximateEntropy(const Bitstream &bits, unsigned m = 10);
+TestResult cumulativeSums(const Bitstream &bits);
+TestResult randomExcursions(const Bitstream &bits);
+TestResult randomExcursionsVariant(const Bitstream &bits);
+/**@}*/
+
+/**
+ * Run the full 15-test battery in Table 1's order.
+ * @param bits the sequence under test (>= ~1 Mbit recommended).
+ */
+std::vector<TestResult> runAll(const Bitstream &bits);
+
+/** Names of the 15 tests in Table 1's order. */
+const std::vector<std::string> &testNames();
+
+} // namespace quac::nist
+
+#endif // QUAC_NIST_STS_HH

@@ -1,0 +1,35 @@
+#include "nist/templates.hh"
+
+#include "common/error.hh"
+
+namespace quac::nist
+{
+
+bool
+isAperiodic(uint32_t bits, unsigned m)
+{
+    QUAC_ASSERT(m >= 1 && m <= 31, "template length %u", m);
+    for (unsigned k = 1; k < m; ++k) {
+        // Border of length k: prefix(k) == suffix(k).
+        uint32_t mask = (uint32_t{1} << k) - 1;
+        uint32_t prefix = bits & mask;
+        uint32_t suffix = (bits >> (m - k)) & mask;
+        if (prefix == suffix)
+            return false;
+    }
+    return true;
+}
+
+std::vector<uint32_t>
+aperiodicTemplates(unsigned m)
+{
+    std::vector<uint32_t> out;
+    uint32_t count = uint32_t{1} << m;
+    for (uint32_t bits = 0; bits < count; ++bits) {
+        if (isAperiodic(bits, m))
+            out.push_back(bits);
+    }
+    return out;
+}
+
+} // namespace quac::nist

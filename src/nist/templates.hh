@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Aperiodic (unbordered) template enumeration for the SP 800-22
+ * non-overlapping template matching test.
+ */
+
+#ifndef QUAC_NIST_TEMPLATES_HH
+#define QUAC_NIST_TEMPLATES_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace quac::nist
+{
+
+/**
+ * All unbordered (self-overlap-free) bit templates of length @p m,
+ * encoded LSB-first as integers. A template B is unbordered when no
+ * proper prefix of B equals the suffix of the same length; these are
+ * exactly the "aperiodic templates" NIST enumerates (148 for m = 9).
+ */
+std::vector<uint32_t> aperiodicTemplates(unsigned m);
+
+/** True if the LSB-first template of length m is unbordered. */
+bool isAperiodic(uint32_t bits, unsigned m);
+
+} // namespace quac::nist
+
+#endif // QUAC_NIST_TEMPLATES_HH

@@ -1,0 +1,30 @@
+#include "postprocess/von_neumann.hh"
+
+namespace quac::postprocess
+{
+
+Bitstream
+vonNeumann(const Bitstream &input)
+{
+    Bitstream output;
+    size_t pairs = input.size() / 2;
+    for (size_t i = 0; i < pairs; ++i) {
+        bool first = input[2 * i];
+        bool second = input[2 * i + 1];
+        if (first == second)
+            continue;
+        // 01 -> 1, 10 -> 0 (paper Section 6.2).
+        output.append(!first && second);
+    }
+    return output;
+}
+
+double
+vonNeumannYield(double p)
+{
+    if (p < 0.0 || p > 1.0)
+        return 0.0;
+    return p * (1.0 - p);
+}
+
+} // namespace quac::postprocess

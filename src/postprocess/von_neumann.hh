@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Von Neumann corrector (paper Section 6.2): unbiases a Bernoulli
+ * bitstream by mapping bit pairs 01 -> 1, 10 -> 0 and discarding
+ * 00/11 pairs.
+ */
+
+#ifndef QUAC_POSTPROCESS_VON_NEUMANN_HH
+#define QUAC_POSTPROCESS_VON_NEUMANN_HH
+
+#include "common/bitstream.hh"
+
+namespace quac::postprocess
+{
+
+/**
+ * Apply the Von Neumann corrector to a bitstream.
+ *
+ * Note the paper's convention (Section 6.2): a 0 -> 1 transition
+ * emits logic-1 and a 1 -> 0 transition emits logic-0 (e.g. "0010"
+ * becomes "0"... the first pair "00" is dropped, the second pair
+ * "10" emits 0).
+ */
+Bitstream vonNeumann(const Bitstream &input);
+
+/**
+ * Expected output/input length ratio for an iid input with
+ * P(1) = p: p(1-p) output bits per input bit.
+ */
+double vonNeumannYield(double p);
+
+} // namespace quac::postprocess
+
+#endif // QUAC_POSTPROCESS_VON_NEUMANN_HH

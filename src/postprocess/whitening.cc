@@ -1,0 +1,33 @@
+#include "postprocess/whitening.hh"
+
+#include "crypto/sha256.hh"
+
+namespace quac::postprocess
+{
+
+Bitstream
+whitenBlock(const Bitstream &raw)
+{
+    return whitenBlock(raw.toBytes());
+}
+
+Bitstream
+whitenBlock(const std::vector<uint8_t> &raw)
+{
+    Sha256::Digest digest = Sha256::hash(raw);
+    Bitstream out;
+    for (uint8_t byte : digest)
+        out.appendWord(byte, 8);
+    return out;
+}
+
+Bitstream
+whitenBlocks(const std::vector<Bitstream> &blocks)
+{
+    Bitstream out;
+    for (const Bitstream &block : blocks)
+        out.append(whitenBlock(block));
+    return out;
+}
+
+} // namespace quac::postprocess

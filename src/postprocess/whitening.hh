@@ -1,0 +1,36 @@
+/**
+ * @file
+ * SHA-256 whitening of entropy blocks (paper Section 5.2, step 4):
+ * each block of raw sense-amplifier data carrying >= 256 bits of
+ * Shannon entropy is hashed down to a 256-bit random number.
+ */
+
+#ifndef QUAC_POSTPROCESS_WHITENING_HH
+#define QUAC_POSTPROCESS_WHITENING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.hh"
+
+namespace quac::postprocess
+{
+
+/**
+ * Hash one raw entropy block into 256 output bits.
+ * @param raw raw bits read from the sense amplifiers.
+ */
+Bitstream whitenBlock(const Bitstream &raw);
+
+/** Hash raw bytes into 256 output bits (byte-granular fast path). */
+Bitstream whitenBlock(const std::vector<uint8_t> &raw);
+
+/**
+ * Hash a sequence of entropy blocks and concatenate the 256-bit
+ * outputs.
+ */
+Bitstream whitenBlocks(const std::vector<Bitstream> &blocks);
+
+} // namespace quac::postprocess
+
+#endif // QUAC_POSTPROCESS_WHITENING_HH

@@ -1,0 +1,249 @@
+#include "sched/bus_scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace quac::sched
+{
+
+BusScheduler::BusScheduler(const dram::TimingParams &timing,
+                           uint32_t banks, uint32_t bank_groups)
+    : timing_(timing), bankGroups_(bank_groups), banks_(banks),
+      lastActPerGroup_(bank_groups, -1.0e18)
+{
+    QUAC_ASSERT(banks > 0 && bank_groups > 0, "banks=%u groups=%u",
+                banks, bank_groups);
+}
+
+int64_t
+BusScheduler::clockIndex(double t) const
+{
+    return static_cast<int64_t>(
+        std::ceil(t / timing_.tCK - 1e-9));
+}
+
+bool
+BusScheduler::slotFree(double t) const
+{
+    return usedSlots_.count(clockIndex(t)) == 0;
+}
+
+double
+BusScheduler::claimCmdSlot(double earliest)
+{
+    int64_t slot = clockIndex(earliest);
+    while (usedSlots_.count(slot))
+        ++slot;
+    usedSlots_.insert(slot);
+    double t = slot * timing_.tCK;
+    lastCmd_ = std::max(lastCmd_, t);
+    return t;
+}
+
+double
+BusScheduler::actConstraint(uint32_t bank, double t) const
+{
+    uint32_t group = bank % bankGroups_;
+    t = std::max(t, lastActAny_ + timing_.tRRD_S);
+    t = std::max(t, lastActPerGroup_[group] + timing_.tRRD_L);
+    if (actWindow_.size() >= 4)
+        t = std::max(t, actWindow_[actWindow_.size() - 4] +
+                            timing_.tFAW);
+    return t;
+}
+
+void
+BusScheduler::recordAct(uint32_t bank, double t)
+{
+    uint32_t group = bank % bankGroups_;
+    lastActAny_ = std::max(lastActAny_, t);
+    lastActPerGroup_[group] = std::max(lastActPerGroup_[group], t);
+    actWindow_.push_back(t);
+    while (actWindow_.size() > 8)
+        actWindow_.pop_front();
+}
+
+double
+BusScheduler::issueAct(uint32_t bank, double earliest)
+{
+    QUAC_ASSERT(bank < banks_.size(), "bank=%u", bank);
+    BankState &state = banks_[bank];
+    double t = std::max(earliest, state.actReady);
+    t = actConstraint(bank, t);
+    // Claiming a slot may push t later; re-check ACT pacing after.
+    for (;;) {
+        double slot_t = claimCmdSlot(t);
+        double constrained = actConstraint(bank, slot_t);
+        if (constrained <= slot_t + 1e-9) {
+            t = slot_t;
+            break;
+        }
+        usedSlots_.erase(clockIndex(slot_t));
+        t = constrained;
+    }
+    recordAct(bank, t);
+    state.lastAct = t;
+    state.rdReady = t + timing_.tRCD;
+    state.wrReady = t + timing_.tRCD;
+    state.preReady = t + timing_.tRAS;
+    state.actReady = t + timing_.tRC();
+    state.open = true;
+    return t;
+}
+
+double
+BusScheduler::issuePre(uint32_t bank, double earliest)
+{
+    QUAC_ASSERT(bank < banks_.size(), "bank=%u", bank);
+    BankState &state = banks_[bank];
+    double t = claimCmdSlot(std::max(earliest, state.preReady));
+    state.actReady = std::max(state.actReady, t + timing_.tRP);
+    state.open = false;
+    return t;
+}
+
+BusScheduler::IssueInfo
+BusScheduler::issueRead(uint32_t bank, double earliest)
+{
+    QUAC_ASSERT(bank < banks_.size(), "bank=%u", bank);
+    BankState &state = banks_[bank];
+    uint32_t group = bank % bankGroups_;
+
+    double t = std::max(earliest, state.rdReady);
+    double ccd = (group == lastRdGroup_) ? timing_.tCCD_L
+                                         : timing_.tCCD_S;
+    t = std::max(t, lastRd_ + ccd);
+    // Write-to-read turnaround.
+    double wtr = (group == lastWrGroup_) ? timing_.tWTR_L
+                                         : timing_.tWTR_S;
+    t = std::max(t, lastWrDataEnd_ + wtr);
+    // Data bus must be free when this burst's data arrives.
+    t = std::max(t, dataBusFree_ - timing_.tCL);
+    t = claimCmdSlot(t);
+
+    lastRd_ = t;
+    lastRdGroup_ = group;
+    double data_start = std::max(t + timing_.tCL, dataBusFree_);
+    double data_end = data_start + timing_.tBurst;
+    dataBusFree_ = data_end;
+    dataBusBusy_ += timing_.tBurst;
+    state.preReady = std::max(state.preReady, t + timing_.tRTP);
+    return {t, data_end};
+}
+
+BusScheduler::IssueInfo
+BusScheduler::issueWrite(uint32_t bank, double earliest)
+{
+    QUAC_ASSERT(bank < banks_.size(), "bank=%u", bank);
+    BankState &state = banks_[bank];
+    uint32_t group = bank % bankGroups_;
+
+    double t = std::max(earliest, state.wrReady);
+    double ccd = (group == lastWrGroup_) ? timing_.tCCD_L
+                                         : timing_.tCCD_S;
+    t = std::max(t, lastWr_ + ccd);
+    t = std::max(t, dataBusFree_ - timing_.tCWL);
+    t = claimCmdSlot(t);
+
+    lastWr_ = t;
+    lastWrGroup_ = group;
+    double data_start = std::max(t + timing_.tCWL, dataBusFree_);
+    double data_end = data_start + timing_.tBurst;
+    dataBusFree_ = data_end;
+    dataBusBusy_ += timing_.tBurst;
+    lastWrDataEnd_ = data_end;
+    state.preReady = std::max(state.preReady, data_end + timing_.tWR);
+    return {t, data_end};
+}
+
+double
+BusScheduler::issueViolated(
+    uint32_t bank,
+    const std::vector<std::pair<dram::CommandType, double>> &seq,
+    double earliest)
+{
+    QUAC_ASSERT(bank < banks_.size(), "bank=%u", bank);
+    QUAC_ASSERT(!seq.empty(), "empty violated sequence");
+    BankState &state = banks_[bank];
+
+    // Offsets rounded up to whole clocks (the memory controller can
+    // only place commands on clock edges).
+    std::vector<double> offsets;
+    offsets.reserve(seq.size());
+    for (const auto &[type, offset] : seq) {
+        offsets.push_back(clockIndex(offset) * timing_.tCK);
+        (void)type;
+    }
+
+    double base = std::max(earliest, state.actReady);
+    for (;;) {
+        base = clockIndex(base) * timing_.tCK;
+        bool ok = true;
+        for (size_t i = 0; i < seq.size() && ok; ++i) {
+            double t = base + offsets[i];
+            if (!slotFree(t))
+                ok = false;
+            if (seq[i].first == dram::CommandType::ACT &&
+                actConstraint(bank, t) > t + 1e-9) {
+                ok = false;
+            }
+        }
+        if (ok)
+            break;
+        base += timing_.tCK;
+    }
+
+    double last_act = state.lastAct;
+    double last = base;
+    for (size_t i = 0; i < seq.size(); ++i) {
+        double t = base + offsets[i];
+        usedSlots_.insert(clockIndex(t));
+        lastCmd_ = std::max(lastCmd_, t);
+        if (seq[i].first == dram::CommandType::ACT) {
+            recordAct(bank, t);
+            last_act = t;
+        } else if (seq[i].first == dram::CommandType::RD) {
+            // tRCD-violated read (D-RaNGe): the data burst still
+            // occupies the data bus.
+            lastRd_ = t;
+            lastRdGroup_ = bank % bankGroups_;
+            double data_start = std::max(t + timing_.tCL,
+                                         dataBusFree_);
+            dataBusFree_ = data_start + timing_.tBurst;
+            dataBusBusy_ += timing_.tBurst;
+        }
+        last = t;
+    }
+
+    // Bank state after the sequence: the last ACT defines sensing and
+    // restore timing.
+    state.lastAct = last_act;
+    state.rdReady = last_act + timing_.tRCD;
+    state.wrReady = last_act + timing_.tRCD;
+    state.preReady = last_act + timing_.tRAS;
+    state.actReady = last_act + timing_.tRC();
+    state.open = true;
+    return last;
+}
+
+void
+BusScheduler::holdBank(uint32_t bank, double until)
+{
+    QUAC_ASSERT(bank < banks_.size(), "bank=%u", bank);
+    BankState &state = banks_[bank];
+    state.actReady = std::max(state.actReady, until);
+    state.rdReady = std::max(state.rdReady, until);
+    state.wrReady = std::max(state.wrReady, until);
+    state.preReady = std::max(state.preReady, until);
+}
+
+double
+BusScheduler::bankActReady(uint32_t bank) const
+{
+    QUAC_ASSERT(bank < banks_.size(), "bank=%u", bank);
+    return banks_[bank].actReady;
+}
+
+} // namespace quac::sched

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Resource-tracking DDR4 command scheduler for one memory channel.
+ *
+ * Models the constraints that determine TRNG throughput (paper
+ * Section 7.2): per-bank array timings (tRCD/tRAS/tRP/tRC), bus-level
+ * read/write pacing (tCCD_S/L, tWTR), activation pacing (tRRD_S/L,
+ * tFAW), the one-command-per-clock command bus, and data-bus burst
+ * occupancy. Violated-timing sequences (QUAC, RowClone) are scheduled
+ * with exact intra-sequence offsets, bypassing the per-bank rules
+ * they intentionally break while still consuming command-bus slots
+ * and obeying the global activation constraints.
+ */
+
+#ifndef QUAC_SCHED_BUS_SCHEDULER_HH
+#define QUAC_SCHED_BUS_SCHEDULER_HH
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "dram/command.hh"
+#include "dram/timing.hh"
+
+namespace quac::sched
+{
+
+/** One channel's command/data-bus scheduler. */
+class BusScheduler
+{
+  public:
+    /**
+     * @param timing JEDEC timing set (fixes the clock).
+     * @param banks number of banks on the channel.
+     * @param bank_groups number of bank groups.
+     */
+    BusScheduler(const dram::TimingParams &timing, uint32_t banks = 16,
+                 uint32_t bank_groups = 4);
+
+    /** @name Command issue (each returns the actual issue time) */
+    /**@{*/
+    double issueAct(uint32_t bank, double earliest);
+    double issuePre(uint32_t bank, double earliest);
+
+    /**
+     * Issue a BL8 read. The returned IssueInfo carries both the
+     * command time and when the data burst completes on the bus.
+     */
+    struct IssueInfo
+    {
+        double cmdTime = 0.0;
+        double dataEnd = 0.0;
+    };
+    IssueInfo issueRead(uint32_t bank, double earliest);
+    IssueInfo issueWrite(uint32_t bank, double earliest);
+
+    /**
+     * Issue a violated-timing command sequence with fixed
+     * intra-sequence offsets (rounded up to whole clocks), e.g.
+     * QUAC's ACT-PRE-ACT at +0/+2.5/+5 ns. Per-bank interval rules
+     * between the sequence's commands are bypassed; the first
+     * command still requires the bank to be activatable, and every
+     * ACT obeys tRRD/tFAW and command-bus slots.
+     *
+     * @return issue time of the last command in the sequence.
+     */
+    double issueViolated(
+        uint32_t bank,
+        const std::vector<std::pair<dram::CommandType, double>> &seq,
+        double earliest);
+    /**@}*/
+
+    /** Block a bank until @p until (e.g. restore or settle waits). */
+    void holdBank(uint32_t bank, double until);
+
+    /** Earliest time the bank could accept an ACT. */
+    double bankActReady(uint32_t bank) const;
+
+    /** Latest data-bus activity end (run time of the schedule). */
+    double dataBusEnd() const { return dataBusFree_; }
+
+    /** Latest command issue time. */
+    double lastCommandTime() const { return lastCmd_; }
+
+    /** Accumulated data-burst time (for utilization accounting). */
+    double dataBusBusyNs() const { return dataBusBusy_; }
+
+    const dram::TimingParams &timing() const { return timing_; }
+
+  private:
+    struct BankState
+    {
+        double actReady = 0.0;  ///< PRE + tRP or ACT + tRC.
+        double rdReady = 0.0;   ///< ACT + tRCD.
+        double wrReady = 0.0;
+        double preReady = 0.0;  ///< ACT + tRAS and read/write recovery.
+        double lastAct = -1.0e18;
+        bool open = false;
+    };
+
+    /** Claim the first free command-bus clock at or after t. */
+    double claimCmdSlot(double earliest);
+
+    /** True if the command-bus clock at t is free. */
+    bool slotFree(double t) const;
+
+    /** Earliest ACT time satisfying tRRD and tFAW at or after t. */
+    double actConstraint(uint32_t bank, double t) const;
+
+    /** Record an ACT for tRRD/tFAW accounting. */
+    void recordAct(uint32_t bank, double t);
+
+    int64_t clockIndex(double t) const;
+
+    dram::TimingParams timing_;
+    uint32_t bankGroups_;
+    std::vector<BankState> banks_;
+    std::set<int64_t> usedSlots_;
+    std::deque<double> actWindow_;   ///< Last ACT times (tFAW).
+    double lastActAny_ = -1.0e18;
+    std::vector<double> lastActPerGroup_;
+    double lastRd_ = -1.0e18;
+    uint32_t lastRdGroup_ = 0;
+    double lastWr_ = -1.0e18;
+    uint32_t lastWrGroup_ = 0;
+    double lastWrDataEnd_ = -1.0e18;
+    double dataBusFree_ = 0.0;
+    double dataBusBusy_ = 0.0;
+    double lastCmd_ = 0.0;
+};
+
+} // namespace quac::sched
+
+#endif // QUAC_SCHED_BUS_SCHEDULER_HH

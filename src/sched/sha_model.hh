@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cost model of the memory-controller SHA-256 core (paper Section 9,
+ * values from Baldanzi et al. [17]: 65 cycles at 5.15 GHz, 19.7 Gb/s,
+ * 0.001 mm^2 at 7 nm).
+ */
+
+#ifndef QUAC_SCHED_SHA_MODEL_HH
+#define QUAC_SCHED_SHA_MODEL_HH
+
+namespace quac::sched
+{
+
+/** Hardware SHA-256 core characteristics used for cost accounting. */
+struct ShaCoreModel
+{
+    double clockGhz = 5.15;
+    double latencyCycles = 65.0;
+    double throughputGbps = 19.7;
+    double areaMm2 = 0.001;
+
+    /** Pipeline latency of hashing one input block, in ns. */
+    double latencyNs() const { return latencyCycles / clockGhz; }
+};
+
+/**
+ * Memory-controller storage cost of QUAC-TRNG (paper Section 9):
+ * 4 + 8 row addresses plus 11 column addresses x 10 temperature
+ * ranges = 1316 bits, 0.0003 mm^2 by CACTI.
+ */
+struct IntegrationCostModel
+{
+    unsigned segmentRowAddresses = 4;
+    unsigned initRowAddresses = 8;
+    unsigned columnAddressesPerTemperature = 11;
+    unsigned temperatureRanges = 10;
+    double storageAreaMm2 = 0.0003;
+    double reservedBytes = 192.0 * 1024.0;
+    double moduleBytes = 8.0 * 1024.0 * 1024.0 * 1024.0;
+
+    unsigned
+    storageBits() const
+    {
+        // Row addresses are 17 bits, column addresses are 7 bits on
+        // an 8 Gb x8 device; the paper totals 1316 bits.
+        return (segmentRowAddresses + initRowAddresses) * 17 +
+               columnAddressesPerTemperature * temperatureRanges * 10 +
+               6; // control/valid state
+    }
+
+    double
+    reservedFraction() const
+    {
+        return reservedBytes / moduleBytes;
+    }
+};
+
+} // namespace quac::sched
+
+#endif // QUAC_SCHED_SHA_MODEL_HH

@@ -1,0 +1,165 @@
+#include "softmc/host.hh"
+
+#include "common/error.hh"
+
+namespace quac::softmc
+{
+
+SoftMcHost::SoftMcHost(dram::DramModule &module)
+    : module_(module), timing_(module.timing())
+{
+}
+
+void
+SoftMcHost::wait(double ns)
+{
+    if (ns < 0.0)
+        fatal("negative wait of %f ns", ns);
+    now_ += ns;
+}
+
+void
+SoftMcHost::act(uint32_t bank, uint32_t row)
+{
+    module_.act(bank, row, now_);
+}
+
+void
+SoftMcHost::pre(uint32_t bank)
+{
+    module_.pre(bank, now_);
+}
+
+std::vector<uint64_t>
+SoftMcHost::rd(uint32_t bank, uint32_t column)
+{
+    return module_.readBlock(bank, column, now_);
+}
+
+void
+SoftMcHost::wr(uint32_t bank, uint32_t column,
+               const std::vector<uint64_t> &data)
+{
+    module_.writeBlock(bank, column, data, now_);
+}
+
+void
+SoftMcHost::actObeyed(uint32_t bank, uint32_t row)
+{
+    act(bank, row);
+    wait(timing_.tRCD);
+}
+
+void
+SoftMcHost::preObeyed(uint32_t bank)
+{
+    pre(bank);
+    wait(timing_.tRP);
+}
+
+std::vector<uint64_t>
+SoftMcHost::readOpenRow(uint32_t bank)
+{
+    const dram::Geometry &geom = module_.geometry();
+    std::vector<uint64_t> row_bits;
+    row_bits.reserve(geom.wordsPerRow());
+    for (uint32_t col = 0; col < geom.cacheBlocksPerRow(); ++col) {
+        std::vector<uint64_t> block = rd(bank, col);
+        row_bits.insert(row_bits.end(), block.begin(), block.end());
+        wait(timing_.tCCD_L);
+    }
+    return row_bits;
+}
+
+void
+SoftMcHost::writeRowFill(uint32_t bank, uint32_t row, bool value)
+{
+    const dram::Geometry &geom = module_.geometry();
+    std::vector<uint64_t> block(geom.cacheBlockBits / 64,
+                                value ? ~uint64_t{0} : uint64_t{0});
+    actObeyed(bank, row);
+    for (uint32_t col = 0; col < geom.cacheBlocksPerRow(); ++col) {
+        wr(bank, col, block);
+        wait(timing_.tCCD_L);
+    }
+    wait(timing_.tWR);
+    preObeyed(bank);
+}
+
+void
+SoftMcHost::quac(uint32_t bank, uint32_t segment, unsigned first_offset,
+                 double gap_ns)
+{
+    const dram::Geometry &geom = module_.geometry();
+    const dram::Calibration &cal = module_.calibration();
+    if (segment >= geom.segmentsPerBank())
+        fatal("segment %u out of range", segment);
+    if (first_offset >= dram::Geometry::rowsPerSegment)
+        fatal("first_offset %u out of range", first_offset);
+    double gap = gap_ns > 0.0 ? gap_ns : cal.quacGapNs;
+
+    uint32_t base = geom.firstRowOfSegment(segment);
+    uint32_t first_row = base + first_offset;
+    // The second ACT must target the row whose 2 LSBs are inverted
+    // (paper Section 4: rows {0,3} or {1,2}).
+    uint32_t second_row = base + (3u - first_offset);
+
+    act(bank, first_row);
+    wait(gap);          // violate tRAS
+    pre(bank);
+    wait(gap);          // violate tRP
+    act(bank, second_row);
+    wait(timing_.tRCD); // let sensing complete before reads
+}
+
+void
+SoftMcHost::rowCloneCopy(uint32_t bank, uint32_t src_row,
+                         uint32_t dst_row)
+{
+    const dram::Geometry &geom = module_.geometry();
+    const dram::Calibration &cal = module_.calibration();
+    if (geom.segmentOfRow(src_row) == geom.segmentOfRow(dst_row)) {
+        fatal("RowClone src row %u and dst row %u share a segment; "
+              "the sequence would trigger QUAC instead of a copy",
+              src_row, dst_row);
+    }
+
+    act(bank, src_row);
+    wait(cal.rowCloneSrcOpenNs); // long enough for the SAs to latch
+    pre(bank);
+    wait(cal.rowCloneGapNs);     // violate tRP: SAs still driving
+    act(bank, dst_row);
+    wait(timing_.tRAS);          // restore the overwritten destination
+    preObeyed(bank);
+}
+
+std::vector<uint64_t>
+SoftMcHost::readWithReducedTrcd(uint32_t bank, uint32_t row,
+                                uint32_t column)
+{
+    const dram::Calibration &cal = module_.calibration();
+    act(bank, row);
+    wait(cal.drangeReadNs); // violate tRCD
+    std::vector<uint64_t> block = rd(bank, column);
+    wait(timing_.tRAS - cal.drangeReadNs);
+    preObeyed(bank);
+    return block;
+}
+
+std::vector<uint64_t>
+SoftMcHost::activateWithReducedTrp(uint32_t bank, uint32_t donor_row,
+                                   uint32_t victim_row)
+{
+    const dram::Calibration &cal = module_.calibration();
+    actObeyed(bank, donor_row);
+    wait(timing_.tRAS - timing_.tRCD);
+    pre(bank);
+    wait(cal.talukderPreNs); // violate tRP
+    act(bank, victim_row);
+    wait(timing_.tRCD);
+    std::vector<uint64_t> row_bits = readOpenRow(bank);
+    preObeyed(bank);
+    return row_bits;
+}
+
+} // namespace quac::softmc

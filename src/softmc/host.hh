@@ -1,0 +1,115 @@
+/**
+ * @file
+ * SoftMC-style host controller: an imperative cursor-time API over a
+ * simulated module, plus the canned violated-timing routines the
+ * paper builds on (Algorithm 1 QUAC, RowClone copy, tRCD/tRP failure
+ * drivers).
+ */
+
+#ifndef QUAC_SOFTMC_HOST_HH
+#define QUAC_SOFTMC_HOST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/module.hh"
+#include "dram/timing.hh"
+
+namespace quac::softmc
+{
+
+/** Imperative host front-end with a running time cursor. */
+class SoftMcHost
+{
+  public:
+    /** Attach to a module; the cursor starts at 0 ns. */
+    explicit SoftMcHost(dram::DramModule &module);
+
+    /** Current cursor time in ns. */
+    double now() const { return now_; }
+
+    /** Advance the cursor. */
+    void wait(double ns);
+
+    /** @name Raw commands issued at the current cursor time */
+    /**@{*/
+    void act(uint32_t bank, uint32_t row);
+    void pre(uint32_t bank);
+    std::vector<uint64_t> rd(uint32_t bank, uint32_t column);
+    void wr(uint32_t bank, uint32_t column,
+            const std::vector<uint64_t> &data);
+    /**@}*/
+
+    /** @name Obeyed-timing composites */
+    /**@{*/
+    /** ACT then wait tRCD. */
+    void actObeyed(uint32_t bank, uint32_t row);
+
+    /** PRE then wait tRP. */
+    void preObeyed(uint32_t bank);
+
+    /** Read every cache block of the open row (tCCD_L pacing). */
+    std::vector<uint64_t> readOpenRow(uint32_t bank);
+
+    /**
+     * Open @p row, fill it with @p value via WR bursts, restore and
+     * close it with obeyed timings.
+     */
+    void writeRowFill(uint32_t bank, uint32_t row, bool value);
+    /**@}*/
+
+    /** @name Violated-timing routines (the paper's substrates) */
+    /**@{*/
+    /**
+     * Algorithm 1's QUAC core: ACT(first) - wait gap - PRE - wait gap
+     * - ACT(first XOR 3) - wait tRCD. After this call the four rows
+     * of @p segment are open and the sense amps hold QUAC results.
+     *
+     * @param bank bank index.
+     * @param segment segment to activate.
+     * @param first_offset row offset (0..3) of the first ACT.
+     * @param gap_ns the violated tRAS / tRP gap (default 2.5 ns).
+     */
+    void quac(uint32_t bank, uint32_t segment, unsigned first_offset = 0,
+              double gap_ns = -1.0);
+
+    /**
+     * RowClone-style in-DRAM copy of @p src_row into @p dst_row
+     * (ACT src - PRE - ACT dst with a violated gap), then restore and
+     * close. Source and destination must be in different segments of
+     * the same bank.
+     */
+    void rowCloneCopy(uint32_t bank, uint32_t src_row, uint32_t dst_row);
+
+    /**
+     * D-RaNGe's substrate: activate @p row and read @p column after
+     * only drange read latency (violating tRCD), then close the row.
+     * @return the (partially random) cache block.
+     */
+    std::vector<uint64_t> readWithReducedTrcd(uint32_t bank,
+                                              uint32_t row,
+                                              uint32_t column);
+
+    /**
+     * Talukder+'s substrate: open @p donor_row fully (charging the
+     * row buffer), precharge, then re-activate @p victim_row after
+     * only talukderPreNs (violating tRP) and read it back fully.
+     * @return the (partially flipped) victim row contents.
+     */
+    std::vector<uint64_t> activateWithReducedTrp(uint32_t bank,
+                                                 uint32_t donor_row,
+                                                 uint32_t victim_row);
+    /**@}*/
+
+    const dram::TimingParams &timing() const { return timing_; }
+    dram::DramModule &module() { return module_; }
+
+  private:
+    dram::DramModule &module_;
+    dram::TimingParams timing_;
+    double now_ = 0.0;
+};
+
+} // namespace quac::softmc
+
+#endif // QUAC_SOFTMC_HOST_HH

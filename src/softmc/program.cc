@@ -1,0 +1,133 @@
+#include "softmc/program.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace quac::softmc
+{
+
+Program &
+Program::act(uint32_t bank, uint32_t row)
+{
+    Instruction inst;
+    inst.op = Instruction::Op::Act;
+    inst.bank = bank;
+    inst.row = row;
+    instructions_.push_back(std::move(inst));
+    return *this;
+}
+
+Program &
+Program::pre(uint32_t bank)
+{
+    Instruction inst;
+    inst.op = Instruction::Op::Pre;
+    inst.bank = bank;
+    instructions_.push_back(std::move(inst));
+    return *this;
+}
+
+Program &
+Program::rd(uint32_t bank, uint32_t column)
+{
+    Instruction inst;
+    inst.op = Instruction::Op::Rd;
+    inst.bank = bank;
+    inst.column = column;
+    instructions_.push_back(std::move(inst));
+    return *this;
+}
+
+Program &
+Program::wr(uint32_t bank, uint32_t column, std::vector<uint64_t> data)
+{
+    Instruction inst;
+    inst.op = Instruction::Op::Wr;
+    inst.bank = bank;
+    inst.column = column;
+    inst.data = std::move(data);
+    instructions_.push_back(std::move(inst));
+    return *this;
+}
+
+Program &
+Program::wait(double ns)
+{
+    if (ns < 0.0)
+        fatal("negative wait of %f ns", ns);
+    Instruction inst;
+    inst.op = Instruction::Op::Wait;
+    inst.ns = ns;
+    instructions_.push_back(std::move(inst));
+    return *this;
+}
+
+double
+Program::totalWaitNs() const
+{
+    double total = 0.0;
+    for (const Instruction &inst : instructions_) {
+        if (inst.op == Instruction::Op::Wait)
+            total += inst.ns;
+    }
+    return total;
+}
+
+std::string
+Program::str() const
+{
+    std::ostringstream out;
+    for (const Instruction &inst : instructions_) {
+        switch (inst.op) {
+          case Instruction::Op::Act:
+            out << "ACT  bank=" << inst.bank << " row=" << inst.row;
+            break;
+          case Instruction::Op::Pre:
+            out << "PRE  bank=" << inst.bank;
+            break;
+          case Instruction::Op::Rd:
+            out << "RD   bank=" << inst.bank << " col=" << inst.column;
+            break;
+          case Instruction::Op::Wr:
+            out << "WR   bank=" << inst.bank << " col=" << inst.column;
+            break;
+          case Instruction::Op::Wait:
+            out << "WAIT " << inst.ns << " ns";
+            break;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+ExecutionResult
+run(const Program &program, dram::DramModule &module, double start_ns)
+{
+    ExecutionResult result;
+    double now = start_ns;
+    for (const Instruction &inst : program.instructions()) {
+        switch (inst.op) {
+          case Instruction::Op::Act:
+            module.act(inst.bank, inst.row, now);
+            break;
+          case Instruction::Op::Pre:
+            module.pre(inst.bank, now);
+            break;
+          case Instruction::Op::Rd:
+            result.reads.push_back(
+                module.readBlock(inst.bank, inst.column, now));
+            break;
+          case Instruction::Op::Wr:
+            module.writeBlock(inst.bank, inst.column, inst.data, now);
+            break;
+          case Instruction::Op::Wait:
+            now += inst.ns;
+            break;
+        }
+    }
+    result.endTime = now;
+    return result;
+}
+
+} // namespace quac::softmc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Declarative DDR4 command programs, mirroring SoftMC's programming
+ * model (Hassan et al., HPCA'17): a program is a list of commands and
+ * waits that the host executes with nanosecond timing precision.
+ */
+
+#ifndef QUAC_SOFTMC_PROGRAM_HH
+#define QUAC_SOFTMC_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/module.hh"
+
+namespace quac::softmc
+{
+
+/** One step of a SoftMC program. */
+struct Instruction
+{
+    enum class Op : uint8_t
+    {
+        Act,   ///< Activate (bank, row).
+        Pre,   ///< Precharge (bank).
+        Rd,    ///< Read (bank, column); data is captured.
+        Wr,    ///< Write (bank, column) with the attached data.
+        Wait,  ///< Advance time by ns.
+    };
+
+    Op op = Op::Wait;
+    uint32_t bank = 0;
+    uint32_t row = 0;
+    uint32_t column = 0;
+    double ns = 0.0;                 ///< Wait duration.
+    std::vector<uint64_t> data;      ///< WR payload (one cache block).
+};
+
+/** A buildable sequence of instructions. */
+class Program
+{
+  public:
+    Program &act(uint32_t bank, uint32_t row);
+    Program &pre(uint32_t bank);
+    Program &rd(uint32_t bank, uint32_t column);
+    Program &wr(uint32_t bank, uint32_t column,
+                std::vector<uint64_t> data);
+    Program &wait(double ns);
+
+    const std::vector<Instruction> &instructions() const
+    {
+        return instructions_;
+    }
+
+    size_t size() const { return instructions_.size(); }
+
+    /** Total wall time of all waits (command slots take no time). */
+    double totalWaitNs() const;
+
+    /** Disassembly for debugging. */
+    std::string str() const;
+
+  private:
+    std::vector<Instruction> instructions_;
+};
+
+/** Result of executing a program: all captured RD payloads. */
+struct ExecutionResult
+{
+    /** One entry per Rd instruction, in program order. */
+    std::vector<std::vector<uint64_t>> reads;
+    /** Time at which the last instruction issued. */
+    double endTime = 0.0;
+};
+
+/**
+ * Execute a program against a module starting at @p start_ns,
+ * issuing each command at the current cursor time.
+ */
+ExecutionResult run(const Program &program, dram::DramModule &module,
+                    double start_ns = 0.0);
+
+} // namespace quac::softmc
+
+#endif // QUAC_SOFTMC_PROGRAM_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Memory-channel occupancy simulation and QUAC command injection
+ * (paper Section 7.3): generate a channel's busy/idle timeline under
+ * a workload, then fit QUAC-TRNG iterations into the idle intervals.
+ */
+
+#ifndef QUAC_SYSPERF_CHANNEL_SIM_HH
+#define QUAC_SYSPERF_CHANNEL_SIM_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sysperf/workloads.hh"
+
+namespace quac::sysperf
+{
+
+/** Busy/idle timeline of one channel over a simulation window. */
+class ChannelActivity
+{
+  public:
+    /**
+     * Generate a synthetic timeline: busy bursts with exponential
+     * lengths (mean = profile.burstNs) separated by exponential idle
+     * gaps sized so the long-run busy fraction matches
+     * profile.busUtilization.
+     *
+     * @param profile workload behaviour.
+     * @param window_ns timeline length.
+     * @param seed generator seed.
+     */
+    static ChannelActivity generate(const WorkloadProfile &profile,
+                                    double window_ns, uint64_t seed);
+
+    /** [start, end) busy intervals, ascending and disjoint. */
+    const std::vector<std::pair<double, double>> &busyIntervals() const
+    {
+        return busy_;
+    }
+
+    /** [start, end) idle intervals between the busy ones. */
+    std::vector<std::pair<double, double>> idleIntervals() const;
+
+    /** Fraction of the window with no demand traffic. */
+    double idleFraction() const;
+
+    double windowNs() const { return windowNs_; }
+
+  private:
+    std::vector<std::pair<double, double>> busy_;
+    double windowNs_ = 0.0;
+};
+
+/** Result of injecting QUAC-TRNG work into a channel's idle time. */
+struct InjectionResult
+{
+    double iterations = 0.0;      ///< QUAC iterations completed.
+    double bits = 0.0;            ///< Random bits produced.
+    double idleFraction = 0.0;    ///< Channel idle fraction.
+    double idleUsedFraction = 0.0; ///< Idle time actually used.
+
+    /** TRNG throughput over the window, in Gb/s. */
+    double throughputGbps(double window_ns) const
+    {
+        return window_ns > 0.0 ? bits / window_ns : 0.0;
+    }
+};
+
+/**
+ * Fit QUAC-TRNG work into a channel's idle intervals at command
+ * granularity: each interval first pays a re-entry overhead
+ * (draining demand traffic / reissuing state), and the remainder
+ * contributes fractional iteration progress at a rate of
+ * @p bits_per_iteration random bits per @p iteration_ns.
+ */
+InjectionResult injectQuac(const ChannelActivity &activity,
+                           double iteration_ns,
+                           double bits_per_iteration,
+                           double reentry_overhead_ns = 20.0);
+
+/** Fig 12 datapoint: a workload's TRNG throughput on 4 channels. */
+struct WorkloadTrngResult
+{
+    std::string name;
+    double throughputGbps = 0.0;
+    double idleFraction = 0.0;
+};
+
+/**
+ * Run the full Fig 12 experiment: every workload across
+ * @p channels channels.
+ *
+ * @param iteration_ns per-channel QUAC iteration length (from the
+ *        command scheduler).
+ * @param bits_per_iteration bits per iteration (256 x SIB x banks).
+ */
+std::vector<WorkloadTrngResult>
+runSystemStudy(double iteration_ns, double bits_per_iteration,
+               unsigned channels = 4, double window_ns = 2.0e6,
+               uint64_t seed = 1);
+
+} // namespace quac::sysperf
+
+#endif // QUAC_SYSPERF_CHANNEL_SIM_HH

@@ -1,0 +1,42 @@
+#include "sysperf/workloads.hh"
+
+namespace quac::sysperf
+{
+
+const std::vector<WorkloadProfile> &
+spec2006Profiles()
+{
+    // Utilizations reflect the well-known memory-intensity classes of
+    // SPEC CPU2006 (e.g. MPKI characterizations in the Ramulator and
+    // memory-scheduling literature): lbm/libquantum/mcf/milc/
+    // GemsFDTD/leslie3d are memory-bound; namd/sjeng/gobmk/hmmer/
+    // dealII/gromacs barely touch DRAM.
+    static const std::vector<WorkloadProfile> profiles = {
+        {"bzip2", 0.14, 90.0},
+        {"gcc", 0.12, 70.0},
+        {"mcf", 0.55, 60.0},
+        {"milc", 0.45, 120.0},
+        {"zeusmp", 0.24, 110.0},
+        {"gromacs", 0.07, 80.0},
+        {"cactusADM", 0.30, 130.0},
+        {"leslie3d", 0.42, 140.0},
+        {"namd", 0.03, 60.0},
+        {"gobmk", 0.06, 60.0},
+        {"dealII", 0.08, 70.0},
+        {"soplex", 0.36, 90.0},
+        {"hmmer", 0.05, 70.0},
+        {"sjeng", 0.04, 60.0},
+        {"GemsFDTD", 0.46, 150.0},
+        {"libquantum", 0.58, 170.0},
+        {"h264ref", 0.10, 80.0},
+        {"lbm", 0.65, 160.0},
+        {"omnetpp", 0.29, 70.0},
+        {"astar", 0.19, 70.0},
+        {"wrf", 0.26, 110.0},
+        {"sphinx3", 0.34, 90.0},
+        {"xalancbmk", 0.24, 70.0},
+    };
+    return profiles;
+}
+
+} // namespace quac::sysperf

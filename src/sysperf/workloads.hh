@@ -1,0 +1,39 @@
+/**
+ * @file
+ * SPEC CPU2006 workload memory-behaviour profiles for the system
+ * performance study (paper Section 7.3, Fig 12).
+ *
+ * The original experiment replays licensed SPEC2006 memory traces in
+ * Ramulator. We substitute synthetic traces parameterized by each
+ * workload's published memory-bandwidth intensity class: what
+ * matters for Fig 12 is each workload's *channel idle fraction* and
+ * the burstiness of its accesses, which these profiles reproduce
+ * (memory-bound mcf/lbm/libquantum leave little idle bandwidth;
+ * compute-bound namd/sjeng leave the channel almost free).
+ */
+
+#ifndef QUAC_SYSPERF_WORKLOADS_HH
+#define QUAC_SYSPERF_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+namespace quac::sysperf
+{
+
+/** One workload's memory-behaviour parameters. */
+struct WorkloadProfile
+{
+    std::string name;
+    /** Average fraction of channel time busy with demand traffic. */
+    double busUtilization = 0.1;
+    /** Mean busy-burst length in ns (row-locality proxy). */
+    double burstNs = 80.0;
+};
+
+/** The 23 SPEC2006 workloads of Fig 12, in the figure's order. */
+const std::vector<WorkloadProfile> &spec2006Profiles();
+
+} // namespace quac::sysperf
+
+#endif // QUAC_SYSPERF_WORKLOADS_HH

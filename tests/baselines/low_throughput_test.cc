@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the low-throughput analytical TRNG models (Table 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/low_throughput.hh"
+
+namespace quac::baselines
+{
+namespace
+{
+
+TEST(LowThroughput, DpufMatchesPaper)
+{
+    // Table 2: D-PUF 0.20 Mb/s, 40 s.
+    LowThroughputModel model = dpufModel(128.0);
+    EXPECT_NEAR(model.throughputMbps, 0.20, 0.02);
+    EXPECT_NEAR(model.latency256Ns, 40e9, 1.0);
+}
+
+TEST(LowThroughput, DpufScalesWithDedicatedDram)
+{
+    // Section 10.1: 1% of DRAM gives ~0.002 Mb/s.
+    LowThroughputModel small = dpufModel(1.28);
+    EXPECT_NEAR(small.throughputMbps, 0.002, 0.0005);
+}
+
+TEST(LowThroughput, KellerMatchesPaper)
+{
+    // Table 2: Keller+ 0.025 Mb/s.
+    LowThroughputModel model = kellerModel(128.0);
+    EXPECT_NEAR(model.throughputMbps, 0.025, 0.005);
+}
+
+TEST(LowThroughput, DrngIsNotStreaming)
+{
+    LowThroughputModel model = drngModel();
+    EXPECT_EQ(model.throughputMbps, 0.0);
+    EXPECT_NEAR(model.latency256Ns, 700e3, 1.0);
+}
+
+TEST(LowThroughput, PyoMatchesPaper)
+{
+    // Table 2: Pyo+ 2.17 Mb/s, 112.5 us.
+    LowThroughputModel model = pyoModel(3.2, 4);
+    EXPECT_NEAR(model.throughputMbps, 2.17, 0.15);
+    EXPECT_NEAR(model.latency256Ns, 112.5e3, 1e3);
+}
+
+TEST(LowThroughput, AllModelsListed)
+{
+    auto models = lowThroughputModels();
+    ASSERT_EQ(models.size(), 4u);
+    for (const auto &model : models) {
+        EXPECT_FALSE(model.name.empty());
+        EXPECT_FALSE(model.entropySource.empty());
+        EXPECT_FALSE(model.derivation.empty());
+        EXPECT_GT(model.latency256Ns, 0.0);
+    }
+}
+
+TEST(LowThroughput, AllFarSlowerThanGigabitClass)
+{
+    // Every Table 2 low-throughput mechanism is under ~3 Mb/s, four
+    // orders of magnitude below QUAC-TRNG's 13.76 Gb/s.
+    for (const auto &model : lowThroughputModels())
+        EXPECT_LT(model.throughputMbps, 3.0) << model.name;
+}
+
+} // anonymous namespace
+} // namespace quac::baselines

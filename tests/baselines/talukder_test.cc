@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the Talukder+ baseline TRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/talukder.hh"
+#include "common/error.hh"
+#include "nist/sts.hh"
+#include "softmc/host.hh"
+
+namespace quac::baselines
+{
+namespace
+{
+
+dram::ModuleSpec
+testSpec(uint64_t seed = 44)
+{
+    dram::ModuleSpec spec;
+    spec.geometry = dram::Geometry::testScale();
+    spec.seed = seed;
+    return spec;
+}
+
+TalukderConfig
+config(bool enhanced)
+{
+    TalukderConfig cfg;
+    cfg.enhanced = enhanced;
+    cfg.banks = {0, 1};
+    cfg.sibEntropyTarget = 24.0; // reduced geometry
+    return cfg;
+}
+
+TEST(Talukder, SetupCharacterizesRows)
+{
+    dram::DramModule module(testSpec());
+    TalukderTrng trng(module, config(true));
+    trng.setup();
+    ASSERT_EQ(trng.plans().size(), 2u);
+    for (const auto &plan : trng.plans()) {
+        EXPECT_GT(plan.rowEntropy, 0.0);
+        EXPECT_FALSE(plan.ranges.empty());
+        EXPECT_EQ(plan.rowProbs.size(),
+                  module.geometry().bitlinesPerRow);
+    }
+    EXPECT_GE(trng.sibPerRow(), 1u);
+    EXPECT_GT(trng.columnsReadPerRow(), 0u);
+    EXPECT_LE(trng.columnsReadPerRow(),
+              module.geometry().cacheBlocksPerRow());
+}
+
+TEST(Talukder, RowEntropyBelowQuacLevels)
+{
+    // The paper's key quantitative claim: tRP failures harvest far
+    // less entropy per row than QUAC (~1 kbit vs ~1.4+ kbit of 64K).
+    dram::DramModule module(testSpec());
+    TalukderTrng trng(module, config(true));
+    trng.setup();
+    double row_entropy = trng.avgRowEntropy();
+    EXPECT_GT(row_entropy, 0.0);
+    EXPECT_LT(row_entropy,
+              0.15 * module.geometry().bitlinesPerRow);
+}
+
+TEST(Talukder, StrongCellsAreMetastable)
+{
+    dram::DramModule module(testSpec());
+    TalukderTrng trng(module, config(false));
+    trng.setup();
+    for (const auto &plan : trng.plans()) {
+        for (uint32_t cell : plan.strongCells) {
+            EXPECT_GE(plan.rowProbs[cell], 0.4f);
+            EXPECT_LE(plan.rowProbs[cell], 0.6f);
+        }
+    }
+}
+
+TEST(Talukder, EnhancedGeneratesWhitenedBytes)
+{
+    dram::DramModule module(testSpec());
+    TalukderTrng trng(module, config(true));
+    auto bytes = trng.generate(512);
+    EXPECT_EQ(bytes.size(), 512u);
+    std::set<uint8_t> distinct(bytes.begin(), bytes.end());
+    EXPECT_GT(distinct.size(), 32u);
+}
+
+TEST(Talukder, EnhancedOutputPassesBasicNist)
+{
+    dram::DramModule module(testSpec());
+    TalukderTrng trng(module, config(true));
+    Bitstream bits = trng.generateBits(1u << 15);
+    EXPECT_TRUE(nist::monobit(bits).passed());
+    EXPECT_TRUE(nist::runs(bits).passed());
+}
+
+TEST(Talukder, BasicHarvestsStrongCells)
+{
+    dram::DramModule module(testSpec());
+    TalukderTrng trng(module, config(false));
+    trng.setup();
+    if (trng.avgStrongCells() < 0.5)
+        GTEST_SKIP() << "no strong cells in this reduced module";
+    auto bytes = trng.generate(32);
+    EXPECT_EQ(bytes.size(), 32u);
+}
+
+TEST(Talukder, CharacterizationMatchesCommandPath)
+{
+    // The plan probabilities must match empirical frequencies from
+    // the real donor-ACT / violated-PRE / victim-ACT sequence.
+    dram::DramModule module(testSpec());
+    TalukderTrng trng(module, config(true));
+    trng.setup();
+    const TalukderBankPlan &plan = trng.plans()[0];
+
+    uint32_t target = 0;
+    float best = 1.0f;
+    for (uint32_t b = 0; b < plan.rowProbs.size(); ++b) {
+        float dist = std::abs(plan.rowProbs[b] - 0.5f);
+        if (dist < best) {
+            best = dist;
+            target = b;
+        }
+    }
+    if (best > 0.3f)
+        GTEST_SKIP() << "no metastable victim cell here";
+
+    softmc::SoftMcHost host(module);
+    int ones = 0;
+    const int iters = 300;
+    for (int i = 0; i < iters; ++i) {
+        module.bank(plan.bank).pokeRowFill(plan.donorRow, true);
+        module.bank(plan.bank).pokeRowFill(plan.victimRow, false);
+        auto row = host.activateWithReducedTrp(
+            plan.bank, plan.donorRow, plan.victimRow);
+        ones += (row[target / 64] >> (target % 64)) & 1;
+    }
+    double freq = static_cast<double>(ones) / iters;
+    EXPECT_NEAR(freq, plan.rowProbs[target], 0.12);
+}
+
+TEST(Talukder, DeterministicPerSeed)
+{
+    dram::DramModule module_a(testSpec());
+    dram::DramModule module_b(testSpec());
+    TalukderTrng a(module_a, config(true));
+    TalukderTrng b(module_b, config(true));
+    EXPECT_EQ(a.generate(128), b.generate(128));
+}
+
+TEST(Talukder, RejectsBadConfig)
+{
+    dram::DramModule module(testSpec());
+    TalukderConfig cfg = config(true);
+    cfg.banks = {};
+    EXPECT_THROW(TalukderTrng(module, cfg), FatalError);
+    cfg = config(true);
+    cfg.donorRow = cfg.victimRow;
+    EXPECT_THROW(TalukderTrng(module, cfg), FatalError);
+    cfg = config(true);
+    cfg.victimRow = module.geometry().rowsPerBank;
+    EXPECT_THROW(TalukderTrng(module, cfg), FatalError);
+}
+
+} // anonymous namespace
+} // namespace quac::baselines

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the Bitstream container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitstream.hh"
+#include "common/error.hh"
+
+namespace quac
+{
+namespace
+{
+
+TEST(Bitstream, StartsEmpty)
+{
+    Bitstream bs;
+    EXPECT_TRUE(bs.empty());
+    EXPECT_EQ(bs.size(), 0u);
+}
+
+TEST(Bitstream, SizedConstructorZeroFilled)
+{
+    Bitstream bs(130);
+    EXPECT_EQ(bs.size(), 130u);
+    EXPECT_EQ(bs.popcount(), 0u);
+}
+
+TEST(Bitstream, AppendAndIndex)
+{
+    Bitstream bs;
+    bs.append(true);
+    bs.append(false);
+    bs.append(true);
+    ASSERT_EQ(bs.size(), 3u);
+    EXPECT_TRUE(bs[0]);
+    EXPECT_FALSE(bs[1]);
+    EXPECT_TRUE(bs[2]);
+}
+
+TEST(Bitstream, AppendAcrossWordBoundary)
+{
+    Bitstream bs;
+    for (int i = 0; i < 130; ++i)
+        bs.append(i % 2 == 0);
+    ASSERT_EQ(bs.size(), 130u);
+    EXPECT_TRUE(bs[0]);
+    EXPECT_FALSE(bs[63]);
+    EXPECT_TRUE(bs[64]);
+    EXPECT_TRUE(bs[128]);
+    EXPECT_EQ(bs.popcount(), 65u);
+}
+
+TEST(Bitstream, AppendWordLsbFirst)
+{
+    Bitstream bs;
+    bs.appendWord(0b1011, 4);
+    ASSERT_EQ(bs.size(), 4u);
+    EXPECT_TRUE(bs[0]);
+    EXPECT_TRUE(bs[1]);
+    EXPECT_FALSE(bs[2]);
+    EXPECT_TRUE(bs[3]);
+}
+
+TEST(Bitstream, FromString)
+{
+    Bitstream bs = Bitstream::fromString("0110");
+    ASSERT_EQ(bs.size(), 4u);
+    EXPECT_FALSE(bs[0]);
+    EXPECT_TRUE(bs[1]);
+    EXPECT_TRUE(bs[2]);
+    EXPECT_FALSE(bs[3]);
+    EXPECT_EQ(bs.toString(), "0110");
+}
+
+TEST(Bitstream, FromStringRejectsGarbage)
+{
+    EXPECT_THROW(Bitstream::fromString("01x0"), FatalError);
+}
+
+TEST(Bitstream, RoundTripBytes)
+{
+    std::vector<uint8_t> bytes = {0xde, 0xad, 0xbe, 0xef, 0x01};
+    Bitstream bs = Bitstream::fromBytes(bytes);
+    EXPECT_EQ(bs.size(), 40u);
+    EXPECT_EQ(bs.toBytes(), bytes);
+}
+
+TEST(Bitstream, ToBytesPadsFinalByte)
+{
+    Bitstream bs = Bitstream::fromString("101");
+    std::vector<uint8_t> bytes = bs.toBytes();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0b00000101);
+}
+
+TEST(Bitstream, SetBit)
+{
+    Bitstream bs(10);
+    bs.set(3, true);
+    EXPECT_TRUE(bs[3]);
+    bs.set(3, false);
+    EXPECT_FALSE(bs[3]);
+}
+
+TEST(Bitstream, Slice)
+{
+    Bitstream bs = Bitstream::fromString("11010011");
+    Bitstream mid = bs.slice(2, 4);
+    EXPECT_EQ(mid.toString(), "0100");
+}
+
+TEST(Bitstream, SliceOutOfRangePanics)
+{
+    Bitstream bs(8);
+    EXPECT_THROW(bs.slice(4, 8), PanicError);
+}
+
+TEST(Bitstream, AppendStream)
+{
+    Bitstream a = Bitstream::fromString("101");
+    Bitstream b = Bitstream::fromString("01");
+    a.append(b);
+    EXPECT_EQ(a.toString(), "10101");
+}
+
+TEST(Bitstream, Equality)
+{
+    EXPECT_EQ(Bitstream::fromString("1010"), Bitstream::fromString("1010"));
+    EXPECT_FALSE(Bitstream::fromString("1010") ==
+                 Bitstream::fromString("1011"));
+    EXPECT_FALSE(Bitstream::fromString("101") ==
+                 Bitstream::fromString("1010"));
+}
+
+TEST(Bitstream, ClearResets)
+{
+    Bitstream bs = Bitstream::fromString("111");
+    bs.clear();
+    EXPECT_TRUE(bs.empty());
+    EXPECT_EQ(bs.popcount(), 0u);
+}
+
+TEST(Bitstream, PopcountIgnoresPadding)
+{
+    Bitstream bs;
+    for (int i = 0; i < 70; ++i)
+        bs.append(true);
+    EXPECT_EQ(bs.popcount(), 70u);
+}
+
+TEST(Bitstream, OutOfRangeIndexPanics)
+{
+    Bitstream bs(4);
+    EXPECT_THROW((void)bs[4], PanicError);
+}
+
+} // anonymous namespace
+} // namespace quac

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+#include "common/error.hh"
+
+namespace quac
+{
+namespace
+{
+
+CliArgs
+parse(std::vector<const char *> argv, std::vector<std::string> known)
+{
+    argv.insert(argv.begin(), "prog");
+    return CliArgs(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(CliArgs, EmptyIsAllDefaults)
+{
+    CliArgs args = parse({}, {"full"});
+    EXPECT_FALSE(args.has("full"));
+    EXPECT_FALSE(args.getBool("full"));
+    EXPECT_EQ(args.getInt("full", 42), 42);
+}
+
+TEST(CliArgs, BooleanPresence)
+{
+    CliArgs args = parse({"--full"}, {"full"});
+    EXPECT_TRUE(args.getBool("full"));
+}
+
+TEST(CliArgs, EqualsForm)
+{
+    CliArgs args = parse({"--segments=128"}, {"segments"});
+    EXPECT_EQ(args.getInt("segments", 0), 128);
+}
+
+TEST(CliArgs, SpaceForm)
+{
+    CliArgs args = parse({"--seed", "99"}, {"seed"});
+    EXPECT_EQ(args.getUint("seed", 0), 99u);
+}
+
+TEST(CliArgs, DoubleAndString)
+{
+    CliArgs args = parse({"--temp=65.5", "--name", "M13"},
+                         {"temp", "name"});
+    EXPECT_DOUBLE_EQ(args.getDouble("temp", 0.0), 65.5);
+    EXPECT_EQ(args.getString("name"), "M13");
+}
+
+TEST(CliArgs, UnknownFlagIsFatal)
+{
+    EXPECT_THROW(parse({"--bogus"}, {"full"}), FatalError);
+}
+
+TEST(CliArgs, PositionalIsFatal)
+{
+    EXPECT_THROW(parse({"positional"}, {"full"}), FatalError);
+}
+
+} // anonymous namespace
+} // namespace quac

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the deterministic random sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace quac
+{
+namespace
+{
+
+TEST(SplitMix64, ProducesKnownSequenceProperties)
+{
+    uint64_t state = 0;
+    uint64_t first = splitmix64(state);
+    uint64_t second = splitmix64(state);
+    EXPECT_NE(first, second);
+
+    uint64_t state2 = 0;
+    EXPECT_EQ(splitmix64(state2), first) << "same seed, same stream";
+}
+
+TEST(Philox, SameCounterSameBlock)
+{
+    Philox4x32 rng(42);
+    auto a = rng.block(1, 2, 3, 4);
+    auto b = rng.block(1, 2, 3, 4);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Philox, DifferentCountersDiffer)
+{
+    Philox4x32 rng(42);
+    auto a = rng.block(1, 2, 3, 4);
+    auto b = rng.block(1, 2, 3, 5);
+    EXPECT_NE(a, b);
+}
+
+TEST(Philox, DifferentKeysDiffer)
+{
+    Philox4x32 rng_a(42);
+    Philox4x32 rng_b(43);
+    EXPECT_NE(rng_a.block(0, 0, 0, 0), rng_b.block(0, 0, 0, 0));
+}
+
+TEST(Philox, UniformInUnitInterval)
+{
+    Philox4x32 rng(7);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform({static_cast<uint32_t>(i), 0, 0, 0});
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Philox, GaussianMoments)
+{
+    Philox4x32 rng(99);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian({static_cast<uint32_t>(i), 1, 2, 3});
+        sum += g;
+        sum_sq += g * g;
+    }
+    double mean = sum / n;
+    double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Philox, GaussianLanesIndependent)
+{
+    Philox4x32 rng(5);
+    double g0 = rng.gaussian({1, 2, 3, 4}, 0);
+    double g1 = rng.gaussian({1, 2, 3, 4}, 1);
+    EXPECT_NE(g0, g1);
+}
+
+TEST(Xoshiro, Determinism)
+{
+    Xoshiro256pp a(123);
+    Xoshiro256pp b(123);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer)
+{
+    Xoshiro256pp a(123);
+    Xoshiro256pp b(124);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, UniformBounds)
+{
+    Xoshiro256pp rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Xoshiro, UniformIntInBound)
+{
+    Xoshiro256pp rng(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t v = rng.uniformInt(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u) << "all residues should appear";
+}
+
+TEST(Xoshiro, GaussianMoments)
+{
+    Xoshiro256pp rng(77);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    double mean = sum / n;
+    double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Xoshiro, GaussianScaled)
+{
+    Xoshiro256pp rng(31);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Xoshiro, BernoulliFrequency)
+{
+    Xoshiro256pp rng(13);
+    int count = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        count += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(count) / n, 0.3, 0.01);
+}
+
+} // anonymous namespace
+} // namespace quac

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+namespace quac
+{
+namespace
+{
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    // Sample variance with n-1 denominator: 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesCombined)
+{
+    RunningStats a;
+    RunningStats b;
+    RunningStats all;
+    for (int i = 0; i < 50; ++i) {
+        double x = std::sin(i * 0.7) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a;
+    a.add(1.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+
+    RunningStats target;
+    target.merge(a);
+    EXPECT_EQ(target.count(), 1u);
+    EXPECT_DOUBLE_EQ(target.mean(), 1.0);
+}
+
+TEST(BinaryEntropy, Extremes)
+{
+    EXPECT_EQ(binaryEntropy(0.0), 0.0);
+    EXPECT_EQ(binaryEntropy(1.0), 0.0);
+    EXPECT_EQ(binaryEntropy(-0.1), 0.0);
+    EXPECT_EQ(binaryEntropy(1.1), 0.0);
+}
+
+TEST(BinaryEntropy, Maximum)
+{
+    EXPECT_DOUBLE_EQ(binaryEntropy(0.5), 1.0);
+}
+
+TEST(BinaryEntropy, Symmetry)
+{
+    EXPECT_NEAR(binaryEntropy(0.2), binaryEntropy(0.8), 1e-12);
+    EXPECT_NEAR(binaryEntropy(0.25),
+                0.25 * 2 + 0.75 * std::log2(4.0 / 3.0), 1e-12);
+}
+
+TEST(ShannonEntropy, UniformCounts)
+{
+    EXPECT_DOUBLE_EQ(shannonEntropy({10, 10, 10, 10}), 2.0);
+}
+
+TEST(ShannonEntropy, ZeroCountsIgnored)
+{
+    EXPECT_DOUBLE_EQ(shannonEntropy({8, 0, 8, 0}), 1.0);
+    EXPECT_DOUBLE_EQ(shannonEntropy({}), 0.0);
+    EXPECT_DOUBLE_EQ(shannonEntropy({0, 0}), 0.0);
+}
+
+TEST(VectorStats, MeanAndStddev)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_NEAR(stddev(xs), std::sqrt(1.25), 1e-12);
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_EQ(stddev({}), 0.0);
+}
+
+TEST(VectorStats, Median)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_EQ(median({}), 0.0);
+}
+
+} // anonymous namespace
+} // namespace quac

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Tests for the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/table.hh"
+
+namespace quac
+{
+namespace
+{
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2.5"});
+    std::string out = t.str();
+    EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 2.5   |"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(1234.5678, 3), "1234.568");
+}
+
+TEST(Table, EmptyTableStillRenders)
+{
+    Table t({"h"});
+    std::string out = t.str();
+    EXPECT_NE(out.find("| h |"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace quac

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the characterization driver and SIB range computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "core/characterizer.hh"
+
+namespace quac::core
+{
+namespace
+{
+
+dram::ModuleSpec
+testSpec(uint64_t seed = 404)
+{
+    dram::ModuleSpec spec;
+    spec.geometry = dram::Geometry::testScale();
+    spec.seed = seed;
+    return spec;
+}
+
+TEST(SibRanges, SimpleAccumulation)
+{
+    // Entropy 100 per block, target 256: ranges of 3 blocks each.
+    std::vector<double> entropy(9, 100.0);
+    auto ranges = sibRanges(entropy, 256.0);
+    ASSERT_EQ(ranges.size(), 3u);
+    EXPECT_EQ(ranges[0].beginColumn, 0u);
+    EXPECT_EQ(ranges[0].endColumn, 3u);
+    EXPECT_DOUBLE_EQ(ranges[0].entropy, 300.0);
+    EXPECT_EQ(ranges[2].endColumn, 9u);
+}
+
+TEST(SibRanges, TrailingShortfallDiscarded)
+{
+    std::vector<double> entropy = {300.0, 100.0};
+    auto ranges = sibRanges(entropy, 256.0);
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges[0].endColumn, 1u);
+}
+
+TEST(SibRanges, UnevenEntropy)
+{
+    std::vector<double> entropy = {10.0, 250.0, 5.0, 260.0, 1.0};
+    auto ranges = sibRanges(entropy, 256.0);
+    ASSERT_EQ(ranges.size(), 2u);
+    EXPECT_EQ(ranges[0].beginColumn, 0u);
+    EXPECT_EQ(ranges[0].endColumn, 2u);
+    EXPECT_EQ(ranges[1].beginColumn, 2u);
+    EXPECT_EQ(ranges[1].endColumn, 4u);
+}
+
+TEST(SibRanges, RangesAreDisjointAndOrdered)
+{
+    std::vector<double> entropy(50);
+    for (size_t i = 0; i < entropy.size(); ++i)
+        entropy[i] = 20.0 + 15.0 * (i % 7);
+    auto ranges = sibRanges(entropy, 256.0);
+    ASSERT_GT(ranges.size(), 1u);
+    for (size_t i = 0; i < ranges.size(); ++i) {
+        EXPECT_LT(ranges[i].beginColumn, ranges[i].endColumn);
+        EXPECT_GE(ranges[i].entropy, 256.0);
+        if (i > 0) {
+            EXPECT_EQ(ranges[i].beginColumn, ranges[i - 1].endColumn);
+        }
+    }
+}
+
+TEST(SibRanges, RejectsBadTarget)
+{
+    EXPECT_THROW(sibRanges({1.0}, 0.0), PanicError);
+}
+
+class CharacterizerTest : public ::testing::Test
+{
+  protected:
+    CharacterizerTest() : module(testSpec()), characterizer(module) {}
+
+    dram::DramModule module;
+    Characterizer characterizer;
+};
+
+TEST_F(CharacterizerTest, SegmentEntropiesCoverBank)
+{
+    CharacterizerConfig cfg;
+    cfg.threads = 2;
+    auto entropies = characterizer.segmentEntropies(cfg);
+    EXPECT_EQ(entropies.size(), module.geometry().segmentsPerBank());
+    for (const auto &se : entropies)
+        EXPECT_GE(se.entropy, 0.0);
+}
+
+TEST_F(CharacterizerTest, StrideSamples)
+{
+    CharacterizerConfig cfg;
+    cfg.segmentStride = 4;
+    auto entropies = characterizer.segmentEntropies(cfg);
+    EXPECT_EQ(entropies.size(),
+              module.geometry().segmentsPerBank() / 4);
+    EXPECT_EQ(entropies[1].segment, 4u);
+}
+
+TEST_F(CharacterizerTest, BestSegmentIsArgmax)
+{
+    CharacterizerConfig cfg;
+    auto entropies = characterizer.segmentEntropies(cfg);
+    SegmentEntropy best = characterizer.bestSegment(cfg);
+    double max_entropy = 0.0;
+    for (const auto &se : entropies)
+        max_entropy = std::max(max_entropy, se.entropy);
+    EXPECT_DOUBLE_EQ(best.entropy, max_entropy);
+    EXPECT_DOUBLE_EQ(
+        characterizer.segmentEntropy(0, best.segment, cfg.pattern),
+        best.entropy);
+}
+
+TEST_F(CharacterizerTest, PatternSweepOrdering)
+{
+    CharacterizerConfig cfg;
+    cfg.segmentStride = 2;
+    auto stats = characterizer.patternSweep(cfg);
+    ASSERT_EQ(stats.size(), 16u);
+
+    auto find = [&](const char *s) {
+        uint8_t pattern = dram::patternFromString(s);
+        for (const auto &ps : stats) {
+            if (ps.pattern == pattern)
+                return ps;
+        }
+        return PatternStats{};
+    };
+
+    // Figure 8's headline ordering.
+    EXPECT_GT(find("0111").avgCacheBlockEntropy,
+              find("0101").avgCacheBlockEntropy);
+    EXPECT_GT(find("1000").avgCacheBlockEntropy,
+              find("1010").avgCacheBlockEntropy);
+    EXPECT_GT(find("0101").avgCacheBlockEntropy,
+              find("0011").avgCacheBlockEntropy);
+    EXPECT_GT(find("0111").maxCacheBlockEntropy,
+              find("0111").avgCacheBlockEntropy);
+}
+
+TEST_F(CharacterizerTest, CacheBlockProfile)
+{
+    CharacterizerConfig cfg;
+    SegmentEntropy best = characterizer.bestSegment(cfg);
+    auto blocks = characterizer.cacheBlockEntropies(0, best.segment,
+                                                    cfg.pattern);
+    EXPECT_EQ(blocks.size(), module.geometry().cacheBlocksPerRow());
+    double sum = 0.0;
+    for (double h : blocks)
+        sum += h;
+    EXPECT_NEAR(sum, best.entropy, 1e-6);
+}
+
+TEST_F(CharacterizerTest, TemperatureShiftsEntropy)
+{
+    CharacterizerConfig cold;
+    CharacterizerConfig hot;
+    hot.temperatureC = 85.0;
+    double h_cold = characterizer.bestSegment(cold).entropy;
+    double h_hot = characterizer.bestSegment(hot).entropy;
+    EXPECT_NE(h_cold, h_hot);
+}
+
+TEST_F(CharacterizerTest, InvalidBankPanics)
+{
+    CharacterizerConfig cfg;
+    cfg.bank = module.geometry().banks;
+    EXPECT_THROW(characterizer.segmentEntropies(cfg), PanicError);
+}
+
+} // anonymous namespace
+} // namespace quac::core

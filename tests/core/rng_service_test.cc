@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the buffered random-number service (paper Section 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/rng_service.hh"
+
+namespace quac::core
+{
+namespace
+{
+
+/** Deterministic counting generator for service-logic tests. */
+class CountingTrng : public Trng
+{
+  public:
+    std::string name() const override { return "counting"; }
+
+    void
+    fill(uint8_t *out, size_t len) override
+    {
+        for (size_t i = 0; i < len; ++i)
+            out[i] = static_cast<uint8_t>(counter_++);
+        ++fills_;
+    }
+
+    uint64_t fills() const { return fills_; }
+
+  private:
+    uint64_t counter_ = 0;
+    uint64_t fills_ = 0;
+};
+
+TEST(RngService, ServesFromBufferAfterRefill)
+{
+    CountingTrng source;
+    RngService service(source, {.capacityBytes = 64,
+                                .refillWatermark = 0.5});
+    EXPECT_EQ(service.level(), 0u);
+    EXPECT_EQ(service.refillIfBelowWatermark(), 64u);
+    EXPECT_EQ(service.level(), 64u);
+
+    uint8_t out[16];
+    EXPECT_TRUE(service.request(out, 16));
+    EXPECT_EQ(service.level(), 48u);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[15], 15);
+    EXPECT_EQ(service.bufferHits(), 1u);
+    EXPECT_EQ(service.synchronousFills(), 0u);
+}
+
+TEST(RngService, FallsBackWhenDrained)
+{
+    CountingTrng source;
+    RngService service(source, {.capacityBytes = 32,
+                                .refillWatermark = 0.5});
+    service.refillIfBelowWatermark();
+
+    uint8_t out[48];
+    EXPECT_FALSE(service.request(out, 48)) << "exceeds the buffer";
+    EXPECT_EQ(service.synchronousFills(), 1u);
+    // Stream continuity: buffer bytes then on-demand bytes.
+    for (int i = 0; i < 48; ++i)
+        EXPECT_EQ(out[i], i);
+    EXPECT_EQ(service.level(), 0u);
+}
+
+TEST(RngService, WatermarkControlsRefill)
+{
+    CountingTrng source;
+    RngService service(source, {.capacityBytes = 100,
+                                .refillWatermark = 0.25});
+    service.refillIfBelowWatermark();
+    uint8_t out[60];
+    service.request(out, 60); // level 40 > 25: no refill yet
+    EXPECT_EQ(service.refillIfBelowWatermark(), 0u);
+    service.request(out, 20); // level 20 <= 25: refill
+    EXPECT_EQ(service.refillIfBelowWatermark(), 80u);
+    EXPECT_EQ(service.level(), 100u);
+}
+
+TEST(RngService, StatisticsAccumulate)
+{
+    CountingTrng source;
+    RngService service(source, {.capacityBytes = 16,
+                                .refillWatermark = 1.0});
+    for (int i = 0; i < 5; ++i) {
+        service.refillIfBelowWatermark();
+        auto bytes = service.request(8);
+        EXPECT_EQ(bytes.size(), 8u);
+    }
+    EXPECT_EQ(service.requestsServed(), 5u);
+    EXPECT_EQ(service.bufferHits() + service.synchronousFills(), 5u);
+}
+
+TEST(RngService, RejectsBadConfig)
+{
+    CountingTrng source;
+    EXPECT_THROW(RngService(source, {.capacityBytes = 0,
+                                     .refillWatermark = 0.5}),
+                 FatalError);
+    EXPECT_THROW(RngService(source, {.capacityBytes = 16,
+                                     .refillWatermark = 1.5}),
+                 FatalError);
+}
+
+TEST(RngService, StreamIdenticalToUnbufferedSource)
+{
+    CountingTrng buffered_source;
+    CountingTrng direct_source;
+    RngService service(buffered_source, {.capacityBytes = 128,
+                                         .refillWatermark = 0.5});
+    std::vector<uint8_t> via_service;
+    for (int i = 0; i < 10; ++i) {
+        service.refillIfBelowWatermark();
+        auto chunk = service.request(37);
+        via_service.insert(via_service.end(), chunk.begin(),
+                           chunk.end());
+    }
+    std::vector<uint8_t> direct(via_service.size());
+    direct_source.fill(direct.data(), direct.size());
+    EXPECT_EQ(via_service, direct)
+        << "buffering must not reorder or drop generator output";
+}
+
+} // anonymous namespace
+} // namespace quac::core

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the per-temperature column-set table (paper Section 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/temperature_table.hh"
+#include "dram/segment_model.hh"
+
+namespace quac::core
+{
+namespace
+{
+
+class TemperatureTableTest : public ::testing::Test
+{
+  protected:
+    TemperatureTableTest() : module(spec()) {}
+
+    static dram::ModuleSpec
+    spec()
+    {
+        dram::ModuleSpec s;
+        s.geometry = dram::Geometry::testScale();
+        s.seed = 808;
+        return s;
+    }
+
+    TemperatureTable
+    build(unsigned bands = 10)
+    {
+        // Reduced geometry: scale the per-block entropy target.
+        return TemperatureTable::build(module, 0, 3, 0b1110, 24.0,
+                                       30.0, 90.0, bands);
+    }
+
+    dram::DramModule module;
+};
+
+TEST_F(TemperatureTableTest, BuildsRequestedBands)
+{
+    TemperatureTable table = build();
+    EXPECT_EQ(table.bandCount(), 10u);
+    // Bands tile [30, 90) without gaps.
+    double cursor = 30.0;
+    for (const auto &band : table.bands()) {
+        EXPECT_DOUBLE_EQ(band.minC, cursor);
+        EXPECT_GT(band.maxC, band.minC);
+        cursor = band.maxC;
+    }
+    EXPECT_DOUBLE_EQ(cursor, 90.0);
+}
+
+TEST_F(TemperatureTableTest, LookupSelectsCoveringBand)
+{
+    TemperatureTable table = build();
+    const TemperatureBand &band = table.lookup(52.0);
+    EXPECT_LE(band.minC, 52.0);
+    EXPECT_GT(band.maxC, 52.0);
+    // Clamping at the edges.
+    EXPECT_DOUBLE_EQ(table.lookup(10.0).minC, 30.0);
+    EXPECT_DOUBLE_EQ(table.lookup(150.0).maxC, 90.0);
+}
+
+TEST_F(TemperatureTableTest, RangesCarryTargetEntropyAcrossBand)
+{
+    // Every stored range must still deliver the target entropy when
+    // re-evaluated at both edges of its band (the guarantee the
+    // memory controller relies on).
+    TemperatureTable table = build(6);
+    for (const auto &band : table.bands()) {
+        for (double temp : {band.minC, band.maxC}) {
+            dram::SegmentModel model(
+                module.geometry(), module.calibration(),
+                module.variation(), 0, 3, temp, 0.0);
+            auto blocks = model.cacheBlockEntropies(0b1110);
+            for (const auto &range : band.ranges) {
+                double entropy = 0.0;
+                for (uint32_t col = range.beginColumn;
+                     col < range.endColumn; ++col) {
+                    entropy += blocks[col];
+                }
+                // The per-column minimum envelope makes this a hard
+                // guarantee at both band edges.
+                EXPECT_GE(entropy, 24.0 - 1e-9)
+                    << "band [" << band.minC << "," << band.maxC
+                    << ") at " << temp;
+            }
+        }
+    }
+}
+
+TEST_F(TemperatureTableTest, HotAndColdSetsCanDiffer)
+{
+    TemperatureTable table = build();
+    const auto &cold = table.lookup(32.0);
+    const auto &hot = table.lookup(88.0);
+    // Entropy moves with temperature, so the characterization points
+    // differ; the sets may coincide on small geometries but the
+    // entropies must not.
+    EXPECT_NE(cold.segmentEntropy, hot.segmentEntropy);
+}
+
+TEST_F(TemperatureTableTest, StorageMatchesSection9Budget)
+{
+    TemperatureTable table = build();
+    // Paper Section 9: <= 11 column addresses x 10 ranges x 7 bits.
+    EXPECT_GT(table.storageBits(), 0u);
+    EXPECT_LE(table.storageBits(), 11u * 10u * 7u);
+}
+
+TEST_F(TemperatureTableTest, RejectsBadParameters)
+{
+    EXPECT_THROW(TemperatureTable::build(module, 0, 3, 0b1110, 24.0,
+                                         90.0, 30.0, 10),
+                 PanicError);
+    TemperatureTable empty;
+    EXPECT_THROW(empty.lookup(50.0), PanicError);
+}
+
+} // anonymous namespace
+} // namespace quac::core

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * SHA-256 known-answer tests (FIPS 180-2 and NIST CAVP vectors).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hh"
+
+namespace quac
+{
+namespace
+{
+
+std::string
+hashHex(const std::string &message)
+{
+    Sha256 hasher;
+    hasher.update(message);
+    return Sha256::hex(hasher.finish());
+}
+
+TEST(Sha256, EmptyMessage)
+{
+    EXPECT_EQ(hashHex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(hashHex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(hashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmno"
+                      "mnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+              "19db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 hasher;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        hasher.update(chunk);
+    EXPECT_EQ(Sha256::hex(hasher.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39cc"
+              "c7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary)
+{
+    // 64 bytes: padding spills into a second block.
+    std::string message(64, 'x');
+    Sha256 one_shot;
+    one_shot.update(message);
+    std::string direct = Sha256::hex(one_shot.finish());
+
+    Sha256 split;
+    split.update(message.substr(0, 31));
+    split.update(message.substr(31));
+    EXPECT_EQ(Sha256::hex(split.finish()), direct);
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes)
+{
+    // 55 bytes is the longest message whose padding fits one block.
+    std::string m55(55, 'y');
+    std::string m56(56, 'y');
+    EXPECT_NE(hashHex(m55), hashHex(m56));
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    std::vector<uint8_t> data;
+    for (int i = 0; i < 1000; ++i)
+        data.push_back(static_cast<uint8_t>(i * 37));
+
+    Sha256::Digest one_shot = Sha256::hash(data);
+
+    Sha256 incremental;
+    for (size_t offset = 0; offset < data.size(); offset += 7) {
+        size_t len = std::min<size_t>(7, data.size() - offset);
+        incremental.update(data.data() + offset, len);
+    }
+    EXPECT_EQ(incremental.finish(), one_shot);
+}
+
+TEST(Sha256, FinishResetsState)
+{
+    Sha256 hasher;
+    hasher.update("abc");
+    auto first = hasher.finish();
+    hasher.update("abc");
+    auto second = hasher.finish();
+    EXPECT_EQ(first, second);
+}
+
+TEST(Sha256, AvalancheOnSingleBitFlip)
+{
+    std::vector<uint8_t> a(32, 0);
+    std::vector<uint8_t> b = a;
+    b[0] ^= 1;
+    auto da = Sha256::hash(a);
+    auto db = Sha256::hash(b);
+    int differing_bits = 0;
+    for (size_t i = 0; i < da.size(); ++i) {
+        uint8_t x = da[i] ^ db[i];
+        while (x) {
+            differing_bits += x & 1;
+            x >>= 1;
+        }
+    }
+    // Expect roughly half of 256 bits to flip.
+    EXPECT_GT(differing_bits, 80);
+    EXPECT_LT(differing_bits, 176);
+}
+
+TEST(Sha256, HexFormatting)
+{
+    Sha256::Digest digest{};
+    digest[0] = 0xab;
+    digest[31] = 0x01;
+    std::string hex = Sha256::hex(digest);
+    EXPECT_EQ(hex.size(), 64u);
+    EXPECT_EQ(hex.substr(0, 2), "ab");
+    EXPECT_EQ(hex.substr(62, 2), "01");
+}
+
+} // anonymous namespace
+} // namespace quac

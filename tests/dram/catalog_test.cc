@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the Table 3 module catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/catalog.hh"
+
+namespace quac::dram
+{
+namespace
+{
+
+TEST(Catalog, SeventeenModules)
+{
+    EXPECT_EQ(paperCatalog().size(), 17u);
+}
+
+TEST(Catalog, NamesUniqueAndOrdered)
+{
+    std::set<std::string> names;
+    for (const CatalogEntry &entry : paperCatalog())
+        names.insert(entry.name);
+    EXPECT_EQ(names.size(), 17u);
+    EXPECT_EQ(paperCatalog().front().name, "M1");
+    EXPECT_EQ(paperCatalog().back().name, "M17");
+}
+
+TEST(Catalog, EntropyTargetsInTable3Band)
+{
+    for (const CatalogEntry &entry : paperCatalog()) {
+        EXPECT_GT(entry.avgSegmentEntropy, 1000.0) << entry.name;
+        EXPECT_LT(entry.avgSegmentEntropy, 2000.0) << entry.name;
+        EXPECT_GT(entry.maxSegmentEntropy, entry.avgSegmentEntropy)
+            << entry.name;
+        EXPECT_LT(entry.maxSegmentEntropy, 3000.0) << entry.name;
+    }
+}
+
+TEST(Catalog, ThirtyDayColumnsMatchPaper)
+{
+    // Exactly five modules report 30-day entropy (M3, M4, M8, M10,
+    // M11).
+    int reported = 0;
+    for (const CatalogEntry &entry : paperCatalog()) {
+        if (entry.avgSegmentEntropy30d > 0.0) {
+            reported++;
+            double drift = entry.avgSegmentEntropy30d /
+                           entry.avgSegmentEntropy - 1.0;
+            EXPECT_LT(std::abs(drift), 0.06) << entry.name;
+        }
+    }
+    EXPECT_EQ(reported, 5);
+}
+
+TEST(Catalog, SpecScalesEntropy)
+{
+    Geometry geom = Geometry::testScale();
+    const CatalogEntry &m13 = paperCatalog()[12];
+    ASSERT_EQ(m13.name, "M13");
+    ModuleSpec spec = specFor(m13, geom);
+    EXPECT_NEAR(spec.entropyScale,
+                m13.avgSegmentEntropy / kNominalSegmentEntropy, 1e-12);
+    EXPECT_EQ(spec.transferRate, 2400u);
+    EXPECT_EQ(spec.geometry.rowsPerBank, geom.rowsPerBank);
+}
+
+TEST(Catalog, SeedsDistinctAcrossModules)
+{
+    Geometry geom = Geometry::testScale();
+    std::set<uint64_t> seeds;
+    for (const ModuleSpec &spec : paperModuleSpecs(geom))
+        seeds.insert(spec.seed);
+    EXPECT_EQ(seeds.size(), 17u);
+}
+
+TEST(Catalog, SaltChangesSeed)
+{
+    Geometry geom = Geometry::testScale();
+    const CatalogEntry &m1 = paperCatalog()[0];
+    EXPECT_NE(specFor(m1, geom, 0).seed, specFor(m1, geom, 1).seed);
+}
+
+TEST(Catalog, AgingDriftMatchesReportedModules)
+{
+    Geometry geom = Geometry::testScale();
+    for (const CatalogEntry &entry : paperCatalog()) {
+        ModuleSpec spec = specFor(entry, geom);
+        if (entry.avgSegmentEntropy30d > 0.0) {
+            EXPECT_NEAR(spec.agingDrift30d,
+                        entry.avgSegmentEntropy30d /
+                            entry.avgSegmentEntropy - 1.0,
+                        1e-12)
+                << entry.name;
+        } else {
+            EXPECT_LT(std::abs(spec.agingDrift30d), 0.031)
+                << entry.name;
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace quac::dram

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for DRAM geometry arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/geometry.hh"
+
+namespace quac::dram
+{
+namespace
+{
+
+TEST(Geometry, PaperScaleMatchesPaperNumbers)
+{
+    Geometry g = Geometry::paperScale();
+    // 8K segments per bank, 64K bitlines per segment (footnote 7).
+    EXPECT_EQ(g.segmentsPerBank(), 8192u);
+    EXPECT_EQ(g.bitlinesPerRow, 65536u);
+    // 128 cache blocks of 512 bits per row.
+    EXPECT_EQ(g.cacheBlocksPerRow(), 128u);
+    EXPECT_EQ(g.cacheBlockBits, 512u);
+    EXPECT_EQ(g.banks, 16u);
+    EXPECT_EQ(g.bankGroups, 4u);
+}
+
+TEST(Geometry, SegmentRowMapping)
+{
+    Geometry g = Geometry::testScale();
+    EXPECT_EQ(g.segmentOfRow(0), 0u);
+    EXPECT_EQ(g.segmentOfRow(3), 0u);
+    EXPECT_EQ(g.segmentOfRow(4), 1u);
+    EXPECT_EQ(g.firstRowOfSegment(1), 4u);
+    EXPECT_EQ(g.firstRowOfSegment(g.segmentsPerBank() - 1),
+              g.rowsPerBank - 4);
+}
+
+TEST(Geometry, SubarrayMapping)
+{
+    Geometry g = Geometry::testScale();
+    EXPECT_EQ(g.subarrayOfRow(0), 0u);
+    EXPECT_EQ(g.subarrayOfRow(g.rowsPerSubarray - 1), 0u);
+    EXPECT_EQ(g.subarrayOfRow(g.rowsPerSubarray), 1u);
+}
+
+TEST(Geometry, ChipMappingCoversAllChips)
+{
+    Geometry g = Geometry::paperScale();
+    std::vector<int> counts(g.chipsPerRank, 0);
+    for (uint32_t b = 0; b < 512; ++b)
+        counts[g.chipOfBitline(b)]++;
+    for (uint32_t chip = 0; chip < g.chipsPerRank; ++chip)
+        EXPECT_EQ(counts[chip], 64) << "chip " << chip;
+}
+
+TEST(Geometry, WordsPerRow)
+{
+    Geometry g = Geometry::testScale();
+    EXPECT_EQ(g.wordsPerRow(), g.bitlinesPerRow / 64);
+}
+
+TEST(Geometry, BankGroupMapping)
+{
+    Geometry g = Geometry::paperScale();
+    EXPECT_EQ(g.bankGroupOf(0), 0u);
+    EXPECT_EQ(g.bankGroupOf(1), 1u);
+    EXPECT_EQ(g.bankGroupOf(5), 1u);
+}
+
+} // anonymous namespace
+} // namespace quac::dram

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Paper-scale calibration invariants: at full 64 Kbit-row geometry,
+ * the device model must land in the paper's measured bands.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+#include "common/parallel.hh"
+#include "common/stats.hh"
+#include "dram/catalog.hh"
+#include "dram/segment_model.hh"
+
+namespace quac::dram
+{
+namespace
+{
+
+TEST(PaperScale, NominalSegmentEntropyBand)
+{
+    // entropyScale = 1 must sit near the documented nominal value.
+    ModuleSpec spec;
+    spec.seed = 20210614;
+    DramModule module(std::move(spec));
+
+    RunningStats stats;
+    std::mutex m;
+    std::vector<double> values(64);
+    parallelFor(0, values.size(), [&](size_t i) {
+        SegmentModel model(module.geometry(), module.calibration(),
+                           module.variation(), 0,
+                           static_cast<uint32_t>(i * 128), 50.0, 0.0);
+        values[i] = model.segmentEntropy(0b1110);
+    });
+    (void)m;
+    for (double v : values)
+        stats.add(v);
+    EXPECT_NEAR(stats.mean(), kNominalSegmentEntropy,
+                0.15 * kNominalSegmentEntropy);
+}
+
+TEST(PaperScale, AverageCacheBlockEntropyMatchesFig8)
+{
+    // Paper Fig 8: pattern "0111" averages 11.07 bits per cache
+    // block across all cache blocks of a module.
+    ModuleSpec spec;
+    spec.seed = 5150;
+    DramModule module(std::move(spec));
+
+    std::vector<double> sums(32);
+    parallelFor(0, sums.size(), [&](size_t i) {
+        SegmentModel model(module.geometry(), module.calibration(),
+                           module.variation(), 0,
+                           static_cast<uint32_t>(i * 251), 50.0, 0.0);
+        auto blocks = model.cacheBlockEntropies(0b1110);
+        double sum = 0.0;
+        for (double h : blocks)
+            sum += h;
+        sums[i] = sum / blocks.size();
+    });
+    double avg = 0.0;
+    for (double s : sums)
+        avg += s;
+    avg /= sums.size();
+    EXPECT_NEAR(avg, 11.07, 3.0);
+}
+
+TEST(PaperScale, CatalogModulesHitTable3Averages)
+{
+    // Spot-check the extremes of Table 3: the least (M9) and most
+    // (M13) random modules must land within ~8% of their targets.
+    for (size_t index : {8u, 12u}) {
+        const CatalogEntry &entry = paperCatalog()[index];
+        DramModule module(specFor(entry, Geometry::paperScale()));
+        std::vector<double> values(96);
+        parallelFor(0, values.size(), [&](size_t i) {
+            SegmentModel model(
+                module.geometry(), module.calibration(),
+                module.variation(), 0,
+                static_cast<uint32_t>(i * 83), 50.0, 0.0);
+            values[i] = model.segmentEntropy(0b1110);
+        });
+        double avg = 0.0;
+        for (double v : values)
+            avg += v;
+        avg /= values.size();
+        // 12% band: sampling error over 96 segments plus the mild
+        // nonlinearity of entropy in entropyScale at the extremes.
+        EXPECT_NEAR(avg, entry.avgSegmentEntropy,
+                    0.12 * entry.avgSegmentEntropy)
+            << entry.name;
+    }
+}
+
+TEST(PaperScale, SibCountMatchesPaperSeven)
+{
+    // floor(max-segment entropy / 256) averaged ~7 across modules.
+    ModuleSpec spec = specFor(paperCatalog()[0],
+                              Geometry::paperScale());
+    DramModule module(std::move(spec));
+    double best = 0.0;
+    std::vector<double> values(64);
+    parallelFor(0, values.size(), [&](size_t i) {
+        SegmentModel model(module.geometry(), module.calibration(),
+                           module.variation(), 0,
+                           static_cast<uint32_t>(i * 128), 50.0, 0.0);
+        values[i] = model.segmentEntropy(0b1110);
+    });
+    for (double v : values)
+        best = std::max(best, v);
+    double sib = std::floor(best / 256.0);
+    EXPECT_GE(sib, 5.0);
+    EXPECT_LE(sib, 12.0);
+}
+
+TEST(PaperScale, ReservedFootprintMatchesSection9)
+{
+    // 6 rows per bank in 4 banks: 4 segments + 8 init rows. At 8 KB
+    // per rank-row this is the paper's 192 KB.
+    Geometry geom = Geometry::paperScale();
+    double row_bytes = geom.bitlinesPerRow / 8.0;
+    double reserved = 6.0 * 4.0 * row_bytes;
+    EXPECT_NEAR(reserved, 192.0 * 1024.0, 1.0);
+}
+
+} // anonymous namespace
+} // namespace quac::dram

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the analog sensing math (QUAC weights, development,
+ * resolution probability).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "dram/sensing.hh"
+
+namespace quac::dram
+{
+namespace
+{
+
+const Calibration kCal;
+
+/** Net pattern deviation in weight units for a 4-bit pattern. */
+double
+patternDelta(const QuacWeights &w, uint8_t pattern)
+{
+    double delta = 0.0;
+    for (unsigned i = 0; i < 4; ++i)
+        delta += (((pattern >> i) & 1) ? 1.0 : -1.0) * w.w[i];
+    return delta;
+}
+
+TEST(QuacWeights, OperatingPointNormalization)
+{
+    QuacWeights w = quacWeights(kCal, 0, 2.5, 2.5);
+    EXPECT_NEAR(w.w[0], kCal.firstRowWeight, 1e-9);
+    EXPECT_NEAR(w.w[1], kCal.rowWeight1, 1e-12);
+    EXPECT_NEAR(w.w[2], kCal.rowWeight2, 1e-12);
+    EXPECT_NEAR(w.w[3], kCal.rowWeight3, 1e-12);
+}
+
+TEST(QuacWeights, FirstRowBalancesOtherThree)
+{
+    // The calibration encodes the paper's key observation: the first
+    // row's weight equals the sum of the other three, so patterns
+    // "0111"/"1000" have zero net deviation.
+    QuacWeights w = quacWeights(kCal, 0, 2.5, 2.5);
+    EXPECT_NEAR(w.w[0], w.w[1] + w.w[2] + w.w[3], 1e-9);
+    EXPECT_NEAR(patternDelta(w, 0b1110), 0.0, 1e-9); // "0111"
+    EXPECT_NEAR(patternDelta(w, 0b0001), 0.0, 1e-9); // "1000"
+}
+
+TEST(QuacWeights, PaperPatternOrdering)
+{
+    // |delta| ordering must match Figure 8: the displayed patterns
+    // (R0 != R1) all lie below the omitted ones (R0 == R1).
+    QuacWeights w = quacWeights(kCal, 0, 2.5, 2.5);
+    double d0111 = std::fabs(patternDelta(w, 0b1110));
+    double d0110 = std::fabs(patternDelta(w, 0b0110));
+    double d0101 = std::fabs(patternDelta(w, 0b1010));
+    double d0100 = std::fabs(patternDelta(w, 0b0010));
+    double d0011 = std::fabs(patternDelta(w, 0b1100));
+    double d0001 = std::fabs(patternDelta(w, 0b1000));
+    double d0000 = std::fabs(patternDelta(w, 0b0000));
+
+    EXPECT_LT(d0111, d0110);
+    EXPECT_LT(d0110, d0101);
+    EXPECT_LT(d0101, d0100);
+    EXPECT_LT(d0100, d0011);
+    EXPECT_LT(d0011, d0001);
+    EXPECT_LT(d0001, d0000);
+    EXPECT_NEAR(d0000, 2.0 * kCal.firstRowWeight, 1e-9);
+}
+
+TEST(QuacWeights, FirstOffsetSelectsWeightSlot)
+{
+    QuacWeights w = quacWeights(kCal, 3, 2.5, 2.5);
+    EXPECT_NEAR(w.w[3], kCal.firstRowWeight, 1e-9);
+    EXPECT_NEAR(w.w[0], kCal.rowWeight1, 1e-12);
+    EXPECT_NEAR(w.w[1], kCal.rowWeight2, 1e-12);
+    EXPECT_NEAR(w.w[2], kCal.rowWeight3, 1e-12);
+}
+
+TEST(QuacWeights, LongerFirstGapIncreasesFirstRowWeight)
+{
+    QuacWeights base = quacWeights(kCal, 0, 2.5, 2.5);
+    QuacWeights longer = quacWeights(kCal, 0, 4.0, 2.5);
+    EXPECT_GT(longer.w[0], base.w[0]);
+    EXPECT_DOUBLE_EQ(longer.w[1], base.w[1]);
+}
+
+TEST(QuacWeights, RejectsBadOffset)
+{
+    EXPECT_THROW(quacWeights(kCal, 4, 2.5, 2.5), PanicError);
+}
+
+TEST(DevelopFraction, DeadZoneThenLinear)
+{
+    EXPECT_EQ(developFraction(kCal, 0.0), 0.0);
+    EXPECT_EQ(developFraction(kCal, kCal.tSenseDead), 0.0);
+    EXPECT_GT(developFraction(kCal, kCal.tSenseDead + 1.0), 0.0);
+    EXPECT_LT(developFraction(kCal, kCal.tFullDevelop - 0.5), 1.0);
+    EXPECT_EQ(developFraction(kCal, kCal.tFullDevelop), 1.0);
+    EXPECT_EQ(developFraction(kCal, 100.0), 1.0);
+}
+
+TEST(ProbabilityOne, BalancedIsHalf)
+{
+    EXPECT_NEAR(probabilityOne(0.0, 0.0, 1.0), 0.5, 1e-12);
+}
+
+TEST(ProbabilityOne, OffsetShiftsThreshold)
+{
+    // Deviation above offset favours 1, below favours 0.
+    EXPECT_GT(probabilityOne(1.0, 0.0, 1.0), 0.5);
+    EXPECT_LT(probabilityOne(0.0, 1.0, 1.0), 0.5);
+    EXPECT_NEAR(probabilityOne(2.0, 2.0, 1.0), 0.5, 1e-12);
+}
+
+TEST(ProbabilityOne, TailsSaturate)
+{
+    EXPECT_NEAR(probabilityOne(100.0, 0.0, 1.0), 1.0, 1e-12);
+    EXPECT_NEAR(probabilityOne(-100.0, 0.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(ProbabilityOne, KnownGaussianValue)
+{
+    // Phi(1) = 0.841344746...
+    EXPECT_NEAR(probabilityOne(1.0, 0.0, 1.0), 0.8413447, 1e-6);
+}
+
+TEST(ProbabilityOne, RejectsNonPositiveSigma)
+{
+    EXPECT_THROW(probabilityOne(0.0, 0.0, 0.0), PanicError);
+}
+
+} // anonymous namespace
+} // namespace quac::dram

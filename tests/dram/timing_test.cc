@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the DDR4 timing parameter factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "dram/timing.hh"
+
+namespace quac::dram
+{
+namespace
+{
+
+TEST(Timing, Ddr4_2400Basics)
+{
+    TimingParams t = TimingParams::ddr4(2400);
+    EXPECT_NEAR(t.tCK, 0.8333, 1e-3);
+    EXPECT_NEAR(t.tRCD, 13.32, 1e-9);
+    EXPECT_NEAR(t.tRAS, 32.0, 1e-9);
+    EXPECT_NEAR(t.tRP, 13.32, 1e-9);
+    EXPECT_NEAR(t.tRC(), 45.32, 1e-9);
+    EXPECT_NEAR(t.tBurst, 4 * t.tCK, 1e-12);
+}
+
+TEST(Timing, RrdMatchesPaperFigure2)
+{
+    // Paper Section 2.1: tRRD_S/tRRD_L are 3.00/4.90 ns in DDR4-2666.
+    TimingParams t = TimingParams::ddr4(2666);
+    EXPECT_NEAR(t.tRRD_S, 3.33, 0.35);
+    EXPECT_NEAR(t.tRRD_L, 4.90, 1e-9);
+}
+
+TEST(Timing, AnalogTimingsConstantAcrossRates)
+{
+    TimingParams slow = TimingParams::ddr4(2133);
+    TimingParams fast = TimingParams::ddr4(12000);
+    EXPECT_DOUBLE_EQ(slow.tRCD, fast.tRCD);
+    EXPECT_DOUBLE_EQ(slow.tRAS, fast.tRAS);
+    EXPECT_DOUBLE_EQ(slow.tRP, fast.tRP);
+    EXPECT_DOUBLE_EQ(slow.tFAW, fast.tFAW);
+}
+
+TEST(Timing, BurstTimeScalesWithRate)
+{
+    TimingParams slow = TimingParams::ddr4(2400);
+    TimingParams fast = TimingParams::ddr4(4800);
+    EXPECT_NEAR(slow.tBurst / fast.tBurst, 2.0, 1e-9);
+}
+
+TEST(Timing, ClockedFloorsAtHighRates)
+{
+    // At 12 GT/s, 4 tCK = 0.67 ns but the analog floor holds tRRD_S
+    // at 3.33 ns.
+    TimingParams t = TimingParams::ddr4(12000);
+    EXPECT_NEAR(t.tRRD_S, 3.33, 1e-9);
+    EXPECT_NEAR(t.tRRD_L, 4.90, 1e-9);
+}
+
+TEST(Timing, PeakBandwidth)
+{
+    TimingParams t = TimingParams::ddr4(2400);
+    // 64-bit channel at 2400 MT/s = 153.6 Gb/s.
+    EXPECT_NEAR(t.peakBandwidthGbps(), 153.6, 0.1);
+}
+
+TEST(Timing, RejectsAbsurdRate)
+{
+    EXPECT_THROW(TimingParams::ddr4(100), FatalError);
+}
+
+} // anonymous namespace
+} // namespace quac::dram

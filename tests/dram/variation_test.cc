@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the manufacturing-variation oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+#include "dram/variation.hh"
+
+namespace quac::dram
+{
+namespace
+{
+
+class VariationTest : public ::testing::Test
+{
+  protected:
+    Geometry geom = Geometry::testScale();
+    Calibration cal;
+    VariationModel var{geom, cal, 12345};
+};
+
+TEST_F(VariationTest, Deterministic)
+{
+    VariationModel other(geom, cal, 12345);
+    EXPECT_DOUBLE_EQ(var.saOffsetMv(0, 5, 100),
+                     other.saOffsetMv(0, 5, 100));
+    EXPECT_DOUBLE_EQ(var.cellCapFactor(1, 7, 3),
+                     other.cellCapFactor(1, 7, 3));
+    EXPECT_DOUBLE_EQ(var.segmentMeanMv(2, 9), other.segmentMeanMv(2, 9));
+}
+
+TEST_F(VariationTest, DifferentSeedsDiffer)
+{
+    VariationModel other(geom, cal, 54321);
+    EXPECT_NE(var.saOffsetMv(0, 5, 100), other.saOffsetMv(0, 5, 100));
+}
+
+TEST_F(VariationTest, SaOffsetSharedWithinSubarray)
+{
+    // Rows in the same subarray share sense amplifiers.
+    uint32_t row_a = 0;
+    uint32_t row_b = geom.rowsPerSubarray - 1;
+    uint32_t row_c = geom.rowsPerSubarray;
+    EXPECT_DOUBLE_EQ(var.saOffsetMv(0, row_a, 7),
+                     var.saOffsetMv(0, row_b, 7));
+    EXPECT_NE(var.saOffsetMv(0, row_a, 7), var.saOffsetMv(0, row_c, 7));
+}
+
+TEST_F(VariationTest, SaOffsetMoments)
+{
+    RunningStats stats;
+    for (uint32_t b = 0; b < geom.bitlinesPerRow; ++b)
+        stats.add(var.saOffsetMv(0, 0, b));
+    EXPECT_NEAR(stats.mean(), 0.0, 0.3);
+    EXPECT_NEAR(stats.stddev(), cal.saOffsetSigmaMv,
+                cal.saOffsetSigmaMv * 0.1);
+}
+
+TEST_F(VariationTest, CellCapMomentsAndFloor)
+{
+    RunningStats stats;
+    for (uint32_t b = 0; b < geom.bitlinesPerRow; ++b) {
+        double f = var.cellCapFactor(0, 3, b);
+        EXPECT_GE(f, 0.2);
+        stats.add(f);
+    }
+    EXPECT_NEAR(stats.mean(), 1.0, 0.01);
+    EXPECT_NEAR(stats.stddev(), cal.cellCapSigma, 0.01);
+}
+
+TEST_F(VariationTest, SpatialScalePositiveAndCentered)
+{
+    RunningStats stats;
+    for (uint32_t s = 0; s < geom.segmentsPerBank(); ++s) {
+        double scale = var.spatialScale(0, s);
+        EXPECT_GT(scale, 0.0);
+        stats.add(scale);
+    }
+    EXPECT_NEAR(stats.mean(), 1.0, 0.15);
+}
+
+TEST_F(VariationTest, EntropyScaleMultiplies)
+{
+    VariationModel scaled(geom, cal, 12345, 1.3);
+    for (uint32_t s = 0; s < 8; ++s) {
+        EXPECT_NEAR(scaled.spatialScale(0, s) / var.spatialScale(0, s),
+                    1.3, 1e-9);
+    }
+}
+
+TEST_F(VariationTest, ColumnShapeBell)
+{
+    uint32_t ncols = geom.cacheBlocksPerRow();
+    double first = var.columnShape(0);
+    double mid = var.columnShape(ncols * 4 / 10);
+    double last = var.columnShape(ncols - 1);
+    EXPECT_GT(mid, first);
+    EXPECT_GT(mid, last);
+    // Paper Fig 10: entropy deteriorates toward the end of the row.
+    EXPECT_LE(last, first + 1e-9);
+}
+
+TEST_F(VariationTest, ChipTrendsBothPresent)
+{
+    // With 60%/40% trend split, 64 chips should show both trends.
+    int trend1 = 0;
+    int trend2 = 0;
+    for (uint32_t chip = 0; chip < 64; ++chip)
+        (var.chipIsTrend1(chip) ? trend1 : trend2)++;
+    EXPECT_GT(trend1, 16);
+    EXPECT_GT(trend2, 4);
+}
+
+TEST_F(VariationTest, TemperatureFactorDirections)
+{
+    for (uint32_t chip = 0; chip < 16; ++chip) {
+        double f50 = var.temperatureFactor(chip, 50.0);
+        double f85 = var.temperatureFactor(chip, 85.0);
+        EXPECT_NEAR(f50, 1.0, 1e-9);
+        if (var.chipIsTrend1(chip)) {
+            // Offsets shrink with temperature -> entropy rises.
+            EXPECT_LT(f85, 1.0);
+        } else {
+            EXPECT_GT(f85, 1.0);
+        }
+    }
+}
+
+TEST_F(VariationTest, NoiseSigmaGrowsWithTemperature)
+{
+    EXPECT_NEAR(var.noiseSigmaMv(50.0), cal.noiseSigmaMvAt50C, 1e-12);
+    EXPECT_GT(var.noiseSigmaMv(85.0), var.noiseSigmaMv(50.0));
+    EXPECT_LT(var.noiseSigmaMv(20.0), var.noiseSigmaMv(50.0));
+}
+
+TEST_F(VariationTest, AgingDriftMagnitude)
+{
+    VariationModel aged(geom, cal, 777, 1.0, 1.0, 0.024);
+    EXPECT_DOUBLE_EQ(aged.agingScale(0, 3, 0.0), 1.0);
+    RunningStats stats;
+    for (uint32_t s = 0; s < geom.segmentsPerBank(); ++s)
+        stats.add(aged.agingScale(0, s, 30.0));
+    // Mean drift should track the configured coefficient.
+    EXPECT_NEAR(stats.mean(), 1.024, 0.01);
+}
+
+TEST_F(VariationTest, RepairSegmentsAreRare)
+{
+    int repaired = 0;
+    uint32_t total = geom.segmentsPerBank() * 4;
+    for (uint32_t bank = 0; bank < 4; ++bank) {
+        for (uint32_t s = 0; s < geom.segmentsPerBank(); ++s)
+            repaired += var.isRepairedSegment(bank, s) ? 1 : 0;
+    }
+    EXPECT_LT(static_cast<double>(repaired) / total, 0.03);
+}
+
+TEST_F(VariationTest, EffectiveOffsetConsistentWithIngredients)
+{
+    uint32_t bank = 1;
+    uint32_t row = 8;
+    uint32_t bitline = 513;
+    uint32_t segment = geom.segmentOfRow(row);
+    uint32_t column = bitline / geom.cacheBlockBits;
+    uint32_t chip = geom.chipOfBitline(bitline);
+
+    double expected =
+        (var.saOffsetMv(bank, row, bitline) +
+         var.segmentMeanMv(bank, segment)) /
+        (var.spatialScale(bank, segment) * var.columnShape(column) *
+         var.agingScale(bank, segment, 0.0)) *
+        var.temperatureFactor(chip, 50.0);
+    EXPECT_NEAR(var.effectiveOffsetMv(bank, row, bitline, 50.0, 0.0),
+                expected, 1e-12);
+}
+
+TEST_F(VariationTest, HeavySegmentMeansExist)
+{
+    // ~1% of segments draw from the heavy (12 mV) distribution; over
+    // many segments at least one should exceed 3x the normal sigma.
+    int heavy = 0;
+    for (uint32_t bank = 0; bank < geom.banks; ++bank) {
+        for (uint32_t s = 0; s < geom.segmentsPerBank(); ++s) {
+            if (std::fabs(var.segmentMeanMv(bank, s)) >
+                3.5 * cal.segmentMeanSigmaMv) {
+                heavy++;
+            }
+        }
+    }
+    EXPECT_GT(heavy, 0);
+}
+
+} // anonymous namespace
+} // namespace quac::dram

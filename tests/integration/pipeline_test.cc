@@ -1,0 +1,150 @@
+/**
+ * @file
+ * End-to-end integration tests: the full QUAC-TRNG pipeline on
+ * paper-scale catalog modules, through characterization, generation,
+ * post-processing, and statistical validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sa_stream.hh"
+#include "core/trng.hh"
+#include "dram/catalog.hh"
+#include "nist/sts.hh"
+#include "postprocess/von_neumann.hh"
+
+namespace quac
+{
+namespace
+{
+
+core::QuacTrngConfig
+fastConfig()
+{
+    core::QuacTrngConfig cfg;
+    cfg.characterizeStride = 128;
+    return cfg;
+}
+
+TEST(PipelineIntegration, PaperScaleCatalogModuleEndToEnd)
+{
+    dram::DramModule module(dram::specFor(
+        dram::paperCatalog()[12], dram::Geometry::paperScale()));
+    core::QuacTrng trng(module, fastConfig());
+    trng.setup();
+
+    // Plans must be in the module's Table 3 entropy regime.
+    ASSERT_EQ(trng.plans().size(), 4u);
+    for (const auto &plan : trng.plans()) {
+        EXPECT_GT(plan.segmentEntropy, 1500.0);
+        EXPECT_LT(plan.segmentEntropy, 3200.0);
+        EXPECT_GE(plan.ranges.size(), 5u);
+        EXPECT_LE(plan.ranges.size(), 12u);
+        for (const auto &range : plan.ranges)
+            EXPECT_GE(range.entropy, 256.0);
+    }
+    EXPECT_EQ(trng.bitsPerIteration() % 256, 0u);
+
+    // Generate and validate a 64 Kbit stream.
+    Bitstream bits = trng.generateBits(1u << 16);
+    EXPECT_TRUE(nist::monobit(bits).passed());
+    EXPECT_TRUE(nist::runs(bits).passed());
+    EXPECT_TRUE(nist::frequencyWithinBlock(bits).passed());
+    EXPECT_TRUE(nist::approximateEntropy(bits).passed());
+}
+
+TEST(PipelineIntegration, IterationAccountingConsistent)
+{
+    dram::DramModule module(dram::specFor(
+        dram::paperCatalog()[0], dram::Geometry::paperScale()));
+    core::QuacTrng trng(module, fastConfig());
+    trng.setup();
+
+    size_t bytes_per_iter = trng.bitsPerIteration() / 8;
+    auto data = trng.generate(bytes_per_iter * 3);
+    EXPECT_EQ(data.size(), bytes_per_iter * 3);
+    EXPECT_EQ(trng.iterations(), 3u);
+}
+
+TEST(PipelineIntegration, IdenticalModulesProduceIdenticalStreams)
+{
+    auto spec = dram::specFor(dram::paperCatalog()[4],
+                              dram::Geometry::paperScale());
+    dram::DramModule module_a(spec);
+    dram::DramModule module_b(spec);
+    core::QuacTrng trng_a(module_a, fastConfig());
+    core::QuacTrng trng_b(module_b, fastConfig());
+    EXPECT_EQ(trng_a.generate(512), trng_b.generate(512));
+}
+
+TEST(PipelineIntegration, DifferentCatalogModulesDiffer)
+{
+    dram::DramModule module_a(dram::specFor(
+        dram::paperCatalog()[0], dram::Geometry::paperScale()));
+    dram::DramModule module_b(dram::specFor(
+        dram::paperCatalog()[1], dram::Geometry::paperScale()));
+    core::QuacTrng trng_a(module_a, fastConfig());
+    core::QuacTrng trng_b(module_b, fastConfig());
+    EXPECT_NE(trng_a.generate(256), trng_b.generate(256));
+}
+
+TEST(PipelineIntegration, TemperatureRecharacterizationKeepsWorking)
+{
+    dram::DramModule module(dram::specFor(
+        dram::paperCatalog()[12], dram::Geometry::paperScale()));
+    core::QuacTrng trng(module, fastConfig());
+    trng.setup();
+    size_t sib_cold = trng.bitsPerIteration();
+
+    module.setTemperature(85.0);
+    trng.recharacterize();
+    size_t sib_hot = trng.bitsPerIteration();
+    EXPECT_GT(sib_hot, 0u);
+
+    Bitstream bits = trng.generateBits(1u << 14);
+    EXPECT_TRUE(nist::monobit(bits).passed());
+    // Per-temperature column sets generally differ (paper Section 8).
+    (void)sib_cold;
+}
+
+TEST(PipelineIntegration, VncPathFromBestSegment)
+{
+    dram::DramModule module(dram::specFor(
+        dram::paperCatalog()[12], dram::Geometry::paperScale()));
+    core::QuacTrng trng(module, fastConfig());
+    trng.setup();
+    const auto &plan = trng.plans()[0];
+
+    core::SaStreamSampler sampler(module, plan.bank, plan.segment,
+                                  0b1110, 5);
+    auto top = sampler.topMetastableBitlines(22);
+    EXPECT_EQ(top.size(), 22u);
+    // Paper Section 6.2: the best SAs are truly metastable.
+    EXPECT_LT(std::abs(sampler.probability(top[0]) - 0.5), 0.05);
+
+    Bitstream vnc;
+    for (uint32_t bitline : top) {
+        vnc.append(
+            postprocess::vonNeumann(sampler.sample(bitline, 20000)));
+    }
+    ASSERT_GT(vnc.size(), 50000u);
+    EXPECT_TRUE(nist::monobit(vnc).passed());
+    EXPECT_TRUE(nist::runs(vnc).passed());
+}
+
+TEST(PipelineIntegration, RawIterationMatchesSegmentWidth)
+{
+    dram::DramModule module(dram::specFor(
+        dram::paperCatalog()[3], dram::Geometry::paperScale()));
+    core::QuacTrng trng(module, fastConfig());
+    Bitstream raw = trng.rawIteration(0);
+    EXPECT_EQ(raw.size(), 65536u);
+    double ones = static_cast<double>(raw.popcount()) / raw.size();
+    // Conflicting data pattern: a nontrivial mix biased by the
+    // deterministic bitlines.
+    EXPECT_GT(ones, 0.05);
+    EXPECT_LT(ones, 0.95);
+}
+
+} // anonymous namespace
+} // namespace quac

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the radix-2 and Bluestein DFTs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "nist/fft.hh"
+
+namespace quac::nist
+{
+namespace
+{
+
+using Complex = std::complex<double>;
+
+/** Naive O(n^2) DFT for cross-checking. */
+std::vector<Complex>
+naiveDft(const std::vector<Complex> &input)
+{
+    size_t n = input.size();
+    std::vector<Complex> out(n, {0.0, 0.0});
+    for (size_t k = 0; k < n; ++k) {
+        for (size_t t = 0; t < n; ++t) {
+            double angle = -2.0 * M_PI * static_cast<double>(k * t) /
+                           static_cast<double>(n);
+            out[k] += input[t] * Complex(std::cos(angle),
+                                         std::sin(angle));
+        }
+    }
+    return out;
+}
+
+std::vector<Complex>
+randomSignal(size_t n, uint64_t seed)
+{
+    Xoshiro256pp rng(seed);
+    std::vector<Complex> signal(n);
+    for (auto &s : signal)
+        s = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    return signal;
+}
+
+TEST(Fft, ImpulseIsFlat)
+{
+    std::vector<Complex> data(16, {0.0, 0.0});
+    data[0] = {1.0, 0.0};
+    fftRadix2(data);
+    for (const auto &v : data) {
+        EXPECT_NEAR(v.real(), 1.0, 1e-12);
+        EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, MatchesNaiveDft)
+{
+    auto signal = randomSignal(64, 7);
+    auto expected = naiveDft(signal);
+    auto actual = signal;
+    fftRadix2(actual);
+    for (size_t k = 0; k < signal.size(); ++k)
+        EXPECT_NEAR(std::abs(actual[k] - expected[k]), 0.0, 1e-9);
+}
+
+TEST(Fft, RoundTripInverse)
+{
+    auto signal = randomSignal(128, 9);
+    auto data = signal;
+    fftRadix2(data);
+    fftRadix2(data, true);
+    for (size_t i = 0; i < signal.size(); ++i) {
+        EXPECT_NEAR(std::abs(data[i] / 128.0 - signal[i]), 0.0, 1e-10)
+            << "index " << i;
+    }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo)
+{
+    std::vector<Complex> data(12, {0.0, 0.0});
+    EXPECT_THROW(fftRadix2(data), PanicError);
+}
+
+TEST(Fft, ParsevalHolds)
+{
+    auto signal = randomSignal(256, 21);
+    double time_energy = 0.0;
+    for (const auto &s : signal)
+        time_energy += std::norm(s);
+    auto data = signal;
+    fftRadix2(data);
+    double freq_energy = 0.0;
+    for (const auto &s : data)
+        freq_energy += std::norm(s);
+    EXPECT_NEAR(freq_energy / 256.0, time_energy, 1e-8);
+}
+
+TEST(Bluestein, MatchesNaiveDftOddSize)
+{
+    for (size_t n : {3u, 5u, 12u, 33u, 100u}) {
+        auto signal = randomSignal(n, 1000 + n);
+        auto expected = naiveDft(signal);
+        auto actual = dftAnyLength(signal);
+        ASSERT_EQ(actual.size(), n);
+        for (size_t k = 0; k < n; ++k) {
+            EXPECT_NEAR(std::abs(actual[k] - expected[k]), 0.0, 1e-8)
+                << "n=" << n << " k=" << k;
+        }
+    }
+}
+
+TEST(Bluestein, PowerOfTwoFastPathMatches)
+{
+    auto signal = randomSignal(64, 5);
+    auto via_any = dftAnyLength(signal);
+    auto direct = signal;
+    fftRadix2(direct);
+    for (size_t k = 0; k < signal.size(); ++k)
+        EXPECT_NEAR(std::abs(via_any[k] - direct[k]), 0.0, 1e-10);
+}
+
+} // anonymous namespace
+} // namespace quac::nist

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for GF(2) matrix rank.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "nist/matrix_rank.hh"
+
+namespace quac::nist
+{
+namespace
+{
+
+TEST(Gf2Rank, Identity)
+{
+    std::vector<uint64_t> rows(8);
+    for (unsigned i = 0; i < 8; ++i)
+        rows[i] = uint64_t{1} << i;
+    EXPECT_EQ(gf2Rank(rows, 8), 8u);
+}
+
+TEST(Gf2Rank, ZeroMatrix)
+{
+    EXPECT_EQ(gf2Rank(std::vector<uint64_t>(8, 0), 8), 0u);
+}
+
+TEST(Gf2Rank, DuplicateRows)
+{
+    std::vector<uint64_t> rows = {0b101, 0b101, 0b010};
+    EXPECT_EQ(gf2Rank(rows, 3), 2u);
+}
+
+TEST(Gf2Rank, LinearCombination)
+{
+    // Row 2 = row 0 XOR row 1.
+    std::vector<uint64_t> rows = {0b0011, 0b0101, 0b0110, 0b1000};
+    EXPECT_EQ(gf2Rank(rows, 4), 3u);
+}
+
+TEST(Gf2Rank, FullRankUpperTriangular)
+{
+    std::vector<uint64_t> rows(32);
+    for (unsigned i = 0; i < 32; ++i)
+        rows[i] = ~uint64_t{0} << i;
+    EXPECT_EQ(gf2Rank(rows, 32), 32u);
+}
+
+TEST(Gf2Rank, RandomMatrixDistribution)
+{
+    // Random 32x32 GF(2) matrices have rank 32 w.p. ~0.2888 and rank
+    // 31 w.p. ~0.5776 (the constants the rank test relies on).
+    Xoshiro256pp rng(11);
+    int full = 0;
+    int minus1 = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<uint64_t> rows(32);
+        for (auto &r : rows)
+            r = rng.next() & 0xFFFFFFFFu;
+        unsigned rank = gf2Rank(std::move(rows), 32);
+        full += (rank == 32);
+        minus1 += (rank == 31);
+    }
+    EXPECT_NEAR(full / static_cast<double>(trials), 0.2888, 0.03);
+    EXPECT_NEAR(minus1 / static_cast<double>(trials), 0.5776, 0.03);
+}
+
+TEST(Gf2Rank, RejectsBadInput)
+{
+    EXPECT_THROW(gf2Rank(std::vector<uint64_t>(2, 0), 3), PanicError);
+    EXPECT_THROW(gf2Rank(std::vector<uint64_t>(65, 0), 65), PanicError);
+}
+
+} // anonymous namespace
+} // namespace quac::nist

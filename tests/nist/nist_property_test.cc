@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Parameterized property tests of the NIST battery: good generators
+ * pass for every seed; defects are detected at every magnitude above
+ * threshold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "nist/sts.hh"
+
+namespace quac::nist
+{
+namespace
+{
+
+Bitstream
+randomBits(size_t n, uint64_t seed)
+{
+    Xoshiro256pp rng(seed);
+    Bitstream bits;
+    for (size_t i = 0; i < n; i += 64)
+        bits.appendWord(rng.next(), std::min<size_t>(64, n - i));
+    return bits;
+}
+
+/** Fast-test battery subset (skips the slow LC/universal tests). */
+std::vector<TestResult>
+quickBattery(const Bitstream &bits)
+{
+    return {monobit(bits),  frequencyWithinBlock(bits),
+            runs(bits),     longestRunOfOnes(bits),
+            serial(bits),   approximateEntropy(bits),
+            cumulativeSums(bits)};
+}
+
+class GoodGeneratorSeeds : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(GoodGeneratorSeeds, QuickBatteryPasses)
+{
+    Bitstream bits = randomBits(1u << 17, GetParam());
+    for (const auto &result : quickBattery(bits)) {
+        EXPECT_TRUE(result.passedOrInapplicable())
+            << result.name << " p=" << result.minP() << " seed "
+            << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GoodGeneratorSeeds,
+                         ::testing::Values(2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u));
+
+class BiasDetection : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BiasDetection, MonobitCatchesBias)
+{
+    double p = GetParam();
+    Xoshiro256pp rng(31);
+    Bitstream bits;
+    for (size_t i = 0; i < (1u << 17); ++i)
+        bits.append(rng.bernoulli(p));
+    EXPECT_FALSE(monobit(bits).passed())
+        << "bias " << p << " must fail monobit at n=128K";
+    EXPECT_FALSE(cumulativeSums(bits).passed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, BiasDetection,
+                         ::testing::Values(0.51, 0.52, 0.55, 0.60,
+                                           0.45, 0.40));
+
+class PeriodDetection : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PeriodDetection, SerialCatchesPeriodicity)
+{
+    unsigned period = GetParam();
+    Bitstream bits;
+    // Balanced square wave of the given period.
+    for (size_t i = 0; i < (1u << 16); ++i)
+        bits.append((i % period) < period / 2);
+    EXPECT_FALSE(serial(bits).passed()) << "period " << period;
+    EXPECT_FALSE(approximateEntropy(bits).passed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodDetection,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+class StuckBitDetection : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(StuckBitDetection, BlockFrequencyCatchesStuckRegions)
+{
+    // Good stream with every Nth 4Kbit region stuck at zero — a
+    // realistic failure of a TRNG with dead sense amplifiers.
+    unsigned every = GetParam();
+    Xoshiro256pp rng(77);
+    Bitstream bits;
+    size_t region = 4096;
+    for (size_t r = 0; r < 64; ++r) {
+        for (size_t i = 0; i < region; ++i)
+            bits.append((r % every == 0) ? false : rng.bernoulli(0.5));
+    }
+    EXPECT_FALSE(frequencyWithinBlock(bits).passed())
+        << "every=" << every;
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, StuckBitDetection,
+                         ::testing::Values(4u, 8u, 16u));
+
+TEST(NistBattery, PassedOrInapplicableSemantics)
+{
+    TestResult na;
+    na.name = "x";
+    na.applicable = false;
+    EXPECT_FALSE(na.passed());
+    EXPECT_TRUE(na.passedOrInapplicable());
+
+    TestResult failing;
+    failing.name = "y";
+    failing.pValues = {0.0001};
+    EXPECT_FALSE(failing.passedOrInapplicable());
+}
+
+} // anonymous namespace
+} // namespace quac::nist

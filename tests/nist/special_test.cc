@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for igamc/igam/normalCdf against known values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "nist/special.hh"
+
+namespace quac::nist
+{
+namespace
+{
+
+TEST(Igamc, BoundaryValues)
+{
+    EXPECT_DOUBLE_EQ(igamc(1.0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(igam(1.0, 0.0), 0.0);
+}
+
+TEST(Igamc, ExponentialSpecialCase)
+{
+    // Q(1, x) = exp(-x).
+    for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0})
+        EXPECT_NEAR(igamc(1.0, x), std::exp(-x), 1e-12) << "x=" << x;
+}
+
+TEST(Igamc, HalfIntegerViaErfc)
+{
+    // Q(1/2, x) = erfc(sqrt(x)).
+    for (double x : {0.25, 1.0, 2.25, 4.0})
+        EXPECT_NEAR(igamc(0.5, x), std::erfc(std::sqrt(x)), 1e-12)
+            << "x=" << x;
+}
+
+TEST(Igamc, ChiSquaredRecurrence)
+{
+    // Q(a+1, x) = Q(a, x) + x^a e^-x / Gamma(a+1).
+    for (double a : {1.0, 2.5, 7.0}) {
+        for (double x : {0.5, 3.0, 9.0}) {
+            double lhs = igamc(a + 1.0, x);
+            double rhs = igamc(a, x) +
+                         std::exp(a * std::log(x) - x -
+                                  std::lgamma(a + 1.0));
+            EXPECT_NEAR(lhs, rhs, 1e-12) << "a=" << a << " x=" << x;
+        }
+    }
+}
+
+TEST(Igamc, ComplementsSumToOne)
+{
+    for (double a : {0.5, 1.0, 3.5, 16.0, 128.0}) {
+        for (double x : {0.1, 1.0, 4.0, 20.0, 150.0}) {
+            EXPECT_NEAR(igam(a, x) + igamc(a, x), 1.0, 1e-10)
+                << "a=" << a << " x=" << x;
+        }
+    }
+}
+
+TEST(Igamc, MonotoneDecreasingInX)
+{
+    double prev = 1.0;
+    for (double x = 0.0; x < 30.0; x += 0.5) {
+        double q = igamc(4.0, x);
+        EXPECT_LE(q, prev + 1e-15);
+        prev = q;
+    }
+}
+
+TEST(Igamc, RejectsBadArguments)
+{
+    EXPECT_THROW(igamc(0.0, 1.0), PanicError);
+    EXPECT_THROW(igamc(1.0, -1.0), PanicError);
+}
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-15);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413447460685429, 1e-12);
+    EXPECT_NEAR(normalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+    EXPECT_NEAR(normalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+} // anonymous namespace
+} // namespace quac::nist

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for aperiodic template enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nist/templates.hh"
+
+namespace quac::nist
+{
+namespace
+{
+
+TEST(Templates, CountsMatchUnborderedWordSequence)
+{
+    // Numbers of unbordered binary words: 2, 2, 4, 6, 12, 20, 40,
+    // 74, 148 for lengths 1..9. NIST's m=9 template file has exactly
+    // 148 entries.
+    const std::vector<size_t> expected = {2, 2, 4, 6, 12, 20, 40, 74,
+                                          148};
+    for (unsigned m = 1; m <= 9; ++m)
+        EXPECT_EQ(aperiodicTemplates(m).size(), expected[m - 1])
+            << "m=" << m;
+}
+
+TEST(Templates, KnownAperiodicExamples)
+{
+    // "000000001" (LSB-first: one at index 8) never overlaps itself.
+    EXPECT_TRUE(isAperiodic(0b100000000, 9));
+    // "010101010" overlaps itself at shift 2.
+    EXPECT_FALSE(isAperiodic(0b010101010, 9));
+    // All-ones overlaps at every shift.
+    EXPECT_FALSE(isAperiodic(0b111111111, 9));
+    // "011111110"? prefix 0... border check: prefix "0" vs suffix
+    // "0": LSB-first 0b011111110 has bit0 = 0 and bit8 = 0 -> border.
+    EXPECT_FALSE(isAperiodic(0b011111110, 9));
+}
+
+TEST(Templates, AllResultsAreAperiodic)
+{
+    for (unsigned m : {5u, 9u}) {
+        for (uint32_t tmpl : aperiodicTemplates(m))
+            EXPECT_TRUE(isAperiodic(tmpl, m));
+    }
+}
+
+TEST(Templates, ResultsUniqueAndInRange)
+{
+    auto templates = aperiodicTemplates(9);
+    std::set<uint32_t> unique(templates.begin(), templates.end());
+    EXPECT_EQ(unique.size(), templates.size());
+    for (uint32_t tmpl : templates)
+        EXPECT_LT(tmpl, 1u << 9);
+}
+
+TEST(Templates, ComplementClosure)
+{
+    // Bitwise complement of an unbordered word is unbordered.
+    for (uint32_t tmpl : aperiodicTemplates(9)) {
+        uint32_t complement = (~tmpl) & ((1u << 9) - 1);
+        EXPECT_TRUE(isAperiodic(complement, 9));
+    }
+}
+
+} // anonymous namespace
+} // namespace quac::nist

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the Von Neumann corrector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "postprocess/von_neumann.hh"
+
+namespace quac::postprocess
+{
+namespace
+{
+
+TEST(VonNeumann, PaperExample)
+{
+    // Paper Section 6.2: "0010" becomes "0" (pair 00 dropped, pair
+    // 10 emits logic-0).
+    EXPECT_EQ(vonNeumann(Bitstream::fromString("0010")).toString(), "0");
+}
+
+TEST(VonNeumann, TransitionMapping)
+{
+    EXPECT_EQ(vonNeumann(Bitstream::fromString("01")).toString(), "1");
+    EXPECT_EQ(vonNeumann(Bitstream::fromString("10")).toString(), "0");
+    EXPECT_EQ(vonNeumann(Bitstream::fromString("00")).size(), 0u);
+    EXPECT_EQ(vonNeumann(Bitstream::fromString("11")).size(), 0u);
+}
+
+TEST(VonNeumann, OddTailBitIgnored)
+{
+    EXPECT_EQ(vonNeumann(Bitstream::fromString("011")).toString(), "1");
+    EXPECT_EQ(vonNeumann(Bitstream::fromString("0")).size(), 0u);
+}
+
+TEST(VonNeumann, EmptyInput)
+{
+    EXPECT_EQ(vonNeumann(Bitstream()).size(), 0u);
+}
+
+TEST(VonNeumann, RemovesBias)
+{
+    // A heavily biased source must come out balanced.
+    Xoshiro256pp rng(42);
+    Bitstream biased;
+    for (int i = 0; i < 400000; ++i)
+        biased.append(rng.bernoulli(0.8));
+
+    Bitstream corrected = vonNeumann(biased);
+    ASSERT_GT(corrected.size(), 10000u);
+    double ones = static_cast<double>(corrected.popcount()) /
+                  static_cast<double>(corrected.size());
+    EXPECT_NEAR(ones, 0.5, 0.01);
+}
+
+TEST(VonNeumann, YieldMatchesTheory)
+{
+    // Output/input ratio for iid input is p(1-p).
+    Xoshiro256pp rng(7);
+    for (double p : {0.2, 0.5, 0.7}) {
+        Bitstream input;
+        const size_t n = 200000;
+        for (size_t i = 0; i < n; ++i)
+            input.append(rng.bernoulli(p));
+        Bitstream output = vonNeumann(input);
+        double yield = static_cast<double>(output.size()) /
+                       static_cast<double>(n);
+        EXPECT_NEAR(yield, vonNeumannYield(p), 0.01) << "p=" << p;
+    }
+}
+
+TEST(VonNeumann, YieldHelperEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(vonNeumannYield(0.5), 0.25);
+    EXPECT_DOUBLE_EQ(vonNeumannYield(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(vonNeumannYield(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(vonNeumannYield(-0.5), 0.0);
+}
+
+TEST(VonNeumann, DeterministicOnSameInput)
+{
+    Xoshiro256pp rng(9);
+    Bitstream input;
+    for (int i = 0; i < 1000; ++i)
+        input.append(rng.bernoulli(0.5));
+    EXPECT_EQ(vonNeumann(input), vonNeumann(input));
+}
+
+} // anonymous namespace
+} // namespace quac::postprocess

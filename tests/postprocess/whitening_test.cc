@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for SHA-256 entropy-block whitening.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hh"
+#include "postprocess/whitening.hh"
+
+namespace quac::postprocess
+{
+namespace
+{
+
+TEST(Whitening, Produces256Bits)
+{
+    Bitstream raw(1000);
+    EXPECT_EQ(whitenBlock(raw).size(), 256u);
+}
+
+TEST(Whitening, MatchesDirectSha)
+{
+    std::vector<uint8_t> raw = {1, 2, 3, 4, 5};
+    Bitstream out = whitenBlock(raw);
+    Sha256::Digest digest = Sha256::hash(raw);
+    for (size_t i = 0; i < 256; ++i) {
+        bool expected = (digest[i / 8] >> (i % 8)) & 1;
+        EXPECT_EQ(out[i], expected) << "bit " << i;
+    }
+}
+
+TEST(Whitening, BitstreamAndByteOverloadsAgree)
+{
+    Bitstream raw;
+    for (int i = 0; i < 512; ++i)
+        raw.append(i % 3 == 0);
+    EXPECT_EQ(whitenBlock(raw), whitenBlock(raw.toBytes()));
+}
+
+TEST(Whitening, SensitiveToSingleBit)
+{
+    Bitstream a(512);
+    Bitstream b(512);
+    b.set(100, true);
+    EXPECT_FALSE(whitenBlock(a) == whitenBlock(b));
+}
+
+TEST(Whitening, BlocksConcatenate)
+{
+    Bitstream block_a(512);
+    Bitstream block_b(512);
+    block_b.set(0, true);
+    Bitstream combined = whitenBlocks({block_a, block_b});
+    ASSERT_EQ(combined.size(), 512u);
+    EXPECT_EQ(combined.slice(0, 256), whitenBlock(block_a));
+    EXPECT_EQ(combined.slice(256, 256), whitenBlock(block_b));
+}
+
+TEST(Whitening, EmptyBlockListYieldsEmptyStream)
+{
+    EXPECT_EQ(whitenBlocks({}).size(), 0u);
+}
+
+} // anonymous namespace
+} // namespace quac::postprocess

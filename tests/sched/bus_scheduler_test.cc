@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the DDR4 channel scheduler's timing rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "dram/calibration.hh"
+#include "sched/bus_scheduler.hh"
+
+namespace quac::sched
+{
+namespace
+{
+
+using dram::CommandType;
+
+class BusSchedulerTest : public ::testing::Test
+{
+  protected:
+    dram::TimingParams timing = dram::TimingParams::ddr4(2400);
+    BusScheduler bus{timing, 16, 4};
+};
+
+TEST_F(BusSchedulerTest, ReadWaitsForTrcd)
+{
+    double act = bus.issueAct(0, 0.0);
+    auto read = bus.issueRead(0, 0.0);
+    EXPECT_GE(read.cmdTime, act + timing.tRCD - 1e-9);
+    EXPECT_NEAR(read.dataEnd, read.cmdTime + timing.tCL + timing.tBurst,
+                1e-9);
+}
+
+TEST_F(BusSchedulerTest, PreWaitsForTras)
+{
+    double act = bus.issueAct(0, 0.0);
+    double pre = bus.issuePre(0, 0.0);
+    EXPECT_GE(pre, act + timing.tRAS - 1e-9);
+}
+
+TEST_F(BusSchedulerTest, ActAfterPreWaitsForTrp)
+{
+    bus.issueAct(0, 0.0);
+    double pre = bus.issuePre(0, 0.0);
+    double act2 = bus.issueAct(0, 0.0);
+    EXPECT_GE(act2, pre + timing.tRP - 1e-9);
+}
+
+TEST_F(BusSchedulerTest, ActsToDifferentGroupsPacedByRrdS)
+{
+    double act0 = bus.issueAct(0, 0.0);
+    double act1 = bus.issueAct(1, 0.0); // different bank group
+    EXPECT_GE(act1, act0 + timing.tRRD_S - 1e-9);
+    EXPECT_LT(act1, act0 + timing.tRRD_L + timing.tCK);
+}
+
+TEST_F(BusSchedulerTest, ActsToSameGroupPacedByRrdL)
+{
+    double act0 = bus.issueAct(0, 0.0);
+    double act1 = bus.issueAct(4, 0.0); // same group (4 % 4 == 0)
+    EXPECT_GE(act1, act0 + timing.tRRD_L - 1e-9);
+}
+
+TEST_F(BusSchedulerTest, FawLimitsActivationBursts)
+{
+    // Five ACTs to distinct banks: the fifth must wait tFAW after
+    // the first.
+    double first = bus.issueAct(0, 0.0);
+    bus.issueAct(1, 0.0);
+    bus.issueAct(2, 0.0);
+    bus.issueAct(3, 0.0);
+    double fifth = bus.issueAct(5, 0.0);
+    EXPECT_GE(fifth, first + timing.tFAW - 1e-9);
+}
+
+TEST_F(BusSchedulerTest, ReadsShareDataBusBackToBack)
+{
+    bus.issueAct(0, 0.0);
+    bus.issueAct(1, 0.0);
+    auto rd0 = bus.issueRead(0, 0.0);
+    auto rd1 = bus.issueRead(1, 0.0);
+    // Different bank groups: tCCD_S pacing = seamless bursts.
+    EXPECT_GE(rd1.cmdTime, rd0.cmdTime + timing.tCCD_S - 1e-9);
+    EXPECT_GE(rd1.dataEnd, rd0.dataEnd + timing.tBurst - 1e-9);
+}
+
+TEST_F(BusSchedulerTest, SameGroupReadsPacedByCcdL)
+{
+    bus.issueAct(0, 0.0);
+    auto rd0 = bus.issueRead(0, 0.0);
+    auto rd1 = bus.issueRead(0, 0.0);
+    EXPECT_GE(rd1.cmdTime, rd0.cmdTime + timing.tCCD_L - 1e-9);
+}
+
+TEST_F(BusSchedulerTest, WriteRecoveryGatesPrecharge)
+{
+    bus.issueAct(0, 0.0);
+    auto wr = bus.issueWrite(0, 0.0);
+    double pre = bus.issuePre(0, 0.0);
+    EXPECT_GE(pre, wr.dataEnd + timing.tWR - 1e-9);
+}
+
+TEST_F(BusSchedulerTest, WriteToReadTurnaround)
+{
+    bus.issueAct(0, 0.0);
+    auto wr = bus.issueWrite(0, 0.0);
+    auto rd = bus.issueRead(0, 0.0);
+    EXPECT_GE(rd.cmdTime, wr.dataEnd + timing.tWTR_L - 1e-9);
+}
+
+TEST_F(BusSchedulerTest, CommandBusOneSlotPerClock)
+{
+    // Two commands requested for the same instant must land on
+    // different clock edges.
+    bus.issueAct(0, 0.0);
+    bus.issueAct(1, 0.0);
+    double pre0 = bus.issuePre(0, 40.0);
+    double pre1 = bus.issuePre(1, 40.0);
+    EXPECT_GE(std::abs(pre1 - pre0), timing.tCK - 1e-9);
+}
+
+TEST_F(BusSchedulerTest, ViolatedSequencePreservesOffsets)
+{
+    dram::Calibration cal;
+    std::vector<std::pair<CommandType, double>> seq = {
+        {CommandType::ACT, 0.0},
+        {CommandType::PRE, cal.quacGapNs},
+        {CommandType::ACT, 2.0 * cal.quacGapNs}};
+    double last = bus.issueViolated(0, seq, 0.0);
+    // 2.5 ns at DDR4-2400 rounds to exactly 3 clocks; the sequence
+    // spans 6 clocks.
+    EXPECT_NEAR(last, 6 * timing.tCK, 1e-9);
+}
+
+TEST_F(BusSchedulerTest, ViolatedSequenceBlocksUntilBankReady)
+{
+    bus.issueAct(0, 0.0);
+    bus.issuePre(0, 0.0);
+    dram::Calibration cal;
+    std::vector<std::pair<CommandType, double>> seq = {
+        {CommandType::ACT, 0.0},
+        {CommandType::PRE, cal.quacGapNs},
+        {CommandType::ACT, 2.0 * cal.quacGapNs}};
+    double last = bus.issueViolated(0, seq, 0.0);
+    // The first ACT of the sequence must wait out tRAS + tRP.
+    EXPECT_GE(last - 2.0 * 3 * timing.tCK,
+              timing.tRAS + timing.tRP - timing.tCK);
+}
+
+TEST_F(BusSchedulerTest, HoldBankDelaysNextCommand)
+{
+    bus.holdBank(0, 500.0);
+    double act = bus.issueAct(0, 0.0);
+    EXPECT_GE(act, 500.0 - 1e-9);
+}
+
+TEST_F(BusSchedulerTest, DataBusBusyAccumulates)
+{
+    bus.issueAct(0, 0.0);
+    bus.issueRead(0, 0.0);
+    bus.issueRead(0, 0.0);
+    EXPECT_NEAR(bus.dataBusBusyNs(), 2 * timing.tBurst, 1e-9);
+}
+
+TEST_F(BusSchedulerTest, InvalidBankPanics)
+{
+    EXPECT_THROW(bus.issueAct(16, 0.0), PanicError);
+    EXPECT_THROW(bus.issueViolated(16, {{CommandType::ACT, 0.0}}, 0.0),
+                 PanicError);
+}
+
+} // anonymous namespace
+} // namespace quac::sched

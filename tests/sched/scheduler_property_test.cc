@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Parameterized invariants of the command scheduler and the TRNG
+ * schedule models across the Fig 13 transfer-rate sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/trng_programs.hh"
+
+namespace quac::sched
+{
+namespace
+{
+
+class RateSweep : public ::testing::TestWithParam<uint32_t>
+{
+  protected:
+    dram::TimingParams
+    timing() const
+    {
+        return dram::TimingParams::ddr4(GetParam());
+    }
+};
+
+TEST_P(RateSweep, QuacStatsWellFormed)
+{
+    QuacScheduleConfig cfg;
+    cfg.banks = 4;
+    cfg.init = InitMethod::RowClone;
+    cfg.profile = {7, 128, 128};
+    ScheduleStats stats = simulateQuacTrng(timing(), cfg);
+    EXPECT_GT(stats.totalNs, 0.0);
+    EXPECT_GT(stats.bits, 0.0);
+    EXPECT_GT(stats.latency256Ns, 0.0);
+    EXPECT_GT(stats.busUtilization, 0.0);
+    EXPECT_LE(stats.busUtilization, 1.0 + 1e-9);
+    // The channel can never beat its own peak bandwidth.
+    EXPECT_LT(stats.throughputGbps(),
+              timing().peakBandwidthGbps());
+}
+
+TEST_P(RateSweep, RowCloneNeverSlowerThanWrites)
+{
+    QuacScheduleConfig cfg;
+    cfg.banks = 4;
+    cfg.profile = {7, 128, 128};
+    cfg.init = InitMethod::RowClone;
+    double rc = simulateQuacTrng(timing(), cfg).throughputGbps();
+    cfg.init = InitMethod::WriteBursts;
+    double wr = simulateQuacTrng(timing(), cfg).throughputGbps();
+    EXPECT_GE(rc, wr);
+}
+
+TEST_P(RateSweep, MoreBanksNeverHurt)
+{
+    QuacScheduleConfig cfg;
+    cfg.init = InitMethod::RowClone;
+    cfg.profile = {7, 128, 128};
+    double prev = 0.0;
+    for (uint32_t banks : {1u, 2u, 4u}) {
+        cfg.banks = banks;
+        double gbps = simulateQuacTrng(timing(), cfg).throughputGbps();
+        EXPECT_GE(gbps, prev * 0.999) << banks << " banks";
+        prev = gbps;
+    }
+}
+
+TEST_P(RateSweep, QuacBeatsEnhancedBaselines)
+{
+    QuacScheduleConfig quac_cfg;
+    quac_cfg.banks = 4;
+    quac_cfg.init = InitMethod::RowClone;
+    quac_cfg.profile = {7, 128, 128};
+    double quac =
+        simulateQuacTrng(timing(), quac_cfg).throughputGbps();
+
+    DRangeScheduleConfig drange_cfg;
+    drange_cfg.bitsPerAccess = 256.0 / 6.0;
+    drange_cfg.accessesPerNumber = 6;
+    drange_cfg.useSha = true;
+    double drange =
+        simulateDRange(timing(), drange_cfg).throughputGbps();
+
+    TalukderScheduleConfig taluk_cfg;
+    taluk_cfg.bitsPerRow = 768.0;
+    double taluk =
+        simulateTalukder(timing(), taluk_cfg).throughputGbps();
+
+    EXPECT_GT(quac, drange) << "rate " << GetParam();
+    EXPECT_GT(quac, taluk) << "rate " << GetParam();
+}
+
+TEST_P(RateSweep, ThroughputMonotoneInRate)
+{
+    // Compare against the 2400 MT/s baseline: faster buses never
+    // reduce QUAC throughput.
+    QuacScheduleConfig cfg;
+    cfg.banks = 4;
+    cfg.init = InitMethod::RowClone;
+    cfg.profile = {7, 128, 128};
+    double here = simulateQuacTrng(timing(), cfg).throughputGbps();
+    double base = simulateQuacTrng(dram::TimingParams::ddr4(2400),
+                                   cfg).throughputGbps();
+    if (GetParam() >= 2400) {
+        EXPECT_GE(here, base * 0.999);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateSweep,
+                         ::testing::Values(2133u, 2400u, 2666u,
+                                           3200u, 4800u, 7200u,
+                                           12000u));
+
+} // anonymous namespace
+} // namespace quac::sched

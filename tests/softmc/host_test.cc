@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the SoftMC host composites (QUAC, RowClone, reduced-tRCD
+ * and reduced-tRP drivers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "softmc/host.hh"
+
+namespace quac::softmc
+{
+namespace
+{
+
+class HostTest : public ::testing::Test
+{
+  protected:
+    HostTest() : module(spec()), host(module) {}
+
+    static dram::ModuleSpec
+    spec()
+    {
+        dram::ModuleSpec s;
+        s.geometry = dram::Geometry::testScale();
+        s.seed = 31;
+        return s;
+    }
+
+    static size_t
+    onesIn(const std::vector<uint64_t> &words)
+    {
+        size_t count = 0;
+        for (uint64_t w : words)
+            count += static_cast<size_t>(__builtin_popcountll(w));
+        return count;
+    }
+
+    dram::DramModule module;
+    SoftMcHost host;
+};
+
+TEST_F(HostTest, CursorAdvances)
+{
+    EXPECT_DOUBLE_EQ(host.now(), 0.0);
+    host.wait(10.0);
+    EXPECT_DOUBLE_EQ(host.now(), 10.0);
+    EXPECT_THROW(host.wait(-1.0), FatalError);
+}
+
+TEST_F(HostTest, WriteRowFillThenReadBack)
+{
+    host.writeRowFill(0, 6, true);
+    host.actObeyed(0, 6);
+    auto row = host.readOpenRow(0);
+    EXPECT_EQ(onesIn(row), module.geometry().bitlinesPerRow);
+    host.preObeyed(0);
+}
+
+TEST_F(HostTest, QuacOpensSegmentAndRandomizes)
+{
+    module.bank(1).pokeSegmentPattern(3, 0b1110);
+    host.quac(1, 3);
+    EXPECT_EQ(module.bank(1).openRows().size(), 4u);
+    auto row = host.readOpenRow(1);
+    size_t ones = onesIn(row);
+    EXPECT_GT(ones, 0u);
+    EXPECT_LT(ones, static_cast<size_t>(module.geometry().bitlinesPerRow));
+    host.preObeyed(1);
+}
+
+TEST_F(HostTest, QuacAlternateFirstOffset)
+{
+    module.bank(0).pokeSegmentPattern(4, 0b1101); // "1011"
+    host.quac(0, 4, 1); // ACT row1 first, then row2
+    EXPECT_EQ(module.bank(0).openRows().size(), 4u);
+    host.preObeyed(0);
+}
+
+TEST_F(HostTest, QuacValidatesArguments)
+{
+    EXPECT_THROW(host.quac(0, module.geometry().segmentsPerBank()),
+                 FatalError);
+    EXPECT_THROW(host.quac(0, 0, 4), FatalError);
+}
+
+TEST_F(HostTest, RowCloneCopiesData)
+{
+    host.writeRowFill(0, 2, true);   // source: all ones
+    host.writeRowFill(0, 21, false); // destination: all zeros
+    host.rowCloneCopy(0, 2, 21);
+
+    host.actObeyed(0, 21);
+    auto row = host.readOpenRow(0);
+    EXPECT_EQ(onesIn(row), module.geometry().bitlinesPerRow);
+    host.preObeyed(0);
+
+    // Source must be intact.
+    host.actObeyed(0, 2);
+    auto src = host.readOpenRow(0);
+    EXPECT_EQ(onesIn(src), module.geometry().bitlinesPerRow);
+    host.preObeyed(0);
+}
+
+TEST_F(HostTest, RowCloneRejectsSameSegment)
+{
+    EXPECT_THROW(host.rowCloneCopy(0, 4, 7), FatalError);
+}
+
+TEST_F(HostTest, ReducedTrcdReadIsBiasedRandom)
+{
+    // The per-bit bias depends on the local offset distribution; the
+    // property that matters is that the reads are neither constant
+    // nor a clean copy of the stored zeros: some bits must flip, not
+    // all may flip, and at least one bit must come up both ways
+    // across repetitions (true metastability).
+    const int iters = 30;
+    size_t total_ones = 0;
+    std::vector<uint8_t> seen_zero(module.geometry().cacheBlockBits, 0);
+    std::vector<uint8_t> seen_one(module.geometry().cacheBlockBits, 0);
+    for (int i = 0; i < iters; ++i) {
+        module.bank(0).pokeRowFill(9, false);
+        auto block = host.readWithReducedTrcd(0, 9, 0);
+        for (uint32_t b = 0; b < module.geometry().cacheBlockBits; ++b) {
+            bool bit = (block[b / 64] >> (b % 64)) & 1;
+            (bit ? seen_one : seen_zero)[b] = 1;
+            total_ones += bit;
+        }
+    }
+    EXPECT_GT(total_ones, 0u);
+    EXPECT_LT(total_ones,
+              static_cast<size_t>(iters) *
+                  module.geometry().cacheBlockBits);
+    int metastable_bits = 0;
+    for (uint32_t b = 0; b < module.geometry().cacheBlockBits; ++b) {
+        if (seen_zero[b] && seen_one[b])
+            metastable_bits++;
+    }
+    EXPECT_GT(metastable_bits, 0);
+}
+
+TEST_F(HostTest, ReducedTrpFlipsVictimCells)
+{
+    host.writeRowFill(0, 2, true);   // donor
+    host.writeRowFill(0, 21, false); // victim
+    auto row = host.activateWithReducedTrp(0, 2, 21);
+    size_t ones = onesIn(row);
+    EXPECT_GT(ones, 0u);
+    EXPECT_LT(ones, static_cast<size_t>(module.geometry().bitlinesPerRow) / 2);
+}
+
+TEST_F(HostTest, TimingAccessorsSane)
+{
+    EXPECT_EQ(host.timing().transferRate, 2400u);
+    EXPECT_GT(host.timing().tRCD, 0.0);
+}
+
+} // anonymous namespace
+} // namespace quac::softmc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for declarative SoftMC programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "dram/module.hh"
+#include "softmc/program.hh"
+
+namespace quac::softmc
+{
+namespace
+{
+
+dram::ModuleSpec
+testSpec()
+{
+    dram::ModuleSpec spec;
+    spec.geometry = dram::Geometry::testScale();
+    spec.seed = 17;
+    return spec;
+}
+
+TEST(Program, BuildsInstructionList)
+{
+    Program prog;
+    prog.act(0, 5).wait(13.32).rd(0, 1).wait(10.0).pre(0);
+    EXPECT_EQ(prog.size(), 5u);
+    EXPECT_NEAR(prog.totalWaitNs(), 23.32, 1e-9);
+}
+
+TEST(Program, RejectsNegativeWait)
+{
+    Program prog;
+    EXPECT_THROW(prog.wait(-1.0), FatalError);
+}
+
+TEST(Program, DisassemblyMentionsEachOp)
+{
+    Program prog;
+    prog.act(1, 2).pre(1).rd(1, 3).wait(5.0);
+    std::string text = prog.str();
+    EXPECT_NE(text.find("ACT"), std::string::npos);
+    EXPECT_NE(text.find("PRE"), std::string::npos);
+    EXPECT_NE(text.find("RD"), std::string::npos);
+    EXPECT_NE(text.find("WAIT"), std::string::npos);
+}
+
+TEST(Program, RunCapturesReads)
+{
+    dram::DramModule module(testSpec());
+    module.bank(0).pokeRowFill(5, true);
+
+    Program prog;
+    prog.act(0, 5).wait(13.32).rd(0, 0).rd(0, 1).wait(20.0).pre(0);
+    ExecutionResult result = run(prog, module);
+
+    ASSERT_EQ(result.reads.size(), 2u);
+    EXPECT_EQ(result.reads[0][0], ~uint64_t{0});
+    EXPECT_EQ(result.reads[1][0], ~uint64_t{0});
+    EXPECT_NEAR(result.endTime, 33.32, 1e-9);
+}
+
+TEST(Program, WritePayloadApplied)
+{
+    dram::DramModule module(testSpec());
+    std::vector<uint64_t> block(
+        module.geometry().cacheBlockBits / 64, 0xF0F0F0F0F0F0F0F0ULL);
+
+    Program prog;
+    prog.act(0, 9).wait(13.32).wr(0, 2, block).wait(20.0).rd(0, 2);
+    ExecutionResult result = run(prog, module);
+    ASSERT_EQ(result.reads.size(), 1u);
+    EXPECT_EQ(result.reads[0], block);
+}
+
+TEST(Program, Algorithm1Transliteration)
+{
+    // Algorithm 1 of the paper, expressed as a SoftMC program:
+    // write pattern, ACT Row0, wait 2.5, PRE, wait 2.5, ACT Row3,
+    // wait tRCD, read each sense amplifier.
+    dram::DramModule module(testSpec());
+    uint32_t segment = 2;
+    module.bank(0).pokeSegmentPattern(segment, 0b1110);
+    uint32_t base = module.geometry().firstRowOfSegment(segment);
+
+    Program prog;
+    prog.act(0, base).wait(2.5).pre(0).wait(2.5).act(0, base + 3)
+        .wait(13.32);
+    for (uint32_t col = 0; col < module.geometry().cacheBlocksPerRow();
+         ++col) {
+        prog.rd(0, col);
+    }
+    ExecutionResult result = run(prog, module);
+
+    EXPECT_EQ(module.bank(0).openRows().size(), 4u);
+    size_t ones = 0;
+    for (const auto &block : result.reads) {
+        for (uint64_t w : block)
+            ones += static_cast<size_t>(__builtin_popcountll(w));
+    }
+    EXPECT_GT(ones, 0u);
+    EXPECT_LT(ones,
+              static_cast<size_t>(module.geometry().bitlinesPerRow));
+}
+
+} // anonymous namespace
+} // namespace quac::softmc

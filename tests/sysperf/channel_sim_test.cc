@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the channel occupancy simulation and QUAC injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "sysperf/channel_sim.hh"
+
+namespace quac::sysperf
+{
+namespace
+{
+
+TEST(Workloads, TwentyThreeSpecWorkloads)
+{
+    const auto &profiles = spec2006Profiles();
+    EXPECT_EQ(profiles.size(), 23u);
+    for (const auto &profile : profiles) {
+        EXPECT_GT(profile.busUtilization, 0.0) << profile.name;
+        EXPECT_LT(profile.busUtilization, 1.0) << profile.name;
+        EXPECT_GT(profile.burstNs, 0.0) << profile.name;
+    }
+}
+
+TEST(Workloads, IntensityClassesCorrect)
+{
+    auto find = [](const char *name) {
+        for (const auto &profile : spec2006Profiles()) {
+            if (profile.name == name)
+                return profile;
+        }
+        return WorkloadProfile{};
+    };
+    // Memory-bound workloads demand far more bandwidth than
+    // compute-bound ones.
+    EXPECT_GT(find("lbm").busUtilization, 0.5);
+    EXPECT_GT(find("mcf").busUtilization, 0.4);
+    EXPECT_LT(find("namd").busUtilization, 0.1);
+    EXPECT_LT(find("sjeng").busUtilization, 0.1);
+}
+
+TEST(ChannelActivity, IdleFractionTracksUtilization)
+{
+    WorkloadProfile profile{"synthetic", 0.40, 100.0};
+    ChannelActivity activity =
+        ChannelActivity::generate(profile, 4.0e6, 7);
+    EXPECT_NEAR(activity.idleFraction(), 0.60, 0.08);
+}
+
+TEST(ChannelActivity, IntervalsAreDisjointAndOrdered)
+{
+    WorkloadProfile profile{"synthetic", 0.30, 80.0};
+    ChannelActivity activity =
+        ChannelActivity::generate(profile, 1.0e6, 3);
+    double cursor = -1.0;
+    for (const auto &[start, end] : activity.busyIntervals()) {
+        EXPECT_LT(start, end);
+        EXPECT_GT(start, cursor);
+        cursor = end;
+        EXPECT_LE(end, activity.windowNs() + 1e-9);
+    }
+}
+
+TEST(ChannelActivity, IdleComplementsBusy)
+{
+    WorkloadProfile profile{"synthetic", 0.50, 60.0};
+    ChannelActivity activity =
+        ChannelActivity::generate(profile, 5.0e5, 11);
+    double busy = 0.0;
+    for (const auto &[s, e] : activity.busyIntervals())
+        busy += e - s;
+    double idle = 0.0;
+    for (const auto &[s, e] : activity.idleIntervals())
+        idle += e - s;
+    EXPECT_NEAR(busy + idle, activity.windowNs(), 1e-6);
+}
+
+TEST(ChannelActivity, ZeroUtilizationIsAllIdle)
+{
+    WorkloadProfile profile{"idle", 0.0, 100.0};
+    ChannelActivity activity =
+        ChannelActivity::generate(profile, 1.0e5, 1);
+    EXPECT_DOUBLE_EQ(activity.idleFraction(), 1.0);
+    ASSERT_EQ(activity.idleIntervals().size(), 1u);
+}
+
+TEST(Injection, UsesWholeIdleWindowWhenFree)
+{
+    WorkloadProfile profile{"idle", 0.0, 100.0};
+    ChannelActivity activity =
+        ChannelActivity::generate(profile, 1.0e5, 1);
+    InjectionResult result = injectQuac(activity, 500.0, 1792.0, 20.0);
+    // (100000 - 20) / 500 fractional iterations of progress.
+    EXPECT_NEAR(result.iterations, (1.0e5 - 20.0) / 500.0, 1e-9);
+    EXPECT_NEAR(result.bits, result.iterations * 1792.0, 1e-6);
+    EXPECT_GT(result.idleUsedFraction, 0.99);
+}
+
+TEST(Injection, ReentryOverheadWastesFragmentedIdleTime)
+{
+    WorkloadProfile profile{"busy", 0.8, 30.0};
+    ChannelActivity activity =
+        ChannelActivity::generate(profile, 1.0e6, 9);
+    InjectionResult cheap = injectQuac(activity, 500.0, 1792.0, 2.0);
+    InjectionResult costly =
+        injectQuac(activity, 500.0, 1792.0, 100.0);
+    EXPECT_GT(cheap.bits, 1.5 * costly.bits);
+    EXPECT_LT(costly.idleUsedFraction, cheap.idleUsedFraction);
+}
+
+TEST(Injection, MoreTrafficLessThroughput)
+{
+    WorkloadProfile light{"light", 0.05, 80.0};
+    WorkloadProfile heavy{"heavy", 0.60, 80.0};
+    auto act_l = ChannelActivity::generate(light, 2.0e6, 5);
+    auto act_h = ChannelActivity::generate(heavy, 2.0e6, 5);
+    double thr_l = injectQuac(act_l, 488.0, 1792.0)
+                       .throughputGbps(2.0e6);
+    double thr_h = injectQuac(act_h, 488.0, 1792.0)
+                       .throughputGbps(2.0e6);
+    EXPECT_GT(thr_l, 2.0 * thr_h);
+}
+
+TEST(Injection, RejectsBadParameters)
+{
+    WorkloadProfile profile{"x", 0.1, 50.0};
+    auto activity = ChannelActivity::generate(profile, 1.0e5, 2);
+    EXPECT_THROW(injectQuac(activity, 0.0, 100.0), PanicError);
+    EXPECT_THROW(injectQuac(activity, 100.0, 0.0), PanicError);
+}
+
+TEST(SystemStudy, Figure12Shape)
+{
+    // Per-channel iteration of ~1954 ns producing 1792 bits
+    // (7 SIB x 256 x 4 banks / 4... one channel runs 4 banks; the
+    // study multiplies by 4 channels).
+    auto results = runSystemStudy(1954.0, 7168.0, 4, 2.0e6, 42);
+    ASSERT_EQ(results.size(), 23u);
+
+    double sum = 0.0;
+    double min_thr = 1e18;
+    double max_thr = 0.0;
+    double lbm = 0.0;
+    double namd = 0.0;
+    for (const auto &result : results) {
+        sum += result.throughputGbps;
+        min_thr = std::min(min_thr, result.throughputGbps);
+        max_thr = std::max(max_thr, result.throughputGbps);
+        if (result.name == "lbm")
+            lbm = result.throughputGbps;
+        if (result.name == "namd")
+            namd = result.throughputGbps;
+    }
+    double avg = sum / results.size();
+
+    // Paper Fig 12: average 10.2 Gb/s, min 3.22, max 14.3 across
+    // the same workloads on 4 channels.
+    EXPECT_GT(avg, 7.0);
+    EXPECT_LT(avg, 14.0);
+    EXPECT_GT(min_thr, 1.0);
+    EXPECT_LT(min_thr, 7.0);
+    EXPECT_GT(max_thr, 11.0);
+    EXPECT_LT(max_thr, 15.0);
+    EXPECT_GT(namd, lbm) << "compute-bound beats memory-bound";
+}
+
+} // anonymous namespace
+} // namespace quac::sysperf
