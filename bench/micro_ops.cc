@@ -14,6 +14,7 @@
 #include "dram/segment_model.hh"
 #include "nist/sts.hh"
 #include "postprocess/von_neumann.hh"
+#include "softmc/host.hh"
 
 using namespace quac;
 
@@ -27,6 +28,60 @@ testSpec()
     spec.geometry = dram::Geometry::testScale();
     spec.seed = 1;
     return spec;
+}
+
+core::QuacTrngConfig
+fourBankConfig()
+{
+    core::QuacTrngConfig cfg;
+    cfg.banks = {0, 1, 2, 3};
+    cfg.sibEntropyTarget = 24.0;
+    cfg.characterizeStride = 4;
+    return cfg;
+}
+
+/**
+ * The seed repository's generation loop, replayed through the public
+ * host API: strictly serial across banks, one heap-allocated vector
+ * per RD, and a word -> byte push_back staging buffer per SHA input
+ * block. Kept here as the "before" side of the pipeline benchmarks.
+ */
+void
+seedPathIteration(dram::DramModule &module, softmc::SoftMcHost &host,
+                  const std::vector<core::QuacTrng::BankPlan> &plans,
+                  uint8_t pattern, std::vector<uint8_t> &out)
+{
+    const dram::Geometry &geom = module.geometry();
+    const dram::TimingParams &timing = host.timing();
+    for (const auto &plan : plans) {
+        uint32_t base = geom.firstRowOfSegment(plan.segment);
+        for (uint32_t i = 0; i < dram::Geometry::rowsPerSegment; ++i) {
+            bool one = (pattern >> i) & 1;
+            host.rowCloneCopy(plan.bank,
+                              one ? plan.oneRow : plan.zeroRow,
+                              base + i);
+        }
+        host.quac(plan.bank, plan.segment);
+        for (const core::ColumnRange &range : plan.ranges) {
+            std::vector<uint8_t> raw;
+            raw.reserve((range.endColumn - range.beginColumn) *
+                        geom.cacheBlockBits / 8);
+            for (uint32_t col = range.beginColumn;
+                 col < range.endColumn; ++col) {
+                std::vector<uint64_t> block = host.rd(plan.bank, col);
+                host.wait(timing.tCCD_L);
+                for (uint64_t word : block) {
+                    for (int byte = 0; byte < 8; ++byte) {
+                        raw.push_back(
+                            static_cast<uint8_t>(word >> (8 * byte)));
+                    }
+                }
+            }
+            Sha256::Digest digest = Sha256::hash(raw);
+            out.insert(out.end(), digest.begin(), digest.end());
+        }
+        host.preObeyed(plan.bank);
+    }
 }
 
 void
@@ -50,6 +105,181 @@ BM_Sha256_8KB(benchmark::State &state)
         static_cast<int64_t>(state.iterations()) * 8192);
 }
 BENCHMARK(BM_Sha256_8KB);
+
+// ---------------------------------------------------------- block read
+
+void
+BM_BlockRead_SeedAlloc(benchmark::State &state)
+{
+    dram::DramModule module(testSpec());
+    softmc::SoftMcHost host(module);
+    host.writeRowFill(0, 6, true);
+    host.actObeyed(0, 6);
+    uint32_t col = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(host.rd(0, col));
+        col = (col + 1) % module.geometry().cacheBlocksPerRow();
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            module.geometry().cacheBlockBits / 8);
+}
+BENCHMARK(BM_BlockRead_SeedAlloc);
+
+void
+BM_BlockRead_ZeroCopy(benchmark::State &state)
+{
+    dram::DramModule module(testSpec());
+    softmc::SoftMcHost host(module);
+    host.writeRowFill(0, 6, true);
+    host.actObeyed(0, 6);
+    std::vector<uint64_t> block(module.geometry().cacheBlockBits / 64);
+    uint32_t col = 0;
+    for (auto _ : state) {
+        host.rdInto(0, col, block.data());
+        benchmark::DoNotOptimize(block.data());
+        col = (col + 1) % module.geometry().cacheBlocksPerRow();
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            module.geometry().cacheBlockBits / 8);
+}
+BENCHMARK(BM_BlockRead_ZeroCopy);
+
+// ------------------------------------------------------- hash per SIB
+
+void
+BM_SibHash_SeedByteLoop(benchmark::State &state)
+{
+    // One SHA input block's worth of sense-amp words (8 cache blocks
+    // of 512 bits), staged through the seed's byte push_back loop.
+    std::vector<uint64_t> words(64);
+    Xoshiro256pp rng(11);
+    for (uint64_t &w : words)
+        w = rng.next();
+    for (auto _ : state) {
+        std::vector<uint8_t> raw;
+        raw.reserve(words.size() * 8);
+        for (uint64_t word : words) {
+            for (int byte = 0; byte < 8; ++byte)
+                raw.push_back(static_cast<uint8_t>(word >> (8 * byte)));
+        }
+        benchmark::DoNotOptimize(Sha256::hash(raw));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(words.size()) * 8);
+}
+BENCHMARK(BM_SibHash_SeedByteLoop);
+
+void
+BM_SibHash_ZeroCopy(benchmark::State &state)
+{
+    std::vector<uint64_t> words(64);
+    Xoshiro256pp rng(11);
+    for (uint64_t &w : words)
+        w = rng.next();
+    for (auto _ : state) {
+        Sha256 sha;
+        sha.update(reinterpret_cast<const uint8_t *>(words.data()),
+                   words.size() * 8);
+        benchmark::DoNotOptimize(sha.finish());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(words.size()) * 8);
+}
+BENCHMARK(BM_SibHash_ZeroCopy);
+
+// ---------------------------------------------------- full iteration
+
+void
+BM_FullIteration_SeedPath(benchmark::State &state)
+{
+    // The seed's pipeline, faithfully: serial across banks, one
+    // vector allocation per RD, byte-staging before SHA, and no
+    // variation-oracle row cache in the bank model.
+    dram::ModuleSpec spec = testSpec();
+    spec.oracleCache = false;
+    dram::DramModule module(std::move(spec));
+    core::QuacTrng trng(module, fourBankConfig());
+    trng.setup();
+    softmc::SoftMcHost host(module);
+    host.wait(1e6); // clear of setup's reserved-row writes
+    std::vector<uint8_t> out;
+    for (auto _ : state) {
+        out.clear();
+        seedPathIteration(module, host, trng.plans(), 0b1110, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_FullIteration_SeedPath);
+
+void
+BM_FullIteration_ZeroCopySerial(benchmark::State &state)
+{
+    dram::DramModule module(testSpec());
+    core::QuacTrngConfig cfg = fourBankConfig();
+    cfg.parallelBanks = false;
+    core::QuacTrng trng(module, cfg);
+    trng.setup();
+    std::vector<uint8_t> out(trng.bytesPerIteration());
+    for (auto _ : state) {
+        trng.fill(out.data(), out.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_FullIteration_ZeroCopySerial);
+
+void
+BM_FullIteration_ZeroCopyParallel(benchmark::State &state)
+{
+    dram::DramModule module(testSpec());
+    core::QuacTrng trng(module, fourBankConfig());
+    trng.setup();
+    std::vector<uint8_t> out(trng.bytesPerIteration());
+    for (auto _ : state) {
+        trng.fill(out.data(), out.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_FullIteration_ZeroCopyParallel);
+
+// ------------------------------------------------------ bit plumbing
+
+void
+BM_GenerateBits_SeedBitLoop(benchmark::State &state)
+{
+    Xoshiro256pp rng(17);
+    std::vector<uint8_t> bytes(1 << 13);
+    for (uint8_t &b : bytes)
+        b = static_cast<uint8_t>(rng.next());
+    size_t nbits = bytes.size() * 8;
+    for (auto _ : state) {
+        Bitstream bits;
+        for (size_t i = 0; i < nbits; ++i)
+            bits.append((bytes[i / 8] >> (i % 8)) & 1);
+        benchmark::DoNotOptimize(bits.size());
+    }
+}
+BENCHMARK(BM_GenerateBits_SeedBitLoop);
+
+void
+BM_GenerateBits_Bulk(benchmark::State &state)
+{
+    Xoshiro256pp rng(17);
+    std::vector<uint8_t> bytes(1 << 13);
+    for (uint8_t &b : bytes)
+        b = static_cast<uint8_t>(rng.next());
+    for (auto _ : state) {
+        Bitstream bits;
+        bits.appendBytes(bytes.data(), bytes.size() * 8);
+        benchmark::DoNotOptimize(bits.size());
+    }
+}
+BENCHMARK(BM_GenerateBits_Bulk);
 
 void
 BM_QuacCommandIteration(benchmark::State &state)

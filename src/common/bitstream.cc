@@ -1,5 +1,6 @@
 #include "common/bitstream.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/error.hh"
@@ -32,8 +33,7 @@ Bitstream
 Bitstream::fromBytes(const std::vector<uint8_t> &bytes)
 {
     Bitstream bs;
-    for (uint8_t byte : bytes)
-        bs.appendWord(byte, 8);
+    bs.appendBytes(bytes.data(), bytes.size() * 8);
     return bs;
 }
 
@@ -53,8 +53,54 @@ void
 Bitstream::appendWord(uint64_t word, unsigned nbits)
 {
     QUAC_ASSERT(nbits <= 64, "nbits=%u", nbits);
-    for (unsigned i = 0; i < nbits; ++i)
-        append((word >> i) & 1);
+    if (nbits == 0)
+        return;
+    if (nbits < 64)
+        word &= (uint64_t{1} << nbits) - 1;
+
+    unsigned offset = size_ % 64;
+    if (offset == 0) {
+        words_.push_back(word);
+    } else {
+        words_.back() |= word << offset;
+        if (offset + nbits > 64)
+            words_.push_back(word >> (64 - offset));
+    }
+    size_ += nbits;
+}
+
+void
+Bitstream::appendWords(const uint64_t *words, size_t nbits)
+{
+    size_t full = nbits / 64;
+    unsigned tail = nbits % 64;
+    words_.reserve((size_ + nbits + 63) / 64);
+    if (size_ % 64 == 0) {
+        words_.insert(words_.end(), words, words + full);
+        size_ += full * 64;
+    } else {
+        for (size_t i = 0; i < full; ++i)
+            appendWord(words[i], 64);
+    }
+    if (tail != 0)
+        appendWord(words[full], tail);
+}
+
+void
+Bitstream::appendBytes(const uint8_t *bytes, size_t nbits)
+{
+    size_t consumed = 0;
+    while (consumed < nbits) {
+        unsigned chunk =
+            static_cast<unsigned>(std::min<size_t>(64, nbits - consumed));
+        uint64_t word = 0;
+        for (unsigned b = 0; b * 8 < chunk; ++b) {
+            word |= static_cast<uint64_t>(bytes[(consumed + b * 8) / 8])
+                    << (8 * b);
+        }
+        appendWord(word, chunk);
+        consumed += chunk;
+    }
 }
 
 void

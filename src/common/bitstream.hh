@@ -36,6 +36,16 @@ class Bitstream
     /** Append the low @p nbits bits of @p word, LSB-first. */
     void appendWord(uint64_t word, unsigned nbits);
 
+    /**
+     * Bulk append of @p nbits bits from @p words (LSB-first within
+     * each word). When the stream is word-aligned this is a straight
+     * word copy; otherwise each word is spliced across the boundary.
+     */
+    void appendWords(const uint64_t *words, size_t nbits);
+
+    /** Bulk append of @p nbits bits from @p bytes, LSB-first. */
+    void appendBytes(const uint8_t *bytes, size_t nbits);
+
     /** Append all bits of another stream. */
     void append(const Bitstream &other);
 

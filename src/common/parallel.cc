@@ -1,6 +1,8 @@
 #include "common/parallel.hh"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -25,20 +27,38 @@ parallelFor(size_t begin, size_t end,
         std::min<size_t>(threads, span));
 
     std::atomic<size_t> next(begin);
+    std::atomic<bool> failed(false);
+    std::exception_ptr error;
+    std::mutex error_mutex;
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
         workers.emplace_back([&]() {
             for (;;) {
+                if (failed.load(std::memory_order_relaxed))
+                    return;
                 size_t i = next.fetch_add(1);
                 if (i >= end)
                     return;
-                fn(i);
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
             }
         });
     }
     for (auto &worker : workers)
         worker.join();
+    // Rethrow the first worker exception in the calling thread, so a
+    // fatal() inside fn behaves like in the serial path instead of
+    // calling std::terminate.
+    if (error)
+        std::rethrow_exception(error);
 }
 
 } // namespace quac

@@ -15,7 +15,8 @@ namespace quac
 /**
  * Run fn(i) for i in [begin, end) across worker threads. Blocks until
  * every index has completed. fn must be safe to call concurrently for
- * distinct indices.
+ * distinct indices. If fn throws, remaining indices are abandoned and
+ * the first exception is rethrown in the calling thread.
  *
  * @param threads worker count; 0 selects the hardware concurrency.
  */

@@ -67,9 +67,21 @@ RngService::refillIfBelowWatermark()
         return 0;
 
     compact();
-    size_t want = cfg_.capacityBytes - buffer_.size();
+    size_t want = cfg_.capacityBytes > buffer_.size()
+                      ? cfg_.capacityBytes - buffer_.size()
+                      : 0;
+    // Round up to whole generator iterations: the generator then
+    // writes every iteration straight into our buffer (no staging
+    // copy on its side) and no generated entropy is discarded. The
+    // buffer may transiently exceed capacity by less than one
+    // iteration.
+    size_t chunk = source_.preferredChunkBytes();
+    if (chunk > 0)
+        want = (want + chunk - 1) / chunk * chunk;
+    if (want == 0)
+        return 0;
     size_t old_size = buffer_.size();
-    buffer_.resize(cfg_.capacityBytes);
+    buffer_.resize(old_size + want);
     source_.fill(buffer_.data() + old_size, want);
     return want;
 }

@@ -51,7 +51,12 @@ class RngService
 
     /**
      * Background top-up, as the controller would do with idle DRAM
-     * bandwidth; refills to capacity when at or below the watermark.
+     * bandwidth. When at or below the watermark, refills to capacity
+     * rounded up to whole generator iterations
+     * (Trng::preferredChunkBytes), letting the generator write
+     * straight into the buffer and discarding no generated entropy;
+     * level() may therefore transiently exceed capacity() by less
+     * than one iteration.
      * @return bytes added.
      */
     size_t refillIfBelowWatermark();

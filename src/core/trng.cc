@@ -1,12 +1,55 @@
 #include "core/trng.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 #include "common/error.hh"
+#include "common/parallel.hh"
 #include "crypto/sha256.hh"
 
 namespace quac::core
 {
+
+namespace
+{
+
+/**
+ * Absorb @p nwords sense-amplifier words into a hasher as
+ * little-endian bytes (the wire order of the data bus), without an
+ * intermediate byte vector.
+ */
+void
+shaUpdateWords(Sha256 &sha, const uint64_t *words, size_t nwords)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        sha.update(reinterpret_cast<const uint8_t *>(words),
+                   nwords * 8);
+    } else {
+        for (size_t w = 0; w < nwords; ++w) {
+            uint8_t bytes[8];
+            for (int b = 0; b < 8; ++b)
+                bytes[b] = static_cast<uint8_t>(words[w] >> (8 * b));
+            sha.update(bytes, sizeof(bytes));
+        }
+    }
+}
+
+/** Copy @p nwords words into @p dst as little-endian bytes. */
+void
+copyWordBytes(uint8_t *dst, const uint64_t *words, size_t nwords)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(dst, words, nwords * 8);
+    } else {
+        for (size_t w = 0; w < nwords; ++w) {
+            for (int b = 0; b < 8; ++b)
+                *dst++ = static_cast<uint8_t>(words[w] >> (8 * b));
+        }
+    }
+}
+
+} // anonymous namespace
 
 std::vector<uint8_t>
 Trng::generate(size_t len)
@@ -21,8 +64,7 @@ Trng::generateBits(size_t nbits)
 {
     std::vector<uint8_t> bytes = generate((nbits + 7) / 8);
     Bitstream bits;
-    for (size_t i = 0; i < nbits; ++i)
-        bits.append((bytes[i / 8] >> (i % 8)) & 1);
+    bits.appendBytes(bytes.data(), nbits);
     return bits;
 }
 
@@ -35,14 +77,21 @@ Trng::random256()
 }
 
 QuacTrng::QuacTrng(dram::DramModule &module, QuacTrngConfig cfg)
-    : module_(module), host_(module), cfg_(std::move(cfg))
+    : module_(module), cfg_(std::move(cfg))
 {
     const dram::Geometry &geom = module_.geometry();
     if (cfg_.banks.empty())
         fatal("QuacTrng needs at least one bank");
-    for (uint32_t bank : cfg_.banks) {
-        if (bank >= geom.banks)
-            fatal("bank %u out of range", bank);
+    for (size_t i = 0; i < cfg_.banks.size(); ++i) {
+        if (cfg_.banks[i] >= geom.banks)
+            fatal("bank %u out of range", cfg_.banks[i]);
+        for (size_t j = i + 1; j < cfg_.banks.size(); ++j) {
+            if (cfg_.banks[i] == cfg_.banks[j]) {
+                fatal("bank %u listed twice; each plan must own its "
+                      "bank's command stream",
+                      cfg_.banks[i]);
+            }
+        }
     }
 }
 
@@ -97,12 +146,45 @@ QuacTrng::setup()
                   plan.segment, bank, cfg_.sibEntropyTarget);
         }
 
+        plans_.push_back(std::move(plan));
+    }
+
+    // Rebuild the per-plan command cursors, synchronized past every
+    // command issued so far so per-bank gaps stay non-negative after
+    // a recharacterization.
+    for (const softmc::SoftMcHost &host : hosts_)
+        epoch_ = std::max(epoch_, host.now());
+    hosts_.clear();
+    hosts_.reserve(plans_.size());
+    scratch_.assign(plans_.size(),
+                    std::vector<uint64_t>(geom.wordsPerRow()));
+    planBytes_.clear();
+    planOffsets_.clear();
+
+    size_t offset = 0;
+    const size_t block_bytes = geom.cacheBlockBits / 8;
+    for (const BankPlan &plan : plans_) {
+        hosts_.emplace_back(module_);
+        softmc::SoftMcHost &host = hosts_.back();
+        host.wait(epoch_);
+
         // Fill the reserved rows once; RowClone re-reads them every
         // iteration without consuming data-bus bandwidth.
-        host_.writeRowFill(bank, plan.zeroRow, false);
-        host_.writeRowFill(bank, plan.oneRow, true);
+        host.writeRowFill(plan.bank, plan.zeroRow, false);
+        host.writeRowFill(plan.bank, plan.oneRow, true);
 
-        plans_.push_back(std::move(plan));
+        size_t bytes = 0;
+        if (cfg_.useSha) {
+            bytes = plan.ranges.size() * 32;
+        } else {
+            for (const ColumnRange &range : plan.ranges) {
+                bytes += (range.endColumn - range.beginColumn) *
+                         block_bytes;
+            }
+        }
+        planBytes_.push_back(bytes);
+        planOffsets_.push_back(offset);
+        offset += bytes;
     }
     ready_ = true;
 }
@@ -122,52 +204,89 @@ QuacTrng::bitsPerIteration() const
     return sib * 256;
 }
 
+size_t
+QuacTrng::bytesPerIteration() const
+{
+    size_t bytes = 0;
+    for (size_t plan_bytes : planBytes_)
+        bytes += plan_bytes;
+    return bytes;
+}
+
+size_t
+QuacTrng::preferredChunkBytes()
+{
+    if (!ready_)
+        setup();
+    return bytesPerIteration();
+}
+
 void
-QuacTrng::initSegment(const BankPlan &plan)
+QuacTrng::initSegment(const BankPlan &plan, softmc::SoftMcHost &host)
 {
     const dram::Geometry &geom = module_.geometry();
     uint32_t base = geom.firstRowOfSegment(plan.segment);
     for (uint32_t i = 0; i < dram::Geometry::rowsPerSegment; ++i) {
         bool one = (cfg_.pattern >> i) & 1;
-        host_.rowCloneCopy(plan.bank, one ? plan.oneRow : plan.zeroRow,
-                           base + i);
+        host.rowCloneCopy(plan.bank, one ? plan.oneRow : plan.zeroRow,
+                          base + i);
     }
+}
+
+void
+QuacTrng::executePlan(size_t plan_index, uint8_t *out)
+{
+    const BankPlan &plan = plans_[plan_index];
+    softmc::SoftMcHost &host = hosts_[plan_index];
+    const size_t block_words = module_.geometry().cacheBlockBits / 64;
+
+    initSegment(plan, host);
+    host.quac(plan.bank, plan.segment);
+
+    uint64_t *words = scratch_[plan_index].data();
+    for (const ColumnRange &range : plan.ranges) {
+        size_t nwords =
+            (range.endColumn - range.beginColumn) * block_words;
+        host.readColumns(plan.bank, range.beginColumn, range.endColumn,
+                         words);
+        if (cfg_.useSha) {
+            Sha256 sha;
+            shaUpdateWords(sha, words, nwords);
+            Sha256::Digest digest = sha.finish();
+            std::memcpy(out, digest.data(), digest.size());
+            out += digest.size();
+        } else {
+            copyWordBytes(out, words, nwords);
+            out += nwords * 8;
+        }
+    }
+    host.preObeyed(plan.bank);
+}
+
+void
+QuacTrng::runIterationsInto(uint8_t *out, size_t count)
+{
+    const size_t iter_bytes = bytesPerIteration();
+    if (cfg_.parallelBanks && plans_.size() > 1) {
+        parallelFor(0, plans_.size(), [&](size_t i) {
+            for (size_t k = 0; k < count; ++k)
+                executePlan(i, out + k * iter_bytes + planOffsets_[i]);
+        }, cfg_.bankThreads);
+    } else {
+        for (size_t k = 0; k < count; ++k) {
+            for (size_t i = 0; i < plans_.size(); ++i)
+                executePlan(i, out + k * iter_bytes + planOffsets_[i]);
+        }
+    }
+    iterations_ += count;
 }
 
 void
 QuacTrng::runIteration()
 {
-    const dram::TimingParams &timing = host_.timing();
-    for (const BankPlan &plan : plans_) {
-        initSegment(plan);
-        host_.quac(plan.bank, plan.segment);
-
-        for (const ColumnRange &range : plan.ranges) {
-            std::vector<uint8_t> raw;
-            raw.reserve((range.endColumn - range.beginColumn) *
-                        module_.geometry().cacheBlockBits / 8);
-            for (uint32_t col = range.beginColumn;
-                 col < range.endColumn; ++col) {
-                std::vector<uint64_t> block = host_.rd(plan.bank, col);
-                host_.wait(timing.tCCD_L);
-                for (uint64_t word : block) {
-                    for (int byte = 0; byte < 8; ++byte) {
-                        raw.push_back(
-                            static_cast<uint8_t>(word >> (8 * byte)));
-                    }
-                }
-            }
-            if (cfg_.useSha) {
-                Sha256::Digest digest = Sha256::hash(raw);
-                buffer_.insert(buffer_.end(), digest.begin(),
-                               digest.end());
-            } else {
-                buffer_.insert(buffer_.end(), raw.begin(), raw.end());
-            }
-        }
-        host_.preObeyed(plan.bank);
-    }
-    ++iterations_;
+    buffer_.resize(bytesPerIteration());
+    bufferHead_ = 0;
+    runIterationsInto(buffer_.data(), 1);
 }
 
 void
@@ -175,20 +294,28 @@ QuacTrng::fill(uint8_t *out, size_t len)
 {
     if (!ready_)
         setup();
+    const size_t iter_bytes = bytesPerIteration();
+    QUAC_ASSERT(iter_bytes > 0, "setup produced no output ranges");
+
     size_t produced = 0;
     while (produced < len) {
-        if (bufferHead_ == buffer_.size()) {
-            buffer_.clear();
-            bufferHead_ = 0;
+        size_t available = buffer_.size() - bufferHead_;
+        if (available > 0) {
+            size_t take = std::min(available, len - produced);
+            std::memcpy(out + produced, buffer_.data() + bufferHead_,
+                        take);
+            bufferHead_ += take;
+            produced += take;
+        } else if (len - produced >= iter_bytes) {
+            // Whole iterations go straight into the caller's buffer,
+            // skipping the staging copy entirely; batching them into
+            // one parallel region amortizes thread startup.
+            size_t whole = (len - produced) / iter_bytes;
+            runIterationsInto(out + produced, whole);
+            produced += whole * iter_bytes;
+        } else {
             runIteration();
         }
-        size_t available = buffer_.size() - bufferHead_;
-        size_t take = std::min(available, len - produced);
-        std::copy_n(buffer_.begin() +
-                        static_cast<ptrdiff_t>(bufferHead_),
-                    take, out + produced);
-        bufferHead_ += take;
-        produced += take;
     }
 }
 
@@ -199,21 +326,21 @@ QuacTrng::rawIteration(size_t plan_index)
         setup();
     QUAC_ASSERT(plan_index < plans_.size(), "plan %zu", plan_index);
     const BankPlan &plan = plans_[plan_index];
-    const dram::TimingParams &timing = host_.timing();
+    softmc::SoftMcHost &host = hosts_[plan_index];
+    const dram::Geometry &geom = module_.geometry();
 
-    initSegment(plan);
-    host_.quac(plan.bank, plan.segment);
+    initSegment(plan, host);
+    host.quac(plan.bank, plan.segment);
+
+    uint64_t *words = scratch_[plan_index].data();
+    host.readColumns(plan.bank, 0, geom.cacheBlocksPerRow(), words);
+    host.preObeyed(plan.bank);
+    ++iterations_;
 
     Bitstream raw;
-    for (uint32_t col = 0;
-         col < module_.geometry().cacheBlocksPerRow(); ++col) {
-        std::vector<uint64_t> block = host_.rd(plan.bank, col);
-        host_.wait(timing.tCCD_L);
-        for (uint64_t word : block)
-            raw.appendWord(word, 64);
-    }
-    host_.preObeyed(plan.bank);
-    ++iterations_;
+    raw.appendWords(words,
+                    static_cast<size_t>(geom.cacheBlocksPerRow()) *
+                        geom.cacheBlockBits);
     return raw;
 }
 

@@ -203,6 +203,15 @@ std::vector<uint64_t>
 Bank::read(uint32_t column, double t)
 {
     const Geometry &geom = *ctx_->geom;
+    std::vector<uint64_t> block(geom.cacheBlockBits / 64);
+    readInto(column, block.data(), t);
+    return block;
+}
+
+void
+Bank::readInto(uint32_t column, uint64_t *dst, double t)
+{
+    const Geometry &geom = *ctx_->geom;
     if (column >= geom.cacheBlocksPerRow())
         fatal("RD column %u out of range", column);
     if (phase_ != Phase::Opening && phase_ != Phase::Open)
@@ -213,8 +222,7 @@ Bank::read(uint32_t column, double t)
 
     size_t words = geom.cacheBlockBits / 64;
     size_t start = static_cast<size_t>(column) * words;
-    return std::vector<uint64_t>(sa_.begin() + start,
-                                 sa_.begin() + start + words);
+    std::copy(sa_.begin() + start, sa_.begin() + start + words, dst);
 }
 
 void
@@ -325,6 +333,62 @@ Bank::computeProbabilities(const std::vector<Contribution> &contribs,
 
     // Segment-level systematics are defined by the first contributor.
     uint32_t row0 = contribs[0].row;
+
+    // The per-bitline oracle factors (SA offsets, cell capacitances)
+    // are cell-content independent; fetching them row-wise lets the
+    // generation loop amortize the Philox draws even though changing
+    // cell contents defeat the probability cache.
+    std::vector<double> offset_local;
+    const std::vector<double> *offset;
+    if (ctx_->oracleCache) {
+        offset = &offsetRow(row0);
+    } else {
+        computeOffsetRow(row0, offset_local);
+        offset = &offset_local;
+    }
+    // Uncached mode recomputes cellCapFactor per bitline per call,
+    // like the seed did.
+    std::vector<const std::vector<double> *> caps(contribs.size(),
+                                                  nullptr);
+    if (ctx_->oracleCache) {
+        // Evict before gathering: a clear() between the capRow()
+        // calls below would dangle the references taken so far.
+        if (capCache_.size() > 32)
+            capCache_.clear();
+        for (size_t c = 0; c < contribs.size(); ++c)
+            caps[c] = &capRow(contribs[c].row);
+    }
+
+    for (uint32_t b = 0; b < nbits; ++b) {
+        double dev = 0.0;
+        for (size_t c = 0; c < contribs.size(); ++c) {
+            const Contribution &contrib = contribs[c];
+            double sign = cellValue(contrib.row, b) ? 1.0 : -1.0;
+            double cap = caps[c]
+                             ? (*caps[c])[b]
+                             : var.cellCapFactor(bankId_, contrib.row, b);
+            dev += contrib.scaleMv * sign * cap;
+        }
+        dev *= develop;
+        if (resid_bits) {
+            bool rbit = ((*resid_bits)[b / 64] >> (b % 64)) & 1;
+            dev += resid_amp_mv * (rbit ? 1.0 : -1.0);
+        }
+
+        probs[b] = static_cast<float>(
+            probabilityOne(dev, (*offset)[b], sigma));
+    }
+}
+
+void
+Bank::computeOffsetRow(uint32_t row0, std::vector<double> &out) const
+{
+    const Geometry &geom = *ctx_->geom;
+    const VariationModel &var = *ctx_->variation;
+
+    uint32_t nbits = geom.bitlinesPerRow;
+    out.resize(nbits);
+
     uint32_t segment = geom.segmentOfRow(row0);
     double seg_mean = var.segmentMeanMv(bankId_, segment);
     double spatial = var.spatialScale(bankId_, segment);
@@ -340,24 +404,53 @@ Bank::computeProbabilities(const std::vector<Contribution> &contribs,
     for (uint32_t b = 0; b < nbits; ++b) {
         if (b % cb_bits == 0)
             col_shape = var.columnShape(b / cb_bits);
-
-        double dev = 0.0;
-        for (const Contribution &contrib : contribs) {
-            double sign = cellValue(contrib.row, b) ? 1.0 : -1.0;
-            dev += contrib.scaleMv * sign *
-                   var.cellCapFactor(bankId_, contrib.row, b);
-        }
-        dev *= develop;
-        if (resid_bits) {
-            bool rbit = ((*resid_bits)[b / 64] >> (b % 64)) & 1;
-            dev += resid_amp_mv * (rbit ? 1.0 : -1.0);
-        }
-
-        double offset = (var.saOffsetMv(bankId_, row0, b) + seg_mean) /
-                        (spatial * col_shape * aging) *
-                        chip_factor[geom.chipOfBitline(b)];
-        probs[b] = static_cast<float>(probabilityOne(dev, offset, sigma));
+        out[b] = (var.saOffsetMv(bankId_, row0, b) + seg_mean) /
+                 (spatial * col_shape * aging) *
+                 chip_factor[geom.chipOfBitline(b)];
     }
+}
+
+const std::vector<double> &
+Bank::offsetRow(uint32_t row0) const
+{
+    auto it = offsetCache_.find(row0);
+    if (it != offsetCache_.end() &&
+        it->second.temperatureC == ctx_->temperatureC &&
+        it->second.ageDays == ctx_->ageDays) {
+        return it->second.offset;
+    }
+    if (offsetCache_.size() > 32)
+        offsetCache_.clear();
+    OffsetRowEntry entry;
+    entry.temperatureC = ctx_->temperatureC;
+    entry.ageDays = ctx_->ageDays;
+    computeOffsetRow(row0, entry.offset);
+    return offsetCache_.insert_or_assign(row0, std::move(entry))
+        .first->second.offset;
+}
+
+void
+Bank::computeCapRow(uint32_t row, std::vector<double> &out) const
+{
+    const Geometry &geom = *ctx_->geom;
+    const VariationModel &var = *ctx_->variation;
+    out.resize(geom.bitlinesPerRow);
+    for (uint32_t b = 0; b < geom.bitlinesPerRow; ++b)
+        out[b] = var.cellCapFactor(bankId_, row, b);
+}
+
+const std::vector<double> &
+Bank::capRow(uint32_t row) const
+{
+    // No eviction here: computeProbabilities holds references to
+    // several entries at once; it evicts before gathering them.
+    auto it = capCache_.find(row);
+    if (it == capCache_.end()) {
+        std::vector<double> caps;
+        computeCapRow(row, caps);
+        it = capCache_.emplace(row, std::move(caps)).first;
+    }
+    return it->second;
 }
 
 uint64_t

@@ -44,6 +44,12 @@ struct BankContext
     const VariationModel *variation = nullptr;
     double temperatureC = 50.0;
     double ageDays = 0.0;
+    /**
+     * Reuse the cell-content-independent variation-oracle factors
+     * across sensing events (bit-identical results; trades memory
+     * for a large speedup of the generation loop).
+     */
+    bool oracleCache = true;
 };
 
 /** One DRAM bank: sparse cell array plus row-buffer state machine. */
@@ -71,6 +77,13 @@ class Bank
      * metastable values (tRCD-failure behaviour).
      */
     std::vector<uint64_t> read(uint32_t column, double t);
+
+    /**
+     * Zero-copy variant of read(): writes the cache block's words
+     * into @p dst (which must hold cacheBlockBits / 64 words)
+     * instead of allocating a vector.
+     */
+    void readInto(uint32_t column, uint64_t *dst, double t);
 
     /** Write a 512-bit cache block into the row buffer. */
     void write(uint32_t column, const std::vector<uint64_t> &data,
@@ -199,6 +212,19 @@ class Bank
                               double resid_amp_mv, double develop,
                               std::vector<float> &probs) const;
 
+    /**
+     * Per-bitline effective SA offset for sensing led by @p row0
+     * (cell-content independent; cached per row at the current
+     * temperature/age when the oracle cache is enabled).
+     */
+    const std::vector<double> &offsetRow(uint32_t row0) const;
+    void computeOffsetRow(uint32_t row0,
+                          std::vector<double> &out) const;
+
+    /** Per-bitline cell capacitance factors of @p row (cached). */
+    const std::vector<double> &capRow(uint32_t row) const;
+    void computeCapRow(uint32_t row, std::vector<double> &out) const;
+
     /** Hash of everything computeProbabilities depends on. */
     uint64_t probCacheKey(const std::vector<Contribution> &contribs,
                           const std::vector<uint64_t> *resid_bits,
@@ -232,6 +258,22 @@ class Bank
      * copies plus the QUAC itself) every iteration.
      */
     mutable std::unordered_map<uint64_t, std::vector<float>> probCache_;
+
+    /**
+     * Memoized cell-content-independent variation-oracle rows. The
+     * Philox draws behind saOffsetMv/cellCapFactor dominate
+     * computeProbabilities; they depend only on (bank, row, bitline,
+     * temperature, age), so the generation loop can reuse them even
+     * though changing cell contents defeat probCache_.
+     */
+    struct OffsetRowEntry
+    {
+        double temperatureC = 0.0;
+        double ageDays = 0.0;
+        std::vector<double> offset;
+    };
+    mutable std::unordered_map<uint32_t, OffsetRowEntry> offsetCache_;
+    mutable std::unordered_map<uint32_t, std::vector<double>> capCache_;
 };
 
 } // namespace quac::dram

@@ -16,6 +16,7 @@ DramModule::DramModule(ModuleSpec spec)
     ctx_.variation = &variation_;
     ctx_.temperatureC = spec_.temperatureC;
     ctx_.ageDays = spec_.ageDays;
+    ctx_.oracleCache = spec_.oracleCache;
 
     banks_.reserve(spec_.geometry.banks);
     uint64_t sm = spec_.seed ^ 0x5bd1e995b1e6a5c3ULL;
@@ -72,6 +73,13 @@ std::vector<uint64_t>
 DramModule::readBlock(uint32_t bank_idx, uint32_t column, double t)
 {
     return bank(bank_idx).read(column, t);
+}
+
+void
+DramModule::readBlockInto(uint32_t bank_idx, uint32_t column,
+                          uint64_t *dst, double t)
+{
+    bank(bank_idx).readInto(column, dst, t);
 }
 
 void

@@ -37,6 +37,26 @@ SoftMcHost::rd(uint32_t bank, uint32_t column)
 }
 
 void
+SoftMcHost::rdInto(uint32_t bank, uint32_t column, uint64_t *dst)
+{
+    module_.readBlockInto(bank, column, dst, now_);
+}
+
+void
+SoftMcHost::readColumns(uint32_t bank, uint32_t begin, uint32_t end,
+                        uint64_t *dst)
+{
+    if (begin > end)
+        fatal("readColumns range [%u, %u) is inverted", begin, end);
+    size_t words = module_.geometry().cacheBlockBits / 64;
+    for (uint32_t col = begin; col < end; ++col) {
+        module_.readBlockInto(bank, col, dst, now_);
+        dst += words;
+        wait(timing_.tCCD_L);
+    }
+}
+
+void
 SoftMcHost::wr(uint32_t bank, uint32_t column,
                const std::vector<uint64_t> &data)
 {
@@ -60,15 +80,15 @@ SoftMcHost::preObeyed(uint32_t bank)
 std::vector<uint64_t>
 SoftMcHost::readOpenRow(uint32_t bank)
 {
-    const dram::Geometry &geom = module_.geometry();
-    std::vector<uint64_t> row_bits;
-    row_bits.reserve(geom.wordsPerRow());
-    for (uint32_t col = 0; col < geom.cacheBlocksPerRow(); ++col) {
-        std::vector<uint64_t> block = rd(bank, col);
-        row_bits.insert(row_bits.end(), block.begin(), block.end());
-        wait(timing_.tCCD_L);
-    }
+    std::vector<uint64_t> row_bits(module_.geometry().wordsPerRow());
+    readOpenRowInto(bank, row_bits.data());
     return row_bits;
+}
+
+void
+SoftMcHost::readOpenRowInto(uint32_t bank, uint64_t *dst)
+{
+    readColumns(bank, 0, module_.geometry().cacheBlocksPerRow(), dst);
 }
 
 void

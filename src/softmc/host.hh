@@ -36,6 +36,21 @@ class SoftMcHost
     void act(uint32_t bank, uint32_t row);
     void pre(uint32_t bank);
     std::vector<uint64_t> rd(uint32_t bank, uint32_t column);
+
+    /**
+     * Zero-copy RD: write the cache block's words into @p dst
+     * (cacheBlockBits / 64 words) instead of allocating a vector.
+     */
+    void rdInto(uint32_t bank, uint32_t column, uint64_t *dst);
+
+    /**
+     * Batched zero-copy read of columns [begin, end) of the open
+     * row, pacing tCCD_L between bursts internally. @p dst must hold
+     * (end - begin) x cacheBlockBits / 64 words.
+     */
+    void readColumns(uint32_t bank, uint32_t begin, uint32_t end,
+                     uint64_t *dst);
+
     void wr(uint32_t bank, uint32_t column,
             const std::vector<uint64_t> &data);
     /**@}*/
@@ -50,6 +65,12 @@ class SoftMcHost
 
     /** Read every cache block of the open row (tCCD_L pacing). */
     std::vector<uint64_t> readOpenRow(uint32_t bank);
+
+    /**
+     * Zero-copy readOpenRow(): fill @p dst (wordsPerRow() words)
+     * with the open row's contents.
+     */
+    void readOpenRowInto(uint32_t bank, uint64_t *dst);
 
     /**
      * Open @p row, fill it with @p value via WR bursts, restore and

@@ -52,6 +52,46 @@ TEST(Bitstream, AppendAcrossWordBoundary)
     EXPECT_EQ(bs.popcount(), 65u);
 }
 
+TEST(Bitstream, AppendWordsAlignedFastPath)
+{
+    // A word-aligned bulk append must match appending bit by bit.
+    uint64_t words[3] = {0x0123456789abcdefULL, ~uint64_t{0}, 0x5aULL};
+    Bitstream bulk;
+    bulk.appendWords(words, 64 * 2 + 7);
+
+    Bitstream reference;
+    for (size_t i = 0; i < 64 * 2 + 7; ++i)
+        reference.append((words[i / 64] >> (i % 64)) & 1);
+    EXPECT_EQ(bulk, reference);
+}
+
+TEST(Bitstream, AppendWordsUnalignedSplicesAcrossBoundary)
+{
+    uint64_t words[2] = {0xfedcba9876543210ULL, 0x0f0f0f0f0f0f0f0fULL};
+    Bitstream bulk;
+    bulk.append(true);
+    bulk.append(false);
+    bulk.append(true);
+    bulk.appendWords(words, 100);
+
+    Bitstream reference = Bitstream::fromString("101");
+    for (size_t i = 0; i < 100; ++i)
+        reference.append((words[i / 64] >> (i % 64)) & 1);
+    ASSERT_EQ(bulk.size(), 103u);
+    EXPECT_EQ(bulk, reference);
+}
+
+TEST(Bitstream, AppendBytesPartialBits)
+{
+    uint8_t bytes[3] = {0b10110100, 0b01011010, 0b11111111};
+    Bitstream bs;
+    bs.appendBytes(bytes, 19);
+    ASSERT_EQ(bs.size(), 19u);
+    for (size_t i = 0; i < 19; ++i)
+        EXPECT_EQ(bs[i], static_cast<bool>((bytes[i / 8] >> (i % 8)) & 1))
+            << "bit " << i;
+}
+
 TEST(Bitstream, AppendWordLsbFirst)
 {
     Bitstream bs;

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the parallelFor helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/parallel.hh"
+
+namespace quac
+{
+namespace
+{
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> visits(100);
+    parallelFor(0, visits.size(), [&](size_t i) {
+        visits[i].fetch_add(1);
+    }, 4);
+    for (size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsNoOp)
+{
+    parallelFor(5, 5, [](size_t) { FAIL() << "must not be called"; },
+                4);
+}
+
+TEST(ParallelFor, PropagatesWorkerExceptions)
+{
+    // A fatal() inside a worker must surface as a catchable
+    // exception in the calling thread, not std::terminate.
+    EXPECT_THROW(
+        parallelFor(0, 16, [](size_t i) {
+            if (i == 7)
+                fatal("worker failure on index %zu", i);
+        }, 4),
+        FatalError);
+
+    EXPECT_THROW(
+        parallelFor(0, 16, [](size_t) {
+            throw std::runtime_error("plain exception");
+        }, 4),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, SingleThreadFallbackPropagatesToo)
+{
+    EXPECT_THROW(
+        parallelFor(0, 4, [](size_t i) {
+            if (i == 2)
+                fatal("serial failure");
+        }, 1),
+        FatalError);
+}
+
+} // anonymous namespace
+} // namespace quac

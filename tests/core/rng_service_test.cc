@@ -107,6 +107,34 @@ TEST(RngService, RejectsBadConfig)
                  FatalError);
 }
 
+/** Counting generator with a whole-iteration output granularity. */
+class ChunkedCountingTrng : public CountingTrng
+{
+  public:
+    explicit ChunkedCountingTrng(size_t chunk) : chunk_(chunk) {}
+    size_t preferredChunkBytes() override { return chunk_; }
+
+  private:
+    size_t chunk_;
+};
+
+TEST(RngService, RefillPullsWholeIterations)
+{
+    ChunkedCountingTrng source(48);
+    RngService service(source, {.capacityBytes = 100,
+                                .refillWatermark = 0.5});
+    // 100 wanted -> rounded up to 3 whole 48-byte iterations.
+    EXPECT_EQ(service.refillIfBelowWatermark(), 144u);
+    EXPECT_EQ(service.level(), 144u);
+    // Above the watermark: no further refill, no fractional top-up.
+    EXPECT_EQ(service.refillIfBelowWatermark(), 0u);
+
+    // The stream is still continuous and nothing was discarded.
+    auto bytes = service.request(144);
+    for (size_t i = 0; i < bytes.size(); ++i)
+        ASSERT_EQ(bytes[i], static_cast<uint8_t>(i));
+}
+
 TEST(RngService, StreamIdenticalToUnbufferedSource)
 {
     CountingTrng buffered_source;

@@ -171,6 +171,87 @@ TEST(QuacTrng, RejectsBadConfig)
     EXPECT_THROW(QuacTrng(module, cfg), FatalError);
 }
 
+TEST(QuacTrng, SerialAndParallelPipelinesByteIdentical)
+{
+    // The parallel multi-bank pipeline must be a pure scheduling
+    // change: per-bank command streams, noise streams, and output
+    // slices are independent, so output bytes cannot depend on the
+    // interleaving.
+    dram::DramModule module_serial(testSpec(7));
+    dram::DramModule module_parallel(testSpec(7));
+    QuacTrngConfig cfg = testConfig();
+    cfg.banks = {0, 1, 2, 3};
+
+    QuacTrngConfig serial_cfg = cfg;
+    serial_cfg.parallelBanks = false;
+    QuacTrngConfig parallel_cfg = cfg;
+    parallel_cfg.parallelBanks = true;
+    parallel_cfg.bankThreads = 4;
+
+    QuacTrng serial(module_serial, serial_cfg);
+    QuacTrng parallel(module_parallel, parallel_cfg);
+    serial.setup();
+    parallel.setup();
+    size_t len = 3 * serial.bytesPerIteration() + 11;
+    EXPECT_EQ(serial.generate(len), parallel.generate(len));
+}
+
+TEST(QuacTrng, FillRequestsStraddlingIterationBoundary)
+{
+    // A stream drawn in awkward chunk sizes (forcing buffered
+    // remainders across iteration boundaries) must equal the same
+    // stream drawn in one large request (the direct-write path).
+    dram::DramModule module_chunked(testSpec(9));
+    dram::DramModule module_bulk(testSpec(9));
+    QuacTrng chunked(module_chunked, testConfig());
+    QuacTrng bulk(module_bulk, testConfig());
+    chunked.setup();
+    bulk.setup();
+
+    size_t iter = chunked.bytesPerIteration();
+    ASSERT_GT(iter, 0u);
+    std::vector<size_t> chunks = {iter / 2 + 1, iter, 3, iter - 1,
+                                  2 * iter + 5};
+    std::vector<uint8_t> stream;
+    for (size_t chunk : chunks) {
+        auto part = chunked.generate(chunk);
+        stream.insert(stream.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(stream, bulk.generate(stream.size()));
+}
+
+TEST(QuacTrng, OracleCacheIsBitIdentical)
+{
+    // The variation-oracle row cache is a pure memoization: cached
+    // and uncached modules must emit identical bytes.
+    dram::ModuleSpec cached_spec = testSpec(13);
+    dram::ModuleSpec uncached_spec = testSpec(13);
+    uncached_spec.oracleCache = false;
+    dram::DramModule cached_module(std::move(cached_spec));
+    dram::DramModule uncached_module(std::move(uncached_spec));
+    QuacTrng cached(cached_module, testConfig());
+    QuacTrng uncached(uncached_module, testConfig());
+    EXPECT_EQ(cached.generate(512), uncached.generate(512));
+}
+
+TEST(QuacTrng, PreferredChunkMatchesIterationOutput)
+{
+    dram::DramModule module(testSpec());
+    QuacTrng trng(module, testConfig());
+    size_t chunk = trng.preferredChunkBytes();
+    ASSERT_TRUE(trng.ready()) << "preferredChunkBytes must set up";
+    EXPECT_EQ(chunk, trng.bytesPerIteration());
+    EXPECT_EQ(chunk * 8, trng.bitsPerIteration());
+}
+
+TEST(QuacTrng, RejectsDuplicateBanks)
+{
+    dram::DramModule module(testSpec());
+    QuacTrngConfig cfg = testConfig();
+    cfg.banks = {0, 1, 0};
+    EXPECT_THROW(QuacTrng(module, cfg), FatalError);
+}
+
 TEST(QuacTrng, RecharacterizeAfterTemperatureChange)
 {
     dram::DramModule module(testSpec());

@@ -58,6 +58,63 @@ TEST_F(HostTest, WriteRowFillThenReadBack)
     host.preObeyed(0);
 }
 
+TEST_F(HostTest, RdIntoMatchesRd)
+{
+    host.writeRowFill(0, 6, true);
+    host.actObeyed(0, 6);
+    auto block = host.rd(0, 2);
+    std::vector<uint64_t> direct(block.size(), 0);
+    host.rdInto(0, 2, direct.data());
+    EXPECT_EQ(block, direct);
+    host.preObeyed(0);
+}
+
+TEST_F(HostTest, ReadColumnsMatchesPerBlockReads)
+{
+    const dram::Geometry &geom = module.geometry();
+    host.writeRowFill(0, 6, true);
+    host.actObeyed(0, 6);
+    size_t words = geom.cacheBlockBits / 64;
+
+    std::vector<uint64_t> batched(3 * words, 0);
+    double before = host.now();
+    host.readColumns(0, 1, 4, batched.data());
+    // Internal pacing: one tCCD_L per burst.
+    EXPECT_DOUBLE_EQ(host.now(), before + 3 * host.timing().tCCD_L);
+
+    for (uint32_t col = 1; col < 4; ++col) {
+        auto block = host.rd(0, col);
+        host.wait(host.timing().tCCD_L);
+        for (size_t w = 0; w < words; ++w)
+            EXPECT_EQ(batched[(col - 1) * words + w], block[w])
+                << "col " << col << " word " << w;
+    }
+    host.preObeyed(0);
+}
+
+TEST_F(HostTest, ReadColumnsRejectsInvertedRange)
+{
+    host.writeRowFill(0, 6, false);
+    host.actObeyed(0, 6);
+    uint64_t sink[8];
+    EXPECT_THROW(host.readColumns(0, 3, 1, sink), FatalError);
+    host.preObeyed(0);
+}
+
+TEST_F(HostTest, ReadOpenRowIntoMatchesReadOpenRow)
+{
+    host.writeRowFill(1, 9, true);
+    host.actObeyed(1, 9);
+    auto row = host.readOpenRow(1);
+    host.preObeyed(1);
+
+    host.actObeyed(1, 9);
+    std::vector<uint64_t> direct(module.geometry().wordsPerRow(), 0);
+    host.readOpenRowInto(1, direct.data());
+    host.preObeyed(1);
+    EXPECT_EQ(row, direct);
+}
+
 TEST_F(HostTest, QuacOpensSegmentAndRandomizes)
 {
     module.bank(1).pokeSegmentPattern(3, 0b1110);
