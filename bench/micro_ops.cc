@@ -1,17 +1,28 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the library's hot operations:
- * SHA-256 hashing, QUAC resolution, analytic characterization, the
- * Von Neumann corrector, and representative NIST tests.
+ * SHA-256 hashing, the batched sensing kernel, QUAC resolution,
+ * analytic characterization, the Von Neumann corrector, and
+ * representative NIST tests.
+ *
+ * Pass `--json <path>` to additionally write the results (name,
+ * ns/op, throughput) as a machine-readable JSON file, so the perf
+ * trajectory can be tracked across PRs.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/rng.hh"
 #include "core/characterizer.hh"
 #include "core/trng.hh"
 #include "crypto/sha256.hh"
 #include "dram/segment_model.hh"
+#include "dram/sensing.hh"
+#include "dram/variation.hh"
 #include "nist/sts.hh"
 #include "postprocess/von_neumann.hh"
 #include "softmc/host.hh"
@@ -193,10 +204,11 @@ void
 BM_FullIteration_SeedPath(benchmark::State &state)
 {
     // The seed's pipeline, faithfully: serial across banks, one
-    // vector allocation per RD, byte-staging before SHA, and no
-    // variation-oracle row cache in the bank model.
+    // vector allocation per RD, byte-staging before SHA, no
+    // variation-oracle row cache, and the scalar sensing path.
     dram::ModuleSpec spec = testSpec();
     spec.oracleCache = false;
+    spec.fastSense = false;
     dram::DramModule module(std::move(spec));
     core::QuacTrng trng(module, fourBankConfig());
     trng.setup();
@@ -246,6 +258,206 @@ BM_FullIteration_ZeroCopyParallel(benchmark::State &state)
                             static_cast<int64_t>(out.size()));
 }
 BENCHMARK(BM_FullIteration_ZeroCopyParallel);
+
+void
+BM_FullIteration_ReferenceSense(benchmark::State &state)
+{
+    // The zero-copy pipeline with the batched sensing kernel disabled:
+    // scalar erfc per bitline and per-bit uniform draws (PR 1's bank
+    // model). The "before" side of the fastSense benchmarks.
+    dram::ModuleSpec spec = testSpec();
+    spec.fastSense = false;
+    dram::DramModule module(std::move(spec));
+    core::QuacTrngConfig cfg = fourBankConfig();
+    cfg.parallelBanks = false;
+    core::QuacTrng trng(module, cfg);
+    trng.setup();
+    std::vector<uint8_t> out(trng.bytesPerIteration());
+    for (auto _ : state) {
+        trng.fill(out.data(), out.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_FullIteration_ReferenceSense);
+
+// -------------------------------------------------- sensing kernels
+
+/**
+ * Representative per-bitline sensing inputs: offsets spread like the
+ * SA-offset distribution and deviations like a balanced QUAC pattern,
+ * giving the realistic mix of degenerate and metastable bitlines.
+ */
+struct SensingRow
+{
+    std::vector<double> dev;
+    std::vector<double> offset;
+    double sigma = 0.12;
+};
+
+SensingRow
+makeSensingRow(uint32_t nbits)
+{
+    SensingRow row;
+    row.dev.resize(nbits);
+    row.offset.resize(nbits);
+    Xoshiro256pp rng(21);
+    for (uint32_t b = 0; b < nbits; ++b) {
+        row.dev[b] = rng.gaussian(0.0, 1.2);
+        row.offset[b] = rng.gaussian(0.0, 5.4);
+    }
+    return row;
+}
+
+void
+BM_ProbabilityOne_Scalar(benchmark::State &state)
+{
+    SensingRow row = makeSensingRow(4096);
+    std::vector<float> out(row.dev.size());
+    for (auto _ : state) {
+        for (size_t b = 0; b < row.dev.size(); ++b) {
+            out[b] = static_cast<float>(dram::probabilityOne(
+                row.dev[b], row.offset[b], row.sigma));
+        }
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(row.dev.size()));
+}
+BENCHMARK(BM_ProbabilityOne_Scalar);
+
+void
+BM_ProbabilityOne_Batch(benchmark::State &state)
+{
+    SensingRow row = makeSensingRow(4096);
+    std::vector<float> out(row.dev.size());
+    for (auto _ : state) {
+        dram::probabilityOneBatch(row.dev.data(), row.offset.data(),
+                                  row.sigma, out.data(), out.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(row.dev.size()));
+}
+BENCHMARK(BM_ProbabilityOne_Batch);
+
+/**
+ * Full-row sense resolution through the command path: re-init the
+ * segment, QUAC, and force resolution with a RD. Steady state hits
+ * the probability cache, so this isolates the per-event resolution
+ * cost (key hash + draws + bit packing + row write-back).
+ */
+void
+senseResolveRow(benchmark::State &state, bool fast_sense)
+{
+    dram::ModuleSpec spec = testSpec();
+    spec.fastSense = fast_sense;
+    dram::DramModule module(std::move(spec));
+    softmc::SoftMcHost host(module);
+    uint32_t segment = 2;
+    for (auto _ : state) {
+        module.bank(0).pokeSegmentPattern(segment, 0b1110);
+        host.quac(0, segment);
+        std::vector<uint64_t> block = host.rd(0, 0);
+        benchmark::DoNotOptimize(block.data());
+        host.preObeyed(0);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        module.geometry().bitlinesPerRow);
+}
+
+void
+BM_ResolveSenseRow_Reference(benchmark::State &state)
+{
+    senseResolveRow(state, false);
+}
+BENCHMARK(BM_ResolveSenseRow_Reference);
+
+void
+BM_ResolveSenseRow_Fast(benchmark::State &state)
+{
+    senseResolveRow(state, true);
+}
+BENCHMARK(BM_ResolveSenseRow_Fast);
+
+/** Analytic probability query (uncached computeProbabilities). */
+void
+BM_QuacAnalyticProbabilities_Reference(benchmark::State &state)
+{
+    dram::ModuleSpec spec = testSpec();
+    spec.fastSense = false;
+    dram::DramModule module(std::move(spec));
+    module.bank(0).pokeSegmentPattern(2, 0b1110);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(module.bank(0).quacProbabilities(2));
+}
+BENCHMARK(BM_QuacAnalyticProbabilities_Reference);
+
+// ------------------------------------------------ bulk draw kernels
+
+void
+BM_OracleOffsetRow_PerElement(benchmark::State &state)
+{
+    dram::DramModule module(testSpec());
+    const dram::VariationModel &var = module.variation();
+    uint32_t nbits = module.geometry().bitlinesPerRow;
+    std::vector<double> out(nbits);
+    for (auto _ : state) {
+        for (uint32_t b = 0; b < nbits; ++b)
+            out[b] = var.saOffsetMv(0, 6, b);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            nbits);
+}
+BENCHMARK(BM_OracleOffsetRow_PerElement);
+
+void
+BM_OracleOffsetRow_Bulk(benchmark::State &state)
+{
+    dram::DramModule module(testSpec());
+    const dram::VariationModel &var = module.variation();
+    uint32_t nbits = module.geometry().bitlinesPerRow;
+    std::vector<double> out(nbits);
+    for (auto _ : state) {
+        var.saOffsetRowMv(0, 6, nbits, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            nbits);
+}
+BENCHMARK(BM_OracleOffsetRow_Bulk);
+
+void
+BM_UniformDraws_PerCall(benchmark::State &state)
+{
+    Xoshiro256pp rng(5);
+    std::vector<float> out(4096);
+    for (auto _ : state) {
+        for (size_t i = 0; i < out.size(); ++i)
+            out[i] = static_cast<float>(rng.uniform());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_UniformDraws_PerCall);
+
+void
+BM_UniformDraws_Bulk(benchmark::State &state)
+{
+    Xoshiro256pp rng(5);
+    std::vector<float> out(4096);
+    for (auto _ : state) {
+        rng.fillUniform(out.data(), out.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_UniformDraws_Bulk);
 
 // ------------------------------------------------------ bit plumbing
 
@@ -381,6 +593,106 @@ BM_NistLinearComplexity_64Kbit(benchmark::State &state)
 }
 BENCHMARK(BM_NistLinearComplexity_64Kbit);
 
+/**
+ * Console reporter that also collects each run for the --json file:
+ * benchmark name, ns per op, and the byte/item throughputs.
+ */
+class JsonCollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Result
+    {
+        std::string name;
+        double nsPerOp = 0.0;
+        double bytesPerSecond = 0.0;
+        double itemsPerSecond = 0.0;
+        int64_t iterations = 0;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            Result r;
+            r.name = run.benchmark_name();
+            r.nsPerOp = run.GetAdjustedRealTime();
+            auto bytes = run.counters.find("bytes_per_second");
+            if (bytes != run.counters.end())
+                r.bytesPerSecond = bytes->second;
+            auto items = run.counters.find("items_per_second");
+            if (items != run.counters.end())
+                r.itemsPerSecond = items->second;
+            r.iterations = static_cast<int64_t>(run.iterations);
+            results.push_back(std::move(r));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<Result> results;
+};
+
+bool
+writeJsonResults(const std::string &path,
+                 const std::vector<JsonCollectingReporter::Result> &results)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "micro_ops: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"ns_per_op\": %.4f, "
+                     "\"bytes_per_second\": %.1f, "
+                     "\"items_per_second\": %.1f, "
+                     "\"iterations\": %lld}%s\n",
+                     r.name.c_str(), r.nsPerOp, r.bytesPerSecond,
+                     r.itemsPerSecond,
+                     static_cast<long long>(r.iterations),
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Extract our --json flag before google-benchmark parses argv.
+    std::string json_path;
+    std::vector<char *> pruned;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else {
+            pruned.push_back(argv[i]);
+        }
+    }
+    int pruned_argc = static_cast<int>(pruned.size());
+    pruned.push_back(nullptr);
+
+    benchmark::Initialize(&pruned_argc, pruned.data());
+    if (benchmark::ReportUnrecognizedArguments(pruned_argc,
+                                               pruned.data()))
+        return 1;
+
+    JsonCollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    if (!json_path.empty() &&
+        !writeJsonResults(json_path, reporter.results))
+        return 1;
+    return 0;
+}

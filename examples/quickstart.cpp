@@ -3,7 +3,7 @@
  * Quickstart: build a simulated DDR4 module, stand up QUAC-TRNG on
  * it, and generate random numbers.
  *
- *   ./quickstart [--bytes N] [--seed S]
+ *   ./quickstart [--bytes N] [--seed S] [--reference-sense]
  */
 
 #include <cstdio>
@@ -15,7 +15,7 @@
 int
 main(int argc, char **argv)
 {
-    quac::CliArgs args(argc, argv, {"bytes", "seed"});
+    quac::CliArgs args(argc, argv, {"bytes", "seed", "reference-sense"});
     size_t nbytes = args.getUint("bytes", 64);
 
     // 1. Instantiate a simulated module. Catalog modules reproduce
@@ -25,6 +25,9 @@ main(int argc, char **argv)
         quac::dram::paperCatalog()[12], // M13, the best module
         quac::dram::Geometry::paperScale(),
         args.getUint("seed", 0));
+    // --reference-sense selects the scalar sensing oracle instead of
+    // the batched SIMD kernel (for validation/measurement).
+    spec.fastSense = !args.getBool("reference-sense");
     quac::dram::DramModule module(std::move(spec));
 
     // 2. Attach the TRNG. setup() runs the one-time characterization:

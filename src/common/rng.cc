@@ -1,6 +1,9 @@
 #include "common/rng.hh"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/vec_clones.hh"
 
 namespace quac
 {
@@ -63,6 +66,93 @@ Philox4x32::block(const Counter &ctr) const
     return Block{x0, x1, x2, x3};
 }
 
+namespace
+{
+
+/**
+ * Bulk Philox core: n independent counters sharing key state, rounds
+ * interleaved across a small block of lanes so the multiplies and
+ * xors vectorize. Bit-identical to per-counter block() evaluation.
+ */
+QUAC_VEC_CLONES void
+philoxBlocksKernel(uint32_t key_x, uint32_t key_y,
+                   const Philox4x32::Counter &ctr0, size_t n,
+                   uint32_t *out)
+{
+    constexpr size_t width = 16;
+    uint32_t x0[width], x1[width], x2[width], x3[width];
+
+    size_t i = 0;
+    for (; i + width <= n; i += width) {
+        for (size_t j = 0; j < width; ++j) {
+            x0[j] = ctr0[0];
+            x1[j] = ctr0[1];
+            x2[j] = ctr0[2];
+            x3[j] = ctr0[3] + static_cast<uint32_t>(i + j);
+        }
+        uint32_t kx = key_x, ky = key_y;
+        for (int round = 0; round < 10; ++round) {
+            for (size_t j = 0; j < width; ++j) {
+                uint64_t prod0 =
+                    static_cast<uint64_t>(philoxM0) * x0[j];
+                uint64_t prod1 =
+                    static_cast<uint64_t>(philoxM1) * x2[j];
+                uint32_t y0 = static_cast<uint32_t>(prod1 >> 32) ^
+                              x1[j] ^ kx;
+                uint32_t y1 = static_cast<uint32_t>(prod1);
+                uint32_t y2 = static_cast<uint32_t>(prod0 >> 32) ^
+                              x3[j] ^ ky;
+                uint32_t y3 = static_cast<uint32_t>(prod0);
+                x0[j] = y0;
+                x1[j] = y1;
+                x2[j] = y2;
+                x3[j] = y3;
+            }
+            kx += philoxW0;
+            ky += philoxW1;
+        }
+        for (size_t j = 0; j < width; ++j) {
+            uint32_t *dst = out + 4 * (i + j);
+            dst[0] = x0[j];
+            dst[1] = x1[j];
+            dst[2] = x2[j];
+            dst[3] = x3[j];
+        }
+    }
+    for (; i < n; ++i) {
+        uint32_t c0 = ctr0[0], c1 = ctr0[1], c2 = ctr0[2];
+        uint32_t c3 = ctr0[3] + static_cast<uint32_t>(i);
+        uint32_t kx = key_x, ky = key_y;
+        for (int round = 0; round < 10; ++round) {
+            uint64_t prod0 = static_cast<uint64_t>(philoxM0) * c0;
+            uint64_t prod1 = static_cast<uint64_t>(philoxM1) * c2;
+            uint32_t y0 = static_cast<uint32_t>(prod1 >> 32) ^ c1 ^ kx;
+            uint32_t y1 = static_cast<uint32_t>(prod1);
+            uint32_t y2 = static_cast<uint32_t>(prod0 >> 32) ^ c3 ^ ky;
+            uint32_t y3 = static_cast<uint32_t>(prod0);
+            c0 = y0;
+            c1 = y1;
+            c2 = y2;
+            c3 = y3;
+            kx += philoxW0;
+            ky += philoxW1;
+        }
+        uint32_t *dst = out + 4 * i;
+        dst[0] = c0;
+        dst[1] = c1;
+        dst[2] = c2;
+        dst[3] = c3;
+    }
+}
+
+} // anonymous namespace
+
+void
+Philox4x32::blocks(const Counter &ctr0, size_t n, uint32_t *out) const
+{
+    philoxBlocksKernel(keyX_, keyY_, ctr0, n, out);
+}
+
 double
 Philox4x32::uniform(const Counter &ctr, unsigned lane) const
 {
@@ -120,6 +210,19 @@ double
 Xoshiro256pp::uniform()
 {
     return (next() >> 11) * 0x1p-53;
+}
+
+void
+Xoshiro256pp::fillUniform(float *out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        uint64_t v = next();
+        out[i] = (static_cast<uint32_t>(v >> 32) >> 8) * 0x1p-24f;
+        out[i + 1] = (static_cast<uint32_t>(v) >> 8) * 0x1p-24f;
+    }
+    if (i < n)
+        out[i] = (static_cast<uint32_t>(next() >> 32) >> 8) * 0x1p-24f;
 }
 
 double

@@ -22,6 +22,7 @@
 #define QUAC_COMMON_RNG_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace quac
@@ -48,6 +49,17 @@ class Philox4x32
 
     /** Generate the 128-bit block for a counter value. */
     Block block(const Counter &ctr) const;
+
+    /**
+     * Bulk generation: the blocks of the @p n consecutive counters
+     * {ctr0[0], ctr0[1], ctr0[2], ctr0[3] + i} for i in [0, n), with
+     * the last lane wrapping modulo 2^32. Writes 4 * n words to
+     * @p out, block i at out[4 * i .. 4 * i + 3], bit-identical to n
+     * block() calls. Independent counters make the ten Philox rounds
+     * vectorizable, which is what lets the variation oracle fill
+     * whole per-row factor arrays at SIMD speed.
+     */
+    void blocks(const Counter &ctr0, size_t n, uint32_t *out) const;
 
     /** Convenience: block addressed by four 32-bit coordinates. */
     Block
@@ -85,6 +97,15 @@ class Xoshiro256pp
 
     /** Uniform double in [0, 1). */
     double uniform();
+
+    /**
+     * Fill @p out with @p n uniform floats in [0, 1), 24 significant
+     * bits each, two per next() call (high word then low word). The
+     * bulk form advances the state by ceil(n / 2) steps; it is the
+     * fast-path companion of uniform() for whole-row draws, not a
+     * replay of the per-call double sequence.
+     */
+    void fillUniform(float *out, size_t n);
 
     /** Uniform double in [lo, hi). */
     double uniform(double lo, double hi);

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * QUAC_VEC_CLONES: function attribute emitting AVX2/AVX-512 clones of
+ * a hot loop, resolved at load time via ifunc, so the baseline binary
+ * stays portable while vector-capable hosts get SIMD code. Expands to
+ * nothing where unsupported (non-x86-64, non-ELF, or a compiler
+ * without target_clones).
+ */
+
+#ifndef QUAC_COMMON_VEC_CLONES_HH
+#define QUAC_COMMON_VEC_CLONES_HH
+
+#if defined(__x86_64__) && defined(__ELF__) && defined(__has_attribute)
+#if __has_attribute(target_clones)
+#define QUAC_VEC_CLONES \
+    __attribute__((target_clones("default", "avx2", "avx512f")))
+#endif
+#endif
+#ifndef QUAC_VEC_CLONES
+#define QUAC_VEC_CLONES
+#endif
+
+#endif // QUAC_COMMON_VEC_CLONES_HH

@@ -1,6 +1,7 @@
 #include "core/sa_stream.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/error.hh"
@@ -47,10 +48,26 @@ SaStreamSampler::topMetastableBitlines(size_t k) const
 Bitstream
 SaStreamSampler::sample(uint32_t bitline, size_t nbits)
 {
-    double p = probability(bitline);
+    // Bulk draws: fill a chunk of uniforms, compare against the fixed
+    // p, and append word-at-a-time instead of one Bernoulli per call.
+    float p = static_cast<float>(probability(bitline));
     Bitstream bits;
-    for (size_t i = 0; i < nbits; ++i)
-        bits.append(rng_.bernoulli(p));
+    constexpr size_t chunk = 4096;
+    std::array<float, chunk> uniforms;
+    for (size_t done = 0; done < nbits;) {
+        size_t m = std::min(chunk, nbits - done);
+        rng_.fillUniform(uniforms.data(), m);
+        for (size_t base = 0; base < m; base += 64) {
+            size_t w = std::min<size_t>(64, m - base);
+            uint64_t word = 0;
+            for (size_t k = 0; k < w; ++k) {
+                word |= static_cast<uint64_t>(uniforms[base + k] < p)
+                        << k;
+            }
+            bits.appendWord(word, w);
+        }
+        done += m;
+    }
     return bits;
 }
 
@@ -59,15 +76,22 @@ SaStreamSampler::sampleInterleaved(
     const std::vector<uint32_t> &bitlines, size_t nbits)
 {
     QUAC_ASSERT(!bitlines.empty(), "no bitlines selected");
+    std::vector<float> probs(bitlines.size());
+    for (size_t i = 0; i < bitlines.size(); ++i)
+        probs[i] = static_cast<float>(probability(bitlines[i]));
+
     Bitstream bits;
-    size_t produced = 0;
-    while (produced < nbits) {
-        for (uint32_t bitline : bitlines) {
-            if (produced >= nbits)
-                break;
-            bits.append(rng_.bernoulli(probability(bitline)));
-            ++produced;
+    constexpr size_t chunk = 4096;
+    std::array<float, chunk> uniforms;
+    size_t lane = 0;
+    for (size_t produced = 0; produced < nbits;) {
+        size_t m = std::min(chunk, nbits - produced);
+        rng_.fillUniform(uniforms.data(), m);
+        for (size_t i = 0; i < m; ++i) {
+            bits.append(uniforms[i] < probs[lane]);
+            lane = (lane + 1 == probs.size()) ? 0 : lane + 1;
         }
+        produced += m;
     }
     return bits;
 }

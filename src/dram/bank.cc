@@ -24,15 +24,86 @@ fnvMix(uint64_t hash, const T &value)
     return hash;
 }
 
+/**
+ * Word-granular FNV-1a variant for bulk row contents: one xor-multiply
+ * per 64-bit word instead of eight. The probability-cache key hashes
+ * every contributing row per sensing event, so this sits on the hot
+ * path; cache keying only needs collision resistance, not avalanche
+ * quality, and the multiply chain keeps full 64-bit diffusion.
+ */
 uint64_t
 fnvMixWords(uint64_t hash, const std::vector<uint64_t> &words)
 {
-    for (uint64_t w : words)
-        hash = fnvMix(hash, w);
+    for (uint64_t w : words) {
+        hash ^= w;
+        hash *= 0x100000001b3ULL;
+    }
     return hash;
 }
 
 constexpr uint64_t fnvBasis = 0xcbf29ce484222325ULL;
+
+/**
+ * +1 if the first @p nbits bits of @p words are all ones, -1 if all
+ * zeros, 0 otherwise. Lets the deviation accumulation use a constant
+ * sign (and hence a vectorizable FMA pass) for the TRNG's uniform
+ * init rows and full-rail residuals.
+ */
+int
+constantRowSign(const std::vector<uint64_t> &words, uint32_t nbits)
+{
+    bool zeros = true;
+    bool ones = true;
+    uint32_t full = nbits / 64;
+    for (uint32_t w = 0; w < full; ++w) {
+        zeros = zeros && words[w] == 0;
+        ones = ones && words[w] == ~uint64_t{0};
+        if (!zeros && !ones)
+            return 0;
+    }
+    if (uint32_t tail = nbits % 64) {
+        uint64_t mask = (uint64_t{1} << tail) - 1;
+        zeros = zeros && (words[full] & mask) == 0;
+        ones = ones && (words[full] & mask) == mask;
+    }
+    if (zeros)
+        return -1;
+    if (ones)
+        return 1;
+    return 0;
+}
+
+/**
+ * Second-chance eviction sweep: drop every entry not hit since the
+ * last sweep and demote the survivors. If everything was hot (the
+ * working set exceeds the capacity), drop alternate entries so the
+ * cache still shrinks instead of thrashing on a full clear.
+ */
+template <typename Map>
+void
+evictColdEntries(Map &map)
+{
+    bool erased = false;
+    for (auto it = map.begin(); it != map.end();) {
+        if (!it->second.hot) {
+            it = map.erase(it);
+            erased = true;
+        } else {
+            it->second.hot = false;
+            ++it;
+        }
+    }
+    if (!erased) {
+        bool drop = true;
+        for (auto it = map.begin(); it != map.end();) {
+            if (drop)
+                it = map.erase(it);
+            else
+                ++it;
+            drop = !drop;
+        }
+    }
+}
 
 } // anonymous namespace
 
@@ -274,30 +345,48 @@ Bank::resolveSense(double t)
                                         ? nullptr : &pending_.residBits,
                                     pending_.residAmpMv, develop);
         auto it = probCache_.find(key);
-        if (it == probCache_.end()) {
-            if (probCache_.size() > 64)
-                probCache_.clear();
-            std::vector<float> fresh;
+        bool fresh = it == probCache_.end();
+        if (fresh) {
+            ++probCacheMisses_;
+            if (probCache_.size() >= probCacheCapacity)
+                evictColdEntries(probCache_);
+            SenseRowPlan plan;
             computeProbabilities(pending_.contribs,
                                  pending_.residBits.empty()
                                      ? nullptr : &pending_.residBits,
-                                 pending_.residAmpMv, develop, fresh);
-            it = probCache_.emplace(key, std::move(fresh)).first;
+                                 pending_.residAmpMv, develop,
+                                 plan.probs);
+            it = probCache_.emplace(key, std::move(plan)).first;
+        } else {
+            ++probCacheHits_;
+            it->second.hot = true;
         }
-        const std::vector<float> &probs = it->second;
+        SenseRowPlan &plan = it->second;
 
-        sa_.assign(geom.wordsPerRow(), 0);
-        for (uint32_t b = 0; b < geom.bitlinesPerRow; ++b) {
-            float p = probs[b];
-            bool bit;
-            if (p >= 1.0f - 1e-9f)
-                bit = true;
-            else if (p <= 1e-9f)
-                bit = false;
-            else
-                bit = noise_.uniform() < p;
-            if (bit)
-                sa_[b / 64] |= (uint64_t{1} << (b % 64));
+        if (ctx_->fastSense) {
+            // Sparse plans win even for one-shot setups: most rows
+            // are degenerate-dominated, so classifying bitlines once
+            // costs less than bulk-drawing uniforms for the whole
+            // row (the dense pass is still used for metastable-rich
+            // rows inside resolveRowFast).
+            if (!plan.fastReady)
+                buildSensePlan(plan);
+            resolveRowFast(plan);
+        } else {
+            // Reference oracle: scalar per-bitline draws, as seeded.
+            sa_.assign(geom.wordsPerRow(), 0);
+            for (uint32_t b = 0; b < geom.bitlinesPerRow; ++b) {
+                float p = plan.probs[b];
+                bool bit;
+                if (p >= 1.0f - degenerateProbability)
+                    bit = true;
+                else if (p <= degenerateProbability)
+                    bit = false;
+                else
+                    bit = noise_.uniform() < p;
+                if (bit)
+                    sa_[b / 64] |= (uint64_t{1} << (b % 64));
+            }
         }
     }
 
@@ -312,6 +401,72 @@ Bank::writeBackToOpenRows()
 {
     for (uint32_t row : openRows_)
         rowStorage(row) = sa_;
+}
+
+void
+Bank::buildSensePlan(SenseRowPlan &plan) const
+{
+    const Geometry &geom = *ctx_->geom;
+    uint32_t nbits = geom.bitlinesPerRow;
+
+    plan.baseWords.assign(geom.wordsPerRow(), 0);
+    plan.fuzzyIdx.clear();
+    plan.fuzzyProbs.clear();
+    for (uint32_t b = 0; b < nbits; ++b) {
+        // Same classification thresholds as the scalar reference
+        // loop, so fast and reference paths agree exactly on which
+        // bitlines are deterministic.
+        float p = plan.probs[b];
+        if (p >= 1.0f - degenerateProbability)
+            plan.baseWords[b / 64] |= (uint64_t{1} << (b % 64));
+        else if (p > degenerateProbability) {
+            plan.fuzzyIdx.push_back(b);
+            plan.fuzzyProbs.push_back(p);
+        }
+    }
+    plan.fastReady = true;
+}
+
+void
+Bank::resolveRowDense(const std::vector<float> &probs)
+{
+    // Whole-row resolution: a row of bulk uniforms compared against
+    // the probability row, result bits packed word-at-a-time. The
+    // probabilities are snapped (probabilityOneBatch), so degenerate
+    // bitlines resolve deterministically here too.
+    const Geometry &geom = *ctx_->geom;
+    uint32_t nbits = geom.bitlinesPerRow;
+    uniformScratch_.resize(nbits);
+    noise_.fillUniform(uniformScratch_.data(), nbits);
+    sa_.resize(geom.wordsPerRow());
+    resolveBitsBatch(uniformScratch_.data(), probs.data(), nbits,
+                     sa_.data());
+}
+
+void
+Bank::resolveRowFast(const SenseRowPlan &plan)
+{
+    const Geometry &geom = *ctx_->geom;
+    uint32_t nbits = geom.bitlinesPerRow;
+    size_t fuzzy = plan.fuzzyIdx.size();
+
+    if (fuzzy * 4 >= nbits) {
+        // Metastable-rich rows (tRCD/tRP regimes): the dense pass
+        // beats indexing a long fuzzy list.
+        resolveRowDense(plan.probs);
+    } else {
+        // Sparse rows (QUAC, RowClone): start from the deterministic
+        // bits and draw only for the bitlines that can flip.
+        sa_.assign(plan.baseWords.begin(), plan.baseWords.end());
+        uniformScratch_.resize(fuzzy);
+        noise_.fillUniform(uniformScratch_.data(), fuzzy);
+        for (size_t j = 0; j < fuzzy; ++j) {
+            if (uniformScratch_[j] < plan.fuzzyProbs[j]) {
+                uint32_t b = plan.fuzzyIdx[j];
+                sa_[b / 64] |= (uint64_t{1} << (b % 64));
+            }
+        }
+    }
 }
 
 void
@@ -338,45 +493,84 @@ Bank::computeProbabilities(const std::vector<Contribution> &contribs,
     // are cell-content independent; fetching them row-wise lets the
     // generation loop amortize the Philox draws even though changing
     // cell contents defeat the probability cache.
-    std::vector<double> offset_local;
     const std::vector<double> *offset;
     if (ctx_->oracleCache) {
         offset = &offsetRow(row0);
     } else {
-        computeOffsetRow(row0, offset_local);
-        offset = &offset_local;
-    }
-    // Uncached mode recomputes cellCapFactor per bitline per call,
-    // like the seed did.
-    std::vector<const std::vector<double> *> caps(contribs.size(),
-                                                  nullptr);
-    if (ctx_->oracleCache) {
-        // Evict before gathering: a clear() between the capRow()
-        // calls below would dangle the references taken so far.
-        if (capCache_.size() > 32)
-            capCache_.clear();
-        for (size_t c = 0; c < contribs.size(); ++c)
-            caps[c] = &capRow(contribs[c].row);
+        computeOffsetRow(row0, offsetScratch_);
+        offset = &offsetScratch_;
     }
 
-    for (uint32_t b = 0; b < nbits; ++b) {
-        double dev = 0.0;
-        for (size_t c = 0; c < contribs.size(); ++c) {
-            const Contribution &contrib = contribs[c];
-            double sign = cellValue(contrib.row, b) ? 1.0 : -1.0;
-            double cap = caps[c]
-                             ? (*caps[c])[b]
-                             : var.cellCapFactor(bankId_, contrib.row, b);
-            dev += contrib.scaleMv * sign * cap;
-        }
-        dev *= develop;
-        if (resid_bits) {
-            bool rbit = ((*resid_bits)[b / 64] >> (b % 64)) & 1;
-            dev += resid_amp_mv * (rbit ? 1.0 : -1.0);
-        }
+    // Eviction may only run here, never inside capRow(): the loop
+    // below holds a live pointer into the cache while capRow() may
+    // insert further rows (insertion keeps entries stable, erasure
+    // does not).
+    if (ctx_->oracleCache && capCache_.size() >= capCacheCapacity)
+        evictColdEntries(capCache_);
 
-        probs[b] = static_cast<float>(
-            probabilityOne(dev, (*offset)[b], sigma));
+    // Structure-of-arrays accumulation: one contiguous pass per
+    // contribution. The per-bitline addition order matches the seed's
+    // scalar loop (contributions in order), so the deviations are
+    // bit-identical to the reference formulation (multiplying by
+    // constant ±1.0 signs is exact).
+    devScratch_.assign(nbits, 0.0);
+    double *dev = devScratch_.data();
+    for (const Contribution &contrib : contribs) {
+        const double *cap;
+        if (ctx_->oracleCache) {
+            cap = capRow(contrib.row).data();
+        } else {
+            computeCapRow(contrib.row, capScratch_);
+            cap = capScratch_.data();
+        }
+        double scale = contrib.scaleMv;
+        auto row_it = rows_.find(contrib.row);
+        int constant = row_it == rows_.end()
+                           ? -1
+                           : constantRowSign(row_it->second, nbits);
+        if (constant != 0) {
+            // Uniform rows (unwritten, or the TRNG's all-0s/all-1s
+            // init fills): a constant sign keeps the loop a pure
+            // FMA pass, which vectorizes.
+            double signed_scale = scale * (constant > 0 ? 1.0 : -1.0);
+            for (uint32_t b = 0; b < nbits; ++b)
+                dev[b] += signed_scale * cap[b];
+        } else {
+            const uint64_t *bits = row_it->second.data();
+            for (uint32_t b = 0; b < nbits; ++b) {
+                double sign =
+                    ((bits[b / 64] >> (b % 64)) & 1) ? 1.0 : -1.0;
+                dev[b] += scale * sign * cap[b];
+            }
+        }
+    }
+    for (uint32_t b = 0; b < nbits; ++b)
+        dev[b] *= develop;
+    if (resid_bits) {
+        const uint64_t *rbits = resid_bits->data();
+        int constant = constantRowSign(*resid_bits, nbits);
+        if (constant != 0) {
+            // Full-rail residuals of a constant source row.
+            double amp = resid_amp_mv * (constant > 0 ? 1.0 : -1.0);
+            for (uint32_t b = 0; b < nbits; ++b)
+                dev[b] += amp;
+        } else {
+            for (uint32_t b = 0; b < nbits; ++b) {
+                double rsign =
+                    ((rbits[b / 64] >> (b % 64)) & 1) ? 1.0 : -1.0;
+                dev[b] += resid_amp_mv * rsign;
+            }
+        }
+    }
+
+    if (ctx_->fastSense) {
+        probabilityOneBatch(dev, offset->data(), sigma, probs.data(),
+                            nbits);
+    } else {
+        const double *off = offset->data();
+        for (uint32_t b = 0; b < nbits; ++b)
+            probs[b] = static_cast<float>(
+                probabilityOne(dev[b], off[b], sigma));
     }
 }
 
@@ -399,12 +593,15 @@ Bank::computeOffsetRow(uint32_t row0, std::vector<double> &out) const
         chip_factor[chip] = var.temperatureFactor(chip,
                                                   ctx_->temperatureC);
 
+    // Bulk Philox fill of the raw SA offsets, then the scalings.
+    var.saOffsetRowMv(bankId_, row0, nbits, out.data());
+
     uint32_t cb_bits = geom.cacheBlockBits;
     double col_shape = 0.0;
     for (uint32_t b = 0; b < nbits; ++b) {
         if (b % cb_bits == 0)
             col_shape = var.columnShape(b / cb_bits);
-        out[b] = (var.saOffsetMv(bankId_, row0, b) + seg_mean) /
+        out[b] = (out[b] + seg_mean) /
                  (spatial * col_shape * aging) *
                  chip_factor[geom.chipOfBitline(b)];
     }
@@ -417,10 +614,11 @@ Bank::offsetRow(uint32_t row0) const
     if (it != offsetCache_.end() &&
         it->second.temperatureC == ctx_->temperatureC &&
         it->second.ageDays == ctx_->ageDays) {
+        it->second.hot = true;
         return it->second.offset;
     }
-    if (offsetCache_.size() > 32)
-        offsetCache_.clear();
+    if (offsetCache_.size() >= offsetCacheCapacity)
+        evictColdEntries(offsetCache_);
     OffsetRowEntry entry;
     entry.temperatureC = ctx_->temperatureC;
     entry.ageDays = ctx_->ageDays;
@@ -435,22 +633,24 @@ Bank::computeCapRow(uint32_t row, std::vector<double> &out) const
     const Geometry &geom = *ctx_->geom;
     const VariationModel &var = *ctx_->variation;
     out.resize(geom.bitlinesPerRow);
-    for (uint32_t b = 0; b < geom.bitlinesPerRow; ++b)
-        out[b] = var.cellCapFactor(bankId_, row, b);
+    var.cellCapRow(bankId_, row, geom.bitlinesPerRow, out.data());
 }
 
 const std::vector<double> &
 Bank::capRow(uint32_t row) const
 {
-    // No eviction here: computeProbabilities holds references to
-    // several entries at once; it evicts before gathering them.
+    // No eviction here: computeProbabilities may still hold a
+    // pointer into the cache when it calls this for the next
+    // contribution; it evicts once, before its accumulation loop.
     auto it = capCache_.find(row);
     if (it == capCache_.end()) {
-        std::vector<double> caps;
-        computeCapRow(row, caps);
-        it = capCache_.emplace(row, std::move(caps)).first;
+        CapRowEntry entry;
+        computeCapRow(row, entry.caps);
+        it = capCache_.emplace(row, std::move(entry)).first;
+    } else {
+        it->second.hot = true;
     }
-    return it->second;
+    return it->second.caps;
 }
 
 uint64_t

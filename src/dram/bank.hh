@@ -50,6 +50,14 @@ struct BankContext
      * for a large speedup of the generation loop).
      */
     bool oracleCache = true;
+    /**
+     * Resolve sensing with the batched SIMD kernel (vectorized Phi
+     * approximation + bulk uniform draws) instead of the scalar
+     * per-bitline erfc/draw loops. Statistically indistinguishable
+     * from the reference path and bit-identical on the guardbanded
+     * single-row path; disable to select the scalar oracle.
+     */
+    bool fastSense = true;
 };
 
 /** One DRAM bank: sparse cell array plus row-buffer state machine. */
@@ -154,6 +162,20 @@ class Bank
                                double gap_ns) const;
     /**@}*/
 
+    /** @name Sensing-cache telemetry (tests and profiling) */
+    /**@{*/
+    size_t probCacheSize() const { return probCache_.size(); }
+    uint64_t probCacheHits() const { return probCacheHits_; }
+    uint64_t probCacheMisses() const { return probCacheMisses_; }
+    size_t capCacheSize() const { return capCache_.size(); }
+
+    /** Probability-cache capacity before cold entries are evicted. */
+    static constexpr size_t probCacheCapacity = 64;
+    /** Oracle-row cache capacities (cap and offset rows). */
+    static constexpr size_t capCacheCapacity = 32;
+    static constexpr size_t offsetCacheCapacity = 32;
+    /**@}*/
+
   private:
     /** Row-buffer lifecycle. */
     enum class Phase : uint8_t
@@ -192,6 +214,24 @@ class Bank
         std::vector<uint64_t> residBits; ///< Empty when no residual.
     };
 
+    /**
+     * Cached resolution data for one sensing setup: the probability
+     * row, plus the fast path's precomputed split into deterministic
+     * bits and metastable ("fuzzy") bitlines so each replay only
+     * draws uniforms for bitlines that can actually flip.
+     */
+    struct SenseRowPlan
+    {
+        std::vector<float> probs;
+        /** Deterministic-1 bits (p == 1), packed per word. */
+        std::vector<uint64_t> baseWords;
+        /** Bitlines with 0 < p < 1 and their probabilities. */
+        std::vector<uint32_t> fuzzyIdx;
+        std::vector<float> fuzzyProbs;
+        bool fastReady = false;
+        bool hot = false; ///< Second-chance eviction bit.
+    };
+
     std::vector<uint64_t> &rowStorage(uint32_t row);
     bool cellValue(uint32_t row, uint32_t bitline) const;
     void latchFromRow(uint32_t row);
@@ -199,6 +239,15 @@ class Bank
 
     /** Resolve pending sensing at time @p t (develop-dependent). */
     void resolveSense(double t);
+
+    /** Build a plan's fast-path split from its probability row. */
+    void buildSensePlan(SenseRowPlan &plan) const;
+
+    /** Fast-path SA resolution: bulk draws against a plan. */
+    void resolveRowFast(const SenseRowPlan &plan);
+
+    /** Dense fast-path resolution straight from a probability row. */
+    void resolveRowDense(const std::vector<float> &probs);
 
     /** Write the latched SA values back into all open rows. */
     void writeBackToOpenRows();
@@ -253,11 +302,15 @@ class Bank
     std::unordered_map<uint32_t, std::vector<uint64_t>> rows_;
 
     /**
-     * Memoized probability vectors keyed by the sensing-setup hash;
-     * the TRNG loop replays the same few setups (four RowClone init
-     * copies plus the QUAC itself) every iteration.
+     * Memoized resolution plans keyed by the sensing-setup hash; the
+     * TRNG loop replays the same few setups (four RowClone init
+     * copies plus the QUAC itself) every iteration. Evicted with a
+     * second-chance sweep (entries hit since the last sweep survive)
+     * instead of wholesale clearing, so hot setups stay resident.
      */
-    mutable std::unordered_map<uint64_t, std::vector<float>> probCache_;
+    mutable std::unordered_map<uint64_t, SenseRowPlan> probCache_;
+    mutable uint64_t probCacheHits_ = 0;
+    mutable uint64_t probCacheMisses_ = 0;
 
     /**
      * Memoized cell-content-independent variation-oracle rows. The
@@ -271,9 +324,21 @@ class Bank
         double temperatureC = 0.0;
         double ageDays = 0.0;
         std::vector<double> offset;
+        bool hot = false;
+    };
+    struct CapRowEntry
+    {
+        std::vector<double> caps;
+        bool hot = false;
     };
     mutable std::unordered_map<uint32_t, OffsetRowEntry> offsetCache_;
-    mutable std::unordered_map<uint32_t, std::vector<double>> capCache_;
+    mutable std::unordered_map<uint32_t, CapRowEntry> capCache_;
+
+    /** Reused scratch (avoids per-sensing allocations). */
+    mutable std::vector<double> devScratch_;
+    mutable std::vector<double> capScratch_;
+    mutable std::vector<double> offsetScratch_;
+    std::vector<float> uniformScratch_;
 };
 
 } // namespace quac::dram

@@ -55,6 +55,14 @@ struct ModuleSpec
      * of the generation loop; disable to measure the uncached model).
      */
     bool oracleCache = true;
+    /**
+     * Resolve sensing with the batched SIMD kernel (vectorized Phi
+     * approximation, bulk uniform draws, word-packed bit
+     * resolution). Statistically indistinguishable from the scalar
+     * reference path and bit-identical on the guardbanded single-row
+     * path; disable to select the scalar erfc/per-bit-draw oracle.
+     */
+    bool fastSense = true;
 };
 
 /**

@@ -1,8 +1,11 @@
 #include "dram/sensing.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/error.hh"
+#include "common/vec_clones.hh"
 
 namespace quac::dram
 {
@@ -57,6 +60,118 @@ probabilityOne(double deviation_mv, double offset_mv, double noise_sigma_mv)
     double z = (deviation_mv - offset_mv) / noise_sigma_mv;
     // Phi(z) via erfc for numerical stability in both tails.
     return 0.5 * std::erfc(-z / M_SQRT2);
+}
+
+namespace
+{
+
+/**
+ * exp(y) for y in (-inf, 0], branch-free so it vectorizes inside the
+ * batch kernel. Range reduction y = k*ln2 + r with |r| <= ln2/2, a
+ * degree-7 Taylor core, and 2^k assembled through the exponent bits.
+ * Relative error < 1e-8 on the domain the Phi approximation uses.
+ */
+inline double
+expNegative(double y)
+{
+    constexpr double log2e = 1.4426950408889634074;
+    constexpr double ln2Hi = 6.93147180369123816490e-01;
+    constexpr double ln2Lo = 1.90821492927058770002e-10;
+    // 1.5 * 2^52: adding it rounds to the nearest integer in the low
+    // mantissa bits for |value| < 2^51.
+    constexpr double roundShift = 6755399441055744.0;
+
+    // exp(-700) ~ 1e-304 is still normal; anything smaller snaps to
+    // a degenerate probability downstream anyway.
+    y = std::max(y, -700.0);
+
+    double shifted = y * log2e + roundShift;
+    double k = shifted - roundShift;
+    double r = (y - k * ln2Hi) - k * ln2Lo;
+    double er =
+        1.0 +
+        r * (1.0 +
+             r * (0.5 +
+                  r * (1.6666666666666666e-01 +
+                       r * (4.1666666666666664e-02 +
+                            r * (8.3333333333333332e-03 +
+                                 r * (1.3888888888888889e-03 +
+                                      r * 1.9841269841269841e-04))))));
+    // The low mantissa bits of `shifted` hold k in two's complement
+    // (|k| < 2^31 here), so 2^k can be assembled with pure integer
+    // ops; a double -> int64 conversion would block AVX2
+    // vectorization of the surrounding loop.
+    auto ki = static_cast<int64_t>(
+        static_cast<int32_t>(std::bit_cast<uint64_t>(shifted)));
+    double scale =
+        std::bit_cast<double>(static_cast<uint64_t>(ki + 1023) << 52);
+    return er * scale;
+}
+
+} // anonymous namespace
+
+QUAC_VEC_CLONES void
+probabilityOneBatch(const double *deviation_mv, const double *offset_mv,
+                    double noise_sigma_mv, float *out, size_t n)
+{
+    QUAC_ASSERT(noise_sigma_mv > 0.0, "sigma=%f", noise_sigma_mv);
+    double inv_sigma = 1.0 / noise_sigma_mv;
+
+    // Abramowitz & Stegun 7.1.26: erfc(x) = t(a1 + t(... a5))e^{-x^2}
+    // for x >= 0 with t = 1/(1 + px); |error| <= 1.5e-7.
+    constexpr double a1 = 0.254829592;
+    constexpr double a2 = -0.284496736;
+    constexpr double a3 = 1.421413741;
+    constexpr double a4 = -1.453152027;
+    constexpr double a5 = 1.061405429;
+    constexpr double p = 0.3275911;
+
+    for (size_t i = 0; i < n; ++i) {
+        double z = (deviation_mv[i] - offset_mv[i]) * inv_sigma;
+        double x = std::fabs(z) * M_SQRT1_2;
+        double t = 1.0 / (1.0 + p * x);
+        double poly =
+            t * (a1 + t * (a2 + t * (a3 + t * (a4 + t * a5))));
+        // q = Phi(-|z|) = 0.5 erfc(|z| / sqrt(2)).
+        double q = 0.5 * poly * expNegative(-x * x);
+        double prob = (z >= 0.0) ? 1.0 - q : q;
+        // Degenerate snapping as arithmetic blends (gcc refuses to
+        // if-convert the equivalent ternaries): the multiply by a
+        // 0/1 indicator and the exact Sterbenz `prob + (1 - prob)`
+        // are both rounding-free, so non-degenerate values pass
+        // through bit-unchanged.
+        prob *= static_cast<double>(prob > degenerateProbability);
+        prob += (1.0 - prob) *
+                static_cast<double>(prob >= 1.0 - degenerateProbability);
+        out[i] = static_cast<float>(prob);
+    }
+}
+
+QUAC_VEC_CLONES void
+resolveBitsBatch(const float *uniforms, const float *probs, size_t nbits,
+                 uint64_t *out_words)
+{
+    size_t full_words = nbits / 64;
+    for (size_t w = 0; w < full_words; ++w) {
+        uint64_t bits = 0;
+        size_t base = w * 64;
+        for (unsigned k = 0; k < 64; ++k) {
+            bits |= static_cast<uint64_t>(uniforms[base + k] <
+                                          probs[base + k])
+                    << k;
+        }
+        out_words[w] = bits;
+    }
+    if (nbits % 64) {
+        uint64_t bits = 0;
+        size_t base = full_words * 64;
+        for (size_t k = 0; base + k < nbits; ++k) {
+            bits |= static_cast<uint64_t>(uniforms[base + k] <
+                                          probs[base + k])
+                    << k;
+        }
+        out_words[full_words] = bits;
+    }
 }
 
 } // namespace quac::dram

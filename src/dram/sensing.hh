@@ -8,6 +8,8 @@
 #define QUAC_DRAM_SENSING_HH
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 
 #include "dram/calibration.hh"
 
@@ -55,6 +57,41 @@ double developFraction(const Calibration &cal, double elapsed_ns);
  */
 double probabilityOne(double deviation_mv, double offset_mv,
                       double noise_sigma_mv);
+
+/**
+ * Probability below which a sense amplifier is treated as resolving
+ * to a deterministic 0 (symmetrically, above 1 - this it resolves to
+ * a deterministic 1). Shared by the scalar resolution loop, the
+ * batched kernel's output snapping, and the degenerate fast exits in
+ * Bank::resolveSense, so every path classifies bitlines identically.
+ */
+constexpr float degenerateProbability = 1e-9f;
+
+/**
+ * Batched probabilityOne() over @p n bitlines:
+ * out[i] = Phi((dev[i] - offset[i]) / sigma).
+ *
+ * Uses a branch-free polynomial Phi approximation (Abramowitz &
+ * Stegun 7.1.26 with an inlined range-reduced exp) so the whole loop
+ * vectorizes; absolute error versus the scalar erfc oracle is below
+ * 5e-7. Outputs within degenerateProbability of 0 or 1 are snapped to
+ * exactly 0.0f / 1.0f, matching the scalar resolution path's
+ * degenerate fast exits. The scalar probabilityOne() remains the
+ * reference oracle (selectable via ModuleSpec::fastSense = false).
+ */
+void probabilityOneBatch(const double *deviation_mv,
+                         const double *offset_mv, double noise_sigma_mv,
+                         float *out, size_t n);
+
+/**
+ * Resolve @p nbits sense amplifiers at once: bit i of the packed
+ * @p out_words is (uniforms[i] < probs[i]). Probabilities must be
+ * snapped (degenerates exactly 0.0f / 1.0f, as probabilityOneBatch
+ * emits): p == 0.0f never fires and p == 1.0f always fires for
+ * uniforms in [0, 1). The tail of the last word is zeroed.
+ */
+void resolveBitsBatch(const float *uniforms, const float *probs,
+                      size_t nbits, uint64_t *out_words);
 
 } // namespace quac::dram
 

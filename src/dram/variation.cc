@@ -1,6 +1,7 @@
 #include "dram/variation.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 namespace quac::dram
@@ -52,6 +53,48 @@ VariationModel::saOffsetMv(uint32_t bank, uint32_t row,
     double g = philox_.gaussian({tagSaOffset, bank,
                                  subarray, bitline});
     return g * cal_.saOffsetSigmaMv;
+}
+
+void
+VariationModel::gaussianRow(const Philox4x32::Counter &base, uint32_t n,
+                            double *out) const
+{
+    // Chunked so the Philox block scratch stays cache-resident.
+    constexpr uint32_t chunk = 512;
+    std::array<uint32_t, 4 * chunk> blocks;
+    for (uint32_t start = 0; start < n; start += chunk) {
+        uint32_t m = std::min(chunk, n - start);
+        philox_.blocks({base[0], base[1], base[2], start}, m,
+                       blocks.data());
+        for (uint32_t j = 0; j < m; ++j) {
+            // Identical arithmetic to Philox4x32::gaussian(ctr, 0).
+            double u1 = (blocks[4 * j] + 0.5) * 0x1p-32;
+            double u2 = (blocks[4 * j + 1] + 0.5) * 0x1p-32;
+            double r = std::sqrt(-2.0 * std::log(u1));
+            out[start + j] = r * std::cos(2.0 * M_PI * u2);
+        }
+    }
+}
+
+void
+VariationModel::saOffsetRowMv(uint32_t bank, uint32_t row, uint32_t nbits,
+                              double *out) const
+{
+    uint32_t subarray = geom_.subarrayOfRow(row);
+    gaussianRow({tagSaOffset, bank, subarray, 0}, nbits, out);
+    for (uint32_t b = 0; b < nbits; ++b)
+        out[b] *= cal_.saOffsetSigmaMv;
+}
+
+void
+VariationModel::cellCapRow(uint32_t bank, uint32_t row, uint32_t nbits,
+                           double *out) const
+{
+    gaussianRow({tagCellCap, bank, row, 0}, nbits, out);
+    for (uint32_t b = 0; b < nbits; ++b) {
+        double f = 1.0 + out[b] * cal_.cellCapSigma;
+        out[b] = std::max(f, 0.2);
+    }
 }
 
 double

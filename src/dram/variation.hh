@@ -54,12 +54,28 @@ class VariationModel
     /** Base (unscaled) sense-amp offset for a bitline's SA, in mV. */
     double saOffsetMv(uint32_t bank, uint32_t row, uint32_t bitline) const;
 
+    /**
+     * Bulk saOffsetMv() for bitlines [0, nbits) of a row, written to
+     * @p out. Bit-identical to per-bitline calls; the Philox blocks
+     * behind the gaussian draws are generated with the vectorized
+     * bulk path, which is what makes whole-row oracle fills cheap.
+     */
+    void saOffsetRowMv(uint32_t bank, uint32_t row, uint32_t nbits,
+                       double *out) const;
+
     /** Systematic per-segment mean offset, in mV. */
     double segmentMeanMv(uint32_t bank, uint32_t segment) const;
 
     /** Cell capacitance as a fraction of nominal (mean 1.0). */
     double cellCapFactor(uint32_t bank, uint32_t row,
                          uint32_t bitline) const;
+
+    /**
+     * Bulk cellCapFactor() for bitlines [0, nbits) of a row, written
+     * to @p out; bit-identical to per-bitline calls.
+     */
+    void cellCapRow(uint32_t bank, uint32_t row, uint32_t nbits,
+                    double *out) const;
 
     /**
      * Systematic entropy scale of a segment: module scale x spatial
@@ -108,6 +124,15 @@ class VariationModel
                              double age_days) const;
 
   private:
+    /**
+     * Standard normals for the blocks of counters {base[0], base[1],
+     * base[2], i} with i in [0, n), lane 0 each; bit-identical to
+     * per-counter Philox4x32::gaussian() but fed by the bulk block
+     * generator.
+     */
+    void gaussianRow(const Philox4x32::Counter &base, uint32_t n,
+                     double *out) const;
+
     Geometry geom_;
     Calibration cal_;
     Philox4x32 philox_;

@@ -80,6 +80,33 @@ TEST(Philox, GaussianMoments)
     EXPECT_NEAR(var, 1.0, 0.03);
 }
 
+TEST(Philox, BlocksMatchBlockPerCounter)
+{
+    Philox4x32 rng(42);
+    // Sizes covering the vector body, remainder, and scalar-only.
+    for (size_t n : {37u, 16u, 3u, 1u}) {
+        std::vector<uint32_t> out(4 * n);
+        rng.blocks({1, 2, 3, 10}, n, out.data());
+        for (size_t i = 0; i < n; ++i) {
+            auto expect =
+                rng.block(1, 2, 3, 10 + static_cast<uint32_t>(i));
+            for (unsigned lane = 0; lane < 4; ++lane)
+                ASSERT_EQ(out[4 * i + lane], expect[lane])
+                    << "n=" << n << " block " << i << " lane " << lane;
+        }
+    }
+}
+
+TEST(Philox, BlocksWrapLastLane)
+{
+    Philox4x32 rng(7);
+    std::vector<uint32_t> out(4 * 4);
+    rng.blocks({9, 8, 7, 0xFFFFFFFEu}, 4, out.data());
+    auto wrapped = rng.block(9, 8, 7, 1); // 0xFFFFFFFE + 3 wraps to 1
+    for (unsigned lane = 0; lane < 4; ++lane)
+        EXPECT_EQ(out[4 * 3 + lane], wrapped[lane]);
+}
+
 TEST(Philox, GaussianLanesIndependent)
 {
     Philox4x32 rng(5);
@@ -111,6 +138,38 @@ TEST(Xoshiro, UniformBounds)
         ASSERT_GE(u, 0.0);
         ASSERT_LT(u, 1.0);
     }
+}
+
+TEST(Xoshiro, FillUniformMatchesNextStream)
+{
+    Xoshiro256pp bulk(5);
+    Xoshiro256pp scalar(5);
+    std::vector<float> out(101); // odd length: tail draw
+    bulk.fillUniform(out.data(), out.size());
+    for (size_t i = 0; i + 2 <= out.size(); i += 2) {
+        uint64_t v = scalar.next();
+        ASSERT_EQ(out[i],
+                  (static_cast<uint32_t>(v >> 32) >> 8) * 0x1p-24f);
+        ASSERT_EQ(out[i + 1],
+                  (static_cast<uint32_t>(v) >> 8) * 0x1p-24f);
+    }
+    uint64_t tail = scalar.next();
+    EXPECT_EQ(out.back(),
+              (static_cast<uint32_t>(tail >> 32) >> 8) * 0x1p-24f);
+}
+
+TEST(Xoshiro, FillUniformBoundsAndMean)
+{
+    Xoshiro256pp rng(29);
+    std::vector<float> out(100000);
+    rng.fillUniform(out.data(), out.size());
+    double sum = 0.0;
+    for (float u : out) {
+        ASSERT_GE(u, 0.0f);
+        ASSERT_LT(u, 1.0f);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / static_cast<double>(out.size()), 0.5, 0.01);
 }
 
 TEST(Xoshiro, UniformIntInBound)

@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "common/error.hh"
+#include "common/rng.hh"
 #include "dram/sensing.hh"
 
 namespace quac::dram
@@ -130,6 +133,89 @@ TEST(ProbabilityOne, KnownGaussianValue)
 TEST(ProbabilityOne, RejectsNonPositiveSigma)
 {
     EXPECT_THROW(probabilityOne(0.0, 0.0, 0.0), PanicError);
+}
+
+TEST(ProbabilityOneBatch, MatchesScalarOracle)
+{
+    // Dense sweep of z = (dev - offset) / sigma across the
+    // non-degenerate range, at several sigmas.
+    for (double sigma : {0.12, 1.0, 5.4}) {
+        std::vector<double> dev;
+        std::vector<double> offset;
+        for (double z = -8.0; z <= 8.0; z += 0.0103) {
+            dev.push_back(z * sigma);
+            offset.push_back(0.0);
+        }
+        std::vector<float> batch(dev.size());
+        probabilityOneBatch(dev.data(), offset.data(), sigma,
+                            batch.data(), dev.size());
+        for (size_t i = 0; i < dev.size(); ++i) {
+            double oracle = probabilityOne(dev[i], offset[i], sigma);
+            ASSERT_NEAR(batch[i], oracle, 5e-7)
+                << "sigma=" << sigma << " dev=" << dev[i];
+        }
+    }
+}
+
+TEST(ProbabilityOneBatch, SnapsDegenerateTailsExactly)
+{
+    std::vector<double> dev = {100.0, -100.0, 3.0, 700.0, -650.0};
+    std::vector<double> offset = {0.0, 0.0, 0.0, 650.0, 700.0};
+    std::vector<float> out(dev.size());
+    probabilityOneBatch(dev.data(), offset.data(), 1.0, out.data(),
+                        out.size());
+    EXPECT_EQ(out[0], 1.0f);
+    EXPECT_EQ(out[1], 0.0f);
+    EXPECT_GT(out[2], 0.0f);
+    EXPECT_LT(out[2], 1.0f);
+    EXPECT_EQ(out[3], 1.0f);
+    EXPECT_EQ(out[4], 0.0f);
+}
+
+TEST(ProbabilityOneBatch, RejectsNonPositiveSigma)
+{
+    double dev = 0.0, offset = 0.0;
+    float out = 0.0f;
+    EXPECT_THROW(probabilityOneBatch(&dev, &offset, 0.0, &out, 1),
+                 PanicError);
+}
+
+TEST(ResolveBitsBatch, PacksComparisonsWordAtATime)
+{
+    // 130 bits: two full words plus a 2-bit tail.
+    const size_t nbits = 130;
+    std::vector<float> uniforms(nbits);
+    std::vector<float> probs(nbits);
+    uint64_t state = 99;
+    for (size_t i = 0; i < nbits; ++i) {
+        uniforms[i] = (quac::splitmix64(state) >> 40) * 0x1p-24f;
+        probs[i] = (quac::splitmix64(state) >> 40) * 0x1p-24f;
+    }
+    std::vector<uint64_t> words(3, ~uint64_t{0});
+    resolveBitsBatch(uniforms.data(), probs.data(), nbits, words.data());
+    for (size_t i = 0; i < nbits; ++i) {
+        bool expect = uniforms[i] < probs[i];
+        bool got = (words[i / 64] >> (i % 64)) & 1;
+        ASSERT_EQ(got, expect) << "bit " << i;
+    }
+    // The tail of the last word is zeroed.
+    EXPECT_EQ(words[2] >> 2, 0u);
+}
+
+TEST(ResolveBitsBatch, DegenerateProbabilitiesAreDeterministic)
+{
+    const size_t nbits = 64;
+    std::vector<float> uniforms(nbits);
+    std::vector<float> probs(nbits);
+    for (size_t i = 0; i < nbits; ++i) {
+        // Extreme uniforms on alternating bits, degenerate p split
+        // half/half: p == 0 never fires, p == 1 always fires.
+        uniforms[i] = (i % 2) ? 0.0f : 1.0f - 0x1p-24f;
+        probs[i] = (i < 32) ? 0.0f : 1.0f;
+    }
+    uint64_t word = 0;
+    resolveBitsBatch(uniforms.data(), probs.data(), nbits, &word);
+    EXPECT_EQ(word, 0xFFFFFFFF00000000ull);
 }
 
 } // anonymous namespace

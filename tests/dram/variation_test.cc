@@ -39,6 +39,34 @@ TEST_F(VariationTest, DifferentSeedsDiffer)
     EXPECT_NE(var.saOffsetMv(0, 5, 100), other.saOffsetMv(0, 5, 100));
 }
 
+TEST_F(VariationTest, BulkOffsetRowBitIdenticalToScalarOracle)
+{
+    uint32_t nbits = geom.bitlinesPerRow;
+    std::vector<double> bulk(nbits);
+    var.saOffsetRowMv(1, 9, nbits, bulk.data());
+    for (uint32_t b = 0; b < nbits; ++b)
+        ASSERT_EQ(bulk[b], var.saOffsetMv(1, 9, b)) << "bitline " << b;
+}
+
+TEST_F(VariationTest, BulkCapRowBitIdenticalToScalarOracle)
+{
+    uint32_t nbits = geom.bitlinesPerRow;
+    std::vector<double> bulk(nbits);
+    var.cellCapRow(2, 17, nbits, bulk.data());
+    for (uint32_t b = 0; b < nbits; ++b)
+        ASSERT_EQ(bulk[b], var.cellCapFactor(2, 17, b)) << "bitline " << b;
+}
+
+TEST_F(VariationTest, BulkRowsHandlePartialChunks)
+{
+    // Lengths straddling the internal Philox chunking.
+    for (uint32_t nbits : {1u, 511u, 512u, 513u, 1025u}) {
+        std::vector<double> bulk(nbits);
+        var.saOffsetRowMv(0, 4, nbits, bulk.data());
+        ASSERT_EQ(bulk[nbits - 1], var.saOffsetMv(0, 4, nbits - 1));
+    }
+}
+
 TEST_F(VariationTest, SaOffsetSharedWithinSubarray)
 {
     // Rows in the same subarray share sense amplifiers.
