@@ -1,7 +1,9 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the library's hot operations:
- * SHA-256 hashing, the batched sensing kernel, QUAC resolution,
+ * SHA-256 hashing, the batched sensing kernel, QUAC resolution, the
+ * RowClone-init resolve with and without the saturation fast-path,
+ * the entropy service's hit/miss/multi-client request paths,
  * analytic characterization, the Von Neumann corrector, and
  * representative NIST tests.
  *
@@ -12,10 +14,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/characterizer.hh"
 #include "core/trng.hh"
@@ -25,7 +30,9 @@
 #include "dram/variation.hh"
 #include "nist/sts.hh"
 #include "postprocess/von_neumann.hh"
+#include "service/entropy_service.hh"
 #include "softmc/host.hh"
+#include "util.hh"
 
 using namespace quac;
 
@@ -260,6 +267,30 @@ BM_FullIteration_ZeroCopyParallel(benchmark::State &state)
 BENCHMARK(BM_FullIteration_ZeroCopyParallel);
 
 void
+BM_FullIteration_NoSaturation(benchmark::State &state)
+{
+    // The zero-copy pipeline with the saturation fast-path disabled:
+    // the four per-bank RowClone-init cache misses pay the full Phi
+    // batch every iteration. The "before" side of the saturation
+    // benchmarks (BM_FullIteration_ZeroCopySerial is the "after").
+    dram::ModuleSpec spec = testSpec();
+    spec.saturationFastPath = false;
+    dram::DramModule module(std::move(spec));
+    core::QuacTrngConfig cfg = fourBankConfig();
+    cfg.parallelBanks = false;
+    core::QuacTrng trng(module, cfg);
+    trng.setup();
+    std::vector<uint8_t> out(trng.bytesPerIteration());
+    for (auto _ : state) {
+        trng.fill(out.data(), out.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_FullIteration_NoSaturation);
+
+void
 BM_FullIteration_ReferenceSense(benchmark::State &state)
 {
     // The zero-copy pipeline with the batched sensing kernel disabled:
@@ -281,6 +312,159 @@ BM_FullIteration_ReferenceSense(benchmark::State &state)
                             static_cast<int64_t>(out.size()));
 }
 BENCHMARK(BM_FullIteration_ReferenceSense);
+
+// ---------------------------------------------- RowClone-init misses
+
+/**
+ * The TRNG's unavoidable probability-cache misses: every iteration's
+ * four RowClone segment-init copies race the destination row (which
+ * holds last iteration's random bits) against the full-rail residual,
+ * so their setups never repeat. The saturation fast-path recognizes
+ * the whole-row tail and skips the Phi batch.
+ */
+void
+rowCloneInitResolve(benchmark::State &state, bool saturation)
+{
+    dram::ModuleSpec spec = testSpec();
+    spec.saturationFastPath = saturation;
+    dram::DramModule module(std::move(spec));
+    softmc::SoftMcHost host(module);
+    host.writeRowFill(0, 8, true); // constant source row
+    dram::Bank &bank = module.bank(0);
+    uint32_t nbits = module.geometry().bitlinesPerRow;
+    Xoshiro256pp churn(3);
+    for (auto _ : state) {
+        // New pseudo-random contents in one destination word defeat
+        // the probability cache, as the generation loop does.
+        state.PauseTiming();
+        uint64_t word = churn.next();
+        for (unsigned b = 0; b < 64; ++b)
+            bank.pokeCell(16, b, (word >> b) & 1);
+        state.ResumeTiming();
+        host.rowCloneCopy(0, 8, 16);
+        benchmark::DoNotOptimize(bank.peekRow(16).data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            nbits);
+}
+
+void
+BM_RowCloneInitResolve_FullPhi(benchmark::State &state)
+{
+    rowCloneInitResolve(state, false);
+}
+BENCHMARK(BM_RowCloneInitResolve_FullPhi);
+
+void
+BM_RowCloneInitResolve_Saturation(benchmark::State &state)
+{
+    rowCloneInitResolve(state, true);
+}
+BENCHMARK(BM_RowCloneInitResolve_Saturation);
+
+// ------------------------------------------------- entropy service
+
+using benchutil::CountingTrng;
+
+/**
+ * Buffer-hit request latency: the steady state the paper's Section 9
+ * design targets, where refill keeps up and every request is served
+ * from controller SRAM.
+ */
+void
+BM_ServiceRequest_Hit(benchmark::State &state)
+{
+    CountingTrng backend(4096);
+    service::EntropyService svc({&backend},
+                                {.shardCapacityBytes = 1 << 16,
+                                 .refillWatermark = 0.5});
+    auto client = svc.connect("hit");
+    uint8_t out[64];
+    for (auto _ : state) {
+        svc.refillBelowWatermark();
+        benchmark::DoNotOptimize(client.request(out, sizeof(out)));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(sizeof(out)));
+}
+BENCHMARK(BM_ServiceRequest_Hit);
+
+/**
+ * Miss path: a zero-capacity shard forces every request through the
+ * synchronous backend fallback, measuring the service overhead over
+ * a raw Trng::fill call.
+ */
+void
+BM_ServiceRequest_Miss(benchmark::State &state)
+{
+    CountingTrng backend;
+    service::EntropyService svc({&backend}, {.shardCapacityBytes = 0});
+    auto client = svc.connect("miss");
+    uint8_t out[64];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(client.request(out, sizeof(out)));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(sizeof(out)));
+}
+BENCHMARK(BM_ServiceRequest_Miss);
+
+/** The raw backend fill, as the miss benchmark's baseline. */
+void
+BM_ServiceRequest_RawFillBaseline(benchmark::State &state)
+{
+    CountingTrng backend;
+    uint8_t out[64];
+    for (auto _ : state) {
+        backend.fill(out, sizeof(out));
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(sizeof(out)));
+}
+BENCHMARK(BM_ServiceRequest_RawFillBaseline);
+
+/**
+ * Contended multi-client throughput: N clients on distinct shards
+ * (one backend each) drain concurrently while a background thread
+ * refills. Arg = client count.
+ */
+void
+BM_ServiceMultiClient(benchmark::State &state)
+{
+    size_t nclients = static_cast<size_t>(state.range(0));
+    std::vector<std::unique_ptr<CountingTrng>> backends;
+    std::vector<core::Trng *> pool;
+    for (size_t i = 0; i < nclients; ++i) {
+        backends.push_back(std::make_unique<CountingTrng>(4096));
+        pool.push_back(backends.back().get());
+    }
+    service::EntropyService svc(pool, {.shardCapacityBytes = 1 << 16,
+                                       .refillWatermark = 0.5});
+    std::vector<service::EntropyService::Client> clients;
+    for (size_t i = 0; i < nclients; ++i) {
+        clients.push_back(svc.connect("c" + std::to_string(i),
+                                      service::Priority::Standard, i));
+    }
+    svc.startAutoRefill(std::chrono::microseconds(100));
+
+    constexpr size_t requests_per_client = 256;
+    constexpr size_t request_bytes = 64;
+    for (auto _ : state) {
+        parallelFor(0, nclients, [&](size_t i) {
+            uint8_t out[request_bytes];
+            for (size_t k = 0; k < requests_per_client; ++k) {
+                clients[i].request(out, request_bytes);
+                benchmark::DoNotOptimize(out);
+            }
+        }, static_cast<unsigned>(nclients));
+    }
+    svc.stopAutoRefill();
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(nclients * requests_per_client *
+                             request_bytes));
+}
+BENCHMARK(BM_ServiceMultiClient)->Arg(1)->Arg(4)->Arg(16);
 
 // -------------------------------------------------- sensing kernels
 

@@ -12,10 +12,36 @@
 
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "core/trng.hh"
 #include "dram/catalog.hh"
 
 namespace quac::benchutil
 {
+
+/**
+ * Deterministic byte-counter backend for service-layer benches: a
+ * cheap stand-in generator whose stream is its byte index, with an
+ * optional whole-iteration chunk granularity.
+ */
+class CountingTrng : public core::Trng
+{
+  public:
+    explicit CountingTrng(size_t chunk = 0) : chunk_(chunk) {}
+    std::string name() const override { return "counting"; }
+
+    void
+    fill(uint8_t *out, size_t len) override
+    {
+        for (size_t i = 0; i < len; ++i)
+            out[i] = static_cast<uint8_t>(counter_++);
+    }
+
+    size_t preferredChunkBytes() override { return chunk_; }
+
+  private:
+    size_t chunk_;
+    uint64_t counter_ = 0;
+};
 
 /** Print the experiment banner with its paper reference. */
 inline void

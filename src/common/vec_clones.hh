@@ -4,13 +4,27 @@
  * a hot loop, resolved at load time via ifunc, so the baseline binary
  * stays portable while vector-capable hosts get SIMD code. Expands to
  * nothing where unsupported (non-x86-64, non-ELF, or a compiler
- * without target_clones).
+ * without target_clones) and under the thread/address sanitizers,
+ * whose runtimes are not initialized when the loader runs IRELATIVE
+ * ifunc resolvers (instrumented binaries segfault at startup
+ * otherwise).
  */
 
 #ifndef QUAC_COMMON_VEC_CLONES_HH
 #define QUAC_COMMON_VEC_CLONES_HH
 
-#if defined(__x86_64__) && defined(__ELF__) && defined(__has_attribute)
+/** Sanitizer detection: GCC defines __SANITIZE_*, Clang signals via
+ * __has_feature. */
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define QUAC_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define QUAC_SANITIZED 1
+#endif
+#endif
+
+#if defined(__x86_64__) && defined(__ELF__) && \
+    defined(__has_attribute) && !defined(QUAC_SANITIZED)
 #if __has_attribute(target_clones)
 #define QUAC_VEC_CLONES \
     __attribute__((target_clones("default", "avx2", "avx512f")))

@@ -1,89 +1,56 @@
 #include "core/rng_service.hh"
 
-#include <algorithm>
-#include <cstring>
-
 #include "common/error.hh"
 
 namespace quac::core
 {
 
-RngService::RngService(Trng &source, RngServiceConfig cfg)
-    : source_(source), cfg_(cfg)
+namespace
 {
-    if (cfg_.capacityBytes == 0)
+
+service::EntropyServiceConfig
+shimConfig(const RngServiceConfig &cfg)
+{
+    // Validate with the original messages before handing off; the
+    // entropy service itself accepts zero-capacity (pass-through)
+    // shards, which the legacy API treated as a configuration error.
+    if (cfg.capacityBytes == 0)
         fatal("RngService needs a non-zero buffer");
-    if (cfg_.refillWatermark < 0.0 || cfg_.refillWatermark > 1.0)
+    if (cfg.refillWatermark < 0.0 || cfg.refillWatermark > 1.0)
         fatal("refill watermark must be in [0, 1]");
-    buffer_.reserve(cfg_.capacityBytes);
+
+    service::EntropyServiceConfig scfg;
+    scfg.shards = 1;
+    scfg.shardCapacityBytes = cfg.capacityBytes;
+    scfg.refillWatermark = cfg.refillWatermark;
+    scfg.panicWatermark = 0.0;
+    return scfg;
 }
 
-void
-RngService::compact()
+} // anonymous namespace
+
+RngService::RngService(Trng &source, RngServiceConfig cfg)
+    : service_({&source}, shimConfig(cfg)),
+      client_(service_.connect("legacy", service::Priority::Standard))
 {
-    if (head_ == 0)
-        return;
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<ptrdiff_t>(head_));
-    head_ = 0;
 }
 
 bool
 RngService::request(uint8_t *out, size_t len)
 {
-    ++served_;
-    size_t available = level();
-    if (available >= len) {
-        std::memcpy(out, buffer_.data() + head_, len);
-        head_ += len;
-        ++hits_;
-        return true;
-    }
-
-    // Drain what the buffer has, then generate the rest on demand
-    // (the paper's fallback when requests outpace idle bandwidth).
-    std::memcpy(out, buffer_.data() + head_, available);
-    head_ += available;
-    source_.fill(out + available, len - available);
-    ++misses_;
-    return false;
+    return client_.request(out, len).hit;
 }
 
 std::vector<uint8_t>
 RngService::request(size_t len)
 {
-    std::vector<uint8_t> out(len);
-    request(out.data(), len);
-    return out;
+    return client_.request(len);
 }
 
 size_t
 RngService::refillIfBelowWatermark()
 {
-    size_t current = level();
-    size_t threshold = static_cast<size_t>(
-        cfg_.refillWatermark * static_cast<double>(cfg_.capacityBytes));
-    if (current > threshold)
-        return 0;
-
-    compact();
-    size_t want = cfg_.capacityBytes > buffer_.size()
-                      ? cfg_.capacityBytes - buffer_.size()
-                      : 0;
-    // Round up to whole generator iterations: the generator then
-    // writes every iteration straight into our buffer (no staging
-    // copy on its side) and no generated entropy is discarded. The
-    // buffer may transiently exceed capacity by less than one
-    // iteration.
-    size_t chunk = source_.preferredChunkBytes();
-    if (chunk > 0)
-        want = (want + chunk - 1) / chunk * chunk;
-    if (want == 0)
-        return 0;
-    size_t old_size = buffer_.size();
-    buffer_.resize(old_size + want);
-    source_.fill(buffer_.data() + old_size, want);
-    return want;
+    return service_.refillBelowWatermark();
 }
 
 } // namespace quac::core

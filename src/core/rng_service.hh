@@ -1,9 +1,11 @@
 /**
  * @file
- * Buffered random-number service (paper Section 9): the memory
- * controller periodically uses idle DRAM bandwidth to top up a small
- * buffer of random numbers so application requests are served
- * immediately, falling back to on-demand generation when drained.
+ * Single-client buffered RNG service (paper Section 9), kept as a
+ * thin compatibility front-end over the sharded
+ * service::EntropyService: one backend, one shard, one standard
+ * -priority client. New code should use the entropy service
+ * directly; this shim preserves the original synchronous API and
+ * its exact buffering semantics.
  */
 
 #ifndef QUAC_CORE_RNG_SERVICE_HH
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "core/trng.hh"
+#include "service/entropy_service.hh"
 
 namespace quac::core
 {
@@ -29,7 +32,7 @@ struct RngServiceConfig
     double refillWatermark = 0.5;
 };
 
-/** Buffered front-end over any Trng. */
+/** Buffered single-client front-end over any Trng. */
 class RngService
 {
   public:
@@ -62,27 +65,23 @@ class RngService
     size_t refillIfBelowWatermark();
 
     /** Current fill level in bytes. */
-    size_t level() const { return buffer_.size() - head_; }
+    size_t level() const { return service_.level(0); }
 
-    size_t capacity() const { return cfg_.capacityBytes; }
+    size_t capacity() const { return service_.shardCapacity(); }
 
     /** @name Service statistics */
     /**@{*/
-    uint64_t requestsServed() const { return served_; }
-    uint64_t bufferHits() const { return hits_; }
-    uint64_t synchronousFills() const { return misses_; }
+    uint64_t requestsServed() const { return service_.requestsServed(); }
+    uint64_t bufferHits() const { return service_.bufferHits(); }
+    uint64_t synchronousFills() const
+    {
+        return service_.synchronousFills();
+    }
     /**@}*/
 
   private:
-    void compact();
-
-    Trng &source_;
-    RngServiceConfig cfg_;
-    std::vector<uint8_t> buffer_;
-    size_t head_ = 0;
-    uint64_t served_ = 0;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
+    service::EntropyService service_;
+    service::EntropyService::Client client_;
 };
 
 } // namespace quac::core

@@ -563,6 +563,54 @@ Bank::computeProbabilities(const std::vector<Contribution> &contribs,
         }
     }
 
+    if (ctx_->fastSense && ctx_->saturationFastPath) {
+        // Saturation fast-path: if every bitline is >= saturationZ
+        // sigma into the same tail, the Phi batch would snap the
+        // whole row to exactly 0.0f / 1.0f anyway, so emit the
+        // constant row directly. This is the steady state of the
+        // TRNG's RowClone-init resolves, whose destination rows hold
+        // last iteration's random bits and therefore miss the
+        // probability cache every iteration.
+        double max_abs;
+        if (ctx_->oracleCache) {
+            max_abs = offsetRowMaxAbs(row0);
+        } else {
+            max_abs = 0.0;
+            const double *off = offset->data();
+            for (uint32_t b = 0; b < nbits; ++b)
+                max_abs = std::max(max_abs, std::fabs(off[b]));
+        }
+        // |dev| beyond this puts a bitline >= saturationZ sigma into
+        // its tail for every possible offset of this row.
+        double bound = saturationZ * sigma + max_abs;
+        bool one_tail = dev[0] >= bound;
+        if (one_tail || dev[0] <= -bound) {
+            // Block-wise all-of test: a vectorizable compare-count
+            // per block, bailing at the first non-saturated block so
+            // metastable rows pay one block at most.
+            bool saturated = true;
+            constexpr uint32_t block = 512;
+            for (uint32_t base = 0; base < nbits && saturated;
+                 base += block) {
+                uint32_t end = std::min(nbits, base + block);
+                uint32_t bad = 0;
+                if (one_tail) {
+                    for (uint32_t b = base; b < end; ++b)
+                        bad += dev[b] < bound;
+                } else {
+                    for (uint32_t b = base; b < end; ++b)
+                        bad += dev[b] > -bound;
+                }
+                saturated = bad == 0;
+            }
+            if (saturated) {
+                probs.assign(nbits, one_tail ? 1.0f : 0.0f);
+                ++satRowFastPaths_;
+                return;
+            }
+        }
+    }
+
     if (ctx_->fastSense) {
         probabilityOneBatch(dev, offset->data(), sigma, probs.data(),
                             nbits);
@@ -623,8 +671,21 @@ Bank::offsetRow(uint32_t row0) const
     entry.temperatureC = ctx_->temperatureC;
     entry.ageDays = ctx_->ageDays;
     computeOffsetRow(row0, entry.offset);
+    for (double offset : entry.offset)
+        entry.maxAbsMv = std::max(entry.maxAbsMv, std::fabs(offset));
     return offsetCache_.insert_or_assign(row0, std::move(entry))
         .first->second.offset;
+}
+
+double
+Bank::offsetRowMaxAbs(uint32_t row0) const
+{
+    auto it = offsetCache_.find(row0);
+    QUAC_ASSERT(it != offsetCache_.end() &&
+                it->second.temperatureC == ctx_->temperatureC &&
+                it->second.ageDays == ctx_->ageDays,
+                "offsetRowMaxAbs before offsetRow(%u)", row0);
+    return it->second.maxAbsMv;
 }
 
 void

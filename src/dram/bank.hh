@@ -58,6 +58,16 @@ struct BankContext
      * single-row path; disable to select the scalar oracle.
      */
     bool fastSense = true;
+    /**
+     * Skip the batched Phi evaluation when a whole sensing row is
+     * >= saturationZ sigma into one tail (min/max deviation against
+     * the cached per-row max |offset|) and emit a constant
+     * probability row instead. Bit-identical to the full fastSense
+     * kernel; this is what makes the TRNG's unavoidable RowClone
+     * -init probability-cache misses cheap. Only applies when
+     * fastSense is on.
+     */
+    bool saturationFastPath = true;
 };
 
 /** One DRAM bank: sparse cell array plus row-buffer state machine. */
@@ -168,6 +178,8 @@ class Bank
     uint64_t probCacheHits() const { return probCacheHits_; }
     uint64_t probCacheMisses() const { return probCacheMisses_; }
     size_t capCacheSize() const { return capCache_.size(); }
+    /** Probability rows emitted by the saturation fast-path. */
+    uint64_t saturatedRowFastPaths() const { return satRowFastPaths_; }
 
     /** Probability-cache capacity before cold entries are evicted. */
     static constexpr size_t probCacheCapacity = 64;
@@ -270,6 +282,13 @@ class Bank
     void computeOffsetRow(uint32_t row0,
                           std::vector<double> &out) const;
 
+    /**
+     * Max |offset| of offsetRow(row0), cached with the row entry
+     * (valid right after offsetRow(row0) refreshed the entry). Feeds
+     * the saturation fast-path's whole-row tail test.
+     */
+    double offsetRowMaxAbs(uint32_t row0) const;
+
     /** Per-bitline cell capacitance factors of @p row (cached). */
     const std::vector<double> &capRow(uint32_t row) const;
     void computeCapRow(uint32_t row, std::vector<double> &out) const;
@@ -311,6 +330,7 @@ class Bank
     mutable std::unordered_map<uint64_t, SenseRowPlan> probCache_;
     mutable uint64_t probCacheHits_ = 0;
     mutable uint64_t probCacheMisses_ = 0;
+    mutable uint64_t satRowFastPaths_ = 0;
 
     /**
      * Memoized cell-content-independent variation-oracle rows. The
@@ -324,6 +344,7 @@ class Bank
         double temperatureC = 0.0;
         double ageDays = 0.0;
         std::vector<double> offset;
+        double maxAbsMv = 0.0;
         bool hot = false;
     };
     struct CapRowEntry

@@ -63,6 +63,14 @@ struct ModuleSpec
      * path; disable to select the scalar erfc/per-bit-draw oracle.
      */
     bool fastSense = true;
+    /**
+     * Emit constant probability rows for sensing setups saturated
+     * >= saturationZ sigma into one tail instead of running the
+     * batched Phi kernel (bit-identical; see
+     * BankContext::saturationFastPath). Only effective with
+     * fastSense.
+     */
+    bool saturationFastPath = true;
 };
 
 /**

@@ -68,6 +68,19 @@ double probabilityOne(double deviation_mv, double offset_mv,
 constexpr float degenerateProbability = 1e-9f;
 
 /**
+ * Normalized-deviation magnitude beyond which a whole sensing row is
+ * treated as saturated: when every bitline satisfies
+ * |deviation - offset| / sigma >= saturationZ on the same side, the
+ * batched Phi evaluation is provably all-snapping (Phi(6.5) is within
+ * 4e-11 of 1, an order of magnitude inside degenerateProbability, and
+ * the batch kernel's tail estimate decreases monotonically there), so
+ * the resolver can emit a constant probability row without evaluating
+ * Phi. This is the common case for the TRNG's RowClone segment-init
+ * copies, whose full-rail residual dominates every bitline.
+ */
+constexpr double saturationZ = 6.5;
+
+/**
  * Batched probabilityOne() over @p n bitlines:
  * out[i] = Phi((dev[i] - offset[i]) / sigma).
  *

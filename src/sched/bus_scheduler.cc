@@ -65,6 +65,18 @@ BusScheduler::recordAct(uint32_t bank, double t)
         actWindow_.pop_front();
 }
 
+void
+BusScheduler::recordCommand(dram::CommandType type)
+{
+    ++commandCount_;
+    switch (type) {
+    case dram::CommandType::ACT: ++actCount_; break;
+    case dram::CommandType::PRE: ++preCount_; break;
+    case dram::CommandType::RD: ++readCount_; break;
+    case dram::CommandType::WR: ++writeCount_; break;
+    }
+}
+
 double
 BusScheduler::issueAct(uint32_t bank, double earliest)
 {
@@ -84,6 +96,7 @@ BusScheduler::issueAct(uint32_t bank, double earliest)
         t = constrained;
     }
     recordAct(bank, t);
+    recordCommand(dram::CommandType::ACT);
     state.lastAct = t;
     state.rdReady = t + timing_.tRCD;
     state.wrReady = t + timing_.tRCD;
@@ -99,6 +112,7 @@ BusScheduler::issuePre(uint32_t bank, double earliest)
     QUAC_ASSERT(bank < banks_.size(), "bank=%u", bank);
     BankState &state = banks_[bank];
     double t = claimCmdSlot(std::max(earliest, state.preReady));
+    recordCommand(dram::CommandType::PRE);
     state.actReady = std::max(state.actReady, t + timing_.tRP);
     state.open = false;
     return t;
@@ -125,6 +139,7 @@ BusScheduler::issueRead(uint32_t bank, double earliest)
 
     lastRd_ = t;
     lastRdGroup_ = group;
+    recordCommand(dram::CommandType::RD);
     double data_start = std::max(t + timing_.tCL, dataBusFree_);
     double data_end = data_start + timing_.tBurst;
     dataBusFree_ = data_end;
@@ -149,6 +164,7 @@ BusScheduler::issueWrite(uint32_t bank, double earliest)
 
     lastWr_ = t;
     lastWrGroup_ = group;
+    recordCommand(dram::CommandType::WR);
     double data_start = std::max(t + timing_.tCWL, dataBusFree_);
     double data_end = data_start + timing_.tBurst;
     dataBusFree_ = data_end;
@@ -201,6 +217,7 @@ BusScheduler::issueViolated(
         double t = base + offsets[i];
         usedSlots_.insert(clockIndex(t));
         lastCmd_ = std::max(lastCmd_, t);
+        recordCommand(seq[i].first);
         if (seq[i].first == dram::CommandType::ACT) {
             recordAct(bank, t);
             last_act = t;

@@ -85,6 +85,21 @@ class BusScheduler
     /** Accumulated data-burst time (for utilization accounting). */
     double dataBusBusyNs() const { return dataBusBusy_; }
 
+    /** @name Issue accounting (refill charging hooks)
+     *
+     * Commands issued since construction, total and per type. The
+     * entropy-service refill scheduler charges background refill work
+     * in command-bus slots, so the TRNG programs report how many
+     * slots one iteration actually consumes.
+     */
+    /**@{*/
+    uint64_t commandsIssued() const { return commandCount_; }
+    uint64_t actsIssued() const { return actCount_; }
+    uint64_t prechargesIssued() const { return preCount_; }
+    uint64_t readsIssued() const { return readCount_; }
+    uint64_t writesIssued() const { return writeCount_; }
+    /**@}*/
+
     const dram::TimingParams &timing() const { return timing_; }
 
   private:
@@ -107,6 +122,9 @@ class BusScheduler
     /** Earliest ACT time satisfying tRRD and tFAW at or after t. */
     double actConstraint(uint32_t bank, double t) const;
 
+    /** Count one issued command of @p type. */
+    void recordCommand(dram::CommandType type);
+
     /** Record an ACT for tRRD/tFAW accounting. */
     void recordAct(uint32_t bank, double t);
 
@@ -127,6 +145,11 @@ class BusScheduler
     double dataBusFree_ = 0.0;
     double dataBusBusy_ = 0.0;
     double lastCmd_ = 0.0;
+    uint64_t commandCount_ = 0;
+    uint64_t actCount_ = 0;
+    uint64_t preCount_ = 0;
+    uint64_t readCount_ = 0;
+    uint64_t writeCount_ = 0;
 };
 
 } // namespace quac::sched

@@ -56,6 +56,7 @@ simulateQuacTrng(const dram::TimingParams &timing,
     double checkpoint = 0.0;
     double latency = 0.0;
     bool latency_done = false;
+    uint64_t warmup_commands = 0;
 
     for (uint32_t iter = 0; iter < cfg.iterations; ++iter) {
         // --- Segment initialization (4 rows per bank) -------------
@@ -111,6 +112,7 @@ simulateQuacTrng(const dram::TimingParams &timing,
         if (iter + 1 == cfg.warmupIterations) {
             checkpoint = std::max(bus.lastCommandTime(),
                                   bus.dataBusEnd());
+            warmup_commands = bus.commandsIssued();
         }
     }
 
@@ -121,7 +123,23 @@ simulateQuacTrng(const dram::TimingParams &timing,
                  (cfg.iterations - cfg.warmupIterations);
     stats.latency256Ns = latency;
     stats.busUtilization = end > 0.0 ? bus.dataBusBusyNs() / end : 0.0;
+    stats.commands = bus.commandsIssued() - warmup_commands;
     return stats;
+}
+
+RefillCost
+quacRefillCost(const dram::TimingParams &timing,
+               const QuacScheduleConfig &cfg)
+{
+    ScheduleStats stats = simulateQuacTrng(timing, cfg);
+    double iterations =
+        static_cast<double>(cfg.iterations - cfg.warmupIterations);
+    RefillCost cost;
+    cost.iterationNs = stats.totalNs / iterations;
+    cost.bitsPerIteration = stats.bits / iterations;
+    cost.commandsPerIteration =
+        static_cast<double>(stats.commands) / iterations;
+    return cost;
 }
 
 ScheduleStats

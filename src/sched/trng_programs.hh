@@ -63,6 +63,8 @@ struct ScheduleStats
     double bits = 0.0;          ///< Random bits produced.
     double latency256Ns = 0.0;  ///< Cold-start first 256-bit number.
     double busUtilization = 0.0;
+    /** Command-bus slots consumed in the steady-state window. */
+    uint64_t commands = 0;
 
     /** Per-channel throughput in Gb/s. */
     double
@@ -75,6 +77,31 @@ struct ScheduleStats
 /** Simulate QUAC-TRNG on one channel. */
 ScheduleStats simulateQuacTrng(const dram::TimingParams &timing,
                                const QuacScheduleConfig &cfg);
+
+/**
+ * Steady-state cost of one QUAC-TRNG refill iteration, as the
+ * entropy-service refill scheduler charges it against channel time:
+ * wall-clock ns, random bits produced, and command-bus slots
+ * consumed. Derived from the full BusScheduler simulation
+ * (simulateQuacTrng) with warmup excluded.
+ */
+struct RefillCost
+{
+    double iterationNs = 0.0;
+    double bitsPerIteration = 0.0;
+    double commandsPerIteration = 0.0;
+
+    double
+    nsPerByte() const
+    {
+        return bitsPerIteration > 0.0
+                   ? iterationNs / (bitsPerIteration / 8.0)
+                   : 0.0;
+    }
+};
+
+RefillCost quacRefillCost(const dram::TimingParams &timing,
+                          const QuacScheduleConfig &cfg);
 
 /** D-RaNGe schedule configuration (Section 7.4.1). */
 struct DRangeScheduleConfig

@@ -1,0 +1,428 @@
+#include "service/entropy_service.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/error.hh"
+#include "common/parallel.hh"
+
+namespace quac::service
+{
+
+const char *
+priorityName(Priority priority)
+{
+    switch (priority) {
+    case Priority::Interactive: return "interactive";
+    case Priority::Standard: return "standard";
+    case Priority::Bulk: return "bulk";
+    }
+    return "?";
+}
+
+/** Per-client registration; statistics guarded by the shard mutex. */
+struct EntropyService::Client::State
+{
+    std::string name;
+    Priority priority = Priority::Standard;
+    size_t shard = 0;
+    ClientStats stats;
+};
+
+EntropyService::EntropyService(std::vector<core::Trng *> backends,
+                               EntropyServiceConfig cfg)
+    : cfg_(cfg)
+{
+    if (backends.empty())
+        fatal("EntropyService needs at least one backend");
+    for (core::Trng *backend : backends) {
+        if (!backend)
+            fatal("EntropyService backend is null");
+    }
+    if (cfg_.refillWatermark < 0.0 || cfg_.refillWatermark > 1.0)
+        fatal("refill watermark must be in [0, 1]");
+    if (cfg_.panicWatermark < 0.0 ||
+        cfg_.panicWatermark > cfg_.refillWatermark)
+        fatal("panic watermark must be in [0, refill watermark]");
+
+    size_t nshards = cfg_.shards ? cfg_.shards : backends.size();
+    backendLocks_.reserve(backends.size());
+    for (size_t b = 0; b < backends.size(); ++b)
+        backendLocks_.push_back(std::make_unique<std::mutex>());
+
+    shards_.reserve(nshards);
+    for (size_t i = 0; i < nshards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->backendIndex = i % backends.size();
+        shard->backend = backends[shard->backendIndex];
+        shards_.push_back(std::move(shard));
+    }
+}
+
+size_t
+EntropyService::chunkLocked(Shard &shard)
+{
+    if (!shard.chunkKnown) {
+        {
+            // May run the backend's one-time setup
+            // (characterization); deferred to first use so
+            // construction stays cheap and setup sees the module
+            // state at refill time, exactly as the original
+            // RngService behaved.
+            std::lock_guard<std::mutex> backend_lock(
+                *backendLocks_[shard.backendIndex]);
+            shard.chunk = shard.backend->preferredChunkBytes();
+        }
+        shard.chunkKnown = true;
+        // Capacity plus one chunk of headroom: refills pull whole
+        // backend iterations and discard no generated entropy, so a
+        // full shard can exceed capacity by less than one chunk.
+        if (cfg_.shardCapacityBytes > 0)
+            shard.ring.resize(cfg_.shardCapacityBytes + shard.chunk);
+    }
+    return shard.chunk;
+}
+
+EntropyService::~EntropyService()
+{
+    stopAutoRefill();
+}
+
+size_t
+EntropyService::takeLocked(Shard &shard, uint8_t *out, size_t len)
+{
+    size_t take = std::min(len, shard.size);
+    if (take == 0)
+        return 0;
+    size_t cap = shard.ring.size();
+    size_t first = std::min(take, cap - shard.head);
+    std::memcpy(out, shard.ring.data() + shard.head, first);
+    if (take > first)
+        std::memcpy(out + first, shard.ring.data(), take - first);
+    shard.head = (shard.head + take) % cap;
+    shard.size -= take;
+    return take;
+}
+
+void
+EntropyService::pullLocked(Shard &shard, size_t want)
+{
+    if (want == 0)
+        return;
+    size_t cap = shard.ring.size();
+    QUAC_ASSERT(shard.size + want <= cap, "ring overflow: %zu + %zu > %zu",
+                shard.size, want, cap);
+    std::lock_guard<std::mutex> backend_lock(
+        *backendLocks_[shard.backendIndex]);
+    size_t tail = (shard.head + shard.size) % cap;
+    size_t first = std::min(want, cap - tail);
+    shard.backend->fill(shard.ring.data() + tail, first);
+    if (want > first)
+        shard.backend->fill(shard.ring.data(), want - first);
+    shard.size += want;
+}
+
+size_t
+EntropyService::deficitLocked(Shard &shard, double frac)
+{
+    size_t capacity = cfg_.shardCapacityBytes;
+    size_t threshold =
+        static_cast<size_t>(frac * static_cast<double>(capacity));
+    if (shard.size > threshold)
+        return 0;
+    size_t want = capacity > shard.size ? capacity - shard.size : 0;
+    if (want == 0)
+        return 0;
+    size_t chunk = chunkLocked(shard);
+    if (chunk > 0)
+        want = (want + chunk - 1) / chunk * chunk;
+    return want;
+}
+
+size_t
+EntropyService::refillShard(Shard &shard)
+{
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    size_t want = deficitLocked(shard, cfg_.refillWatermark);
+    if (want == 0)
+        return 0;
+    pullLocked(shard, want);
+    refills_.fetch_add(1, std::memory_order_relaxed);
+    bytesRefilled_.fetch_add(want, std::memory_order_relaxed);
+    return want;
+}
+
+size_t
+EntropyService::refillBelowWatermark()
+{
+    if (shards_.size() == 1 || cfg_.refillThreads == 1) {
+        size_t added = 0;
+        for (auto &shard : shards_)
+            added += refillShard(*shard);
+        return added;
+    }
+    std::atomic<size_t> added{0};
+    parallelFor(0, shards_.size(), [&](size_t i) {
+        added.fetch_add(refillShard(*shards_[i]),
+                        std::memory_order_relaxed);
+    }, cfg_.refillThreads);
+    return added.load();
+}
+
+size_t
+EntropyService::refillTick(size_t budget_bytes)
+{
+    // Most-drained shards first; ties broken by index so the visit
+    // order (and hence which shard the budget runs out on) is a
+    // deterministic function of the levels.
+    std::vector<size_t> order(shards_.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::vector<size_t> levels(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i)
+        levels[i] = level(i);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return levels[a] != levels[b] ? levels[a] < levels[b] : a < b;
+    });
+
+    size_t added = 0;
+    for (size_t index : order) {
+        if (budget_bytes == 0)
+            break;
+        Shard &shard = *shards_[index];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        size_t want = deficitLocked(shard, cfg_.refillWatermark);
+        if (want == 0)
+            continue;
+        // One pull of as many whole chunks as the budget covers, so
+        // the budget spreads across drained shards; the final chunk
+        // may overshoot by < one chunk.
+        size_t step = shard.chunk > 0 ? shard.chunk : want;
+        size_t chunks =
+            (std::min(budget_bytes, want) + step - 1) / step;
+        size_t pulled = std::min(want, chunks * step);
+        pullLocked(shard, pulled);
+        budget_bytes -= std::min(budget_bytes, pulled);
+        refills_.fetch_add(1, std::memory_order_relaxed);
+        bytesRefilled_.fetch_add(pulled, std::memory_order_relaxed);
+        added += pulled;
+    }
+    return added;
+}
+
+size_t
+EntropyService::refillDemandBytes()
+{
+    return refillDemand().bytes;
+}
+
+size_t
+EntropyService::urgentDemandBytes()
+{
+    return refillDemand().urgentBytes;
+}
+
+EntropyService::RefillDemand
+EntropyService::refillDemand()
+{
+    RefillDemand demand;
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        size_t deficit = deficitLocked(*shard, cfg_.refillWatermark);
+        size_t urgent = deficitLocked(*shard, cfg_.panicWatermark);
+        demand.bytes += deficit;
+        // The panic threshold is <= the refill threshold, so per
+        // shard urgent <= deficit; summing under one lock keeps the
+        // invariant across shards too.
+        demand.urgentBytes += std::min(urgent, deficit);
+    }
+    return demand;
+}
+
+void
+EntropyService::startAutoRefill(std::chrono::microseconds period)
+{
+    std::lock_guard<std::mutex> control(refillControlMutex_);
+    if (refillThread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(refillMutex_);
+        stopRefill_ = false;
+    }
+    refillThread_ = std::thread([this, period]() {
+        std::unique_lock<std::mutex> lock(refillMutex_);
+        for (;;) {
+            refillCv_.wait_for(lock, period,
+                               [this]() { return stopRefill_; });
+            if (stopRefill_)
+                return;
+            lock.unlock();
+            refillBelowWatermark();
+            lock.lock();
+        }
+    });
+}
+
+void
+EntropyService::stopAutoRefill()
+{
+    std::lock_guard<std::mutex> control(refillControlMutex_);
+    if (!refillThread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(refillMutex_);
+        stopRefill_ = true;
+    }
+    refillCv_.notify_all();
+    refillThread_.join();
+    refillThread_ = std::thread();
+}
+
+bool
+EntropyService::autoRefillRunning() const
+{
+    std::lock_guard<std::mutex> control(refillControlMutex_);
+    return refillThread_.joinable();
+}
+
+size_t
+EntropyService::level(size_t shard) const
+{
+    QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
+    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+    return shards_[shard]->size;
+}
+
+size_t
+EntropyService::totalLevel() const
+{
+    size_t total = 0;
+    for (size_t i = 0; i < shards_.size(); ++i)
+        total += level(i);
+    return total;
+}
+
+size_t
+EntropyService::shardChunkBytes(size_t shard)
+{
+    QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
+    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+    return chunkLocked(*shards_[shard]);
+}
+
+EntropyService::Client
+EntropyService::connect(std::string name, Priority priority,
+                        size_t shard)
+{
+    std::lock_guard<std::mutex> lock(clientsMutex_);
+    if (shard == autoShard)
+        shard = nextShard_++ % shards_.size();
+    if (shard >= shards_.size())
+        fatal("client '%s' pinned to shard %zu of %zu", name.c_str(),
+              shard, shards_.size());
+    auto state = std::make_unique<Client::State>();
+    state->name = std::move(name);
+    state->priority = priority;
+    state->shard = shard;
+    Client client(this, state.get());
+    clients_.push_back(std::move(state));
+    return client;
+}
+
+RequestResult
+EntropyService::requestOn(Client::State &client, uint8_t *out,
+                          size_t len)
+{
+    Shard &shard = *shards_[client.shard];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ClientStats &stats = client.stats;
+    ++stats.requests;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    RequestResult result;
+    if (cfg_.maxRequestBytes && len > cfg_.maxRequestBytes) {
+        ++stats.denials;
+        denials_.fetch_add(1, std::memory_order_relaxed);
+        result.denied = true;
+        return result;
+    }
+
+    size_t from_buffer = takeLocked(shard, out, len);
+    stats.bytesFromBuffer += from_buffer;
+    if (from_buffer == len) {
+        ++stats.bufferHits;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        stats.bytesServed += len;
+        result.bytes = len;
+        result.hit = true;
+        return result;
+    }
+
+    if (client.priority == Priority::Bulk) {
+        // Buffer-only class: partial service is the backpressure
+        // signal; the caller retries after the next refill.
+        ++stats.partialServes;
+        stats.bytesServed += from_buffer;
+        result.bytes = from_buffer;
+        return result;
+    }
+
+    // Drain what the buffer has, then complete synchronously on the
+    // shard's backend (the paper's fallback when requests outpace
+    // idle bandwidth). The same stream continues: buffered bytes
+    // came from earlier positions of the identical backend stream.
+    {
+        std::lock_guard<std::mutex> backend_lock(
+            *backendLocks_[shard.backendIndex]);
+        shard.backend->fill(out + from_buffer, len - from_buffer);
+    }
+    ++stats.synchronousFills;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    stats.bytesSynchronous += len - from_buffer;
+    stats.bytesServed += len;
+    result.bytes = len;
+    return result;
+}
+
+RequestResult
+EntropyService::Client::request(uint8_t *out, size_t len)
+{
+    return service_->requestOn(*state_, out, len);
+}
+
+std::vector<uint8_t>
+EntropyService::Client::request(size_t len)
+{
+    std::vector<uint8_t> out(len);
+    RequestResult result = request(out.data(), len);
+    out.resize(result.bytes);
+    return out;
+}
+
+const std::string &
+EntropyService::Client::name() const
+{
+    return state_->name;
+}
+
+Priority
+EntropyService::Client::priority() const
+{
+    return state_->priority;
+}
+
+size_t
+EntropyService::Client::shard() const
+{
+    return state_->shard;
+}
+
+ClientStats
+EntropyService::Client::stats() const
+{
+    std::lock_guard<std::mutex> lock(
+        service_->shards_[state_->shard]->mutex);
+    return state_->stats;
+}
+
+} // namespace quac::service

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Sharded, multi-client entropy service (paper Section 9 scaled out;
+ * DR-STRaNGe's end-to-end system design).
+ *
+ * A pool of backend generators (one QuacTrng per module, or any
+ * core::Trng) feeds N sharded ring buffers of controller SRAM.
+ * Clients connect with a priority class and are pinned to a shard;
+ * requests are served from the shard's buffer, falling back to
+ * synchronous generation (interactive/standard) or backpressure
+ * (bulk) when drained. Refill is decoupled from the request path:
+ * refillBelowWatermark()/refillTick() top shards up in whole backend
+ * iterations, either unbudgeted, under a channel-time budget from the
+ * scheduler-aware RefillScheduler, or continuously from a background
+ * thread (startAutoRefill).
+ *
+ * Determinism: each shard drains its backend strictly in stream
+ * order (refills and synchronous fills both advance the same
+ * stream), so a given (backend seed, shard, per-shard request order)
+ * schedule replays byte-identically — including across serial and
+ * concurrent runs — as long as each backend serves one shard.
+ * Shared backends (more shards than backends) stay correct and
+ * race-free via per-backend locks, but the interleaving of refills
+ * then decides which shard receives which bytes.
+ */
+
+#ifndef QUAC_SERVICE_ENTROPY_SERVICE_HH
+#define QUAC_SERVICE_ENTROPY_SERVICE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trng.hh"
+
+namespace quac::service
+{
+
+/** Client request classes (DR-STRaNGe's latency/throughput split). */
+enum class Priority : uint8_t
+{
+    /** Latency-critical: misses complete synchronously. */
+    Interactive = 0,
+    /** Default class: misses complete synchronously. */
+    Standard = 1,
+    /**
+     * Throughput class served from buffered entropy only: a drained
+     * shard returns a partial result (backpressure) instead of
+     * stealing generator time from the other classes.
+     */
+    Bulk = 2,
+};
+
+/** Display name ("interactive", "standard", "bulk"). */
+const char *priorityName(Priority priority);
+
+/** Service configuration. */
+struct EntropyServiceConfig
+{
+    /** Shard count; 0 = one shard per backend. */
+    size_t shards = 0;
+    /** Buffer capacity per shard in bytes (controller SRAM slice). */
+    size_t shardCapacityBytes = 4096;
+    /**
+     * Refill threshold: a shard is topped up once its fill level is
+     * at or below this fraction of capacity.
+     */
+    double refillWatermark = 0.5;
+    /**
+     * Panic threshold: levels at or below this fraction count as
+     * urgent demand, which the BufferedFair refill policy escalates
+     * to demand-traffic expense.
+     */
+    double panicWatermark = 0.125;
+    /** Hard per-request byte cap (0 = unlimited); larger = denied. */
+    size_t maxRequestBytes = 0;
+    /**
+     * Worker threads for refillBelowWatermark() across shards
+     * (common/parallel pool); 1 = serial, 0 = hardware concurrency.
+     * Serial refill keeps shared-backend byte assignment
+     * deterministic; dedicated backends are deterministic either way.
+     */
+    unsigned refillThreads = 1;
+};
+
+/** Outcome of one client request. */
+struct RequestResult
+{
+    /** Bytes actually delivered (may be < requested for Bulk). */
+    size_t bytes = 0;
+    /** Served entirely from the shard buffer. */
+    bool hit = false;
+    /** Rejected outright by backpressure (maxRequestBytes). */
+    bool denied = false;
+};
+
+/** Per-client service statistics. */
+struct ClientStats
+{
+    uint64_t requests = 0;
+    uint64_t bufferHits = 0;
+    /** Misses completed synchronously on the backend. */
+    uint64_t synchronousFills = 0;
+    /** Bulk-class misses served partially from the buffer. */
+    uint64_t partialServes = 0;
+    uint64_t denials = 0;
+    uint64_t bytesServed = 0;
+    uint64_t bytesFromBuffer = 0;
+    uint64_t bytesSynchronous = 0;
+};
+
+/** The sharded entropy service. */
+class EntropyService
+{
+  public:
+    /** Pass to connect() for round-robin shard placement. */
+    static constexpr size_t autoShard = ~size_t{0};
+
+    /**
+     * @param backends generator pool (kept by reference, must
+     *        outlive the service). Shard i pulls from backend
+     *        i % backends.size().
+     * @param cfg service parameters.
+     */
+    explicit EntropyService(std::vector<core::Trng *> backends,
+                            EntropyServiceConfig cfg = {});
+
+    EntropyService(const EntropyService &) = delete;
+    EntropyService &operator=(const EntropyService &) = delete;
+
+    ~EntropyService();
+
+    /** Client handle; copyable, owned state lives in the service. */
+    class Client
+    {
+      public:
+        /**
+         * Serve a request into @p out. Interactive/Standard clients
+         * always receive @p len bytes unless denied; Bulk clients
+         * receive what the shard buffer holds.
+         */
+        RequestResult request(uint8_t *out, size_t len);
+
+        /** Convenience byte-vector request (sized to served bytes). */
+        std::vector<uint8_t> request(size_t len);
+
+        const std::string &name() const;
+        Priority priority() const;
+        /** Shard this client is pinned to. */
+        size_t shard() const;
+        /** Snapshot of this client's statistics. */
+        ClientStats stats() const;
+
+      private:
+        friend class EntropyService;
+        struct State;
+        Client(EntropyService *service, State *state)
+            : service_(service), state_(state)
+        {
+        }
+
+        EntropyService *service_;
+        State *state_;
+    };
+
+    /**
+     * Register a client. @p shard pins it to a specific shard;
+     * autoShard assigns shards round-robin in connect order.
+     */
+    Client connect(std::string name,
+                   Priority priority = Priority::Standard,
+                   size_t shard = autoShard);
+
+    /** @name Shard inspection */
+    /**@{*/
+    size_t shardCount() const { return shards_.size(); }
+    size_t shardCapacity() const { return cfg_.shardCapacityBytes; }
+    /** Current fill level of @p shard in bytes. */
+    size_t level(size_t shard) const;
+    /** Sum of all shard levels. */
+    size_t totalLevel() const;
+    /**
+     * Backend chunk granularity of @p shard (0 = none). Resolved
+     * lazily: the first query may run the backend's one-time setup.
+     */
+    size_t shardChunkBytes(size_t shard);
+    /**@}*/
+
+    /** @name Refill */
+    /**@{*/
+    /**
+     * Bytes needed to top every at-or-below-watermark shard up to
+     * capacity, rounded up to whole backend chunks (what a refill
+     * would actually pull).
+     */
+    size_t refillDemandBytes();
+
+    /** The part of refillDemandBytes() from shards at or below the
+     * panic watermark (escalated under BufferedFair). */
+    size_t urgentDemandBytes();
+
+    /** Total and urgent demand in one consistent snapshot. */
+    struct RefillDemand
+    {
+        size_t bytes = 0;
+        size_t urgentBytes = 0; ///< Always <= bytes.
+    };
+
+    /**
+     * Both demand figures with each shard's deficit read under one
+     * lock acquisition, so urgentBytes <= bytes holds even while
+     * clients drain concurrently (the separate accessors can tear).
+     */
+    RefillDemand refillDemand();
+
+    /**
+     * Top up every shard at or below the watermark to capacity in
+     * whole backend chunks (a shard may transiently exceed capacity
+     * by less than one chunk). Runs shards through the worker pool
+     * when cfg.refillThreads != 1.
+     * @return bytes added across all shards.
+     */
+    size_t refillBelowWatermark();
+
+    /**
+     * Budgeted refill: like refillBelowWatermark() but stops once
+     * @p budget_bytes have been pulled, visiting most-drained shards
+     * first (ties by shard index, so the order is deterministic).
+     * The final chunk may overshoot the budget by less than one
+     * chunk. @return bytes added.
+     */
+    size_t refillTick(size_t budget_bytes);
+
+    /**
+     * Start the background refill thread: every @p period it tops up
+     * shards below the watermark, modelling the memory controller's
+     * continuous idle-bandwidth top-ups. Idempotent; stopped by
+     * stopAutoRefill() or destruction.
+     */
+    void startAutoRefill(std::chrono::microseconds period);
+    void stopAutoRefill();
+    bool autoRefillRunning() const;
+    /**@}*/
+
+    /** @name Aggregate statistics */
+    /**@{*/
+    uint64_t requestsServed() const { return requests_.load(); }
+    uint64_t bufferHits() const { return hits_.load(); }
+    uint64_t synchronousFills() const { return misses_.load(); }
+    uint64_t denials() const { return denials_.load(); }
+    uint64_t refills() const { return refills_.load(); }
+    uint64_t bytesRefilled() const { return bytesRefilled_.load(); }
+    /**@}*/
+
+  private:
+    /**
+     * One shard: a ring buffer over a slice of controller SRAM plus
+     * the backend it drains. Storage holds capacity + one chunk of
+     * headroom so refills can pull whole backend iterations without
+     * discarding entropy; it is sized on the first chunk query
+     * (chunkLocked), because asking the backend for its granularity
+     * may run its one-time setup and must stay as lazy as the
+     * original RngService kept it.
+     */
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        core::Trng *backend = nullptr;
+        size_t backendIndex = 0;
+        size_t chunk = 0;
+        bool chunkKnown = false;
+        std::vector<uint8_t> ring;
+        size_t head = 0;  ///< Read position.
+        size_t size = 0;  ///< Bytes buffered.
+    };
+
+    /**
+     * The shard's backend chunk granularity, resolved lazily on
+     * first use (Trng::preferredChunkBytes may run the backend's
+     * one-time characterization); also sizes the ring storage.
+     */
+    size_t chunkLocked(Shard &shard);
+
+    /** FIFO-drain up to @p len bytes; returns bytes taken. */
+    size_t takeLocked(Shard &shard, uint8_t *out, size_t len);
+
+    /** Pull @p want bytes from the backend into the ring. */
+    void pullLocked(Shard &shard, size_t want);
+
+    /**
+     * Deficit if the shard is at/below @p frac, rounded up to whole
+     * backend chunks. Resolves the chunk lazily, and only when a
+     * deficit exists.
+     */
+    size_t deficitLocked(Shard &shard, double frac);
+
+    /** Top one shard up to capacity; returns bytes added. */
+    size_t refillShard(Shard &shard);
+
+    RequestResult requestOn(Client::State &client, uint8_t *out,
+                            size_t len);
+
+    EntropyServiceConfig cfg_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    /** One lock per backend: shards sharing a backend serialize. */
+    std::vector<std::unique_ptr<std::mutex>> backendLocks_;
+
+    std::mutex clientsMutex_;
+    std::vector<std::unique_ptr<Client::State>> clients_;
+    size_t nextShard_ = 0;
+
+    std::atomic<uint64_t> requests_{0};
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> denials_{0};
+    std::atomic<uint64_t> refills_{0};
+    std::atomic<uint64_t> bytesRefilled_{0};
+
+    /** Guards the refillThread_ object itself (start/stop/running);
+     * refillMutex_ only covers the worker's stop-flag wait. */
+    mutable std::mutex refillControlMutex_;
+    std::thread refillThread_;
+    std::mutex refillMutex_;
+    std::condition_variable refillCv_;
+    bool stopRefill_ = false;
+};
+
+} // namespace quac::service
+
+#endif // QUAC_SERVICE_ENTROPY_SERVICE_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Scheduler-aware asynchronous refill for the entropy service.
+ *
+ * The memory controller tops the service's shard buffers up with
+ * idle DRAM bandwidth (paper Section 9). This component models that
+ * loop at channel granularity: each tick it measures the service's
+ * chunk-rounded refill demand, converts it to channel time using the
+ * BusScheduler-simulated cost of one QUAC iteration
+ * (sched::quacRefillCost), arbitrates that time against a workload's
+ * demand traffic under a DR-STRaNGe fairness policy
+ * (sysperf::grantRefill), and issues the granted bytes to the
+ * service as a budgeted refill. Memory-traffic slowdown and idle
+ * utilization are accounted per tick and in total.
+ */
+
+#ifndef QUAC_SERVICE_REFILL_SCHEDULER_HH
+#define QUAC_SERVICE_REFILL_SCHEDULER_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+#include "sched/trng_programs.hh"
+#include "service/entropy_service.hh"
+#include "sysperf/channel_sim.hh"
+#include "sysperf/workloads.hh"
+
+namespace quac::service
+{
+
+/** Refill-loop configuration. */
+struct RefillSchedulerConfig
+{
+    /** RNG-vs-memory arbitration policy. */
+    sysperf::FairnessPolicy policy =
+        sysperf::FairnessPolicy::BufferedFair;
+    /** Channel-time window modelled per tick, in ns. */
+    double tickNs = 1.0e5;
+    /** Idle re-entry overhead per gap (see sysperf::injectQuac). */
+    double reentryOverheadNs = 20.0;
+    /** Seed of the per-tick demand-traffic timelines. */
+    uint64_t seed = 1;
+    /** Channel timing the refill commands are scheduled against. */
+    dram::TimingParams timing = dram::TimingParams::ddr4(2400);
+    /** Refill command program (iteration-cost probe input). */
+    sched::QuacScheduleConfig schedule;
+};
+
+/** Accounting of the refill loop, per tick and accumulated. */
+struct RefillAccounting
+{
+    uint64_t ticks = 0;
+    /** Channel time modelled (ticks x tickNs). */
+    double modeledNs = 0.0;
+    /** Channel time the service's demand asked for. */
+    double neededNs = 0.0;
+    /** Channel time granted under the fairness policy. */
+    double grantedNs = 0.0;
+    /** Idle time that was usable for FCFS-style refill. */
+    double usableIdleNs = 0.0;
+    /** Demand-traffic time displaced by prioritized refill. */
+    double stolenBusyNs = 0.0;
+    /** Demand-traffic busy time in the modelled windows. */
+    double busyNs = 0.0;
+    /** Bytes the service wanted / actually pulled. */
+    uint64_t bytesRequested = 0;
+    uint64_t bytesRefilled = 0;
+
+    /** Fractional slowdown charged to regular memory traffic. */
+    double
+    memSlowdown() const
+    {
+        return busyNs > 0.0 ? stolenBusyNs / busyNs : 0.0;
+    }
+
+    /** Refill throughput over the modelled time, in Gb/s. */
+    double
+    refillGbps() const
+    {
+        return modeledNs > 0.0
+                   ? static_cast<double>(bytesRefilled) * 8.0 /
+                         modeledNs
+                   : 0.0;
+    }
+};
+
+/** The per-channel refill loop driving one EntropyService. */
+class RefillScheduler
+{
+  public:
+    /**
+     * @param service service to top up (kept by reference).
+     * @param demand co-running memory-traffic profile.
+     * @param cfg refill-loop parameters.
+     */
+    RefillScheduler(EntropyService &service,
+                    const sysperf::WorkloadProfile &demand,
+                    RefillSchedulerConfig cfg = {});
+
+    /**
+     * Run one tick: measure demand, arbitrate, refill. Returns the
+     * tick's accounting (also accumulated into total()).
+     */
+    RefillAccounting tick();
+
+    /** Run @p n ticks; returns the accumulated total. */
+    const RefillAccounting &run(uint64_t n);
+
+    const RefillAccounting &total() const { return total_; }
+
+    /** BusScheduler-measured refill iteration cost. */
+    const sched::RefillCost &iterationCost() const { return cost_; }
+
+  private:
+    EntropyService &service_;
+    sysperf::WorkloadProfile demand_;
+    RefillSchedulerConfig cfg_;
+    sched::RefillCost cost_;
+    RefillAccounting total_;
+    uint64_t tickIndex_ = 0;
+};
+
+} // namespace quac::service
+
+#endif // QUAC_SERVICE_REFILL_SCHEDULER_HH

@@ -103,6 +103,98 @@ injectQuac(const ChannelActivity &activity, double iteration_ns,
     return result;
 }
 
+const char *
+fairnessPolicyName(FairnessPolicy policy)
+{
+    switch (policy) {
+    case FairnessPolicy::Fcfs: return "fcfs";
+    case FairnessPolicy::RngPriority: return "rng-priority";
+    case FairnessPolicy::BufferedFair: return "buffered-fair";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Idle time usable for refill in (from, window), net of re-entry. */
+double
+usableIdleAfter(const ChannelActivity &activity, double from,
+                double reentry_overhead_ns)
+{
+    double usable = 0.0;
+    for (const auto &[start, end] : activity.idleIntervals()) {
+        double lo = std::max(start, from);
+        if (lo >= end)
+            continue;
+        // A gap entered fresh (or re-entered after the prioritized
+        // prefix) pays the re-entry overhead once.
+        usable += std::max(0.0, end - lo - reentry_overhead_ns);
+    }
+    return usable;
+}
+
+/** Demand-burst time overlapping the prioritized prefix [0, len). */
+double
+busyOverlap(const ChannelActivity &activity, double len)
+{
+    double overlap = 0.0;
+    for (const auto &[start, end] : activity.busyIntervals()) {
+        if (start >= len)
+            break;
+        overlap += std::min(end, len) - start;
+    }
+    return overlap;
+}
+
+} // anonymous namespace
+
+RefillGrant
+grantRefill(const ChannelActivity &activity, double needed_ns,
+            FairnessPolicy policy, double urgent_ns,
+            double reentry_overhead_ns)
+{
+    QUAC_ASSERT(needed_ns >= 0.0 && urgent_ns >= 0.0 &&
+                urgent_ns <= needed_ns + 1e-9,
+                "needed=%f urgent=%f", needed_ns, urgent_ns);
+
+    double window = activity.windowNs();
+    double busy_total = window * (1.0 - activity.idleFraction());
+
+    RefillGrant grant;
+    grant.usableIdleNs =
+        usableIdleAfter(activity, 0.0, reentry_overhead_ns);
+
+    // The prioritized part runs first, occupying the head of the
+    // window and displacing any demand bursts it overlaps.
+    double prioritized = 0.0;
+    switch (policy) {
+    case FairnessPolicy::Fcfs:
+        prioritized = 0.0;
+        break;
+    case FairnessPolicy::RngPriority:
+        prioritized = needed_ns;
+        break;
+    case FairnessPolicy::BufferedFair:
+        prioritized = urgent_ns;
+        break;
+    }
+    prioritized = std::min(prioritized, window);
+    grant.urgentNs = prioritized;
+    grant.stolenBusyNs = busyOverlap(activity, prioritized);
+
+    // The remainder queues FCFS-style behind demand traffic in the
+    // idle gaps after the prioritized prefix.
+    double remainder = needed_ns - prioritized;
+    double idle_budget =
+        usableIdleAfter(activity, prioritized, reentry_overhead_ns);
+    grant.grantedNs = prioritized + std::min(remainder, idle_budget);
+
+    grant.memSlowdown =
+        busy_total > 0.0 ? grant.stolenBusyNs / busy_total : 0.0;
+    return grant;
+}
+
 std::vector<WorkloadTrngResult>
 runSystemStudy(double iteration_ns, double bits_per_iteration,
                unsigned channels, double window_ns, uint64_t seed)

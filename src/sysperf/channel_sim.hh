@@ -80,6 +80,62 @@ InjectionResult injectQuac(const ChannelActivity &activity,
                            double bits_per_iteration,
                            double reentry_overhead_ns = 20.0);
 
+/**
+ * How entropy-service refill traffic is arbitrated against regular
+ * memory traffic on the channel (DR-STRaNGe, Bostanci et al., HPCA
+ * 2022: an end-to-end DRAM-TRNG system must pick a fairness point
+ * between RNG starvation and memory slowdown).
+ */
+enum class FairnessPolicy
+{
+    /** Refill queues behind demand traffic: idle bandwidth only. */
+    Fcfs,
+    /** Refill preempts demand traffic until the need is met. */
+    RngPriority,
+    /**
+     * Refill normally uses idle bandwidth only, but buffer levels
+     * below the panic watermark escalate that part of the demand to
+     * RngPriority (DR-STRaNGe's buffered fairness point).
+     */
+    BufferedFair,
+};
+
+/** Display name ("fcfs", "rng-priority", "buffered-fair"). */
+const char *fairnessPolicyName(FairnessPolicy policy);
+
+/** Channel time granted to a refill request under a policy. */
+struct RefillGrant
+{
+    /** Channel time granted to RNG refill, in ns. */
+    double grantedNs = 0.0;
+    /**
+     * Prioritized prefix of the grant: channel time scheduled ahead
+     * of demand traffic (idle or not). Its demand overlap — the part
+     * actually taken from memory traffic — is stolenBusyNs.
+     */
+    double urgentNs = 0.0;
+    /** Idle time usable after re-entry overheads (FCFS budget). */
+    double usableIdleNs = 0.0;
+    /** Demand traffic displaced by prioritized refill. */
+    double stolenBusyNs = 0.0;
+    /** Slowdown charged to memory traffic: stolen / total busy. */
+    double memSlowdown = 0.0;
+};
+
+/**
+ * Arbitrate @p needed_ns of refill channel time against the demand
+ * traffic of @p activity under @p policy. @p urgent_ns is the part
+ * of the need below the service's panic watermark (only meaningful
+ * for BufferedFair, which escalates exactly that part); prioritized
+ * refill occupies the head of the window, displacing overlapped
+ * demand bursts, while FCFS-style refill pays @p reentry_overhead_ns
+ * per idle gap like injectQuac().
+ */
+RefillGrant grantRefill(const ChannelActivity &activity,
+                        double needed_ns, FairnessPolicy policy,
+                        double urgent_ns = 0.0,
+                        double reentry_overhead_ns = 20.0);
+
 /** Fig 12 datapoint: a workload's TRNG throughput on 4 channels. */
 struct WorkloadTrngResult
 {

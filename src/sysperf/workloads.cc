@@ -1,5 +1,9 @@
 #include "sysperf/workloads.hh"
 
+#include <string>
+
+#include "common/error.hh"
+
 namespace quac::sysperf
 {
 
@@ -37,6 +41,71 @@ spec2006Profiles()
         {"xalancbmk", 0.24, 70.0},
     };
     return profiles;
+}
+
+double
+ServiceScenario::demandBytesPerMs() const
+{
+    double demand = 0.0;
+    for (const EntropyClientClass &cls : clientClasses)
+        demand += cls.demandBytesPerMs();
+    return demand;
+}
+
+unsigned
+ServiceScenario::totalClients() const
+{
+    unsigned total = 0;
+    for (const EntropyClientClass &cls : clientClasses)
+        total += cls.clients;
+    return total;
+}
+
+const std::vector<ServiceScenario> &
+serviceScenarios()
+{
+    // Memory-traffic profiles reuse the SPEC intensity classes; the
+    // client mixes span the design space DR-STRaNGe studies: latency
+    // -critical small requests (session keys, nonces), standard mixed
+    // traffic, and bulk buffer-only consumers (disk wipe, dataset
+    // seeding) that must yield to everyone else. Demand rates are
+    // sized against one DDR4-2400 channel's ~3.7 Gb/s busy-channel
+    // QUAC rate, so the heavier scenarios genuinely contend with the
+    // co-runner for refill bandwidth.
+    static const std::vector<ServiceScenario> scenarios = {
+        {"idle-desktop",
+         {"desktop", 0.05, 70.0},
+         {{"keys", 16, 32, 1.0, 0},
+          {"apps", 32, 64, 0.5, 1}}},
+        {"web-keyserver",
+         {"web", 0.25, 90.0},
+         {{"tls-handshakes", 4000, 48, 1.5, 0},
+          {"session-tokens", 2000, 16, 2.0, 1}}},
+        {"mixed-datacenter",
+         {"datacenter", 0.45, 120.0},
+         {{"tls-handshakes", 1000, 48, 1.5, 0},
+          {"montecarlo", 64, 4096, 0.2, 1},
+          {"bulk-seeding", 4, 65536, 0.2, 2}}},
+        {"memory-bound-corun",
+         {"lbm-like", 0.65, 160.0},
+         {{"keys", 512, 32, 2.0, 0},
+          {"bulk-wipe", 2, 65536, 1.5, 2}}},
+    };
+    return scenarios;
+}
+
+const ServiceScenario &
+serviceScenario(const std::string &name)
+{
+    std::string known;
+    for (const ServiceScenario &scenario : serviceScenarios()) {
+        if (scenario.name == name)
+            return scenario;
+        known += known.empty() ? "" : ", ";
+        known += scenario.name;
+    }
+    fatal("unknown service scenario '%s' (known: %s)", name.c_str(),
+          known.c_str());
 }
 
 } // namespace quac::sysperf

@@ -1,20 +1,31 @@
 /**
  * @file
- * SPEC CPU2006 workload memory-behaviour profiles for the system
- * performance study (paper Section 7.3, Fig 12).
+ * Workload profiles for the system performance studies.
  *
- * The original experiment replays licensed SPEC2006 memory traces in
- * Ramulator. We substitute synthetic traces parameterized by each
- * workload's published memory-bandwidth intensity class: what
- * matters for Fig 12 is each workload's *channel idle fraction* and
- * the burstiness of its accesses, which these profiles reproduce
- * (memory-bound mcf/lbm/libquantum leave little idle bandwidth;
- * compute-bound namd/sjeng leave the channel almost free).
+ * Two families:
+ *
+ *  - SPEC CPU2006 memory-behaviour profiles (paper Section 7.3,
+ *    Fig 12). The original experiment replays licensed SPEC2006
+ *    memory traces in Ramulator; we substitute synthetic traces
+ *    parameterized by each workload's published memory-bandwidth
+ *    intensity class: what matters for Fig 12 is each workload's
+ *    *channel idle fraction* and the burstiness of its accesses,
+ *    which these profiles reproduce (memory-bound mcf/lbm/libquantum
+ *    leave little idle bandwidth; compute-bound namd/sjeng leave the
+ *    channel almost free).
+ *
+ *  - Entropy-service scenarios: end-to-end workloads for the sharded
+ *    entropy service, each pairing a co-running memory-traffic
+ *    profile with a population of entropy clients (class, count,
+ *    request size, request rate). These drive the service's refill
+ *    scheduler instead of the ad-hoc fixed-demand study the Fig 12
+ *    path uses.
  */
 
 #ifndef QUAC_SYSPERF_WORKLOADS_HH
 #define QUAC_SYSPERF_WORKLOADS_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -33,6 +44,57 @@ struct WorkloadProfile
 
 /** The 23 SPEC2006 workloads of Fig 12, in the figure's order. */
 const std::vector<WorkloadProfile> &spec2006Profiles();
+
+/**
+ * One class of entropy-service clients: how many, what they ask
+ * for, and how often. Priority maps onto the service's request
+ * classes (0 = interactive, 1 = standard, 2 = bulk/buffer-only).
+ */
+struct EntropyClientClass
+{
+    std::string name;
+    unsigned clients = 1;
+    /** Bytes per request. */
+    size_t requestBytes = 64;
+    /** Requests per millisecond per client. */
+    double requestsPerMs = 1.0;
+    /** 0 interactive, 1 standard, 2 bulk. */
+    unsigned priority = 1;
+
+    /** Aggregate demand of the class in bytes per millisecond. */
+    double
+    demandBytesPerMs() const
+    {
+        return static_cast<double>(clients) *
+               static_cast<double>(requestBytes) * requestsPerMs;
+    }
+};
+
+/**
+ * An end-to-end entropy-service scenario: the memory traffic the
+ * refill work must coexist with, plus the client population that
+ * drains the service buffers.
+ */
+struct ServiceScenario
+{
+    std::string name;
+    WorkloadProfile memoryTraffic;
+    std::vector<EntropyClientClass> clientClasses;
+
+    /** Total entropy demand in bytes per millisecond. */
+    double demandBytesPerMs() const;
+    /** Total number of clients across all classes. */
+    unsigned totalClients() const;
+};
+
+/**
+ * The entropy-service scenario set: client mixes from nearly-idle
+ * desktops to a key-server under memory-bound co-runners.
+ */
+const std::vector<ServiceScenario> &serviceScenarios();
+
+/** Scenario by name (fatal if unknown; names listed in the error). */
+const ServiceScenario &serviceScenario(const std::string &name);
 
 } // namespace quac::sysperf
 

@@ -118,6 +118,41 @@ class ChunkedCountingTrng : public CountingTrng
     size_t chunk_;
 };
 
+/** Counting generator that records preferredChunkBytes() calls. */
+class LazyProbeTrng : public CountingTrng
+{
+  public:
+    size_t
+    preferredChunkBytes() override
+    {
+        ++chunkQueries_;
+        return 16;
+    }
+
+    uint64_t chunkQueries() const { return chunkQueries_; }
+
+  private:
+    uint64_t chunkQueries_ = 0;
+};
+
+TEST(RngService, ChunkQueryDeferredToFirstRefill)
+{
+    // preferredChunkBytes may run the generator's one-time
+    // characterization (QuacTrng::setup); the service must not
+    // trigger it at construction, exactly like the original
+    // implementation, so callers can still adjust module state
+    // between construction and first refill.
+    LazyProbeTrng source;
+    RngService service(source, {.capacityBytes = 64,
+                                .refillWatermark = 0.5});
+    EXPECT_EQ(source.chunkQueries(), 0u);
+    uint8_t out[8];
+    service.request(out, 8); // synchronous misses don't need it
+    EXPECT_EQ(source.chunkQueries(), 0u);
+    service.refillIfBelowWatermark();
+    EXPECT_GT(source.chunkQueries(), 0u);
+}
+
 TEST(RngService, RefillPullsWholeIterations)
 {
     ChunkedCountingTrng source(48);

@@ -234,6 +234,30 @@ TEST(QuacTrng, OracleCacheIsBitIdentical)
     EXPECT_EQ(cached.generate(512), uncached.generate(512));
 }
 
+TEST(QuacTrng, SaturationFastPathIsBitIdentical)
+{
+    // The saturation fast-path skips the Phi batch for whole-row
+    // tail setups (the RowClone-init resolves); generated bytes must
+    // not change, and the fast-path must actually fire every
+    // iteration on the four raced init copies per bank.
+    dram::ModuleSpec fast_spec = testSpec(13);
+    dram::ModuleSpec full_spec = testSpec(13);
+    full_spec.saturationFastPath = false;
+    dram::DramModule fast_module(std::move(fast_spec));
+    dram::DramModule full_module(std::move(full_spec));
+    QuacTrng fast(fast_module, testConfig());
+    QuacTrng full(full_module, testConfig());
+    EXPECT_EQ(fast.generate(512), full.generate(512));
+
+    uint64_t fired = 0;
+    for (const auto &plan : fast.plans())
+        fired += fast_module.bank(plan.bank).saturatedRowFastPaths();
+    EXPECT_GE(fired, 4u * fast.plans().size() * fast.iterations());
+    for (const auto &plan : full.plans())
+        EXPECT_EQ(full_module.bank(plan.bank).saturatedRowFastPaths(),
+                  0u);
+}
+
 TEST(QuacTrng, PreferredChunkMatchesIterationOutput)
 {
     dram::DramModule module(testSpec());

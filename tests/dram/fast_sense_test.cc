@@ -168,6 +168,114 @@ TEST(FastSense, DegenerateFastExitsAreConstantAcrossTrials)
     EXPECT_GT(degenerate, nbits / 2);
 }
 
+ModuleSpec
+specWithSaturation(bool saturation)
+{
+    ModuleSpec spec = specWithSense(true);
+    spec.saturationFastPath = saturation;
+    return spec;
+}
+
+/** Fill @p row with a deterministic pseudo-random bit pattern. */
+void
+pokeNoiseRow(Bank &bank, uint32_t row, uint32_t nbits, uint64_t salt)
+{
+    for (uint32_t b = 0; b < nbits; ++b) {
+        uint64_t h = (salt + b) * 0x9E3779B97F4A7C15ULL;
+        bank.pokeCell(row, b, (h >> 61) & 1);
+    }
+}
+
+TEST(SaturationFastPath, RowCloneCopyBitIdenticalAndCounted)
+{
+    // RowClone from a constant source row onto random destination
+    // contents: the full-rail residual saturates every bitline, so
+    // the fast-path row must equal the full Phi batch's bit for bit
+    // -- and leave the noise stream untouched either way.
+    DramModule with(specWithSaturation(true));
+    DramModule without(specWithSaturation(false));
+    uint32_t nbits = with.geometry().bitlinesPerRow;
+
+    std::vector<std::vector<uint64_t>> rows;
+    for (DramModule *module : {&with, &without}) {
+        softmc::SoftMcHost host(*module);
+        host.writeRowFill(0, 8, true); // all-ones source (segment 2)
+        pokeNoiseRow(module->bank(0), 16, nbits, 99); // dst, segment 4
+        host.rowCloneCopy(0, 8, 16);
+        rows.push_back(module->bank(0).peekRow(16));
+        // A follow-up metastable QUAC proves the noise streams are
+        // still aligned after the (draw-free) saturated resolve.
+        std::vector<uint64_t> quac_row(module->geometry().wordsPerRow());
+        runQuac(*module, host, 9, 0b1110, quac_row);
+        rows.push_back(quac_row);
+    }
+    EXPECT_EQ(rows[0], rows[2]) << "RowClone rows differ";
+    EXPECT_EQ(rows[1], rows[3]) << "post-RowClone QUAC rows differ";
+    EXPECT_EQ(rows[0], with.bank(0).peekRow(8))
+        << "RowClone must have copied the constant source";
+
+    EXPECT_GT(with.bank(0).saturatedRowFastPaths(), 0u);
+    EXPECT_EQ(without.bank(0).saturatedRowFastPaths(), 0u);
+}
+
+TEST(SaturationFastPath, SaturatedProbabilityRowsAreExactConstants)
+{
+    DramModule with(specWithSaturation(true));
+    DramModule without(specWithSaturation(false));
+    uint32_t nbits = with.geometry().bitlinesPerRow;
+
+    // Full-rail all-ones residual racing an unwritten row: every
+    // bitline lands >= saturationZ sigma into the 1 tail.
+    std::vector<uint64_t> ones(with.geometry().wordsPerRow(),
+                               ~uint64_t{0});
+    std::vector<uint64_t> zeros(with.geometry().wordsPerRow(), 0);
+    for (uint32_t row : {20u, 21u}) {
+        auto pw = with.bank(0).racedActivateProbabilities(row, ones,
+                                                          2.5);
+        auto pn = without.bank(0).racedActivateProbabilities(row, ones,
+                                                             2.5);
+        ASSERT_EQ(pw.size(), nbits);
+        EXPECT_EQ(pw, pn);
+        for (uint32_t b = 0; b < nbits; ++b)
+            ASSERT_EQ(pw[b], 1.0f) << "bitline " << b;
+
+        auto zw = with.bank(0).racedActivateProbabilities(row, zeros,
+                                                          2.5);
+        for (uint32_t b = 0; b < nbits; ++b)
+            ASSERT_EQ(zw[b], 0.0f) << "bitline " << b;
+    }
+    EXPECT_GT(with.bank(0).saturatedRowFastPaths(), 0u);
+
+    // A balanced QUAC is metastable: the fast-path must not fire.
+    uint64_t fired = with.bank(0).saturatedRowFastPaths();
+    with.bank(0).pokeSegmentPattern(6, 0b1110);
+    auto quac = with.bank(0).quacProbabilities(6);
+    EXPECT_EQ(with.bank(0).saturatedRowFastPaths(), fired);
+    bool metastable = false;
+    for (float p : quac)
+        metastable = metastable || (p > 0.0f && p < 1.0f);
+    EXPECT_TRUE(metastable);
+}
+
+TEST(SaturationFastPath, UncachedOracleScansOffsetsAndStaysIdentical)
+{
+    // The fast-path must also work (and stay bit-identical) when the
+    // variation-oracle row cache is disabled and the max |offset| is
+    // computed by scanning the scratch row.
+    ModuleSpec spec_on = specWithSaturation(true);
+    spec_on.oracleCache = false;
+    ModuleSpec spec_off = specWithSaturation(false);
+    DramModule with(std::move(spec_on));
+    DramModule without(std::move(spec_off));
+
+    std::vector<uint64_t> ones(with.geometry().wordsPerRow(),
+                               ~uint64_t{0});
+    auto pw = with.bank(2).racedActivateProbabilities(33, ones, 2.5);
+    auto pn = without.bank(2).racedActivateProbabilities(33, ones, 2.5);
+    EXPECT_EQ(pw, pn);
+    EXPECT_GT(with.bank(2).saturatedRowFastPaths(), 0u);
+}
+
 TEST(SenseCacheEviction, SecondChanceKeepsHotEntry)
 {
     DramModule module(specWithSense(true));

@@ -133,6 +133,94 @@ TEST(Injection, RejectsBadParameters)
     EXPECT_THROW(injectQuac(activity, 100.0, 0.0), PanicError);
 }
 
+TEST(RefillGrantTest, FcfsMatchesInjectQuacIdleBudget)
+{
+    WorkloadProfile profile{"busy", 0.5, 100.0};
+    auto activity = ChannelActivity::generate(profile, 1.0e6, 13);
+
+    // With iteration_ns = 1 and 1 bit per iteration, injectQuac's
+    // iteration count IS the usable idle time in ns; FCFS grants
+    // must draw from exactly that budget.
+    InjectionResult inject = injectQuac(activity, 1.0, 1.0, 20.0);
+    RefillGrant grant = grantRefill(activity, 1.0e9,
+                                    FairnessPolicy::Fcfs, 0.0, 20.0);
+    EXPECT_NEAR(grant.usableIdleNs, inject.iterations, 1e-6);
+    EXPECT_NEAR(grant.grantedNs, grant.usableIdleNs, 1e-6);
+    EXPECT_EQ(grant.stolenBusyNs, 0.0);
+    EXPECT_EQ(grant.memSlowdown, 0.0);
+
+    // A small need is granted in full from idle time.
+    RefillGrant small = grantRefill(activity, 500.0,
+                                    FairnessPolicy::Fcfs, 0.0, 20.0);
+    EXPECT_NEAR(small.grantedNs, 500.0, 1e-9);
+}
+
+TEST(RefillGrantTest, PriorityStealsExactlyTheOverlappedBusyTime)
+{
+    WorkloadProfile profile{"busy", 0.5, 100.0};
+    auto activity = ChannelActivity::generate(profile, 1.0e6, 13);
+
+    double needed = 3.0e5;
+    RefillGrant grant = grantRefill(
+        activity, needed, FairnessPolicy::RngPriority, 0.0, 20.0);
+    EXPECT_NEAR(grant.grantedNs, needed, 1e-9)
+        << "priority refill is never starved below the window";
+    EXPECT_GT(grant.stolenBusyNs, 0.0);
+    EXPECT_LE(grant.stolenBusyNs, needed);
+    EXPECT_GT(grant.memSlowdown, 0.0);
+    EXPECT_LE(grant.memSlowdown, 1.0);
+
+    // Stealing grows monotonically with the prioritized need.
+    RefillGrant more = grantRefill(
+        activity, 2.0 * needed, FairnessPolicy::RngPriority, 0.0, 20.0);
+    EXPECT_GE(more.stolenBusyNs, grant.stolenBusyNs);
+}
+
+TEST(RefillGrantTest, BufferedFairSitsBetweenFcfsAndPriority)
+{
+    WorkloadProfile profile{"busy", 0.6, 120.0};
+    auto activity = ChannelActivity::generate(profile, 1.0e6, 29);
+
+    double needed = 8.0e5;
+    double urgent = 1.0e5;
+    RefillGrant fcfs = grantRefill(activity, needed,
+                                   FairnessPolicy::Fcfs, urgent, 20.0);
+    RefillGrant fair = grantRefill(
+        activity, needed, FairnessPolicy::BufferedFair, urgent, 20.0);
+    RefillGrant prio = grantRefill(
+        activity, needed, FairnessPolicy::RngPriority, urgent, 20.0);
+
+    EXPECT_GE(fair.grantedNs, fcfs.grantedNs - 1e-6);
+    EXPECT_LE(fair.grantedNs, prio.grantedNs + 1e-6);
+    EXPECT_GE(fair.stolenBusyNs, 0.0);
+    EXPECT_LE(fair.stolenBusyNs, prio.stolenBusyNs + 1e-6);
+    // Only the urgent part runs at demand expense.
+    EXPECT_LE(fair.stolenBusyNs, urgent + 1e-6);
+    EXPECT_EQ(fcfs.stolenBusyNs, 0.0);
+}
+
+TEST(RefillGrantTest, ZeroNeedGrantsNothing)
+{
+    WorkloadProfile profile{"busy", 0.3, 80.0};
+    auto activity = ChannelActivity::generate(profile, 1.0e5, 3);
+    for (auto policy : {FairnessPolicy::Fcfs,
+                        FairnessPolicy::RngPriority,
+                        FairnessPolicy::BufferedFair}) {
+        RefillGrant grant = grantRefill(activity, 0.0, policy);
+        EXPECT_EQ(grant.grantedNs, 0.0) << fairnessPolicyName(policy);
+        EXPECT_EQ(grant.stolenBusyNs, 0.0);
+    }
+}
+
+TEST(RefillGrantTest, PolicyNames)
+{
+    EXPECT_STREQ(fairnessPolicyName(FairnessPolicy::Fcfs), "fcfs");
+    EXPECT_STREQ(fairnessPolicyName(FairnessPolicy::RngPriority),
+                 "rng-priority");
+    EXPECT_STREQ(fairnessPolicyName(FairnessPolicy::BufferedFair),
+                 "buffered-fair");
+}
+
 TEST(SystemStudy, Figure12Shape)
 {
     // Per-channel iteration of ~1954 ns producing 1792 bits
