@@ -124,6 +124,40 @@ BM_Sha256_8KB(benchmark::State &state)
 }
 BENCHMARK(BM_Sha256_8KB);
 
+/**
+ * The scalar-vs-SHA-NI compression pair: the same hashes with the
+ * hardware path forced off and on. BM_Sha256_ShaNi falls back to the
+ * scalar rounds (and reports hw_available = 0) on hosts without the
+ * SHA extensions.
+ */
+void
+sha256PathBench(benchmark::State &state, bool hw)
+{
+    bool prev = Sha256::setHwEnabled(hw);
+    std::vector<uint8_t> data(8192, 0xCD);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Sha256::hash(data));
+    Sha256::setHwEnabled(prev);
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 8192);
+    state.counters["hw_available"] =
+        Sha256::hwAvailable() ? 1.0 : 0.0;
+}
+
+void
+BM_Sha256_Scalar(benchmark::State &state)
+{
+    sha256PathBench(state, false);
+}
+BENCHMARK(BM_Sha256_Scalar);
+
+void
+BM_Sha256_ShaNi(benchmark::State &state)
+{
+    sha256PathBench(state, true);
+}
+BENCHMARK(BM_Sha256_ShaNi);
+
 // ---------------------------------------------------------- block read
 
 void
@@ -463,8 +497,50 @@ BM_ServiceMultiClient(benchmark::State &state)
         static_cast<int64_t>(state.iterations()) *
         static_cast<int64_t>(nclients * requests_per_client *
                              request_bytes));
+    // Per-client delivered rate: the contended-throughput figure a
+    // multi-core host should record (aggregate bytes/s divided by
+    // the client count tells how much each client keeps under
+    // contention).
+    state.counters["client_bytes_per_second"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(requests_per_client * request_bytes),
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ServiceMultiClient)->Arg(1)->Arg(4)->Arg(16);
+
+/**
+ * Modelled request-latency distribution: timestamped requests whose
+ * inter-arrival outpaces the periodic refill, so the latency model
+ * sees the hit/miss mix and queueing the fig12 latency study
+ * reports. The p50/p95/p99 land in the JSON output as counters.
+ */
+void
+BM_ServiceRequestLatency(benchmark::State &state)
+{
+    CountingTrng backend(4096);
+    service::EntropyService svc({&backend},
+                                {.shardCapacityBytes = 1 << 14,
+                                 .refillWatermark = 0.5});
+    auto client = svc.connect("timed");
+    uint8_t out[64];
+    double now = 0.0;
+    uint64_t n = 0;
+    for (auto _ : state) {
+        if ((n++ & 255) == 0)
+            svc.refillTick(8192);
+        benchmark::DoNotOptimize(
+            client.requestAt(out, sizeof(out), now));
+        now += 100.0;
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(sizeof(out)));
+    service::LatencyDistribution dist =
+        svc.latencySnapshot(service::Priority::Standard);
+    state.counters["latency_p50_ns"] = dist.p50Ns();
+    state.counters["latency_p95_ns"] = dist.p95Ns();
+    state.counters["latency_p99_ns"] = dist.p99Ns();
+}
+BENCHMARK(BM_ServiceRequestLatency);
 
 // -------------------------------------------------- sensing kernels
 
@@ -791,6 +867,9 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter
         double bytesPerSecond = 0.0;
         double itemsPerSecond = 0.0;
         int64_t iterations = 0;
+        /** Every other user counter (latency percentiles, per-client
+         * rates, ...), in iteration order. */
+        std::vector<std::pair<std::string, double>> counters;
     };
 
     void
@@ -802,12 +881,14 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter
             Result r;
             r.name = run.benchmark_name();
             r.nsPerOp = run.GetAdjustedRealTime();
-            auto bytes = run.counters.find("bytes_per_second");
-            if (bytes != run.counters.end())
-                r.bytesPerSecond = bytes->second;
-            auto items = run.counters.find("items_per_second");
-            if (items != run.counters.end())
-                r.itemsPerSecond = items->second;
+            for (const auto &[name, counter] : run.counters) {
+                if (name == "bytes_per_second")
+                    r.bytesPerSecond = counter;
+                else if (name == "items_per_second")
+                    r.itemsPerSecond = counter;
+                else
+                    r.counters.emplace_back(name, counter);
+            }
             r.iterations = static_cast<int64_t>(run.iterations);
             results.push_back(std::move(r));
         }
@@ -834,10 +915,13 @@ writeJsonResults(const std::string &path,
                      "    {\"name\": \"%s\", \"ns_per_op\": %.4f, "
                      "\"bytes_per_second\": %.1f, "
                      "\"items_per_second\": %.1f, "
-                     "\"iterations\": %lld}%s\n",
+                     "\"iterations\": %lld",
                      r.name.c_str(), r.nsPerOp, r.bytesPerSecond,
                      r.itemsPerSecond,
-                     static_cast<long long>(r.iterations),
+                     static_cast<long long>(r.iterations));
+        for (const auto &[name, value] : r.counters)
+            std::fprintf(f, ", \"%s\": %.4f", name.c_str(), value);
+        std::fprintf(f, "}%s\n",
                      i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

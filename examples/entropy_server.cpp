@@ -8,11 +8,21 @@
  * loop tops the shards up with idle DRAM bandwidth under a selectable
  * DR-STRaNGe fairness policy.
  *
+ * The refill loop runs per memory channel: shards are placed across
+ * --channels channels (heterogeneous co-runners via corunnerMix),
+ * each channel arbitrates its own granted time, and --rebalance lets
+ * persistently starved shards migrate to channels with headroom.
+ * Requests are timestamped in simulated channel time, so the demo
+ * also reports the modelled end-to-end latency distribution per
+ * priority class (DR-STRaNGe's request-latency view).
+ *
  *   ./entropy_server [--scenario web-keyserver]
  *                    [--policy buffered-fair|fcfs|rng-priority]
  *                    [--modules 2] [--ticks 200] [--capacity 16384]
+ *                    [--channels 2] [--rebalance]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -24,6 +34,7 @@
 #include "core/trng.hh"
 #include "dram/catalog.hh"
 #include "service/refill_scheduler.hh"
+#include "sysperf/channel_sim.hh"
 #include "sysperf/workloads.hh"
 
 using namespace quac;
@@ -68,7 +79,8 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv,
-                 {"scenario", "policy", "modules", "ticks", "capacity"});
+                 {"scenario", "policy", "modules", "ticks", "capacity",
+                  "channels", "rebalance"});
     const sysperf::ServiceScenario &scenario = sysperf::serviceScenario(
         args.getString("scenario", "web-keyserver"));
     sysperf::FairnessPolicy policy =
@@ -76,6 +88,9 @@ main(int argc, char **argv)
     size_t nmodules = args.getUint("modules", 2);
     uint64_t ticks = args.getUint("ticks", 200);
     size_t capacity = args.getUint("capacity", 16384);
+    unsigned channels =
+        static_cast<unsigned>(args.getUint("channels", 2));
+    bool rebalance = args.getBool("rebalance");
 
     // One QUAC-TRNG per simulated module (test-scale geometry keeps
     // the demo snappy; the service layer is geometry-agnostic).
@@ -111,18 +126,27 @@ main(int argc, char **argv)
                                  .panicWatermark = 0.25});
     svc.refillBelowWatermark();
 
-    service::RefillSchedulerConfig rcfg;
+    service::MultiChannelRefillConfig rcfg;
+    rcfg.topology.channels = channels;
     rcfg.policy = policy;
     rcfg.tickNs = 1.0e5; // 0.1 ms
-    service::RefillScheduler scheduler(svc, scenario.memoryTraffic,
-                                       rcfg);
+    rcfg.rebalance = rebalance;
+    rcfg.installLatencyCost = true;
+    std::vector<sysperf::WorkloadProfile> traffic =
+        sysperf::corunnerMix(scenario.memoryTraffic, channels);
+    service::MultiChannelRefillScheduler scheduler(svc, traffic, rcfg);
 
-    std::printf("\nScenario '%s': %u clients over %zu shards, "
-                "policy %s, co-runner '%s' (%.0f%% channel busy)\n",
+    std::printf("\nScenario '%s': %u clients over %zu shards on %u "
+                "channels, policy %s, rebalance %s\n",
                 scenario.name.c_str(), scenario.totalClients(),
-                svc.shardCount(), sysperf::fairnessPolicyName(policy),
-                scenario.memoryTraffic.name.c_str(),
-                100.0 * scenario.memoryTraffic.busUtilization);
+                svc.shardCount(), channels,
+                sysperf::fairnessPolicyName(policy),
+                rebalance ? "on" : "off");
+    for (unsigned c = 0; c < channels; ++c) {
+        std::printf("  channel %u co-runner '%s' (%.0f%% busy)\n", c,
+                    traffic[c].name.c_str(),
+                    100.0 * traffic[c].busUtilization);
+    }
 
     std::vector<DrivenClient> clients;
     for (const auto &cls : scenario.clientClasses) {
@@ -134,19 +158,44 @@ main(int argc, char **argv)
         }
     }
 
-    // Drive: each tick every client issues its share of requests,
-    // then the controller refills with whatever the policy grants.
+    // Drive: each tick every client issues its share of requests
+    // (timestamped in simulated channel time, spread across the
+    // tick), then the controller refills with whatever each
+    // channel's policy grants. Requests are merged into arrival
+    // order before issuing so the latency model's per-shard queue
+    // only ever charges a request for work that arrived before it.
     std::vector<uint8_t> sink(1 << 20);
     const double tick_ms = rcfg.tickNs * 1e-6;
+    struct Arrival
+    {
+        double at;
+        size_t client;
+    };
+    std::vector<Arrival> arrivals;
     for (uint64_t t = 0; t < ticks; ++t) {
-        for (DrivenClient &client : clients) {
+        double tick_start = static_cast<double>(t) * rcfg.tickNs;
+        arrivals.clear();
+        for (size_t i = 0; i < clients.size(); ++i) {
+            DrivenClient &client = clients[i];
             client.pendingRequests +=
                 client.cls->requestsPerMs * tick_ms;
-            while (client.pendingRequests >= 1.0) {
-                client.handle.request(sink.data(),
-                                      client.cls->requestBytes);
-                client.pendingRequests -= 1.0;
+            unsigned n = static_cast<unsigned>(client.pendingRequests);
+            for (unsigned j = 0; j < n; ++j) {
+                arrivals.push_back(
+                    {tick_start + (j + 0.5) * rcfg.tickNs / n, i});
             }
+            client.pendingRequests -= n;
+        }
+        std::sort(arrivals.begin(), arrivals.end(),
+                  [](const Arrival &a, const Arrival &b) {
+                      return a.at != b.at ? a.at < b.at
+                                          : a.client < b.client;
+                  });
+        for (const Arrival &arrival : arrivals) {
+            DrivenClient &client = clients[arrival.client];
+            client.handle.requestAt(sink.data(),
+                                    client.cls->requestBytes,
+                                    arrival.at);
         }
         scheduler.tick();
     }
@@ -183,6 +232,49 @@ main(int argc, char **argv)
     }
     table.print();
 
+    // Modelled end-to-end latency per priority class.
+    Table latency({"priority", "requests", "p50 ns", "p95 ns",
+                   "p99 ns", "max ns"});
+    for (auto priority : {service::Priority::Interactive,
+                          service::Priority::Standard,
+                          service::Priority::Bulk}) {
+        service::LatencyDistribution dist =
+            svc.latencySnapshot(priority);
+        if (dist.count() == 0)
+            continue;
+        latency.addRow({service::priorityName(priority),
+                        std::to_string(dist.count()),
+                        Table::num(dist.p50Ns(), 0),
+                        Table::num(dist.p95Ns(), 0),
+                        Table::num(dist.p99Ns(), 0),
+                        Table::num(dist.maxNs(), 0)});
+    }
+    std::printf("\nModelled request latency:\n");
+    latency.print();
+
+    // Per-channel refill accounting.
+    Table per_channel({"channel", "co-runner", "refill Gb/s",
+                       "granted/needed", "mem slowdown", "shards"});
+    for (unsigned c = 0; c < channels; ++c) {
+        const service::RefillAccounting &ch = scheduler.channelTotal(c);
+        size_t shards_on = 0;
+        for (size_t s = 0; s < svc.shardCount(); ++s) {
+            if (scheduler.placement().channelOfShard[s] == c)
+                ++shards_on;
+        }
+        per_channel.addRow(
+            {std::to_string(c), traffic[c].name,
+             Table::num(ch.refillGbps(), 3),
+             Table::num(ch.neededNs > 0.0
+                            ? ch.grantedNs / ch.neededNs
+                            : 1.0,
+                        3),
+             Table::num(ch.memSlowdown(), 3),
+             std::to_string(shards_on)});
+    }
+    std::printf("\nPer-channel refill:\n");
+    per_channel.print();
+
     const service::RefillAccounting &acct = scheduler.total();
     std::printf("\nRefill loop over %.1f ms of channel time:\n",
                 acct.modeledNs * 1e-6);
@@ -193,9 +285,12 @@ main(int argc, char **argv)
                 "us)\n",
                 acct.grantedNs * 1e-3, acct.neededNs * 1e-3,
                 acct.usableIdleNs * 1e-3);
-    std::printf("  memory-traffic slowdown: %.3f (policy %s)\n",
+    std::printf("  memory-traffic slowdown: %.3f (policy %s), "
+                "%llu shard migrations\n",
                 acct.memSlowdown(),
-                sysperf::fairnessPolicyName(policy));
+                sysperf::fairnessPolicyName(policy),
+                static_cast<unsigned long long>(
+                    scheduler.migrations()));
     std::printf("  service: %llu requests, %llu hits, %llu sync "
                 "fills, %llu bytes refilled\n",
                 static_cast<unsigned long long>(svc.requestsServed()),

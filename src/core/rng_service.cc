@@ -47,6 +47,19 @@ RngService::request(size_t len)
     return client_.request(len);
 }
 
+RngService::TimedRequest
+RngService::requestAt(uint8_t *out, size_t len, double now_ns)
+{
+    service::RequestResult result = client_.requestAt(out, len, now_ns);
+    return {result.hit, result.modeledLatencyNs};
+}
+
+service::LatencyDistribution
+RngService::latencyDistribution() const
+{
+    return service_.latencySnapshot(service::Priority::Standard);
+}
+
 size_t
 RngService::refillIfBelowWatermark()
 {

@@ -52,6 +52,27 @@ class RngService
     /** Convenience byte-vector request. */
     std::vector<uint8_t> request(size_t len);
 
+    /** Outcome of a timestamped request. */
+    struct TimedRequest
+    {
+        /** Served entirely from the buffer. */
+        bool hit = false;
+        /** Modelled end-to-end latency in simulated ns. */
+        double latencyNs = 0.0;
+    };
+
+    /**
+     * Timestamped request at @p now_ns of the caller's simulated
+     * clock: served bytes are identical to request(), and the
+     * modelled end-to-end latency (buffer read vs synchronous
+     * generation, queued behind earlier misses) is returned and
+     * recorded into latencyDistribution().
+     */
+    TimedRequest requestAt(uint8_t *out, size_t len, double now_ns);
+
+    /** Modelled latency distribution of the timestamped requests. */
+    service::LatencyDistribution latencyDistribution() const;
+
     /**
      * Background top-up, as the controller would do with idle DRAM
      * bandwidth. When at or below the watermark, refills to capacity

@@ -1,6 +1,22 @@
 #include "crypto/sha256.hh"
 
+#include <atomic>
 #include <cstring>
+
+#include "common/vec_clones.hh"
+
+/**
+ * SHA-NI support guard, mirroring vec_clones.hh: x86-64 with the
+ * target attribute and __builtin_cpu_supports, and not a sanitizer
+ * build (keep instrumented binaries on the plain scalar path).
+ */
+#if defined(__x86_64__) && defined(__has_attribute) && \
+    !defined(QUAC_SANITIZED)
+#if __has_attribute(target) && __has_include(<immintrin.h>)
+#define QUAC_SHA_NI 1
+#include <immintrin.h>
+#endif
+#endif
 
 namespace quac
 {
@@ -38,7 +54,109 @@ rotr(uint32_t x, unsigned n)
     return (x >> n) | (x << (32 - n));
 }
 
+/** SHA-NI path toggle (process-global; benches/tests flip it). */
+std::atomic<bool> shaNiEnabled{true};
+
+#ifdef QUAC_SHA_NI
+
+/** Round constants k[4g..4g+3] as one vector. */
+#define QUAC_SHA_K(g)                                                \
+    _mm_loadu_si128(reinterpret_cast<const __m128i *>(               \
+        kRoundConstants.data() + 4 * (g)))
+
+/** Four rounds: two sha256rnds2 issues over the w+k vector. */
+#define QUAC_SHA_QROUND(wk)                                          \
+    do {                                                             \
+        __m128i wk_ = (wk);                                          \
+        cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk_);               \
+        wk_ = _mm_shuffle_epi32(wk_, 0x0E);                          \
+        abef = _mm_sha256rnds2_epu32(abef, cdgh, wk_);               \
+    } while (0)
+
+/** One 64-byte block through the CPU's SHA extensions. */
+__attribute__((target("sha,sse4.1"))) void
+processBlockShaNi(uint32_t *state, const uint8_t *block)
+{
+    const __m128i swap = _mm_set_epi64x(0x0C0D0E0F08090A0BULL,
+                                        0x0405060700010203ULL);
+
+    // Repack {a..d}, {e..h} into the ABEF/CDGH lane order the
+    // sha256rnds2 instruction expects.
+    __m128i abcd = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(state));
+    __m128i efgh = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(state + 4));
+    __m128i tmp = _mm_shuffle_epi32(abcd, 0xB1);
+    efgh = _mm_shuffle_epi32(efgh, 0x1B);
+    __m128i abef = _mm_alignr_epi8(tmp, efgh, 8);
+    __m128i cdgh = _mm_blend_epi16(efgh, tmp, 0xF0);
+
+    const __m128i abef_in = abef;
+    const __m128i cdgh_in = cdgh;
+
+    // Message schedule in a rotating 4-vector window: group g holds
+    // w[4g..4g+3]; groups 4..15 extend the schedule from the
+    // previous four groups before their rounds run.
+    __m128i m[4];
+    for (int g = 0; g < 4; ++g) {
+        m[g] = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                block + 16 * g)),
+            swap);
+        QUAC_SHA_QROUND(_mm_add_epi32(m[g], QUAC_SHA_K(g)));
+    }
+    for (int g = 4; g < 16; ++g) {
+        __m128i w = _mm_sha256msg1_epu32(m[g & 3], m[(g + 1) & 3]);
+        w = _mm_add_epi32(
+            w, _mm_alignr_epi8(m[(g + 3) & 3], m[(g + 2) & 3], 4));
+        w = _mm_sha256msg2_epu32(w, m[(g + 3) & 3]);
+        m[g & 3] = w;
+        QUAC_SHA_QROUND(_mm_add_epi32(w, QUAC_SHA_K(g)));
+    }
+
+    abef = _mm_add_epi32(abef, abef_in);
+    cdgh = _mm_add_epi32(cdgh, cdgh_in);
+
+    // Unpack ABEF/CDGH back to {a..d}, {e..h}.
+    tmp = _mm_shuffle_epi32(abef, 0x1B);
+    cdgh = _mm_shuffle_epi32(cdgh, 0xB1);
+    abcd = _mm_blend_epi16(tmp, cdgh, 0xF0);
+    efgh = _mm_alignr_epi8(cdgh, tmp, 8);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(state), abcd);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(state + 4), efgh);
+}
+
+#undef QUAC_SHA_QROUND
+#undef QUAC_SHA_K
+
+#endif // QUAC_SHA_NI
+
 } // anonymous namespace
+
+bool
+Sha256::hwAvailable()
+{
+#ifdef QUAC_SHA_NI
+    static const bool available = __builtin_cpu_supports("sha") &&
+                                  __builtin_cpu_supports("sse4.1");
+    return available;
+#else
+    return false;
+#endif
+}
+
+bool
+Sha256::setHwEnabled(bool enabled)
+{
+    return shaNiEnabled.exchange(enabled);
+}
+
+bool
+Sha256::hwEnabled()
+{
+    return hwAvailable() &&
+           shaNiEnabled.load(std::memory_order_relaxed);
+}
 
 Sha256::Sha256()
 {
@@ -118,6 +236,12 @@ Sha256::finish()
 void
 Sha256::processBlock(const uint8_t *block)
 {
+#ifdef QUAC_SHA_NI
+    if (hwEnabled()) {
+        processBlockShaNi(state_.data(), block);
+        return;
+    }
+#endif
     std::array<uint32_t, 64> w;
     for (int i = 0; i < 16; ++i) {
         w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |

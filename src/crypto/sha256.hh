@@ -19,12 +19,38 @@
 namespace quac
 {
 
-/** Incremental SHA-256 hasher. */
+/**
+ * Incremental SHA-256 hasher.
+ *
+ * The compression function has two implementations: the portable
+ * scalar rounds and an x86 SHA-NI path (the CPU's SHA extensions,
+ * one _mm_sha256rnds2 per two rounds). The hardware path is guarded
+ * like common/vec_clones.hh — x86-64 only, compiled out under the
+ * sanitizers — and selected at runtime via __builtin_cpu_supports,
+ * so the binary stays portable. SHA-NI cannot use target_clones
+ * directly (its body is intrinsics, not portable code the compiler
+ * could clone), hence the explicit two-function dispatch. Both paths
+ * are bit-identical; setHwEnabled(false) forces the scalar rounds
+ * for benchmarking and differential tests.
+ */
 class Sha256
 {
   public:
     /** The 32-byte digest type. */
     using Digest = std::array<uint8_t, 32>;
+
+    /** True when this build and CPU support the SHA-NI path. */
+    static bool hwAvailable();
+
+    /**
+     * Enable or disable the SHA-NI path (enabled by default when
+     * available). Returns the previous setting. Process-global, for
+     * benchmarks and differential tests.
+     */
+    static bool setHwEnabled(bool enabled);
+
+    /** True when the SHA-NI path is available and enabled. */
+    static bool hwEnabled();
 
     Sha256();
 

@@ -1,0 +1,37 @@
+#include "sched/channel_topology.hh"
+
+#include "common/error.hh"
+
+namespace quac::sched
+{
+
+ChannelTopology
+ChannelTopology::single(const dram::TimingParams &t)
+{
+    ChannelTopology topology;
+    topology.channels = 1;
+    topology.timing = t;
+    return topology;
+}
+
+const dram::TimingParams &
+ChannelTopology::channelTiming(uint32_t channel) const
+{
+    QUAC_ASSERT(channel < channels, "channel %u of %u", channel,
+                channels);
+    if (channel < perChannelTiming.size())
+        return perChannelTiming[channel];
+    return timing;
+}
+
+BusScheduler
+ChannelTopology::makeScheduler(uint32_t channel) const
+{
+    QUAC_ASSERT(banksPerChannel >= 1 && bankGroups >= 1 &&
+                banksPerChannel % bankGroups == 0,
+                "banks=%u groups=%u", banksPerChannel, bankGroups);
+    return BusScheduler(channelTiming(channel), banksPerChannel,
+                        bankGroups);
+}
+
+} // namespace quac::sched

@@ -32,11 +32,9 @@ quacSeq(const dram::Calibration &cal)
             {CommandType::ACT, 2.0 * cal.quacGapNs}};
 }
 
-} // anonymous namespace
-
+/** The QUAC command program against an already-built channel. */
 ScheduleStats
-simulateQuacTrng(const dram::TimingParams &timing,
-                 const QuacScheduleConfig &cfg)
+simulateQuacOn(BusScheduler &bus, const QuacScheduleConfig &cfg)
 {
     QUAC_ASSERT(cfg.banks >= 1 && cfg.banks <= 4,
                 "banks=%u (one per bank group)", cfg.banks);
@@ -44,7 +42,6 @@ simulateQuacTrng(const dram::TimingParams &timing,
                 "iterations=%u warmup=%u", cfg.iterations,
                 cfg.warmupIterations);
 
-    BusScheduler bus(timing, 16, 4);
     const dram::Calibration &cal = cfg.calibration;
     const IterationProfile &profile = cfg.profile;
 
@@ -127,11 +124,31 @@ simulateQuacTrng(const dram::TimingParams &timing,
     return stats;
 }
 
+} // anonymous namespace
+
+ScheduleStats
+simulateQuacTrng(const dram::TimingParams &timing,
+                 const QuacScheduleConfig &cfg)
+{
+    BusScheduler bus(timing, 16, 4);
+    return simulateQuacOn(bus, cfg);
+}
+
+ScheduleStats
+simulateQuacTrng(const ChannelTopology &topology, uint32_t channel,
+                 const QuacScheduleConfig &cfg)
+{
+    BusScheduler bus = topology.makeScheduler(channel);
+    return simulateQuacOn(bus, cfg);
+}
+
+namespace
+{
+
 RefillCost
-quacRefillCost(const dram::TimingParams &timing,
+refillCostFrom(const ScheduleStats &stats,
                const QuacScheduleConfig &cfg)
 {
-    ScheduleStats stats = simulateQuacTrng(timing, cfg);
     double iterations =
         static_cast<double>(cfg.iterations - cfg.warmupIterations);
     RefillCost cost;
@@ -140,6 +157,23 @@ quacRefillCost(const dram::TimingParams &timing,
     cost.commandsPerIteration =
         static_cast<double>(stats.commands) / iterations;
     return cost;
+}
+
+} // anonymous namespace
+
+RefillCost
+quacRefillCost(const dram::TimingParams &timing,
+               const QuacScheduleConfig &cfg)
+{
+    return refillCostFrom(simulateQuacTrng(timing, cfg), cfg);
+}
+
+RefillCost
+quacRefillCost(const ChannelTopology &topology, uint32_t channel,
+               const QuacScheduleConfig &cfg)
+{
+    return refillCostFrom(simulateQuacTrng(topology, channel, cfg),
+                          cfg);
 }
 
 ScheduleStats

@@ -14,6 +14,7 @@
 
 #include "dram/calibration.hh"
 #include "dram/timing.hh"
+#include "sched/channel_topology.hh"
 #include "sched/sha_model.hh"
 
 namespace quac::sched
@@ -74,8 +75,18 @@ struct ScheduleStats
     }
 };
 
-/** Simulate QUAC-TRNG on one channel. */
+/** Simulate QUAC-TRNG on one 16-bank/4-group channel. */
 ScheduleStats simulateQuacTrng(const dram::TimingParams &timing,
+                               const QuacScheduleConfig &cfg);
+
+/**
+ * Channel-addressable form: simulate QUAC-TRNG on channel @p channel
+ * of @p topology, using that channel's timing and bank shape.
+ * Channels are independent at command granularity, so per-channel
+ * results differ only through the topology's per-channel timing.
+ */
+ScheduleStats simulateQuacTrng(const ChannelTopology &topology,
+                               uint32_t channel,
                                const QuacScheduleConfig &cfg);
 
 /**
@@ -101,6 +112,11 @@ struct RefillCost
 };
 
 RefillCost quacRefillCost(const dram::TimingParams &timing,
+                          const QuacScheduleConfig &cfg);
+
+/** Channel-addressable refill cost on @p channel of @p topology. */
+RefillCost quacRefillCost(const ChannelTopology &topology,
+                          uint32_t channel,
                           const QuacScheduleConfig &cfg);
 
 /** D-RaNGe schedule configuration (Section 7.4.1). */

@@ -1,7 +1,9 @@
 #include "service/entropy_service.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <numeric>
 
 #include "common/error.hh"
@@ -173,14 +175,24 @@ EntropyService::refillBelowWatermark()
 size_t
 EntropyService::refillTick(size_t budget_bytes)
 {
+    std::vector<size_t> all(shards_.size());
+    std::iota(all.begin(), all.end(), size_t{0});
+    return refillTick(budget_bytes, all);
+}
+
+size_t
+EntropyService::refillTick(size_t budget_bytes,
+                           const std::vector<size_t> &shards)
+{
     // Most-drained shards first; ties broken by index so the visit
     // order (and hence which shard the budget runs out on) is a
     // deterministic function of the levels.
-    std::vector<size_t> order(shards_.size());
-    std::iota(order.begin(), order.end(), size_t{0});
+    std::vector<size_t> order = shards;
     std::vector<size_t> levels(shards_.size());
-    for (size_t i = 0; i < shards_.size(); ++i)
-        levels[i] = level(i);
+    for (size_t index : order) {
+        QUAC_ASSERT(index < shards_.size(), "shard=%zu", index);
+        levels[index] = level(index);
+    }
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         return levels[a] != levels[b] ? levels[a] < levels[b] : a < b;
     });
@@ -225,11 +237,21 @@ EntropyService::urgentDemandBytes()
 EntropyService::RefillDemand
 EntropyService::refillDemand()
 {
+    std::vector<size_t> all(shards_.size());
+    std::iota(all.begin(), all.end(), size_t{0});
+    return refillDemand(all);
+}
+
+EntropyService::RefillDemand
+EntropyService::refillDemand(const std::vector<size_t> &shards)
+{
     RefillDemand demand;
-    for (auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mutex);
-        size_t deficit = deficitLocked(*shard, cfg_.refillWatermark);
-        size_t urgent = deficitLocked(*shard, cfg_.panicWatermark);
+    for (size_t index : shards) {
+        QUAC_ASSERT(index < shards_.size(), "shard=%zu", index);
+        Shard &shard = *shards_[index];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        size_t deficit = deficitLocked(shard, cfg_.refillWatermark);
+        size_t urgent = deficitLocked(shard, cfg_.panicWatermark);
         demand.bytes += deficit;
         // The panic threshold is <= the refill threshold, so per
         // shard urgent <= deficit; summing under one lock keeps the
@@ -329,10 +351,33 @@ EntropyService::connect(std::string name, Priority priority,
     return client;
 }
 
+void
+EntropyService::setMissLatencyNsPerByte(double ns_per_byte)
+{
+    QUAC_ASSERT(ns_per_byte >= 0.0, "ns_per_byte=%f", ns_per_byte);
+    missNsPerByte_.store(ns_per_byte, std::memory_order_relaxed);
+}
+
+LatencyDistribution
+EntropyService::latencySnapshot(Priority priority) const
+{
+    std::lock_guard<std::mutex> lock(latencyMutex_);
+    return latencyByClass_[static_cast<size_t>(priority)];
+}
+
+void
+EntropyService::resetLatencyStats()
+{
+    std::lock_guard<std::mutex> lock(latencyMutex_);
+    for (LatencyDistribution &dist : latencyByClass_)
+        dist = LatencyDistribution();
+}
+
 RequestResult
 EntropyService::requestOn(Client::State &client, uint8_t *out,
-                          size_t len)
+                          size_t len, double arrival_ns)
 {
+    bool timed = !std::isnan(arrival_ns);
     Shard &shard = *shards_[client.shard];
     std::lock_guard<std::mutex> lock(shard.mutex);
     ClientStats &stats = client.stats;
@@ -349,45 +394,79 @@ EntropyService::requestOn(Client::State &client, uint8_t *out,
 
     size_t from_buffer = takeLocked(shard, out, len);
     stats.bytesFromBuffer += from_buffer;
+    size_t synchronous_bytes = 0;
     if (from_buffer == len) {
         ++stats.bufferHits;
         hits_.fetch_add(1, std::memory_order_relaxed);
         stats.bytesServed += len;
         result.bytes = len;
         result.hit = true;
-        return result;
-    }
-
-    if (client.priority == Priority::Bulk) {
+    } else if (client.priority == Priority::Bulk) {
         // Buffer-only class: partial service is the backpressure
         // signal; the caller retries after the next refill.
         ++stats.partialServes;
         stats.bytesServed += from_buffer;
         result.bytes = from_buffer;
-        return result;
+    } else {
+        // Drain what the buffer has, then complete synchronously on
+        // the shard's backend (the paper's fallback when requests
+        // outpace idle bandwidth). The same stream continues:
+        // buffered bytes came from earlier positions of the
+        // identical backend stream.
+        {
+            std::lock_guard<std::mutex> backend_lock(
+                *backendLocks_[shard.backendIndex]);
+            shard.backend->fill(out + from_buffer, len - from_buffer);
+        }
+        synchronous_bytes = len - from_buffer;
+        ++stats.synchronousFills;
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        stats.bytesSynchronous += synchronous_bytes;
+        stats.bytesServed += len;
+        result.bytes = len;
     }
+    result.bytesFromBuffer = from_buffer;
 
-    // Drain what the buffer has, then complete synchronously on the
-    // shard's backend (the paper's fallback when requests outpace
-    // idle bandwidth). The same stream continues: buffered bytes
-    // came from earlier positions of the identical backend stream.
-    {
-        std::lock_guard<std::mutex> backend_lock(
-            *backendLocks_[shard.backendIndex]);
-        shard.backend->fill(out + from_buffer, len - from_buffer);
+    if (timed) {
+        // Modelled channel time: the request starts once the shard's
+        // earlier modelled work has drained, pays the fixed
+        // controller and SRAM-read costs, and a miss additionally
+        // occupies the backend for the synchronous fill, queueing
+        // later arrivals behind it (DR-STRaNGe's request-latency
+        // view). busyUntilNs is covered by the shard lock held for
+        // the whole call; the global latency mutex only guards the
+        // cross-shard distribution insert.
+        double installed =
+            missNsPerByte_.load(std::memory_order_relaxed);
+        double ns_per_byte =
+            installed > 0.0 ? installed : cfg_.latency.missNsPerByte;
+        double start = std::max(arrival_ns, shard.busyUntilNs);
+        double service_ns =
+            cfg_.latency.perRequestNs + cfg_.latency.hitNs +
+            static_cast<double>(synchronous_bytes) * ns_per_byte;
+        if (synchronous_bytes > 0)
+            shard.busyUntilNs = start + service_ns;
+        result.modeledLatencyNs = start + service_ns - arrival_ns;
+        std::lock_guard<std::mutex> latency_lock(latencyMutex_);
+        latencyByClass_[static_cast<size_t>(client.priority)].add(
+            result.modeledLatencyNs);
     }
-    ++stats.synchronousFills;
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    stats.bytesSynchronous += len - from_buffer;
-    stats.bytesServed += len;
-    result.bytes = len;
     return result;
 }
 
 RequestResult
 EntropyService::Client::request(uint8_t *out, size_t len)
 {
-    return service_->requestOn(*state_, out, len);
+    return service_->requestOn(
+        *state_, out, len, std::numeric_limits<double>::quiet_NaN());
+}
+
+RequestResult
+EntropyService::Client::requestAt(uint8_t *out, size_t len,
+                                  double arrival_ns)
+{
+    QUAC_ASSERT(!std::isnan(arrival_ns), "arrival is NaN");
+    return service_->requestOn(*state_, out, len, arrival_ns);
 }
 
 std::vector<uint8_t>

@@ -27,6 +27,7 @@
 #ifndef QUAC_SERVICE_ENTROPY_SERVICE_HH
 #define QUAC_SERVICE_ENTROPY_SERVICE_HH
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "core/trng.hh"
+#include "service/latency_model.hh"
 
 namespace quac::service
 {
@@ -87,6 +89,8 @@ struct EntropyServiceConfig
      * deterministic; dedicated backends are deterministic either way.
      */
     unsigned refillThreads = 1;
+    /** Request-latency model parameters (timestamped requests). */
+    LatencyModelConfig latency;
 };
 
 /** Outcome of one client request. */
@@ -94,10 +98,17 @@ struct RequestResult
 {
     /** Bytes actually delivered (may be < requested for Bulk). */
     size_t bytes = 0;
+    /** The part of bytes that came from the shard buffer. */
+    size_t bytesFromBuffer = 0;
     /** Served entirely from the shard buffer. */
     bool hit = false;
     /** Rejected outright by backpressure (maxRequestBytes). */
     bool denied = false;
+    /**
+     * Modelled end-to-end latency in simulated ns (timestamped
+     * requests only; 0 for the untimed request path and denials).
+     */
+    double modeledLatencyNs = 0.0;
 };
 
 /** Per-client service statistics. */
@@ -146,6 +157,18 @@ class EntropyService
          * receive what the shard buffer holds.
          */
         RequestResult request(uint8_t *out, size_t len);
+
+        /**
+         * Timestamped request: like request(), but the request
+         * arrives at @p arrival_ns of the caller's simulated clock.
+         * It queues behind earlier modelled work on the shard
+         * (synchronous fills occupy the backend), its end-to-end
+         * latency is returned in RequestResult::modeledLatencyNs and
+         * recorded into the service's per-priority distribution.
+         * Served bytes are identical to the untimed path.
+         */
+        RequestResult requestAt(uint8_t *out, size_t len,
+                                double arrival_ns);
 
         /** Convenience byte-vector request (sized to served bytes). */
         std::vector<uint8_t> request(size_t len);
@@ -220,6 +243,12 @@ class EntropyService
     RefillDemand refillDemand();
 
     /**
+     * Demand restricted to @p shards (a channel's placement set in
+     * the multi-channel refill scheduler).
+     */
+    RefillDemand refillDemand(const std::vector<size_t> &shards);
+
+    /**
      * Top up every shard at or below the watermark to capacity in
      * whole backend chunks (a shard may transiently exceed capacity
      * by less than one chunk). Runs shards through the worker pool
@@ -236,6 +265,15 @@ class EntropyService
      * chunk. @return bytes added.
      */
     size_t refillTick(size_t budget_bytes);
+
+    /**
+     * Budgeted refill restricted to @p shards: the per-channel form
+     * used by the multi-channel scheduler, so each channel's granted
+     * time only tops up the shards placed on it. Most-drained-first
+     * within the set, ties by shard index.
+     */
+    size_t refillTick(size_t budget_bytes,
+                      const std::vector<size_t> &shards);
 
     /**
      * Start the background refill thread: every @p period it tops up
@@ -258,6 +296,22 @@ class EntropyService
     uint64_t bytesRefilled() const { return bytesRefilled_.load(); }
     /**@}*/
 
+    /** @name Modelled request latency (timestamped requests) */
+    /**@{*/
+    /**
+     * Install the synchronous-fill channel rate, normally the
+     * BusScheduler-measured sched::RefillCost::nsPerByte (the refill
+     * schedulers call this when configured to).
+     */
+    void setMissLatencyNsPerByte(double ns_per_byte);
+
+    /** Snapshot of @p priority's end-to-end latency distribution. */
+    LatencyDistribution latencySnapshot(Priority priority) const;
+
+    /** Drop all recorded latency samples (not the model config). */
+    void resetLatencyStats();
+    /**@}*/
+
   private:
     /**
      * One shard: a ring buffer over a slice of controller SRAM plus
@@ -278,6 +332,12 @@ class EntropyService
         std::vector<uint8_t> ring;
         size_t head = 0;  ///< Read position.
         size_t size = 0;  ///< Bytes buffered.
+        /**
+         * Simulated time the shard's request path is busy until
+         * (latency model): synchronous fills occupy the backend, so
+         * later timestamped arrivals queue behind them.
+         */
+        double busyUntilNs = 0.0;
     };
 
     /**
@@ -303,8 +363,13 @@ class EntropyService
     /** Top one shard up to capacity; returns bytes added. */
     size_t refillShard(Shard &shard);
 
+    /**
+     * Serve one request. @p arrival_ns is the simulated arrival time
+     * of a timestamped request; NaN disables the latency model (the
+     * untimed path).
+     */
     RequestResult requestOn(Client::State &client, uint8_t *out,
-                            size_t len);
+                            size_t len, double arrival_ns);
 
     EntropyServiceConfig cfg_;
     std::vector<std::unique_ptr<Shard>> shards_;
@@ -321,6 +386,14 @@ class EntropyService
     std::atomic<uint64_t> denials_{0};
     std::atomic<uint64_t> refills_{0};
     std::atomic<uint64_t> bytesRefilled_{0};
+
+    /** Guards the per-priority distributions (timestamped requests
+     * only; the untimed path never takes it, and the timed path only
+     * holds it for the sample insert). */
+    mutable std::mutex latencyMutex_;
+    std::array<LatencyDistribution, 3> latencyByClass_;
+    /** Installed sync-fill rate; 0 = use cfg_.latency default. */
+    std::atomic<double> missNsPerByte_{0.0};
 
     /** Guards the refillThread_ object itself (start/stop/running);
      * refillMutex_ only covers the worker's stop-flag wait. */

@@ -1,0 +1,60 @@
+#include "service/latency_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace quac::service
+{
+
+void
+LatencyDistribution::add(double latency_ns)
+{
+    samples_.push_back(latency_ns);
+    sorted_ = samples_.size() == 1;
+    sum_ += latency_ns;
+    max_ = std::max(max_, latency_ns);
+}
+
+void
+LatencyDistribution::merge(const LatencyDistribution &other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = samples_.empty();
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+}
+
+double
+LatencyDistribution::meanNs() const
+{
+    return samples_.empty()
+               ? 0.0
+               : sum_ / static_cast<double>(samples_.size());
+}
+
+double
+LatencyDistribution::maxNs() const
+{
+    return max_;
+}
+
+double
+LatencyDistribution::percentileNs(double q) const
+{
+    QUAC_ASSERT(q > 0.0 && q <= 1.0, "q=%f", q);
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples_.size())));
+    rank = std::min(std::max<size_t>(rank, 1), samples_.size());
+    return samples_[rank - 1];
+}
+
+} // namespace quac::service

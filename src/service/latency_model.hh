@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Modelled end-to-end request latency for the entropy service.
+ *
+ * DR-STRaNGe (Bostanci et al., HPCA 2022) reports that what an
+ * application observes from a DRAM TRNG is its RNG *request latency*
+ * under contention, not the generator's aggregate throughput. The
+ * service therefore models a request queue in simulated channel
+ * time: requests carry an arrival timestamp, buffer hits cost the
+ * controller-SRAM read, misses additionally occupy the shard's
+ * backend for the synchronous fill (queueing later arrivals behind
+ * it), and each completed request's end-to-end latency is recorded
+ * into a per-priority-class distribution (p50/p95/p99).
+ */
+
+#ifndef QUAC_SERVICE_LATENCY_MODEL_HH
+#define QUAC_SERVICE_LATENCY_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace quac::service
+{
+
+/** Latency-model parameters, in simulated nanoseconds. */
+struct LatencyModelConfig
+{
+    /** Controller-SRAM read + response for a buffered request. */
+    double hitNs = 20.0;
+    /** Fixed per-request arbitration/bookkeeping overhead. */
+    double perRequestNs = 5.0;
+    /**
+     * Synchronous-generation cost per missing byte. The refill
+     * schedulers overwrite this with the BusScheduler-measured
+     * channel rate (sched::RefillCost::nsPerByte) when
+     * installLatencyCost is set; the default approximates one
+     * DDR4-2400 4-bank QUAC channel.
+     */
+    double missNsPerByte = 2.0;
+};
+
+/**
+ * An online latency distribution: collects samples and answers
+ * percentile queries (nearest-rank on the sorted samples).
+ */
+class LatencyDistribution
+{
+  public:
+    void add(double latency_ns);
+    void merge(const LatencyDistribution &other);
+
+    size_t count() const { return samples_.size(); }
+    double meanNs() const;
+    double maxNs() const;
+
+    /** Nearest-rank percentile; @p q in (0, 1]. 0 when empty. */
+    double percentileNs(double q) const;
+
+    double p50Ns() const { return percentileNs(0.50); }
+    double p95Ns() const { return percentileNs(0.95); }
+    double p99Ns() const { return percentileNs(0.99); }
+
+  private:
+    /** Sorted lazily by percentileNs; add() marks dirty. */
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace quac::service
+
+#endif // QUAC_SERVICE_LATENCY_MODEL_HH

@@ -8,76 +8,268 @@
 namespace quac::service
 {
 
-RefillScheduler::RefillScheduler(EntropyService &service,
-                                 const sysperf::WorkloadProfile &demand,
-                                 RefillSchedulerConfig cfg)
-    : service_(service), demand_(demand), cfg_(cfg),
-      cost_(sched::quacRefillCost(cfg_.timing, cfg_.schedule))
+ShardPlacement
+ShardPlacement::roundRobin(size_t shards, size_t channels)
 {
+    QUAC_ASSERT(channels >= 1, "channels=%zu", channels);
+    ShardPlacement placement;
+    placement.channelOfShard.resize(shards);
+    for (size_t s = 0; s < shards; ++s)
+        placement.channelOfShard[s] = s % channels;
+    return placement;
+}
+
+std::vector<std::vector<size_t>>
+ShardPlacement::byChannel(size_t channels) const
+{
+    std::vector<std::vector<size_t>> sets(channels);
+    for (size_t s = 0; s < channelOfShard.size(); ++s) {
+        QUAC_ASSERT(channelOfShard[s] < channels,
+                    "shard %zu on channel %zu of %zu", s,
+                    channelOfShard[s], channels);
+        sets[channelOfShard[s]].push_back(s);
+    }
+    return sets;
+}
+
+void
+RefillAccounting::accumulate(const RefillAccounting &tick)
+{
+    ticks += tick.ticks;
+    modeledNs += tick.modeledNs;
+    neededNs += tick.neededNs;
+    grantedNs += tick.grantedNs;
+    usableIdleNs += tick.usableIdleNs;
+    stolenBusyNs += tick.stolenBusyNs;
+    busyNs += tick.busyNs;
+    bytesRequested += tick.bytesRequested;
+    bytesRefilled += tick.bytesRefilled;
+}
+
+MultiChannelRefillScheduler::MultiChannelRefillScheduler(
+    EntropyService &service,
+    std::vector<sysperf::WorkloadProfile> per_channel_demand,
+    MultiChannelRefillConfig cfg, ShardPlacement placement)
+    : service_(service), demand_(std::move(per_channel_demand)),
+      cfg_(cfg), placement_(std::move(placement))
+{
+    uint32_t channels = cfg_.topology.channels;
+    QUAC_ASSERT(channels >= 1, "channels=%u", channels);
     QUAC_ASSERT(cfg_.tickNs > 0.0, "tickNs=%f", cfg_.tickNs);
-    QUAC_ASSERT(cost_.iterationNs > 0.0 && cost_.bitsPerIteration > 0.0,
-                "refill cost probe failed");
+    if (demand_.size() == 1 && channels > 1)
+        demand_.resize(channels, demand_.front());
+    if (demand_.size() != channels)
+        fatal("refill scheduler: %zu demand profiles for %u channels",
+              demand_.size(), channels);
+
+    if (placement_.channelOfShard.empty())
+        placement_ =
+            ShardPlacement::roundRobin(service_.shardCount(), channels);
+    if (placement_.shards() != service_.shardCount())
+        fatal("placement covers %zu shards, service has %zu",
+              placement_.shards(), service_.shardCount());
+    shardsOf_ = placement_.byChannel(channels);
+    starved_.assign(placement_.shards(), 0);
+    channelTotals_.resize(channels);
+
+    // One BusScheduler probe per channel timing; identical channels
+    // share one simulation.
+    costs_.reserve(channels);
+    if (!cfg_.topology.heterogeneous()) {
+        sched::RefillCost cost =
+            sched::quacRefillCost(cfg_.topology, 0, cfg_.schedule);
+        costs_.assign(channels, cost);
+    } else {
+        for (uint32_t c = 0; c < channels; ++c)
+            costs_.push_back(
+                sched::quacRefillCost(cfg_.topology, c, cfg_.schedule));
+    }
+    for (const sched::RefillCost &cost : costs_) {
+        QUAC_ASSERT(cost.iterationNs > 0.0 &&
+                    cost.bitsPerIteration > 0.0,
+                    "refill cost probe failed");
+    }
+    if (cfg_.installLatencyCost)
+        service_.setMissLatencyNsPerByte(costs_[0].nsPerByte());
 }
 
 RefillAccounting
-RefillScheduler::tick()
+MultiChannelRefillScheduler::tick()
 {
-    double ns_per_byte = cost_.nsPerByte();
+    size_t channels = costs_.size();
+    RefillAccounting aggregate;
+    aggregate.ticks = 1;
 
-    // What the shards would actually pull (chunk-rounded), and the
-    // part below the panic watermark that BufferedFair escalates —
-    // read as one snapshot so urgent <= total even while clients
-    // drain concurrently.
-    EntropyService::RefillDemand demand = service_.refillDemand();
-    double needed_ns = static_cast<double>(demand.bytes) * ns_per_byte;
-    double urgent_ns =
-        static_cast<double>(demand.urgentBytes) * ns_per_byte;
+    std::vector<double> grant_ratio(channels, 1.0);
+    std::vector<double> headroom_ns(channels, 0.0);
 
-    // This tick's slice of the co-running demand traffic.
-    uint64_t tick_seed = cfg_.seed;
-    tick_seed ^= 0x9E3779B97F4A7C15ULL * (tickIndex_ + 1);
-    sysperf::ChannelActivity activity =
-        sysperf::ChannelActivity::generate(demand_, cfg_.tickNs,
-                                           tick_seed);
+    for (size_t c = 0; c < channels; ++c) {
+        double ns_per_byte = costs_[c].nsPerByte();
 
-    sysperf::RefillGrant grant = sysperf::grantRefill(
-        activity, needed_ns, cfg_.policy, urgent_ns,
-        cfg_.reentryOverheadNs);
+        // What this channel's shards would actually pull
+        // (chunk-rounded), and the part below the panic watermark
+        // that BufferedFair escalates — read as one snapshot so
+        // urgent <= total even while clients drain concurrently.
+        EntropyService::RefillDemand demand =
+            service_.refillDemand(shardsOf_[c]);
+        double needed_ns =
+            static_cast<double>(demand.bytes) * ns_per_byte;
+        double urgent_ns =
+            static_cast<double>(demand.urgentBytes) * ns_per_byte;
 
-    size_t budget_bytes = static_cast<size_t>(
-        std::floor(grant.grantedNs / ns_per_byte));
-    size_t refilled = service_.refillTick(budget_bytes);
+        // This tick's slice of the channel's co-running demand
+        // traffic. Channel 0 reproduces the original single-channel
+        // seed stream exactly.
+        uint64_t tick_seed = cfg_.seed;
+        tick_seed ^= 0x9E3779B97F4A7C15ULL * (tickIndex_ + 1);
+        tick_seed += 0xC2B2AE3D27D4EB4FULL * c;
+        sysperf::ChannelActivity activity =
+            sysperf::ChannelActivity::generate(demand_[c], cfg_.tickNs,
+                                               tick_seed);
 
-    RefillAccounting acct;
-    acct.ticks = 1;
-    acct.modeledNs = cfg_.tickNs;
-    acct.neededNs = needed_ns;
-    acct.grantedNs = grant.grantedNs;
-    acct.usableIdleNs = grant.usableIdleNs;
-    acct.stolenBusyNs = grant.stolenBusyNs;
-    acct.busyNs = cfg_.tickNs * (1.0 - activity.idleFraction());
-    acct.bytesRequested = demand.bytes;
-    acct.bytesRefilled = refilled;
+        sysperf::RefillGrant grant = sysperf::grantRefill(
+            activity, needed_ns, cfg_.policy, urgent_ns,
+            cfg_.reentryOverheadNs);
 
-    total_.ticks += acct.ticks;
-    total_.modeledNs += acct.modeledNs;
-    total_.neededNs += acct.neededNs;
-    total_.grantedNs += acct.grantedNs;
-    total_.usableIdleNs += acct.usableIdleNs;
-    total_.stolenBusyNs += acct.stolenBusyNs;
-    total_.busyNs += acct.busyNs;
-    total_.bytesRequested += acct.bytesRequested;
-    total_.bytesRefilled += acct.bytesRefilled;
+        size_t budget_bytes = static_cast<size_t>(
+            std::floor(grant.grantedNs / ns_per_byte));
+        size_t refilled =
+            service_.refillTick(budget_bytes, shardsOf_[c]);
+
+        RefillAccounting acct;
+        acct.ticks = 1;
+        acct.modeledNs = cfg_.tickNs;
+        acct.neededNs = needed_ns;
+        acct.grantedNs = grant.grantedNs;
+        acct.usableIdleNs = grant.usableIdleNs;
+        acct.stolenBusyNs = grant.stolenBusyNs;
+        acct.busyNs = cfg_.tickNs * (1.0 - activity.idleFraction());
+        acct.bytesRequested = demand.bytes;
+        acct.bytesRefilled = refilled;
+
+        channelTotals_[c].accumulate(acct);
+        acct.ticks = 0; // aggregate counts the tick once
+        aggregate.accumulate(acct);
+
+        grant_ratio[c] =
+            needed_ns > 0.0 ? grant.grantedNs / needed_ns : 1.0;
+        headroom_ns[c] = grant.usableIdleNs - grant.grantedNs;
+    }
+
+    rebalanceAfterTick(grant_ratio, headroom_ns);
+
+    total_.accumulate(aggregate);
     ++tickIndex_;
-    return acct;
+    return aggregate;
+}
+
+void
+MultiChannelRefillScheduler::rebalanceAfterTick(
+    const std::vector<double> &grant_ratio,
+    const std::vector<double> &headroom_ns)
+{
+    // A shard is starving when its channel under-granted this tick
+    // and the shard is still below the watermark afterwards. The
+    // counters are maintained even with rebalancing off, so a study
+    // (or operator) can observe starvation it chose not to fix. The
+    // demand probe (a shard-lock acquisition) only runs for shards
+    // on under-granted channels — the common fully-granted tick
+    // touches no shard at all.
+    std::vector<size_t> probe(1);
+    for (size_t s = 0; s < placement_.shards(); ++s) {
+        size_t channel = placement_.channelOfShard[s];
+        if (grant_ratio[channel] >= cfg_.starveGrantRatio) {
+            starved_[s] = 0;
+            continue;
+        }
+        probe[0] = s;
+        if (service_.refillDemand(probe).bytes > 0)
+            ++starved_[s];
+        else
+            starved_[s] = 0;
+    }
+    if (!cfg_.rebalance)
+        return;
+
+    // Migrate persistent starvers to the channel with the most
+    // unclaimed idle time this tick. Placement only redirects whose
+    // granted time refills the shard; the shard keeps draining its
+    // own backend stream, so its output bytes are unchanged.
+    size_t best = 0;
+    for (size_t c = 1; c < headroom_ns.size(); ++c) {
+        if (headroom_ns[c] > headroom_ns[best])
+            best = c;
+    }
+    bool moved = false;
+    for (size_t s = 0; s < placement_.shards(); ++s) {
+        if (starved_[s] < cfg_.starveTickThreshold)
+            continue;
+        if (placement_.channelOfShard[s] == best ||
+            headroom_ns[best] <= 0.0) {
+            continue; // nowhere better to go
+        }
+        placement_.channelOfShard[s] = best;
+        starved_[s] = 0;
+        ++migrations_;
+        moved = true;
+    }
+    if (moved)
+        shardsOf_ = placement_.byChannel(costs_.size());
 }
 
 const RefillAccounting &
-RefillScheduler::run(uint64_t n)
+MultiChannelRefillScheduler::run(uint64_t n)
 {
     for (uint64_t i = 0; i < n; ++i)
         tick();
     return total_;
+}
+
+const RefillAccounting &
+MultiChannelRefillScheduler::channelTotal(size_t channel) const
+{
+    QUAC_ASSERT(channel < channelTotals_.size(), "channel=%zu",
+                channel);
+    return channelTotals_[channel];
+}
+
+const sched::RefillCost &
+MultiChannelRefillScheduler::iterationCost(size_t channel) const
+{
+    QUAC_ASSERT(channel < costs_.size(), "channel=%zu", channel);
+    return costs_[channel];
+}
+
+uint32_t
+MultiChannelRefillScheduler::starvedTicks(size_t shard) const
+{
+    QUAC_ASSERT(shard < starved_.size(), "shard=%zu", shard);
+    return starved_[shard];
+}
+
+namespace
+{
+
+MultiChannelRefillConfig
+singleChannelConfig(const RefillSchedulerConfig &cfg)
+{
+    MultiChannelRefillConfig mcfg;
+    mcfg.topology = sched::ChannelTopology::single(cfg.timing);
+    mcfg.policy = cfg.policy;
+    mcfg.tickNs = cfg.tickNs;
+    mcfg.reentryOverheadNs = cfg.reentryOverheadNs;
+    mcfg.seed = cfg.seed;
+    mcfg.schedule = cfg.schedule;
+    return mcfg;
+}
+
+} // anonymous namespace
+
+RefillScheduler::RefillScheduler(EntropyService &service,
+                                 const sysperf::WorkloadProfile &demand,
+                                 RefillSchedulerConfig cfg)
+    : pool_(service, {demand}, singleChannelConfig(cfg))
+{
 }
 
 } // namespace quac::service

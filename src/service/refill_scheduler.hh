@@ -1,25 +1,33 @@
 /**
  * @file
- * Scheduler-aware asynchronous refill for the entropy service.
+ * Scheduler-aware asynchronous refill for the entropy service, at
+ * memory-system scale.
  *
  * The memory controller tops the service's shard buffers up with
  * idle DRAM bandwidth (paper Section 9). This component models that
- * loop at channel granularity: each tick it measures the service's
- * chunk-rounded refill demand, converts it to channel time using the
- * BusScheduler-simulated cost of one QUAC iteration
- * (sched::quacRefillCost), arbitrates that time against a workload's
- * demand traffic under a DR-STRaNGe fairness policy
- * (sysperf::grantRefill), and issues the granted bytes to the
- * service as a budgeted refill. Memory-traffic slowdown and idle
- * utilization are accounted per tick and in total.
+ * loop per channel: a ShardPlacement assigns disjoint shard sets to
+ * the channels of a sched::ChannelTopology, and each tick every
+ * channel measures its shards' chunk-rounded refill demand, converts
+ * it to channel time using the BusScheduler-simulated cost of one
+ * QUAC iteration on that channel (sched::quacRefillCost), arbitrates
+ * that time against the channel's own co-running demand traffic
+ * under a DR-STRaNGe fairness policy (sysperf::grantRefill), and
+ * issues the granted bytes to its shards as a budgeted refill.
+ * Channels may run heterogeneous workloads and timings; a shard
+ * whose channel persistently starves it can be migrated to a channel
+ * with headroom (rebalancing), which never changes the shard's
+ * output bytes — a shard always drains its own backend stream, the
+ * placement only decides whose granted time pays for the refill.
  */
 
 #ifndef QUAC_SERVICE_REFILL_SCHEDULER_HH
 #define QUAC_SERVICE_REFILL_SCHEDULER_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "dram/timing.hh"
+#include "sched/channel_topology.hh"
 #include "sched/trng_programs.hh"
 #include "service/entropy_service.hh"
 #include "sysperf/channel_sim.hh"
@@ -28,10 +36,27 @@
 namespace quac::service
 {
 
-/** Refill-loop configuration. */
-struct RefillSchedulerConfig
+/** Disjoint shard -> channel assignment. */
+struct ShardPlacement
 {
-    /** RNG-vs-memory arbitration policy. */
+    /** channelOfShard[s] = channel refilling shard s. */
+    std::vector<size_t> channelOfShard;
+
+    /** Shard s on channel s % channels. */
+    static ShardPlacement roundRobin(size_t shards, size_t channels);
+
+    /** The shard sets per channel (disjoint by construction). */
+    std::vector<std::vector<size_t>> byChannel(size_t channels) const;
+
+    size_t shards() const { return channelOfShard.size(); }
+};
+
+/** Multi-channel refill-loop configuration. */
+struct MultiChannelRefillConfig
+{
+    /** Channel shape and per-channel timing. */
+    sched::ChannelTopology topology;
+    /** RNG-vs-memory arbitration policy (all channels). */
     sysperf::FairnessPolicy policy =
         sysperf::FairnessPolicy::BufferedFair;
     /** Channel-time window modelled per tick, in ns. */
@@ -40,19 +65,32 @@ struct RefillSchedulerConfig
     double reentryOverheadNs = 20.0;
     /** Seed of the per-tick demand-traffic timelines. */
     uint64_t seed = 1;
-    /** Channel timing the refill commands are scheduled against. */
-    dram::TimingParams timing = dram::TimingParams::ddr4(2400);
     /** Refill command program (iteration-cost probe input). */
     sched::QuacScheduleConfig schedule;
+    /**
+     * Enable starvation-driven rebalancing: a shard still below the
+     * watermark after a tick whose channel granted less than
+     * starveGrantRatio of its need counts one starved tick;
+     * starveTickThreshold consecutive starved ticks migrate the
+     * shard to the channel with the most idle headroom this tick.
+     */
+    bool rebalance = false;
+    double starveGrantRatio = 0.5;
+    uint32_t starveTickThreshold = 4;
+    /**
+     * Install the channel-0 refill cost as the service's modelled
+     * synchronous-fill rate (EntropyService latency model).
+     */
+    bool installLatencyCost = false;
 };
 
 /** Accounting of the refill loop, per tick and accumulated. */
 struct RefillAccounting
 {
     uint64_t ticks = 0;
-    /** Channel time modelled (ticks x tickNs). */
+    /** Channel time modelled (ticks x tickNs x channels). */
     double modeledNs = 0.0;
-    /** Channel time the service's demand asked for. */
+    /** Channel time the shards' demand asked for. */
     double neededNs = 0.0;
     /** Channel time granted under the fairness policy. */
     double grantedNs = 0.0;
@@ -62,7 +100,7 @@ struct RefillAccounting
     double stolenBusyNs = 0.0;
     /** Demand-traffic busy time in the modelled windows. */
     double busyNs = 0.0;
-    /** Bytes the service wanted / actually pulled. */
+    /** Bytes the shards wanted / actually pulled. */
     uint64_t bytesRequested = 0;
     uint64_t bytesRefilled = 0;
 
@@ -82,9 +120,99 @@ struct RefillAccounting
                          modeledNs
                    : 0.0;
     }
+
+    /** Accumulate @p tick into this total. */
+    void accumulate(const RefillAccounting &tick);
 };
 
-/** The per-channel refill loop driving one EntropyService. */
+/** The per-channel refill scheduler pool driving one service. */
+class MultiChannelRefillScheduler
+{
+  public:
+    /**
+     * @param service service to top up (kept by reference).
+     * @param per_channel_demand co-running memory-traffic profile of
+     *        each channel. One entry is broadcast to every channel;
+     *        otherwise the size must equal topology.channels.
+     * @param cfg refill-loop parameters.
+     * @param placement shard -> channel map; empty = round-robin.
+     */
+    MultiChannelRefillScheduler(
+        EntropyService &service,
+        std::vector<sysperf::WorkloadProfile> per_channel_demand,
+        MultiChannelRefillConfig cfg = {},
+        ShardPlacement placement = {});
+
+    /**
+     * Run one tick on every channel: measure each channel's shards'
+     * demand, arbitrate against that channel's traffic, refill.
+     * Returns the tick's accounting aggregated across channels (also
+     * accumulated into total() and per-channel channelTotal()).
+     */
+    RefillAccounting tick();
+
+    /** Run @p n ticks; returns the accumulated total. */
+    const RefillAccounting &run(uint64_t n);
+
+    const RefillAccounting &total() const { return total_; }
+
+    /** Accumulated accounting of one channel. */
+    const RefillAccounting &channelTotal(size_t channel) const;
+
+    /** BusScheduler-measured refill cost on @p channel. */
+    const sched::RefillCost &iterationCost(size_t channel = 0) const;
+
+    /** Current shard -> channel placement (rebalancing mutates it). */
+    const ShardPlacement &placement() const { return placement_; }
+
+    /** Consecutive starved ticks currently charged to @p shard. */
+    uint32_t starvedTicks(size_t shard) const;
+
+    /** Shard migrations performed by the rebalancer. */
+    uint64_t migrations() const { return migrations_; }
+
+    size_t channels() const { return costs_.size(); }
+
+  private:
+    void rebalanceAfterTick(const std::vector<double> &grant_ratio,
+                            const std::vector<double> &headroom_ns);
+
+    EntropyService &service_;
+    std::vector<sysperf::WorkloadProfile> demand_;
+    MultiChannelRefillConfig cfg_;
+    std::vector<sched::RefillCost> costs_;
+    ShardPlacement placement_;
+    std::vector<std::vector<size_t>> shardsOf_;
+    std::vector<uint32_t> starved_;
+    std::vector<RefillAccounting> channelTotals_;
+    RefillAccounting total_;
+    uint64_t tickIndex_ = 0;
+    uint64_t migrations_ = 0;
+};
+
+/** Single-channel refill-loop configuration (legacy front-end). */
+struct RefillSchedulerConfig
+{
+    /** RNG-vs-memory arbitration policy. */
+    sysperf::FairnessPolicy policy =
+        sysperf::FairnessPolicy::BufferedFair;
+    /** Channel-time window modelled per tick, in ns. */
+    double tickNs = 1.0e5;
+    /** Idle re-entry overhead per gap (see sysperf::injectQuac). */
+    double reentryOverheadNs = 20.0;
+    /** Seed of the per-tick demand-traffic timelines. */
+    uint64_t seed = 1;
+    /** Channel timing the refill commands are scheduled against. */
+    dram::TimingParams timing = dram::TimingParams::ddr4(2400);
+    /** Refill command program (iteration-cost probe input). */
+    sched::QuacScheduleConfig schedule;
+};
+
+/**
+ * The single-channel refill loop driving one EntropyService: a thin
+ * front-end over MultiChannelRefillScheduler with a one-channel
+ * topology, preserving the original API and tick-for-tick behaviour.
+ */
 class RefillScheduler
 {
   public:
@@ -101,23 +229,21 @@ class RefillScheduler
      * Run one tick: measure demand, arbitrate, refill. Returns the
      * tick's accounting (also accumulated into total()).
      */
-    RefillAccounting tick();
+    RefillAccounting tick() { return pool_.tick(); }
 
     /** Run @p n ticks; returns the accumulated total. */
-    const RefillAccounting &run(uint64_t n);
+    const RefillAccounting &run(uint64_t n) { return pool_.run(n); }
 
-    const RefillAccounting &total() const { return total_; }
+    const RefillAccounting &total() const { return pool_.total(); }
 
     /** BusScheduler-measured refill iteration cost. */
-    const sched::RefillCost &iterationCost() const { return cost_; }
+    const sched::RefillCost &iterationCost() const
+    {
+        return pool_.iterationCost(0);
+    }
 
   private:
-    EntropyService &service_;
-    sysperf::WorkloadProfile demand_;
-    RefillSchedulerConfig cfg_;
-    sched::RefillCost cost_;
-    RefillAccounting total_;
-    uint64_t tickIndex_ = 0;
+    MultiChannelRefillScheduler pool_;
 };
 
 } // namespace quac::service

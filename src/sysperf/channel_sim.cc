@@ -71,6 +71,65 @@ ChannelActivity::idleFraction() const
     return windowNs_ > 0.0 ? 1.0 - busy_total / windowNs_ : 0.0;
 }
 
+namespace
+{
+
+/** Stable per-channel seed: mix the channel index and profile name. */
+uint64_t
+channelSeed(uint64_t seed, size_t channel, const std::string &name)
+{
+    uint64_t mixed = seed ^ (0x9E3779B97F4A7C15ULL * (channel + 1));
+    for (char c : name)
+        mixed = mixed * 131 + static_cast<unsigned char>(c);
+    return mixed;
+}
+
+} // anonymous namespace
+
+SystemActivity
+SystemActivity::generate(const std::vector<WorkloadProfile> &per_channel,
+                         double window_ns, uint64_t seed)
+{
+    QUAC_ASSERT(!per_channel.empty(), "no channels");
+    SystemActivity system;
+    system.windowNs_ = window_ns;
+    system.profiles_ = per_channel;
+    system.channels_.reserve(per_channel.size());
+    for (size_t c = 0; c < per_channel.size(); ++c) {
+        system.channels_.push_back(ChannelActivity::generate(
+            per_channel[c], window_ns,
+            channelSeed(seed, c, per_channel[c].name)));
+    }
+    return system;
+}
+
+const ChannelActivity &
+SystemActivity::channel(size_t c) const
+{
+    QUAC_ASSERT(c < channels_.size(), "channel %zu of %zu", c,
+                channels_.size());
+    return channels_[c];
+}
+
+const WorkloadProfile &
+SystemActivity::profile(size_t c) const
+{
+    QUAC_ASSERT(c < profiles_.size(), "channel %zu of %zu", c,
+                profiles_.size());
+    return profiles_[c];
+}
+
+double
+SystemActivity::meanIdleFraction() const
+{
+    if (channels_.empty())
+        return 0.0;
+    double idle = 0.0;
+    for (const ChannelActivity &channel : channels_)
+        idle += channel.idleFraction();
+    return idle / static_cast<double>(channels_.size());
+}
+
 InjectionResult
 injectQuac(const ChannelActivity &activity, double iteration_ns,
            double bits_per_iteration, double reentry_overhead_ns)
@@ -195,31 +254,105 @@ grantRefill(const ChannelActivity &activity, double needed_ns,
     return grant;
 }
 
+double
+SystemInjection::bits() const
+{
+    double total = 0.0;
+    for (const InjectionResult &injection : perChannel)
+        total += injection.bits;
+    return total;
+}
+
+double
+SystemInjection::throughputGbps(double window_ns) const
+{
+    return window_ns > 0.0 ? bits() / window_ns : 0.0;
+}
+
+double
+SystemInjection::meanIdleFraction() const
+{
+    if (perChannel.empty())
+        return 0.0;
+    double idle = 0.0;
+    for (const InjectionResult &injection : perChannel)
+        idle += injection.idleFraction;
+    return idle / static_cast<double>(perChannel.size());
+}
+
+SystemInjection
+injectQuac(const SystemActivity &system, double iteration_ns,
+           double bits_per_iteration, double reentry_overhead_ns)
+{
+    SystemInjection injection;
+    injection.perChannel.reserve(system.channels());
+    for (size_t c = 0; c < system.channels(); ++c) {
+        injection.perChannel.push_back(
+            injectQuac(system.channel(c), iteration_ns,
+                       bits_per_iteration, reentry_overhead_ns));
+    }
+    return injection;
+}
+
+std::vector<WorkloadProfile>
+corunnerMix(const WorkloadProfile &primary, unsigned channels)
+{
+    QUAC_ASSERT(channels >= 1, "channels=%u", channels);
+    const std::vector<WorkloadProfile> &profiles = spec2006Profiles();
+    size_t base = 0;
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        if (profiles[i].name == primary.name) {
+            base = i;
+            break;
+        }
+    }
+    std::vector<WorkloadProfile> mix;
+    mix.reserve(channels);
+    mix.push_back(primary);
+    // Stride-7 walk: 7 is coprime to the 23-entry list, so the
+    // co-runners cycle through every intensity class before
+    // repeating.
+    for (unsigned c = 1; c < channels; ++c)
+        mix.push_back(profiles[(base + 7ull * c) % profiles.size()]);
+    return mix;
+}
+
+WorkloadTrngResult
+fig12Point(const std::vector<WorkloadProfile> &per_channel,
+           double iteration_ns, double bits_per_iteration,
+           double window_ns, uint64_t seed)
+{
+    SystemActivity system =
+        SystemActivity::generate(per_channel, window_ns, seed);
+    SystemInjection injection = injectQuac(system, iteration_ns,
+                                           bits_per_iteration);
+
+    WorkloadTrngResult result;
+    result.name = per_channel.front().name;
+    result.throughputGbps = injection.throughputGbps(window_ns);
+    result.idleFraction = injection.meanIdleFraction();
+    for (size_t c = 0; c < per_channel.size(); ++c) {
+        result.channelWorkloads.push_back(per_channel[c].name);
+        result.perChannelGbps.push_back(
+            injection.perChannel[c].bits / window_ns);
+    }
+    return result;
+}
+
 std::vector<WorkloadTrngResult>
 runSystemStudy(double iteration_ns, double bits_per_iteration,
-               unsigned channels, double window_ns, uint64_t seed)
+               unsigned channels, double window_ns, uint64_t seed,
+               bool heterogeneous)
 {
     std::vector<WorkloadTrngResult> results;
     for (const WorkloadProfile &profile : spec2006Profiles()) {
-        WorkloadTrngResult result;
-        result.name = profile.name;
-        double bits = 0.0;
-        double idle = 0.0;
-        for (unsigned channel = 0; channel < channels; ++channel) {
-            uint64_t sm = seed ^ (0x9E3779B97F4A7C15ULL *
-                                  (channel + 1));
-            for (char c : profile.name)
-                sm = sm * 131 + static_cast<unsigned char>(c);
-            ChannelActivity activity = ChannelActivity::generate(
-                profile, window_ns, sm);
-            InjectionResult injection = injectQuac(
-                activity, iteration_ns, bits_per_iteration);
-            bits += injection.bits;
-            idle += injection.idleFraction;
-        }
-        result.throughputGbps = bits / window_ns;
-        result.idleFraction = idle / channels;
-        results.push_back(std::move(result));
+        std::vector<WorkloadProfile> mix =
+            heterogeneous
+                ? corunnerMix(profile, channels)
+                : std::vector<WorkloadProfile>(channels, profile);
+        results.push_back(fig12Point(mix, iteration_ns,
+                                     bits_per_iteration, window_ns,
+                                     seed));
     }
     return results;
 }

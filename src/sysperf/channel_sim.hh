@@ -1,14 +1,18 @@
 /**
  * @file
  * Memory-channel occupancy simulation and QUAC command injection
- * (paper Section 7.3): generate a channel's busy/idle timeline under
- * a workload, then fit QUAC-TRNG iterations into the idle intervals.
+ * (paper Section 7.3): generate each channel's busy/idle timeline
+ * under its workload, then fit QUAC-TRNG iterations into the idle
+ * intervals. SystemActivity holds the N per-channel timelines of a
+ * multi-channel system, each with its own (possibly heterogeneous)
+ * co-running workload.
  */
 
 #ifndef QUAC_SYSPERF_CHANNEL_SIM_HH
 #define QUAC_SYSPERF_CHANNEL_SIM_HH
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -53,6 +57,41 @@ class ChannelActivity
     double windowNs_ = 0.0;
 };
 
+/**
+ * Per-channel busy/idle timelines of an N-channel system over one
+ * simulation window. Each channel runs its own workload profile, so
+ * heterogeneous co-runner mixes (one memory-bound channel next to
+ * three nearly idle ones) are first-class rather than one profile
+ * cloned N ways.
+ */
+class SystemActivity
+{
+  public:
+    /**
+     * Generate one timeline per entry of @p per_channel. Channel c's
+     * seed is derived deterministically from @p seed, c, and the
+     * profile name, so per-channel streams are independent and the
+     * whole system replays from one seed.
+     */
+    static SystemActivity
+    generate(const std::vector<WorkloadProfile> &per_channel,
+             double window_ns, uint64_t seed);
+
+    size_t channels() const { return channels_.size(); }
+    const ChannelActivity &channel(size_t c) const;
+    /** Profile channel @p c was generated from. */
+    const WorkloadProfile &profile(size_t c) const;
+    double windowNs() const { return windowNs_; }
+
+    /** Mean idle fraction across channels. */
+    double meanIdleFraction() const;
+
+  private:
+    std::vector<ChannelActivity> channels_;
+    std::vector<WorkloadProfile> profiles_;
+    double windowNs_ = 0.0;
+};
+
 /** Result of injecting QUAC-TRNG work into a channel's idle time. */
 struct InjectionResult
 {
@@ -76,6 +115,29 @@ struct InjectionResult
  * @p bits_per_iteration random bits per @p iteration_ns.
  */
 InjectionResult injectQuac(const ChannelActivity &activity,
+                           double iteration_ns,
+                           double bits_per_iteration,
+                           double reentry_overhead_ns = 20.0);
+
+/** System-level injection: one InjectionResult per channel. */
+struct SystemInjection
+{
+    std::vector<InjectionResult> perChannel;
+
+    /** Total random bits across all channels. */
+    double bits() const;
+    /** Aggregate TRNG throughput over the window, in Gb/s. */
+    double throughputGbps(double window_ns) const;
+    /** Mean channel idle fraction. */
+    double meanIdleFraction() const;
+};
+
+/**
+ * Inject QUAC-TRNG work into every channel of @p system
+ * independently (each channel's TRNG only sees that channel's idle
+ * intervals).
+ */
+SystemInjection injectQuac(const SystemActivity &system,
                            double iteration_ns,
                            double bits_per_iteration,
                            double reentry_overhead_ns = 20.0);
@@ -136,17 +198,43 @@ RefillGrant grantRefill(const ChannelActivity &activity,
                         double urgent_ns = 0.0,
                         double reentry_overhead_ns = 20.0);
 
-/** Fig 12 datapoint: a workload's TRNG throughput on 4 channels. */
+/** Fig 12 datapoint: a workload's TRNG throughput on N channels. */
 struct WorkloadTrngResult
 {
     std::string name;
     double throughputGbps = 0.0;
     double idleFraction = 0.0;
+    /** Workload run on each channel (name repeated if cloned). */
+    std::vector<std::string> channelWorkloads;
+    /** Per-channel TRNG throughput contribution, in Gb/s. */
+    std::vector<double> perChannelGbps;
 };
 
 /**
+ * Deterministic heterogeneous co-runner assignment for a Fig-12 row:
+ * @p primary runs on channel 0 and the remaining channels run its
+ * neighbours in the SPEC2006 profile list (stride 7 walk, so mixes
+ * span the intensity classes rather than clustering).
+ */
+std::vector<WorkloadProfile>
+corunnerMix(const WorkloadProfile &primary, unsigned channels);
+
+/**
+ * One Fig 12 datapoint with real per-channel injection: build a
+ * SystemActivity from @p per_channel (one profile per channel),
+ * inject QUAC into each channel's own idle intervals, and aggregate.
+ * The result is named after channel 0's workload (the row's primary).
+ */
+WorkloadTrngResult
+fig12Point(const std::vector<WorkloadProfile> &per_channel,
+           double iteration_ns, double bits_per_iteration,
+           double window_ns, uint64_t seed);
+
+/**
  * Run the full Fig 12 experiment: every workload across
- * @p channels channels.
+ * @p channels channels. With @p heterogeneous false (the paper's
+ * configuration) every channel of a row runs the row's workload;
+ * with it true the co-runners come from corunnerMix().
  *
  * @param iteration_ns per-channel QUAC iteration length (from the
  *        command scheduler).
@@ -155,7 +243,7 @@ struct WorkloadTrngResult
 std::vector<WorkloadTrngResult>
 runSystemStudy(double iteration_ns, double bits_per_iteration,
                unsigned channels = 4, double window_ns = 2.0e6,
-               uint64_t seed = 1);
+               uint64_t seed = 1, bool heterogeneous = false);
 
 } // namespace quac::sysperf
 

@@ -135,5 +135,74 @@ TEST(Sha256, HexFormatting)
     EXPECT_EQ(hex.substr(62, 2), "01");
 }
 
+/** Restores the SHA-NI toggle even when an assertion fails. */
+struct HwGuard
+{
+    bool previous;
+    explicit HwGuard(bool enabled)
+        : previous(Sha256::setHwEnabled(enabled))
+    {
+    }
+    ~HwGuard() { Sha256::setHwEnabled(previous); }
+};
+
+TEST(Sha256, ScalarAndShaNiPathsAreBitIdentical)
+{
+    if (!Sha256::hwAvailable())
+        GTEST_SKIP() << "no SHA-NI on this host/build";
+
+    // Every length mod 64 around the block and padding boundaries,
+    // plus multi-block sizes, under both compression paths.
+    std::vector<size_t> lengths = {0, 1, 31, 55, 56, 63, 64,
+                                   65, 119, 127, 128, 1000, 8192};
+    for (size_t len : lengths) {
+        std::vector<uint8_t> data(len);
+        for (size_t i = 0; i < len; ++i)
+            data[i] = static_cast<uint8_t>(i * 131 + 7);
+
+        Sha256::Digest scalar;
+        Sha256::Digest hw;
+        {
+            HwGuard guard(false);
+            scalar = Sha256::hash(data);
+        }
+        {
+            HwGuard guard(true);
+            hw = Sha256::hash(data);
+        }
+        EXPECT_EQ(Sha256::hex(scalar), Sha256::hex(hw))
+            << "length " << len;
+    }
+}
+
+TEST(Sha256, ShaNiIncrementalMatchesOneShot)
+{
+    if (!Sha256::hwAvailable())
+        GTEST_SKIP() << "no SHA-NI on this host/build";
+    HwGuard guard(true);
+
+    std::vector<uint8_t> data(777);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i);
+    Sha256 hasher;
+    hasher.update(data.data(), 100);
+    hasher.update(data.data() + 100, 1);
+    hasher.update(data.data() + 101, 676);
+    EXPECT_EQ(Sha256::hex(hasher.finish()),
+              Sha256::hex(Sha256::hash(data)));
+}
+
+TEST(Sha256, HwToggleRoundTrips)
+{
+    bool initial = Sha256::hwEnabled();
+    {
+        HwGuard guard(false);
+        EXPECT_FALSE(Sha256::hwEnabled());
+    }
+    EXPECT_EQ(Sha256::hwEnabled(), initial);
+    EXPECT_EQ(Sha256::hwEnabled(),
+              Sha256::hwAvailable() && initial);
+}
+
 } // anonymous namespace
 } // namespace quac

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the multi-channel topology: per-channel scheduler
+ * construction, timing overrides, and channel-addressable QUAC
+ * simulation equivalence with the legacy single-channel entry point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "sched/channel_topology.hh"
+#include "sched/trng_programs.hh"
+
+namespace quac::sched
+{
+namespace
+{
+
+QuacScheduleConfig
+quacConfig()
+{
+    QuacScheduleConfig cfg;
+    cfg.banks = 4;
+    cfg.init = InitMethod::RowClone;
+    cfg.profile = {7, 128, 128};
+    return cfg;
+}
+
+TEST(ChannelTopology, DefaultsMatchPaperSystem)
+{
+    ChannelTopology topology;
+    EXPECT_EQ(topology.channels, 4u);
+    EXPECT_EQ(topology.banksPerChannel, 16u);
+    EXPECT_EQ(topology.bankGroups, 4u);
+    EXPECT_FALSE(topology.heterogeneous());
+}
+
+TEST(ChannelTopology, SingleIsOneChannel)
+{
+    ChannelTopology topology =
+        ChannelTopology::single(dram::TimingParams::ddr4(2400));
+    EXPECT_EQ(topology.channels, 1u);
+}
+
+TEST(ChannelTopology, ChannelTimingOverridesApply)
+{
+    ChannelTopology topology;
+    topology.timing = dram::TimingParams::ddr4(2400);
+    topology.perChannelTiming = {dram::TimingParams::ddr4(1600)};
+    EXPECT_TRUE(topology.heterogeneous());
+    // Channel 0 uses the override; the rest fall back to shared.
+    EXPECT_DOUBLE_EQ(topology.channelTiming(0).tCK,
+                     dram::TimingParams::ddr4(1600).tCK);
+    EXPECT_DOUBLE_EQ(topology.channelTiming(1).tCK,
+                     dram::TimingParams::ddr4(2400).tCK);
+}
+
+TEST(ChannelTopology, OutOfRangeChannelPanics)
+{
+    ChannelTopology topology;
+    EXPECT_THROW(topology.channelTiming(4), PanicError);
+    EXPECT_THROW(topology.makeScheduler(7), PanicError);
+}
+
+TEST(ChannelTopology, ChannelAddressableSimMatchesLegacy)
+{
+    // Identical timing: the per-channel simulation must be
+    // bit-for-bit the legacy single-channel result on any channel.
+    ChannelTopology topology;
+    QuacScheduleConfig cfg = quacConfig();
+    ScheduleStats legacy =
+        simulateQuacTrng(dram::TimingParams::ddr4(2400), cfg);
+    for (uint32_t c = 0; c < topology.channels; ++c) {
+        ScheduleStats per_channel = simulateQuacTrng(topology, c, cfg);
+        EXPECT_DOUBLE_EQ(per_channel.totalNs, legacy.totalNs) << c;
+        EXPECT_DOUBLE_EQ(per_channel.bits, legacy.bits) << c;
+        EXPECT_EQ(per_channel.commands, legacy.commands) << c;
+    }
+}
+
+TEST(ChannelTopology, SlowerChannelCostsMore)
+{
+    ChannelTopology topology;
+    topology.channels = 2;
+    topology.perChannelTiming = {dram::TimingParams::ddr4(1600),
+                                 dram::TimingParams::ddr4(2400)};
+    QuacScheduleConfig cfg = quacConfig();
+    RefillCost slow = quacRefillCost(topology, 0, cfg);
+    RefillCost fast = quacRefillCost(topology, 1, cfg);
+    EXPECT_GT(slow.iterationNs, fast.iterationNs);
+    EXPECT_DOUBLE_EQ(slow.bitsPerIteration, fast.bitsPerIteration);
+    EXPECT_GT(slow.nsPerByte(), fast.nsPerByte());
+}
+
+} // anonymous namespace
+} // namespace quac::sched

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the modelled request-latency queue: distribution
+ * percentiles, hit/miss service costs, per-shard queueing of
+ * synchronous fills, and per-priority recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hh"
+#include "core/rng_service.hh"
+#include "service/entropy_service.hh"
+#include "service/latency_model.hh"
+
+namespace quac::service
+{
+namespace
+{
+
+/** Deterministic byte-counter backend. */
+class CountingTrng : public core::Trng
+{
+  public:
+    explicit CountingTrng(size_t chunk = 0) : chunk_(chunk) {}
+    std::string name() const override { return "counting"; }
+
+    void
+    fill(uint8_t *out, size_t len) override
+    {
+        for (size_t i = 0; i < len; ++i)
+            out[i] = static_cast<uint8_t>(counter_++);
+    }
+
+    size_t preferredChunkBytes() override { return chunk_; }
+
+  private:
+    size_t chunk_;
+    uint64_t counter_ = 0;
+};
+
+TEST(LatencyDistribution, PercentilesAreNearestRank)
+{
+    LatencyDistribution dist;
+    EXPECT_EQ(dist.count(), 0u);
+    EXPECT_DOUBLE_EQ(dist.p50Ns(), 0.0);
+
+    for (int i = 100; i >= 1; --i) // reversed insert order
+        dist.add(static_cast<double>(i));
+    EXPECT_EQ(dist.count(), 100u);
+    EXPECT_DOUBLE_EQ(dist.p50Ns(), 50.0);
+    EXPECT_DOUBLE_EQ(dist.p95Ns(), 95.0);
+    EXPECT_DOUBLE_EQ(dist.p99Ns(), 99.0);
+    EXPECT_DOUBLE_EQ(dist.percentileNs(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(dist.percentileNs(0.001), 1.0);
+    EXPECT_DOUBLE_EQ(dist.meanNs(), 50.5);
+    EXPECT_DOUBLE_EQ(dist.maxNs(), 100.0);
+    EXPECT_THROW(dist.percentileNs(0.0), PanicError);
+}
+
+TEST(LatencyDistribution, MergeCombinesSamples)
+{
+    LatencyDistribution a;
+    LatencyDistribution b;
+    a.add(1.0);
+    a.add(2.0);
+    b.add(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.maxNs(), 10.0);
+    EXPECT_DOUBLE_EQ(a.percentileNs(1.0), 10.0);
+}
+
+/** Config with round, easily assertable latency constants. */
+EntropyServiceConfig
+timedConfig(size_t capacity)
+{
+    EntropyServiceConfig cfg;
+    cfg.shardCapacityBytes = capacity;
+    cfg.refillWatermark = 0.5;
+    cfg.latency = {20.0, 5.0, 2.0}; // hit 20, fixed 5, 2 ns/byte
+    return cfg;
+}
+
+TEST(RequestLatency, HitCostsFixedOverheadOnly)
+{
+    CountingTrng backend(64);
+    EntropyService svc({&backend}, timedConfig(4096));
+    svc.refillBelowWatermark();
+    auto client = svc.connect("hit");
+    uint8_t out[64];
+
+    RequestResult result = client.requestAt(out, sizeof(out), 1000.0);
+    EXPECT_TRUE(result.hit);
+    EXPECT_EQ(result.bytesFromBuffer, sizeof(out));
+    EXPECT_DOUBLE_EQ(result.modeledLatencyNs, 25.0);
+
+    LatencyDistribution dist =
+        svc.latencySnapshot(Priority::Standard);
+    ASSERT_EQ(dist.count(), 1u);
+    EXPECT_DOUBLE_EQ(dist.p50Ns(), 25.0);
+}
+
+TEST(RequestLatency, MissPaysPerByteGenerationCost)
+{
+    CountingTrng backend;
+    EntropyService svc({&backend}, timedConfig(0));
+    auto client = svc.connect("miss");
+    uint8_t out[100];
+
+    RequestResult result = client.requestAt(out, sizeof(out), 0.0);
+    EXPECT_FALSE(result.hit);
+    EXPECT_EQ(result.bytes, sizeof(out));
+    EXPECT_EQ(result.bytesFromBuffer, 0u);
+    // 25 fixed + 100 bytes x 2 ns.
+    EXPECT_DOUBLE_EQ(result.modeledLatencyNs, 225.0);
+}
+
+TEST(RequestLatency, MissesQueueBehindEachOther)
+{
+    CountingTrng backend;
+    EntropyService svc({&backend}, timedConfig(0));
+    auto client = svc.connect("queued");
+    uint8_t out[100];
+
+    // Two misses arriving together: the second waits for the first.
+    EXPECT_DOUBLE_EQ(
+        client.requestAt(out, sizeof(out), 0.0).modeledLatencyNs,
+        225.0);
+    EXPECT_DOUBLE_EQ(
+        client.requestAt(out, sizeof(out), 0.0).modeledLatencyNs,
+        450.0);
+    // An arrival after the queue drained sees the base cost again.
+    EXPECT_DOUBLE_EQ(
+        client.requestAt(out, sizeof(out), 1.0e6).modeledLatencyNs,
+        225.0);
+}
+
+TEST(RequestLatency, InstalledNsPerByteOverridesConfig)
+{
+    CountingTrng backend;
+    EntropyService svc({&backend}, timedConfig(0));
+    svc.setMissLatencyNsPerByte(10.0);
+    auto client = svc.connect("installed");
+    uint8_t out[100];
+    EXPECT_DOUBLE_EQ(
+        client.requestAt(out, sizeof(out), 0.0).modeledLatencyNs,
+        25.0 + 1000.0);
+}
+
+TEST(RequestLatency, RecordedPerPriorityClass)
+{
+    CountingTrng backend(64);
+    EntropyService svc({&backend}, timedConfig(4096));
+    svc.refillBelowWatermark();
+    auto interactive =
+        svc.connect("i", Priority::Interactive);
+    auto bulk = svc.connect("b", Priority::Bulk);
+    uint8_t out[32];
+    interactive.requestAt(out, sizeof(out), 0.0);
+    interactive.requestAt(out, sizeof(out), 100.0);
+    bulk.requestAt(out, sizeof(out), 200.0);
+
+    EXPECT_EQ(svc.latencySnapshot(Priority::Interactive).count(), 2u);
+    EXPECT_EQ(svc.latencySnapshot(Priority::Bulk).count(), 1u);
+    EXPECT_EQ(svc.latencySnapshot(Priority::Standard).count(), 0u);
+
+    svc.resetLatencyStats();
+    EXPECT_EQ(svc.latencySnapshot(Priority::Interactive).count(), 0u);
+}
+
+TEST(RequestLatency, UntimedPathRecordsNothing)
+{
+    CountingTrng backend(64);
+    EntropyService svc({&backend}, timedConfig(4096));
+    svc.refillBelowWatermark();
+    auto client = svc.connect("untimed");
+    uint8_t out[32];
+    RequestResult result = client.request(out, sizeof(out));
+    EXPECT_TRUE(result.hit);
+    EXPECT_DOUBLE_EQ(result.modeledLatencyNs, 0.0);
+    EXPECT_EQ(svc.latencySnapshot(Priority::Standard).count(), 0u);
+}
+
+TEST(RequestLatency, TimedAndUntimedServeIdenticalBytes)
+{
+    CountingTrng timed_backend(64);
+    CountingTrng untimed_backend(64);
+    EntropyService timed({&timed_backend}, timedConfig(256));
+    EntropyService untimed({&untimed_backend}, timedConfig(256));
+    timed.refillBelowWatermark();
+    untimed.refillBelowWatermark();
+    auto tc = timed.connect("t");
+    auto uc = untimed.connect("u");
+
+    // Mixed hits and misses; streams must match byte for byte.
+    uint8_t a[96];
+    uint8_t b[96];
+    for (int i = 0; i < 8; ++i) {
+        tc.requestAt(a, sizeof(a), static_cast<double>(i) * 50.0);
+        uc.request(b, sizeof(b));
+        EXPECT_EQ(std::vector<uint8_t>(a, a + sizeof(a)),
+                  std::vector<uint8_t>(b, b + sizeof(b))) << i;
+    }
+}
+
+TEST(RequestLatency, RngServiceShimExposesTimedRequests)
+{
+    CountingTrng backend(64);
+    core::RngService svc(backend, {.capacityBytes = 256});
+    svc.refillIfBelowWatermark();
+    uint8_t out[64];
+    core::RngService::TimedRequest hit = svc.requestAt(out, 64, 0.0);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_GT(hit.latencyNs, 0.0);
+
+    // Drain to force a synchronous fill: slower than the hit.
+    svc.requestAt(out, 64, 100.0);
+    svc.requestAt(out, 64, 200.0);
+    svc.requestAt(out, 64, 300.0);
+    core::RngService::TimedRequest miss =
+        svc.requestAt(out, 64, 400.0);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_GT(miss.latencyNs, hit.latencyNs);
+    EXPECT_EQ(svc.latencyDistribution().count(), 5u);
+}
+
+} // anonymous namespace
+} // namespace quac::service

@@ -177,6 +177,84 @@ TEST(RefillScheduler, RunAccumulatesAndTopsUpSmallService)
     EXPECT_EQ(scheduler.tick().bytesRefilled, 0u);
 }
 
+TEST(RefillScheduler, ZeroDemandTickGrantsAndRefillsNothing)
+{
+    // A full service (or one whose shards all sit above the
+    // watermark) asks for nothing: the tick must model the window,
+    // account the co-runner's busy time, and grant/steal/refill
+    // zero without touching the shards.
+    Harness harness(4096);
+    harness.service.refillBelowWatermark(); // top both shards up
+    ASSERT_EQ(harness.service.refillDemand().bytes, 0u);
+
+    sysperf::WorkloadProfile lbm{"lbm-like", 0.65, 160.0};
+    RefillScheduler scheduler(
+        harness.service, lbm,
+        schedulerConfig(sysperf::FairnessPolicy::RngPriority));
+    uint64_t refills_before = harness.service.refills();
+
+    RefillAccounting acct = scheduler.tick();
+    EXPECT_EQ(acct.neededNs, 0.0);
+    EXPECT_EQ(acct.grantedNs, 0.0);
+    EXPECT_EQ(acct.stolenBusyNs, 0.0);
+    EXPECT_EQ(acct.bytesRequested, 0u);
+    EXPECT_EQ(acct.bytesRefilled, 0u);
+    EXPECT_GT(acct.busyNs, 0.0) << "the co-runner still ran";
+    EXPECT_DOUBLE_EQ(acct.modeledNs, 1.0e5);
+    EXPECT_EQ(harness.service.refills(), refills_before);
+    EXPECT_EQ(harness.service.level(0), 4096u);
+}
+
+TEST(RefillScheduler, AllShardsAboveWatermarkAreLeftAlone)
+{
+    // Watermark 0.5: shards drained to just above it must not be
+    // refilled, even under a generous policy with a drained peer.
+    CountingTrng b0{64};
+    CountingTrng b1{64};
+    EntropyService service({&b0, &b1},
+                           {.shardCapacityBytes = 4096,
+                            .refillWatermark = 0.5,
+                            .panicWatermark = 0.25});
+    service.refillBelowWatermark();
+    auto client = service.connect("drain", Priority::Standard, 0);
+    std::vector<uint8_t> sink(1024);
+    client.request(sink.data(), sink.size()); // 4096 -> 3072 > 2048
+    ASSERT_EQ(service.refillDemand().bytes, 0u);
+
+    RefillScheduler scheduler(
+        service, {"idle", 0.0, 100.0},
+        schedulerConfig(sysperf::FairnessPolicy::RngPriority));
+    RefillAccounting acct = scheduler.tick();
+    EXPECT_EQ(acct.bytesRefilled, 0u);
+    EXPECT_EQ(service.level(0), 3072u) << "no top-up above watermark";
+
+    // One more drain drops shard 0 to the watermark: now it alone
+    // is refilled back to capacity.
+    client.request(sink.data(), sink.size());
+    EXPECT_EQ(scheduler.tick().bytesRefilled, 2048u);
+    EXPECT_EQ(service.level(0), 4096u);
+    EXPECT_EQ(service.level(1), 4096u);
+}
+
+TEST(RefillScheduler, SubsetDemandAndRefillRespectShardSets)
+{
+    // The per-channel primitives the multi-channel scheduler is
+    // built on: demand and budgeted refill restricted to a set.
+    Harness harness(1 << 12);
+    EntropyService &service = harness.service;
+    EXPECT_EQ(service.refillDemand({0}).bytes, size_t{1} << 12);
+    EXPECT_EQ(service.refillDemand({1}).bytes, size_t{1} << 12);
+    EXPECT_EQ(service.refillDemand({0, 1}).bytes, size_t{2} << 12);
+
+    // A budget issued to shard 1's set must not touch shard 0.
+    size_t added = service.refillTick(1 << 12, {1});
+    EXPECT_EQ(added, size_t{1} << 12);
+    EXPECT_EQ(service.level(0), 0u);
+    EXPECT_EQ(service.level(1), size_t{1} << 12);
+    EXPECT_THROW(service.refillTick(64, {7}), PanicError);
+    EXPECT_THROW(service.refillDemand({7}), PanicError);
+}
+
 TEST(ServiceScenarios, WellFormedAndLookupWorks)
 {
     const auto &scenarios = sysperf::serviceScenarios();

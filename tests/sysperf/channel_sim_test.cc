@@ -256,5 +256,129 @@ TEST(SystemStudy, Figure12Shape)
     EXPECT_GT(namd, lbm) << "compute-bound beats memory-bound";
 }
 
+// ------------------------------------------- multi-channel system
+
+TEST(SystemActivity, PerChannelProfilesAreHonored)
+{
+    std::vector<WorkloadProfile> mix = {{"heavy", 0.60, 120.0},
+                                        {"light", 0.05, 60.0},
+                                        {"idle", 0.0, 60.0}};
+    SystemActivity system = SystemActivity::generate(mix, 4.0e6, 3);
+    ASSERT_EQ(system.channels(), 3u);
+    EXPECT_NEAR(system.channel(0).idleFraction(), 0.40, 0.08);
+    EXPECT_NEAR(system.channel(1).idleFraction(), 0.95, 0.04);
+    EXPECT_DOUBLE_EQ(system.channel(2).idleFraction(), 1.0);
+    EXPECT_EQ(system.profile(0).name, "heavy");
+    EXPECT_EQ(system.profile(2).name, "idle");
+    EXPECT_THROW(system.channel(3), PanicError);
+}
+
+TEST(SystemActivity, ChannelsAreIndependentStreams)
+{
+    // Same profile on every channel must still yield distinct
+    // timelines (independent seeds), and the same seed must replay.
+    std::vector<WorkloadProfile> mix(4, {"clone", 0.30, 80.0});
+    SystemActivity a = SystemActivity::generate(mix, 1.0e6, 17);
+    SystemActivity b = SystemActivity::generate(mix, 1.0e6, 17);
+    EXPECT_NE(a.channel(0).busyIntervals(),
+              a.channel(1).busyIntervals());
+    for (size_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(a.channel(c).busyIntervals(),
+                  b.channel(c).busyIntervals()) << c;
+    }
+}
+
+TEST(SystemInjectionTest, AggregatesPerChannelInjections)
+{
+    std::vector<WorkloadProfile> mix = {{"heavy", 0.60, 120.0},
+                                        {"light", 0.05, 60.0}};
+    SystemActivity system = SystemActivity::generate(mix, 2.0e6, 7);
+    SystemInjection injection = injectQuac(system, 488.0, 1792.0);
+    ASSERT_EQ(injection.perChannel.size(), 2u);
+
+    double expected_bits = 0.0;
+    for (size_t c = 0; c < 2; ++c) {
+        InjectionResult alone =
+            injectQuac(system.channel(c), 488.0, 1792.0);
+        EXPECT_DOUBLE_EQ(injection.perChannel[c].bits, alone.bits);
+        expected_bits += alone.bits;
+    }
+    EXPECT_DOUBLE_EQ(injection.bits(), expected_bits);
+    EXPECT_GT(injection.perChannel[1].bits,
+              injection.perChannel[0].bits)
+        << "the light channel contributes more TRNG bits";
+}
+
+TEST(CorunnerMix, PrimaryFirstThenDistinctCorunners)
+{
+    const WorkloadProfile &lbm = spec2006Profiles()[17];
+    ASSERT_EQ(lbm.name, "lbm");
+    std::vector<WorkloadProfile> mix = corunnerMix(lbm, 4);
+    ASSERT_EQ(mix.size(), 4u);
+    EXPECT_EQ(mix[0].name, "lbm");
+    for (size_t c = 1; c < 4; ++c)
+        EXPECT_NE(mix[c].name, "lbm") << c;
+    EXPECT_NE(mix[1].name, mix[2].name);
+    EXPECT_NE(mix[2].name, mix[3].name);
+    // Deterministic assignment.
+    std::vector<WorkloadProfile> again = corunnerMix(lbm, 4);
+    for (size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(mix[c].name, again[c].name);
+}
+
+TEST(Fig12Point, UsesRealPerChannelInjection)
+{
+    std::vector<WorkloadProfile> mix = {{"heavy", 0.60, 120.0},
+                                        {"light", 0.05, 60.0}};
+    WorkloadTrngResult result =
+        fig12Point(mix, 488.0, 1792.0, 2.0e6, 11);
+    EXPECT_EQ(result.name, "heavy");
+    ASSERT_EQ(result.perChannelGbps.size(), 2u);
+    ASSERT_EQ(result.channelWorkloads.size(), 2u);
+    EXPECT_EQ(result.channelWorkloads[1], "light");
+    EXPECT_NEAR(result.throughputGbps,
+                result.perChannelGbps[0] + result.perChannelGbps[1],
+                1e-9);
+    EXPECT_GT(result.perChannelGbps[1], result.perChannelGbps[0]);
+}
+
+TEST(Fig12Point, HomogeneousStudyUnchangedByRefactor)
+{
+    // The cloned-profile sweep must agree with summing independent
+    // per-channel injections of the same profile (the pre-refactor
+    // behaviour, seed mixing included).
+    auto results = runSystemStudy(488.0, 1792.0, 4, 1.0e6, 42, false);
+    ASSERT_EQ(results.size(), spec2006Profiles().size());
+    const WorkloadProfile &bzip2 = spec2006Profiles()[0];
+    ASSERT_EQ(results[0].name, bzip2.name);
+    std::vector<WorkloadProfile> clones(4, bzip2);
+    WorkloadTrngResult direct =
+        fig12Point(clones, 488.0, 1792.0, 1.0e6, 42);
+    EXPECT_DOUBLE_EQ(results[0].throughputGbps, direct.throughputGbps);
+}
+
+TEST(Fig12Point, HeterogeneousSweepFlattensSpread)
+{
+    auto cloned = runSystemStudy(488.0, 1792.0, 4, 1.0e6, 42, false);
+    auto mixed = runSystemStudy(488.0, 1792.0, 4, 1.0e6, 42, true);
+    ASSERT_EQ(cloned.size(), mixed.size());
+
+    auto spread = [](const std::vector<WorkloadTrngResult> &results) {
+        double lo = 1e18;
+        double hi = 0.0;
+        for (const auto &result : results) {
+            lo = std::min(lo, result.throughputGbps);
+            hi = std::max(hi, result.throughputGbps);
+        }
+        return hi - lo;
+    };
+    // Mixing co-runners onto each row pulls the extremes toward the
+    // population mean: the min row gains idle channels, the max row
+    // loses some.
+    EXPECT_LT(spread(mixed), spread(cloned));
+    for (const auto &result : mixed)
+        EXPECT_EQ(result.channelWorkloads.size(), 4u);
+}
+
 } // anonymous namespace
 } // namespace quac::sysperf
