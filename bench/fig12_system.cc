@@ -17,13 +17,16 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "crypto/sha256.hh"
 #include "sched/trng_programs.hh"
+#include "service/placement.hh"
 #include "service/refill_scheduler.hh"
 #include "sysperf/channel_sim.hh"
 #include "util.hh"
@@ -437,13 +440,295 @@ runRebalanceStudy(double bits_per_iteration, uint64_t seed,
     return identical;
 }
 
+// --------------------------------------------- closed-loop study
+
+/** Client placement mode of one closed-loop run. */
+enum class PlacementMode
+{
+    /** Blind round-robin connect, no rebalancing, no migration. */
+    Static,
+    /** Shard-level rebalancing driven by grant ratios (PR-4 loop). */
+    GrantRatio,
+    /**
+     * The closed loop: least-loaded connect, SLO-driven client
+     * migration, and shard rebalancing triggered by the measured
+     * per-shard latency tail instead of grant bookkeeping.
+     */
+    Latency,
+};
+
+const char *
+placementModeName(PlacementMode mode)
+{
+    switch (mode) {
+    case PlacementMode::Static: return "static";
+    case PlacementMode::GrantRatio: return "grant-ratio";
+    case PlacementMode::Latency: return "latency";
+    }
+    return "?";
+}
+
+/** Outcome of one closed-loop run. */
+struct ClosedLoopOutcome
+{
+    std::string mode;
+    double interactiveP95Ns = 0.0;
+    double interactiveP99Ns = 0.0;
+    double standardP99Ns = 0.0;
+    double interactiveHitRate = 0.0;
+    uint64_t clientMigrations = 0;
+    uint64_t shardMigrations = 0;
+    /** Every byte each shard served, in serve order. */
+    std::vector<std::vector<uint8_t>> served;
+};
+
+/** Interactive p99 SLO the closed loop enforces, in modelled ns. */
+constexpr double kClosedLoopSloNs = 100.0;
+
+/**
+ * One closed-loop run: 8 shards over 4 channels under FCFS, channel
+ * 0 saturated by the primary co-runner and the rest running the
+ * heterogeneous corunnerMix. Per-shard bulk drains outpace channel
+ * 0's trickle of idle bandwidth, so its shards sit empty; after a
+ * warm-up, interactive and standard clients connect and issue
+ * timestamped requests. Whether they suffer depends only on the
+ * placement mode under test.
+ */
+ClosedLoopOutcome
+runClosedLoopCase(PlacementMode mode, double bits_per_iteration,
+                  uint64_t seed, int ticks)
+{
+    constexpr size_t nshards = 8;
+    constexpr unsigned nchannels = 4;
+    const double tick_ns = 1.0e5;
+    size_t chunk = static_cast<size_t>(bits_per_iteration / 8.0);
+
+    std::vector<std::unique_ptr<benchutil::CountingTrng>> backends;
+    std::vector<core::Trng *> pool;
+    for (size_t i = 0; i < nshards; ++i) {
+        backends.push_back(
+            std::make_unique<benchutil::CountingTrng>(chunk));
+        pool.push_back(backends.back().get());
+    }
+    service::EntropyServiceConfig scfg;
+    scfg.shardCapacityBytes = 8192;
+    scfg.refillWatermark = 0.75;
+    scfg.panicWatermark = 0.25;
+    scfg.placement = mode == PlacementMode::Latency
+                         ? service::PlacementPolicy::LeastLoaded
+                         : service::PlacementPolicy::RoundRobin;
+    service::EntropyService svc(pool, scfg);
+    svc.refillBelowWatermark();
+
+    service::MultiChannelRefillConfig mcfg;
+    mcfg.topology.channels = nchannels;
+    mcfg.policy = sysperf::FairnessPolicy::Fcfs;
+    mcfg.tickNs = tick_ns;
+    mcfg.seed = seed;
+    mcfg.installLatencyCost = true;
+    mcfg.rebalance = mode != PlacementMode::Static;
+    mcfg.starveTickThreshold = 3;
+    if (mode == PlacementMode::Latency) {
+        mcfg.trigger = service::RebalanceTrigger::ShardLatency;
+        mcfg.rebalanceSloNs = kClosedLoopSloNs;
+    }
+    std::vector<sysperf::WorkloadProfile> traffic =
+        sysperf::corunnerMix({"saturated", 0.97, 500.0}, nchannels);
+    service::MultiChannelRefillScheduler scheduler(svc, traffic, mcfg);
+
+    service::SloMigratorConfig migcfg;
+    migcfg.slo[0] = {0.0, kClosedLoopSloNs};       // interactive p99
+    migcfg.slo[1] = {0.0, 4.0 * kClosedLoopSloNs}; // standard p99
+    migcfg.breachTicks = 2;
+    migcfg.cooldownTicks = 8;
+    service::SloMigrator migrator(svc, migcfg);
+
+    ClosedLoopOutcome outcome;
+    outcome.mode = placementModeName(mode);
+    outcome.served.resize(nshards);
+
+    // One bulk drain per shard; its pressure (2 KiB/tick) dwarfs the
+    // saturated channel's usable idle bandwidth.
+    std::vector<service::EntropyService::Client> drains;
+    for (size_t s = 0; s < nshards; ++s) {
+        drains.push_back(
+            svc.connect("drain", service::Priority::Bulk, s));
+    }
+    constexpr size_t drain_bytes = 2048;
+    std::vector<uint8_t> buf(1 << 15);
+    auto serve = [&](service::EntropyService::Client &client,
+                     size_t len, double at) {
+        size_t shard = client.shard();
+        auto result = std::isnan(at)
+                          ? client.request(buf.data(), len)
+                          : client.requestAt(buf.data(), len, at);
+        outcome.served[shard].insert(outcome.served[shard].end(),
+                                     buf.data(),
+                                     buf.data() + result.bytes);
+    };
+    auto drainAll = [&]() {
+        for (auto &drain : drains)
+            serve(drain, drain_bytes,
+                  std::numeric_limits<double>::quiet_NaN());
+    };
+
+    // Warm-up: ten drain-only ticks empty the saturated channel's
+    // shards while the healthy channels keep theirs topped up, so
+    // connect-time load genuinely differs across shards.
+    constexpr int warmup = 10;
+    for (int t = 0; t < warmup; ++t) {
+        drainAll();
+        scheduler.tick();
+    }
+
+    std::vector<service::EntropyService::Client> interactive;
+    for (int i = 0; i < 4; ++i) {
+        interactive.push_back(svc.connect(
+            "keys" + std::to_string(i), service::Priority::Interactive));
+        migrator.manage(interactive.back());
+    }
+    std::vector<service::EntropyService::Client> standard;
+    for (int i = 0; i < 2; ++i) {
+        standard.push_back(svc.connect(
+            "apps" + std::to_string(i), service::Priority::Standard));
+        migrator.manage(standard.back());
+    }
+
+    for (int t = 0; t < ticks; ++t) {
+        double tick_start = static_cast<double>(warmup + t) * tick_ns;
+        drainAll();
+        // Two interactive requests per client per tick, one standard,
+        // spread across the tick in a fixed arrival order.
+        for (size_t i = 0; i < interactive.size(); ++i) {
+            serve(interactive[i], 256,
+                  tick_start + (0.1 + 0.1 * static_cast<double>(i)) *
+                                   tick_ns);
+            serve(interactive[i], 256,
+                  tick_start + (0.5 + 0.1 * static_cast<double>(i)) *
+                                   tick_ns);
+        }
+        for (size_t i = 0; i < standard.size(); ++i) {
+            serve(standard[i], 512,
+                  tick_start + (0.45 + 0.1 * static_cast<double>(i)) *
+                                   tick_ns);
+        }
+        scheduler.tick();
+        if (mode == PlacementMode::Latency)
+            migrator.tick();
+    }
+
+    outcome.interactiveP95Ns =
+        svc.latencySnapshot(service::Priority::Interactive).p95Ns();
+    outcome.interactiveP99Ns =
+        svc.latencySnapshot(service::Priority::Interactive).p99Ns();
+    outcome.standardP99Ns =
+        svc.latencySnapshot(service::Priority::Standard).p99Ns();
+    uint64_t requests = 0;
+    uint64_t hits = 0;
+    for (const auto &client : interactive) {
+        service::ClientStats stats = client.stats();
+        requests += stats.requests;
+        hits += stats.bufferHits;
+    }
+    outcome.interactiveHitRate =
+        requests ? static_cast<double>(hits) /
+                       static_cast<double>(requests)
+                 : 0.0;
+    outcome.clientMigrations = migrator.migrations();
+    outcome.shardMigrations = scheduler.migrations();
+    return outcome;
+}
+
+/**
+ * Per-shard byte identity across placement modes: different modes
+ * drain different *amounts* from each shard (clients sit elsewhere),
+ * but every byte a shard serves must come from the same backend
+ * stream position regardless of who asked — so the streams must
+ * agree on their common prefix, SHA-verified.
+ */
+bool
+shardPrefixesIdentical(const std::vector<ClosedLoopOutcome *> &runs)
+{
+    size_t nshards = runs[0]->served.size();
+    for (size_t s = 0; s < nshards; ++s) {
+        size_t common = runs[0]->served[s].size();
+        for (const ClosedLoopOutcome *run : runs)
+            common = std::min(common, run->served[s].size());
+        std::string reference = Sha256::hex(
+            Sha256::hash(runs[0]->served[s].data(), common));
+        for (const ClosedLoopOutcome *run : runs) {
+            if (Sha256::hex(Sha256::hash(run->served[s].data(),
+                                         common)) != reference)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+runClosedLoopStudy(double bits_per_iteration, uint64_t seed,
+                   int ticks, std::vector<ClosedLoopOutcome> &outcomes,
+                   bool &identical)
+{
+    std::printf("\nClosed-loop placement study (channel 0 saturated, "
+                "heterogeneous co-runners, fcfs, %d ticks, "
+                "interactive p99 SLO %.0f ns):\n",
+                ticks, kClosedLoopSloNs);
+    outcomes.clear();
+    for (PlacementMode mode :
+         {PlacementMode::Static, PlacementMode::GrantRatio,
+          PlacementMode::Latency}) {
+        outcomes.push_back(
+            runClosedLoopCase(mode, bits_per_iteration, seed, ticks));
+    }
+
+    Table table({"mode", "int hit rate", "int p95 ns", "int p99 ns",
+                 "std p99 ns", "client migs", "shard migs",
+                 "SLO met"});
+    for (const ClosedLoopOutcome &outcome : outcomes) {
+        table.addRow(
+            {outcome.mode, Table::num(outcome.interactiveHitRate, 3),
+             Table::num(outcome.interactiveP95Ns, 0),
+             Table::num(outcome.interactiveP99Ns, 0),
+             Table::num(outcome.standardP99Ns, 0),
+             std::to_string(outcome.clientMigrations),
+             std::to_string(outcome.shardMigrations),
+             outcome.interactiveP99Ns <= kClosedLoopSloNs ? "yes"
+                                                          : "no"});
+    }
+    table.print();
+
+    std::vector<ClosedLoopOutcome *> runs;
+    for (ClosedLoopOutcome &outcome : outcomes)
+        runs.push_back(&outcome);
+    identical = shardPrefixesIdentical(runs);
+    bool improves =
+        outcomes[2].interactiveP99Ns < outcomes[0].interactiveP99Ns;
+    std::printf("Per-shard output bytes identical across modes: %s\n",
+                identical ? "YES" : "NO (BUG)");
+    std::printf("Latency-driven p99 beats static round-robin: %s "
+                "(%.0f vs %.0f ns)\n",
+                improves ? "YES" : "NO",
+                outcomes[2].interactiveP99Ns,
+                outcomes[0].interactiveP99Ns);
+    std::printf("Expected shape: static leaves interactive clients "
+                "missing on the saturated channel's shards forever; "
+                "grant-ratio rebalancing refills those shards; the "
+                "latency-driven loop additionally places and "
+                "migrates the clients themselves, meeting the "
+                "tightest tail.\n");
+    return improves;
+}
+
 // -------------------------------------------------- JSON output
 
 bool
 writeJson(const std::string &path,
           const std::vector<LatencyRow> &latency,
           const RebalanceOutcome &off, const RebalanceOutcome &on,
-          bool identical)
+          bool identical,
+          const std::vector<ClosedLoopOutcome> &closed_loop,
+          bool closed_loop_identical, bool closed_loop_improves)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -475,8 +760,32 @@ writeJson(const std::string &path,
                          outcome->migrations),
                      outcome->starvedHitRate, outcome->starvedP95Ns);
     }
-    std::fprintf(f, "    \"bytes_identical\": %s\n  }\n}\n",
+    std::fprintf(f, "    \"bytes_identical\": %s\n  },\n",
                  identical ? "true" : "false");
+    std::fprintf(f, "  \"closed_loop_study\": {\n"
+                 "    \"slo_ns\": %.1f,\n", kClosedLoopSloNs);
+    for (const ClosedLoopOutcome &outcome : closed_loop) {
+        std::fprintf(
+            f,
+            "    \"%s\": {\"interactive_hit_rate\": %.4f, "
+            "\"interactive_p95_ns\": %.1f, "
+            "\"interactive_p99_ns\": %.1f, "
+            "\"standard_p99_ns\": %.1f, "
+            "\"client_migrations\": %llu, "
+            "\"shard_migrations\": %llu, \"slo_met\": %s},\n",
+            outcome.mode.c_str(), outcome.interactiveHitRate,
+            outcome.interactiveP95Ns, outcome.interactiveP99Ns,
+            outcome.standardP99Ns,
+            static_cast<unsigned long long>(outcome.clientMigrations),
+            static_cast<unsigned long long>(outcome.shardMigrations),
+            outcome.interactiveP99Ns <= kClosedLoopSloNs ? "true"
+                                                         : "false");
+    }
+    std::fprintf(f,
+                 "    \"bytes_identical\": %s,\n"
+                 "    \"latency_beats_static\": %s\n  }\n}\n",
+                 closed_loop_identical ? "true" : "false",
+                 closed_loop_improves ? "true" : "false");
     std::fclose(f);
     return true;
 }
@@ -620,8 +929,16 @@ main(int argc, char **argv)
     bool identical = runRebalanceStudy(bits_per_iteration, seed,
                                        ticks, off, on);
 
+    std::vector<ClosedLoopOutcome> closed_loop;
+    bool closed_loop_identical = false;
+    bool closed_loop_improves = runClosedLoopStudy(
+        bits_per_iteration, seed, ticks, closed_loop,
+        closed_loop_identical);
+
     if (!json_path.empty() &&
-        !writeJson(json_path, latency, off, on, identical))
+        !writeJson(json_path, latency, off, on, identical,
+                   closed_loop, closed_loop_identical,
+                   closed_loop_improves))
         return 1;
-    return identical ? 0 : 1;
+    return identical && closed_loop_identical ? 0 : 1;
 }

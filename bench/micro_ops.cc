@@ -424,7 +424,7 @@ BM_ServiceRequest_Hit(benchmark::State &state)
 BENCHMARK(BM_ServiceRequest_Hit);
 
 /**
- * Miss path: a zero-capacity shard forces every request through the
+ * Miss path: a never-refilled shard forces every request through the
  * synchronous backend fallback, measuring the service overhead over
  * a raw Trng::fill call.
  */
@@ -432,7 +432,7 @@ void
 BM_ServiceRequest_Miss(benchmark::State &state)
 {
     CountingTrng backend;
-    service::EntropyService svc({&backend}, {.shardCapacityBytes = 0});
+    service::EntropyService svc({&backend}, {.shardCapacityBytes = 64});
     auto client = svc.connect("miss");
     uint8_t out[64];
     for (auto _ : state)

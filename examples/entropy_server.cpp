@@ -16,10 +16,18 @@
  * also reports the modelled end-to-end latency distribution per
  * priority class (DR-STRaNGe's request-latency view).
  *
+ * Client placement closes the loop: --placement least-loaded pins
+ * interactive clients to the least-loaded shard at connect, and
+ * --slo-ns enables SLO-driven migration (interactive p99 above the
+ * target moves the client to a better shard, with hysteresis; the
+ * rebalancer switches to the measured-latency trigger too).
+ *
  *   ./entropy_server [--scenario web-keyserver]
  *                    [--policy buffered-fair|fcfs|rng-priority]
  *                    [--modules 2] [--ticks 200] [--capacity 16384]
- *                    [--channels 2] [--rebalance]
+ *                    [--channels 2] [--shards 4] [--rebalance]
+ *                    [--placement round-robin|least-loaded]
+ *                    [--slo-ns 100]
  */
 
 #include <algorithm>
@@ -33,6 +41,7 @@
 #include "common/table.hh"
 #include "core/trng.hh"
 #include "dram/catalog.hh"
+#include "service/placement.hh"
 #include "service/refill_scheduler.hh"
 #include "sysperf/channel_sim.hh"
 #include "sysperf/workloads.hh"
@@ -42,16 +51,15 @@ using namespace quac;
 namespace
 {
 
-sysperf::FairnessPolicy
-parsePolicy(const std::string &name)
+service::PlacementPolicy
+parsePlacement(const std::string &name)
 {
-    for (auto policy : {sysperf::FairnessPolicy::Fcfs,
-                        sysperf::FairnessPolicy::RngPriority,
-                        sysperf::FairnessPolicy::BufferedFair}) {
-        if (name == sysperf::fairnessPolicyName(policy))
+    for (auto policy : {service::PlacementPolicy::RoundRobin,
+                        service::PlacementPolicy::LeastLoaded}) {
+        if (name == service::placementPolicyName(policy))
             return policy;
     }
-    fatal("unknown policy '%s' (fcfs, rng-priority, buffered-fair)",
+    fatal("unknown placement '%s' (round-robin, least-loaded)",
           name.c_str());
 }
 
@@ -80,17 +88,34 @@ main(int argc, char **argv)
 {
     CliArgs args(argc, argv,
                  {"scenario", "policy", "modules", "ticks", "capacity",
-                  "channels", "rebalance"});
+                  "channels", "shards", "rebalance", "placement",
+                  "slo-ns"});
     const sysperf::ServiceScenario &scenario = sysperf::serviceScenario(
         args.getString("scenario", "web-keyserver"));
-    sysperf::FairnessPolicy policy =
-        parsePolicy(args.getString("policy", "buffered-fair"));
+    sysperf::FairnessPolicy policy = sysperf::fairnessPolicyFromName(
+        args.getString("policy", "buffered-fair"));
     size_t nmodules = args.getUint("modules", 2);
+    if (nmodules == 0)
+        fatal("--modules must be >= 1");
     uint64_t ticks = args.getUint("ticks", 200);
     size_t capacity = args.getUint("capacity", 16384);
+    if (capacity == 0)
+        fatal("--capacity must be > 0 (shards need a buffer)");
     unsigned channels =
         static_cast<unsigned>(args.getUint("channels", 2));
+    if (channels == 0)
+        fatal("--channels must be >= 1");
+    // 0 = one shard per backend (the service default); an explicit
+    // --shards 0 is a config error, not a silent fallback.
+    size_t nshards = args.getUint("shards", 0);
+    if (args.has("shards") && nshards == 0)
+        fatal("--shards must be >= 1");
     bool rebalance = args.getBool("rebalance");
+    service::PlacementPolicy placement =
+        parsePlacement(args.getString("placement", "round-robin"));
+    double slo_ns = args.getDouble("slo-ns", 0.0);
+    if (slo_ns < 0.0)
+        fatal("--slo-ns must be >= 0 (0 disables migration)");
 
     // One QUAC-TRNG per simulated module (test-scale geometry keeps
     // the demo snappy; the service layer is geometry-agnostic).
@@ -121,9 +146,11 @@ main(int argc, char **argv)
     }
 
     service::EntropyService svc(pool,
-                                {.shardCapacityBytes = capacity,
+                                {.shards = nshards,
+                                 .shardCapacityBytes = capacity,
                                  .refillWatermark = 0.75,
-                                 .panicWatermark = 0.25});
+                                 .panicWatermark = 0.25,
+                                 .placement = placement});
     svc.refillBelowWatermark();
 
     service::MultiChannelRefillConfig rcfg;
@@ -132,9 +159,24 @@ main(int argc, char **argv)
     rcfg.tickNs = 1.0e5; // 0.1 ms
     rcfg.rebalance = rebalance;
     rcfg.installLatencyCost = true;
+    if (slo_ns > 0.0 && rebalance) {
+        // With an SLO the rebalancer runs closed-loop too: the
+        // measured per-shard tail, not the grant ratio, flags
+        // starved shards.
+        rcfg.trigger = service::RebalanceTrigger::ShardLatency;
+        rcfg.rebalanceSloNs = slo_ns;
+    }
     std::vector<sysperf::WorkloadProfile> traffic =
         sysperf::corunnerMix(scenario.memoryTraffic, channels);
     service::MultiChannelRefillScheduler scheduler(svc, traffic, rcfg);
+
+    // SLO-driven client migration: interactive clients get the
+    // target itself, standard clients four times the slack; bulk is
+    // buffer-only backpressure and never migrates.
+    service::SloMigratorConfig migcfg;
+    migcfg.slo[0] = {0.0, slo_ns};
+    migcfg.slo[1] = {0.0, 4.0 * slo_ns};
+    service::SloMigrator migrator(svc, migcfg);
 
     std::printf("\nScenario '%s': %u clients over %zu shards on %u "
                 "channels, policy %s, rebalance %s\n",
@@ -142,6 +184,10 @@ main(int argc, char **argv)
                 svc.shardCount(), channels,
                 sysperf::fairnessPolicyName(policy),
                 rebalance ? "on" : "off");
+    std::printf("Placement %s, SLO %s (interactive p99 target "
+                "%.0f ns)\n",
+                service::placementPolicyName(placement),
+                slo_ns > 0.0 ? "on" : "off", slo_ns);
     for (unsigned c = 0; c < channels; ++c) {
         std::printf("  channel %u co-runner '%s' (%.0f%% busy)\n", c,
                     traffic[c].name.c_str(),
@@ -155,6 +201,9 @@ main(int argc, char **argv)
                                                std::to_string(c),
                                            mapPriority(cls.priority)),
                                &cls});
+            if (slo_ns > 0.0 &&
+                mapPriority(cls.priority) != service::Priority::Bulk)
+                migrator.manage(clients.back().handle);
         }
     }
 
@@ -198,6 +247,8 @@ main(int argc, char **argv)
                                     arrival.at);
         }
         scheduler.tick();
+        if (slo_ns > 0.0)
+            migrator.tick();
     }
 
     // Per-class outcomes.
@@ -286,11 +337,13 @@ main(int argc, char **argv)
                 acct.grantedNs * 1e-3, acct.neededNs * 1e-3,
                 acct.usableIdleNs * 1e-3);
     std::printf("  memory-traffic slowdown: %.3f (policy %s), "
-                "%llu shard migrations\n",
+                "%llu shard migrations, %llu client migrations\n",
                 acct.memSlowdown(),
                 sysperf::fairnessPolicyName(policy),
                 static_cast<unsigned long long>(
-                    scheduler.migrations()));
+                    scheduler.migrations()),
+                static_cast<unsigned long long>(
+                    migrator.migrations()));
     std::printf("  service: %llu requests, %llu hits, %llu sync "
                 "fills, %llu bytes refilled\n",
                 static_cast<unsigned long long>(svc.requestsServed()),

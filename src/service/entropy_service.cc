@@ -23,12 +23,30 @@ priorityName(Priority priority)
     return "?";
 }
 
-/** Per-client registration; statistics guarded by the shard mutex. */
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+    case PlacementPolicy::RoundRobin: return "round-robin";
+    case PlacementPolicy::LeastLoaded: return "least-loaded";
+    }
+    return "?";
+}
+
+/**
+ * Per-client registration. The shard pin is atomic so migration can
+ * race with the client's own requests (a request in flight resolves
+ * the pin once, at entry); statistics get their own mutex because
+ * with migration "the client's shard mutex" is no longer a stable
+ * guard (a stats() reader could lock shard B while a request that
+ * resolved shard A is still writing).
+ */
 struct EntropyService::Client::State
 {
     std::string name;
     Priority priority = Priority::Standard;
-    size_t shard = 0;
+    std::atomic<size_t> shard{0};
+    mutable std::mutex statsMutex;
     ClientStats stats;
 };
 
@@ -47,6 +65,15 @@ EntropyService::EntropyService(std::vector<core::Trng *> backends,
     if (cfg_.panicWatermark < 0.0 ||
         cfg_.panicWatermark > cfg_.refillWatermark)
         fatal("panic watermark must be in [0, refill watermark]");
+    if (cfg_.shardCapacityBytes == 0)
+        fatal("shard capacity must be > 0 (for an unbuffered "
+              "generator call Trng::fill directly)");
+    if (cfg_.refillThreads == 0)
+        fatal("refill threads must be >= 1 (1 = serial refill)");
+    if (cfg_.placementLatencyWeight < 0.0)
+        fatal("placement latency weight must be >= 0");
+    if (cfg_.recentLatencyWindow == 0)
+        fatal("recent latency window must hold at least one sample");
 
     size_t nshards = cfg_.shards ? cfg_.shards : backends.size();
     backendLocks_.reserve(backends.size());
@@ -58,6 +85,7 @@ EntropyService::EntropyService(std::vector<core::Trng *> backends,
         auto shard = std::make_unique<Shard>();
         shard->backendIndex = i % backends.size();
         shard->backend = backends[shard->backendIndex];
+        shard->recent = RecentLatencyWindow(cfg_.recentLatencyWindow);
         shards_.push_back(std::move(shard));
     }
 }
@@ -115,14 +143,24 @@ EntropyService::pullLocked(Shard &shard, size_t want)
     size_t cap = shard.ring.size();
     QUAC_ASSERT(shard.size + want <= cap, "ring overflow: %zu + %zu > %zu",
                 shard.size, want, cap);
-    std::lock_guard<std::mutex> backend_lock(
-        *backendLocks_[shard.backendIndex]);
-    size_t tail = (shard.head + shard.size) % cap;
-    size_t first = std::min(want, cap - tail);
-    shard.backend->fill(shard.ring.data() + tail, first);
-    if (want > first)
-        shard.backend->fill(shard.ring.data(), want - first);
-    shard.size += want;
+    {
+        std::lock_guard<std::mutex> backend_lock(
+            *backendLocks_[shard.backendIndex]);
+        size_t tail = (shard.head + shard.size) % cap;
+        size_t first = std::min(want, cap - tail);
+        shard.backend->fill(shard.ring.data() + tail, first);
+        if (want > first)
+            shard.backend->fill(shard.ring.data(), want - first);
+        shard.size += want;
+    }
+    // A full top-up retires the shard's congestion history: the tail
+    // the window measured came from an empty buffer that no longer
+    // exists, and without this reset a recovered shard that lost its
+    // timed traffic (e.g. after its clients migrated away) would
+    // repel placements and trip the latency rebalancer forever. If
+    // congestion persists, the very next misses rebuild the signal.
+    if (shard.size >= cfg_.shardCapacityBytes)
+        shard.recent.clear();
 }
 
 size_t
@@ -332,23 +370,109 @@ EntropyService::shardChunkBytes(size_t shard)
     return chunkLocked(*shards_[shard]);
 }
 
+double
+EntropyService::deficitFractionLocked(const Shard &shard) const
+{
+    double capacity = static_cast<double>(cfg_.shardCapacityBytes);
+    size_t buffered = std::min(shard.size, cfg_.shardCapacityBytes);
+    return (capacity - static_cast<double>(buffered)) / capacity;
+}
+
+double
+EntropyService::loadLocked(const Shard &shard) const
+{
+    return deficitFractionLocked(shard) +
+           shard.recent.p95Ns() * cfg_.placementLatencyWeight;
+}
+
+double
+EntropyService::shardLoad(size_t shard) const
+{
+    QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
+    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+    return loadLocked(*shards_[shard]);
+}
+
+double
+EntropyService::shardRecentPercentileNs(size_t shard, double q) const
+{
+    QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
+    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+    return shards_[shard]->recent.percentileNs(q);
+}
+
+EntropyService::ShardLoadSnapshot
+EntropyService::shardLoadSnapshot(size_t shard) const
+{
+    QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
+    const Shard &locked = *shards_[shard];
+    std::lock_guard<std::mutex> lock(locked.mutex);
+    ShardLoadSnapshot snapshot;
+    snapshot.recentP95Ns = locked.recent.p95Ns();
+    snapshot.recentP99Ns = locked.recent.p99Ns();
+    snapshot.load = deficitFractionLocked(locked) +
+                    snapshot.recentP95Ns * cfg_.placementLatencyWeight;
+    return snapshot;
+}
+
+size_t
+EntropyService::leastLoadedShard() const
+{
+    size_t best = 0;
+    double best_load = shardLoad(0);
+    for (size_t s = 1; s < shards_.size(); ++s) {
+        double load = shardLoad(s);
+        if (load < best_load) {
+            best = s;
+            best_load = load;
+        }
+    }
+    return best;
+}
+
 EntropyService::Client
 EntropyService::connect(std::string name, Priority priority,
                         size_t shard)
 {
     std::lock_guard<std::mutex> lock(clientsMutex_);
-    if (shard == autoShard)
-        shard = nextShard_++ % shards_.size();
+    if (shard == autoShard) {
+        // Least-loaded placement only steers the latency-critical
+        // class: interactive clients avoid drained/slow shards,
+        // while standard/bulk traffic keeps spreading round-robin
+        // instead of piling onto the emptiest shard.
+        if (cfg_.placement == PlacementPolicy::LeastLoaded &&
+            priority == Priority::Interactive) {
+            shard = leastLoadedShard();
+        } else {
+            shard = nextShard_++ % shards_.size();
+        }
+    }
     if (shard >= shards_.size())
         fatal("client '%s' pinned to shard %zu of %zu", name.c_str(),
               shard, shards_.size());
     auto state = std::make_unique<Client::State>();
     state->name = std::move(name);
     state->priority = priority;
-    state->shard = shard;
+    state->shard.store(shard, std::memory_order_release);
     Client client(this, state.get());
     clients_.push_back(std::move(state));
     return client;
+}
+
+bool
+EntropyService::migrateClient(const Client &client, size_t shard)
+{
+    QUAC_ASSERT(client.service_ == this, "client of another service");
+    if (shard >= shards_.size())
+        fatal("client '%s' migrated to shard %zu of %zu",
+              client.state_->name.c_str(), shard, shards_.size());
+    Client::State &state = *client.state_;
+    if (state.shard.exchange(shard, std::memory_order_acq_rel) ==
+        shard)
+        return false;
+    std::lock_guard<std::mutex> stats_lock(state.statsMutex);
+    ++state.stats.migrations;
+    return true;
 }
 
 void
@@ -378,34 +502,33 @@ EntropyService::requestOn(Client::State &client, uint8_t *out,
                           size_t len, double arrival_ns)
 {
     bool timed = !std::isnan(arrival_ns);
-    Shard &shard = *shards_[client.shard];
+    // The shard pin is resolved exactly once: a migration racing
+    // with this request either redirects it entirely or not at all,
+    // so the request always drains a single shard's stream.
+    Shard &shard =
+        *shards_[client.shard.load(std::memory_order_acquire)];
     std::lock_guard<std::mutex> lock(shard.mutex);
-    ClientStats &stats = client.stats;
-    ++stats.requests;
     requests_.fetch_add(1, std::memory_order_relaxed);
 
     RequestResult result;
     if (cfg_.maxRequestBytes && len > cfg_.maxRequestBytes) {
-        ++stats.denials;
         denials_.fetch_add(1, std::memory_order_relaxed);
         result.denied = true;
+        std::lock_guard<std::mutex> stats_lock(client.statsMutex);
+        ++client.stats.requests;
+        ++client.stats.denials;
         return result;
     }
 
     size_t from_buffer = takeLocked(shard, out, len);
-    stats.bytesFromBuffer += from_buffer;
     size_t synchronous_bytes = 0;
     if (from_buffer == len) {
-        ++stats.bufferHits;
         hits_.fetch_add(1, std::memory_order_relaxed);
-        stats.bytesServed += len;
         result.bytes = len;
         result.hit = true;
     } else if (client.priority == Priority::Bulk) {
         // Buffer-only class: partial service is the backpressure
         // signal; the caller retries after the next refill.
-        ++stats.partialServes;
-        stats.bytesServed += from_buffer;
         result.bytes = from_buffer;
     } else {
         // Drain what the buffer has, then complete synchronously on
@@ -419,10 +542,7 @@ EntropyService::requestOn(Client::State &client, uint8_t *out,
             shard.backend->fill(out + from_buffer, len - from_buffer);
         }
         synchronous_bytes = len - from_buffer;
-        ++stats.synchronousFills;
         misses_.fetch_add(1, std::memory_order_relaxed);
-        stats.bytesSynchronous += synchronous_bytes;
-        stats.bytesServed += len;
         result.bytes = len;
     }
     result.bytesFromBuffer = from_buffer;
@@ -433,9 +553,9 @@ EntropyService::requestOn(Client::State &client, uint8_t *out,
         // controller and SRAM-read costs, and a miss additionally
         // occupies the backend for the synchronous fill, queueing
         // later arrivals behind it (DR-STRaNGe's request-latency
-        // view). busyUntilNs is covered by the shard lock held for
-        // the whole call; the global latency mutex only guards the
-        // cross-shard distribution insert.
+        // view). busyUntilNs and the recent window are covered by
+        // the shard lock held for the whole call; the global latency
+        // mutex only guards the cross-shard distribution insert.
         double installed =
             missNsPerByte_.load(std::memory_order_relaxed);
         double ns_per_byte =
@@ -447,9 +567,28 @@ EntropyService::requestOn(Client::State &client, uint8_t *out,
         if (synchronous_bytes > 0)
             shard.busyUntilNs = start + service_ns;
         result.modeledLatencyNs = start + service_ns - arrival_ns;
+        // Bulk requests never sync-fill, so their near-constant hit
+        // cost would dilute the shard's tail-latency signal; the
+        // window tracks what a latency-sensitive client experiences.
+        if (client.priority != Priority::Bulk)
+            shard.recent.add(result.modeledLatencyNs);
         std::lock_guard<std::mutex> latency_lock(latencyMutex_);
         latencyByClass_[static_cast<size_t>(client.priority)].add(
             result.modeledLatencyNs);
+    }
+
+    std::lock_guard<std::mutex> stats_lock(client.statsMutex);
+    ClientStats &stats = client.stats;
+    ++stats.requests;
+    stats.bytesFromBuffer += from_buffer;
+    stats.bytesServed += result.bytes;
+    if (result.hit)
+        ++stats.bufferHits;
+    else if (client.priority == Priority::Bulk)
+        ++stats.partialServes;
+    else {
+        ++stats.synchronousFills;
+        stats.bytesSynchronous += synchronous_bytes;
     }
     return result;
 }
@@ -493,14 +632,13 @@ EntropyService::Client::priority() const
 size_t
 EntropyService::Client::shard() const
 {
-    return state_->shard;
+    return state_->shard.load(std::memory_order_acquire);
 }
 
 ClientStats
 EntropyService::Client::stats() const
 {
-    std::lock_guard<std::mutex> lock(
-        service_->shards_[state_->shard]->mutex);
+    std::lock_guard<std::mutex> lock(state_->statsMutex);
     return state_->stats;
 }
 

@@ -62,6 +62,27 @@ enum class Priority : uint8_t
 /** Display name ("interactive", "standard", "bulk"). */
 const char *priorityName(Priority priority);
 
+/**
+ * How connect() picks a shard for auto-placed clients (DR-STRaNGe's
+ * RNG-interference failure mode: a latency-critical client pinned to
+ * an overloaded shard stays slow forever under blind round-robin).
+ */
+enum class PlacementPolicy : uint8_t
+{
+    /** Shards assigned in connect order, blind to load. */
+    RoundRobin = 0,
+    /**
+     * Interactive clients go to the shard with the lowest load score
+     * (buffered-bytes deficit + recent p95, see shardLoad());
+     * Standard/Bulk clients still round-robin, so throughput traffic
+     * keeps spreading instead of piling onto the emptiest shard.
+     */
+    LeastLoaded = 1,
+};
+
+/** Display name ("round-robin", "least-loaded"). */
+const char *placementPolicyName(PlacementPolicy policy);
+
 /** Service configuration. */
 struct EntropyServiceConfig
 {
@@ -84,13 +105,30 @@ struct EntropyServiceConfig
     size_t maxRequestBytes = 0;
     /**
      * Worker threads for refillBelowWatermark() across shards
-     * (common/parallel pool); 1 = serial, 0 = hardware concurrency.
-     * Serial refill keeps shared-backend byte assignment
-     * deterministic; dedicated backends are deterministic either way.
+     * (common/parallel pool); must be >= 1, 1 = serial. Serial
+     * refill keeps shared-backend byte assignment deterministic;
+     * dedicated backends are deterministic either way.
      */
     unsigned refillThreads = 1;
     /** Request-latency model parameters (timestamped requests). */
     LatencyModelConfig latency;
+    /** Shard choice for auto-placed connect() calls. */
+    PlacementPolicy placement = PlacementPolicy::RoundRobin;
+    /**
+     * Weight of a shard's recent p95 latency in its load score, in
+     * load units per nanosecond: shardLoad() = deficit fraction
+     * (0..1) + p95_ns * this. The default makes ~1 us of recent tail
+     * latency outweigh a completely drained buffer, so a shard whose
+     * clients are missing to synchronous fills repels new
+     * interactive placements even when its buffer happens to be
+     * momentarily full.
+     */
+    double placementLatencyWeight = 1.0e-3;
+    /**
+     * Per-shard recent-latency window size (samples) feeding
+     * shardRecentPercentileNs() and the load score.
+     */
+    size_t recentLatencyWindow = 128;
 };
 
 /** Outcome of one client request. */
@@ -124,6 +162,8 @@ struct ClientStats
     uint64_t bytesServed = 0;
     uint64_t bytesFromBuffer = 0;
     uint64_t bytesSynchronous = 0;
+    /** Times this client was moved to another shard. */
+    uint64_t migrations = 0;
 };
 
 /** The sharded entropy service. */
@@ -194,11 +234,24 @@ class EntropyService
 
     /**
      * Register a client. @p shard pins it to a specific shard;
-     * autoShard assigns shards round-robin in connect order.
+     * autoShard places it by cfg.placement (round-robin in connect
+     * order, or least-loaded for interactive clients under
+     * PlacementPolicy::LeastLoaded).
      */
     Client connect(std::string name,
                    Priority priority = Priority::Standard,
                    size_t shard = autoShard);
+
+    /**
+     * Move @p client to @p shard: its next request drains the new
+     * shard's stream. Migration never changes any shard's output
+     * bytes — each shard keeps draining its own backend in request
+     * order; only which stream this client reads changes. Safe to
+     * call concurrently with the client's own requests (a request
+     * already in flight completes on the old shard).
+     * @return true if the client actually moved (false: same shard).
+     */
+    bool migrateClient(const Client &client, size_t shard);
 
     /** @name Shard inspection */
     /**@{*/
@@ -213,6 +266,47 @@ class EntropyService
      * lazily: the first query may run the backend's one-time setup.
      */
     size_t shardChunkBytes(size_t shard);
+
+    /**
+     * Placement load score of @p shard: buffered-bytes deficit as a
+     * fraction of capacity (0 = full, 1 = drained) plus the shard's
+     * recent p95 request latency weighted by
+     * cfg.placementLatencyWeight. Lower is better.
+     */
+    double shardLoad(size_t shard) const;
+
+    /**
+     * Nearest-rank percentile of @p shard's recent non-bulk request
+     * latencies (timestamped requests only; 0 when none recorded).
+     * This is the windowed per-shard signal the SLO migrator and the
+     * latency-driven rebalancer consume — old congestion ages out of
+     * the window once the shard recovers.
+     */
+    double shardRecentPercentileNs(size_t shard, double q) const;
+    double shardRecentP95Ns(size_t shard) const
+    {
+        return shardRecentPercentileNs(shard, 0.95);
+    }
+
+    /** The shard connect() would pick for an interactive client
+     * under LeastLoaded placement (min shardLoad, ties by index). */
+    size_t leastLoadedShard() const;
+
+    /** One consistent placement view of a shard. */
+    struct ShardLoadSnapshot
+    {
+        double load = 0.0;
+        double recentP95Ns = 0.0;
+        double recentP99Ns = 0.0;
+    };
+
+    /**
+     * Load score and recent p95/p99 read under a single shard-lock
+     * acquisition, so the three values describe one moment (the
+     * separate accessors can tear against concurrent requests, and
+     * cost three locks).
+     */
+    ShardLoadSnapshot shardLoadSnapshot(size_t shard) const;
     /**@}*/
 
     /** @name Refill */
@@ -338,6 +432,12 @@ class EntropyService
          * later timestamped arrivals queue behind them.
          */
         double busyUntilNs = 0.0;
+        /**
+         * Recent non-bulk request latencies served by this shard
+         * (timestamped requests only) — the placement/migration load
+         * signal. Guarded by the shard mutex like busyUntilNs.
+         */
+        RecentLatencyWindow recent;
     };
 
     /**
@@ -359,6 +459,13 @@ class EntropyService
      * deficit exists.
      */
     size_t deficitLocked(Shard &shard, double frac);
+
+    /** Missing buffered bytes as a fraction of capacity (0..1);
+     * the shard's mutex must be held. */
+    double deficitFractionLocked(const Shard &shard) const;
+
+    /** Placement load score; the shard's mutex must be held. */
+    double loadLocked(const Shard &shard) const;
 
     /** Top one shard up to capacity; returns bytes added. */
     size_t refillShard(Shard &shard);

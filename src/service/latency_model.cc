@@ -8,9 +8,47 @@
 namespace quac::service
 {
 
+namespace
+{
+
+/** Nearest-rank index into @p n sorted samples for quantile @p q. */
+size_t
+nearestRank(double q, size_t n)
+{
+    size_t rank =
+        static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+    return std::min(std::max<size_t>(rank, 1), n) - 1;
+}
+
+} // anonymous namespace
+
+LatencyDistribution::LatencyDistribution(
+    const LatencyDistribution &other)
+{
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    samples_ = other.samples_;
+    sorted_ = other.sorted_;
+    sum_ = other.sum_;
+    max_ = other.max_;
+}
+
+LatencyDistribution &
+LatencyDistribution::operator=(const LatencyDistribution &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(mutex_, other.mutex_);
+    samples_ = other.samples_;
+    sorted_ = other.sorted_;
+    sum_ = other.sum_;
+    max_ = other.max_;
+    return *this;
+}
+
 void
 LatencyDistribution::add(double latency_ns)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     samples_.push_back(latency_ns);
     sorted_ = samples_.size() == 1;
     sum_ += latency_ns;
@@ -20,6 +58,14 @@ LatencyDistribution::add(double latency_ns)
 void
 LatencyDistribution::merge(const LatencyDistribution &other)
 {
+    if (this == &other) {
+        // Self-merge doubles the samples; snapshot first so the
+        // insert does not read the vector it is growing.
+        LatencyDistribution copy(other);
+        merge(copy);
+        return;
+    }
+    std::scoped_lock lock(mutex_, other.mutex_);
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
     sorted_ = samples_.empty();
@@ -27,9 +73,17 @@ LatencyDistribution::merge(const LatencyDistribution &other)
     max_ = std::max(max_, other.max_);
 }
 
+size_t
+LatencyDistribution::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_.size();
+}
+
 double
 LatencyDistribution::meanNs() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return samples_.empty()
                ? 0.0
                : sum_ / static_cast<double>(samples_.size());
@@ -38,6 +92,7 @@ LatencyDistribution::meanNs() const
 double
 LatencyDistribution::maxNs() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return max_;
 }
 
@@ -45,16 +100,50 @@ double
 LatencyDistribution::percentileNs(double q) const
 {
     QUAC_ASSERT(q > 0.0 && q <= 1.0, "q=%f", q);
+    std::lock_guard<std::mutex> lock(mutex_);
     if (samples_.empty())
         return 0.0;
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;
     }
-    size_t rank = static_cast<size_t>(
-        std::ceil(q * static_cast<double>(samples_.size())));
-    rank = std::min(std::max<size_t>(rank, 1), samples_.size());
-    return samples_[rank - 1];
+    return samples_[nearestRank(q, samples_.size())];
+}
+
+RecentLatencyWindow::RecentLatencyWindow(size_t capacity)
+    : ring_(capacity ? capacity : 1)
+{
+}
+
+void
+RecentLatencyWindow::add(double latency_ns)
+{
+    ring_[next_] = latency_ns;
+    next_ = (next_ + 1) % ring_.size();
+    count_ = std::min(count_ + 1, ring_.size());
+}
+
+void
+RecentLatencyWindow::clear()
+{
+    next_ = 0;
+    count_ = 0;
+}
+
+double
+RecentLatencyWindow::percentileNs(double q) const
+{
+    QUAC_ASSERT(q > 0.0 && q <= 1.0, "q=%f", q);
+    if (count_ == 0)
+        return 0.0;
+    std::vector<double> sorted(ring_.begin(),
+                               ring_.begin() +
+                                   static_cast<ptrdiff_t>(count_));
+    size_t rank = nearestRank(q, count_);
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<ptrdiff_t>(rank),
+                     sorted.end());
+    return sorted[rank];
 }
 
 } // namespace quac::service

@@ -17,6 +17,7 @@
 #define QUAC_SERVICE_LATENCY_MODEL_HH
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace quac::service
@@ -42,14 +43,23 @@ struct LatencyModelConfig
 /**
  * An online latency distribution: collects samples and answers
  * percentile queries (nearest-rank on the sorted samples).
+ *
+ * Thread-safe: add()/merge() may race with percentile queries (the
+ * auto-refill thread and concurrent clients record latencies while
+ * stats are read); every member serializes on an internal mutex, and
+ * the lazy percentile sort happens under it.
  */
 class LatencyDistribution
 {
   public:
+    LatencyDistribution() = default;
+    LatencyDistribution(const LatencyDistribution &other);
+    LatencyDistribution &operator=(const LatencyDistribution &other);
+
     void add(double latency_ns);
     void merge(const LatencyDistribution &other);
 
-    size_t count() const { return samples_.size(); }
+    size_t count() const;
     double meanNs() const;
     double maxNs() const;
 
@@ -61,11 +71,44 @@ class LatencyDistribution
     double p99Ns() const { return percentileNs(0.99); }
 
   private:
+    /** Guards every member below (copy/merge lock both objects). */
+    mutable std::mutex mutex_;
     /** Sorted lazily by percentileNs; add() marks dirty. */
     mutable std::vector<double> samples_;
     mutable bool sorted_ = true;
     double sum_ = 0.0;
     double max_ = 0.0;
+};
+
+/**
+ * A fixed-capacity ring of the most recent latency samples: the
+ * "what has this shard done for its clients lately" signal the
+ * placement policy and SLO-driven migration consume. Percentiles are
+ * nearest-rank over the window only, so old congestion ages out once
+ * a shard recovers. Not internally synchronized — the service guards
+ * each shard's window with that shard's mutex.
+ */
+class RecentLatencyWindow
+{
+  public:
+    explicit RecentLatencyWindow(size_t capacity = 128);
+
+    void add(double latency_ns);
+    void clear();
+
+    /** Samples currently in the window (<= capacity). */
+    size_t count() const { return count_; }
+    size_t capacity() const { return ring_.size(); }
+
+    /** Nearest-rank percentile over the window; 0 when empty. */
+    double percentileNs(double q) const;
+    double p95Ns() const { return percentileNs(0.95); }
+    double p99Ns() const { return percentileNs(0.99); }
+
+  private:
+    std::vector<double> ring_;
+    size_t next_ = 0;
+    size_t count_ = 0;
 };
 
 } // namespace quac::service

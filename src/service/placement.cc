@@ -1,0 +1,90 @@
+#include "service/placement.hh"
+
+#include "common/error.hh"
+
+namespace quac::service
+{
+
+SloMigrator::SloMigrator(EntropyService &service,
+                         SloMigratorConfig cfg)
+    : service_(service), cfg_(cfg)
+{
+    if (cfg_.breachTicks == 0)
+        fatal("SLO migrator needs breachTicks >= 1");
+    if (cfg_.improvementFactor <= 0.0 || cfg_.improvementFactor > 1.0)
+        fatal("SLO migrator improvement factor must be in (0, 1]");
+}
+
+void
+SloMigrator::manage(EntropyService::Client client)
+{
+    managed_.push_back({client, 0, 0});
+}
+
+size_t
+SloMigrator::tick()
+{
+    ++tickIndex_;
+    size_t nshards = service_.shardCount();
+    // One snapshot per shard per tick (a single lock acquisition
+    // each): every decision below sees the same picture.
+    std::vector<double> load(nshards);
+    std::vector<double> p95(nshards);
+    std::vector<double> p99(nshards);
+    for (size_t s = 0; s < nshards; ++s) {
+        EntropyService::ShardLoadSnapshot snapshot =
+            service_.shardLoadSnapshot(s);
+        load[s] = snapshot.load;
+        p95[s] = snapshot.recentP95Ns;
+        p99[s] = snapshot.recentP99Ns;
+    }
+
+    size_t moved = 0;
+    for (Managed &managed : managed_) {
+        if (moved >= cfg_.maxMigrationsPerTick)
+            break;
+        const SloTarget &slo =
+            cfg_.slo[static_cast<size_t>(managed.client.priority())];
+        if (!slo.active())
+            continue;
+        size_t current = managed.client.shard();
+        bool breach =
+            (slo.p95Ns > 0.0 && p95[current] > slo.p95Ns) ||
+            (slo.p99Ns > 0.0 && p99[current] > slo.p99Ns);
+        if (!breach) {
+            managed.breach = 0;
+            continue;
+        }
+        if (managed.breach < cfg_.breachTicks)
+            ++managed.breach;
+        if (managed.breach < cfg_.breachTicks ||
+            tickIndex_ < managed.cooldownUntil)
+            continue;
+
+        size_t best = current;
+        for (size_t s = 0; s < nshards; ++s) {
+            if (s != current && load[s] < load[best])
+                best = s;
+        }
+        // Hysteresis: only move to a meaningfully better shard, so
+        // two equally overloaded shards never trade clients.
+        if (best == current ||
+            load[best] >= load[current] * cfg_.improvementFactor)
+            continue;
+        if (!service_.migrateClient(managed.client, best))
+            continue;
+        events_.push_back({managed.client.name(), current, best,
+                           tickIndex_});
+        managed.breach = 0;
+        managed.cooldownUntil = tickIndex_ + cfg_.cooldownTicks;
+        ++migrations_;
+        ++moved;
+        // The moved client's demand now lands on the destination;
+        // nudge its snapshot load so one tick does not funnel every
+        // breaching client onto the same shard.
+        load[best] = load[current];
+    }
+    return moved;
+}
+
+} // namespace quac::service

@@ -32,6 +32,16 @@ ShardPlacement::byChannel(size_t channels) const
     return sets;
 }
 
+const char *
+rebalanceTriggerName(RebalanceTrigger trigger)
+{
+    switch (trigger) {
+    case RebalanceTrigger::GrantRatio: return "grant-ratio";
+    case RebalanceTrigger::ShardLatency: return "shard-latency";
+    }
+    return "?";
+}
+
 void
 RefillAccounting::accumulate(const RefillAccounting &tick)
 {
@@ -62,6 +72,14 @@ MultiChannelRefillScheduler::MultiChannelRefillScheduler(
         fatal("refill scheduler: %zu demand profiles for %u channels",
               demand_.size(), channels);
 
+    if (cfg_.channelPolicies.empty())
+        policies_.assign(channels, cfg_.policy);
+    else if (cfg_.channelPolicies.size() == channels)
+        policies_ = cfg_.channelPolicies;
+    else
+        fatal("refill scheduler: %zu channel policies for %u channels",
+              cfg_.channelPolicies.size(), channels);
+
     if (placement_.channelOfShard.empty())
         placement_ =
             ShardPlacement::roundRobin(service_.shardCount(), channels);
@@ -70,6 +88,7 @@ MultiChannelRefillScheduler::MultiChannelRefillScheduler(
               placement_.shards(), service_.shardCount());
     shardsOf_ = placement_.byChannel(channels);
     starved_.assign(placement_.shards(), 0);
+    cooldownUntil_.assign(placement_.shards(), 0);
     channelTotals_.resize(channels);
 
     // One BusScheduler probe per channel timing; identical channels
@@ -128,7 +147,7 @@ MultiChannelRefillScheduler::tick()
                                                tick_seed);
 
         sysperf::RefillGrant grant = sysperf::grantRefill(
-            activity, needed_ns, cfg_.policy, urgent_ns,
+            activity, needed_ns, policies_[c], urgent_ns,
             cfg_.reentryOverheadNs);
 
         size_t budget_bytes = static_cast<size_t>(
@@ -163,27 +182,39 @@ MultiChannelRefillScheduler::tick()
     return aggregate;
 }
 
+bool
+MultiChannelRefillScheduler::shardStarvedThisTick(
+    size_t shard, const std::vector<double> &grant_ratio)
+{
+    // Both triggers require outstanding demand: a topped-up shard is
+    // never starved, whatever its channel granted or its clients
+    // recently measured. The demand probe is one shard-lock
+    // acquisition, so the cheap signal is checked first.
+    if (cfg_.trigger == RebalanceTrigger::GrantRatio) {
+        size_t channel = placement_.channelOfShard[shard];
+        if (grant_ratio[channel] >= cfg_.starveGrantRatio)
+            return false;
+    } else {
+        // Closed loop: the shard's clients measurably breach the
+        // latency SLO — grant bookkeeping does not enter into it.
+        if (service_.shardRecentP95Ns(shard) <= cfg_.rebalanceSloNs)
+            return false;
+    }
+    std::vector<size_t> probe{shard};
+    return service_.refillDemand(probe).bytes > 0;
+}
+
 void
 MultiChannelRefillScheduler::rebalanceAfterTick(
     const std::vector<double> &grant_ratio,
     const std::vector<double> &headroom_ns)
 {
-    // A shard is starving when its channel under-granted this tick
-    // and the shard is still below the watermark afterwards. The
-    // counters are maintained even with rebalancing off, so a study
-    // (or operator) can observe starvation it chose not to fix. The
-    // demand probe (a shard-lock acquisition) only runs for shards
-    // on under-granted channels — the common fully-granted tick
-    // touches no shard at all.
-    std::vector<size_t> probe(1);
+    // The starvation counters are maintained even with rebalancing
+    // off, so a study (or operator) can observe starvation it chose
+    // not to fix. Under the grant-ratio trigger the common
+    // fully-granted tick touches no shard at all.
     for (size_t s = 0; s < placement_.shards(); ++s) {
-        size_t channel = placement_.channelOfShard[s];
-        if (grant_ratio[channel] >= cfg_.starveGrantRatio) {
-            starved_[s] = 0;
-            continue;
-        }
-        probe[0] = s;
-        if (service_.refillDemand(probe).bytes > 0)
+        if (shardStarvedThisTick(s, grant_ratio))
             ++starved_[s];
         else
             starved_[s] = 0;
@@ -200,16 +231,24 @@ MultiChannelRefillScheduler::rebalanceAfterTick(
         if (headroom_ns[c] > headroom_ns[best])
             best = c;
     }
+    // Anti-ping-pong: a destination that under-granted its own
+    // shards this tick is no refuge — with every channel saturated,
+    // shards stay put and keep accruing starved ticks instead of
+    // bouncing between two channels that cannot serve them.
+    if (headroom_ns[best] <= 0.0 ||
+        grant_ratio[best] < cfg_.starveGrantRatio)
+        return;
     bool moved = false;
     for (size_t s = 0; s < placement_.shards(); ++s) {
         if (starved_[s] < cfg_.starveTickThreshold)
             continue;
-        if (placement_.channelOfShard[s] == best ||
-            headroom_ns[best] <= 0.0) {
+        if (placement_.channelOfShard[s] == best)
             continue; // nowhere better to go
-        }
+        if (tickIndex_ < cooldownUntil_[s])
+            continue; // recently moved; let the new channel work
         placement_.channelOfShard[s] = best;
         starved_[s] = 0;
+        cooldownUntil_[s] = tickIndex_ + cfg_.migrateCooldownTicks;
         ++migrations_;
         moved = true;
     }
@@ -238,6 +277,13 @@ MultiChannelRefillScheduler::iterationCost(size_t channel) const
 {
     QUAC_ASSERT(channel < costs_.size(), "channel=%zu", channel);
     return costs_[channel];
+}
+
+sysperf::FairnessPolicy
+MultiChannelRefillScheduler::channelPolicy(size_t channel) const
+{
+    QUAC_ASSERT(channel < policies_.size(), "channel=%zu", channel);
+    return policies_[channel];
 }
 
 uint32_t

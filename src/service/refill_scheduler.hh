@@ -51,14 +51,41 @@ struct ShardPlacement
     size_t shards() const { return channelOfShard.size(); }
 };
 
+/** What accrues a shard's starved ticks (rebalancer input). */
+enum class RebalanceTrigger : uint8_t
+{
+    /** Channel granted less than starveGrantRatio of the need and
+     * the shard is still below the watermark (open-loop signal). */
+    GrantRatio = 0,
+    /**
+     * The shard's *measured* recent p95 request latency breaches
+     * rebalanceSloNs while the shard still has refill demand — the
+     * closed-loop signal: what clients actually experienced drives
+     * the migration, not the grant bookkeeping.
+     */
+    ShardLatency = 1,
+};
+
+/** Display name ("grant-ratio", "shard-latency"). */
+const char *rebalanceTriggerName(RebalanceTrigger trigger);
+
 /** Multi-channel refill-loop configuration. */
 struct MultiChannelRefillConfig
 {
     /** Channel shape and per-channel timing. */
     sched::ChannelTopology topology;
-    /** RNG-vs-memory arbitration policy (all channels). */
+    /** RNG-vs-memory arbitration policy (all channels unless
+     * channelPolicies overrides). */
     sysperf::FairnessPolicy policy =
         sysperf::FairnessPolicy::BufferedFair;
+    /**
+     * Per-channel arbitration override: channel c arbitrates its
+     * refill under channelPolicies[c] (e.g. one rng-priority channel
+     * dedicated to latency-critical shards while the rest run fcfs).
+     * Empty broadcasts `policy`; otherwise the size must equal
+     * topology.channels.
+     */
+    std::vector<sysperf::FairnessPolicy> channelPolicies;
     /** Channel-time window modelled per tick, in ns. */
     double tickNs = 1.0e5;
     /** Idle re-entry overhead per gap (see sysperf::injectQuac). */
@@ -68,15 +95,24 @@ struct MultiChannelRefillConfig
     /** Refill command program (iteration-cost probe input). */
     sched::QuacScheduleConfig schedule;
     /**
-     * Enable starvation-driven rebalancing: a shard still below the
-     * watermark after a tick whose channel granted less than
-     * starveGrantRatio of its need counts one starved tick;
-     * starveTickThreshold consecutive starved ticks migrate the
-     * shard to the channel with the most idle headroom this tick.
+     * Enable starvation-driven rebalancing: a shard accruing
+     * starveTickThreshold consecutive starved ticks (per `trigger`)
+     * migrates to the channel with the most idle headroom this tick
+     * — provided that channel is itself healthy (it granted at least
+     * starveGrantRatio of its own shards' need) and the shard's
+     * migration cooldown has expired, so two saturated channels
+     * never trade shards back and forth.
      */
     bool rebalance = false;
     double starveGrantRatio = 0.5;
     uint32_t starveTickThreshold = 4;
+    /** Starvation signal the rebalancer acts on. */
+    RebalanceTrigger trigger = RebalanceTrigger::GrantRatio;
+    /** ShardLatency trigger: recent shard p95 above this (with
+     * demand outstanding) counts one starved tick. */
+    double rebalanceSloNs = 2000.0;
+    /** Ticks a migrated shard sits out before it may move again. */
+    uint32_t migrateCooldownTicks = 8;
     /**
      * Install the channel-0 refill cost as the service's modelled
      * synchronous-fill rate (EntropyService latency model).
@@ -173,17 +209,27 @@ class MultiChannelRefillScheduler
 
     size_t channels() const { return costs_.size(); }
 
+    /** Fairness policy channel @p channel arbitrates under. */
+    sysperf::FairnessPolicy channelPolicy(size_t channel) const;
+
   private:
     void rebalanceAfterTick(const std::vector<double> &grant_ratio,
                             const std::vector<double> &headroom_ns);
 
+    /** One starved tick for @p shard per cfg_.trigger? */
+    bool shardStarvedThisTick(size_t shard,
+                              const std::vector<double> &grant_ratio);
+
     EntropyService &service_;
     std::vector<sysperf::WorkloadProfile> demand_;
     MultiChannelRefillConfig cfg_;
+    std::vector<sysperf::FairnessPolicy> policies_;
     std::vector<sched::RefillCost> costs_;
     ShardPlacement placement_;
     std::vector<std::vector<size_t>> shardsOf_;
     std::vector<uint32_t> starved_;
+    /** Tick index before which a shard may not migrate again. */
+    std::vector<uint64_t> cooldownUntil_;
     std::vector<RefillAccounting> channelTotals_;
     RefillAccounting total_;
     uint64_t tickIndex_ = 0;

@@ -173,6 +173,20 @@ fairnessPolicyName(FairnessPolicy policy)
     return "?";
 }
 
+FairnessPolicy
+fairnessPolicyFromName(const std::string &name)
+{
+    for (FairnessPolicy policy :
+         {FairnessPolicy::Fcfs, FairnessPolicy::RngPriority,
+          FairnessPolicy::BufferedFair}) {
+        if (name == fairnessPolicyName(policy))
+            return policy;
+    }
+    fatal("unknown fairness policy '%s' (fcfs, rng-priority, "
+          "buffered-fair)",
+          name.c_str());
+}
+
 namespace
 {
 

@@ -165,6 +165,9 @@ enum class FairnessPolicy
 /** Display name ("fcfs", "rng-priority", "buffered-fair"). */
 const char *fairnessPolicyName(FairnessPolicy policy);
 
+/** Parse a policy display name back (fatal on unknown names). */
+FairnessPolicy fairnessPolicyFromName(const std::string &name);
+
 /** Channel time granted to a refill request under a policy. */
 struct RefillGrant
 {

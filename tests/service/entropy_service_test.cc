@@ -200,12 +200,13 @@ TEST(EntropyService, RequestLargerThanCapacityFallsThrough)
     EXPECT_EQ(client.stats().bytesSynchronous, 68u);
 }
 
-TEST(EntropyService, ZeroCapacityIsPassThrough)
+TEST(EntropyService, UnrefilledServiceIsPassThrough)
 {
+    // A service nobody refills serves every request synchronously,
+    // straight off the backend stream (the zero-buffer degenerate
+    // mode; a zero *capacity* is rejected as a config error).
     TaggedTrng backend(9, 64);
-    EntropyService service({&backend}, {.shardCapacityBytes = 0});
-    EXPECT_EQ(service.refillBelowWatermark(), 0u);
-    EXPECT_EQ(service.refillDemandBytes(), 0u);
+    EntropyService service({&backend}, {.shardCapacityBytes = 64});
     auto client = service.connect("raw");
     std::vector<uint8_t> bytes = client.request(50);
     expectStreamContinuity(bytes, 9);
@@ -418,6 +419,21 @@ TEST(EntropyService, RejectsBadConfig)
     EXPECT_THROW(EntropyService({&backend}, {.refillWatermark = 0.25,
                                              .panicWatermark = 0.5}),
                  FatalError);
+    EXPECT_THROW(EntropyService({&backend}, {.shardCapacityBytes = 0}),
+                 FatalError)
+        << "zero-capacity shards have no buffer to serve from";
+    EXPECT_THROW(EntropyService({&backend}, {.shardCapacityBytes = 16,
+                                             .refillThreads = 0}),
+                 FatalError)
+        << "refill worker count must be explicit, >= 1";
+    EXPECT_THROW(
+        EntropyService({&backend}, {.shardCapacityBytes = 16,
+                                    .placementLatencyWeight = -1.0}),
+        FatalError);
+    EXPECT_THROW(
+        EntropyService({&backend}, {.shardCapacityBytes = 16,
+                                    .recentLatencyWindow = 0}),
+        FatalError);
     EntropyService service({&backend}, {.shardCapacityBytes = 16});
     EXPECT_THROW(service.connect("oops", Priority::Standard, 3),
                  FatalError);

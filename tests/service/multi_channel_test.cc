@@ -212,6 +212,63 @@ TEST(MultiChannelScheduler, SingleChannelMatchesLegacyScheduler)
     }
 }
 
+TEST(MultiChannelScheduler, PerChannelFairnessPolicies)
+{
+    // Same busy co-runner on both channels, but channel 0 arbitrates
+    // rng-priority while channel 1 runs fcfs: channel 0 steals from
+    // demand traffic and keeps its shards topped up; channel 1 never
+    // steals and falls behind.
+    auto drive = [](MultiChannelRefillConfig cfg) {
+        Harness harness(4, 1 << 14);
+        std::vector<sysperf::WorkloadProfile> traffic = {
+            {"busy", 0.90, 2000.0}, {"busy", 0.90, 2000.0}};
+        MultiChannelRefillScheduler scheduler(*harness.service,
+                                              traffic, cfg);
+        std::vector<EntropyService::Client> clients;
+        for (size_t s = 0; s < 4; ++s) {
+            clients.push_back(harness.service->connect(
+                "c" + std::to_string(s), Priority::Bulk, s));
+        }
+        uint8_t out[4096];
+        for (int t = 0; t < 20; ++t) {
+            for (auto &client : clients)
+                client.request(out, sizeof(out));
+            scheduler.tick();
+        }
+        return std::make_pair(
+            scheduler.channelTotal(0).bytesRefilled,
+            scheduler.channelTotal(1).bytesRefilled);
+    };
+
+    MultiChannelRefillConfig split =
+        multiConfig(2, sysperf::FairnessPolicy::Fcfs);
+    split.channelPolicies = {sysperf::FairnessPolicy::RngPriority,
+                             sysperf::FairnessPolicy::Fcfs};
+    auto [rng_channel, fcfs_channel] = drive(split);
+    EXPECT_GT(rng_channel, 2 * fcfs_channel)
+        << "the rng-priority channel out-refills the fcfs one";
+
+    Harness harness(4, 1 << 14);
+    MultiChannelRefillConfig mismatched =
+        multiConfig(2, sysperf::FairnessPolicy::Fcfs);
+    mismatched.channelPolicies = {sysperf::FairnessPolicy::Fcfs};
+    EXPECT_THROW(MultiChannelRefillScheduler(
+                     *harness.service,
+                     {{"a", 0.1, 80.0}, {"b", 0.1, 80.0}}, mismatched),
+                 FatalError)
+        << "1 channel policy for 2 channels";
+
+    MultiChannelRefillConfig broadcast =
+        multiConfig(2, sysperf::FairnessPolicy::BufferedFair);
+    MultiChannelRefillScheduler pool(
+        *harness.service, {{"a", 0.1, 80.0}, {"b", 0.1, 80.0}},
+        broadcast);
+    EXPECT_EQ(pool.channelPolicy(0),
+              sysperf::FairnessPolicy::BufferedFair);
+    EXPECT_EQ(pool.channelPolicy(1),
+              sysperf::FairnessPolicy::BufferedFair);
+}
+
 // --------------------------------------------------- rebalancing
 
 /** Channel 0 saturated, the rest idle; shards drained each tick. */
@@ -298,6 +355,87 @@ TEST(Rebalancer, MigratesStarvedShardsAndImprovesThem)
     // ... without changing a single output byte on any shard.
     for (size_t s = 0; s < 4; ++s)
         EXPECT_EQ(off_setup.served[s], on_setup.served[s]) << s;
+}
+
+TEST(Rebalancer, TwoSaturatedChannelsDoNotPingPong)
+{
+    // Both channels jammed: every shard starves, but no channel is a
+    // refuge (both under-grant their own shards), so the rebalancer
+    // must hold every shard in place instead of trading them between
+    // two channels that cannot serve them.
+    Harness harness(4, 4096);
+    MultiChannelRefillConfig cfg =
+        multiConfig(2, sysperf::FairnessPolicy::Fcfs);
+    cfg.rebalance = true;
+    cfg.starveTickThreshold = 2;
+    MultiChannelRefillScheduler scheduler(
+        *harness.service,
+        {{"jam", 0.995, 5.0e4}, {"jam", 0.995, 5.0e4}}, cfg);
+
+    std::vector<EntropyService::Client> clients;
+    for (size_t s = 0; s < 4; ++s) {
+        clients.push_back(harness.service->connect(
+            "c" + std::to_string(s), Priority::Standard, s));
+    }
+    uint8_t out[1024];
+    for (int t = 0; t < 40; ++t) {
+        for (auto &client : clients)
+            client.request(out, sizeof(out));
+        scheduler.tick();
+    }
+    EXPECT_EQ(scheduler.migrations(), 0u)
+        << "no healthy destination exists";
+    EXPECT_EQ(scheduler.placement().channelOfShard,
+              (std::vector<size_t>{0, 1, 0, 1}));
+    // Starvation is still visible to the operator.
+    EXPECT_GE(scheduler.starvedTicks(0), 2u);
+    EXPECT_GE(scheduler.starvedTicks(1), 2u);
+}
+
+TEST(Rebalancer, MigrationCooldownHoldsAfterMove)
+{
+    // Jam + idle: the two starved shards migrate once to the idle
+    // channel and then stay (exactly one migration each, no churn).
+    StarvedSetup setup;
+    MultiChannelRefillScheduler scheduler = setup.makeScheduler(true);
+    setup.drive(scheduler, 40);
+    EXPECT_EQ(scheduler.migrations(), 2u);
+    EXPECT_EQ(scheduler.placement().channelOfShard,
+              (std::vector<size_t>{1, 1, 1, 1}));
+}
+
+TEST(Rebalancer, ShardLatencyTriggerMigratesOnMeasuredTail)
+{
+    // Closed loop: the starvation signal is the shards' measured
+    // recent p95 (timestamped requests missing to synchronous
+    // fills), not the grant ratio.
+    Harness harness(4, 4096);
+    MultiChannelRefillConfig cfg =
+        multiConfig(2, sysperf::FairnessPolicy::Fcfs);
+    cfg.rebalance = true;
+    cfg.trigger = RebalanceTrigger::ShardLatency;
+    cfg.rebalanceSloNs = 500.0;
+    cfg.starveTickThreshold = 3;
+    MultiChannelRefillScheduler scheduler(
+        *harness.service,
+        {{"jam", 0.995, 5.0e4}, {"idle", 0.0, 100.0}}, cfg);
+
+    std::vector<EntropyService::Client> clients;
+    for (size_t s = 0; s < 4; ++s) {
+        clients.push_back(harness.service->connect(
+            "c" + std::to_string(s), Priority::Standard, s));
+    }
+    uint8_t out[1024];
+    double now = 0.0;
+    for (int t = 0; t < 20; ++t) {
+        for (auto &client : clients)
+            client.requestAt(out, sizeof(out), now);
+        now += 1.0e5;
+        scheduler.tick();
+    }
+    EXPECT_GE(scheduler.migrations(), 1u);
+    EXPECT_EQ(scheduler.placement().channelOfShard[0], 1u)
+        << "the measured tail moved the starved shard off channel 0";
 }
 
 // -------------------------------------------- deterministic replay
