@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault_injection.hh"
 #include "crypto/sha256.hh"
 #include "sched/trng_programs.hh"
 #include "service/placement.hh"
@@ -720,6 +721,247 @@ runClosedLoopStudy(double bits_per_iteration, uint64_t seed,
     return improves;
 }
 
+// ------------------------------------------------- health study
+
+/** Outcome of one fault-injection run (health on or off). */
+struct HealthOutcome
+{
+    bool health = false;
+    uint64_t quarantines = 0;
+    uint64_t readmissions = 0;
+    /** Faulty bank's windowsTested when quarantine fired (0 = never). */
+    uint64_t quarantineWindow = 0;
+    uint64_t unhealthyBytesServed = 0;
+    uint64_t unhealthyBytesDropped = 0;
+    uint64_t resourcings = 0;
+    /** Standard-class p99 per phase (pre-fault / fault / recovered). */
+    double baselineP99Ns = 0.0;
+    double faultyP99Ns = 0.0;
+    double recoveredP99Ns = 0.0;
+    /** Every byte each shard served, in serve order. */
+    std::vector<std::vector<uint8_t>> served;
+};
+
+/** The injected fault the health study detects. */
+core::FaultSpec
+healthStudyFault()
+{
+    core::FaultSpec fault;
+    fault.bank = 1;
+    fault.mode = core::FaultMode::BiasedBits;
+    fault.startByte = 24576;
+    fault.lengthBytes = 32768;
+    fault.biasP = 0.95;
+    return fault;
+}
+
+/** Health-study phase lengths, in scheduler ticks. */
+constexpr int kHealthBaselineTicks = 24;
+constexpr int kHealthFaultTicks = 56;
+constexpr int kHealthRecoveryTicks = 24;
+
+/**
+ * One fault-injection run: 4 shards homed on banks 0-3 of a 5-bank
+ * software pool (bank 4 is the spare), bank 1 biased to P(one)=0.95
+ * for a bounded 32 KiB span of its stream. One pinned standard
+ * client drains each shard while the multi-channel scheduler refills
+ * (its tick drives the health control loop). With health on, the
+ * monitor quarantines bank 1 within a bounded number of windows,
+ * shard 1 re-sources to the spare, probation draws walk bank 1 past
+ * the fault, and the bank is re-admitted — all without touching the
+ * healthy shards' output bytes.
+ */
+HealthOutcome
+runHealthCase(bool health, uint64_t seed)
+{
+    constexpr size_t nshards = 4;
+    constexpr size_t nbanks = 5;
+    const double tick_ns = 1.0e5;
+
+    std::vector<std::unique_ptr<core::SoftwareTrng>> sw;
+    std::vector<core::Trng *> pool;
+    for (size_t b = 0; b < nbanks; ++b) {
+        sw.push_back(std::make_unique<core::SoftwareTrng>(
+            0xC0FFEE + b, "sw" + std::to_string(b)));
+        pool.push_back(sw.back().get());
+    }
+    core::FaultInjectedTrng faulty(*pool[1], healthStudyFault(), seed);
+    pool[1] = &faulty;
+
+    service::EntropyServiceConfig scfg;
+    scfg.shards = nshards;
+    scfg.shardCapacityBytes = 8192;
+    scfg.refillWatermark = 0.75;
+    scfg.panicWatermark = 0.25;
+    scfg.health.enabled = health;
+    scfg.health.windowBits = 8192;
+    scfg.health.failWindowLimit = 2;
+    scfg.health.probationWindows = 3;
+    service::EntropyService svc(pool, scfg);
+    svc.refillBelowWatermark();
+
+    service::MultiChannelRefillConfig mcfg;
+    mcfg.topology.channels = 2;
+    mcfg.policy = sysperf::FairnessPolicy::BufferedFair;
+    mcfg.tickNs = tick_ns;
+    mcfg.seed = seed;
+    mcfg.installLatencyCost = true;
+    std::vector<sysperf::WorkloadProfile> traffic = {
+        {"calm", 0.05, 60.0},
+        {"calm", 0.05, 60.0},
+    };
+    service::MultiChannelRefillScheduler scheduler(svc, traffic, mcfg);
+
+    std::vector<service::EntropyService::Client> clients;
+    for (size_t s = 0; s < nshards; ++s) {
+        clients.push_back(svc.connect(
+            "pinned", service::Priority::Standard, s));
+    }
+
+    HealthOutcome outcome;
+    outcome.health = health;
+    outcome.served.resize(nshards);
+    constexpr size_t request_bytes = 512;
+    uint8_t out[request_bytes];
+    int tick = 0;
+    auto runPhase = [&](int ticks) {
+        for (int t = 0; t < ticks; ++t, ++tick) {
+            double tick_start = static_cast<double>(tick) * tick_ns;
+            for (size_t s = 0; s < nshards; ++s) {
+                auto result = clients[s].requestAt(out, request_bytes,
+                                                   tick_start);
+                outcome.served[s].insert(outcome.served[s].end(), out,
+                                         out + result.bytes);
+            }
+            scheduler.tick();
+        }
+        double p99 =
+            svc.latencySnapshot(service::Priority::Standard).p99Ns();
+        svc.resetLatencyStats();
+        return p99;
+    };
+
+    outcome.baselineP99Ns = runPhase(kHealthBaselineTicks);
+    outcome.faultyP99Ns = runPhase(kHealthFaultTicks);
+    outcome.recoveredP99Ns = runPhase(kHealthRecoveryTicks);
+
+    service::EntropyService::HealthStats hstats = svc.healthStats();
+    outcome.quarantines = hstats.quarantines;
+    outcome.readmissions = hstats.readmissions;
+    outcome.unhealthyBytesServed = hstats.unhealthyBytesServed;
+    outcome.unhealthyBytesDropped = hstats.unhealthyBytesDropped;
+    outcome.resourcings = hstats.shardResourcings;
+    if (const service::HealthMonitor *monitor = svc.healthMonitor()) {
+        for (const service::HealthEvent &event : monitor->events()) {
+            if (event.kind == service::HealthEvent::Kind::Quarantine &&
+                event.bank == healthStudyFault().bank) {
+                outcome.quarantineWindow = event.window;
+                break;
+            }
+        }
+    }
+    return outcome;
+}
+
+/** Structural verdicts of the health study (CI-asserted). */
+struct HealthVerdict
+{
+    HealthOutcome off;
+    HealthOutcome on;
+    /** Detection bound, in windows of the faulty bank's stream. */
+    uint64_t quarantineBound = 0;
+    bool quarantined = false;
+    bool withinBound = false;
+    bool readmitted = false;
+    bool healthyShardsIdentical = false;
+    bool p99Recovered = false;
+
+    bool pass() const
+    {
+        return quarantined && withinBound && readmitted &&
+               healthyShardsIdentical &&
+               on.unhealthyBytesServed == 0;
+    }
+};
+
+HealthVerdict
+runHealthStudy(uint64_t seed)
+{
+    core::FaultSpec fault = healthStudyFault();
+    std::printf("\nHealth-monitoring fault-injection study "
+                "(4 shards on 5 software banks, bank %zu biased "
+                "P(one)=%.2f for %zu KiB):\n",
+                fault.bank, fault.biasP, fault.lengthBytes / 1024);
+
+    HealthVerdict verdict;
+    verdict.off = runHealthCase(false, seed);
+    verdict.on = runHealthCase(true, seed);
+
+    // Detection bound: the faulty span begins startByte into the
+    // bank's stream, so the monitor has seen start/window clean
+    // windows before the first faulty one; failWindowLimit failing
+    // windows plus alignment slack later it must have quarantined.
+    const uint64_t window_bytes = 8192 / 8;
+    verdict.quarantineBound =
+        fault.startByte / window_bytes + /* failWindowLimit */ 2 + 4;
+    verdict.quarantined = verdict.on.quarantines >= 1;
+    verdict.withinBound =
+        verdict.on.quarantineWindow > 0 &&
+        verdict.on.quarantineWindow <= verdict.quarantineBound;
+    verdict.readmitted = verdict.on.readmissions >= 1;
+
+    // Shards homed on healthy banks must serve identical bytes
+    // whether or not monitoring runs: observation never consumes a
+    // bank's stream, and probation draws only touch the faulty bank.
+    verdict.healthyShardsIdentical = true;
+    for (size_t s = 0; s < verdict.on.served.size(); ++s) {
+        if (s == fault.bank)
+            continue;
+        if (Sha256::hex(Sha256::hash(verdict.on.served[s].data(),
+                                     verdict.on.served[s].size())) !=
+            Sha256::hex(Sha256::hash(verdict.off.served[s].data(),
+                                     verdict.off.served[s].size())))
+            verdict.healthyShardsIdentical = false;
+    }
+    verdict.p99Recovered =
+        verdict.on.recoveredP99Ns <=
+        2.0 * verdict.on.baselineP99Ns + 100.0;
+
+    Table table({"health", "quarantines", "readmits", "q window",
+                 "dropped B", "served bad B", "base p99",
+                 "fault p99", "recov p99"});
+    for (const HealthOutcome *outcome :
+         {&verdict.off, &verdict.on}) {
+        table.addRow({outcome->health ? "on" : "off",
+                      std::to_string(outcome->quarantines),
+                      std::to_string(outcome->readmissions),
+                      std::to_string(outcome->quarantineWindow),
+                      std::to_string(outcome->unhealthyBytesDropped),
+                      std::to_string(outcome->unhealthyBytesServed),
+                      Table::num(outcome->baselineP99Ns, 0),
+                      Table::num(outcome->faultyP99Ns, 0),
+                      Table::num(outcome->recoveredP99Ns, 0)});
+    }
+    table.print();
+    std::printf("Quarantine within %llu windows: %s; re-admitted: "
+                "%s; healthy shards byte-identical: %s; unhealthy "
+                "bytes served: %llu; p99 recovered: %s\n",
+                static_cast<unsigned long long>(
+                    verdict.quarantineBound),
+                verdict.withinBound ? "YES" : "NO (BUG)",
+                verdict.readmitted ? "YES" : "NO (BUG)",
+                verdict.healthyShardsIdentical ? "YES" : "NO (BUG)",
+                static_cast<unsigned long long>(
+                    verdict.on.unhealthyBytesServed),
+                verdict.p99Recovered ? "YES" : "NO");
+    std::printf("Expected shape: the biased span trips the "
+                "continuous tests within failWindowLimit windows, "
+                "the shard re-sources to the spare bank, probation "
+                "draws walk the bank past the fault and re-admit it, "
+                "and no detected-unhealthy byte is ever served.\n");
+    return verdict;
+}
+
 // -------------------------------------------------- JSON output
 
 bool
@@ -728,7 +970,8 @@ writeJson(const std::string &path,
           const RebalanceOutcome &off, const RebalanceOutcome &on,
           bool identical,
           const std::vector<ClosedLoopOutcome> &closed_loop,
-          bool closed_loop_identical, bool closed_loop_improves)
+          bool closed_loop_identical, bool closed_loop_improves,
+          const HealthVerdict &health)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -783,9 +1026,41 @@ writeJson(const std::string &path,
     }
     std::fprintf(f,
                  "    \"bytes_identical\": %s,\n"
-                 "    \"latency_beats_static\": %s\n  }\n}\n",
+                 "    \"latency_beats_static\": %s\n  },\n",
                  closed_loop_identical ? "true" : "false",
                  closed_loop_improves ? "true" : "false");
+    std::fprintf(
+        f,
+        "  \"health_study\": {\n"
+        "    \"quarantines\": %llu,\n"
+        "    \"readmissions\": %llu,\n"
+        "    \"quarantine_window\": %llu,\n"
+        "    \"quarantine_bound\": %llu,\n"
+        "    \"quarantine_within_bound\": %s,\n"
+        "    \"readmitted\": %s,\n"
+        "    \"unhealthy_bytes_dropped\": %llu,\n"
+        "    \"unhealthy_bytes_served\": %llu,\n"
+        "    \"shard_resourcings\": %llu,\n"
+        "    \"baseline_p99_ns\": %.1f,\n"
+        "    \"faulty_p99_ns\": %.1f,\n"
+        "    \"recovered_p99_ns\": %.1f,\n"
+        "    \"p99_recovered\": %s,\n"
+        "    \"healthy_shards_identical\": %s\n  }\n}\n",
+        static_cast<unsigned long long>(health.on.quarantines),
+        static_cast<unsigned long long>(health.on.readmissions),
+        static_cast<unsigned long long>(health.on.quarantineWindow),
+        static_cast<unsigned long long>(health.quarantineBound),
+        health.withinBound ? "true" : "false",
+        health.readmitted ? "true" : "false",
+        static_cast<unsigned long long>(
+            health.on.unhealthyBytesDropped),
+        static_cast<unsigned long long>(
+            health.on.unhealthyBytesServed),
+        static_cast<unsigned long long>(health.on.resourcings),
+        health.on.baselineP99Ns, health.on.faultyP99Ns,
+        health.on.recoveredP99Ns,
+        health.p99Recovered ? "true" : "false",
+        health.healthyShardsIdentical ? "true" : "false");
     std::fclose(f);
     return true;
 }
@@ -935,10 +1210,13 @@ main(int argc, char **argv)
         bits_per_iteration, seed, ticks, closed_loop,
         closed_loop_identical);
 
+    HealthVerdict health = runHealthStudy(seed);
+
     if (!json_path.empty() &&
         !writeJson(json_path, latency, off, on, identical,
                    closed_loop, closed_loop_identical,
-                   closed_loop_improves))
+                   closed_loop_improves, health))
         return 1;
-    return identical && closed_loop_identical ? 0 : 1;
+    return identical && closed_loop_identical && health.pass() ? 0
+                                                               : 1;
 }

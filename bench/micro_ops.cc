@@ -28,6 +28,7 @@
 #include "dram/segment_model.hh"
 #include "dram/sensing.hh"
 #include "dram/variation.hh"
+#include "nist/health90b.hh"
 #include "nist/sts.hh"
 #include "postprocess/von_neumann.hh"
 #include "service/entropy_service.hh"
@@ -852,6 +853,98 @@ BM_NistLinearComplexity_64Kbit(benchmark::State &state)
         benchmark::DoNotOptimize(nist::linearComplexityTest(bits));
 }
 BENCHMARK(BM_NistLinearComplexity_64Kbit);
+
+// ------------------------------------------- health-monitor kernels
+
+std::vector<uint8_t>
+randomBytes(size_t n, uint64_t seed)
+{
+    Xoshiro256pp rng(seed);
+    std::vector<uint8_t> bytes(n);
+    for (size_t i = 0; i < n; ++i)
+        bytes[i] = static_cast<uint8_t>(rng.next());
+    return bytes;
+}
+
+void
+BM_HealthOnesCount_Scalar(benchmark::State &state)
+{
+    std::vector<uint8_t> bytes = randomBytes(1 << 20, 13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            nist::onesCountScalar(bytes.data(), bytes.size()));
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_HealthOnesCount_Scalar);
+
+void
+BM_HealthOnesCount_Vectorized(benchmark::State &state)
+{
+    std::vector<uint8_t> bytes = randomBytes(1 << 20, 13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            nist::onesCount(bytes.data(), bytes.size()));
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_HealthOnesCount_Vectorized);
+
+/**
+ * The "before" side of the serial-pattern pair: the offline
+ * nist::serial() bit loop, which walks the window one bit at a time.
+ * PatternCounter3 counts the same cyclic 3-bit patterns with word
+ * masks and popcounts (vec_clones-dispatched).
+ */
+void
+BM_HealthPattern_BitLoop(benchmark::State &state)
+{
+    constexpr size_t nbytes = 1 << 17;
+    std::vector<uint8_t> bytes = randomBytes(nbytes, 29);
+    Bitstream bits = Bitstream::fromBytes(bytes);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nist::serial(bits, 3));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * nbytes));
+}
+BENCHMARK(BM_HealthPattern_BitLoop);
+
+void
+BM_HealthPattern_Vectorized(benchmark::State &state)
+{
+    constexpr size_t nbytes = 1 << 17;
+    std::vector<uint8_t> bytes = randomBytes(nbytes, 29);
+    for (auto _ : state) {
+        nist::PatternCounter3 counter;
+        counter.consume(bytes.data(), bytes.size());
+        counter.finishCyclic();
+        benchmark::DoNotOptimize(counter.counts());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * nbytes));
+}
+BENCHMARK(BM_HealthPattern_Vectorized);
+
+/** End-to-end streaming tester cost per byte observed. */
+void
+BM_HealthStream_1MiB(benchmark::State &state)
+{
+    std::vector<uint8_t> bytes = randomBytes(1 << 20, 31);
+    nist::StreamingHealthConfig cfg;
+    cfg.alphaExponent = 40;
+    std::vector<nist::HealthWindowResult> completed;
+    for (auto _ : state) {
+        nist::StreamingHealthTester tester(cfg);
+        completed.clear();
+        tester.consume(bytes.data(), bytes.size(), completed);
+        benchmark::DoNotOptimize(completed);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_HealthStream_1MiB);
 
 /**
  * Console reporter that also collects each run for the --json file:

@@ -22,12 +22,27 @@
  * target moves the client to a better shard, with hysteresis; the
  * rebalancer switches to the measured-latency trigger too).
  *
+ * --health turns on the streaming SP 800-90B monitor: every byte a
+ * backend bank produces is scored (repetition-count, adaptive-
+ * proportion, windowed monobit/serial), failing banks are
+ * quarantined and their shards re-sourced from the remaining pool,
+ * and the run report gains a per-bank health table plus the recorded
+ * quarantine/re-admission transitions. --fault-inject plants
+ * deterministic faults at the backend boundary to watch it work:
+ * a comma-separated list of "<bank>:<mode>:<start>:<len>[:<param>]"
+ * specs (mode stuck|bias|fail; len 0 = permanent; param = stuck byte
+ * value or P(one) for bias), e.g. "1:bias:4096:65536:0.9" biases
+ * bank 1 toward ones for 64 KiB starting at byte offset 4096.
+ * Malformed specs are fatal, as is a bank index outside the pool.
+ *
  *   ./entropy_server [--scenario web-keyserver]
  *                    [--policy buffered-fair|fcfs|rng-priority]
  *                    [--modules 2] [--ticks 200] [--capacity 16384]
  *                    [--channels 2] [--shards 4] [--rebalance]
  *                    [--placement round-robin|least-loaded]
  *                    [--slo-ns 100]
+ *                    [--health] [--health-window 16384]
+ *                    [--fault-inject 1:bias:4096:65536:0.9]
  */
 
 #include <algorithm>
@@ -39,6 +54,7 @@
 #include "common/cli.hh"
 #include "common/error.hh"
 #include "common/table.hh"
+#include "core/fault_injection.hh"
 #include "core/trng.hh"
 #include "dram/catalog.hh"
 #include "service/placement.hh"
@@ -81,6 +97,34 @@ struct DrivenClient
     double pendingRequests = 0.0;
 };
 
+/**
+ * Parse a comma-separated --fault-inject list. Each element is a
+ * FaultSpec "<bank>:<mode>:<start>:<len>[:<param>]"; malformed specs
+ * and out-of-pool bank indices are fatal.
+ */
+std::vector<core::FaultSpec>
+parseFaultSpecs(const std::string &text, size_t nbanks)
+{
+    std::vector<core::FaultSpec> specs;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        std::string item = text.substr(start, comma - start);
+        if (item.empty())
+            fatal("--fault-inject: empty spec in '%s'", text.c_str());
+        core::FaultSpec spec = core::FaultSpec::parse(item);
+        if (spec.bank >= nbanks)
+            fatal("--fault-inject: bank %zu out of range (pool has "
+                  "%zu banks)",
+                  spec.bank, nbanks);
+        specs.push_back(spec);
+        start = comma + 1;
+    }
+    return specs;
+}
+
 } // anonymous namespace
 
 int
@@ -89,7 +133,8 @@ main(int argc, char **argv)
     CliArgs args(argc, argv,
                  {"scenario", "policy", "modules", "ticks", "capacity",
                   "channels", "shards", "rebalance", "placement",
-                  "slo-ns"});
+                  "slo-ns", "health", "health-window",
+                  "fault-inject"});
     const sysperf::ServiceScenario &scenario = sysperf::serviceScenario(
         args.getString("scenario", "web-keyserver"));
     sysperf::FairnessPolicy policy = sysperf::fairnessPolicyFromName(
@@ -116,6 +161,14 @@ main(int argc, char **argv)
     double slo_ns = args.getDouble("slo-ns", 0.0);
     if (slo_ns < 0.0)
         fatal("--slo-ns must be >= 0 (0 disables migration)");
+    bool health = args.getBool("health");
+    size_t health_window = args.getUint("health-window", 16384);
+    if (args.has("health-window") && !health)
+        fatal("--health-window requires --health");
+    std::string fault_text = args.getString("fault-inject", "");
+    if (!fault_text.empty() && !health)
+        fatal("--fault-inject requires --health (faults would go "
+              "undetected)");
 
     // One QUAC-TRNG per simulated module (test-scale geometry keeps
     // the demo snappy; the service layer is geometry-agnostic).
@@ -145,12 +198,29 @@ main(int argc, char **argv)
         trngs.push_back(std::move(trng));
     }
 
-    service::EntropyService svc(pool,
-                                {.shards = nshards,
-                                 .shardCapacityBytes = capacity,
-                                 .refillWatermark = 0.75,
-                                 .panicWatermark = 0.25,
-                                 .placement = placement});
+    // Plant any requested faults at the backend boundary; the wrapper
+    // is transparent outside its configured byte windows.
+    std::vector<std::unique_ptr<core::FaultInjectedTrng>> faulty;
+    if (!fault_text.empty()) {
+        for (const core::FaultSpec &spec :
+             parseFaultSpecs(fault_text, pool.size())) {
+            faulty.push_back(std::make_unique<core::FaultInjectedTrng>(
+                *pool[spec.bank], spec));
+            pool[spec.bank] = faulty.back().get();
+            std::printf("  fault: %s\n",
+                        faulty.back()->spec().describe().c_str());
+        }
+    }
+
+    service::EntropyServiceConfig scfg;
+    scfg.shards = nshards;
+    scfg.shardCapacityBytes = capacity;
+    scfg.refillWatermark = 0.75;
+    scfg.panicWatermark = 0.25;
+    scfg.placement = placement;
+    scfg.health.enabled = health;
+    scfg.health.windowBits = health_window;
+    service::EntropyService svc(pool, scfg);
     svc.refillBelowWatermark();
 
     service::MultiChannelRefillConfig rcfg;
@@ -350,5 +420,63 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(svc.bufferHits()),
                 static_cast<unsigned long long>(svc.synchronousFills()),
                 static_cast<unsigned long long>(svc.bytesRefilled()));
+
+    if (const service::HealthMonitor *monitor = svc.healthMonitor()) {
+        service::EntropyService::HealthStats hstats =
+            svc.healthStats();
+        std::printf("\nBank health (window %zu bits, RCT cutoff "
+                    "%llu, APT cutoff %llu/%zu):\n",
+                    monitor->config().windowBits,
+                    static_cast<unsigned long long>(
+                        monitor->rctCutoff()),
+                    static_cast<unsigned long long>(
+                        monitor->aptCutoff()),
+                    nist::kAptWindowBits);
+        Table banks({"bank", "backend", "state", "windows", "failed",
+                     "quarantines", "readmits", "last min-p"});
+        std::vector<service::BankScore> scores = monitor->scores();
+        for (size_t b = 0; b < scores.size(); ++b) {
+            const service::BankScore &score = scores[b];
+            banks.addRow(
+                {std::to_string(b), pool[b]->name(),
+                 service::bankStateName(score.state),
+                 std::to_string(score.windowsTested),
+                 std::to_string(score.windowsFailed),
+                 std::to_string(score.quarantines),
+                 std::to_string(score.readmissions),
+                 score.windowsTested ? Table::num(score.lastMinP, 6)
+                                     : "-"});
+        }
+        banks.print();
+        std::printf("  %llu quarantines, %llu re-admissions, %llu "
+                    "refill failures survived\n",
+                    static_cast<unsigned long long>(
+                        hstats.quarantines),
+                    static_cast<unsigned long long>(
+                        hstats.readmissions),
+                    static_cast<unsigned long long>(
+                        hstats.refillFailures));
+        std::printf("  %llu unhealthy bytes dropped, %llu served "
+                    "(must be 0), %llu shard re-sourcings\n",
+                    static_cast<unsigned long long>(
+                        hstats.unhealthyBytesDropped),
+                    static_cast<unsigned long long>(
+                        hstats.unhealthyBytesServed),
+                    static_cast<unsigned long long>(
+                        hstats.shardResourcings));
+        for (const service::HealthEvent &event : monitor->events()) {
+            std::printf("  [window %llu] bank %zu %s: %s "
+                        "(min-p %.3g)\n",
+                        static_cast<unsigned long long>(event.window),
+                        event.bank,
+                        service::healthEventKindName(event.kind),
+                        event.reason.c_str(), event.minP);
+        }
+        if (hstats.unhealthyBytesServed != 0) {
+            std::fprintf(stderr,
+                         "ERROR: unhealthy bytes were served\n");
+            return 1;
+        }
+    }
     return 0;
 }

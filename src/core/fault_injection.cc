@@ -1,0 +1,266 @@
+#include "core/fault_injection.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace quac::core
+{
+
+const char *
+faultModeName(FaultMode mode)
+{
+    switch (mode) {
+    case FaultMode::StuckAt: return "stuck";
+    case FaultMode::BiasedBits: return "bias";
+    case FaultMode::ReadFailure: return "fail";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Split on ':' keeping empty fields (they are parse errors). */
+std::vector<std::string>
+splitFields(const std::string &text)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (;;) {
+        size_t colon = text.find(':', start);
+        if (colon == std::string::npos) {
+            fields.push_back(text.substr(start));
+            return fields;
+        }
+        fields.push_back(text.substr(start, colon - start));
+        start = colon + 1;
+    }
+}
+
+uint64_t
+parseUint(const std::string &field, const char *what,
+          const std::string &spec)
+{
+    if (field.empty())
+        fatal("fault spec '%s': empty %s field", spec.c_str(), what);
+    uint64_t value = 0;
+    for (char c : field) {
+        if (c < '0' || c > '9')
+            fatal("fault spec '%s': %s '%s' is not a non-negative "
+                  "integer", spec.c_str(), what, field.c_str());
+        uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            fatal("fault spec '%s': %s '%s' overflows", spec.c_str(),
+                  what, field.c_str());
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+double
+parseDouble(const std::string &field, const char *what,
+            const std::string &spec)
+{
+    if (field.empty())
+        fatal("fault spec '%s': empty %s field", spec.c_str(), what);
+    char *end = nullptr;
+    double value = std::strtod(field.c_str(), &end);
+    if (end == field.c_str() || *end != '\0')
+        fatal("fault spec '%s': %s '%s' is not a number",
+              spec.c_str(), what, field.c_str());
+    return value;
+}
+
+} // anonymous namespace
+
+FaultSpec
+FaultSpec::parse(const std::string &text)
+{
+    std::vector<std::string> fields = splitFields(text);
+    if (fields.size() < 4 || fields.size() > 5)
+        fatal("fault spec '%s': expected "
+              "<bank>:<mode>:<start>:<len>[:<param>]", text.c_str());
+
+    FaultSpec spec;
+    spec.bank =
+        static_cast<size_t>(parseUint(fields[0], "bank", text));
+
+    const std::string &mode = fields[1];
+    if (mode == "stuck")
+        spec.mode = FaultMode::StuckAt;
+    else if (mode == "bias")
+        spec.mode = FaultMode::BiasedBits;
+    else if (mode == "fail")
+        spec.mode = FaultMode::ReadFailure;
+    else
+        fatal("fault spec '%s': unknown mode '%s' (stuck | bias | "
+              "fail)", text.c_str(), mode.c_str());
+
+    spec.startByte = parseUint(fields[2], "start", text);
+    spec.lengthBytes = parseUint(fields[3], "length", text);
+
+    if (fields.size() == 5) {
+        switch (spec.mode) {
+        case FaultMode::StuckAt: {
+            uint64_t value = parseUint(fields[4], "stuck value", text);
+            if (value > 0xFF)
+                fatal("fault spec '%s': stuck value %llu exceeds a "
+                      "byte", text.c_str(),
+                      static_cast<unsigned long long>(value));
+            spec.stuckValue = static_cast<uint8_t>(value);
+            break;
+        }
+        case FaultMode::BiasedBits: {
+            double p = parseDouble(fields[4], "bias", text);
+            if (p <= 0.0 || p >= 1.0)
+                fatal("fault spec '%s': bias P(1) must be in (0, 1), "
+                      "got %f", text.c_str(), p);
+            spec.biasP = p;
+            break;
+        }
+        case FaultMode::ReadFailure:
+            fatal("fault spec '%s': mode 'fail' takes no parameter",
+                  text.c_str());
+        }
+    }
+    return spec;
+}
+
+std::string
+FaultSpec::describe() const
+{
+    char buf[128];
+    switch (mode) {
+    case FaultMode::StuckAt:
+        std::snprintf(buf, sizeof(buf), "%zu:stuck:%llu:%llu:%u",
+                      bank, static_cast<unsigned long long>(startByte),
+                      static_cast<unsigned long long>(lengthBytes),
+                      static_cast<unsigned>(stuckValue));
+        break;
+    case FaultMode::BiasedBits:
+        std::snprintf(buf, sizeof(buf), "%zu:bias:%llu:%llu:%g",
+                      bank, static_cast<unsigned long long>(startByte),
+                      static_cast<unsigned long long>(lengthBytes),
+                      biasP);
+        break;
+    case FaultMode::ReadFailure:
+        std::snprintf(buf, sizeof(buf), "%zu:fail:%llu:%llu",
+                      bank, static_cast<unsigned long long>(startByte),
+                      static_cast<unsigned long long>(lengthBytes));
+        break;
+    }
+    return buf;
+}
+
+FaultInjectedTrng::FaultInjectedTrng(Trng &inner, FaultSpec spec,
+                                     uint64_t seed)
+    : inner_(inner), spec_(spec), rng_(seed)
+{
+    if (spec_.mode == FaultMode::BiasedBits &&
+        (spec_.biasP <= 0.0 || spec_.biasP >= 1.0))
+        fatal("bias P(1) must be in (0, 1), got %f", spec_.biasP);
+}
+
+std::string
+FaultInjectedTrng::name() const
+{
+    return inner_.name() + "+" + faultModeName(spec_.mode);
+}
+
+size_t
+FaultInjectedTrng::preferredChunkBytes()
+{
+    return inner_.preferredChunkBytes();
+}
+
+void
+FaultInjectedTrng::fill(uint8_t *out, size_t len)
+{
+    size_t done = 0;
+    while (done < len) {
+        uint64_t at = offset_ + done;
+        bool faulty = spec_.covers(at);
+        // Length of the current healthy/faulty segment.
+        size_t seg = len - done;
+        if (faulty) {
+            if (spec_.lengthBytes != 0) {
+                uint64_t fault_end = spec_.startByte +
+                                     spec_.lengthBytes;
+                seg = static_cast<size_t>(std::min<uint64_t>(
+                    seg, fault_end - at));
+            }
+        } else if (at < spec_.startByte) {
+            seg = static_cast<size_t>(std::min<uint64_t>(
+                seg, spec_.startByte - at));
+        }
+
+        if (!faulty) {
+            inner_.fill(out + done, seg);
+            done += seg;
+            continue;
+        }
+
+        switch (spec_.mode) {
+        case FaultMode::StuckAt:
+            std::memset(out + done, spec_.stuckValue, seg);
+            break;
+        case FaultMode::BiasedBits:
+            for (size_t i = 0; i < seg; ++i) {
+                uint8_t b = 0;
+                for (unsigned j = 0; j < 8; ++j)
+                    b |= static_cast<uint8_t>(
+                             rng_.bernoulli(spec_.biasP))
+                         << j;
+                out[done + i] = b;
+            }
+            break;
+        case FaultMode::ReadFailure:
+            // The attempted read is lost but the stream position
+            // still advances, so retries eventually clear a bounded
+            // fault window (transience) instead of re-hitting byte
+            // startByte forever.
+            offset_ += len;
+            throw TransientReadError(
+                name() + ": injected read failure at stream byte " +
+                std::to_string(at));
+        }
+        done += seg;
+    }
+    offset_ += len;
+}
+
+SoftwareTrng::SoftwareTrng(uint64_t seed, std::string name,
+                           size_t chunk_bytes)
+    : name_(std::move(name)), chunk_(chunk_bytes), rng_(seed)
+{
+}
+
+void
+SoftwareTrng::fill(uint8_t *out, size_t len)
+{
+    // Unused tail bytes of a word carry over to the next fill, so
+    // the byte stream is a pure function of stream position — fills
+    // of any chunking replay identically (the health studies compare
+    // served bytes across runs with different pull patterns).
+    size_t done = 0;
+    while (done < len) {
+        if (pending_ == 0) {
+            word_ = rng_.next();
+            pending_ = 8;
+        }
+        size_t take = std::min<size_t>(pending_, len - done);
+        const uint8_t *src =
+            reinterpret_cast<const uint8_t *>(&word_) +
+            (8 - pending_);
+        std::memcpy(out + done, src, take);
+        pending_ -= static_cast<unsigned>(take);
+        done += take;
+    }
+}
+
+} // namespace quac::core

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Deterministic fault injection at the TRNG backend boundary.
+ *
+ * D-RaNGe's characterization shows real DRAM cells drift and fail;
+ * a health-monitoring path is only trustworthy if the failure modes
+ * it must catch can be reproduced on demand. FaultInjectedTrng wraps
+ * any core::Trng and corrupts a byte-offset window of its output
+ * stream with one of the three fielded-TRNG failure classes:
+ *
+ *  - StuckAt: the generator returns a constant byte (a dead sense
+ *    amplifier / stuck bitline) — caught by the repetition count
+ *    test within one cutoff-length run.
+ *  - BiasedBits: entropy collapse to i.i.d. bits with P(1) != 0.5
+ *    (charge drift shifting cells out of their metastable region) —
+ *    caught by the adaptive proportion test and the windowed
+ *    monobit/serial statistics.
+ *  - ReadFailure: the fill throws TransientReadError (a timing or
+ *    interface fault) — caught by the service's read-failure
+ *    counting; the wrapped stream position still advances, so the
+ *    fault clears once the window passes.
+ *
+ * Everything is deterministic: the fault window is addressed by
+ * absolute stream byte offset and the bias noise comes from a seeded
+ * xoshiro, so a test that replays the same request schedule replays
+ * the same failure. SoftwareTrng is the healthy stand-in backend for
+ * health studies (a PRNG stream that passes the statistical tests,
+ * unlike the structured CountingTrng pattern used by the refill
+ * benches).
+ */
+
+#ifndef QUAC_CORE_FAULT_INJECTION_HH
+#define QUAC_CORE_FAULT_INJECTION_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hh"
+#include "core/trng.hh"
+
+namespace quac::core
+{
+
+/** Thrown by FaultInjectedTrng for ReadFailure-window fills. */
+class TransientReadError : public std::runtime_error
+{
+  public:
+    explicit TransientReadError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Injected failure class. */
+enum class FaultMode : uint8_t
+{
+    /** Constant output byte (dead cells). */
+    StuckAt = 0,
+    /** I.i.d. bits with P(1) = biasP (entropy collapse). */
+    BiasedBits = 1,
+    /** fill() throws TransientReadError (interface fault). */
+    ReadFailure = 2,
+};
+
+/** Display name ("stuck", "bias", "fail"). */
+const char *faultModeName(FaultMode mode);
+
+/** One fault, addressed in absolute backend-stream byte offsets. */
+struct FaultSpec
+{
+    /** Backend (bank) index the fault applies to — carried for CLI
+     * plumbing; FaultInjectedTrng itself ignores it. */
+    size_t bank = 0;
+    FaultMode mode = FaultMode::StuckAt;
+    /** First faulty stream byte. */
+    uint64_t startByte = 0;
+    /** Faulty length in bytes; 0 = the fault never clears. */
+    uint64_t lengthBytes = 0;
+    /** StuckAt: the constant byte. */
+    uint8_t stuckValue = 0x00;
+    /** BiasedBits: probability of a 1 bit, in (0, 1). */
+    double biasP = 0.9;
+
+    /** Does the fault cover stream byte @p offset? */
+    bool
+    covers(uint64_t offset) const
+    {
+        return offset >= startByte &&
+               (lengthBytes == 0 ||
+                offset < startByte + lengthBytes);
+    }
+
+    /**
+     * Parse "<bank>:<mode>:<start>:<len>[:<param>]" where mode is
+     * stuck | bias | fail, start/len are stream byte offsets
+     * (len 0 = permanent), and the optional param is the stuck byte
+     * value (0-255) or the bias P(1) in (0, 1). fatal() on any
+     * malformed field — a mistyped injection spec must never run a
+     * study silently fault-free.
+     */
+    static FaultSpec parse(const std::string &text);
+
+    /** The spec in parse() syntax (logs, JSON). */
+    std::string describe() const;
+};
+
+/**
+ * Decorator injecting FaultSpec's failure into a wrapped generator.
+ * Healthy spans pass through to the inner stream; faulty spans
+ * replace it (the inner stream position does not advance for
+ * replaced bytes, so the post-fault stream continues exactly where
+ * the healthy prefix stopped — a quarantined-then-readmitted bank
+ * resumes its original sequence).
+ */
+class FaultInjectedTrng : public Trng
+{
+  public:
+    /**
+     * @param inner wrapped generator (kept by reference).
+     * @param spec fault to inject.
+     * @param seed bias-noise seed (BiasedBits only).
+     */
+    FaultInjectedTrng(Trng &inner, FaultSpec spec, uint64_t seed = 1);
+
+    std::string name() const override;
+    void fill(uint8_t *out, size_t len) override;
+    size_t preferredChunkBytes() override;
+
+    /** Stream bytes produced (or lost to ReadFailure) so far. */
+    uint64_t bytesProduced() const { return offset_; }
+
+    const FaultSpec &spec() const { return spec_; }
+
+  private:
+    Trng &inner_;
+    FaultSpec spec_;
+    uint64_t offset_ = 0;
+    Xoshiro256pp rng_;
+};
+
+/**
+ * Seeded xoshiro-backed software generator: the healthy backend
+ * stand-in for health/fault studies. Deterministic per seed, and its
+ * output passes the SP 800-90B/800-22 health tests.
+ */
+class SoftwareTrng : public Trng
+{
+  public:
+    explicit SoftwareTrng(uint64_t seed,
+                          std::string name = "xoshiro-sw",
+                          size_t chunk_bytes = 256);
+
+    std::string name() const override { return name_; }
+    void fill(uint8_t *out, size_t len) override;
+    size_t preferredChunkBytes() override { return chunk_; }
+
+  private:
+    std::string name_;
+    size_t chunk_;
+    Xoshiro256pp rng_;
+    /** Current word and its unconsumed byte count (chunk carry). */
+    uint64_t word_ = 0;
+    unsigned pending_ = 0;
+};
+
+} // namespace quac::core
+
+#endif // QUAC_CORE_FAULT_INJECTION_HH

@@ -1,0 +1,423 @@
+#include "nist/health90b.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/vec_clones.hh"
+#include "nist/special.hh"
+
+namespace quac::nist
+{
+
+uint64_t
+rctCutoff(double entropy_per_sample, int alpha_exponent)
+{
+    if (entropy_per_sample <= 0.0 || entropy_per_sample > 1.0)
+        fatal("RCT entropy per sample must be in (0, 1], got %f",
+              entropy_per_sample);
+    if (alpha_exponent < 1 || alpha_exponent > 64)
+        fatal("RCT alpha exponent must be in [1, 64], got %d",
+              alpha_exponent);
+    return 1 + static_cast<uint64_t>(std::ceil(
+                   static_cast<double>(alpha_exponent) /
+                   entropy_per_sample));
+}
+
+uint64_t
+aptCutoff(size_t window, double entropy_per_sample,
+          int alpha_exponent)
+{
+    if (entropy_per_sample <= 0.0 || entropy_per_sample > 1.0)
+        fatal("APT entropy per sample must be in (0, 1], got %f",
+              entropy_per_sample);
+    if (alpha_exponent < 1 || alpha_exponent > 64)
+        fatal("APT alpha exponent must be in [1, 64], got %d",
+              alpha_exponent);
+    if (window == 0)
+        fatal("APT window must be > 0");
+
+    // 1 + CRITBINOM(W, 2^-H, 1 - 2^-a): walk the binomial CDF of
+    // X ~ Bin(W, p) upward via the pmf recurrence until it reaches
+    // 1 - alpha. Extended precision: the pmf tails underflow double
+    // for W = 1024 but stay comfortably inside long double range.
+    long double p =
+        std::exp2(-static_cast<long double>(entropy_per_sample));
+    long double alpha =
+        std::exp2(-static_cast<long double>(alpha_exponent));
+    long double target = 1.0L - alpha;
+    long double pmf =
+        std::pow(1.0L - p, static_cast<long double>(window));
+    long double cdf = 0.0L;
+    for (size_t k = 0; k <= window; ++k) {
+        cdf += pmf;
+        if (cdf >= target)
+            return static_cast<uint64_t>(k) + 1;
+        pmf *= static_cast<long double>(window - k) * p /
+               (static_cast<long double>(k + 1) * (1.0L - p));
+    }
+    // The CDF never crossed 1 - alpha (only possible for extreme
+    // alpha); the test can then never fire.
+    return static_cast<uint64_t>(window) + 1;
+}
+
+namespace
+{
+
+/** Load 8 stream bytes as one LSB-first word. */
+inline uint64_t
+loadWord(const uint8_t *bytes)
+{
+    uint64_t word;
+    std::memcpy(&word, bytes, sizeof(word));
+    return word;
+}
+
+QUAC_VEC_CLONES uint64_t
+onesCountWords(const uint8_t *bytes, size_t len)
+{
+    uint64_t ones = 0;
+    size_t words = len / 8;
+    for (size_t w = 0; w < words; ++w)
+        ones += static_cast<uint64_t>(
+            __builtin_popcountll(loadWord(bytes + w * 8)));
+    for (size_t i = words * 8; i < len; ++i)
+        ones += static_cast<uint64_t>(__builtin_popcount(bytes[i]));
+    return ones;
+}
+
+/**
+ * Count overlapping 3-bit patterns at 64 consecutive positions:
+ * position k of word @p w reads bits k, k+1, k+2, the top two
+ * spilling into @p next. One popcount per pattern per word.
+ */
+QUAC_VEC_CLONES void
+patternCountWords(const uint8_t *bytes, size_t words, uint64_t spill0,
+                  uint64_t spill1, uint64_t counts[8])
+{
+    uint64_t c[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (size_t t = 0; t < words; ++t) {
+        uint64_t w = loadWord(bytes + t * 8);
+        // The two bits after this word: the next word's low bits, or
+        // the caller-provided spill for the final word.
+        uint64_t n0;
+        uint64_t n1;
+        if (t + 1 < words) {
+            uint64_t next = loadWord(bytes + (t + 1) * 8);
+            n0 = next & 1;
+            n1 = (next >> 1) & 1;
+        } else {
+            n0 = spill0;
+            n1 = spill1;
+        }
+        uint64_t b0 = w;
+        uint64_t b1 = (w >> 1) | (n0 << 63);
+        uint64_t b2 = (w >> 2) | (n0 << 62) | (n1 << 63);
+        for (unsigned p = 0; p < 8; ++p) {
+            uint64_t mask = (p & 1 ? b0 : ~b0) & (p & 2 ? b1 : ~b1) &
+                            (p & 4 ? b2 : ~b2);
+            c[p] += static_cast<uint64_t>(__builtin_popcountll(mask));
+        }
+    }
+    for (unsigned p = 0; p < 8; ++p)
+        counts[p] += c[p];
+}
+
+inline unsigned
+bitAt(const uint8_t *bytes, size_t bit)
+{
+    return (bytes[bit / 8] >> (bit % 8)) & 1;
+}
+
+/** Per-byte run tables for the repetition-count test: longest run
+ * of the given bit value at the low end, high end, and anywhere
+ * within the byte (LSB-first bit order). */
+struct RunTables
+{
+    uint8_t lead[2][256];
+    uint8_t trail[2][256];
+    uint8_t interior[2][256];
+};
+
+RunTables
+buildRunTables()
+{
+    RunTables t{};
+    for (unsigned b = 0; b < 256; ++b) {
+        for (unsigned v = 0; v < 2; ++v) {
+            unsigned lead = 0;
+            while (lead < 8 && ((b >> lead) & 1) == v)
+                ++lead;
+            unsigned trail = 0;
+            while (trail < 8 && ((b >> (7 - trail)) & 1) == v)
+                ++trail;
+            unsigned best = 0;
+            unsigned run = 0;
+            for (unsigned i = 0; i < 8; ++i) {
+                run = ((b >> i) & 1) == v ? run + 1 : 0;
+                best = run > best ? run : best;
+            }
+            t.lead[v][b] = static_cast<uint8_t>(lead);
+            t.trail[v][b] = static_cast<uint8_t>(trail);
+            t.interior[v][b] = static_cast<uint8_t>(best);
+        }
+    }
+    return t;
+}
+
+const RunTables &
+runTables()
+{
+    static const RunTables tables = buildRunTables();
+    return tables;
+}
+
+} // anonymous namespace
+
+uint64_t
+onesCount(const uint8_t *bytes, size_t len)
+{
+    return onesCountWords(bytes, len);
+}
+
+uint64_t
+onesCountScalar(const uint8_t *bytes, size_t len)
+{
+    uint64_t ones = 0;
+    for (size_t i = 0; i < len; ++i) {
+        for (unsigned j = 0; j < 8; ++j)
+            ones += (bytes[i] >> j) & 1;
+    }
+    return ones;
+}
+
+void
+PatternCounter3::reset()
+{
+    counts_.fill(0);
+    bits_ = 0;
+    firstBits_ = 0;
+    carryBits_ = 0;
+}
+
+void
+PatternCounter3::consume(const uint8_t *bytes, size_t len)
+{
+    if (len == 0)
+        return;
+    size_t nbits = len * 8;
+    if (bits_ == 0) {
+        firstBits_ = bitAt(bytes, 0) | (bitAt(bytes, 1) << 1);
+    } else {
+        // The two positions straddling the chunk boundary: carry
+        // bits are stream positions bits_-2 and bits_-1.
+        unsigned c0 = carryBits_ & 1;
+        unsigned c1 = (carryBits_ >> 1) & 1;
+        unsigned n0 = bitAt(bytes, 0);
+        unsigned n1 = nbits >= 2 ? bitAt(bytes, 1) : 0;
+        ++counts_[c0 | (c1 << 1) | (n0 << 2)];
+        if (nbits >= 2)
+            ++counts_[c1 | (n0 << 1) | (n1 << 2)];
+    }
+
+    // Chunk-internal positions 0 .. nbits-3: whole words first, the
+    // final word taking its two spill bits from positions that do
+    // not exist (the tail loop below never counts them).
+    size_t words = len / 8;
+    size_t word_positions = 0;
+    if (words > 0) {
+        // The last full word's top two positions need bits beyond
+        // the word; provide them when the tail has them, else count
+        // those positions in the scalar tail instead.
+        size_t tail_bits = nbits - words * 64;
+        uint64_t spill0 = 0;
+        uint64_t spill1 = 0;
+        size_t last_word_positions = 62;
+        if (tail_bits >= 2) {
+            spill0 = bitAt(bytes, words * 64);
+            spill1 = bitAt(bytes, words * 64 + 1);
+            last_word_positions = 64;
+        }
+        if (last_word_positions == 64) {
+            patternCountWords(bytes, words, spill0, spill1,
+                              counts_.data());
+            word_positions = words * 64;
+        } else {
+            patternCountWords(bytes, words, 0, 0, counts_.data());
+            // patternCountWords counted positions 62 and 63 of the
+            // final word with zero spill bits; subtract them and let
+            // the scalar tail recount them correctly. With no tail
+            // bits those positions have no bits 1 or 2 past the
+            // chunk, so they are simply not chunk-internal.
+            size_t base = words * 64;
+            unsigned p62 = bitAt(bytes, base - 2) |
+                           (bitAt(bytes, base - 1) << 1);
+            --counts_[p62]; // position base-2 read spill0=0 as bit 2
+            unsigned p63 = bitAt(bytes, base - 1);
+            --counts_[p63]; // position base-1 read zeros as bits 1,2
+            word_positions = base - 2;
+        }
+    }
+    // Scalar tail: remaining chunk-internal positions.
+    for (size_t i = word_positions; i + 2 < nbits; ++i) {
+        ++counts_[bitAt(bytes, i) | (bitAt(bytes, i + 1) << 1) |
+                  (bitAt(bytes, i + 2) << 2)];
+    }
+
+    carryBits_ = bitAt(bytes, nbits - 2) | (bitAt(bytes, nbits - 1)
+                                            << 1);
+    bits_ += nbits;
+}
+
+void
+PatternCounter3::finishCyclic()
+{
+    QUAC_ASSERT(bits_ >= 3, "window of %llu bits",
+                static_cast<unsigned long long>(bits_));
+    unsigned l0 = carryBits_ & 1;
+    unsigned l1 = (carryBits_ >> 1) & 1;
+    unsigned f0 = firstBits_ & 1;
+    unsigned f1 = (firstBits_ >> 1) & 1;
+    ++counts_[l0 | (l1 << 1) | (f0 << 2)];
+    ++counts_[l1 | (f0 << 1) | (f1 << 2)];
+}
+
+StreamingHealthTester::StreamingHealthTester(StreamingHealthConfig cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.windowBits == 0 || cfg_.windowBits % 8 != 0)
+        fatal("health window must be a positive multiple of 8 bits, "
+              "got %zu", cfg_.windowBits);
+    if (cfg_.windowBits < 128)
+        fatal("health window must be >= 128 bits (serial-test "
+              "applicability), got %zu", cfg_.windowBits);
+    rctCutoff_ = rctCutoff(cfg_.entropyPerBit, cfg_.alphaExponent);
+    aptCutoff_ =
+        aptCutoff(kAptWindowBits, cfg_.entropyPerBit,
+                  cfg_.alphaExponent);
+}
+
+void
+StreamingHealthTester::continuousTests(const uint8_t *bytes,
+                                       size_t len)
+{
+    const RunTables &tables = runTables();
+    for (size_t i = 0; i < len; ++i) {
+        uint8_t b = bytes[i];
+
+        // Repetition count (SP 800-90B 4.4.1) at bit granularity.
+        if (b == 0x00 || b == 0xFF) {
+            unsigned v = b & 1;
+            rctRun_ = v == rctValue_ ? rctRun_ + 8 : 8;
+            rctValue_ = v;
+            if (rctRun_ > windowMaxRun_)
+                windowMaxRun_ = rctRun_;
+            if (rctRun_ >= rctCutoff_)
+                windowRctFailed_ = true;
+        } else {
+            uint64_t extended =
+                rctRun_ + tables.lead[rctValue_][b];
+            uint64_t interior =
+                tables.interior[0][b] > tables.interior[1][b]
+                    ? tables.interior[0][b]
+                    : tables.interior[1][b];
+            uint64_t longest =
+                extended > interior ? extended : interior;
+            if (longest > windowMaxRun_)
+                windowMaxRun_ = longest;
+            if (longest >= rctCutoff_)
+                windowRctFailed_ = true;
+            rctValue_ = (b >> 7) & 1;
+            rctRun_ = tables.trail[rctValue_][b];
+        }
+
+        // Adaptive proportion (SP 800-90B 4.4.2), W = 1024 bits.
+        if (aptSeen_ == 0)
+            aptFirst_ = b & 1;
+        aptOnes_ += static_cast<uint64_t>(__builtin_popcount(b));
+        aptSeen_ += 8;
+        if (aptSeen_ == kAptWindowBits) {
+            uint64_t count = aptFirst_
+                                 ? aptOnes_
+                                 : kAptWindowBits - aptOnes_;
+            if (count > windowMaxApt_)
+                windowMaxApt_ = count;
+            if (count >= aptCutoff_)
+                windowAptFailed_ = true;
+            aptSeen_ = 0;
+            aptOnes_ = 0;
+        }
+    }
+}
+
+HealthWindowResult
+StreamingHealthTester::closeWindow()
+{
+    window_.finishCyclic();
+    double n = static_cast<double>(cfg_.windowBits);
+
+    HealthWindowResult result;
+
+    // Monobit over the window (SP 800-22 2.1).
+    double s = 2.0 * static_cast<double>(windowOnes_) - n;
+    result.monobitP =
+        std::erfc(std::fabs(s) / std::sqrt(n) / M_SQRT2);
+
+    // Serial (SP 800-22 2.11) with m = 3 from the cyclic pattern
+    // counts; the m = 2 / m = 1 counts are exact marginals.
+    const std::array<uint64_t, 8> &c3 = window_.counts();
+    double sum3 = 0.0;
+    for (uint64_t c : c3)
+        sum3 += static_cast<double>(c) * static_cast<double>(c);
+    double sum2 = 0.0;
+    for (unsigned j = 0; j < 4; ++j) {
+        double c = static_cast<double>(c3[j] + c3[j | 4]);
+        sum2 += c * c;
+    }
+    double ones = 0.0;
+    for (unsigned v = 1; v < 8; v += 2)
+        ones += static_cast<double>(c3[v]);
+    double sum1 = ones * ones + (n - ones) * (n - ones);
+    double psi3 = sum3 * 8.0 / n - n;
+    double psi2 = sum2 * 4.0 / n - n;
+    double psi1 = sum1 * 2.0 / n - n;
+    double d1 = psi3 - psi2;
+    double d2 = psi3 - 2.0 * psi2 + psi1;
+    result.serialP1 = igamc(2.0, std::max(d1, 0.0) / 2.0);
+    result.serialP2 = igamc(1.0, std::max(d2, 0.0) / 2.0);
+
+    result.maxRun = windowMaxRun_;
+    result.maxAptCount = windowMaxApt_;
+    result.rctFailed = windowRctFailed_;
+    result.aptFailed = windowAptFailed_;
+
+    window_.reset();
+    windowOnes_ = 0;
+    windowMaxRun_ = 0;
+    windowMaxApt_ = 0;
+    windowRctFailed_ = false;
+    windowAptFailed_ = false;
+    return result;
+}
+
+void
+StreamingHealthTester::consume(const uint8_t *bytes, size_t len,
+                               std::vector<HealthWindowResult> &completed)
+{
+    size_t window_bytes = cfg_.windowBits / 8;
+    while (len > 0) {
+        size_t have = static_cast<size_t>(window_.bits()) / 8;
+        size_t take = std::min(len, window_bytes - have);
+        continuousTests(bytes, take);
+        window_.consume(bytes, take);
+        windowOnes_ += onesCount(bytes, take);
+        bytes += take;
+        len -= take;
+        if (window_.bits() == cfg_.windowBits)
+            completed.push_back(closeWindow());
+    }
+}
+
+} // namespace quac::nist

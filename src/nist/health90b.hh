@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Streaming SP 800-90B health tests for deployed TRNG output.
+ *
+ * SP 800-22 (sts.hh) validates a finished sequence offline; a fielded
+ * generator instead needs *continuous* health tests that watch every
+ * byte it serves and flag a noise source whose entropy collapses
+ * mid-run (the open gap neoTRNG's authors call out for deployed
+ * TRNGs). This file implements the two SP 800-90B Section 4.4
+ * continuous tests plus windowed streaming variants of the monobit
+ * and serial statistics from sts.cc:
+ *
+ *  - Repetition count test (4.4.1): fails when any sample value
+ *    repeats C = 1 + ceil(a/H) times in a row, where the false-alarm
+ *    probability is 2^-a and H is the assessed entropy per sample.
+ *    Run at bit granularity here (binary source, H <= 1).
+ *  - Adaptive proportion test (4.4.2): counts occurrences of the
+ *    first sample of each W = 1024-bit window and fails when the
+ *    count reaches the exact binomial cutoff for the same 2^-a.
+ *  - Windowed monobit / serial (m = 3): the SP 800-22 statistics
+ *    recomputed per fixed-size window from streaming word-level
+ *    pattern counts, so a window's p-values cost popcounts instead
+ *    of the bit-at-a-time scan the offline kernels pay.
+ *
+ * The kernels consume raw bytes (LSB-first bit order, matching
+ * Bitstream::fromBytes) in arbitrary chunk sizes and never buffer a
+ * window, so a health monitor can tap a refill path without copying.
+ */
+
+#ifndef QUAC_NIST_HEALTH90B_HH
+#define QUAC_NIST_HEALTH90B_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace quac::nist
+{
+
+/** @name SP 800-90B cutoffs */
+/**@{*/
+
+/**
+ * Repetition-count cutoff C = 1 + ceil(a / H) (SP 800-90B 4.4.1):
+ * a run of C identical samples is the failure condition, where
+ * @p entropy_per_sample is the assessed min-entropy H and the
+ * false-positive rate is 2^-@p alpha_exponent per sample.
+ * H = 1.0 gives 21, H = 0.5 gives 41 at the standard a = 20.
+ */
+uint64_t rctCutoff(double entropy_per_sample, int alpha_exponent = 20);
+
+/**
+ * Adaptive-proportion cutoff (SP 800-90B 4.4.2): the smallest count
+ * C such that P(Binomial(@p window, 2^-H) >= C) <= 2^-a, i.e.
+ * 1 + CRITBINOM(W, 2^-H, 1 - 2^-a). Computed exactly from the
+ * binomial survival function in extended precision. For the binary
+ * W = 1024 window at a = 20: H = 1.0 gives 589, H = 0.5 gives 793.
+ */
+uint64_t aptCutoff(size_t window, double entropy_per_sample,
+                   int alpha_exponent = 20);
+
+/** SP 800-90B window size for binary sources (Section 4.4.2). */
+constexpr size_t kAptWindowBits = 1024;
+
+/**@}*/
+
+/** @name Streaming bit-count kernels */
+/**@{*/
+
+/**
+ * Number of one bits in @p bytes. Word-at-a-time popcount with
+ * vector clones — the fast path the health monitor runs on every
+ * refilled chunk.
+ */
+uint64_t onesCount(const uint8_t *bytes, size_t len);
+
+/** Bit-at-a-time reference for onesCount (test/bench baseline). */
+uint64_t onesCountScalar(const uint8_t *bytes, size_t len);
+
+/**
+ * Streaming counter of overlapping 3-bit patterns over a byte
+ * stream, LSB-first. consume() may be called with arbitrary chunk
+ * sizes; the two-bit carry between chunks keeps the overlap exact.
+ * finishCyclic() adds the two wrap-around patterns SP 800-22's
+ * serial test defines (positions n-2 and n-1 read the first window
+ * bits again), after which counts() holds the full cyclic pattern
+ * counts of the stream seen since reset(). The m = 2 and m = 1
+ * cyclic counts are exact marginals of the m = 3 counts, so one
+ * pass serves all three psi-squared terms.
+ */
+class PatternCounter3
+{
+  public:
+    PatternCounter3() { reset(); }
+
+    void reset();
+
+    /** Feed @p len bytes (8 * len bits, LSB-first). */
+    void consume(const uint8_t *bytes, size_t len);
+
+    /** Add the cyclic wrap-around patterns (call once per window). */
+    void finishCyclic();
+
+    /** Bits consumed since reset(). */
+    uint64_t bits() const { return bits_; }
+
+    /** Cyclic 3-bit pattern counts (valid after finishCyclic()). */
+    const std::array<uint64_t, 8> &counts() const { return counts_; }
+
+  private:
+    std::array<uint64_t, 8> counts_;
+    uint64_t bits_ = 0;
+    /** First two bits of the stream (for the cyclic wrap). */
+    unsigned firstBits_ = 0;
+    /** Last two bits seen (carry into the next chunk). */
+    unsigned carryBits_ = 0;
+};
+
+/**@}*/
+
+/** Outcome of one completed health window. */
+struct HealthWindowResult
+{
+    /** Monobit p-value over the window. */
+    double monobitP = 1.0;
+    /** Serial test (m = 3) p-values over the window. */
+    double serialP1 = 1.0;
+    double serialP2 = 1.0;
+    /** Longest repetition run observed during the window. */
+    uint64_t maxRun = 0;
+    /** Highest adaptive-proportion count observed in the window. */
+    uint64_t maxAptCount = 0;
+    /** Any repetition-count cutoff hit during the window. */
+    bool rctFailed = false;
+    /** Any adaptive-proportion cutoff hit during the window. */
+    bool aptFailed = false;
+
+    /** Smallest of the windowed statistic p-values. */
+    double
+    minP() const
+    {
+        double p = monobitP;
+        p = serialP1 < p ? serialP1 : p;
+        return serialP2 < p ? serialP2 : p;
+    }
+};
+
+/** Streaming health-test configuration. */
+struct StreamingHealthConfig
+{
+    /**
+     * Windowed-statistic window in bits; must be a positive multiple
+     * of 8 and >= 128 (the serial test's applicability floor).
+     */
+    size_t windowBits = 16384;
+    /** Assessed min-entropy per bit, in (0, 1]. */
+    double entropyPerBit = 1.0;
+    /** Continuous-test false-positive exponent a (alpha = 2^-a). */
+    int alphaExponent = 20;
+};
+
+/**
+ * The streaming per-source health tester: continuous RCT/APT state
+ * plus windowed monobit/serial accumulation. Not internally
+ * synchronized — callers (the service health monitor) serialize.
+ */
+class StreamingHealthTester
+{
+  public:
+    explicit StreamingHealthTester(StreamingHealthConfig cfg = {});
+
+    /**
+     * Consume @p len bytes. Every completed window appends one
+     * result to @p completed (a chunk may complete several windows);
+     * continuous-test failures are also latched into the in-progress
+     * window's flags.
+     */
+    void consume(const uint8_t *bytes, size_t len,
+                 std::vector<HealthWindowResult> &completed);
+
+    /** Bits of the current (incomplete) window. */
+    uint64_t pendingBits() const { return window_.bits(); }
+
+    /** Configured cutoffs (for stats surfacing). */
+    uint64_t rctLimit() const { return rctCutoff_; }
+    uint64_t aptLimit() const { return aptCutoff_; }
+
+    const StreamingHealthConfig &config() const { return cfg_; }
+
+  private:
+    /** Bytewise RCT/APT update over one window-aligned chunk. */
+    void continuousTests(const uint8_t *bytes, size_t len);
+
+    /** Close the current window into a result. */
+    HealthWindowResult closeWindow();
+
+    StreamingHealthConfig cfg_;
+    uint64_t rctCutoff_ = 0;
+    uint64_t aptCutoff_ = 0;
+
+    PatternCounter3 window_;
+    uint64_t windowOnes_ = 0;
+
+    /** Repetition-count state (persistent across windows). */
+    unsigned rctValue_ = 0;
+    uint64_t rctRun_ = 0;
+    uint64_t windowMaxRun_ = 0;
+    bool windowRctFailed_ = false;
+
+    /** Adaptive-proportion state (persistent across windows). */
+    uint64_t aptSeen_ = 0;  ///< Bits into the current APT window.
+    uint64_t aptOnes_ = 0;  ///< Ones in the current APT window.
+    unsigned aptFirst_ = 0; ///< First bit of the APT window.
+    uint64_t windowMaxApt_ = 0;
+    bool windowAptFailed_ = false;
+};
+
+} // namespace quac::nist
+
+#endif // QUAC_NIST_HEALTH90B_HH

@@ -52,11 +52,11 @@ struct EntropyService::Client::State
 
 EntropyService::EntropyService(std::vector<core::Trng *> backends,
                                EntropyServiceConfig cfg)
-    : cfg_(cfg)
+    : cfg_(cfg), backends_(std::move(backends))
 {
-    if (backends.empty())
+    if (backends_.empty())
         fatal("EntropyService needs at least one backend");
-    for (core::Trng *backend : backends) {
+    for (core::Trng *backend : backends_) {
         if (!backend)
             fatal("EntropyService backend is null");
     }
@@ -75,17 +75,27 @@ EntropyService::EntropyService(std::vector<core::Trng *> backends,
     if (cfg_.recentLatencyWindow == 0)
         fatal("recent latency window must hold at least one sample");
 
-    size_t nshards = cfg_.shards ? cfg_.shards : backends.size();
-    backendLocks_.reserve(backends.size());
-    for (size_t b = 0; b < backends.size(); ++b)
+    // The HealthMonitor and StreamingHealthTester constructors
+    // validate the health knobs themselves (zero/misaligned window,
+    // out-of-range entropy or cutoffs) via fatal().
+    if (cfg_.health.enabled)
+        monitor_ = std::make_unique<HealthMonitor>(backends_.size(),
+                                                   cfg_.health);
+
+    size_t nshards = cfg_.shards ? cfg_.shards : backends_.size();
+    backendLocks_.reserve(backends_.size());
+    for (size_t b = 0; b < backends_.size(); ++b)
         backendLocks_.push_back(std::make_unique<std::mutex>());
 
+    sourcingCount_.assign(backends_.size(), 0);
     shards_.reserve(nshards);
     for (size_t i = 0; i < nshards; ++i) {
         auto shard = std::make_unique<Shard>();
-        shard->backendIndex = i % backends.size();
-        shard->backend = backends[shard->backendIndex];
+        shard->backendIndex = i % backends_.size();
+        shard->homeBackend = shard->backendIndex;
+        shard->backend = backends_[shard->backendIndex];
         shard->recent = RecentLatencyWindow(cfg_.recentLatencyWindow);
+        ++sourcingCount_[shard->backendIndex];
         shards_.push_back(std::move(shard));
     }
 }
@@ -135,24 +145,84 @@ EntropyService::takeLocked(Shard &shard, uint8_t *out, size_t len)
     return take;
 }
 
-void
+size_t
 EntropyService::pullLocked(Shard &shard, size_t want)
 {
     if (want == 0)
-        return;
+        return 0;
     size_t cap = shard.ring.size();
     QUAC_ASSERT(shard.size + want <= cap, "ring overflow: %zu + %zu > %zu",
                 shard.size, want, cap);
+    bool failed = false;
+    bool healthy = true;
     {
         std::lock_guard<std::mutex> backend_lock(
             *backendLocks_[shard.backendIndex]);
         size_t tail = (shard.head + shard.size) % cap;
         size_t first = std::min(want, cap - tail);
-        shard.backend->fill(shard.ring.data() + tail, first);
-        if (want > first)
-            shard.backend->fill(shard.ring.data(), want - first);
-        shard.size += want;
+        try {
+            shard.backend->fill(shard.ring.data() + tail, first);
+            if (want > first)
+                shard.backend->fill(shard.ring.data(), want - first);
+        } catch (const std::exception &) {
+            // The backend misbehaved mid-fill (satellite: this used
+            // to escape the auto-refill thread and std::terminate).
+            // Nothing is admitted to the ring; the shard keeps
+            // serving the bytes it already buffered.
+            failed = true;
+        }
+        if (!failed && monitor_) {
+            // Observe after the fill, in stream order (still under
+            // the backend lock so concurrent sharers can't reorder
+            // their observations).
+            bool changed = monitor_->observe(
+                shard.backendIndex, shard.ring.data() + tail, first);
+            if (want > first) {
+                changed |= monitor_->observe(shard.backendIndex,
+                                             shard.ring.data(),
+                                             want - first);
+            }
+            if (changed)
+                resourceEpoch_.fetch_add(1,
+                                         std::memory_order_acq_rel);
+            // A state transition during this very pull marks the
+            // whole span suspect even if the bank ended it servable
+            // (a large pull over a bounded fault can quarantine AND
+            // re-admit within one observe; admitting those bytes
+            // would serve the detected-bad window between the two
+            // transitions).
+            healthy = !changed &&
+                      monitor_->servable(shard.backendIndex);
+        }
     }
+    if (failed) {
+        refillFailures_.fetch_add(1, std::memory_order_relaxed);
+        if (monitor_ &&
+            monitor_->reportReadFailure(shard.backendIndex))
+            resourceEpoch_.fetch_add(1, std::memory_order_acq_rel);
+        if (monitor_ && !monitor_->servable(shard.backendIndex)) {
+            // Repeated failures crossed the quarantine limit: the
+            // buffered bytes are from a now-detected-unhealthy bank.
+            unhealthyBytesDropped_.fetch_add(
+                shard.size, std::memory_order_relaxed);
+            shard.head = 0;
+            shard.size = 0;
+            resourceShardLocked(shard);
+        }
+        return 0;
+    }
+    if (!healthy) {
+        // This very pull detected the collapse: the pulled bytes and
+        // everything buffered from the bank are dropped unserved, and
+        // the shard moves to a servable bank.
+        unhealthyBytesDropped_.fetch_add(want + shard.size,
+                                         std::memory_order_relaxed);
+        shard.head = 0;
+        shard.size = 0;
+        resourceShardLocked(shard);
+        return 0;
+    }
+    shard.size += want;
     // A full top-up retires the shard's congestion history: the tail
     // the window measured came from an empty buffer that no longer
     // exists, and without this reset a recovered shard that lost its
@@ -161,6 +231,83 @@ EntropyService::pullLocked(Shard &shard, size_t want)
     // congestion persists, the very next misses rebuild the signal.
     if (shard.size >= cfg_.shardCapacityBytes)
         shard.recent.clear();
+    return want;
+}
+
+void
+EntropyService::moveShardLocked(Shard &shard, size_t target)
+{
+    QUAC_ASSERT(shard.size == 0, "re-sourcing a non-flushed shard");
+    {
+        std::lock_guard<std::mutex> lock(sourcingMutex_);
+        --sourcingCount_[shard.backendIndex];
+        ++sourcingCount_[target];
+    }
+    shard.backendIndex = target;
+    shard.backend = backends_[target];
+    // Chunk granularity differs per backend; re-resolve lazily (the
+    // resize in chunkLocked is safe: the ring is empty).
+    shard.chunkKnown = false;
+    resourcings_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+EntropyService::resourceShardLocked(Shard &shard)
+{
+    size_t old = shard.backendIndex;
+    size_t best = old;
+    size_t best_count = std::numeric_limits<size_t>::max();
+    {
+        std::lock_guard<std::mutex> lock(sourcingMutex_);
+        for (size_t b = 0; b < backends_.size(); ++b) {
+            if (b == old)
+                continue;
+            if (monitor_ && !monitor_->servable(b))
+                continue;
+            // Strict < on an ascending scan: fewest sourcing shards
+            // wins, ties to the lowest index. Spare banks (count 0)
+            // are preferred, which is what keeps every healthy
+            // shard's stream untouched by someone else's failover.
+            if (sourcingCount_[b] < best_count) {
+                best = b;
+                best_count = sourcingCount_[b];
+            }
+        }
+    }
+    if (best == old)
+        return; // no servable alternative; stay (flagged-but-serving)
+    moveShardLocked(shard, best);
+}
+
+void
+EntropyService::revalidateLocked(Shard &shard)
+{
+    if (!monitor_)
+        return;
+    uint64_t epoch = resourceEpoch_.load(std::memory_order_acquire);
+    if (shard.seenEpoch == epoch)
+        return;
+    shard.seenEpoch = epoch;
+    if (!monitor_->servable(shard.backendIndex)) {
+        // The bank was quarantined by someone else's observation
+        // (another shard's pull, a probation draw): drop the
+        // buffered bytes unserved and move.
+        unhealthyBytesDropped_.fetch_add(shard.size,
+                                         std::memory_order_relaxed);
+        shard.head = 0;
+        shard.size = 0;
+        resourceShardLocked(shard);
+    } else if (shard.backendIndex != shard.homeBackend &&
+               monitor_->state(shard.homeBackend) ==
+                   BankState::Healthy) {
+        // Home bank re-admitted: return, freeing the donor for the
+        // next failover. The donor bytes still buffered are healthy
+        // but discarded — continuity of the home stream matters
+        // more than one ring of spare entropy.
+        shard.head = 0;
+        shard.size = 0;
+        moveShardLocked(shard, shard.homeBackend);
+    }
 }
 
 size_t
@@ -184,13 +331,16 @@ size_t
 EntropyService::refillShard(Shard &shard)
 {
     std::lock_guard<std::mutex> lock(shard.mutex);
+    revalidateLocked(shard);
     size_t want = deficitLocked(shard, cfg_.refillWatermark);
     if (want == 0)
         return 0;
-    pullLocked(shard, want);
+    size_t added = pullLocked(shard, want);
+    if (added == 0)
+        return 0;
     refills_.fetch_add(1, std::memory_order_relaxed);
-    bytesRefilled_.fetch_add(want, std::memory_order_relaxed);
-    return want;
+    bytesRefilled_.fetch_add(added, std::memory_order_relaxed);
+    return added;
 }
 
 size_t
@@ -241,6 +391,7 @@ EntropyService::refillTick(size_t budget_bytes,
             break;
         Shard &shard = *shards_[index];
         std::lock_guard<std::mutex> lock(shard.mutex);
+        revalidateLocked(shard);
         size_t want = deficitLocked(shard, cfg_.refillWatermark);
         if (want == 0)
             continue;
@@ -250,8 +401,10 @@ EntropyService::refillTick(size_t budget_bytes,
         size_t step = shard.chunk > 0 ? shard.chunk : want;
         size_t chunks =
             (std::min(budget_bytes, want) + step - 1) / step;
-        size_t pulled = std::min(want, chunks * step);
-        pullLocked(shard, pulled);
+        size_t pulled =
+            pullLocked(shard, std::min(want, chunks * step));
+        if (pulled == 0)
+            continue;
         budget_bytes -= std::min(budget_bytes, pulled);
         refills_.fetch_add(1, std::memory_order_relaxed);
         bytesRefilled_.fetch_add(pulled, std::memory_order_relaxed);
@@ -318,6 +471,9 @@ EntropyService::startAutoRefill(std::chrono::microseconds period)
                 return;
             lock.unlock();
             refillBelowWatermark();
+            // Probation draws and eager transition propagation ride
+            // the same cadence as the background top-ups.
+            healthTick();
             lock.lock();
         }
     });
@@ -497,6 +653,72 @@ EntropyService::resetLatencyStats()
         dist = LatencyDistribution();
 }
 
+bool
+EntropyService::syncFillLocked(Shard &shard, uint8_t *out,
+                               size_t need)
+{
+    // Bounded failover: each bank gets at most readFailureLimit
+    // throwing attempts before quarantine moves the shard on, plus
+    // one fill on the final destination.
+    size_t max_attempts =
+        monitor_ ? backends_.size() *
+                           (size_t{cfg_.health.readFailureLimit} + 1)
+                 : 1;
+    for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        bool ok = true;
+        bool changed = false;
+        {
+            std::lock_guard<std::mutex> backend_lock(
+                *backendLocks_[shard.backendIndex]);
+            try {
+                shard.backend->fill(out, need);
+            } catch (const std::exception &) {
+                if (!monitor_)
+                    throw; // legacy path: the caller sees the error
+                ok = false;
+            }
+            if (ok && monitor_) {
+                changed = monitor_->observe(shard.backendIndex, out,
+                                            need);
+                if (changed)
+                    resourceEpoch_.fetch_add(
+                        1, std::memory_order_acq_rel);
+            }
+        }
+        if (!ok) {
+            refillFailures_.fetch_add(1, std::memory_order_relaxed);
+            if (monitor_->reportReadFailure(shard.backendIndex))
+                resourceEpoch_.fetch_add(1,
+                                         std::memory_order_acq_rel);
+        }
+        if (!monitor_)
+            return true;
+        // As in pullLocked, any transition during this fill marks
+        // its bytes suspect even if the bank ended servable.
+        if (changed || !monitor_->servable(shard.backendIndex)) {
+            // Either this fill's bytes completed a failing window or
+            // the failure streak crossed the limit. The bytes in
+            // @p out were never handed to the client — drop them
+            // with the ring and refill wholesale from a new bank.
+            unhealthyBytesDropped_.fetch_add(
+                (ok ? need : 0) + shard.size,
+                std::memory_order_relaxed);
+            shard.head = 0;
+            shard.size = 0;
+            size_t before = shard.backendIndex;
+            resourceShardLocked(shard);
+            if (shard.backendIndex == before)
+                return false; // nowhere servable left
+            continue;
+        }
+        if (ok)
+            return true;
+        // Transient failure below the quarantine limit: retry the
+        // same bank (the stream position advanced past the fault).
+    }
+    return false;
+}
+
 RequestResult
 EntropyService::requestOn(Client::State &client, uint8_t *out,
                           size_t len, double arrival_ns)
@@ -508,6 +730,7 @@ EntropyService::requestOn(Client::State &client, uint8_t *out,
     Shard &shard =
         *shards_[client.shard.load(std::memory_order_acquire)];
     std::lock_guard<std::mutex> lock(shard.mutex);
+    revalidateLocked(shard);
     requests_.fetch_add(1, std::memory_order_relaxed);
 
     RequestResult result;
@@ -535,17 +758,34 @@ EntropyService::requestOn(Client::State &client, uint8_t *out,
         // the shard's backend (the paper's fallback when requests
         // outpace idle bandwidth). The same stream continues:
         // buffered bytes came from earlier positions of the
-        // identical backend stream.
-        {
-            std::lock_guard<std::mutex> backend_lock(
-                *backendLocks_[shard.backendIndex]);
-            shard.backend->fill(out + from_buffer, len - from_buffer);
+        // identical backend stream. Under health monitoring the
+        // fill is observed, revalidated, and retried on a different
+        // bank if this one throws or is detected unhealthy.
+        if (syncFillLocked(shard, out + from_buffer,
+                           len - from_buffer)) {
+            synchronous_bytes = len - from_buffer;
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            result.bytes = len;
+        } else {
+            // No servable bank could produce the bytes: hand over
+            // the buffered prefix and deny the remainder rather
+            // than serve bytes from a detected-unhealthy bank.
+            denials_.fetch_add(1, std::memory_order_relaxed);
+            result.denied = true;
+            result.bytes = from_buffer;
         }
-        synchronous_bytes = len - from_buffer;
-        misses_.fetch_add(1, std::memory_order_relaxed);
-        result.bytes = len;
     }
     result.bytesFromBuffer = from_buffer;
+
+    // Tripwire (must stay zero): a serve that raced a cross-shard
+    // detection of its bank. The flush-on-revalidate plumbing keeps
+    // detected-unhealthy bytes out of every serve path; this counts
+    // any leak instead of hiding it.
+    if (monitor_ && result.bytes > 0 &&
+        !monitor_->servable(shard.backendIndex)) {
+        unhealthyBytesServed_.fetch_add(result.bytes,
+                                        std::memory_order_relaxed);
+    }
 
     if (timed) {
         // Modelled channel time: the request starts once the shard's
@@ -582,7 +822,9 @@ EntropyService::requestOn(Client::State &client, uint8_t *out,
     ++stats.requests;
     stats.bytesFromBuffer += from_buffer;
     stats.bytesServed += result.bytes;
-    if (result.hit)
+    if (result.denied)
+        ++stats.denials; // sync fill failed on every servable bank
+    else if (result.hit)
         ++stats.bufferHits;
     else if (client.priority == Priority::Bulk)
         ++stats.partialServes;
@@ -591,6 +833,81 @@ EntropyService::requestOn(Client::State &client, uint8_t *out,
         stats.bytesSynchronous += synchronous_bytes;
     }
     return result;
+}
+
+void
+EntropyService::healthTick()
+{
+    if (!monitor_)
+        return;
+    // Probation sampling: quarantined banks source no shard, so the
+    // monitor would never see another byte from them — re-admission
+    // would deadlock. Draw one health window from each quarantined
+    // or probation bank per tick; the draw is the bank's only
+    // consumer, so its stream stays deterministic for the eventual
+    // return home.
+    size_t window_bytes = cfg_.health.windowBits / 8;
+    std::vector<uint8_t> scratch(window_bytes);
+    for (size_t b = 0; b < backends_.size(); ++b) {
+        BankState state = monitor_->state(b);
+        if (state != BankState::Quarantined &&
+            state != BankState::Probation)
+            continue;
+        bool ok = true;
+        {
+            std::lock_guard<std::mutex> backend_lock(
+                *backendLocks_[b]);
+            try {
+                backends_[b]->fill(scratch.data(), window_bytes);
+            } catch (const std::exception &) {
+                ok = false;
+            }
+            if (ok && monitor_->observe(b, scratch.data(),
+                                        window_bytes))
+                resourceEpoch_.fetch_add(1,
+                                         std::memory_order_acq_rel);
+        }
+        if (!ok) {
+            refillFailures_.fetch_add(1, std::memory_order_relaxed);
+            if (monitor_->reportReadFailure(b))
+                resourceEpoch_.fetch_add(1,
+                                         std::memory_order_acq_rel);
+        }
+    }
+    // Eagerly propagate pending transitions: without this a shard
+    // would only flush/re-source on its next request or refill.
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        revalidateLocked(*shard);
+    }
+}
+
+EntropyService::HealthStats
+EntropyService::healthStats() const
+{
+    HealthStats stats;
+    stats.enabled = monitor_ != nullptr;
+    if (monitor_) {
+        stats.quarantines = monitor_->quarantines();
+        stats.readmissions = monitor_->readmissions();
+    }
+    stats.refillFailures =
+        refillFailures_.load(std::memory_order_relaxed);
+    stats.unhealthyBytesDropped =
+        unhealthyBytesDropped_.load(std::memory_order_relaxed);
+    stats.unhealthyBytesServed =
+        unhealthyBytesServed_.load(std::memory_order_relaxed);
+    stats.shardResourcings =
+        resourcings_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+size_t
+EntropyService::shardBackendIndex(size_t shard) const
+{
+    QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
+    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+    return shards_[shard]->backendIndex;
 }
 
 RequestResult

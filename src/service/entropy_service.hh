@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/trng.hh"
+#include "service/health.hh"
 #include "service/latency_model.hh"
 
 namespace quac::service
@@ -129,6 +130,16 @@ struct EntropyServiceConfig
      * shardRecentPercentileNs() and the load score.
      */
     size_t recentLatencyWindow = 128;
+    /**
+     * Streaming SP 800-90B health monitoring (service/health.hh).
+     * When enabled, every byte a backend bank produces is scored;
+     * failing banks are quarantined and their shards re-sourced from
+     * the remaining pool. Provision more backends than shards so a
+     * re-sourced shard lands on an unconsumed spare stream — then
+     * every healthy shard's output stays byte-identical to a
+     * monitoring-off run (the standing replay invariant).
+     */
+    HealthConfig health;
 };
 
 /** Outcome of one client request. */
@@ -390,6 +401,55 @@ class EntropyService
     uint64_t bytesRefilled() const { return bytesRefilled_.load(); }
     /**@}*/
 
+    /** @name Health monitoring (cfg.health.enabled) */
+    /**@{*/
+    /** Service-level health counters. */
+    struct HealthStats
+    {
+        bool enabled = false;
+        /** Bank quarantine / re-admission transitions. */
+        uint64_t quarantines = 0;
+        uint64_t readmissions = 0;
+        /** Backend fills that threw (caught, counted, survived). */
+        uint64_t refillFailures = 0;
+        /** Bytes dropped (never served) because their bank was
+         * detected unhealthy: triggering pulls plus flushed rings. */
+        uint64_t unhealthyBytesDropped = 0;
+        /**
+         * Tripwire: bytes served while the sourcing bank was
+         * detected-unhealthy. Structurally zero — a nonzero value
+         * means the quarantine plumbing leaked.
+         */
+        uint64_t unhealthyBytesServed = 0;
+        /** Shard re-sourcings (quarantine moves + returns home). */
+        uint64_t shardResourcings = 0;
+    };
+
+    /** Snapshot of the health counters (zeros when disabled). */
+    HealthStats healthStats() const;
+
+    /** The monitor, or nullptr when health is disabled. */
+    const HealthMonitor *healthMonitor() const
+    {
+        return monitor_.get();
+    }
+
+    /**
+     * One health control-loop step: draws a probation window from
+     * every quarantined/probation bank (advancing re-admission
+     * without client traffic) and eagerly propagates pending
+     * quarantine/re-admission transitions to every shard (flush +
+     * re-source). The refill schedulers call this once per tick; the
+     * auto-refill thread calls it once per period. No-op when health
+     * is disabled.
+     */
+    void healthTick();
+
+    /** Backend bank currently sourcing @p shard (re-sourcing moves
+     * it; equals the home bank while the home bank is healthy). */
+    size_t shardBackendIndex(size_t shard) const;
+    /**@}*/
+
     /** @name Modelled request latency (timestamped requests) */
     /**@{*/
     /**
@@ -421,6 +481,11 @@ class EntropyService
         mutable std::mutex mutex;
         core::Trng *backend = nullptr;
         size_t backendIndex = 0;
+        /** The bank this shard was constructed on; a re-sourced
+         * shard returns here once the bank is re-admitted. */
+        size_t homeBackend = 0;
+        /** Last resourceEpoch_ this shard revalidated against. */
+        uint64_t seenEpoch = 0;
         size_t chunk = 0;
         bool chunkKnown = false;
         std::vector<uint8_t> ring;
@@ -450,8 +515,46 @@ class EntropyService
     /** FIFO-drain up to @p len bytes; returns bytes taken. */
     size_t takeLocked(Shard &shard, uint8_t *out, size_t len);
 
-    /** Pull @p want bytes from the backend into the ring. */
-    void pullLocked(Shard &shard, size_t want);
+    /**
+     * Pull @p want bytes from the backend into the ring, observing
+     * them through the health monitor. Returns the bytes actually
+     * admitted: 0 when the fill threw (caught and counted — the
+     * shard keeps serving its buffered bytes) or when the bank was
+     * detected unhealthy by this very pull (the bytes and the ring
+     * are dropped and the shard re-sources).
+     */
+    size_t pullLocked(Shard &shard, size_t want);
+
+    /**
+     * Catch up with quarantine/re-admission transitions (cheap
+     * epoch check): a shard on a detected-unhealthy bank flushes its
+     * ring and re-sources; a re-sourced shard whose home bank was
+     * re-admitted returns home. Shard mutex held.
+     */
+    void revalidateLocked(Shard &shard);
+
+    /**
+     * Move the shard off its current bank onto the servable bank
+     * sourcing the fewest shards (ascending index tie-break, so
+     * spare banks are preferred and the pick is deterministic).
+     * Stays put when no alternative servable bank exists. Shard
+     * mutex held, ring already flushed.
+     */
+    void resourceShardLocked(Shard &shard);
+
+    /** Rebind the shard to @p target (sourcing bookkeeping + lazy
+     * chunk re-resolution). Shard mutex held, ring flushed. */
+    void moveShardLocked(Shard &shard, size_t target);
+
+    /**
+     * Complete a miss synchronously into @p out, re-sourcing away
+     * from banks that throw or are detected unhealthy under the
+     * fill; served bytes always come from a servable bank. Returns
+     * false when no servable bank could produce the bytes (the
+     * request is denied). Without health monitoring a backend
+     * exception propagates to the caller as before.
+     */
+    bool syncFillLocked(Shard &shard, uint8_t *out, size_t need);
 
     /**
      * Deficit if the shard is at/below @p frac, rounded up to whole
@@ -479,9 +582,29 @@ class EntropyService
                             size_t len, double arrival_ns);
 
     EntropyServiceConfig cfg_;
+    /** The backend pool (not owned); re-sourcing picks from here. */
+    std::vector<core::Trng *> backends_;
     std::vector<std::unique_ptr<Shard>> shards_;
     /** One lock per backend: shards sharing a backend serialize. */
     std::vector<std::unique_ptr<std::mutex>> backendLocks_;
+
+    /** Null unless cfg.health.enabled. */
+    std::unique_ptr<HealthMonitor> monitor_;
+    /** Guards sourcingCount_ and the donor pick (never nested
+     * inside a backend lock). */
+    std::mutex sourcingMutex_;
+    /** Shards currently sourced from each bank. */
+    std::vector<size_t> sourcingCount_;
+    /**
+     * Bumped on every monitor state transition; shards compare it
+     * against their seenEpoch under their own lock (revalidateLocked)
+     * so quarantine reactions never need cross-shard locking.
+     */
+    std::atomic<uint64_t> resourceEpoch_{0};
+    std::atomic<uint64_t> refillFailures_{0};
+    std::atomic<uint64_t> unhealthyBytesDropped_{0};
+    std::atomic<uint64_t> unhealthyBytesServed_{0};
+    std::atomic<uint64_t> resourcings_{0};
 
     std::mutex clientsMutex_;
     std::vector<std::unique_ptr<Client::State>> clients_;

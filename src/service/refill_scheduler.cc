@@ -119,6 +119,13 @@ MultiChannelRefillScheduler::tick()
     RefillAccounting aggregate;
     aggregate.ticks = 1;
 
+    // Health control loop rides the refill cadence: propagate any
+    // pending quarantine/re-admission to the shards (flush +
+    // re-source) and advance probation sampling before measuring
+    // demand, so a just-re-sourced shard's deficit is refilled from
+    // its new bank this very tick. No-op when health is disabled.
+    service_.healthTick();
+
     std::vector<double> grant_ratio(channels, 1.0);
     std::vector<double> headroom_ns(channels, 0.0);
 

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection layer: spec parsing
+ * (happy paths and fatal rejection of nonsense), fault-window
+ * addressing, the three failure modes' behaviour, replay
+ * determinism, and the SoftwareTrng stand-in backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "core/fault_injection.hh"
+
+namespace quac::core
+{
+namespace
+{
+
+std::vector<uint8_t>
+drain(Trng &trng, size_t total, size_t chunk)
+{
+    std::vector<uint8_t> out(total);
+    size_t at = 0;
+    while (at < total) {
+        size_t n = std::min(chunk, total - at);
+        trng.fill(out.data() + at, n);
+        at += n;
+    }
+    return out;
+}
+
+// ------------------------------------------------------- parsing
+
+TEST(FaultSpecParse, AcceptsAllModes)
+{
+    FaultSpec stuck = FaultSpec::parse("2:stuck:100:50:171");
+    EXPECT_EQ(stuck.bank, 2u);
+    EXPECT_EQ(stuck.mode, FaultMode::StuckAt);
+    EXPECT_EQ(stuck.startByte, 100u);
+    EXPECT_EQ(stuck.lengthBytes, 50u);
+    EXPECT_EQ(stuck.stuckValue, 171);
+
+    FaultSpec bias = FaultSpec::parse("0:bias:0:0:0.75");
+    EXPECT_EQ(bias.mode, FaultMode::BiasedBits);
+    EXPECT_EQ(bias.lengthBytes, 0u); // permanent
+    EXPECT_DOUBLE_EQ(bias.biasP, 0.75);
+
+    FaultSpec fail = FaultSpec::parse("1:fail:4096:1024");
+    EXPECT_EQ(fail.mode, FaultMode::ReadFailure);
+    EXPECT_EQ(fail.startByte, 4096u);
+
+    // Defaults when the optional param is omitted.
+    EXPECT_EQ(FaultSpec::parse("0:stuck:0:1").stuckValue, 0x00);
+    EXPECT_DOUBLE_EQ(FaultSpec::parse("0:bias:0:1").biasP, 0.9);
+}
+
+TEST(FaultSpecParse, RoundTripsThroughDescribe)
+{
+    for (const char *text :
+         {"2:stuck:100:50:171", "0:bias:0:4096:0.75",
+          "1:fail:4096:1024"}) {
+        FaultSpec spec = FaultSpec::parse(text);
+        FaultSpec again = FaultSpec::parse(spec.describe());
+        EXPECT_EQ(again.bank, spec.bank);
+        EXPECT_EQ(again.mode, spec.mode);
+        EXPECT_EQ(again.startByte, spec.startByte);
+        EXPECT_EQ(again.lengthBytes, spec.lengthBytes);
+    }
+}
+
+TEST(FaultSpecParse, RejectsNonsense)
+{
+    // Too few / too many fields.
+    EXPECT_THROW(FaultSpec::parse(""), FatalError);
+    EXPECT_THROW(FaultSpec::parse("1:stuck:0"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("1:stuck:0:0:1:2"), FatalError);
+    // Unknown mode.
+    EXPECT_THROW(FaultSpec::parse("1:flaky:0:0"), FatalError);
+    // Non-numeric numbers.
+    EXPECT_THROW(FaultSpec::parse("x:stuck:0:0"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("1:stuck:ten:0"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("1:stuck:0:0x10"), FatalError);
+    // Out-of-range params.
+    EXPECT_THROW(FaultSpec::parse("1:stuck:0:0:256"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("1:bias:0:0:0"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("1:bias:0:0:1"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("1:bias:0:0:1.5"), FatalError);
+    // fail takes no param.
+    EXPECT_THROW(FaultSpec::parse("1:fail:0:0:3"), FatalError);
+}
+
+TEST(FaultSpec, CoversAddressesTheWindow)
+{
+    FaultSpec spec = FaultSpec::parse("0:stuck:100:50");
+    EXPECT_FALSE(spec.covers(99));
+    EXPECT_TRUE(spec.covers(100));
+    EXPECT_TRUE(spec.covers(149));
+    EXPECT_FALSE(spec.covers(150));
+
+    FaultSpec forever = FaultSpec::parse("0:stuck:100:0");
+    EXPECT_FALSE(forever.covers(99));
+    EXPECT_TRUE(forever.covers(1u << 30));
+}
+
+// ------------------------------------------------- failure modes
+
+TEST(FaultInjection, StuckAtReplacesOnlyTheWindow)
+{
+    SoftwareTrng clean(5);
+    SoftwareTrng wrapped_inner(5);
+    FaultSpec spec = FaultSpec::parse("0:stuck:100:50:171");
+    FaultInjectedTrng faulty(wrapped_inner, spec);
+
+    std::vector<uint8_t> reference = drain(clean, 300, 300);
+    std::vector<uint8_t> observed = drain(faulty, 300, 7);
+
+    // Healthy prefix matches the clean stream byte for byte.
+    EXPECT_TRUE(std::equal(observed.begin(), observed.begin() + 100,
+                           reference.begin()));
+    // The window is the stuck byte.
+    for (size_t i = 100; i < 150; ++i)
+        EXPECT_EQ(observed[i], 171) << "offset " << i;
+    // The inner stream does not advance for replaced bytes: the
+    // post-fault stream resumes where the healthy prefix stopped.
+    EXPECT_TRUE(std::equal(observed.begin() + 150, observed.end(),
+                           reference.begin() + 100));
+}
+
+TEST(FaultInjection, BiasedWindowIsBiasedAndDeterministic)
+{
+    SoftwareTrng inner_a(9);
+    SoftwareTrng inner_b(9);
+    FaultSpec spec = FaultSpec::parse("0:bias:0:8192:0.9");
+    FaultInjectedTrng a(inner_a, spec, 77);
+    FaultInjectedTrng b(inner_b, spec, 77);
+
+    std::vector<uint8_t> bytes_a = drain(a, 8192, 1024);
+    std::vector<uint8_t> bytes_b = drain(b, 8192, 64);
+
+    // Same spec + seed => same bytes, independent of chunking.
+    EXPECT_EQ(bytes_a, bytes_b);
+
+    uint64_t ones = 0;
+    for (uint8_t byte : bytes_a)
+        ones += static_cast<uint64_t>(__builtin_popcount(byte));
+    double fraction =
+        static_cast<double>(ones) / (8.0 * bytes_a.size());
+    EXPECT_GT(fraction, 0.85);
+    EXPECT_LT(fraction, 0.95);
+}
+
+TEST(FaultInjection, ReadFailureWindowIsTransient)
+{
+    SoftwareTrng clean(13);
+    SoftwareTrng inner(13);
+    // Fault covers bytes [256, 512): fills touching it throw, but
+    // the stream position still advances past the attempted span.
+    FaultSpec spec = FaultSpec::parse("0:fail:256:256");
+    FaultInjectedTrng faulty(inner, spec);
+
+    std::vector<uint8_t> reference = drain(clean, 1024, 1024);
+    std::vector<uint8_t> out(256);
+
+    faulty.fill(out.data(), 256); // healthy prefix
+    EXPECT_TRUE(std::equal(out.begin(), out.end(),
+                           reference.begin()));
+    EXPECT_THROW(faulty.fill(out.data(), 256), TransientReadError);
+    EXPECT_EQ(faulty.bytesProduced(), 512u);
+    // The fault window has passed: fills succeed again and resume
+    // the inner stream where the healthy prefix stopped (replaced
+    // bytes never consumed it).
+    faulty.fill(out.data(), 256);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(),
+                           reference.begin() + 256));
+}
+
+TEST(FaultInjection, PartialFillSpansTheWindowBoundary)
+{
+    SoftwareTrng inner(21);
+    FaultSpec spec = FaultSpec::parse("0:fail:100:50");
+    FaultInjectedTrng faulty(inner, spec);
+    std::vector<uint8_t> out(200);
+    // One fill spanning healthy + faulty: throws, but the healthy
+    // prefix was produced and the whole attempt advanced the stream.
+    EXPECT_THROW(faulty.fill(out.data(), 200), TransientReadError);
+    EXPECT_EQ(faulty.bytesProduced(), 200u);
+    faulty.fill(out.data(), 100); // past the window now
+}
+
+TEST(FaultInjection, NameAndChunkPassThrough)
+{
+    SoftwareTrng inner(1, "inner", 512);
+    FaultSpec spec = FaultSpec::parse("0:bias:0:0");
+    FaultInjectedTrng faulty(inner, spec);
+    EXPECT_EQ(faulty.name(), "inner+bias");
+    EXPECT_EQ(faulty.preferredChunkBytes(), 512u);
+}
+
+// ---------------------------------------------------- SoftwareTrng
+
+TEST(SoftwareTrng, DeterministicPerSeedAndChunking)
+{
+    SoftwareTrng a(42);
+    SoftwareTrng b(42);
+    SoftwareTrng c(43);
+    std::vector<uint8_t> bytes_a = drain(a, 1000, 1000);
+    std::vector<uint8_t> bytes_b = drain(b, 1000, 17);
+    std::vector<uint8_t> bytes_c = drain(c, 1000, 1000);
+    EXPECT_EQ(bytes_a, bytes_b);
+    EXPECT_NE(bytes_a, bytes_c);
+}
+
+} // anonymous namespace
+} // namespace quac::core

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the streaming SP 800-90B health kernels: cutoff tables
+ * against the specification's known values, kernel equivalence with
+ * the offline SP 800-22 implementations, chunking invariance, the
+ * vectorized popcount/pattern paths against bit-at-a-time
+ * references, and detection of planted defects.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/bitstream.hh"
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "nist/health90b.hh"
+#include "nist/sts.hh"
+
+namespace quac::nist
+{
+namespace
+{
+
+std::vector<uint8_t>
+randomBytes(size_t n, uint64_t seed)
+{
+    Xoshiro256pp rng(seed);
+    std::vector<uint8_t> bytes(n);
+    for (size_t i = 0; i < n; ++i)
+        bytes[i] = static_cast<uint8_t>(rng.next());
+    return bytes;
+}
+
+/** Run the tester over @p bytes in one call; return all windows. */
+std::vector<HealthWindowResult>
+runAll(const StreamingHealthConfig &cfg,
+       const std::vector<uint8_t> &bytes)
+{
+    StreamingHealthTester tester(cfg);
+    std::vector<HealthWindowResult> completed;
+    tester.consume(bytes.data(), bytes.size(), completed);
+    return completed;
+}
+
+// ------------------------------------------------- cutoff tables
+
+TEST(Cutoffs, RepetitionCountMatchesSpecTable)
+{
+    // SP 800-90B 4.4.1: C = 1 + ceil(a / H) at the standard a = 20.
+    EXPECT_EQ(rctCutoff(1.0, 20), 21u);
+    EXPECT_EQ(rctCutoff(0.5, 20), 41u);
+    // Other spot values of the published table.
+    EXPECT_EQ(rctCutoff(0.25, 20), 81u);
+    EXPECT_EQ(rctCutoff(2.0 / 3.0, 20), 31u);
+    // The service default a = 40 doubles the run budget at H = 1.
+    EXPECT_EQ(rctCutoff(1.0, 40), 41u);
+}
+
+TEST(Cutoffs, AdaptiveProportionMatchesSpecTable)
+{
+    // SP 800-90B 4.4.2, binary W = 1024, a = 20:
+    // 1 + CRITBINOM(1024, 2^-H, 1 - 2^-20).
+    EXPECT_EQ(aptCutoff(kAptWindowBits, 1.0, 20), 589u);
+    EXPECT_EQ(aptCutoff(kAptWindowBits, 0.5, 20), 793u);
+    // Monotone in both knobs: lower entropy or lower alpha (larger
+    // a) can only raise the cutoff.
+    EXPECT_GE(aptCutoff(kAptWindowBits, 1.0, 40),
+              aptCutoff(kAptWindowBits, 1.0, 20));
+    EXPECT_LT(aptCutoff(kAptWindowBits, 1.0, 40),
+              aptCutoff(kAptWindowBits, 0.5, 20));
+}
+
+TEST(Cutoffs, RejectsInvalidParameters)
+{
+    EXPECT_THROW(rctCutoff(0.0), FatalError);
+    EXPECT_THROW(rctCutoff(1.5), FatalError);
+    EXPECT_THROW(rctCutoff(1.0, 0), FatalError);
+    EXPECT_THROW(rctCutoff(1.0, 65), FatalError);
+    EXPECT_THROW(aptCutoff(0, 1.0), FatalError);
+    EXPECT_THROW(aptCutoff(kAptWindowBits, -0.5), FatalError);
+    EXPECT_THROW(aptCutoff(kAptWindowBits, 1.0, 0), FatalError);
+}
+
+TEST(Cutoffs, TesterValidatesWindow)
+{
+    StreamingHealthConfig cfg;
+    cfg.windowBits = 0;
+    EXPECT_THROW(StreamingHealthTester{cfg}, FatalError);
+    cfg.windowBits = 100; // not a multiple of 8
+    EXPECT_THROW(StreamingHealthTester{cfg}, FatalError);
+    cfg.windowBits = 64; // below the serial floor
+    EXPECT_THROW(StreamingHealthTester{cfg}, FatalError);
+    cfg.windowBits = 16384;
+    cfg.entropyPerBit = 0.0;
+    EXPECT_THROW(StreamingHealthTester{cfg}, FatalError);
+}
+
+// --------------------------------------------- kernel equivalence
+
+TEST(OnesCount, VectorizedMatchesScalar)
+{
+    // Cover word-path and tail lengths around the 8-byte boundary.
+    for (size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u}) {
+        std::vector<uint8_t> bytes = randomBytes(len, 7 + len);
+        EXPECT_EQ(onesCount(bytes.data(), len),
+                  onesCountScalar(bytes.data(), len))
+            << "len=" << len;
+    }
+}
+
+/** Brute-force cyclic 3-bit pattern counts, LSB-first. */
+std::array<uint64_t, 8>
+bruteForcePatterns(const std::vector<uint8_t> &bytes)
+{
+    size_t nbits = bytes.size() * 8;
+    auto bit = [&](size_t i) -> unsigned {
+        i %= nbits;
+        return (bytes[i / 8] >> (i % 8)) & 1;
+    };
+    std::array<uint64_t, 8> counts{};
+    for (size_t i = 0; i < nbits; ++i)
+        ++counts[bit(i) | (bit(i + 1) << 1) | (bit(i + 2) << 2)];
+    return counts;
+}
+
+TEST(PatternCounter, MatchesBruteForceAcrossChunkings)
+{
+    std::vector<uint8_t> bytes = randomBytes(517, 11);
+    std::array<uint64_t, 8> expected = bruteForcePatterns(bytes);
+
+    Xoshiro256pp rng(13);
+    for (int trial = 0; trial < 8; ++trial) {
+        PatternCounter3 counter;
+        size_t at = 0;
+        while (at < bytes.size()) {
+            size_t chunk = 1 + rng.next() % 97;
+            chunk = std::min(chunk, bytes.size() - at);
+            counter.consume(bytes.data() + at, chunk);
+            at += chunk;
+        }
+        counter.finishCyclic();
+        EXPECT_EQ(counter.counts(), expected) << "trial " << trial;
+        EXPECT_EQ(counter.bits(), bytes.size() * 8);
+    }
+}
+
+TEST(Streaming, WindowStatsMatchOfflineKernels)
+{
+    // One window of random bytes: the streaming monobit and serial
+    // p-values must match the offline SP 800-22 kernels on the same
+    // bits.
+    constexpr size_t window_bytes = 16384 / 8;
+    std::vector<uint8_t> bytes = randomBytes(window_bytes, 17);
+
+    StreamingHealthConfig cfg;
+    std::vector<HealthWindowResult> windows = runAll(cfg, bytes);
+    ASSERT_EQ(windows.size(), 1u);
+
+    Bitstream bits = Bitstream::fromBytes(bytes);
+    TestResult mono = monobit(bits);
+    TestResult ser = serial(bits, 3);
+    ASSERT_EQ(ser.pValues.size(), 2u);
+    EXPECT_NEAR(windows[0].monobitP, mono.pValues[0], 1e-9);
+    EXPECT_NEAR(windows[0].serialP1, ser.pValues[0], 1e-9);
+    EXPECT_NEAR(windows[0].serialP2, ser.pValues[1], 1e-9);
+}
+
+TEST(Streaming, ChunkingInvariant)
+{
+    // Feeding the same stream in random chunk sizes yields exactly
+    // the same sequence of window results as one big call.
+    constexpr size_t nbytes = 5 * 2048 + 611;
+    std::vector<uint8_t> bytes = randomBytes(nbytes, 23);
+    StreamingHealthConfig cfg;
+    std::vector<HealthWindowResult> reference = runAll(cfg, bytes);
+    ASSERT_EQ(reference.size(), 5u);
+
+    Xoshiro256pp rng(29);
+    for (int trial = 0; trial < 5; ++trial) {
+        StreamingHealthTester tester(cfg);
+        std::vector<HealthWindowResult> completed;
+        size_t at = 0;
+        while (at < nbytes) {
+            size_t chunk = 1 + rng.next() % 701;
+            chunk = std::min(chunk, nbytes - at);
+            tester.consume(bytes.data() + at, chunk, completed);
+            at += chunk;
+        }
+        ASSERT_EQ(completed.size(), reference.size());
+        for (size_t w = 0; w < completed.size(); ++w) {
+            EXPECT_DOUBLE_EQ(completed[w].monobitP,
+                             reference[w].monobitP);
+            EXPECT_DOUBLE_EQ(completed[w].serialP1,
+                             reference[w].serialP1);
+            EXPECT_DOUBLE_EQ(completed[w].serialP2,
+                             reference[w].serialP2);
+            EXPECT_EQ(completed[w].maxRun, reference[w].maxRun);
+            EXPECT_EQ(completed[w].maxAptCount,
+                      reference[w].maxAptCount);
+        }
+        EXPECT_EQ(tester.pendingBits(),
+                  (nbytes * 8) % cfg.windowBits);
+    }
+}
+
+// ------------------------------------------------ defect detection
+
+TEST(Detection, RepetitionCutoffBoundaryIsExact)
+{
+    // H = 1, a = 20 => cutoff 21: a 20-bit run passes, 21 fails.
+    StreamingHealthConfig cfg;
+    cfg.windowBits = 1024;
+    cfg.alphaExponent = 20;
+
+    auto planted = [&](int run_bits) {
+        // Alternating bits, then run_bits of ones, then alternating
+        // again. 0x55 read LSB-first is 1,0,...,0,1,0 — it ends in a
+        // zero, so the planted 0xFF run is not extended by its
+        // neighbours.
+        std::vector<uint8_t> bytes(cfg.windowBits / 8, 0x55);
+        for (int i = 0; i < run_bits / 8; ++i)
+            bytes[8 + i] = 0xFF;
+        // Remaining run bits in the next byte, LSB-first; the upper
+        // bits come from 0xAA so the bit right after the run is 0.
+        int rem = run_bits % 8;
+        if (rem)
+            bytes[8 + run_bits / 8] =
+                static_cast<uint8_t>(0xAA << rem | ((1 << rem) - 1));
+        std::vector<HealthWindowResult> windows = runAll(cfg, bytes);
+        EXPECT_EQ(windows.size(), 1u);
+        return windows.empty() ? HealthWindowResult{} : windows[0];
+    };
+
+    HealthWindowResult below = planted(20);
+    EXPECT_FALSE(below.rctFailed);
+    EXPECT_EQ(below.maxRun, 20u);
+    HealthWindowResult at = planted(21);
+    EXPECT_TRUE(at.rctFailed);
+    EXPECT_GE(at.maxRun, 21u);
+}
+
+TEST(Detection, StuckSourceFailsImmediately)
+{
+    StreamingHealthConfig cfg;
+    cfg.windowBits = 1024;
+    cfg.alphaExponent = 40;
+    std::vector<uint8_t> stuck(cfg.windowBits / 8, 0x00);
+    std::vector<HealthWindowResult> windows = runAll(cfg, stuck);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_TRUE(windows[0].rctFailed);
+    EXPECT_TRUE(windows[0].aptFailed);
+    EXPECT_LT(windows[0].minP(), 1e-9);
+}
+
+TEST(Detection, BiasedSourceTripsAptAndMonobit)
+{
+    // P(one) = 0.9: far past the H = 1 APT cutoff and a monobit
+    // p-value that underflows, while individual runs stay short
+    // enough that RCT at a = 40 may or may not fire.
+    StreamingHealthConfig cfg;
+    cfg.windowBits = 8192;
+    cfg.alphaExponent = 40;
+    Xoshiro256pp rng(31);
+    std::vector<uint8_t> biased(cfg.windowBits / 8, 0);
+    for (auto &byte : biased) {
+        for (int b = 0; b < 8; ++b)
+            byte |= static_cast<uint8_t>(rng.bernoulli(0.9)) << b;
+    }
+    std::vector<HealthWindowResult> windows = runAll(cfg, biased);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_TRUE(windows[0].aptFailed);
+    EXPECT_LT(windows[0].monobitP, 1e-9);
+}
+
+TEST(Detection, HealthyStreamStaysCleanAtServiceAlpha)
+{
+    // 1 MiB of good randomness through the service-default a = 40
+    // cutoffs: no continuous-test failure and no p-value below the
+    // service cutoff. (At a = 20 the bit-granularity RCT would be
+    // expected to fire on a stream this long — that is why the
+    // service default is 40.)
+    StreamingHealthConfig cfg;
+    cfg.alphaExponent = 40;
+    std::vector<uint8_t> bytes = randomBytes(1 << 20, 37);
+    std::vector<HealthWindowResult> windows = runAll(cfg, bytes);
+    ASSERT_EQ(windows.size(), (bytes.size() * 8) / cfg.windowBits);
+    for (const HealthWindowResult &window : windows) {
+        EXPECT_FALSE(window.rctFailed);
+        EXPECT_FALSE(window.aptFailed);
+        EXPECT_GT(window.minP(), 1e-9);
+    }
+}
+
+} // anonymous namespace
+} // namespace quac::nist

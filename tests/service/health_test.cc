@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Tests for streaming health monitoring end to end: the
+ * HealthMonitor state machine (quarantine, probation, re-admission,
+ * the last-servable-bank flag rule, read-failure streaks), the
+ * service-level reaction (shard re-sourcing, zero unhealthy bytes
+ * served, byte identity of healthy shards with monitoring on/off),
+ * and hardening of every fill path against throwing backends.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "core/fault_injection.hh"
+#include "service/entropy_service.hh"
+#include "service/health.hh"
+
+namespace quac::service
+{
+namespace
+{
+
+/** Small windows so tests cross many of them cheaply. */
+HealthConfig
+testHealthConfig()
+{
+    HealthConfig cfg;
+    cfg.enabled = true;
+    cfg.windowBits = 1024; // 128 bytes
+    cfg.alphaExponent = 40;
+    cfg.failWindowLimit = 2;
+    cfg.probationWindows = 3;
+    cfg.readFailureLimit = 3;
+    return cfg;
+}
+
+constexpr size_t kWindowBytes = 1024 / 8;
+
+/** One window of bytes that passes every test (seeded, distinct). */
+std::vector<uint8_t>
+goodWindow(uint64_t seed)
+{
+    Xoshiro256pp rng(seed * 2654435761u + 1);
+    std::vector<uint8_t> bytes(kWindowBytes);
+    for (auto &byte : bytes)
+        byte = static_cast<uint8_t>(rng.next());
+    return bytes;
+}
+
+/**
+ * One failing window: 0xEE bytes are 75% ones, so monobit/serial
+ * collapse far below the p-value cutoff, but the longest run is 3
+ * bits. A stuck-at window would also fail, but its terminal run
+ * would bleed into the NEXT window through the continuous repetition
+ * count test — these tests need failures that stay window-local.
+ */
+std::vector<uint8_t>
+badWindow()
+{
+    return std::vector<uint8_t>(kWindowBytes, 0xEE);
+}
+
+void
+feedGood(HealthMonitor &monitor, size_t bank, int windows,
+         uint64_t seed_base = 1000)
+{
+    for (int w = 0; w < windows; ++w) {
+        std::vector<uint8_t> bytes =
+            goodWindow(seed_base + static_cast<uint64_t>(w));
+        monitor.observe(bank, bytes.data(), bytes.size());
+    }
+}
+
+void
+feedBad(HealthMonitor &monitor, size_t bank, int windows)
+{
+    for (int w = 0; w < windows; ++w) {
+        std::vector<uint8_t> bytes = badWindow();
+        monitor.observe(bank, bytes.data(), bytes.size());
+    }
+}
+
+// ------------------------------------------- monitor state machine
+
+TEST(HealthMonitor, QuarantineAfterConsecutiveFailingWindows)
+{
+    HealthMonitor monitor(2, testHealthConfig());
+    EXPECT_EQ(monitor.state(0), BankState::Healthy);
+    EXPECT_TRUE(monitor.servable(0));
+
+    // One failing window is not enough (failWindowLimit = 2)...
+    feedBad(monitor, 0, 1);
+    EXPECT_EQ(monitor.state(0), BankState::Healthy);
+    // ...and a clean window resets the streak...
+    feedGood(monitor, 0, 1);
+    feedBad(monitor, 0, 1);
+    EXPECT_EQ(monitor.state(0), BankState::Healthy);
+    // ...but two in a row quarantine.
+    feedBad(monitor, 0, 1);
+    EXPECT_EQ(monitor.state(0), BankState::Quarantined);
+    EXPECT_FALSE(monitor.servable(0));
+    EXPECT_EQ(monitor.quarantines(), 1u);
+    EXPECT_EQ(monitor.servableCount(), 1u);
+
+    BankScore score = monitor.score(0);
+    EXPECT_EQ(score.windowsFailed, 3u);
+    EXPECT_LT(score.lastMinP, monitor.config().pValueCutoff);
+}
+
+TEST(HealthMonitor, ProbationThenReadmission)
+{
+    HealthMonitor monitor(2, testHealthConfig());
+    feedBad(monitor, 0, 2);
+    ASSERT_EQ(monitor.state(0), BankState::Quarantined);
+
+    // First clean window: probation, still not servable.
+    feedGood(monitor, 0, 1);
+    EXPECT_EQ(monitor.state(0), BankState::Probation);
+    EXPECT_FALSE(monitor.servable(0));
+    // A failing window during probation goes straight back.
+    feedBad(monitor, 0, 1);
+    EXPECT_EQ(monitor.state(0), BankState::Quarantined);
+    EXPECT_EQ(monitor.quarantines(), 2u);
+
+    // Full clean run: probation then re-admission after
+    // probationWindows consecutive clean windows.
+    feedGood(monitor, 0, 1);
+    EXPECT_EQ(monitor.state(0), BankState::Probation);
+    feedGood(monitor, 0, 2);
+    EXPECT_EQ(monitor.state(0), BankState::Healthy);
+    EXPECT_TRUE(monitor.servable(0));
+    EXPECT_EQ(monitor.readmissions(), 1u);
+
+    // The event log tells the whole story in order.
+    std::vector<HealthEvent> events = monitor.events();
+    ASSERT_EQ(events.size(), 5u);
+    EXPECT_EQ(events[0].kind, HealthEvent::Kind::Quarantine);
+    EXPECT_EQ(events[1].kind, HealthEvent::Kind::Probation);
+    EXPECT_EQ(events[2].kind, HealthEvent::Kind::Quarantine);
+    EXPECT_EQ(events[3].kind, HealthEvent::Kind::Probation);
+    EXPECT_EQ(events[4].kind, HealthEvent::Kind::Readmit);
+}
+
+TEST(HealthMonitor, LastServableBankIsFlaggedNotQuarantined)
+{
+    HealthMonitor monitor(2, testHealthConfig());
+    feedBad(monitor, 0, 2);
+    ASSERT_EQ(monitor.state(0), BankState::Quarantined);
+
+    // Bank 1 is now the last servable bank: failing windows flag it
+    // but never quarantine it — it keeps serving, marked.
+    feedBad(monitor, 1, 4);
+    EXPECT_EQ(monitor.state(1), BankState::Flagged);
+    EXPECT_TRUE(monitor.servable(1));
+    EXPECT_EQ(monitor.servableCount(), 1u);
+
+    // Once bank 0 recovers, a failing window on the still-broken
+    // bank 1 quarantines it (an alternative now exists).
+    feedGood(monitor, 0, 4);
+    ASSERT_EQ(monitor.state(0), BankState::Healthy);
+    feedBad(monitor, 1, 1);
+    EXPECT_EQ(monitor.state(1), BankState::Quarantined);
+    EXPECT_EQ(monitor.servableCount(), 1u);
+}
+
+TEST(HealthMonitor, FlaggedBankRecoversThroughCleanWindows)
+{
+    HealthMonitor monitor(1, testHealthConfig());
+    feedBad(monitor, 0, 2);
+    // The only bank can never be quarantined.
+    EXPECT_EQ(monitor.state(0), BankState::Flagged);
+    EXPECT_TRUE(monitor.servable(0));
+    EXPECT_EQ(monitor.quarantines(), 0u);
+
+    feedGood(monitor, 0, 3);
+    EXPECT_EQ(monitor.state(0), BankState::Healthy);
+    EXPECT_EQ(monitor.readmissions(), 1u);
+}
+
+TEST(HealthMonitor, ReadFailureStreakQuarantines)
+{
+    HealthMonitor monitor(2, testHealthConfig());
+    // Two failures, then a successful observe: streak resets.
+    monitor.reportReadFailure(0);
+    monitor.reportReadFailure(0);
+    feedGood(monitor, 0, 1);
+    EXPECT_EQ(monitor.state(0), BankState::Healthy);
+    EXPECT_EQ(monitor.score(0).readFailures, 2u);
+    EXPECT_EQ(monitor.score(0).consecutiveReadFailures, 0u);
+
+    // Three consecutive failures cross the limit.
+    monitor.reportReadFailure(0);
+    monitor.reportReadFailure(0);
+    EXPECT_EQ(monitor.state(0), BankState::Healthy);
+    monitor.reportReadFailure(0);
+    EXPECT_EQ(monitor.state(0), BankState::Quarantined);
+
+    // A read failure during probation re-quarantines.
+    feedGood(monitor, 0, 1);
+    ASSERT_EQ(monitor.state(0), BankState::Probation);
+    monitor.reportReadFailure(0);
+    EXPECT_EQ(monitor.state(0), BankState::Quarantined);
+}
+
+TEST(HealthMonitor, ValidatesConfiguration)
+{
+    HealthConfig cfg = testHealthConfig();
+    EXPECT_THROW(HealthMonitor(0, cfg), FatalError);
+
+    cfg.windowBits = 0;
+    EXPECT_THROW(HealthMonitor(2, cfg), FatalError);
+    cfg = testHealthConfig();
+    cfg.failWindowLimit = 0;
+    EXPECT_THROW(HealthMonitor(2, cfg), FatalError);
+    cfg = testHealthConfig();
+    cfg.probationWindows = 0;
+    EXPECT_THROW(HealthMonitor(2, cfg), FatalError);
+    cfg = testHealthConfig();
+    cfg.readFailureLimit = 0;
+    EXPECT_THROW(HealthMonitor(2, cfg), FatalError);
+    cfg = testHealthConfig();
+    cfg.pValueCutoff = 1.0;
+    EXPECT_THROW(HealthMonitor(2, cfg), FatalError);
+}
+
+// --------------------------------------------- service integration
+
+/** Service config used by the integration tests below. */
+EntropyServiceConfig
+testServiceConfig(size_t shards, bool health)
+{
+    EntropyServiceConfig cfg;
+    cfg.shards = shards;
+    cfg.shardCapacityBytes = 1024;
+    cfg.refillWatermark = 0.75;
+    cfg.panicWatermark = 0.25;
+    cfg.health = testHealthConfig();
+    cfg.health.enabled = health;
+    return cfg;
+}
+
+TEST(ServiceHealth, ConfigValidatedThroughServiceCtor)
+{
+    core::SoftwareTrng backend(1);
+    EntropyServiceConfig cfg = testServiceConfig(1, true);
+    cfg.health.windowBits = 0;
+    EXPECT_THROW(EntropyService({&backend}, cfg), FatalError);
+    cfg = testServiceConfig(1, true);
+    cfg.health.entropyPerBit = 2.0;
+    EXPECT_THROW(EntropyService({&backend}, cfg), FatalError);
+    // The same nonsense with health disabled is accepted (knobs are
+    // never read).
+    cfg.health.enabled = false;
+    EntropyService svc({&backend}, cfg);
+    EXPECT_EQ(svc.healthMonitor(), nullptr);
+}
+
+TEST(ServiceHealth, StuckBankQuarantinedAndShardResourced)
+{
+    // Bank 1 is stuck-at-0xFF from stream byte 0, permanently; bank
+    // 2 is the spare. The very first refill detects it.
+    core::SoftwareTrng bank0(11);
+    core::SoftwareTrng bank1_inner(12);
+    core::SoftwareTrng bank2(13);
+    core::FaultInjectedTrng bank1(
+        bank1_inner, core::FaultSpec::parse("1:stuck:0:0:255"));
+
+    EntropyService svc({&bank0, &bank1, &bank2},
+                       testServiceConfig(2, true));
+    svc.refillBelowWatermark();
+
+    const HealthMonitor *monitor = svc.healthMonitor();
+    ASSERT_NE(monitor, nullptr);
+    EXPECT_EQ(monitor->state(1), BankState::Quarantined);
+    EXPECT_EQ(monitor->state(0), BankState::Healthy);
+    EXPECT_EQ(svc.shardBackendIndex(0), 0u);
+    EXPECT_EQ(svc.shardBackendIndex(1), 2u); // re-sourced to spare
+
+    EntropyService::HealthStats stats = svc.healthStats();
+    EXPECT_TRUE(stats.enabled);
+    EXPECT_EQ(stats.quarantines, 1u);
+    EXPECT_GT(stats.unhealthyBytesDropped, 0u);
+    EXPECT_EQ(stats.unhealthyBytesServed, 0u);
+    EXPECT_GE(stats.shardResourcings, 1u);
+
+    // Shard 1 now serves the spare's stream from position 0, and no
+    // served byte is the stuck value run.
+    EntropyService::Client client = svc.connect("c", Priority::Standard, 1);
+    std::vector<uint8_t> got = client.request(256);
+    ASSERT_EQ(got.size(), 256u);
+    core::SoftwareTrng reference(13);
+    std::vector<uint8_t> expected(256);
+    reference.fill(expected.data(), expected.size());
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(svc.healthStats().unhealthyBytesServed, 0u);
+}
+
+TEST(ServiceHealth, BoundedFaultReadmitsAndReturnsHome)
+{
+    // Bias bank 1 for a bounded span covering its first refills;
+    // probation draws via healthTick() walk the bank past the fault
+    // and the shard returns home.
+    core::SoftwareTrng bank0(21);
+    core::SoftwareTrng bank1_inner(22);
+    core::SoftwareTrng bank2(23);
+    core::FaultInjectedTrng bank1(
+        bank1_inner, core::FaultSpec::parse("1:bias:0:2048:0.95"), 7);
+
+    EntropyService svc({&bank0, &bank1, &bank2},
+                       testServiceConfig(2, true));
+    svc.refillBelowWatermark();
+
+    const HealthMonitor *monitor = svc.healthMonitor();
+    ASSERT_EQ(monitor->state(1), BankState::Quarantined);
+    ASSERT_EQ(svc.shardBackendIndex(1), 2u);
+
+    // Each tick draws one probation window (128 bytes) from bank 1.
+    // 2048 faulty bytes / 128 + probation margin bounds the ticks to
+    // re-admission; give it headroom and stop as soon as it lands.
+    int ticks = 0;
+    for (; ticks < 40; ++ticks) {
+        svc.healthTick();
+        if (monitor->state(1) == BankState::Healthy)
+            break;
+    }
+    EXPECT_EQ(monitor->state(1), BankState::Healthy);
+    EXPECT_LT(ticks, 40);
+    EXPECT_GE(svc.healthStats().readmissions, 1u);
+    // The re-admission's eager revalidation moved the shard home.
+    EXPECT_EQ(svc.shardBackendIndex(1), 1u);
+    EXPECT_EQ(svc.healthStats().unhealthyBytesServed, 0u);
+}
+
+TEST(ServiceHealth, HealthyShardBytesIdenticalWithMonitoringOnOff)
+{
+    // Two runs with the same request schedule, health on and off.
+    // The faulty bank's shard diverges (that is the point); every
+    // other shard must serve bit-identical streams, because
+    // observation never consumes a healthy bank's stream and
+    // probation draws only touch the quarantined bank.
+    auto run = [&](bool health) {
+        core::SoftwareTrng bank0(31);
+        core::SoftwareTrng bank1_inner(32);
+        core::SoftwareTrng bank2(33);
+        core::SoftwareTrng bank3(34);
+        core::FaultInjectedTrng bank1(
+            bank1_inner, core::FaultSpec::parse("1:bias:0:2048:0.95"),
+            9);
+        EntropyService svc({&bank0, &bank1, &bank2, &bank3},
+                           testServiceConfig(3, health));
+        svc.refillBelowWatermark();
+
+        std::vector<EntropyService::Client> clients;
+        for (size_t s = 0; s < 3; ++s)
+            clients.push_back(
+                svc.connect("c", Priority::Standard, s));
+        std::vector<std::vector<uint8_t>> served(3);
+        for (int round = 0; round < 24; ++round) {
+            for (size_t s = 0; s < 3; ++s) {
+                std::vector<uint8_t> got = clients[s].request(96);
+                served[s].insert(served[s].end(), got.begin(),
+                                 got.end());
+            }
+            svc.healthTick();
+            svc.refillBelowWatermark();
+        }
+        EXPECT_EQ(svc.healthStats().unhealthyBytesServed, 0u);
+        return served;
+    };
+
+    std::vector<std::vector<uint8_t>> off = run(false);
+    std::vector<std::vector<uint8_t>> on = run(true);
+    ASSERT_EQ(off.size(), on.size());
+    EXPECT_EQ(off[0], on[0]); // healthy home bank
+    EXPECT_EQ(off[2], on[2]); // healthy home bank
+    EXPECT_NE(off[1], on[1]); // the faulty bank's shard diverges
+}
+
+// ----------------------------------------- throwing-backend paths
+
+TEST(ServiceHealth, SyncFillFailsOverToServableBank)
+{
+    // Bank 0's shard has an empty buffer and a permanently-failing
+    // backend: the synchronous path retries, quarantines it by
+    // failure streak, re-sources, and serves from the spare.
+    core::SoftwareTrng bank0_inner(41);
+    core::SoftwareTrng bank1(42);
+    core::FaultInjectedTrng bank0(
+        bank0_inner, core::FaultSpec::parse("0:fail:0:0"));
+
+    EntropyServiceConfig cfg = testServiceConfig(1, true);
+    EntropyService svc({&bank0, &bank1}, cfg);
+    // No warm-up: the first request is a synchronous miss.
+    EntropyService::Client client = svc.connect("c", Priority::Standard, 0);
+    std::vector<uint8_t> got = client.request(64);
+    ASSERT_EQ(got.size(), 64u);
+    EXPECT_EQ(svc.healthStats().refillFailures,
+              cfg.health.readFailureLimit);
+    EXPECT_EQ(svc.healthMonitor()->state(0),
+              BankState::Quarantined);
+    EXPECT_EQ(svc.shardBackendIndex(0), 1u);
+
+    core::SoftwareTrng reference(42);
+    std::vector<uint8_t> expected(64);
+    reference.fill(expected.data(), expected.size());
+    EXPECT_EQ(got, expected);
+}
+
+TEST(ServiceHealth, SyncFillWithoutMonitorStillThrows)
+{
+    // Legacy contract: with health disabled the caller sees the
+    // backend's exception unchanged.
+    core::SoftwareTrng inner(43);
+    core::FaultInjectedTrng bank0(
+        inner, core::FaultSpec::parse("0:fail:0:0"));
+    EntropyService svc({&bank0}, testServiceConfig(1, false));
+    EntropyService::Client client = svc.connect("c", Priority::Standard, 0);
+    std::vector<uint8_t> out(64);
+    EXPECT_THROW(client.request(out.data(), out.size()),
+                 core::TransientReadError);
+}
+
+TEST(ServiceHealth, RefillSurvivesThrowingBackend)
+{
+    // Even with health monitoring OFF, a backend exception during a
+    // background refill is caught and counted instead of escaping
+    // (it used to std::terminate the auto-refill thread). The fault
+    // window is transient: the failed attempt still advanced the
+    // stream, so the next refill succeeds.
+    core::SoftwareTrng inner(44);
+    core::FaultInjectedTrng bank0(
+        inner, core::FaultSpec::parse("0:fail:256:256"));
+    EntropyService svc({&bank0}, testServiceConfig(1, false));
+
+    svc.refillBelowWatermark(); // spans the fault window: caught
+    EXPECT_GE(svc.healthStats().refillFailures, 1u);
+    svc.refillBelowWatermark(); // window passed: fills normally
+
+    EntropyService::Client client = svc.connect("c", Priority::Standard, 0);
+    std::vector<uint8_t> got = client.request(128);
+    EXPECT_EQ(got.size(), 128u);
+    EXPECT_EQ(client.stats().denials, 0u);
+}
+
+TEST(ServiceHealth, AutoRefillThreadSurvivesThrowingBackend)
+{
+    // Permanently failing backend, health off: the auto-refill
+    // thread must keep running (failures counted, never escaping),
+    // and shut down cleanly.
+    core::SoftwareTrng inner(45);
+    core::FaultInjectedTrng bank0(
+        inner, core::FaultSpec::parse("0:fail:0:0"));
+    EntropyService svc({&bank0}, testServiceConfig(1, false));
+
+    svc.startAutoRefill(std::chrono::microseconds(200));
+    ASSERT_TRUE(svc.autoRefillRunning());
+    while (svc.healthStats().refillFailures < 3)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(svc.autoRefillRunning());
+    svc.stopAutoRefill();
+    EXPECT_FALSE(svc.autoRefillRunning());
+    EXPECT_GE(svc.healthStats().refillFailures, 3u);
+}
+
+} // anonymous namespace
+} // namespace quac::service
