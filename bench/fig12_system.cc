@@ -25,7 +25,11 @@
 #include <vector>
 
 #include "core/fault_injection.hh"
+#include "core/thermal_governor.hh"
+#include "core/trng.hh"
 #include "crypto/sha256.hh"
+#include "dram/module.hh"
+#include "scenario/scenario.hh"
 #include "sched/trng_programs.hh"
 #include "service/placement.hh"
 #include "service/refill_scheduler.hh"
@@ -962,6 +966,682 @@ runHealthStudy(uint64_t seed)
     return verdict;
 }
 
+// ---------------------------------- scenario campaign studies
+
+/**
+ * One scenario campaign study: a timed failure campaign replayed
+ * attached (ScenarioEngine driving the fault) and detached (the same
+ * request schedule against a healthy stack), with the campaign's
+ * structural effects, the latency recovery, and byte-level replay
+ * identity all CI-asserted.
+ */
+struct ScenarioStudyOutcome
+{
+    std::string name;
+    std::string campaign;
+    scenario::ScenarioEngine::Counters counters;
+    /** Per-phase p99 of the protected class (pre / during / after). */
+    double baselineP99Ns = 0.0;
+    double disturbedP99Ns = 0.0;
+    double recoveredP99Ns = 0.0;
+    uint64_t failovers = 0;
+    uint64_t failbacks = 0;
+    uint64_t escalatedTicks = 0;
+    uint64_t quarantines = 0;
+    uint64_t readmissions = 0;
+    uint64_t unhealthyBytesServed = 0;
+    uint64_t queuedAtEnd = 0;
+    /** Campaign-specific structural effects all landed. */
+    bool eventsApplied = false;
+    /** Every burst client not denied was eventually admitted. */
+    bool admitted = true;
+    /** Detached streams are byte-identical (or an exact prefix of)
+     * the attached streams on every asserted shard. */
+    bool bytesIdentical = false;
+    bool p99Recovered = false;
+
+    bool pass() const
+    {
+        return eventsApplied && admitted && bytesIdentical &&
+               p99Recovered && unhealthyBytesServed == 0 &&
+               queuedAtEnd == 0;
+    }
+};
+
+/**
+ * Replay-identity check between a detached reference run and the
+ * attached campaign run. With flash crowds the attached run serves
+ * extra bulk bytes interleaved into the same shard streams, so the
+ * invariant is prefix identity over the shorter stream: the campaign
+ * may change WHO gets bytes and WHEN, never WHICH bytes a healthy
+ * shard serves. @p skip excludes shards the campaign legitimately
+ * diverges (the retuned thermal backend, the re-sourced fault bank).
+ */
+bool
+scenarioStreamsMatch(const std::vector<std::vector<uint8_t>> &ref,
+                     const std::vector<std::vector<uint8_t>> &got,
+                     const std::vector<size_t> &skip, bool prefix)
+{
+    for (size_t s = 0; s < ref.size(); ++s) {
+        if (std::find(skip.begin(), skip.end(), s) != skip.end())
+            continue;
+        if (!prefix && got[s].size() != ref[s].size())
+            return false;
+        size_t n = std::min(ref[s].size(), got[s].size());
+        if (n == 0)
+            return false; // a vacuous match proves nothing
+        if (Sha256::hex(Sha256::hash(ref[s].data(), n)) !=
+            Sha256::hex(Sha256::hash(got[s].data(), n)))
+            return false;
+    }
+    return true;
+}
+
+/** Drive every admitted flash-crowd client once, recording served
+ * bytes into the per-shard streams (serve order matters for the
+ * replay-identity check). */
+void
+driveCrowd(const scenario::ScenarioEngine &engine, double tick_start,
+           size_t bytes, std::vector<std::vector<uint8_t>> &served)
+{
+    std::vector<uint8_t> buf(bytes);
+    size_t idx = 0;
+    for (service::EntropyService::Client client :
+         engine.crowdClients()) {
+        auto result = client.requestAt(
+            buf.data(), bytes,
+            tick_start + 1.0e3 * static_cast<double>(++idx));
+        served[client.shard()].insert(served[client.shard()].end(),
+                                      buf.begin(),
+                                      buf.begin() + result.bytes);
+    }
+}
+
+/**
+ * Campaign 1 — channel outage and recovery. Four shards over two
+ * channels; channel 0 fails at tick 20 and recovers at tick 50. The
+ * displaced shards fail over to channel 1, keep refilling through
+ * the outage, and return home on recovery; every shard's served
+ * stream is byte-identical to a run without the outage, and the
+ * standard-class p99 is back within the recovery bound after a
+ * settle window.
+ */
+ScenarioStudyOutcome
+runChannelFailScenario(uint64_t seed)
+{
+    constexpr size_t nshards = 4;
+    constexpr int kBaseline = 20;
+    constexpr int kOutage = 30;
+    constexpr int kSettle = 8;
+    constexpr int kSteady = 22;
+    const double tick_ns = 1.0e5;
+
+    ScenarioStudyOutcome outcome;
+    outcome.name = "channel_failure";
+    outcome.campaign = "chfail:0:20:30";
+
+    auto run = [&](bool attach) {
+        std::vector<std::unique_ptr<core::SoftwareTrng>> sw;
+        std::vector<core::Trng *> pool;
+        for (size_t b = 0; b < nshards; ++b) {
+            sw.push_back(std::make_unique<core::SoftwareTrng>(
+                0xF00D + b, "sw" + std::to_string(b)));
+            pool.push_back(sw.back().get());
+        }
+        service::EntropyServiceConfig scfg;
+        scfg.shards = nshards;
+        scfg.shardCapacityBytes = 8192;
+        scfg.refillWatermark = 0.75;
+        scfg.panicWatermark = 0.25;
+        service::EntropyService svc(pool, scfg);
+        svc.refillBelowWatermark();
+
+        service::MultiChannelRefillConfig mcfg;
+        mcfg.topology.channels = 2;
+        mcfg.policy = sysperf::FairnessPolicy::BufferedFair;
+        mcfg.tickNs = tick_ns;
+        mcfg.seed = seed;
+        mcfg.installLatencyCost = true;
+        std::vector<sysperf::WorkloadProfile> traffic = {
+            {"calm", 0.05, 60.0}, {"calm", 0.05, 60.0}};
+        service::MultiChannelRefillScheduler scheduler(svc, traffic,
+                                                       mcfg);
+        auto engine =
+            attach ? std::make_unique<scenario::ScenarioEngine>(
+                         svc, scheduler,
+                         scenario::ScenarioSpec::parse(
+                             outcome.campaign))
+                   : nullptr;
+
+        std::vector<service::EntropyService::Client> clients;
+        for (size_t s = 0; s < nshards; ++s) {
+            clients.push_back(svc.connect(
+                "pinned", service::Priority::Standard, s));
+        }
+        std::vector<std::vector<uint8_t>> served(nshards);
+        uint8_t out[512];
+        uint64_t tick = 0;
+        auto runPhase = [&](int ticks) {
+            for (int t = 0; t < ticks; ++t, ++tick) {
+                if (engine)
+                    engine->beginTick(tick);
+                double tick_start =
+                    static_cast<double>(tick) * tick_ns;
+                for (size_t s = 0; s < nshards; ++s) {
+                    auto result = clients[s].requestAt(
+                        out, sizeof(out), tick_start);
+                    served[s].insert(served[s].end(), out,
+                                     out + result.bytes);
+                }
+                scheduler.tick();
+            }
+            double p99 = svc.latencySnapshot(
+                                service::Priority::Standard)
+                             .p99Ns();
+            svc.resetLatencyStats();
+            return p99;
+        };
+        double base = runPhase(kBaseline);
+        double disturbed = runPhase(kOutage + kSettle);
+        double recovered = runPhase(kSteady);
+        if (attach) {
+            outcome.baselineP99Ns = base;
+            outcome.disturbedP99Ns = disturbed;
+            outcome.recoveredP99Ns = recovered;
+            outcome.counters = engine->counters();
+            outcome.failovers = scheduler.failovers();
+            outcome.failbacks = scheduler.failbacks();
+            outcome.unhealthyBytesServed =
+                svc.healthStats().unhealthyBytesServed;
+        }
+        return served;
+    };
+
+    std::vector<std::vector<uint8_t>> detached = run(false);
+    std::vector<std::vector<uint8_t>> attached = run(true);
+    // Round-robin homes shards 0 and 2 on channel 0: both must fail
+    // over and both must return.
+    outcome.eventsApplied = outcome.counters.channelFailures == 1 &&
+                            outcome.counters.channelRecoveries == 1 &&
+                            outcome.failovers == 2 &&
+                            outcome.failbacks == 2;
+    outcome.bytesIdentical =
+        scenarioStreamsMatch(detached, attached, {}, false);
+    outcome.p99Recovered = outcome.recoveredP99Ns <=
+                           2.0 * outcome.baselineP99Ns + 100.0;
+    return outcome;
+}
+
+/**
+ * Campaign 2 — online thermal drift. Backend 0 is a real QuacTrng
+ * on the reduced test geometry under a core::ThermalGovernor; the
+ * temperature ramps 45→85 °C across a 30-tick window. Band-edge
+ * crossings switch the generator's column sets online (no stop, no
+ * re-setup) and flush the suspect spans buffered across each switch;
+ * the shards homed on untouched software banks replay byte-exact.
+ */
+ScenarioStudyOutcome
+runThermalDriftScenario(uint64_t seed)
+{
+    constexpr size_t nshards = 4;
+    constexpr int kBaseline = 20;
+    constexpr int kDrift = 30;
+    constexpr int kSettle = 6;
+    constexpr int kSteady = 20;
+    const double tick_ns = 1.0e5;
+
+    ScenarioStudyOutcome outcome;
+    outcome.name = "thermal_drift";
+    outcome.campaign = "drift:20:30:45:85";
+
+    auto run = [&](bool attach) {
+        dram::ModuleSpec spec;
+        spec.geometry = dram::Geometry::testScale();
+        spec.seed = 2021;
+        dram::DramModule module(spec);
+        core::QuacTrngConfig tcfg;
+        tcfg.banks = {0, 1};
+        tcfg.characterizeStride = 1;
+        tcfg.sibEntropyTarget = 24.0;
+        tcfg.threads = 2;
+        core::QuacTrng trng(module, tcfg);
+        core::ThermalGovernorConfig gcfg;
+        gcfg.minC = 30.0;
+        gcfg.maxC = 90.0;
+        gcfg.bands = 8;
+        core::ThermalGovernor governor(module, trng, gcfg);
+
+        std::vector<std::unique_ptr<core::SoftwareTrng>> sw;
+        std::vector<core::Trng *> pool = {&trng};
+        for (size_t b = 1; b < nshards; ++b) {
+            sw.push_back(std::make_unique<core::SoftwareTrng>(
+                0xD1A7 + b, "sw" + std::to_string(b)));
+            pool.push_back(sw.back().get());
+        }
+        service::EntropyServiceConfig scfg;
+        scfg.shards = nshards;
+        scfg.shardCapacityBytes = 4096;
+        scfg.refillWatermark = 0.75;
+        scfg.panicWatermark = 0.25;
+        service::EntropyService svc(pool, scfg);
+        svc.refillBelowWatermark();
+
+        service::MultiChannelRefillConfig mcfg;
+        mcfg.topology.channels = 2;
+        mcfg.policy = sysperf::FairnessPolicy::BufferedFair;
+        mcfg.tickNs = tick_ns;
+        mcfg.seed = seed;
+        mcfg.installLatencyCost = true;
+        std::vector<sysperf::WorkloadProfile> traffic = {
+            {"calm", 0.05, 60.0}, {"calm", 0.05, 60.0}};
+        service::MultiChannelRefillScheduler scheduler(svc, traffic,
+                                                       mcfg);
+        auto engine =
+            attach ? std::make_unique<scenario::ScenarioEngine>(
+                         svc, scheduler,
+                         scenario::ScenarioSpec::parse(
+                             outcome.campaign),
+                         &governor)
+                   : nullptr;
+
+        std::vector<service::EntropyService::Client> clients;
+        for (size_t s = 0; s < nshards; ++s) {
+            clients.push_back(svc.connect(
+                "pinned", service::Priority::Standard, s));
+        }
+        std::vector<std::vector<uint8_t>> served(nshards);
+        uint8_t out[256];
+        uint64_t tick = 0;
+        auto runPhase = [&](int ticks) {
+            for (int t = 0; t < ticks; ++t, ++tick) {
+                if (engine)
+                    engine->beginTick(tick);
+                double tick_start =
+                    static_cast<double>(tick) * tick_ns;
+                for (size_t s = 0; s < nshards; ++s) {
+                    auto result = clients[s].requestAt(
+                        out, sizeof(out), tick_start);
+                    served[s].insert(served[s].end(), out,
+                                     out + result.bytes);
+                }
+                scheduler.tick();
+            }
+            double p99 = svc.latencySnapshot(
+                                service::Priority::Standard)
+                             .p99Ns();
+            svc.resetLatencyStats();
+            return p99;
+        };
+        double base = runPhase(kBaseline);
+        double disturbed = runPhase(kDrift + kSettle);
+        double recovered = runPhase(kSteady);
+        if (attach) {
+            outcome.baselineP99Ns = base;
+            outcome.disturbedP99Ns = disturbed;
+            outcome.recoveredP99Ns = recovered;
+            outcome.counters = engine->counters();
+            outcome.unhealthyBytesServed =
+                svc.healthStats().unhealthyBytesServed;
+        }
+        return served;
+    };
+
+    std::vector<std::vector<uint8_t>> detached = run(false);
+    std::vector<std::vector<uint8_t>> attached = run(true);
+    // The ramp must cross at least one 7.5 °C band edge and flush
+    // the suspect bytes buffered across the switch.
+    outcome.eventsApplied = outcome.counters.bandSwitches >= 1 &&
+                            outcome.counters.suspectBytesDropped > 0;
+    // Shard 0 legitimately diverges: its generator was retuned.
+    outcome.bytesIdentical =
+        scenarioStreamsMatch(detached, attached, {0}, false);
+    outcome.p99Recovered = outcome.recoveredP99Ns <=
+                           2.0 * outcome.baselineP99Ns + 100.0;
+    return outcome;
+}
+
+/**
+ * Campaign 3 — flash crowd through the admission gate. Interactive
+ * clients first run oversized requests that wreck the recent tail
+ * (the gate's headroom signal) and escalate both channels' refill
+ * policy; a 12-client bulk burst then arrives mid-breach. The gate
+ * queues up to its bound, denies the overflow, and releases the
+ * queue FIFO once the interactive tail recovers — every non-denied
+ * client is eventually admitted, and the detached run's streams are
+ * an exact prefix of the attached run's.
+ */
+ScenarioStudyOutcome
+runFlashCrowdScenario(uint64_t seed)
+{
+    constexpr size_t nshards = 4;
+    constexpr int kWarm = 6;
+    constexpr int kInflate = 12;   // ticks 6..17; crowd at 10..13
+    constexpr int kTransition = 18;
+    constexpr int kSteady = 20;    // ticks 36..55
+    constexpr size_t kCrowdBytes = 256;
+    const double kSloNs = 400.0;
+    const double tick_ns = 1.0e5;
+
+    ScenarioStudyOutcome outcome;
+    outcome.name = "flash_crowd";
+    outcome.campaign = "crowd:10:4:12:256";
+
+    auto run = [&](bool attach) {
+        std::vector<std::unique_ptr<core::SoftwareTrng>> sw;
+        std::vector<core::Trng *> pool;
+        for (size_t b = 0; b < nshards; ++b) {
+            sw.push_back(std::make_unique<core::SoftwareTrng>(
+                0xBEEF + b, "sw" + std::to_string(b)));
+            pool.push_back(sw.back().get());
+        }
+        service::EntropyServiceConfig scfg;
+        scfg.shards = nshards;
+        scfg.shardCapacityBytes = 4096;
+        scfg.refillWatermark = 0.75;
+        scfg.panicWatermark = 0.25;
+        scfg.recentLatencyWindow = 16;
+        scfg.admission.enabled = true;
+        scfg.admission.interactiveSloNs = kSloNs;
+        scfg.admission.headroomFraction = 0.8;
+        scfg.admission.maxQueuedConnects = 8;
+        scfg.admission.retryBackoffTicks = 1;
+        scfg.admission.maxBackoffTicks = 8;
+        service::EntropyService svc(pool, scfg);
+        svc.refillBelowWatermark();
+
+        service::MultiChannelRefillConfig mcfg;
+        mcfg.topology.channels = 2;
+        mcfg.policy = sysperf::FairnessPolicy::BufferedFair;
+        mcfg.tickNs = tick_ns;
+        mcfg.seed = seed;
+        mcfg.installLatencyCost = true;
+        mcfg.sloEscalation = true;
+        mcfg.escalateSloNs = kSloNs;
+        std::vector<sysperf::WorkloadProfile> traffic = {
+            {"calm", 0.05, 60.0}, {"calm", 0.05, 60.0}};
+        service::MultiChannelRefillScheduler scheduler(svc, traffic,
+                                                       mcfg);
+        auto engine =
+            attach ? std::make_unique<scenario::ScenarioEngine>(
+                         svc, scheduler,
+                         scenario::ScenarioSpec::parse(
+                             outcome.campaign))
+                   : nullptr;
+
+        std::vector<service::EntropyService::Client> clients;
+        for (size_t s = 0; s < nshards; ++s) {
+            clients.push_back(svc.connect(
+                "fg", service::Priority::Interactive, s));
+        }
+        std::vector<std::vector<uint8_t>> served(nshards);
+        std::vector<uint8_t> out(8192);
+        uint64_t tick = 0;
+        auto runPhase = [&](int ticks, size_t request_bytes) {
+            for (int t = 0; t < ticks; ++t, ++tick) {
+                double tick_start =
+                    static_cast<double>(tick) * tick_ns;
+                for (size_t s = 0; s < nshards; ++s) {
+                    auto result = clients[s].requestAt(
+                        out.data(), request_bytes, tick_start);
+                    served[s].insert(served[s].end(), out.begin(),
+                                     out.begin() + result.bytes);
+                }
+                if (engine) {
+                    driveCrowd(*engine, tick_start, kCrowdBytes,
+                               served);
+                    // Connects arrive after the tick's foreground
+                    // traffic: the gate prices them on the tail this
+                    // tick just produced (each full top-up retires
+                    // the window, so pre-traffic probes see a clean
+                    // slate).
+                    engine->beginTick(tick);
+                }
+                scheduler.tick();
+            }
+            double p99 = svc.latencySnapshot(
+                                service::Priority::Interactive)
+                             .p99Ns();
+            svc.resetLatencyStats();
+            return p99;
+        };
+        double base = runPhase(kWarm, 64);
+        // Oversized requests always overrun the 4 KiB shard buffer:
+        // guaranteed misses, a wrecked recent tail, thin headroom.
+        double disturbed = runPhase(kInflate, 8192);
+        runPhase(kTransition, 64); // tail ages out, queue drains
+        double recovered = runPhase(kSteady, 64);
+        if (attach) {
+            outcome.baselineP99Ns = base;
+            outcome.disturbedP99Ns = disturbed;
+            outcome.recoveredP99Ns = recovered;
+            outcome.counters = engine->counters();
+            outcome.escalatedTicks = scheduler.escalatedTicks();
+            outcome.queuedAtEnd = svc.admissionStats().queuedNow;
+            outcome.unhealthyBytesServed =
+                svc.healthStats().unhealthyBytesServed;
+        }
+        return served;
+    };
+
+    std::vector<std::vector<uint8_t>> detached = run(false);
+    std::vector<std::vector<uint8_t>> attached = run(true);
+    // All 12 arrive mid-breach: 8 fill the queue, 4 bounce off the
+    // bound, and the breach escalates the channels' refill policy.
+    outcome.eventsApplied = outcome.counters.crowdAttempted == 12 &&
+                            outcome.counters.crowdQueued == 8 &&
+                            outcome.counters.crowdDenied == 4 &&
+                            outcome.escalatedTicks >= 1;
+    outcome.admitted = outcome.counters.crowdAdmitted == 8;
+    outcome.bytesIdentical =
+        scenarioStreamsMatch(detached, attached, {}, true);
+    // The study's recovery bound is the admission SLO itself.
+    outcome.p99Recovered = outcome.recoveredP99Ns <= kSloNs;
+    return outcome;
+}
+
+/**
+ * Campaign 4 — the composed worst day: a biased bank (health
+ * quarantine + re-source + probation re-admit), a channel outage
+ * spanning part of the fault, and a flash crowd during recovery, all
+ * in one campaign string. The detached reference is the same
+ * schedule against a fully healthy stack: shards never touched by
+ * the fault must replay as an exact prefix, no detected-unhealthy
+ * byte is served, and the standard tail recovers.
+ */
+ScenarioStudyOutcome
+runMultiFaultScenario(uint64_t seed)
+{
+    constexpr size_t nshards = 4;
+    constexpr size_t nbanks = 5;
+    constexpr int kBaseline = 24;
+    constexpr int kDisturbed = 72;
+    constexpr int kSteady = 24;
+    constexpr size_t kCrowdBytes = 256;
+    const double tick_ns = 1.0e5;
+
+    ScenarioStudyOutcome outcome;
+    outcome.name = "multi_fault";
+    outcome.campaign = "fault:1:bias:24576:32768:0.95,"
+                       "chfail:0:30:20,crowd:70:4:8:256";
+    scenario::ScenarioSpec spec =
+        scenario::ScenarioSpec::parse(outcome.campaign);
+
+    auto run = [&](bool attach) {
+        std::vector<std::unique_ptr<core::SoftwareTrng>> sw;
+        std::vector<core::Trng *> pool;
+        for (size_t b = 0; b < nbanks; ++b) {
+            sw.push_back(std::make_unique<core::SoftwareTrng>(
+                0xC0FFEE + b, "sw" + std::to_string(b)));
+            pool.push_back(sw.back().get());
+        }
+        // The campaign string carries the fault; the harness arms it
+        // before the service is built (byte-addressed on the bank's
+        // stream, exactly like the health study).
+        std::unique_ptr<core::FaultInjectedTrng> faulty;
+        if (attach) {
+            core::FaultSpec fault = spec.faultSpecs().at(0);
+            faulty = std::make_unique<core::FaultInjectedTrng>(
+                *pool[fault.bank], fault, seed);
+            pool[fault.bank] = faulty.get();
+        }
+        service::EntropyServiceConfig scfg;
+        scfg.shards = nshards;
+        scfg.shardCapacityBytes = 8192;
+        scfg.refillWatermark = 0.75;
+        scfg.panicWatermark = 0.25;
+        scfg.recentLatencyWindow = 16;
+        scfg.health.enabled = true;
+        scfg.health.windowBits = 8192;
+        scfg.health.failWindowLimit = 2;
+        scfg.health.probationWindows = 3;
+        scfg.admission.enabled = true;
+        scfg.admission.interactiveSloNs = 400.0;
+        scfg.admission.headroomFraction = 0.8;
+        scfg.admission.maxQueuedConnects = 8;
+        scfg.admission.retryBackoffTicks = 1;
+        scfg.admission.maxBackoffTicks = 8;
+        service::EntropyService svc(pool, scfg);
+        svc.refillBelowWatermark();
+
+        service::MultiChannelRefillConfig mcfg;
+        mcfg.topology.channels = 2;
+        mcfg.policy = sysperf::FairnessPolicy::BufferedFair;
+        mcfg.tickNs = tick_ns;
+        mcfg.seed = seed;
+        mcfg.installLatencyCost = true;
+        mcfg.sloEscalation = true;
+        mcfg.escalateSloNs = 400.0;
+        std::vector<sysperf::WorkloadProfile> traffic = {
+            {"calm", 0.05, 60.0}, {"calm", 0.05, 60.0}};
+        service::MultiChannelRefillScheduler scheduler(svc, traffic,
+                                                       mcfg);
+        auto engine =
+            attach ? std::make_unique<scenario::ScenarioEngine>(
+                         svc, scheduler, spec)
+                   : nullptr;
+
+        std::vector<service::EntropyService::Client> clients;
+        for (size_t s = 0; s < nshards; ++s) {
+            clients.push_back(svc.connect(
+                "pinned", service::Priority::Standard, s));
+        }
+        std::vector<std::vector<uint8_t>> served(nshards);
+        uint8_t out[512];
+        uint64_t tick = 0;
+        auto runPhase = [&](int ticks) {
+            for (int t = 0; t < ticks; ++t, ++tick) {
+                if (engine)
+                    engine->beginTick(tick);
+                double tick_start =
+                    static_cast<double>(tick) * tick_ns;
+                for (size_t s = 0; s < nshards; ++s) {
+                    auto result = clients[s].requestAt(
+                        out, sizeof(out), tick_start);
+                    served[s].insert(served[s].end(), out,
+                                     out + result.bytes);
+                }
+                if (engine)
+                    driveCrowd(*engine, tick_start, kCrowdBytes,
+                               served);
+                scheduler.tick();
+            }
+            double p99 = svc.latencySnapshot(
+                                service::Priority::Standard)
+                             .p99Ns();
+            svc.resetLatencyStats();
+            return p99;
+        };
+        double base = runPhase(kBaseline);
+        double disturbed = runPhase(kDisturbed);
+        double recovered = runPhase(kSteady);
+        if (attach) {
+            outcome.baselineP99Ns = base;
+            outcome.disturbedP99Ns = disturbed;
+            outcome.recoveredP99Ns = recovered;
+            outcome.counters = engine->counters();
+            outcome.failovers = scheduler.failovers();
+            outcome.failbacks = scheduler.failbacks();
+            outcome.escalatedTicks = scheduler.escalatedTicks();
+            service::EntropyService::HealthStats hstats =
+                svc.healthStats();
+            outcome.quarantines = hstats.quarantines;
+            outcome.readmissions = hstats.readmissions;
+            outcome.unhealthyBytesServed =
+                hstats.unhealthyBytesServed;
+            outcome.queuedAtEnd = svc.admissionStats().queuedNow;
+        }
+        return served;
+    };
+
+    std::vector<std::vector<uint8_t>> detached = run(false);
+    std::vector<std::vector<uint8_t>> attached = run(true);
+    outcome.eventsApplied = outcome.quarantines >= 1 &&
+                            outcome.readmissions >= 1 &&
+                            outcome.counters.channelFailures == 1 &&
+                            outcome.counters.channelRecoveries == 1 &&
+                            outcome.failovers >= 1 &&
+                            outcome.failbacks >= 1 &&
+                            outcome.counters.crowdAttempted == 8 &&
+                            outcome.counters.crowdDenied == 0;
+    outcome.admitted = outcome.counters.crowdAdmitted == 8;
+    // The faulted bank's shard re-sources to the spare: its stream
+    // legitimately diverges from the healthy reference.
+    outcome.bytesIdentical = scenarioStreamsMatch(
+        detached, attached, {spec.faultSpecs().at(0).bank}, true);
+    outcome.p99Recovered = outcome.recoveredP99Ns <=
+                           2.0 * outcome.baselineP99Ns + 100.0;
+    return outcome;
+}
+
+/** The four campaigns plus the combined CI verdict. */
+struct ScenarioVerdict
+{
+    std::vector<ScenarioStudyOutcome> studies;
+
+    bool pass() const
+    {
+        for (const ScenarioStudyOutcome &study : studies)
+            if (!study.pass())
+                return false;
+        return !studies.empty();
+    }
+};
+
+ScenarioVerdict
+runScenarioStudies(uint64_t seed)
+{
+    std::printf("\nScenario campaign studies (deterministic failure "
+                "campaigns replayed attached vs detached):\n");
+    ScenarioVerdict verdict;
+    verdict.studies.push_back(runChannelFailScenario(seed));
+    verdict.studies.push_back(runThermalDriftScenario(seed));
+    verdict.studies.push_back(runFlashCrowdScenario(seed));
+    verdict.studies.push_back(runMultiFaultScenario(seed));
+
+    Table table({"campaign", "events", "crowd a/q/d", "base p99",
+                 "worst p99", "recov p99", "replay", "pass"});
+    for (const ScenarioStudyOutcome &study : verdict.studies) {
+        table.addRow(
+            {study.name, study.eventsApplied ? "applied" : "MISSING",
+             std::to_string(study.counters.crowdAdmitted) + "/" +
+                 std::to_string(study.counters.crowdQueued) + "/" +
+                 std::to_string(study.counters.crowdDenied),
+             Table::num(study.baselineP99Ns, 0),
+             Table::num(study.disturbedP99Ns, 0),
+             Table::num(study.recoveredP99Ns, 0),
+             study.bytesIdentical ? "identical" : "DIVERGED",
+             study.pass() ? "yes" : "NO (BUG)"});
+    }
+    table.print();
+    std::printf("Expected shape: every campaign edge lands (failover/"
+                "failback, band switches with suspect flushes, queue/"
+                "deny/release, quarantine/re-admit), tails recover "
+                "within the settle windows, no detected-unhealthy "
+                "byte is served, and healthy streams replay "
+                "byte-exact against the detached reference.\n");
+    return verdict;
+}
+
 // -------------------------------------------------- JSON output
 
 bool
@@ -971,7 +1651,8 @@ writeJson(const std::string &path,
           bool identical,
           const std::vector<ClosedLoopOutcome> &closed_loop,
           bool closed_loop_identical, bool closed_loop_improves,
-          const HealthVerdict &health)
+          const HealthVerdict &health,
+          const ScenarioVerdict &scenarios)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -1045,7 +1726,7 @@ writeJson(const std::string &path,
         "    \"faulty_p99_ns\": %.1f,\n"
         "    \"recovered_p99_ns\": %.1f,\n"
         "    \"p99_recovered\": %s,\n"
-        "    \"healthy_shards_identical\": %s\n  }\n}\n",
+        "    \"healthy_shards_identical\": %s\n  },\n",
         static_cast<unsigned long long>(health.on.quarantines),
         static_cast<unsigned long long>(health.on.readmissions),
         static_cast<unsigned long long>(health.on.quarantineWindow),
@@ -1061,6 +1742,59 @@ writeJson(const std::string &path,
         health.on.recoveredP99Ns,
         health.p99Recovered ? "true" : "false",
         health.healthyShardsIdentical ? "true" : "false");
+    std::fprintf(f, "  \"scenario_studies\": {\n");
+    for (const ScenarioStudyOutcome &study : scenarios.studies) {
+        std::fprintf(
+            f,
+            "    \"%s\": {\"campaign\": \"%s\", "
+            "\"channel_failures\": %llu, "
+            "\"channel_recoveries\": %llu, \"failovers\": %llu, "
+            "\"failbacks\": %llu, \"band_switches\": %llu, "
+            "\"suspect_bytes_dropped\": %llu, "
+            "\"crowd_attempted\": %llu, \"crowd_admitted\": %llu, "
+            "\"crowd_queued\": %llu, \"crowd_denied\": %llu, "
+            "\"queued_at_end\": %llu, \"escalated_ticks\": %llu, "
+            "\"quarantines\": %llu, \"readmissions\": %llu, "
+            "\"unhealthy_bytes_served\": %llu, "
+            "\"baseline_p99_ns\": %.1f, \"disturbed_p99_ns\": %.1f, "
+            "\"recovered_p99_ns\": %.1f, \"events_applied\": %s, "
+            "\"crowd_all_admitted\": %s, \"bytes_identical\": %s, "
+            "\"p99_recovered\": %s, \"pass\": %s},\n",
+            study.name.c_str(), study.campaign.c_str(),
+            static_cast<unsigned long long>(
+                study.counters.channelFailures),
+            static_cast<unsigned long long>(
+                study.counters.channelRecoveries),
+            static_cast<unsigned long long>(study.failovers),
+            static_cast<unsigned long long>(study.failbacks),
+            static_cast<unsigned long long>(
+                study.counters.bandSwitches),
+            static_cast<unsigned long long>(
+                study.counters.suspectBytesDropped),
+            static_cast<unsigned long long>(
+                study.counters.crowdAttempted),
+            static_cast<unsigned long long>(
+                study.counters.crowdAdmitted),
+            static_cast<unsigned long long>(
+                study.counters.crowdQueued),
+            static_cast<unsigned long long>(
+                study.counters.crowdDenied),
+            static_cast<unsigned long long>(study.queuedAtEnd),
+            static_cast<unsigned long long>(study.escalatedTicks),
+            static_cast<unsigned long long>(study.quarantines),
+            static_cast<unsigned long long>(study.readmissions),
+            static_cast<unsigned long long>(
+                study.unhealthyBytesServed),
+            study.baselineP99Ns, study.disturbedP99Ns,
+            study.recoveredP99Ns,
+            study.eventsApplied ? "true" : "false",
+            study.admitted ? "true" : "false",
+            study.bytesIdentical ? "true" : "false",
+            study.p99Recovered ? "true" : "false",
+            study.pass() ? "true" : "false");
+    }
+    std::fprintf(f, "    \"pass\": %s\n  }\n}\n",
+                 scenarios.pass() ? "true" : "false");
     std::fclose(f);
     return true;
 }
@@ -1212,11 +1946,15 @@ main(int argc, char **argv)
 
     HealthVerdict health = runHealthStudy(seed);
 
+    ScenarioVerdict scenarios = runScenarioStudies(seed);
+
     if (!json_path.empty() &&
         !writeJson(json_path, latency, off, on, identical,
                    closed_loop, closed_loop_identical,
-                   closed_loop_improves, health))
+                   closed_loop_improves, health, scenarios))
         return 1;
-    return identical && closed_loop_identical && health.pass() ? 0
-                                                               : 1;
+    return identical && closed_loop_identical && health.pass() &&
+                   scenarios.pass()
+               ? 0
+               : 1;
 }

@@ -35,6 +35,17 @@
  * bank 1 toward ones for 64 KiB starting at byte offset 4096.
  * Malformed specs are fatal, as is a bank index outside the pool.
  *
+ * --campaign runs a timed failure campaign against the live server
+ * (scenario::ScenarioSpec syntax): comma-separated phases of
+ * "chfail:<ch>:<start>:<len>" (channel outage + recovery),
+ * "drift:<start>:<len>:<fromC>:<toC>" (online thermal recalibration
+ * of backend 0 through a core::ThermalGovernor),
+ * "crowd:<start>:<len>:<clients>[:<bytes>]" (a bulk connect burst
+ * through the SLO-aware admission gate, enabled automatically), and
+ * "fault:<FaultSpec>" (armed at the backend boundary like
+ * --fault-inject, so it requires --health). Malformed or overlapping
+ * phases are fatal; the run report gains a campaign section.
+ *
  *   ./entropy_server [--scenario web-keyserver]
  *                    [--policy buffered-fair|fcfs|rng-priority]
  *                    [--modules 2] [--ticks 200] [--capacity 16384]
@@ -43,6 +54,7 @@
  *                    [--slo-ns 100]
  *                    [--health] [--health-window 16384]
  *                    [--fault-inject 1:bias:4096:65536:0.9]
+ *                    [--campaign "chfail:0:40:40,crowd:100:10:12:512"]
  */
 
 #include <algorithm>
@@ -57,6 +69,7 @@
 #include "core/fault_injection.hh"
 #include "core/trng.hh"
 #include "dram/catalog.hh"
+#include "scenario/scenario.hh"
 #include "service/placement.hh"
 #include "service/refill_scheduler.hh"
 #include "sysperf/channel_sim.hh"
@@ -133,8 +146,8 @@ main(int argc, char **argv)
     CliArgs args(argc, argv,
                  {"scenario", "policy", "modules", "ticks", "capacity",
                   "channels", "shards", "rebalance", "placement",
-                  "slo-ns", "health", "health-window",
-                  "fault-inject"});
+                  "slo-ns", "health", "health-window", "fault-inject",
+                  "campaign"});
     const sysperf::ServiceScenario &scenario = sysperf::serviceScenario(
         args.getString("scenario", "web-keyserver"));
     sysperf::FairnessPolicy policy = sysperf::fairnessPolicyFromName(
@@ -169,6 +182,23 @@ main(int argc, char **argv)
     if (!fault_text.empty() && !health)
         fatal("--fault-inject requires --health (faults would go "
               "undetected)");
+    scenario::ScenarioSpec campaign =
+        scenario::ScenarioSpec::parse(args.getString("campaign", ""));
+    bool run_campaign = !campaign.phases.empty();
+    if (!campaign.faultSpecs().empty() && !health)
+        fatal("--campaign fault phases require --health (faults "
+              "would go undetected)");
+    bool campaign_crowd = false;
+    bool campaign_drift = false;
+    size_t crowd_bytes = 1024;
+    for (const scenario::PhaseSpec &phase : campaign.phases) {
+        if (phase.kind == scenario::PhaseKind::FlashCrowd) {
+            campaign_crowd = true;
+            crowd_bytes = std::max(crowd_bytes, phase.requestBytes);
+        }
+        if (phase.kind == scenario::PhaseKind::ThermalDrift)
+            campaign_drift = true;
+    }
 
     // One QUAC-TRNG per simulated module (test-scale geometry keeps
     // the demo snappy; the service layer is geometry-agnostic).
@@ -212,6 +242,21 @@ main(int argc, char **argv)
         }
     }
 
+    // A campaign's fault phases are armed the same way: the spec
+    // travels with the campaign string, the wrapper sits at the
+    // backend boundary before the service is built. Validate the
+    // whole campaign now so a bad spec dies before the run starts.
+    if (run_campaign) {
+        campaign.validate(channels, pool.size());
+        for (const core::FaultSpec &spec : campaign.faultSpecs()) {
+            faulty.push_back(std::make_unique<core::FaultInjectedTrng>(
+                *pool[spec.bank], spec));
+            pool[spec.bank] = faulty.back().get();
+            std::printf("  campaign fault: %s\n",
+                        faulty.back()->spec().describe().c_str());
+        }
+    }
+
     service::EntropyServiceConfig scfg;
     scfg.shards = nshards;
     scfg.shardCapacityBytes = capacity;
@@ -220,6 +265,14 @@ main(int argc, char **argv)
     scfg.placement = placement;
     scfg.health.enabled = health;
     scfg.health.windowBits = health_window;
+    if (campaign_crowd) {
+        // Crowd phases flow through the SLO-aware admission gate;
+        // the interactive SLO doubles as the gate's target when no
+        // explicit --slo-ns was given.
+        scfg.admission.enabled = true;
+        scfg.admission.interactiveSloNs =
+            slo_ns > 0.0 ? slo_ns : 400.0;
+    }
     service::EntropyService svc(pool, scfg);
     svc.refillBelowWatermark();
 
@@ -247,6 +300,26 @@ main(int argc, char **argv)
     migcfg.slo[0] = {0.0, slo_ns};
     migcfg.slo[1] = {0.0, 4.0 * slo_ns};
     service::SloMigrator migrator(svc, migcfg);
+
+    // Drift phases recalibrate backend 0 online through a thermal
+    // governor (one temperature table per activation plan, built
+    // up front; band-edge crossings switch the live column sets).
+    std::unique_ptr<core::ThermalGovernor> governor;
+    if (campaign_drift) {
+        std::printf("Building thermal bands for %s...\n",
+                    modules[0]->spec().name.c_str());
+        governor = std::make_unique<core::ThermalGovernor>(
+            *modules[0], *trngs[0], core::ThermalGovernorConfig{});
+    }
+    std::unique_ptr<scenario::ScenarioEngine> engine;
+    if (run_campaign) {
+        engine = std::make_unique<scenario::ScenarioEngine>(
+            svc, scheduler, campaign, governor.get());
+        std::printf("Campaign: %s (last event at tick %llu)\n",
+                    campaign.describe().c_str(),
+                    static_cast<unsigned long long>(
+                        campaign.lastEventTick()));
+    }
 
     std::printf("\nScenario '%s': %u clients over %zu shards on %u "
                 "channels, policy %s, rebalance %s\n",
@@ -315,6 +388,20 @@ main(int argc, char **argv)
             client.handle.requestAt(sink.data(),
                                     client.cls->requestBytes,
                                     arrival.at);
+        }
+        if (engine) {
+            // Campaign edges land after the tick's foreground
+            // traffic (connects are priced on the tail it just
+            // produced) and before the refill; admitted crowd
+            // clients drain bulk bytes late in each tick.
+            size_t idx = 0;
+            for (service::EntropyService::Client crowd :
+                 engine->crowdClients()) {
+                crowd.requestAt(sink.data(), crowd_bytes,
+                                tick_start + 0.9 * rcfg.tickNs +
+                                    static_cast<double>(idx++));
+            }
+            engine->beginTick(t);
         }
         scheduler.tick();
         if (slo_ns > 0.0)
@@ -420,6 +507,49 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(svc.bufferHits()),
                 static_cast<unsigned long long>(svc.synchronousFills()),
                 static_cast<unsigned long long>(svc.bytesRefilled()));
+
+    if (engine) {
+        const scenario::ScenarioEngine::Counters &cc =
+            engine->counters();
+        service::EntropyService::AdmissionStats astats =
+            svc.admissionStats();
+        std::printf("\nCampaign effects:\n");
+        std::printf("  %llu channel failures, %llu recoveries "
+                    "(%llu shard failovers, %llu failbacks)\n",
+                    static_cast<unsigned long long>(
+                        cc.channelFailures),
+                    static_cast<unsigned long long>(
+                        cc.channelRecoveries),
+                    static_cast<unsigned long long>(
+                        scheduler.failovers()),
+                    static_cast<unsigned long long>(
+                        scheduler.failbacks()));
+        if (governor) {
+            std::printf("  %llu thermal band switches, %llu suspect "
+                        "bytes flushed, final band %zu at %.1f degC\n",
+                        static_cast<unsigned long long>(
+                            cc.bandSwitches),
+                        static_cast<unsigned long long>(
+                            cc.suspectBytesDropped),
+                        governor->bandIndex(),
+                        governor->temperature());
+        }
+        std::printf("  crowd: %llu attempted, %llu admitted "
+                    "(%llu via queue), %llu denied, %llu still "
+                    "queued\n",
+                    static_cast<unsigned long long>(cc.crowdAttempted),
+                    static_cast<unsigned long long>(cc.crowdAdmitted),
+                    static_cast<unsigned long long>(
+                        astats.admittedFromQueue),
+                    static_cast<unsigned long long>(cc.crowdDenied),
+                    static_cast<unsigned long long>(astats.queuedNow));
+        if (scheduler.escalatedTicks() > 0) {
+            std::printf("  refill policy escalated for %llu "
+                        "channel-ticks\n",
+                        static_cast<unsigned long long>(
+                            scheduler.escalatedTicks()));
+        }
+    }
 
     if (const service::HealthMonitor *monitor = svc.healthMonitor()) {
         service::EntropyService::HealthStats hstats =

@@ -1,0 +1,67 @@
+#include "core/thermal_governor.hh"
+
+#include "common/error.hh"
+
+namespace quac::core
+{
+
+ThermalGovernor::ThermalGovernor(dram::DramModule &module,
+                                 QuacTrng &trng,
+                                 ThermalGovernorConfig cfg)
+    : module_(module), trng_(trng), cfg_(cfg)
+{
+    if (cfg_.bands == 0)
+        fatal("thermal governor needs at least one band");
+    if (!(cfg_.minC < cfg_.maxC))
+        fatal("thermal governor range [%g, %g) is empty", cfg_.minC,
+              cfg_.maxC);
+    if (!trng_.ready())
+        trng_.setup();
+    if (cfg_.entropyTarget == 0.0)
+        cfg_.entropyTarget = trng_.config().sibEntropyTarget;
+
+    tables_.reserve(trng_.plans().size());
+    for (const QuacTrng::BankPlan &plan : trng_.plans()) {
+        tables_.push_back(TemperatureTable::build(
+            module_, plan.bank, plan.segment, trng_.config().pattern,
+            cfg_.entropyTarget, cfg_.minC, cfg_.maxC, cfg_.bands));
+    }
+    band_ = bandIndexFor(module_.temperature());
+}
+
+size_t
+ThermalGovernor::bandCount() const
+{
+    return tables_.empty() ? 0 : tables_.front().bandCount();
+}
+
+size_t
+ThermalGovernor::bandIndexFor(double temperature_c) const
+{
+    const std::vector<TemperatureBand> &bands =
+        tables_.front().bands();
+    for (size_t i = 0; i + 1 < bands.size(); ++i) {
+        if (temperature_c < bands[i].maxC)
+            return i;
+    }
+    return bands.size() - 1;
+}
+
+bool
+ThermalGovernor::setTemperature(double temperature_c)
+{
+    module_.setTemperature(temperature_c);
+    size_t band = bandIndexFor(temperature_c);
+    if (band == band_)
+        return false;
+    band_ = band;
+    std::vector<std::vector<ColumnRange>> per_plan;
+    per_plan.reserve(tables_.size());
+    for (const TemperatureTable &table : tables_)
+        per_plan.push_back(table.bands()[band].ranges);
+    trng_.applyColumnRanges(per_plan);
+    ++switches_;
+    return true;
+}
+
+} // namespace quac::core

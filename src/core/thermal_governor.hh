@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Online temperature recalibration for a running QuacTrng.
+ *
+ * Paper Section 8: segment entropy shifts with temperature, so the
+ * memory controller keeps per-temperature column-address sets and
+ * switches to the set of the current band at run time. The
+ * TemperatureTable models the offline side; this governor is the
+ * online side — it owns one band table per bank plan, moves the
+ * module temperature, and when the temperature crosses a band edge
+ * it installs that band's column ranges into the live generator via
+ * QuacTrng::applyColumnRanges, *without* stopping generation or
+ * re-running characterization. The band switch can change the
+ * generator's iteration geometry, so the consumer (EntropyService)
+ * must flush bytes buffered across the switch as suspect — see
+ * EntropyService::retuneBackend, which runs setTemperature under the
+ * backend lock and drops the suspect spans.
+ */
+
+#ifndef QUAC_CORE_THERMAL_GOVERNOR_HH
+#define QUAC_CORE_THERMAL_GOVERNOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/temperature_table.hh"
+#include "core/trng.hh"
+#include "dram/module.hh"
+
+namespace quac::core
+{
+
+/** Band-table shape shared by every plan's TemperatureTable. */
+struct ThermalGovernorConfig
+{
+    /** Entropy target per SHA input block; 0 = the generator's
+     * configured sibEntropyTarget. */
+    double entropyTarget = 0.0;
+    /** Operating range the tables cover (paper: 30-90 C). */
+    double minC = 30.0;
+    double maxC = 90.0;
+    /** Non-overlapping bands across the range (paper: 10). */
+    unsigned bands = 10;
+};
+
+/** Online per-temperature column-set switching for one QuacTrng. */
+class ThermalGovernor
+{
+  public:
+    /**
+     * Build one TemperatureTable per bank plan (runs the generator's
+     * setup() first if needed — the tables characterize the same
+     * segments the plans picked).
+     *
+     * @param module module whose temperature the governor moves
+     *        (kept by reference; must be the generator's module).
+     * @param trng live generator to retune (kept by reference).
+     * @param cfg band-table shape.
+     */
+    ThermalGovernor(dram::DramModule &module, QuacTrng &trng,
+                    ThermalGovernorConfig cfg = {});
+
+    /**
+     * Move the module to @p temperature_c. When the temperature
+     * lands in a different band, the band's column ranges are
+     * installed into the generator (applyColumnRanges) and the call
+     * returns true — the caller owns suspect-span handling for bytes
+     * it buffered across the switch. Returns false when the band is
+     * unchanged (the common case: drift inside one band needs no
+     * recalibration, which is the point of banding).
+     */
+    bool setTemperature(double temperature_c);
+
+    /** Current module temperature. */
+    double temperature() const { return module_.temperature(); }
+
+    /** Band index the generator currently runs under. */
+    size_t bandIndex() const { return band_; }
+
+    /** Band switches performed so far. */
+    uint64_t bandSwitches() const { return switches_; }
+
+    size_t bandCount() const;
+
+    /** Per-plan band tables, in QuacTrng::plans() order. */
+    const std::vector<TemperatureTable> &tables() const
+    {
+        return tables_;
+    }
+
+  private:
+    /** Band covering @p temperature_c (clamped to the table edges,
+     * matching TemperatureTable::lookup). */
+    size_t bandIndexFor(double temperature_c) const;
+
+    dram::DramModule &module_;
+    QuacTrng &trng_;
+    ThermalGovernorConfig cfg_;
+    std::vector<TemperatureTable> tables_;
+    size_t band_ = 0;
+    uint64_t switches_ = 0;
+};
+
+} // namespace quac::core
+
+#endif // QUAC_CORE_THERMAL_GOVERNOR_HH

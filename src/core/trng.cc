@@ -195,6 +195,53 @@ QuacTrng::recharacterize()
     setup();
 }
 
+void
+QuacTrng::applyColumnRanges(
+    const std::vector<std::vector<ColumnRange>> &per_plan)
+{
+    if (!ready_)
+        setup();
+    if (per_plan.size() != plans_.size()) {
+        fatal("applyColumnRanges: %zu range sets for %zu plans",
+              per_plan.size(), plans_.size());
+    }
+    const dram::Geometry &geom = module_.geometry();
+    const size_t block_bytes = geom.cacheBlockBits / 8;
+    for (size_t i = 0; i < per_plan.size(); ++i) {
+        if (per_plan[i].empty())
+            fatal("applyColumnRanges: plan %zu got no ranges", i);
+        for (const ColumnRange &range : per_plan[i]) {
+            if (range.beginColumn >= range.endColumn ||
+                range.endColumn > geom.cacheBlocksPerRow()) {
+                fatal("applyColumnRanges: plan %zu range [%u, %u) "
+                      "outside the %u-block row",
+                      i, range.beginColumn, range.endColumn,
+                      geom.cacheBlocksPerRow());
+            }
+        }
+    }
+    size_t offset = 0;
+    for (size_t i = 0; i < plans_.size(); ++i) {
+        plans_[i].ranges = per_plan[i];
+        size_t bytes = 0;
+        if (cfg_.useSha) {
+            bytes = per_plan[i].size() * 32;
+        } else {
+            for (const ColumnRange &range : per_plan[i]) {
+                bytes += (range.endColumn - range.beginColumn) *
+                         block_bytes;
+            }
+        }
+        planBytes_[i] = bytes;
+        planOffsets_[i] = offset;
+        offset += bytes;
+    }
+    // Drop any partial iteration generated under the old calibration:
+    // it spans the switch, and its geometry no longer matches.
+    buffer_.clear();
+    bufferHead_ = 0;
+}
+
 size_t
 QuacTrng::bitsPerIteration() const
 {

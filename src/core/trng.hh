@@ -118,6 +118,25 @@ class QuacTrng : public Trng
      */
     void recharacterize();
 
+    /**
+     * Install new per-plan SHA-input-block column ranges (one set
+     * per plan, in plans() order) without re-characterizing: the
+     * online band-switch path, fed by ranges precomputed offline by
+     * TemperatureTable::build. The output geometry follows the range
+     * count (bytesPerIteration / preferredChunkBytes may change),
+     * and any partially-consumed buffered iteration is discarded so
+     * the post-switch stream starts on an iteration boundary —
+     * consumers must treat bytes buffered across the switch as
+     * suspect. Not safe against a concurrent fill(); callers
+     * serialize (the service retunes under the backend lock).
+     */
+    void applyColumnRanges(
+        const std::vector<std::vector<ColumnRange>> &per_plan);
+
+    /** The generator configuration (band tables reuse its pattern
+     * and entropy target). */
+    const QuacTrngConfig &config() const { return cfg_; }
+
     void fill(uint8_t *out, size_t len) override;
 
     /** One full iteration's output in bytes (runs setup() if needed). */

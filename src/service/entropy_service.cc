@@ -33,6 +33,17 @@ placementPolicyName(PlacementPolicy policy)
     return "?";
 }
 
+const char *
+admissionDecisionName(AdmissionDecision decision)
+{
+    switch (decision) {
+    case AdmissionDecision::Admitted: return "admitted";
+    case AdmissionDecision::Queued: return "queued";
+    case AdmissionDecision::Denied: return "denied";
+    }
+    return "?";
+}
+
 /**
  * Per-client registration. The shard pin is atomic so migration can
  * race with the client's own requests (a request in flight resolves
@@ -74,6 +85,22 @@ EntropyService::EntropyService(std::vector<core::Trng *> backends,
         fatal("placement latency weight must be >= 0");
     if (cfg_.recentLatencyWindow == 0)
         fatal("recent latency window must hold at least one sample");
+    if (cfg_.admission.enabled) {
+        if (cfg_.admission.interactiveSloNs <= 0.0)
+            fatal("admission control needs an interactive SLO > 0");
+        if (cfg_.admission.headroomFraction <= 0.0 ||
+            cfg_.admission.headroomFraction > 1.0)
+            fatal("admission headroom fraction must be in (0, 1]");
+        if (cfg_.admission.maxQueuedConnects == 0)
+            fatal("admission queue must hold at least one connect "
+                  "(disable admission for an always-deny gate)");
+        if (cfg_.admission.retryBackoffTicks == 0)
+            fatal("admission retry backoff must be >= 1 tick");
+        if (cfg_.admission.maxBackoffTicks <
+            cfg_.admission.retryBackoffTicks)
+            fatal("admission backoff ceiling below the base backoff");
+    }
+    admissionStats_.enabled = cfg_.admission.enabled;
 
     // The HealthMonitor and StreamingHealthTester constructors
     // validate the health knobs themselves (zero/misaligned window,
@@ -631,6 +658,156 @@ EntropyService::migrateClient(const Client &client, size_t shard)
     return true;
 }
 
+double
+EntropyService::interactiveHeadroomP99Ns() const
+{
+    double worst = 0.0;
+    for (size_t s = 0; s < shards_.size(); ++s)
+        worst = std::max(worst, shardRecentPercentileNs(s, 0.99));
+    return worst;
+}
+
+bool
+EntropyService::admissionHeadroom() const
+{
+    return interactiveHeadroomP99Ns() <=
+           cfg_.admission.headroomFraction *
+               cfg_.admission.interactiveSloNs;
+}
+
+EntropyService::AdmissionOutcome
+EntropyService::admit(std::string name, Priority priority,
+                      size_t shard)
+{
+    AdmissionOutcome outcome;
+    if (!cfg_.admission.enabled || priority != Priority::Bulk) {
+        // Interactive/Standard are the classes admission exists to
+        // protect; they (and ungated services) connect directly.
+        outcome.client = connect(std::move(name), priority, shard);
+        return outcome;
+    }
+    // Probe headroom before taking the admission lock: the probe
+    // walks the shard locks and must never nest inside it.
+    bool headroom = admissionHeadroom();
+    std::unique_lock<std::mutex> lock(admissionMutex_);
+    ++admissionStats_.attempts;
+    if (headroom && admissionQueue_.empty()) {
+        ++admissionStats_.admitted;
+        lock.unlock();
+        outcome.client = connect(std::move(name), priority, shard);
+        return outcome;
+    }
+    if (admissionQueue_.size() >= cfg_.admission.maxQueuedConnects) {
+        ++admissionStats_.denied;
+        outcome.decision = AdmissionDecision::Denied;
+        return outcome;
+    }
+    PendingConnect pending;
+    pending.name = std::move(name);
+    pending.priority = priority;
+    pending.shard = shard;
+    pending.backoffTicks = cfg_.admission.retryBackoffTicks;
+    pending.notBeforeTick = admissionTickIndex_ + pending.backoffTicks;
+    admissionQueue_.push_back(std::move(pending));
+    ++admissionStats_.queued;
+    admissionStats_.maxQueueDepth =
+        std::max<uint64_t>(admissionStats_.maxQueueDepth,
+                           admissionQueue_.size());
+    outcome.decision = AdmissionDecision::Queued;
+    return outcome;
+}
+
+std::vector<EntropyService::Client>
+EntropyService::admissionTick()
+{
+    std::vector<Client> admitted;
+    if (!cfg_.admission.enabled)
+        return admitted;
+    bool headroom = admissionHeadroom();
+    std::unique_lock<std::mutex> lock(admissionMutex_);
+    ++admissionTickIndex_;
+    // Strict FIFO: the queue head gates everyone behind it, so a
+    // connect that arrived first is admitted first — starvation-free
+    // by construction, which is what makes "bounded and eventually
+    // admitted" an assertable invariant.
+    while (!admissionQueue_.empty()) {
+        PendingConnect &head = admissionQueue_.front();
+        if (head.notBeforeTick > admissionTickIndex_)
+            break;
+        ++admissionStats_.retries;
+        if (!headroom) {
+            // Still thin: back off, bounded exponentially, so a
+            // congested service is probed ever more gently but a
+            // parked connect never stops probing.
+            head.backoffTicks =
+                std::min(head.backoffTicks * 2,
+                         cfg_.admission.maxBackoffTicks);
+            head.notBeforeTick =
+                admissionTickIndex_ + head.backoffTicks;
+            break;
+        }
+        PendingConnect pending = std::move(head);
+        admissionQueue_.pop_front();
+        ++admissionStats_.admitted;
+        ++admissionStats_.admittedFromQueue;
+        lock.unlock();
+        admitted.push_back(connect(std::move(pending.name),
+                                   pending.priority, pending.shard));
+        lock.lock();
+    }
+    return admitted;
+}
+
+EntropyService::AdmissionStats
+EntropyService::admissionStats() const
+{
+    std::lock_guard<std::mutex> lock(admissionMutex_);
+    AdmissionStats stats = admissionStats_;
+    stats.queuedNow = admissionQueue_.size();
+    return stats;
+}
+
+size_t
+EntropyService::retuneBackend(size_t backend,
+                              const std::function<bool()> &reconfigure)
+{
+    QUAC_ASSERT(backend < backends_.size(), "backend=%zu", backend);
+    if (reconfigure) {
+        // Under the backend lock: no fill is in flight while the
+        // generator's geometry changes.
+        std::lock_guard<std::mutex> backend_lock(
+            *backendLocks_[backend]);
+        if (!reconfigure())
+            return 0;
+    }
+    size_t dropped = 0;
+    for (auto &shard_ptr : shards_) {
+        Shard &shard = *shard_ptr;
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.backendIndex != backend)
+            continue;
+        // The buffered bytes straddle the recalibration: suspect.
+        // Dropping them (never serving) is the conservative side of
+        // the paper's per-temperature guarantee.
+        dropped += shard.size;
+        shard.head = 0;
+        shard.size = 0;
+        // The retune may change the backend's iteration geometry;
+        // re-resolve the chunk (and ring headroom) lazily, exactly
+        // as a re-sourcing does.
+        shard.chunkKnown = false;
+    }
+    suspectBytesDropped_.fetch_add(dropped,
+                                   std::memory_order_relaxed);
+    return dropped;
+}
+
+size_t
+EntropyService::markBackendSuspect(size_t backend)
+{
+    return retuneBackend(backend, nullptr);
+}
+
 void
 EntropyService::setMissLatencyNsPerByte(double ns_per_byte)
 {
@@ -654,16 +831,49 @@ EntropyService::resetLatencyStats()
 }
 
 bool
+EntropyService::syncFillLegacyLocked(Shard &shard, uint8_t *out,
+                                     size_t need)
+{
+    // Health off: no quarantine machinery, but a transient backend
+    // error mid-request used to escape to the caller on the first
+    // throw even when simply retrying would have served the bytes
+    // (a ReadFailure window advances the stream past the fault on
+    // every attempt). Catch, count, retry a bounded number of times
+    // with a bounded backoff, then surface the last error — the
+    // legacy contract that callers see persistent failures holds.
+    for (uint32_t attempt = 0;; ++attempt) {
+        try {
+            std::lock_guard<std::mutex> backend_lock(
+                *backendLocks_[shard.backendIndex]);
+            shard.backend->fill(out, need);
+            return true;
+        } catch (const std::exception &) {
+            refillFailures_.fetch_add(1, std::memory_order_relaxed);
+            if (attempt >= cfg_.syncFillRetries)
+                throw;
+        }
+        // Backoff outside the backend lock: give an interface fault
+        // time to clear without holding the bank hostage (the cap
+        // bounds the total stall at ~31x the base).
+        if (cfg_.syncFillBackoff.count() > 0) {
+            std::this_thread::sleep_for(cfg_.syncFillBackoff *
+                                        (1u << std::min(attempt, 4u)));
+        }
+    }
+}
+
+bool
 EntropyService::syncFillLocked(Shard &shard, uint8_t *out,
                                size_t need)
 {
+    if (!monitor_)
+        return syncFillLegacyLocked(shard, out, need);
     // Bounded failover: each bank gets at most readFailureLimit
     // throwing attempts before quarantine moves the shard on, plus
     // one fill on the final destination.
     size_t max_attempts =
-        monitor_ ? backends_.size() *
-                           (size_t{cfg_.health.readFailureLimit} + 1)
-                 : 1;
+        backends_.size() *
+        (size_t{cfg_.health.readFailureLimit} + 1);
     for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
         bool ok = true;
         bool changed = false;
@@ -673,11 +883,9 @@ EntropyService::syncFillLocked(Shard &shard, uint8_t *out,
             try {
                 shard.backend->fill(out, need);
             } catch (const std::exception &) {
-                if (!monitor_)
-                    throw; // legacy path: the caller sees the error
                 ok = false;
             }
-            if (ok && monitor_) {
+            if (ok) {
                 changed = monitor_->observe(shard.backendIndex, out,
                                             need);
                 if (changed)
@@ -691,8 +899,6 @@ EntropyService::syncFillLocked(Shard &shard, uint8_t *out,
                 resourceEpoch_.fetch_add(1,
                                          std::memory_order_acq_rel);
         }
-        if (!monitor_)
-            return true;
         // As in pullLocked, any transition during this fill marks
         // its bytes suspect even if the bank ended servable.
         if (changed || !monitor_->servable(shard.backendIndex)) {

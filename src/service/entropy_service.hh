@@ -32,8 +32,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -84,6 +87,51 @@ enum class PlacementPolicy : uint8_t
 /** Display name ("round-robin", "least-loaded"). */
 const char *placementPolicyName(PlacementPolicy policy);
 
+/** Outcome class of one admission-controlled connect (admit()). */
+enum class AdmissionDecision : uint8_t
+{
+    /** Connected; AdmissionOutcome::client holds the handle. */
+    Admitted = 0,
+    /** Parked in the bounded retry queue; admissionTick() admits it
+     * once interactive headroom recovers. */
+    Queued = 1,
+    /** Rejected outright: the retry queue is full. */
+    Denied = 2,
+};
+
+/** Display name ("admitted", "queued", "denied"). */
+const char *admissionDecisionName(AdmissionDecision decision);
+
+/**
+ * SLO-aware admission control for bulk connects (DR-STRaNGe's
+ * interference failure mode: a flash crowd of throughput clients
+ * drains the buffers the latency-critical class depends on). admit()
+ * gates Bulk connects on interactive p99 headroom — the worst
+ * per-shard recent p99 must sit below headroomFraction x the SLO —
+ * and parks the rest in a bounded FIFO retried with exponential
+ * backoff by admissionTick(). Interactive/Standard clients always
+ * connect: they are the class admission exists to protect.
+ */
+struct AdmissionConfig
+{
+    bool enabled = false;
+    /** Interactive p99 SLO in modelled ns (> 0 when enabled). */
+    double interactiveSloNs = 0.0;
+    /** Admit while worst recent shard p99 <= this fraction of the
+     * SLO; the (1 - fraction) margin absorbs the admitted client's
+     * own drain before the next headroom check. */
+    double headroomFraction = 0.8;
+    /** Retry-queue capacity; overflow is denied outright, so the
+     * number of waiting connects is bounded by construction. */
+    size_t maxQueuedConnects = 64;
+    /** Base retry backoff in admissionTick() ticks (>= 1). */
+    uint32_t retryBackoffTicks = 1;
+    /** Backoff ceiling: doubling per failed retry stops here, so a
+     * parked connect keeps probing and is eventually admitted once
+     * headroom returns. */
+    uint32_t maxBackoffTicks = 16;
+};
+
 /** Service configuration. */
 struct EntropyServiceConfig
 {
@@ -130,6 +178,27 @@ struct EntropyServiceConfig
      * shardRecentPercentileNs() and the load score.
      */
     size_t recentLatencyWindow = 128;
+    /**
+     * Legacy (health-off) synchronous-fill retry budget: a backend
+     * exception on the miss path is caught, counted
+     * (HealthStats::refillFailures) and the fill retried up to this
+     * many more times — with a bounded exponential backoff between
+     * attempts — before the last error surfaces to the caller.
+     * Transient interface faults (a FaultInjectedTrng ReadFailure
+     * window) advance the stream past the fault on every attempt, so
+     * a retry genuinely can serve the bytes. 0 restores the
+     * surface-immediately behaviour. Health-on services use the
+     * quarantine failover loop instead and ignore this.
+     */
+    uint32_t syncFillRetries = 2;
+    /**
+     * Base wall-clock backoff between legacy sync-fill retries;
+     * doubles per attempt, capped at 16x the base. Zero disables the
+     * sleep (tests).
+     */
+    std::chrono::microseconds syncFillBackoff{50};
+    /** SLO-aware admission control on bulk connects (admit()). */
+    AdmissionConfig admission;
     /**
      * Streaming SP 800-90B health monitoring (service/health.hh).
      * When enabled, every byte a backend bank produces is scored;
@@ -252,6 +321,107 @@ class EntropyService
     Client connect(std::string name,
                    Priority priority = Priority::Standard,
                    size_t shard = autoShard);
+
+    /** @name SLO-aware admission control (cfg.admission.enabled) */
+    /**@{*/
+    /** What admit() decided, plus the handle when admitted. */
+    struct AdmissionOutcome
+    {
+        AdmissionDecision decision = AdmissionDecision::Admitted;
+        /** Engaged iff decision == Admitted. */
+        std::optional<Client> client;
+    };
+
+    /**
+     * Admission-controlled connect. Interactive/Standard clients and
+     * disabled admission pass straight through to connect(). Bulk
+     * clients are admitted while interactive p99 headroom holds
+     * (admissionHeadroom()) and the retry queue is empty (FIFO: no
+     * overtaking parked clients); otherwise they are queued (bounded
+     * by cfg.admission.maxQueuedConnects) or denied on overflow.
+     */
+    AdmissionOutcome admit(std::string name,
+                           Priority priority = Priority::Standard,
+                           size_t shard = autoShard);
+
+    /**
+     * One admission control-loop step (the scenario engine and the
+     * campaign drivers call this once per tick): retries queued
+     * connects that are due, in FIFO order, admitting while headroom
+     * lasts and backing the queue head off (bounded exponential)
+     * when it is still thin. Returns the clients admitted from the
+     * queue this tick — the caller owns driving them. No-op (empty)
+     * when admission is disabled.
+     */
+    std::vector<Client> admissionTick();
+
+    /** Admission counters. */
+    struct AdmissionStats
+    {
+        bool enabled = false;
+        /** admit() calls that went through the bulk gate. */
+        uint64_t attempts = 0;
+        /** Total admitted (immediately + from the queue). */
+        uint64_t admitted = 0;
+        /** Parked in the retry queue at admit() time. */
+        uint64_t queued = 0;
+        /** Rejected outright (queue overflow). */
+        uint64_t denied = 0;
+        /** Queued-connect retry evaluations by admissionTick(). */
+        uint64_t retries = 0;
+        /** The part of `admitted` that waited in the queue. */
+        uint64_t admittedFromQueue = 0;
+        /** Currently waiting. */
+        uint64_t queuedNow = 0;
+        /** High-water mark of the queue depth. */
+        uint64_t maxQueueDepth = 0;
+    };
+
+    AdmissionStats admissionStats() const;
+
+    /**
+     * The admission headroom signal: worst per-shard recent p99
+     * (shardRecentPercentileNs) across the service — a windowed
+     * measure of what latency-critical clients currently experience,
+     * which recovers as the window ages out, unlike the cumulative
+     * distributions.
+     */
+    double interactiveHeadroomP99Ns() const;
+
+    /** Is the headroom signal below headroomFraction x the SLO? */
+    bool admissionHeadroom() const;
+    /**@}*/
+
+    /** @name Online backend retuning (thermal recalibration) */
+    /**@{*/
+    /**
+     * Retune @p backend in place: run @p reconfigure under the
+     * backend's lock (no fill in flight — e.g. a
+     * ThermalGovernor::setTemperature band switch), and if it
+     * returns true, flush every shard currently sourced from the
+     * backend and mark its chunk granularity stale. The flushed
+     * bytes span the recalibration (suspect): they are dropped
+     * unserved rather than mixed across calibrations, and the band
+     * switch may have changed the backend's iteration geometry, so
+     * the next refill re-resolves the chunk size. Returns the
+     * suspect bytes dropped (0 when @p reconfigure returned false).
+     */
+    size_t retuneBackend(size_t backend,
+                         const std::function<bool()> &reconfigure);
+
+    /** Flush-only form: unconditionally mark @p backend's buffered
+     * spans suspect and drop them. */
+    size_t markBackendSuspect(size_t backend);
+
+    /** Suspect bytes dropped by retuning so far (never served). */
+    uint64_t suspectBytesDropped() const
+    {
+        return suspectBytesDropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Size of the backend pool. */
+    size_t backendCount() const { return backends_.size(); }
+    /**@}*/
 
     /**
      * Move @p client to @p shard: its next request drains the new
@@ -552,9 +722,18 @@ class EntropyService
      * fill; served bytes always come from a servable bank. Returns
      * false when no servable bank could produce the bytes (the
      * request is denied). Without health monitoring a backend
-     * exception propagates to the caller as before.
+     * exception is retried (syncFillLegacyLocked) and then
+     * propagates to the caller as before.
      */
     bool syncFillLocked(Shard &shard, uint8_t *out, size_t need);
+
+    /**
+     * The health-off miss path: catch backend exceptions, count
+     * them, retry up to cfg.syncFillRetries times with bounded
+     * exponential backoff, then surface the last error.
+     */
+    bool syncFillLegacyLocked(Shard &shard, uint8_t *out,
+                              size_t need);
 
     /**
      * Deficit if the shard is at/below @p frac, rounded up to whole
@@ -605,10 +784,32 @@ class EntropyService
     std::atomic<uint64_t> unhealthyBytesDropped_{0};
     std::atomic<uint64_t> unhealthyBytesServed_{0};
     std::atomic<uint64_t> resourcings_{0};
+    std::atomic<uint64_t> suspectBytesDropped_{0};
 
     std::mutex clientsMutex_;
     std::vector<std::unique_ptr<Client::State>> clients_;
     size_t nextShard_ = 0;
+
+    /** One connect parked by admission control. */
+    struct PendingConnect
+    {
+        std::string name;
+        Priority priority = Priority::Bulk;
+        size_t shard = autoShard;
+        /** admissionTick() index before which no retry happens. */
+        uint64_t notBeforeTick = 0;
+        /** Current backoff (doubles per failed retry, bounded). */
+        uint32_t backoffTicks = 1;
+    };
+
+    /** Guards the admission queue and counters. Never held across
+     * connect() (clientsMutex_) or shard locks: the headroom probe
+     * runs before it is taken, and admit/admissionTick release it
+     * around the actual connect. */
+    mutable std::mutex admissionMutex_;
+    std::deque<PendingConnect> admissionQueue_;
+    uint64_t admissionTickIndex_ = 0;
+    AdmissionStats admissionStats_;
 
     std::atomic<uint64_t> requests_{0};
     std::atomic<uint64_t> hits_{0};

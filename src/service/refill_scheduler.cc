@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hh"
 
@@ -90,6 +91,11 @@ MultiChannelRefillScheduler::MultiChannelRefillScheduler(
     starved_.assign(placement_.shards(), 0);
     cooldownUntil_.assign(placement_.shards(), 0);
     channelTotals_.resize(channels);
+    channelDown_.assign(channels, 0);
+    failoverHome_.assign(placement_.shards(), npos_);
+    escalated_.assign(channels, 0);
+    if (cfg_.sloEscalation && cfg_.escalateSloNs <= 0.0)
+        fatal("escalation SLO must be > 0 ns");
 
     // One BusScheduler probe per channel timing; identical channels
     // share one simulation.
@@ -130,7 +136,37 @@ MultiChannelRefillScheduler::tick()
     std::vector<double> headroom_ns(channels, 0.0);
 
     for (size_t c = 0; c < channels; ++c) {
+        if (channelDown_[c]) {
+            // A failed channel models no usable window: no demand
+            // measurement, no grant, no refill. Time still passes
+            // (modeledNs) so rate metrics stay honest, and a zero
+            // grant ratio charges starved ticks to any shards still
+            // stranded on it (no servable channel was left to take
+            // them), keeping the starvation visible.
+            RefillAccounting down;
+            down.ticks = 1;
+            down.modeledNs = cfg_.tickNs;
+            channelTotals_[c].accumulate(down);
+            down.ticks = 0;
+            aggregate.accumulate(down);
+            grant_ratio[c] = 0.0;
+            headroom_ns[c] = -1.0; // never a rebalance destination
+            escalated_[c] = 0;
+            continue;
+        }
         double ns_per_byte = costs_[c].nsPerByte();
+
+        // SLO escalation: a channel whose clients measurably breach
+        // arbitrates this tick under rng-priority, reverting as soon
+        // as the breach clears.
+        sysperf::FairnessPolicy policy = policies_[c];
+        if (cfg_.sloEscalation) {
+            escalated_[c] = channelBreaching(c) ? 1 : 0;
+            if (escalated_[c]) {
+                policy = sysperf::FairnessPolicy::RngPriority;
+                ++escalatedTicks_;
+            }
+        }
 
         // What this channel's shards would actually pull
         // (chunk-rounded), and the part below the panic watermark
@@ -154,7 +190,7 @@ MultiChannelRefillScheduler::tick()
                                                tick_seed);
 
         sysperf::RefillGrant grant = sysperf::grantRefill(
-            activity, needed_ns, policies_[c], urgent_ns,
+            activity, needed_ns, policy, urgent_ns,
             cfg_.reentryOverheadNs);
 
         size_t budget_bytes = static_cast<size_t>(
@@ -290,7 +326,119 @@ sysperf::FairnessPolicy
 MultiChannelRefillScheduler::channelPolicy(size_t channel) const
 {
     QUAC_ASSERT(channel < policies_.size(), "channel=%zu", channel);
-    return policies_[channel];
+    return escalated_[channel]
+               ? sysperf::FairnessPolicy::RngPriority
+               : policies_[channel];
+}
+
+bool
+MultiChannelRefillScheduler::channelBreaching(size_t channel)
+{
+    for (size_t s : shardsOf_[channel]) {
+        if (service_.shardRecentP95Ns(s) <= cfg_.escalateSloNs)
+            continue;
+        // Breach without demand is stale history (e.g. the window
+        // has not aged out yet); escalating would steal demand
+        // bandwidth for nothing.
+        std::vector<size_t> probe{s};
+        if (service_.refillDemand(probe).bytes > 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+MultiChannelRefillScheduler::channelEscalated(size_t channel) const
+{
+    QUAC_ASSERT(channel < escalated_.size(), "channel=%zu", channel);
+    return escalated_[channel] != 0;
+}
+
+void
+MultiChannelRefillScheduler::failChannel(size_t channel)
+{
+    QUAC_ASSERT(channel < costs_.size(), "channel=%zu", channel);
+    if (channelDown_[channel])
+        return;
+    channelDown_[channel] = 1;
+    escalated_[channel] = 0;
+    // Count shards per servable channel once, then place the failed
+    // channel's shards one at a time onto the least-occupied one
+    // (ascending tie-break): deterministic, and spreads a big
+    // channel's load instead of dumping it on a single survivor.
+    std::vector<size_t> occupancy(costs_.size(), 0);
+    for (size_t s = 0; s < placement_.shards(); ++s)
+        ++occupancy[placement_.channelOfShard[s]];
+    for (size_t s = 0; s < placement_.shards(); ++s) {
+        if (placement_.channelOfShard[s] != channel)
+            continue;
+        size_t best = npos_;
+        size_t best_count = std::numeric_limits<size_t>::max();
+        for (size_t c = 0; c < costs_.size(); ++c) {
+            if (channelDown_[c])
+                continue;
+            if (occupancy[c] < best_count) {
+                best = c;
+                best_count = occupancy[c];
+            }
+        }
+        if (best == npos_)
+            continue; // every channel down: stay, starve visibly
+        // Remember the failure home only if the shard is not already
+        // displaced by an earlier (still unrecovered) failure.
+        if (failoverHome_[s] == npos_)
+            failoverHome_[s] = channel;
+        placement_.channelOfShard[s] = best;
+        --occupancy[channel];
+        ++occupancy[best];
+        starved_[s] = 0;
+        ++failovers_;
+    }
+    shardsOf_ = placement_.byChannel(costs_.size());
+}
+
+void
+MultiChannelRefillScheduler::recoverChannel(size_t channel)
+{
+    QUAC_ASSERT(channel < costs_.size(), "channel=%zu", channel);
+    if (!channelDown_[channel])
+        return;
+    channelDown_[channel] = 0;
+    // Shards displaced by THIS channel's failure return home; shards
+    // the rebalancer moved for its own reasons are its business and
+    // stay where it put them.
+    bool moved = false;
+    for (size_t s = 0; s < placement_.shards(); ++s) {
+        if (failoverHome_[s] != channel)
+            continue;
+        placement_.channelOfShard[s] = channel;
+        failoverHome_[s] = npos_;
+        starved_[s] = 0;
+        // Cooldown against an immediate rebalance bounce: give the
+        // recovered channel a window to prove itself.
+        cooldownUntil_[s] = tickIndex_ + cfg_.migrateCooldownTicks;
+        ++failbacks_;
+        moved = true;
+    }
+    if (moved)
+        shardsOf_ = placement_.byChannel(costs_.size());
+}
+
+bool
+MultiChannelRefillScheduler::channelFailed(size_t channel) const
+{
+    QUAC_ASSERT(channel < channelDown_.size(), "channel=%zu",
+                channel);
+    return channelDown_[channel] != 0;
+}
+
+size_t
+MultiChannelRefillScheduler::failedChannelCount() const
+{
+    size_t count = 0;
+    for (uint8_t down : channelDown_)
+        count += down;
+    return count;
 }
 
 uint32_t

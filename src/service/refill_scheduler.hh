@@ -118,6 +118,18 @@ struct MultiChannelRefillConfig
      * synchronous-fill rate (EntropyService latency model).
      */
     bool installLatencyCost = false;
+    /**
+     * SLO-driven policy escalation: while any of a channel's shards
+     * measurably breaches escalateSloNs (recent p95, with refill
+     * demand outstanding), the channel arbitrates its refill under
+     * rng-priority instead of its configured policy — buffer refill
+     * preempts demand traffic exactly while clients are hurting —
+     * and reverts the moment the breach clears. The closed-loop
+     * "drive channelPolicies from SLO state" control.
+     */
+    bool sloEscalation = false;
+    /** Recent shard p95 above this escalates the channel, in ns. */
+    double escalateSloNs = 2000.0;
 };
 
 /** Accounting of the refill loop, per tick and accumulated. */
@@ -209,12 +221,54 @@ class MultiChannelRefillScheduler
 
     size_t channels() const { return costs_.size(); }
 
-    /** Fairness policy channel @p channel arbitrates under. */
+    /** Fairness policy channel @p channel arbitrates under (the
+     * escalated policy while channelEscalated(channel)). */
     sysperf::FairnessPolicy channelPolicy(size_t channel) const;
+
+    /** @name Channel failure and recovery (scenario campaigns) */
+    /**@{*/
+    /**
+     * Take @p channel out of service: it grants nothing and refills
+     * nothing until recoverChannel(). Its shards re-place onto the
+     * servable channel currently refilling the fewest shards
+     * (ascending tie-break, deterministic) and remember this channel
+     * as their failover home. Placement only redirects whose granted
+     * time pays for a refill — every shard keeps draining its own
+     * backend stream, so the byte-exact replay invariant holds
+     * through the outage. With no servable channel left the shards
+     * stay put and starve visibly (starvedTicks). Idempotent.
+     */
+    void failChannel(size_t channel);
+
+    /**
+     * Return @p channel to service. Shards displaced *by its
+     * failure* (not by the rebalancer) return home, with a migration
+     * cooldown so the rebalancer does not immediately bounce them.
+     * Idempotent.
+     */
+    void recoverChannel(size_t channel);
+
+    bool channelFailed(size_t channel) const;
+    size_t failedChannelCount() const;
+    /** Shard re-placements forced by failChannel. */
+    uint64_t failovers() const { return failovers_; }
+    /** Failure-displaced shards returned home by recoverChannel. */
+    uint64_t failbacks() const { return failbacks_; }
+    /**@}*/
+
+    /** Is @p channel currently escalated to rng-priority? */
+    bool channelEscalated(size_t channel) const;
+
+    /** Channel-ticks spent escalated (sloEscalation). */
+    uint64_t escalatedTicks() const { return escalatedTicks_; }
 
   private:
     void rebalanceAfterTick(const std::vector<double> &grant_ratio,
                             const std::vector<double> &headroom_ns);
+
+    /** Escalation probe: does any shard of @p channel breach the
+     * escalation SLO with demand outstanding? */
+    bool channelBreaching(size_t channel);
 
     /** One starved tick for @p shard per cfg_.trigger? */
     bool shardStarvedThisTick(size_t shard,
@@ -234,6 +288,19 @@ class MultiChannelRefillScheduler
     RefillAccounting total_;
     uint64_t tickIndex_ = 0;
     uint64_t migrations_ = 0;
+
+    /** Channels currently failed (failChannel). */
+    std::vector<uint8_t> channelDown_;
+    /** Failure home of a displaced shard; npos_ while at home (or
+     * displaced only by the rebalancer). */
+    std::vector<size_t> failoverHome_;
+    /** Channels escalated to rng-priority this tick. */
+    std::vector<uint8_t> escalated_;
+    uint64_t failovers_ = 0;
+    uint64_t failbacks_ = 0;
+    uint64_t escalatedTicks_ = 0;
+
+    static constexpr size_t npos_ = ~size_t{0};
 };
 
 /** Single-channel refill-loop configuration (legacy front-end). */

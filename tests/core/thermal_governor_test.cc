@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for online temperature recalibration: the governor's band
+ * tracking, column-set installation into a live generator without
+ * re-setup, generation continuity across switches, and validation of
+ * both the governor config and QuacTrng::applyColumnRanges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hh"
+#include "core/thermal_governor.hh"
+#include "core/trng.hh"
+
+namespace quac::core
+{
+namespace
+{
+
+dram::ModuleSpec
+testSpec(uint64_t seed = 2021)
+{
+    dram::ModuleSpec spec;
+    spec.geometry = dram::Geometry::testScale();
+    spec.seed = seed;
+    return spec;
+}
+
+QuacTrngConfig
+testConfig()
+{
+    QuacTrngConfig cfg;
+    cfg.banks = {0, 1};
+    cfg.characterizeStride = 1;
+    // Reduced test geometry: scale the per-block entropy target so
+    // a segment still yields multiple blocks (see trng_test.cc).
+    cfg.sibEntropyTarget = 24.0;
+    cfg.threads = 2;
+    return cfg;
+}
+
+ThermalGovernorConfig
+governorConfig(unsigned bands = 4)
+{
+    ThermalGovernorConfig cfg;
+    cfg.minC = 30.0;
+    cfg.maxC = 90.0;
+    cfg.bands = bands;
+    return cfg;
+}
+
+TEST(ThermalGovernor, BuildsOneTablePerPlanAndRunsSetup)
+{
+    dram::DramModule module(testSpec());
+    QuacTrng trng(module, testConfig());
+    ASSERT_FALSE(trng.ready());
+
+    ThermalGovernor governor(module, trng, governorConfig());
+    EXPECT_TRUE(trng.ready()) << "governor must set the trng up";
+    ASSERT_EQ(governor.tables().size(), trng.plans().size());
+    EXPECT_EQ(governor.bandCount(), 4u);
+    for (const TemperatureTable &table : governor.tables())
+        EXPECT_EQ(table.bandCount(), 4u);
+    // Starts in the band covering the module's current temperature.
+    size_t band = governor.bandIndex();
+    const TemperatureBand &covering =
+        governor.tables()[0].bands()[band];
+    EXPECT_LE(covering.minC, module.temperature());
+    EXPECT_GT(covering.maxC, module.temperature());
+}
+
+TEST(ThermalGovernor, DriftInsideOneBandNeverSwitches)
+{
+    dram::DramModule module(testSpec());
+    QuacTrng trng(module, testConfig());
+    ThermalGovernor governor(module, trng, governorConfig(2));
+    // Bands: [30, 60), [60, 90). Wander inside the first.
+    ASSERT_TRUE(governor.setTemperature(35.0) == false ||
+                governor.bandIndex() == 0);
+    for (double t : {31.0, 44.5, 59.0, 35.0}) {
+        EXPECT_FALSE(governor.setTemperature(t)) << t;
+        EXPECT_DOUBLE_EQ(governor.temperature(), t);
+    }
+    EXPECT_EQ(governor.bandSwitches(), 0u);
+}
+
+TEST(ThermalGovernor, CrossingBandEdgeSwitchesAndKeepsGenerating)
+{
+    dram::DramModule module(testSpec());
+    QuacTrng trng(module, testConfig());
+    ThermalGovernor governor(module, trng, governorConfig(2));
+    governor.setTemperature(40.0);
+    ASSERT_EQ(governor.bandIndex(), 0u);
+
+    std::vector<uint8_t> before = trng.generate(128);
+
+    EXPECT_TRUE(governor.setTemperature(80.0));
+    EXPECT_EQ(governor.bandIndex(), 1u);
+    EXPECT_EQ(governor.bandSwitches(), 1u);
+    // The live generator now runs the hot band's ranges, with no
+    // re-setup: it keeps serving bytes.
+    EXPECT_TRUE(trng.ready());
+    std::vector<uint8_t> after = trng.generate(128);
+    EXPECT_NE(before, after);
+
+    // The installed geometry matches the hot band's range count.
+    size_t expected = 0;
+    for (const TemperatureTable &table : governor.tables())
+        expected += table.bands()[1].ranges.size() * 32;
+    EXPECT_EQ(trng.bytesPerIteration(), expected);
+}
+
+TEST(ThermalGovernor, SwitchBackRestoresColdGeometry)
+{
+    dram::DramModule module(testSpec());
+    QuacTrng trng(module, testConfig());
+    ThermalGovernor governor(module, trng, governorConfig(2));
+    governor.setTemperature(40.0);
+    size_t cold_bytes = trng.bytesPerIteration();
+
+    ASSERT_TRUE(governor.setTemperature(80.0));
+    ASSERT_TRUE(governor.setTemperature(40.0));
+    EXPECT_EQ(governor.bandSwitches(), 2u);
+    EXPECT_EQ(governor.bandIndex(), 0u);
+    EXPECT_EQ(trng.bytesPerIteration(), cold_bytes);
+}
+
+TEST(ThermalGovernor, TemperaturesBeyondRangeClampToEdgeBands)
+{
+    dram::DramModule module(testSpec());
+    QuacTrng trng(module, testConfig());
+    ThermalGovernor governor(module, trng, governorConfig(3));
+    // Inside the module's physical range but outside the table's
+    // [30, 90) coverage: clamp to the edge bands.
+    governor.setTemperature(10.0);
+    EXPECT_EQ(governor.bandIndex(), 0u);
+    governor.setTemperature(120.0);
+    EXPECT_EQ(governor.bandIndex(), 2u);
+}
+
+TEST(ThermalGovernor, ConfigValidated)
+{
+    dram::DramModule module(testSpec());
+    QuacTrng trng(module, testConfig());
+    ThermalGovernorConfig cfg = governorConfig();
+    cfg.bands = 0;
+    EXPECT_THROW(ThermalGovernor(module, trng, cfg), FatalError);
+    cfg = governorConfig();
+    cfg.minC = 90.0; // !(minC < maxC)
+    EXPECT_THROW(ThermalGovernor(module, trng, cfg), FatalError);
+}
+
+TEST(ThermalGovernor, ApplyColumnRangesValidatesShape)
+{
+    dram::DramModule module(testSpec());
+    QuacTrng trng(module, testConfig());
+    trng.setup();
+    const dram::Geometry &geom = module.geometry();
+
+    // Wrong plan count.
+    EXPECT_THROW(trng.applyColumnRanges({}), FatalError);
+    // Empty per-plan range list.
+    std::vector<std::vector<ColumnRange>> empty_plan(2);
+    empty_plan[0] = trng.plans()[0].ranges;
+    EXPECT_THROW(trng.applyColumnRanges(empty_plan), FatalError);
+    // Out-of-geometry column.
+    std::vector<std::vector<ColumnRange>> bad(2);
+    bad[0] = trng.plans()[0].ranges;
+    bad[1] = trng.plans()[1].ranges;
+    bad[1][0].beginColumn = 0;
+    bad[1][0].endColumn =
+        static_cast<uint32_t>(geom.cacheBlocksPerRow()) + 1;
+    EXPECT_THROW(trng.applyColumnRanges(bad), FatalError);
+    // The failed installs never corrupted the generator.
+    EXPECT_EQ(trng.generate(64).size(), 64u);
+}
+
+TEST(ThermalGovernor, ApplyColumnRangesDiscardsBufferedIteration)
+{
+    // A partial buffered iteration must not leak across a retune:
+    // two generators, one retuned to its own current ranges
+    // mid-stream, must agree from the retune point only if the
+    // buffer was discarded deterministically — i.e. the retuned one
+    // restarts at an iteration boundary.
+    dram::DramModule module_a(testSpec(7));
+    dram::DramModule module_b(testSpec(7));
+    QuacTrng trng_a(module_a, testConfig());
+    QuacTrng trng_b(module_b, testConfig());
+    trng_a.setup();
+    trng_b.setup();
+
+    size_t iteration = trng_a.bytesPerIteration();
+    ASSERT_GT(iteration, 16u);
+    ASSERT_EQ(trng_a.generate(16), trng_b.generate(16));
+
+    // Reinstall a's current ranges: geometry identical, but the
+    // partial iteration is discarded; b keeps its buffer.
+    std::vector<std::vector<ColumnRange>> same;
+    for (const auto &plan : trng_a.plans())
+        same.push_back(plan.ranges);
+    trng_a.applyColumnRanges(same);
+
+    std::vector<uint8_t> next_a = trng_a.generate(iteration);
+    std::vector<uint8_t> next_b = trng_b.generate(iteration);
+    // a restarted at a fresh iteration; b served the buffered tail
+    // first — the streams legitimately diverge, which is exactly why
+    // the service flushes shard buffers on retune.
+    EXPECT_NE(next_a, next_b);
+}
+
+} // anonymous namespace
+} // namespace quac::core

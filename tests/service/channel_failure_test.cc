@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for channel-level failure handling in the multi-channel
+ * refill scheduler: failover placement onto the least-occupied
+ * servable channel, failback home on recovery, the failed channel's
+ * tick accounting, byte-exact healthy replay across an outage, and
+ * SLO-driven per-channel policy escalation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "core/fault_injection.hh"
+#include "service/entropy_service.hh"
+#include "service/refill_scheduler.hh"
+#include "sysperf/workloads.hh"
+
+namespace quac::service
+{
+namespace
+{
+
+/** Service with one distinct-stream backend per shard. */
+struct Harness
+{
+    std::vector<std::unique_ptr<core::SoftwareTrng>> backends;
+    std::vector<core::Trng *> pool;
+    std::unique_ptr<EntropyService> service;
+
+    explicit Harness(size_t shards, size_t capacity = 1 << 12)
+    {
+        for (size_t i = 0; i < shards; ++i) {
+            backends.push_back(std::make_unique<core::SoftwareTrng>(
+                1000 + i, "bank" + std::to_string(i)));
+            pool.push_back(backends.back().get());
+        }
+        EntropyServiceConfig cfg;
+        cfg.shards = shards;
+        cfg.shardCapacityBytes = capacity;
+        cfg.refillWatermark = 1.0;
+        service = std::make_unique<EntropyService>(pool, cfg);
+    }
+};
+
+MultiChannelRefillConfig
+idleConfig(unsigned channels)
+{
+    MultiChannelRefillConfig cfg;
+    cfg.topology.channels = channels;
+    cfg.policy = sysperf::FairnessPolicy::Fcfs;
+    cfg.tickNs = 1.0e5;
+    cfg.seed = 17;
+    return cfg;
+}
+
+std::vector<sysperf::WorkloadProfile>
+idleTraffic(unsigned channels)
+{
+    return std::vector<sysperf::WorkloadProfile>(
+        channels, {"idle", 0.0, 100.0});
+}
+
+TEST(ChannelFail, FailoverMovesShardsToLeastOccupiedChannel)
+{
+    Harness harness(6);
+    MultiChannelRefillScheduler scheduler(
+        *harness.service, idleTraffic(3), idleConfig(3));
+    // Round-robin: channel 0 = {0,3}, 1 = {1,4}, 2 = {2,5}.
+    scheduler.failChannel(0);
+
+    EXPECT_TRUE(scheduler.channelFailed(0));
+    EXPECT_EQ(scheduler.failedChannelCount(), 1u);
+    EXPECT_EQ(scheduler.failovers(), 2u);
+    // Least-occupied with ascending tie-break: shard 0 to channel 1
+    // (2 vs 2, tie -> 1), shard 3 to channel 2 (3 vs 2).
+    EXPECT_EQ(scheduler.placement().channelOfShard[0], 1u);
+    EXPECT_EQ(scheduler.placement().channelOfShard[3], 2u);
+    // The other shards never move.
+    EXPECT_EQ(scheduler.placement().channelOfShard[1], 1u);
+    EXPECT_EQ(scheduler.placement().channelOfShard[2], 2u);
+
+    // Idempotent: a second failure report is a no-op.
+    scheduler.failChannel(0);
+    EXPECT_EQ(scheduler.failovers(), 2u);
+}
+
+TEST(ChannelFail, RecoveryReturnsDisplacedShardsHome)
+{
+    Harness harness(4);
+    MultiChannelRefillScheduler scheduler(
+        *harness.service, idleTraffic(2), idleConfig(2));
+    scheduler.failChannel(0);
+    ASSERT_EQ(scheduler.placement().channelOfShard[0], 1u);
+    ASSERT_EQ(scheduler.placement().channelOfShard[2], 1u);
+
+    scheduler.recoverChannel(0);
+    EXPECT_FALSE(scheduler.channelFailed(0));
+    EXPECT_EQ(scheduler.failedChannelCount(), 0u);
+    EXPECT_EQ(scheduler.failbacks(), 2u);
+    EXPECT_EQ(scheduler.placement().channelOfShard[0], 0u);
+    EXPECT_EQ(scheduler.placement().channelOfShard[2], 0u);
+
+    // Idempotent recovery.
+    scheduler.recoverChannel(0);
+    EXPECT_EQ(scheduler.failbacks(), 2u);
+}
+
+TEST(ChannelFail, ShardsKeepFillingThroughAnOutage)
+{
+    Harness harness(4);
+    MultiChannelRefillScheduler scheduler(
+        *harness.service, idleTraffic(2), idleConfig(2));
+    scheduler.failChannel(0);
+    scheduler.run(20);
+
+    // The surviving channel carries every shard to full.
+    for (size_t s = 0; s < 4; ++s)
+        EXPECT_EQ(harness.service->level(s), size_t{1} << 12) << s;
+    // The failed channel modelled time but granted nothing.
+    EXPECT_EQ(scheduler.channelTotal(0).ticks, 20u);
+    EXPECT_DOUBLE_EQ(scheduler.channelTotal(0).grantedNs, 0.0);
+    EXPECT_EQ(scheduler.channelTotal(0).bytesRefilled, 0u);
+    EXPECT_GT(scheduler.channelTotal(1).bytesRefilled, 0u);
+}
+
+TEST(ChannelFail, AllChannelsDownShardsStayAndStarveVisibly)
+{
+    Harness harness(2);
+    MultiChannelRefillScheduler scheduler(
+        *harness.service, idleTraffic(2), idleConfig(2));
+    scheduler.failChannel(0);
+    scheduler.failChannel(1);
+    EXPECT_EQ(scheduler.failedChannelCount(), 2u);
+    // Nowhere to go: placements unchanged, no phantom failovers for
+    // the second channel's shards.
+    EXPECT_EQ(scheduler.placement().channelOfShard[1], 1u);
+
+    scheduler.run(5);
+    for (size_t s = 0; s < 2; ++s)
+        EXPECT_EQ(harness.service->level(s), 0u) << s;
+
+    scheduler.recoverChannel(0);
+    scheduler.recoverChannel(1);
+    scheduler.run(10);
+    for (size_t s = 0; s < 2; ++s)
+        EXPECT_EQ(harness.service->level(s), size_t{1} << 12) << s;
+}
+
+TEST(ChannelFail, SecondFailureKeepsOriginalHome)
+{
+    Harness harness(6);
+    MultiChannelRefillScheduler scheduler(
+        *harness.service, idleTraffic(3), idleConfig(3));
+    scheduler.failChannel(0); // shard 0 -> channel 1
+    ASSERT_EQ(scheduler.placement().channelOfShard[0], 1u);
+    scheduler.failChannel(1); // shard 0 displaced again -> channel 2
+    EXPECT_EQ(scheduler.placement().channelOfShard[0], 2u);
+
+    // Recovering the intermediate host does NOT reclaim shard 0:
+    // its failure home is channel 0.
+    scheduler.recoverChannel(1);
+    EXPECT_EQ(scheduler.placement().channelOfShard[0], 2u);
+    scheduler.recoverChannel(0);
+    EXPECT_EQ(scheduler.placement().channelOfShard[0], 0u);
+}
+
+TEST(ChannelFail, ByteExactReplayAcrossOutageAndRecovery)
+{
+    // The standing invariant: an outage changes WHEN bytes are
+    // refilled, never WHICH bytes a shard serves. Run the same
+    // request schedule with and without a fail/recover cycle and
+    // demand identical streams.
+    auto serve = [](bool outage) {
+        Harness harness(4, 1 << 10);
+        MultiChannelRefillScheduler scheduler(
+            *harness.service, idleTraffic(2), idleConfig(2));
+        std::vector<EntropyService::Client> clients;
+        for (size_t s = 0; s < 4; ++s) {
+            clients.push_back(harness.service->connect(
+                "c" + std::to_string(s), Priority::Standard, s));
+        }
+        std::vector<std::vector<uint8_t>> streams(4);
+        auto pull = [&](size_t bytes) {
+            for (size_t s = 0; s < 4; ++s) {
+                std::vector<uint8_t> got = clients[s].request(bytes);
+                streams[s].insert(streams[s].end(), got.begin(),
+                                  got.end());
+            }
+        };
+        scheduler.run(3);
+        pull(512);
+        if (outage)
+            scheduler.failChannel(0);
+        scheduler.run(5);
+        pull(1536); // spans buffer + synchronous backend continuation
+        if (outage)
+            scheduler.recoverChannel(0);
+        scheduler.run(5);
+        pull(512);
+        return streams;
+    };
+
+    std::vector<std::vector<uint8_t>> healthy = serve(false);
+    std::vector<std::vector<uint8_t>> failed = serve(true);
+    for (size_t s = 0; s < 4; ++s) {
+        ASSERT_EQ(healthy[s].size(), failed[s].size()) << s;
+        EXPECT_EQ(healthy[s], failed[s]) << "shard " << s;
+    }
+}
+
+TEST(ChannelFail, SloBreachEscalatesChannelPolicyWhileItLasts)
+{
+    Harness harness(2, 1 << 10);
+    MultiChannelRefillConfig cfg = idleConfig(2);
+    cfg.sloEscalation = true;
+    cfg.escalateSloNs = 100.0;
+    MultiChannelRefillScheduler scheduler(
+        *harness.service, idleTraffic(2), cfg);
+    ASSERT_EQ(scheduler.channelPolicy(0),
+              sysperf::FairnessPolicy::Fcfs);
+
+    // Shard 0 (channel 0) records miss-priced tail latencies far
+    // above the 100 ns SLO, and its empty buffer is demand.
+    EntropyService::Client client =
+        harness.service->connect("victim", Priority::Interactive, 0);
+    std::vector<uint8_t> out(256);
+    for (int i = 0; i < 4; ++i)
+        client.requestAt(out.data(), out.size(), 0.0);
+    ASSERT_GT(harness.service->shardRecentP95Ns(0), 100.0);
+
+    scheduler.run(1);
+    EXPECT_TRUE(scheduler.channelEscalated(0));
+    EXPECT_FALSE(scheduler.channelEscalated(1));
+    EXPECT_EQ(scheduler.channelPolicy(0),
+              sysperf::FairnessPolicy::RngPriority);
+    EXPECT_EQ(scheduler.channelPolicy(1),
+              sysperf::FairnessPolicy::Fcfs);
+    EXPECT_GE(scheduler.escalatedTicks(), 1u);
+
+    // Once the shard's demand is refilled away the breach no longer
+    // has demand behind it: the escalation stands down.
+    scheduler.run(20);
+    ASSERT_EQ(harness.service->level(0), size_t{1} << 10);
+    scheduler.run(1);
+    EXPECT_FALSE(scheduler.channelEscalated(0));
+    EXPECT_EQ(scheduler.channelPolicy(0),
+              sysperf::FairnessPolicy::Fcfs);
+}
+
+TEST(ChannelFail, EscalationConfigValidated)
+{
+    Harness harness(2);
+    MultiChannelRefillConfig cfg = idleConfig(2);
+    cfg.sloEscalation = true;
+    cfg.escalateSloNs = 0.0;
+    EXPECT_THROW(MultiChannelRefillScheduler(*harness.service,
+                                             idleTraffic(2), cfg),
+                 FatalError);
+}
+
+} // anonymous namespace
+} // namespace quac::service

@@ -469,5 +469,120 @@ TEST(ServiceHealth, AutoRefillThreadSurvivesThrowingBackend)
     EXPECT_GE(svc.healthStats().refillFailures, 3u);
 }
 
+// -------------------------------------- legacy sync-fill retries
+
+TEST(ServiceHealth, SyncFillRetryServesThroughTransientFault)
+{
+    // Health off, a transient ReadFailure window at the head of the
+    // stream: the first synchronous attempt throws (and advances the
+    // stream past the fault), the bounded retry serves the bytes —
+    // the caller never sees the blip.
+    core::SoftwareTrng inner(46);
+    core::FaultInjectedTrng bank0(
+        inner, core::FaultSpec::parse("0:fail:0:64"));
+    EntropyServiceConfig cfg = testServiceConfig(1, false);
+    cfg.syncFillBackoff = std::chrono::microseconds(0);
+    EntropyService svc({&bank0}, cfg);
+
+    EntropyService::Client client =
+        svc.connect("c", Priority::Standard, 0);
+    std::vector<uint8_t> got = client.request(64);
+    ASSERT_EQ(got.size(), 64u);
+    EXPECT_EQ(svc.healthStats().refillFailures, 1u);
+    EXPECT_EQ(client.stats().denials, 0u);
+
+    // The failed attempt advanced the fault-window position but
+    // never consumed the inner stream: the retry serves the inner
+    // stream from its head.
+    core::SoftwareTrng reference(46);
+    EXPECT_EQ(got, reference.generate(64));
+}
+
+TEST(ServiceHealth, SyncFillRetriesExhaustOnPersistentFault)
+{
+    // A fault outliving the retry budget still surfaces, with every
+    // attempt counted.
+    core::SoftwareTrng inner(47);
+    core::FaultInjectedTrng bank0(
+        inner, core::FaultSpec::parse("0:fail:0:0"));
+    EntropyServiceConfig cfg = testServiceConfig(1, false);
+    cfg.syncFillRetries = 2;
+    cfg.syncFillBackoff = std::chrono::microseconds(0);
+    EntropyService svc({&bank0}, cfg);
+
+    EntropyService::Client client =
+        svc.connect("c", Priority::Standard, 0);
+    std::vector<uint8_t> out(32);
+    EXPECT_THROW(client.request(out.data(), out.size()),
+                 core::TransientReadError);
+    EXPECT_EQ(svc.healthStats().refillFailures, 3u)
+        << "initial attempt + 2 retries";
+}
+
+TEST(ServiceHealth, SyncFillRetryDisabledSurfacesImmediately)
+{
+    core::SoftwareTrng inner(48);
+    core::FaultInjectedTrng bank0(
+        inner, core::FaultSpec::parse("0:fail:0:64"));
+    EntropyServiceConfig cfg = testServiceConfig(1, false);
+    cfg.syncFillRetries = 0;
+    EntropyService svc({&bank0}, cfg);
+
+    EntropyService::Client client =
+        svc.connect("c", Priority::Standard, 0);
+    std::vector<uint8_t> out(32);
+    EXPECT_THROW(client.request(out.data(), out.size()),
+                 core::TransientReadError);
+    EXPECT_EQ(svc.healthStats().refillFailures, 1u);
+}
+
+// ------------------------------- migration vs. quarantine racing
+
+TEST(ServiceHealth, MigrateClientRacesQuarantineResource)
+{
+    // A client bouncing between shards while the health machinery
+    // quarantines a bank and re-sources its shard (epoch bump + lazy
+    // revalidation): requests must keep serving from servable banks
+    // only, with the unhealthy-bytes tripwire at zero throughout.
+    core::SoftwareTrng bank0(51);
+    core::SoftwareTrng bank1_inner(52);
+    core::SoftwareTrng bank2(53);
+    core::SoftwareTrng bank3(54);
+    core::FaultInjectedTrng bank1(
+        bank1_inner, core::FaultSpec::parse("1:bias:0:16384:0.95"),
+        9);
+    EntropyService svc({&bank0, &bank1, &bank2, &bank3},
+                       testServiceConfig(2, true));
+    svc.refillBelowWatermark();
+
+    EntropyService::Client client =
+        svc.connect("mover", Priority::Standard, 1);
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> served{0};
+    std::thread requester([&]() {
+        std::vector<uint8_t> out(48);
+        for (int i = 0; i < 1500; ++i) {
+            RequestResult r = client.request(out.data(), out.size());
+            served.fetch_add(r.bytes, std::memory_order_relaxed);
+        }
+        done.store(true, std::memory_order_release);
+    });
+
+    int round = 0;
+    while (!done.load(std::memory_order_acquire) || round < 200) {
+        svc.healthTick();
+        svc.refillBelowWatermark();
+        svc.migrateClient(client, round % 2);
+        ++round;
+    }
+    requester.join();
+
+    EXPECT_GT(served.load(), 0u);
+    EXPECT_GE(svc.healthStats().quarantines, 1u);
+    EXPECT_GE(svc.healthStats().shardResourcings, 1u);
+    EXPECT_EQ(svc.healthStats().unhealthyBytesServed, 0u);
+    EXPECT_GE(client.stats().migrations, 100u);
+}
+
 } // anonymous namespace
 } // namespace quac::service
