@@ -280,8 +280,8 @@ QuacTrng::initSegment(const BankPlan &plan, softmc::SoftMcHost &host)
     }
 }
 
-void
-QuacTrng::executePlan(size_t plan_index, uint8_t *out)
+size_t
+QuacTrng::readPlanRaw(size_t plan_index)
 {
     const BankPlan &plan = plans_[plan_index];
     softmc::SoftMcHost &host = hosts_[plan_index];
@@ -290,24 +290,81 @@ QuacTrng::executePlan(size_t plan_index, uint8_t *out)
     initSegment(plan, host);
     host.quac(plan.bank, plan.segment);
 
+    // Every SIB range lands back to back in the scratch row (their
+    // total width never exceeds one row); hashing happens after the
+    // bank is closed, which leaves the command stream unchanged (the
+    // cursor only advances on commands and waits, never on hashing).
     uint64_t *words = scratch_[plan_index].data();
+    size_t offset = 0;
     for (const ColumnRange &range : plan.ranges) {
         size_t nwords =
             (range.endColumn - range.beginColumn) * block_words;
         host.readColumns(plan.bank, range.beginColumn, range.endColumn,
-                         words);
-        if (cfg_.useSha) {
+                         words + offset);
+        offset += nwords;
+    }
+    host.preObeyed(plan.bank);
+    return offset;
+}
+
+void
+QuacTrng::hashPlanInto(size_t plan_index, uint8_t *out)
+{
+    const BankPlan &plan = plans_[plan_index];
+    const size_t block_words = module_.geometry().cacheBlockBits / 64;
+    const uint64_t *words = scratch_[plan_index].data();
+
+    if constexpr (std::endian::native == std::endian::little) {
+        // The scratch words are already in wire (little-endian byte)
+        // order: hash the plan's SIBs as one interleaved batch.
+        std::array<Sha256::Job, 8> jobs;
+        std::array<Sha256::Digest, 8> digests;
+        size_t offset = 0;
+        size_t done = 0;
+        while (done < plan.ranges.size()) {
+            size_t batch =
+                std::min(jobs.size(), plan.ranges.size() - done);
+            for (size_t j = 0; j < batch; ++j) {
+                const ColumnRange &range = plan.ranges[done + j];
+                size_t nwords =
+                    (range.endColumn - range.beginColumn) *
+                    block_words;
+                jobs[j] = {reinterpret_cast<const uint8_t *>(words) +
+                               offset * 8,
+                           nwords * 8};
+                offset += nwords;
+            }
+            Sha256::hashBatch(jobs.data(), batch, digests.data());
+            for (size_t j = 0; j < batch; ++j) {
+                std::memcpy(out, digests[j].data(),
+                            digests[j].size());
+                out += digests[j].size();
+            }
+            done += batch;
+        }
+    } else {
+        for (const ColumnRange &range : plan.ranges) {
+            size_t nwords =
+                (range.endColumn - range.beginColumn) * block_words;
             Sha256 sha;
             shaUpdateWords(sha, words, nwords);
+            words += nwords;
             Sha256::Digest digest = sha.finish();
             std::memcpy(out, digest.data(), digest.size());
             out += digest.size();
-        } else {
-            copyWordBytes(out, words, nwords);
-            out += nwords * 8;
         }
     }
-    host.preObeyed(plan.bank);
+}
+
+void
+QuacTrng::executePlan(size_t plan_index, uint8_t *out)
+{
+    size_t nwords = readPlanRaw(plan_index);
+    if (cfg_.useSha) {
+        hashPlanInto(plan_index, out);
+    } else {
+        copyWordBytes(out, scratch_[plan_index].data(), nwords);
+    }
 }
 
 void
@@ -319,6 +376,43 @@ QuacTrng::runIterationsInto(uint8_t *out, size_t count)
             for (size_t k = 0; k < count; ++k)
                 executePlan(i, out + k * iter_bytes + planOffsets_[i]);
         }, cfg_.bankThreads);
+    } else if (cfg_.useSha && plans_.size() > 1 &&
+               std::endian::native == std::endian::little) {
+        // Serial pipeline: drive every bank's commands first, then
+        // hash ALL the iteration's SIBs as one batch, so the
+        // interleaved message schedule gets the four banks' blocks
+        // as its four lanes.
+        const size_t block_words =
+            module_.geometry().cacheBlockBits / 64;
+        std::vector<Sha256::Job> jobs;
+        std::vector<Sha256::Digest> digests;
+        std::vector<uint8_t *> dests;
+        for (size_t k = 0; k < count; ++k) {
+            jobs.clear();
+            dests.clear();
+            for (size_t i = 0; i < plans_.size(); ++i) {
+                readPlanRaw(i);
+                const uint8_t *bytes =
+                    reinterpret_cast<const uint8_t *>(
+                        scratch_[i].data());
+                uint8_t *dst =
+                    out + k * iter_bytes + planOffsets_[i];
+                for (const ColumnRange &range : plans_[i].ranges) {
+                    size_t nbytes = (range.endColumn -
+                                     range.beginColumn) *
+                                    block_words * 8;
+                    jobs.push_back({bytes, nbytes});
+                    dests.push_back(dst);
+                    bytes += nbytes;
+                    dst += 32;
+                }
+            }
+            digests.resize(jobs.size());
+            Sha256::hashBatch(jobs.data(), jobs.size(),
+                              digests.data());
+            for (size_t j = 0; j < jobs.size(); ++j)
+                std::memcpy(dests[j], digests[j].data(), 32);
+        }
     } else {
         for (size_t k = 0; k < count; ++k) {
             for (size_t i = 0; i < plans_.size(); ++i)

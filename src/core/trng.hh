@@ -179,6 +179,17 @@ class QuacTrng : public Trng
     void runIterationsInto(uint8_t *out, size_t count);
     /** Init + QUAC + reads + hash of one plan, into its output slice. */
     void executePlan(size_t plan_index, uint8_t *out);
+    /**
+     * The DRAM half of executePlan(): init + QUAC + read every SIB
+     * range back to back into the plan's scratch row. Returns the
+     * word count read.
+     */
+    size_t readPlanRaw(size_t plan_index);
+    /**
+     * The hashing half: whiten the scratch row's SIBs into @p out,
+     * batching them through the interleaved SHA-256 lanes.
+     */
+    void hashPlanInto(size_t plan_index, uint8_t *out);
     void initSegment(const BankPlan &plan, softmc::SoftMcHost &host);
 
     dram::DramModule &module_;

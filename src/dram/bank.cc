@@ -118,11 +118,25 @@ Bank::Bank(const BankContext *ctx, uint32_t bank_id, uint64_t noise_seed)
 std::vector<uint64_t> &
 Bank::rowStorage(uint32_t row)
 {
+    // Handing out a mutable reference invalidates the row's cached
+    // content digest (this is the only mutation path into rows_).
+    rowDigests_.erase(row);
     auto it = rows_.find(row);
     if (it == rows_.end()) {
         it = rows_.emplace(row,
                            std::vector<uint64_t>(ctx_->geom->wordsPerRow(),
                                                  0)).first;
+    }
+    return it->second;
+}
+
+uint64_t
+Bank::rowDigest(uint32_t row, const std::vector<uint64_t> &words) const
+{
+    auto it = rowDigests_.find(row);
+    if (it == rowDigests_.end()) {
+        it = rowDigests_.emplace(row, fnvMixWords(fnvBasis, words))
+                 .first;
     }
     return it->second;
 }
@@ -223,6 +237,7 @@ Bank::activate(uint32_t row, double t)
             pending_.contribs.push_back({row, cal.singleRowKickMv});
             pending_.residAmpMv = resid_amp;
             pending_.residBits = preResidBits_;
+            pending_.residDigest = preResidDigest_;
         } else {
             pending_.contribs.push_back({row, cal.singleRowShareMv});
         }
@@ -253,6 +268,7 @@ Bank::precharge(double t)
             double share = 1.0 - std::exp(-std::max(elapsed, 0.0) / 2.0);
             preResidAmpMv_ = cal.singleRowKickMv * share;
             preResidBits_ = peekRow(firstActRow_);
+            preResidDigest_ = fnvMixWords(fnvBasis, preResidBits_);
             saLatched_ = false;
         }
     }
@@ -263,6 +279,7 @@ Bank::precharge(double t)
         writeBackToOpenRows();
         preResidAmpMv_ = cal.railMv;
         preResidBits_ = sa_;
+        preResidDigest_ = fnvMixWords(fnvBasis, preResidBits_);
     }
 
     preTime_ = t;
@@ -339,10 +356,14 @@ Bank::resolveSense(double t)
     if (normal_single) {
         // Obeyed-timing activation: guardbanded sensing never fails.
         sa_ = peekRow(pending_.contribs[0].row);
+    } else if (residRaceSaturated(develop)) {
+        // Residual-dominated race (the TRNG's RowClone init copies):
+        // resolved straight from the residual bits — no probability
+        // row, no cache-key hashing, no draws.
     } else {
         uint64_t key = probCacheKey(pending_.contribs,
-                                    pending_.residBits.empty()
-                                        ? nullptr : &pending_.residBits,
+                                    !pending_.residBits.empty(),
+                                    pending_.residDigest,
                                     pending_.residAmpMv, develop);
         auto it = probCache_.find(key);
         bool fresh = it == probCache_.end();
@@ -394,6 +415,76 @@ Bank::resolveSense(double t)
     pending_.active = false;
     phase_ = Phase::Open;
     writeBackToOpenRows();
+}
+
+bool
+Bank::residRaceSaturated(double develop)
+{
+    if (!ctx_->fastSense || !ctx_->saturationFastPath)
+        return false;
+    if (pending_.contribs.size() != 1 || pending_.residBits.empty())
+        return false;
+
+    const Calibration &cal = *ctx_->cal;
+    const VariationModel &var = *ctx_->variation;
+    const Geometry &geom = *ctx_->geom;
+    const Contribution &contrib = pending_.contribs[0];
+    uint32_t nbits = geom.bitlinesPerRow;
+
+    double sigma = var.noiseSigmaMv(ctx_->temperatureC) +
+                   cal.raceNoiseMv * (1.0 - develop);
+    // Cheap pre-filter before touching the oracle rows: the bound
+    // below only tightens, so a residual that cannot even clear
+    // saturationZ sigma on its own never saturates.
+    if (pending_.residAmpMv < saturationZ * sigma)
+        return false;
+
+    double max_off;
+    double max_cap;
+    if (ctx_->oracleCache) {
+        offsetRow(contrib.row); // refresh/insert the cached entry
+        max_off = offsetRowMaxAbs(contrib.row);
+        // Evict here, not in capRow() (same single-caller contract
+        // as computeProbabilities): no live cache pointers are held.
+        if (capCache_.size() >= capCacheCapacity)
+            evictColdEntries(capCache_);
+        capRow(contrib.row);
+        max_cap = capRowMaxAbs(contrib.row);
+    } else {
+        computeOffsetRow(contrib.row, offsetScratch_);
+        max_off = 0.0;
+        for (double off : offsetScratch_)
+            max_off = std::max(max_off, std::fabs(off));
+        computeCapRow(contrib.row, capScratch_);
+        max_cap = 0.0;
+        for (double cap : capScratch_)
+            max_cap = std::max(max_cap, std::fabs(cap));
+    }
+
+    // Worst case over every bitline: the racing cells pull against
+    // the residual with at most develop * |scale| * max|cap|, and the
+    // SA offset shifts the threshold by at most max|offset|. If the
+    // residual amplitude still clears saturationZ sigma, every
+    // bitline's P(1) snaps to exactly its residual bit (the same
+    // per-bitline guarantee probabilityOneBatch's snapping gives the
+    // whole-row saturation path), so the resolve is the residual row.
+    double margin = pending_.residAmpMv -
+                    develop * std::fabs(contrib.scaleMv) * max_cap -
+                    max_off;
+    if (margin < saturationZ * sigma)
+        return false;
+
+    sa_ = pending_.residBits;
+    sa_.resize(geom.wordsPerRow(), 0);
+    // The probability resolvers leave bits past bitlinesPerRow zero;
+    // a residual snapshot from pokeRowFill may have them set.
+    if (uint32_t tail = nbits % 64)
+        sa_[nbits / 64] &= (uint64_t{1} << tail) - 1;
+    for (size_t w = (nbits + 63) / 64; w < sa_.size(); ++w)
+        sa_[w] = 0;
+    ++satRowFastPaths_;
+    ++residRaceFastPaths_;
+    return true;
 }
 
 void
@@ -707,6 +798,8 @@ Bank::capRow(uint32_t row) const
     if (it == capCache_.end()) {
         CapRowEntry entry;
         computeCapRow(row, entry.caps);
+        for (double cap : entry.caps)
+            entry.maxAbs = std::max(entry.maxAbs, std::fabs(cap));
         it = capCache_.emplace(row, std::move(entry)).first;
     } else {
         it->second.hot = true;
@@ -714,9 +807,18 @@ Bank::capRow(uint32_t row) const
     return it->second.caps;
 }
 
+double
+Bank::capRowMaxAbs(uint32_t row) const
+{
+    auto it = capCache_.find(row);
+    QUAC_ASSERT(it != capCache_.end(),
+                "capRowMaxAbs before capRow(%u)", row);
+    return it->second.maxAbs;
+}
+
 uint64_t
 Bank::probCacheKey(const std::vector<Contribution> &contribs,
-                   const std::vector<uint64_t> *resid_bits,
+                   bool has_resid, uint64_t resid_digest,
                    double resid_amp_mv, double develop) const
 {
     uint64_t hash = fnvBasis;
@@ -729,15 +831,18 @@ Bank::probCacheKey(const std::vector<Contribution> &contribs,
         hash = fnvMix(hash, contrib.scaleMv);
         auto it = rows_.find(contrib.row);
         if (it != rows_.end()) {
+            // Row contents enter through the cached digest: one
+            // 64-bit mix per row here instead of a word-wise pass,
+            // re-hashed only after the row actually changed.
             hash = fnvMix(hash, uint8_t{1});
-            hash = fnvMixWords(hash, it->second);
+            hash = fnvMix(hash, rowDigest(contrib.row, it->second));
         } else {
             hash = fnvMix(hash, uint8_t{0});
         }
     }
-    if (resid_bits) {
+    if (has_resid) {
         hash = fnvMix(hash, uint8_t{2});
-        hash = fnvMixWords(hash, *resid_bits);
+        hash = fnvMix(hash, resid_digest);
     }
     return hash;
 }
@@ -796,6 +901,7 @@ void
 Bank::dropRow(uint32_t row)
 {
     rows_.erase(row);
+    rowDigests_.erase(row);
 }
 
 std::vector<float>

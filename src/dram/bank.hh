@@ -180,6 +180,9 @@ class Bank
     size_t capCacheSize() const { return capCache_.size(); }
     /** Probability rows emitted by the saturation fast-path. */
     uint64_t saturatedRowFastPaths() const { return satRowFastPaths_; }
+    /** The subset of saturatedRowFastPaths() resolved straight from
+     * the residual bits (no probability row, no cache key). */
+    uint64_t residRaceFastPaths() const { return residRaceFastPaths_; }
 
     /** Probability-cache capacity before cold entries are evicted. */
     static constexpr size_t probCacheCapacity = 64;
@@ -224,6 +227,8 @@ class Bank
         std::vector<Contribution> contribs;
         double residAmpMv = 0.0;
         std::vector<uint64_t> residBits; ///< Empty when no residual.
+        /** FNV digest of residBits, snapshotted with them at PRE. */
+        uint64_t residDigest = 0;
     };
 
     /**
@@ -251,6 +256,18 @@ class Bank
 
     /** Resolve pending sensing at time @p t (develop-dependent). */
     void resolveSense(double t);
+
+    /**
+     * Residual-dominated race fast path: a single-row activation
+     * racing a residual whose amplitude puts every bitline >=
+     * saturationZ sigma into the tail its residual bit selects (for
+     * any possible cell contribution and SA offset of this row)
+     * resolves to exactly the residual bits. Copies them into the
+     * row buffer — no probability row, no cache-key hashing, no
+     * draws — and returns true; returns false (resolve normally)
+     * when the bound does not hold. Bit-identical to the full path.
+     */
+    bool residRaceSaturated(double develop);
 
     /** Build a plan's fast-path split from its probability row. */
     void buildSensePlan(SenseRowPlan &plan) const;
@@ -293,10 +310,23 @@ class Bank
     const std::vector<double> &capRow(uint32_t row) const;
     void computeCapRow(uint32_t row, std::vector<double> &out) const;
 
-    /** Hash of everything computeProbabilities depends on. */
+    /** Max |cap factor| of capRow(row), cached with the row entry
+     * (valid right after capRow(row) touched the entry). */
+    double capRowMaxAbs(uint32_t row) const;
+
+    /**
+     * Hash of everything computeProbabilities depends on. Row
+     * contents enter through cached per-row digests (rowDigest), so
+     * a row hashed once is one 64-bit mix per key until it changes.
+     */
     uint64_t probCacheKey(const std::vector<Contribution> &contribs,
-                          const std::vector<uint64_t> *resid_bits,
+                          bool has_resid, uint64_t resid_digest,
                           double resid_amp_mv, double develop) const;
+
+    /** Cached FNV digest of @p words (the current contents of
+     * @p row); invalidated by rowStorage() on any mutation. */
+    uint64_t rowDigest(uint32_t row,
+                       const std::vector<uint64_t> &words) const;
 
     const BankContext *ctx_;
     uint32_t bankId_;
@@ -317,8 +347,16 @@ class Bank
     /** Residual snapshot taken at PRE: amplitude and sign source. */
     double preResidAmpMv_ = 0.0;
     std::vector<uint64_t> preResidBits_;
+    uint64_t preResidDigest_ = 0;
 
     std::unordered_map<uint32_t, std::vector<uint64_t>> rows_;
+
+    /**
+     * Cached per-row content digests feeding probCacheKey; an entry
+     * is dropped whenever rowStorage() hands out a mutable reference
+     * to the row (the only mutation path) or the row is dropped.
+     */
+    mutable std::unordered_map<uint32_t, uint64_t> rowDigests_;
 
     /**
      * Memoized resolution plans keyed by the sensing-setup hash; the
@@ -331,6 +369,7 @@ class Bank
     mutable uint64_t probCacheHits_ = 0;
     mutable uint64_t probCacheMisses_ = 0;
     mutable uint64_t satRowFastPaths_ = 0;
+    mutable uint64_t residRaceFastPaths_ = 0;
 
     /**
      * Memoized cell-content-independent variation-oracle rows. The
@@ -350,6 +389,7 @@ class Bank
     struct CapRowEntry
     {
         std::vector<double> caps;
+        double maxAbs = 0.0;
         bool hot = false;
     };
     mutable std::unordered_map<uint32_t, OffsetRowEntry> offsetCache_;

@@ -44,21 +44,64 @@ admissionDecisionName(AdmissionDecision decision)
     return "?";
 }
 
+namespace
+{
+
+/**
+ * Ring cursors pack a 16-bit storage generation over a 48-bit
+ * monotonic byte position. Positions never wrap in practice (2^48
+ * bytes per shard outlives any run); the generation only changes
+ * when the ring storage itself is replaced, which is what fences
+ * in-flight lock-free claims off the old buffer.
+ */
+constexpr uint64_t kCursorPosBits = 48;
+constexpr uint64_t kCursorPosMask =
+    (uint64_t{1} << kCursorPosBits) - 1;
+
+constexpr uint64_t
+packCursor(uint64_t gen, uint64_t pos)
+{
+    return (gen << kCursorPosBits) | (pos & kCursorPosMask);
+}
+
+constexpr uint64_t
+cursorGen(uint64_t word)
+{
+    return word >> kCursorPosBits;
+}
+
+constexpr uint64_t
+cursorPos(uint64_t word)
+{
+    return word & kCursorPosMask;
+}
+
+} // anonymous namespace
+
 /**
  * Per-client registration. The shard pin is atomic so migration can
  * race with the client's own requests (a request in flight resolves
- * the pin once, at entry); statistics get their own mutex because
- * with migration "the client's shard mutex" is no longer a stable
- * guard (a stats() reader could lock shard B while a request that
- * resolved shard A is still writing).
+ * the pin once, at entry). Statistics are relaxed per-client atomics
+ * — the sharded accumulators of the lock-free data plane — so a
+ * request never serializes against a stats() reader or another
+ * request after a migration. Counts observed after a thread join are
+ * exact; a concurrent stats() snapshot may tear between fields, but
+ * each field is itself exact.
  */
 struct EntropyService::Client::State
 {
     std::string name;
     Priority priority = Priority::Standard;
     std::atomic<size_t> shard{0};
-    mutable std::mutex statsMutex;
-    ClientStats stats;
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> bufferHits{0};
+    std::atomic<uint64_t> synchronousFills{0};
+    std::atomic<uint64_t> partialServes{0};
+    std::atomic<uint64_t> denials{0};
+    std::atomic<uint64_t> bytesServed{0};
+    std::atomic<uint64_t> bytesFromBuffer{0};
+    std::atomic<uint64_t> bytesSynchronous{0};
+    std::atomic<uint64_t> migrations{0};
 };
 
 EntropyService::EntropyService(std::vector<core::Trng *> backends,
@@ -118,11 +161,13 @@ EntropyService::EntropyService(std::vector<core::Trng *> backends,
     shards_.reserve(nshards);
     for (size_t i = 0; i < nshards; ++i) {
         auto shard = std::make_unique<Shard>();
-        shard->backendIndex = i % backends_.size();
-        shard->homeBackend = shard->backendIndex;
-        shard->backend = backends_[shard->backendIndex];
+        size_t backend_index = i % backends_.size();
+        shard->backendIndex.store(backend_index,
+                                  std::memory_order_relaxed);
+        shard->homeBackend = backend_index;
+        shard->backend = backends_[backend_index];
         shard->recent = RecentLatencyWindow(cfg_.recentLatencyWindow);
-        ++sourcingCount_[shard->backendIndex];
+        ++sourcingCount_[backend_index];
         shards_.push_back(std::move(shard));
     }
 }
@@ -138,15 +183,23 @@ EntropyService::chunkLocked(Shard &shard)
             // state at refill time, exactly as the original
             // RngService behaved.
             std::lock_guard<std::mutex> backend_lock(
-                *backendLocks_[shard.backendIndex]);
+                *backendLocks_[shard.backendIndex.load(
+                    std::memory_order_relaxed)]);
             shard.chunk = shard.backend->preferredChunkBytes();
         }
         shard.chunkKnown = true;
         // Capacity plus one chunk of headroom: refills pull whole
         // backend iterations and discard no generated entropy, so a
         // full shard can exceed capacity by less than one chunk.
-        if (cfg_.shardCapacityBytes > 0)
-            shard.ring.resize(cfg_.shardCapacityBytes + shard.chunk);
+        size_t storage = cfg_.shardCapacityBytes + shard.chunk;
+        if (storage != shard.ring.size()) {
+            // Replacing the storage invalidates every outstanding
+            // ring position: fence lock-free readers out first.
+            QUAC_ASSERT(levelOf(shard) == 0,
+                        "resizing a non-flushed ring");
+            ringResetLocked(shard);
+            shard.ring.assign(storage, 0);
+        }
     }
     return shard.chunk;
 }
@@ -157,19 +210,117 @@ EntropyService::~EntropyService()
 }
 
 size_t
-EntropyService::takeLocked(Shard &shard, uint8_t *out, size_t len)
+EntropyService::levelOf(const Shard &shard)
 {
-    size_t take = std::min(len, shard.size);
-    if (take == 0)
+    uint64_t tail = shard.tail.load(std::memory_order_acquire);
+    uint64_t claim = shard.claim.load(std::memory_order_relaxed);
+    if (cursorGen(tail) != cursorGen(claim))
+        return 0; // cursors mid-reset: the ring is empty anyway
+    uint64_t published = cursorPos(tail);
+    uint64_t claimed = cursorPos(claim);
+    return published > claimed
+               ? static_cast<size_t>(published - claimed)
+               : 0;
+}
+
+size_t
+EntropyService::ringTake(Shard &shard, uint8_t *out, size_t len,
+                         bool all_or_nothing)
+{
+    if (len == 0)
         return 0;
+    uint64_t claim = shard.claim.load(std::memory_order_relaxed);
+    uint64_t gen, pos;
+    size_t take;
+    for (;;) {
+        uint64_t tail = shard.tail.load(std::memory_order_acquire);
+        gen = cursorGen(claim);
+        pos = cursorPos(claim);
+        if (cursorGen(tail) != gen) {
+            // Storage reset in flight; the mutex path handles it.
+            return 0;
+        }
+        uint64_t avail = cursorPos(tail) - pos;
+        take = static_cast<size_t>(std::min<uint64_t>(len, avail));
+        if (take == 0 || (all_or_nothing && take < len))
+            return 0;
+        if (shard.claim.compare_exchange_weak(
+                claim, packCursor(gen, pos + take),
+                std::memory_order_acq_rel,
+                std::memory_order_relaxed))
+            break;
+        // claim reloaded by the failed CAS; recompute and retry.
+    }
+    // Storage is only touched after a successful claim: the claim
+    // certifies the generation, and ringResetLocked cannot replace
+    // the buffer until this claim's readDone below retires. The
+    // acquire on tail ordered the producer's byte writes (and any
+    // earlier storage assignment) before these reads.
     size_t cap = shard.ring.size();
-    size_t first = std::min(take, cap - shard.head);
-    std::memcpy(out, shard.ring.data() + shard.head, first);
+    size_t start = static_cast<size_t>(pos % cap);
+    size_t first = std::min(take, cap - start);
+    std::memcpy(out, shard.ring.data() + start, first);
     if (take > first)
         std::memcpy(out + first, shard.ring.data(), take - first);
-    shard.head = (shard.head + take) % cap;
-    shard.size -= take;
+    // Ticket-ordered completion: readDone advances in claim order,
+    // so the producer's overwrite horizon (readDone + capacity)
+    // never runs past an unfinished copy. The wait is bounded by the
+    // memcpys of earlier claimants, who hold no lock.
+    uint64_t ticket = packCursor(gen, pos);
+    while (shard.readDone.load(std::memory_order_acquire) != ticket)
+        std::this_thread::yield();
+    shard.readDone.store(packCursor(gen, pos + take),
+                         std::memory_order_release);
     return take;
+}
+
+size_t
+EntropyService::ringFlushLocked(Shard &shard)
+{
+    uint64_t tail = shard.tail.load(std::memory_order_relaxed);
+    uint64_t claim = shard.claim.load(std::memory_order_relaxed);
+    // Generations cannot diverge here: resets run under the mutex we
+    // hold. A racing lock-free read may still claim part of the span
+    // before the flush lands; only the remainder is dropped.
+    for (;;) {
+        uint64_t dropped = cursorPos(tail) - cursorPos(claim);
+        if (dropped == 0)
+            return 0;
+        if (shard.claim.compare_exchange_weak(
+                claim, tail, std::memory_order_acq_rel,
+                std::memory_order_relaxed))
+            break;
+    }
+    // No reader ever claimed the dropped span, so no ticket will
+    // retire it: readDone must skip it or the producer's free-space
+    // wait in pullLocked would starve once the write horizon wraps.
+    // First let in-flight readers (tickets below the old claim)
+    // retire — they hold no lock, only CPU time — then jump over the
+    // span. New claims cannot start meanwhile: claim == tail means
+    // nothing is available, and publishing more requires the mutex
+    // this thread holds.
+    while (shard.readDone.load(std::memory_order_acquire) != claim)
+        std::this_thread::yield();
+    shard.readDone.store(tail, std::memory_order_release);
+    return static_cast<size_t>(cursorPos(tail) - cursorPos(claim));
+}
+
+void
+EntropyService::ringResetLocked(Shard &shard)
+{
+    uint64_t fresh = packCursor(
+        cursorGen(shard.claim.load(std::memory_order_relaxed)) + 1,
+        0);
+    // The exchange invalidates every in-flight CAS (old generation)
+    // and hands back the final old-generation claim word, which is
+    // exactly where readDone must arrive before the old storage is
+    // safe to replace.
+    uint64_t drained =
+        shard.claim.exchange(fresh, std::memory_order_acq_rel);
+    while (shard.readDone.load(std::memory_order_acquire) != drained)
+        std::this_thread::yield();
+    shard.readDone.store(fresh, std::memory_order_relaxed);
+    shard.tail.store(fresh, std::memory_order_release);
 }
 
 size_t
@@ -178,17 +329,35 @@ EntropyService::pullLocked(Shard &shard, size_t want)
     if (want == 0)
         return 0;
     size_t cap = shard.ring.size();
-    QUAC_ASSERT(shard.size + want <= cap, "ring overflow: %zu + %zu > %zu",
-                shard.size, want, cap);
+    QUAC_ASSERT(levelOf(shard) + want <= cap,
+                "ring overflow: %zu + %zu > %zu", levelOf(shard),
+                want, cap);
+    uint64_t tail = shard.tail.load(std::memory_order_relaxed);
+    uint64_t gen = cursorGen(tail);
+    uint64_t tail_pos = cursorPos(tail);
+    // The region about to be written may still be under an in-flight
+    // lock-free copy (readDone trails claim by the claimed ranges);
+    // wait for those copies to retire. They only need CPU time, not
+    // any lock this thread holds.
+    for (;;) {
+        uint64_t done =
+            shard.readDone.load(std::memory_order_acquire);
+        if (cursorGen(done) == gen &&
+            tail_pos - cursorPos(done) + want <= cap)
+            break;
+        std::this_thread::yield();
+    }
+    size_t start = static_cast<size_t>(tail_pos % cap);
+    size_t first = std::min(want, cap - start);
+    size_t backend_index =
+        shard.backendIndex.load(std::memory_order_relaxed);
     bool failed = false;
     bool healthy = true;
     {
         std::lock_guard<std::mutex> backend_lock(
-            *backendLocks_[shard.backendIndex]);
-        size_t tail = (shard.head + shard.size) % cap;
-        size_t first = std::min(want, cap - tail);
+            *backendLocks_[backend_index]);
         try {
-            shard.backend->fill(shard.ring.data() + tail, first);
+            shard.backend->fill(shard.ring.data() + start, first);
             if (want > first)
                 shard.backend->fill(shard.ring.data(), want - first);
         } catch (const std::exception &) {
@@ -203,9 +372,9 @@ EntropyService::pullLocked(Shard &shard, size_t want)
             // the backend lock so concurrent sharers can't reorder
             // their observations).
             bool changed = monitor_->observe(
-                shard.backendIndex, shard.ring.data() + tail, first);
+                backend_index, shard.ring.data() + start, first);
             if (want > first) {
-                changed |= monitor_->observe(shard.backendIndex,
+                changed |= monitor_->observe(backend_index,
                                              shard.ring.data(),
                                              want - first);
             }
@@ -218,45 +387,44 @@ EntropyService::pullLocked(Shard &shard, size_t want)
             // re-admit within one observe; admitting those bytes
             // would serve the detected-bad window between the two
             // transitions).
-            healthy = !changed &&
-                      monitor_->servable(shard.backendIndex);
+            healthy = !changed && monitor_->servable(backend_index);
         }
     }
     if (failed) {
         refillFailures_.fetch_add(1, std::memory_order_relaxed);
-        if (monitor_ &&
-            monitor_->reportReadFailure(shard.backendIndex))
+        if (monitor_ && monitor_->reportReadFailure(backend_index))
             resourceEpoch_.fetch_add(1, std::memory_order_acq_rel);
-        if (monitor_ && !monitor_->servable(shard.backendIndex)) {
+        if (monitor_ && !monitor_->servable(backend_index)) {
             // Repeated failures crossed the quarantine limit: the
             // buffered bytes are from a now-detected-unhealthy bank.
             unhealthyBytesDropped_.fetch_add(
-                shard.size, std::memory_order_relaxed);
-            shard.head = 0;
-            shard.size = 0;
+                ringFlushLocked(shard), std::memory_order_relaxed);
             resourceShardLocked(shard);
         }
         return 0;
     }
     if (!healthy) {
-        // This very pull detected the collapse: the pulled bytes and
-        // everything buffered from the bank are dropped unserved, and
-        // the shard moves to a servable bank.
-        unhealthyBytesDropped_.fetch_add(want + shard.size,
-                                         std::memory_order_relaxed);
-        shard.head = 0;
-        shard.size = 0;
+        // This very pull detected the collapse: the pulled bytes
+        // were never published (tail unmoved), everything still
+        // buffered from the bank is dropped unserved, and the shard
+        // moves to a servable bank.
+        unhealthyBytesDropped_.fetch_add(
+            want + ringFlushLocked(shard),
+            std::memory_order_relaxed);
         resourceShardLocked(shard);
         return 0;
     }
-    shard.size += want;
+    // Publish: the release store is what hands the freshly written
+    // bytes to lock-free readers.
+    shard.tail.store(packCursor(gen, tail_pos + want),
+                     std::memory_order_release);
     // A full top-up retires the shard's congestion history: the tail
     // the window measured came from an empty buffer that no longer
     // exists, and without this reset a recovered shard that lost its
     // timed traffic (e.g. after its clients migrated away) would
     // repel placements and trip the latency rebalancer forever. If
     // congestion persists, the very next misses rebuild the signal.
-    if (shard.size >= cfg_.shardCapacityBytes)
+    if (levelOf(shard) >= cfg_.shardCapacityBytes)
         shard.recent.clear();
     return want;
 }
@@ -264,13 +432,15 @@ EntropyService::pullLocked(Shard &shard, size_t want)
 void
 EntropyService::moveShardLocked(Shard &shard, size_t target)
 {
-    QUAC_ASSERT(shard.size == 0, "re-sourcing a non-flushed shard");
+    QUAC_ASSERT(levelOf(shard) == 0,
+                "re-sourcing a non-flushed shard");
+    size_t old = shard.backendIndex.load(std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(sourcingMutex_);
-        --sourcingCount_[shard.backendIndex];
+        --sourcingCount_[old];
         ++sourcingCount_[target];
     }
-    shard.backendIndex = target;
+    shard.backendIndex.store(target, std::memory_order_release);
     shard.backend = backends_[target];
     // Chunk granularity differs per backend; re-resolve lazily (the
     // resize in chunkLocked is safe: the ring is empty).
@@ -281,7 +451,7 @@ EntropyService::moveShardLocked(Shard &shard, size_t target)
 void
 EntropyService::resourceShardLocked(Shard &shard)
 {
-    size_t old = shard.backendIndex;
+    size_t old = shard.backendIndex.load(std::memory_order_relaxed);
     size_t best = old;
     size_t best_count = std::numeric_limits<size_t>::max();
     {
@@ -312,29 +482,31 @@ EntropyService::revalidateLocked(Shard &shard)
     if (!monitor_)
         return;
     uint64_t epoch = resourceEpoch_.load(std::memory_order_acquire);
-    if (shard.seenEpoch == epoch)
+    if (shard.seenEpoch.load(std::memory_order_relaxed) == epoch)
         return;
-    shard.seenEpoch = epoch;
-    if (!monitor_->servable(shard.backendIndex)) {
+    size_t backend_index =
+        shard.backendIndex.load(std::memory_order_relaxed);
+    if (!monitor_->servable(backend_index)) {
         // The bank was quarantined by someone else's observation
         // (another shard's pull, a probation draw): drop the
         // buffered bytes unserved and move.
-        unhealthyBytesDropped_.fetch_add(shard.size,
+        unhealthyBytesDropped_.fetch_add(ringFlushLocked(shard),
                                          std::memory_order_relaxed);
-        shard.head = 0;
-        shard.size = 0;
         resourceShardLocked(shard);
-    } else if (shard.backendIndex != shard.homeBackend &&
+    } else if (backend_index != shard.homeBackend &&
                monitor_->state(shard.homeBackend) ==
                    BankState::Healthy) {
         // Home bank re-admitted: return, freeing the donor for the
         // next failover. The donor bytes still buffered are healthy
         // but discarded — continuity of the home stream matters
         // more than one ring of spare entropy.
-        shard.head = 0;
-        shard.size = 0;
+        ringFlushLocked(shard);
         moveShardLocked(shard, shard.homeBackend);
     }
+    // Published only after any flush/re-sourcing above: a lock-free
+    // reader that observes the fresh epoch (acquire) is therefore
+    // ordered after the flush and can never claim the dropped span.
+    shard.seenEpoch.store(epoch, std::memory_order_release);
 }
 
 size_t
@@ -343,9 +515,10 @@ EntropyService::deficitLocked(Shard &shard, double frac)
     size_t capacity = cfg_.shardCapacityBytes;
     size_t threshold =
         static_cast<size_t>(frac * static_cast<double>(capacity));
-    if (shard.size > threshold)
+    size_t buffered = levelOf(shard);
+    if (buffered > threshold)
         return 0;
-    size_t want = capacity > shard.size ? capacity - shard.size : 0;
+    size_t want = capacity > buffered ? capacity - buffered : 0;
     if (want == 0)
         return 0;
     size_t chunk = chunkLocked(shard);
@@ -532,8 +705,7 @@ size_t
 EntropyService::level(size_t shard) const
 {
     QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
-    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
-    return shards_[shard]->size;
+    return levelOf(*shards_[shard]);
 }
 
 size_t
@@ -554,17 +726,18 @@ EntropyService::shardChunkBytes(size_t shard)
 }
 
 double
-EntropyService::deficitFractionLocked(const Shard &shard) const
+EntropyService::deficitFraction(const Shard &shard) const
 {
     double capacity = static_cast<double>(cfg_.shardCapacityBytes);
-    size_t buffered = std::min(shard.size, cfg_.shardCapacityBytes);
+    size_t buffered =
+        std::min(levelOf(shard), cfg_.shardCapacityBytes);
     return (capacity - static_cast<double>(buffered)) / capacity;
 }
 
 double
-EntropyService::loadLocked(const Shard &shard) const
+EntropyService::loadOf(const Shard &shard) const
 {
-    return deficitFractionLocked(shard) +
+    return deficitFraction(shard) +
            shard.recent.p95Ns() * cfg_.placementLatencyWeight;
 }
 
@@ -572,15 +745,13 @@ double
 EntropyService::shardLoad(size_t shard) const
 {
     QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
-    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
-    return loadLocked(*shards_[shard]);
+    return loadOf(*shards_[shard]);
 }
 
 double
 EntropyService::shardRecentPercentileNs(size_t shard, double q) const
 {
     QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
-    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
     return shards_[shard]->recent.percentileNs(q);
 }
 
@@ -588,13 +759,13 @@ EntropyService::ShardLoadSnapshot
 EntropyService::shardLoadSnapshot(size_t shard) const
 {
     QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
-    const Shard &locked = *shards_[shard];
-    std::lock_guard<std::mutex> lock(locked.mutex);
+    const Shard &sampled = *shards_[shard];
     ShardLoadSnapshot snapshot;
-    snapshot.recentP95Ns = locked.recent.p95Ns();
-    snapshot.recentP99Ns = locked.recent.p99Ns();
-    snapshot.load = deficitFractionLocked(locked) +
-                    snapshot.recentP95Ns * cfg_.placementLatencyWeight;
+    snapshot.recentP95Ns = sampled.recent.p95Ns();
+    snapshot.recentP99Ns = sampled.recent.p99Ns();
+    snapshot.load =
+        deficitFraction(sampled) +
+        snapshot.recentP95Ns * cfg_.placementLatencyWeight;
     return snapshot;
 }
 
@@ -653,8 +824,7 @@ EntropyService::migrateClient(const Client &client, size_t shard)
     if (state.shard.exchange(shard, std::memory_order_acq_rel) ==
         shard)
         return false;
-    std::lock_guard<std::mutex> stats_lock(state.statsMutex);
-    ++state.stats.migrations;
+    state.migrations.fetch_add(1, std::memory_order_relaxed);
     return true;
 }
 
@@ -784,14 +954,15 @@ EntropyService::retuneBackend(size_t backend,
     for (auto &shard_ptr : shards_) {
         Shard &shard = *shard_ptr;
         std::lock_guard<std::mutex> lock(shard.mutex);
-        if (shard.backendIndex != backend)
+        if (shard.backendIndex.load(std::memory_order_relaxed) !=
+            backend)
             continue;
         // The buffered bytes straddle the recalibration: suspect.
         // Dropping them (never serving) is the conservative side of
-        // the paper's per-temperature guarantee.
-        dropped += shard.size;
-        shard.head = 0;
-        shard.size = 0;
+        // the paper's per-temperature guarantee. A racing lock-free
+        // read that already claimed a span keeps it: those bytes
+        // were generated (and observed healthy) before the retune.
+        dropped += ringFlushLocked(shard);
         // The retune may change the backend's iteration geometry;
         // re-resolve the chunk (and ring headroom) lazily, exactly
         // as a re-sourcing does.
@@ -818,16 +989,23 @@ EntropyService::setMissLatencyNsPerByte(double ns_per_byte)
 LatencyDistribution
 EntropyService::latencySnapshot(Priority priority) const
 {
-    std::lock_guard<std::mutex> lock(latencyMutex_);
-    return latencyByClass_[static_cast<size_t>(priority)];
+    // The per-class distribution is sharded (one per shard) so a
+    // timed request only contends with requests on its own shard;
+    // the snapshot merges the pieces.
+    LatencyDistribution merged;
+    for (const auto &shard : shards_)
+        merged.merge(
+            shard->latencyByClass[static_cast<size_t>(priority)]);
+    return merged;
 }
 
 void
 EntropyService::resetLatencyStats()
 {
-    std::lock_guard<std::mutex> lock(latencyMutex_);
-    for (LatencyDistribution &dist : latencyByClass_)
-        dist = LatencyDistribution();
+    for (auto &shard : shards_) {
+        for (LatencyDistribution &dist : shard->latencyByClass)
+            dist = LatencyDistribution();
+    }
 }
 
 bool
@@ -844,7 +1022,8 @@ EntropyService::syncFillLegacyLocked(Shard &shard, uint8_t *out,
     for (uint32_t attempt = 0;; ++attempt) {
         try {
             std::lock_guard<std::mutex> backend_lock(
-                *backendLocks_[shard.backendIndex]);
+                *backendLocks_[shard.backendIndex.load(
+                    std::memory_order_relaxed)]);
             shard.backend->fill(out, need);
             return true;
         } catch (const std::exception &) {
@@ -877,16 +1056,18 @@ EntropyService::syncFillLocked(Shard &shard, uint8_t *out,
     for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
         bool ok = true;
         bool changed = false;
+        size_t backend_index =
+            shard.backendIndex.load(std::memory_order_relaxed);
         {
             std::lock_guard<std::mutex> backend_lock(
-                *backendLocks_[shard.backendIndex]);
+                *backendLocks_[backend_index]);
             try {
                 shard.backend->fill(out, need);
             } catch (const std::exception &) {
                 ok = false;
             }
             if (ok) {
-                changed = monitor_->observe(shard.backendIndex, out,
+                changed = monitor_->observe(backend_index, out,
                                             need);
                 if (changed)
                     resourceEpoch_.fetch_add(
@@ -895,25 +1076,23 @@ EntropyService::syncFillLocked(Shard &shard, uint8_t *out,
         }
         if (!ok) {
             refillFailures_.fetch_add(1, std::memory_order_relaxed);
-            if (monitor_->reportReadFailure(shard.backendIndex))
+            if (monitor_->reportReadFailure(backend_index))
                 resourceEpoch_.fetch_add(1,
                                          std::memory_order_acq_rel);
         }
         // As in pullLocked, any transition during this fill marks
         // its bytes suspect even if the bank ended servable.
-        if (changed || !monitor_->servable(shard.backendIndex)) {
+        if (changed || !monitor_->servable(backend_index)) {
             // Either this fill's bytes completed a failing window or
             // the failure streak crossed the limit. The bytes in
             // @p out were never handed to the client — drop them
             // with the ring and refill wholesale from a new bank.
             unhealthyBytesDropped_.fetch_add(
-                (ok ? need : 0) + shard.size,
+                (ok ? need : 0) + ringFlushLocked(shard),
                 std::memory_order_relaxed);
-            shard.head = 0;
-            shard.size = 0;
-            size_t before = shard.backendIndex;
             resourceShardLocked(shard);
-            if (shard.backendIndex == before)
+            if (shard.backendIndex.load(std::memory_order_relaxed) ==
+                backend_index)
                 return false; // nowhere servable left
             continue;
         }
@@ -926,36 +1105,130 @@ EntropyService::syncFillLocked(Shard &shard, uint8_t *out,
 }
 
 RequestResult
+EntropyService::finishRequest(Client::State &client, Shard &shard,
+                              RequestResult result,
+                              size_t synchronous_bytes,
+                              double arrival_ns)
+{
+    // Tripwire (must stay zero): a serve that raced a cross-shard
+    // detection of its bank. The flush-on-revalidate plumbing keeps
+    // detected-unhealthy bytes out of every serve path; this counts
+    // any leak instead of hiding it.
+    if (monitor_ && result.bytes > 0 &&
+        !monitor_->servable(
+            shard.backendIndex.load(std::memory_order_relaxed))) {
+        unhealthyBytesServed_.fetch_add(result.bytes,
+                                        std::memory_order_relaxed);
+    }
+
+    if (!std::isnan(arrival_ns)) {
+        // Modelled channel time: the request starts once the shard's
+        // earlier modelled work has drained, pays the fixed
+        // controller and SRAM-read costs, and a miss additionally
+        // occupies the backend for the synchronous fill, queueing
+        // later arrivals behind it (DR-STRaNGe's request-latency
+        // view). Only misses advance busyUntilNs, and misses run
+        // under the shard mutex; lock-free hits read it relaxed — a
+        // hit racing a miss may miss the very newest queue depth,
+        // which is the modelling precision a lock-free plane trades.
+        double installed =
+            missNsPerByte_.load(std::memory_order_relaxed);
+        double ns_per_byte =
+            installed > 0.0 ? installed : cfg_.latency.missNsPerByte;
+        double start = std::max(
+            arrival_ns,
+            shard.busyUntilNs.load(std::memory_order_relaxed));
+        double service_ns =
+            cfg_.latency.perRequestNs + cfg_.latency.hitNs +
+            static_cast<double>(synchronous_bytes) * ns_per_byte;
+        if (synchronous_bytes > 0)
+            shard.busyUntilNs.store(start + service_ns,
+                                    std::memory_order_relaxed);
+        result.modeledLatencyNs = start + service_ns - arrival_ns;
+        // Bulk requests never sync-fill, so their near-constant hit
+        // cost would dilute the shard's tail-latency signal; the
+        // window tracks what a latency-sensitive client experiences.
+        if (client.priority != Priority::Bulk)
+            shard.recent.add(result.modeledLatencyNs);
+        shard.latencyByClass[static_cast<size_t>(client.priority)]
+            .add(result.modeledLatencyNs);
+    }
+
+    client.requests.fetch_add(1, std::memory_order_relaxed);
+    client.bytesFromBuffer.fetch_add(result.bytesFromBuffer,
+                                     std::memory_order_relaxed);
+    client.bytesServed.fetch_add(result.bytes,
+                                 std::memory_order_relaxed);
+    if (result.denied) {
+        // sync fill failed on every servable bank (or the request
+        // exceeded maxRequestBytes)
+        client.denials.fetch_add(1, std::memory_order_relaxed);
+    } else if (result.hit) {
+        client.bufferHits.fetch_add(1, std::memory_order_relaxed);
+    } else if (client.priority == Priority::Bulk) {
+        client.partialServes.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        client.synchronousFills.fetch_add(1,
+                                          std::memory_order_relaxed);
+        client.bytesSynchronous.fetch_add(synchronous_bytes,
+                                          std::memory_order_relaxed);
+    }
+    return result;
+}
+
+RequestResult
 EntropyService::requestOn(Client::State &client, uint8_t *out,
                           size_t len, double arrival_ns)
 {
-    bool timed = !std::isnan(arrival_ns);
     // The shard pin is resolved exactly once: a migration racing
     // with this request either redirects it entirely or not at all,
     // so the request always drains a single shard's stream.
     Shard &shard =
         *shards_[client.shard.load(std::memory_order_acquire)];
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    revalidateLocked(shard);
-    requests_.fetch_add(1, std::memory_order_relaxed);
 
     RequestResult result;
     if (cfg_.maxRequestBytes && len > cfg_.maxRequestBytes) {
-        denials_.fetch_add(1, std::memory_order_relaxed);
         result.denied = true;
-        std::lock_guard<std::mutex> stats_lock(client.statsMutex);
-        ++client.stats.requests;
-        ++client.stats.denials;
+        client.requests.fetch_add(1, std::memory_order_relaxed);
+        client.denials.fetch_add(1, std::memory_order_relaxed);
         return result;
     }
 
-    size_t from_buffer = takeLocked(shard, out, len);
+    bool bulk = client.priority == Priority::Bulk;
+    // Lock-free fast path: when the shard has already revalidated
+    // against the current resourcing epoch, a buffered read claims
+    // its span straight off the ring — no shard mutex. Non-bulk
+    // claims are all-or-nothing (a short claim would have to fall
+    // through to a sync fill under the mutex anyway); bulk partial
+    // claims are final, exactly like the mutex path's backpressure.
+    if (cfg_.lockFreeReads &&
+        (!monitor_ ||
+         shard.seenEpoch.load(std::memory_order_acquire) ==
+             resourceEpoch_.load(std::memory_order_acquire))) {
+        size_t got = ringTake(shard, out, len,
+                              /*all_or_nothing=*/!bulk);
+        if (bulk || got == len) {
+            result.bytes = got;
+            result.bytesFromBuffer = got;
+            result.hit = got == len;
+            return finishRequest(client, shard, result, 0,
+                                 arrival_ns);
+        }
+    }
+
+    // Slow path: miss (sync fill), stale epoch, bulk under reset, or
+    // lock-free reads disabled. The mutex serializes against
+    // resourcing, retune, and the refill producer's slow paths.
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    revalidateLocked(shard);
+
+    size_t from_buffer = ringTake(shard, out, len,
+                                  /*all_or_nothing=*/false);
     size_t synchronous_bytes = 0;
     if (from_buffer == len) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
         result.bytes = len;
         result.hit = true;
-    } else if (client.priority == Priority::Bulk) {
+    } else if (bulk) {
         // Buffer-only class: partial service is the backpressure
         // signal; the caller retries after the next refill.
         result.bytes = from_buffer;
@@ -970,75 +1243,18 @@ EntropyService::requestOn(Client::State &client, uint8_t *out,
         if (syncFillLocked(shard, out + from_buffer,
                            len - from_buffer)) {
             synchronous_bytes = len - from_buffer;
-            misses_.fetch_add(1, std::memory_order_relaxed);
             result.bytes = len;
         } else {
             // No servable bank could produce the bytes: hand over
             // the buffered prefix and deny the remainder rather
             // than serve bytes from a detected-unhealthy bank.
-            denials_.fetch_add(1, std::memory_order_relaxed);
             result.denied = true;
             result.bytes = from_buffer;
         }
     }
     result.bytesFromBuffer = from_buffer;
-
-    // Tripwire (must stay zero): a serve that raced a cross-shard
-    // detection of its bank. The flush-on-revalidate plumbing keeps
-    // detected-unhealthy bytes out of every serve path; this counts
-    // any leak instead of hiding it.
-    if (monitor_ && result.bytes > 0 &&
-        !monitor_->servable(shard.backendIndex)) {
-        unhealthyBytesServed_.fetch_add(result.bytes,
-                                        std::memory_order_relaxed);
-    }
-
-    if (timed) {
-        // Modelled channel time: the request starts once the shard's
-        // earlier modelled work has drained, pays the fixed
-        // controller and SRAM-read costs, and a miss additionally
-        // occupies the backend for the synchronous fill, queueing
-        // later arrivals behind it (DR-STRaNGe's request-latency
-        // view). busyUntilNs and the recent window are covered by
-        // the shard lock held for the whole call; the global latency
-        // mutex only guards the cross-shard distribution insert.
-        double installed =
-            missNsPerByte_.load(std::memory_order_relaxed);
-        double ns_per_byte =
-            installed > 0.0 ? installed : cfg_.latency.missNsPerByte;
-        double start = std::max(arrival_ns, shard.busyUntilNs);
-        double service_ns =
-            cfg_.latency.perRequestNs + cfg_.latency.hitNs +
-            static_cast<double>(synchronous_bytes) * ns_per_byte;
-        if (synchronous_bytes > 0)
-            shard.busyUntilNs = start + service_ns;
-        result.modeledLatencyNs = start + service_ns - arrival_ns;
-        // Bulk requests never sync-fill, so their near-constant hit
-        // cost would dilute the shard's tail-latency signal; the
-        // window tracks what a latency-sensitive client experiences.
-        if (client.priority != Priority::Bulk)
-            shard.recent.add(result.modeledLatencyNs);
-        std::lock_guard<std::mutex> latency_lock(latencyMutex_);
-        latencyByClass_[static_cast<size_t>(client.priority)].add(
-            result.modeledLatencyNs);
-    }
-
-    std::lock_guard<std::mutex> stats_lock(client.statsMutex);
-    ClientStats &stats = client.stats;
-    ++stats.requests;
-    stats.bytesFromBuffer += from_buffer;
-    stats.bytesServed += result.bytes;
-    if (result.denied)
-        ++stats.denials; // sync fill failed on every servable bank
-    else if (result.hit)
-        ++stats.bufferHits;
-    else if (client.priority == Priority::Bulk)
-        ++stats.partialServes;
-    else {
-        ++stats.synchronousFills;
-        stats.bytesSynchronous += synchronous_bytes;
-    }
-    return result;
+    return finishRequest(client, shard, result, synchronous_bytes,
+                         arrival_ns);
 }
 
 void
@@ -1112,8 +1328,50 @@ size_t
 EntropyService::shardBackendIndex(size_t shard) const
 {
     QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
-    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
-    return shards_[shard]->backendIndex;
+    return shards_[shard]->backendIndex.load(
+        std::memory_order_acquire);
+}
+
+uint64_t
+EntropyService::requestsServed() const
+{
+    std::lock_guard<std::mutex> lock(clientsMutex_);
+    uint64_t total = 0;
+    for (const auto &client : clients_)
+        total += client->requests.load(std::memory_order_relaxed);
+    return total;
+}
+
+uint64_t
+EntropyService::bufferHits() const
+{
+    std::lock_guard<std::mutex> lock(clientsMutex_);
+    uint64_t total = 0;
+    for (const auto &client : clients_)
+        total += client->bufferHits.load(std::memory_order_relaxed);
+    return total;
+}
+
+uint64_t
+EntropyService::synchronousFills() const
+{
+    std::lock_guard<std::mutex> lock(clientsMutex_);
+    uint64_t total = 0;
+    for (const auto &client : clients_) {
+        total +=
+            client->synchronousFills.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+uint64_t
+EntropyService::denials() const
+{
+    std::lock_guard<std::mutex> lock(clientsMutex_);
+    uint64_t total = 0;
+    for (const auto &client : clients_)
+        total += client->denials.load(std::memory_order_relaxed);
+    return total;
 }
 
 RequestResult
@@ -1161,8 +1419,25 @@ EntropyService::Client::shard() const
 ClientStats
 EntropyService::Client::stats() const
 {
-    std::lock_guard<std::mutex> lock(state_->statsMutex);
-    return state_->stats;
+    const State &state = *state_;
+    ClientStats stats;
+    stats.requests = state.requests.load(std::memory_order_relaxed);
+    stats.bufferHits =
+        state.bufferHits.load(std::memory_order_relaxed);
+    stats.synchronousFills =
+        state.synchronousFills.load(std::memory_order_relaxed);
+    stats.partialServes =
+        state.partialServes.load(std::memory_order_relaxed);
+    stats.denials = state.denials.load(std::memory_order_relaxed);
+    stats.bytesServed =
+        state.bytesServed.load(std::memory_order_relaxed);
+    stats.bytesFromBuffer =
+        state.bytesFromBuffer.load(std::memory_order_relaxed);
+    stats.bytesSynchronous =
+        state.bytesSynchronous.load(std::memory_order_relaxed);
+    stats.migrations =
+        state.migrations.load(std::memory_order_relaxed);
+    return stats;
 }
 
 } // namespace quac::service

@@ -22,6 +22,19 @@
  * Shared backends (more shards than backends) stay correct and
  * race-free via per-backend locks, but the interleaving of refills
  * then decides which shard receives which bytes.
+ *
+ * Request data plane: buffered reads are lock-free. Each shard ring
+ * is single-producer/multi-consumer — consumers claim byte ranges by
+ * CAS on an atomic cursor, the refill producer publishes bytes with
+ * a release-stored tail, and the hot-path bookkeeping (per-client
+ * stats, the recent-latency window, per-priority distributions) is
+ * sharded or atomic, so a buffer hit never takes Shard::mutex. Slow
+ * paths (miss/sync-fill, re-sourcing, retune/flush, storage resize)
+ * keep the mutex and fence lock-free readers out via the cursor
+ * generation + the resourceEpoch_ revalidation check.
+ * cfg.lockFreeReads = false restores the legacy full-mutex serving
+ * path, byte-for-byte identical — the replay tests cross-check the
+ * two planes against each other.
  */
 
 #ifndef QUAC_SERVICE_ENTROPY_SERVICE_HH
@@ -209,6 +222,14 @@ struct EntropyServiceConfig
      * monitoring-off run (the standing replay invariant).
      */
     HealthConfig health;
+    /**
+     * Serve buffered reads lock-free (SPMC claim on the shard ring's
+     * atomic cursors, no shard mutex on the hit path). false
+     * restores the legacy full-mutex request path — the served byte
+     * streams are identical either way; the replay tests flip this
+     * to cross-check the lock-free plane against the mutex plane.
+     */
+    bool lockFreeReads = true;
 };
 
 /** Outcome of one client request. */
@@ -482,10 +503,10 @@ class EntropyService
     };
 
     /**
-     * Load score and recent p95/p99 read under a single shard-lock
-     * acquisition, so the three values describe one moment (the
-     * separate accessors can tear against concurrent requests, and
-     * cost three locks).
+     * Load score and recent p95/p99 in one wait-free pass over the
+     * shard's atomic cursors and lock-free latency window — the
+     * per-tick probe the SLO migrator and the latency rebalancer
+     * issue for every shard never contends with the request path.
      */
     ShardLoadSnapshot shardLoadSnapshot(size_t shard) const;
     /**@}*/
@@ -561,12 +582,17 @@ class EntropyService
     bool autoRefillRunning() const;
     /**@}*/
 
-    /** @name Aggregate statistics */
+    /** @name Aggregate statistics
+     *
+     * Request-path aggregates are sums over the per-client sharded
+     * accumulators (no shared counter on the hot path); refill
+     * aggregates are producer-side atomics as before.
+     */
     /**@{*/
-    uint64_t requestsServed() const { return requests_.load(); }
-    uint64_t bufferHits() const { return hits_.load(); }
-    uint64_t synchronousFills() const { return misses_.load(); }
-    uint64_t denials() const { return denials_.load(); }
+    uint64_t requestsServed() const;
+    uint64_t bufferHits() const;
+    uint64_t synchronousFills() const;
+    uint64_t denials() const;
     uint64_t refills() const { return refills_.load(); }
     uint64_t bytesRefilled() const { return bytesRefilled_.load(); }
     /**@}*/
@@ -638,41 +664,76 @@ class EntropyService
 
   private:
     /**
-     * One shard: a ring buffer over a slice of controller SRAM plus
-     * the backend it drains. Storage holds capacity + one chunk of
-     * headroom so refills can pull whole backend iterations without
-     * discarding entropy; it is sized on the first chunk query
-     * (chunkLocked), because asking the backend for its granularity
-     * may run its one-time setup and must stay as lazy as the
-     * original RngService kept it.
+     * One shard: a single-producer/multi-consumer ring buffer over a
+     * slice of controller SRAM plus the backend it drains. Storage
+     * holds capacity + one chunk of headroom so refills can pull
+     * whole backend iterations without discarding entropy; it is
+     * sized on the first chunk query (chunkLocked), because asking
+     * the backend for its granularity may run its one-time setup and
+     * must stay as lazy as the original RngService kept it.
+     *
+     * The ring is addressed by monotonic byte positions packed into
+     * three atomic cursors (16-bit storage generation | 48-bit
+     * position):
+     *
+     *  - tail:     bytes the refill producer has published, stored
+     *              with release after the ring bytes are written;
+     *  - claim:    bytes consumers have claimed — a lock-free read
+     *              CASes it forward, then copies ring[pos % cap);
+     *  - readDone: bytes fully copied out. Consumers advance it in
+     *              claim (ticket) order, and the producer never
+     *              writes past readDone + capacity, so a claimed
+     *              range stays stable for the whole copy.
+     *
+     * Invariant: readDone <= claim <= tail (same generation) and
+     * tail - readDone <= ring.size(). The generation only changes
+     * when the storage itself is replaced (ringResetLocked); an
+     * in-flight CAS from the old generation then fails and the
+     * reader falls back to the mutex path. The mutex still guards
+     * every slow path: refill, sync-fill, re-sourcing, retune/flush,
+     * chunk resolution, and the legacy full-mutex serving mode
+     * (cfg.lockFreeReads = false).
      */
     struct Shard
     {
         mutable std::mutex mutex;
         core::Trng *backend = nullptr;
-        size_t backendIndex = 0;
+        /** Atomic because the lock-free serve path reads it for the
+         * unhealthy-serve tripwire; written under the mutex. */
+        std::atomic<size_t> backendIndex{0};
         /** The bank this shard was constructed on; a re-sourced
          * shard returns here once the bank is re-admitted. */
         size_t homeBackend = 0;
-        /** Last resourceEpoch_ this shard revalidated against. */
-        uint64_t seenEpoch = 0;
+        /** Last resourceEpoch_ this shard revalidated against; the
+         * lock-free path compares it before claiming and falls to
+         * the mutex path on any pending transition. */
+        std::atomic<uint64_t> seenEpoch{0};
         size_t chunk = 0;
         bool chunkKnown = false;
         std::vector<uint8_t> ring;
-        size_t head = 0;  ///< Read position.
-        size_t size = 0;  ///< Bytes buffered.
+        /** SPMC cursors; see the struct comment. */
+        std::atomic<uint64_t> claim{0};
+        std::atomic<uint64_t> tail{0};
+        std::atomic<uint64_t> readDone{0};
         /**
          * Simulated time the shard's request path is busy until
          * (latency model): synchronous fills occupy the backend, so
-         * later timestamped arrivals queue behind them.
+         * later timestamped arrivals queue behind them. Misses store
+         * it under the mutex; lock-free timed hits only read.
          */
-        double busyUntilNs = 0.0;
+        std::atomic<double> busyUntilNs{0.0};
         /**
          * Recent non-bulk request latencies served by this shard
          * (timestamped requests only) — the placement/migration load
-         * signal. Guarded by the shard mutex like busyUntilNs.
+         * signal. Internally lock-free.
          */
         RecentLatencyWindow recent;
+        /**
+         * Per-priority end-to-end latency distributions, sharded so
+         * the timed path never crosses a service-global lock;
+         * latencySnapshot() merges them across shards.
+         */
+        std::array<LatencyDistribution, 3> latencyByClass;
     };
 
     /**
@@ -682,8 +743,34 @@ class EntropyService
      */
     size_t chunkLocked(Shard &shard);
 
-    /** FIFO-drain up to @p len bytes; returns bytes taken. */
-    size_t takeLocked(Shard &shard, uint8_t *out, size_t len);
+    /** Buffered, unclaimed bytes (tail - claim); wait-free. */
+    static size_t levelOf(const Shard &shard);
+
+    /**
+     * Claim and copy up to @p len buffered bytes. Lock-free: callers
+     * on the hit path hold no lock; the mutex-held slow paths use
+     * the same claim protocol and race concurrent lock-free readers
+     * benignly. With @p all_or_nothing only a full @p len is ever
+     * claimed (the miss path claims nothing and completes under the
+     * mutex instead of splitting a request across the fence).
+     * Returns bytes copied.
+     */
+    size_t ringTake(Shard &shard, uint8_t *out, size_t len,
+                    bool all_or_nothing);
+
+    /** Discard the buffered bytes (claim -> tail); shard mutex
+     * held. Returns the bytes dropped. */
+    size_t ringFlushLocked(Shard &shard);
+
+    /**
+     * Fence lock-free readers off the ring storage: bump the cursor
+     * generation (every in-flight CAS fails over to the mutex),
+     * wait for already-claimed copies to retire, then reset the
+     * cursors to position 0. Shard mutex held, ring already
+     * flushed. Only needed when the storage itself is about to be
+     * replaced (chunk re-resolution after re-sourcing/retuning).
+     */
+    void ringResetLocked(Shard &shard);
 
     /**
      * Pull @p want bytes from the backend into the ring, observing
@@ -743,11 +830,11 @@ class EntropyService
     size_t deficitLocked(Shard &shard, double frac);
 
     /** Missing buffered bytes as a fraction of capacity (0..1);
-     * the shard's mutex must be held. */
-    double deficitFractionLocked(const Shard &shard) const;
+     * wait-free (atomic cursor reads). */
+    double deficitFraction(const Shard &shard) const;
 
-    /** Placement load score; the shard's mutex must be held. */
-    double loadLocked(const Shard &shard) const;
+    /** Placement load score; wait-free. */
+    double loadOf(const Shard &shard) const;
 
     /** Top one shard up to capacity; returns bytes added. */
     size_t refillShard(Shard &shard);
@@ -759,6 +846,17 @@ class EntropyService
      */
     RequestResult requestOn(Client::State &client, uint8_t *out,
                             size_t len, double arrival_ns);
+
+    /**
+     * Shared request epilogue for the lock-free and mutex serve
+     * paths: the unhealthy-serve tripwire, the modelled-latency
+     * bookkeeping (timed requests), and the per-client stat
+     * accumulators. Takes no lock.
+     */
+    RequestResult finishRequest(Client::State &client, Shard &shard,
+                                RequestResult result,
+                                size_t synchronous_bytes,
+                                double arrival_ns);
 
     EntropyServiceConfig cfg_;
     /** The backend pool (not owned); re-sourcing picks from here. */
@@ -786,7 +884,9 @@ class EntropyService
     std::atomic<uint64_t> resourcings_{0};
     std::atomic<uint64_t> suspectBytesDropped_{0};
 
-    std::mutex clientsMutex_;
+    /** Guards the registry only; mutable so the aggregate-stat sums
+     * (over per-client accumulators) stay const. */
+    mutable std::mutex clientsMutex_;
     std::vector<std::unique_ptr<Client::State>> clients_;
     size_t nextShard_ = 0;
 
@@ -811,18 +911,9 @@ class EntropyService
     uint64_t admissionTickIndex_ = 0;
     AdmissionStats admissionStats_;
 
-    std::atomic<uint64_t> requests_{0};
-    std::atomic<uint64_t> hits_{0};
-    std::atomic<uint64_t> misses_{0};
-    std::atomic<uint64_t> denials_{0};
     std::atomic<uint64_t> refills_{0};
     std::atomic<uint64_t> bytesRefilled_{0};
 
-    /** Guards the per-priority distributions (timestamped requests
-     * only; the untimed path never takes it, and the timed path only
-     * holds it for the sample insert). */
-    mutable std::mutex latencyMutex_;
-    std::array<LatencyDistribution, 3> latencyByClass_;
     /** Installed sync-fill rate; 0 = use cfg_.latency default. */
     std::atomic<double> missNsPerByte_{0.0};
 

@@ -115,31 +115,85 @@ RecentLatencyWindow::RecentLatencyWindow(size_t capacity)
 {
 }
 
+RecentLatencyWindow::RecentLatencyWindow(
+    const RecentLatencyWindow &other)
+    : ring_(other.ring_.size())
+{
+    for (size_t i = 0; i < ring_.size(); ++i)
+        ring_[i].store(other.ring_[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    next_.store(other.next_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    base_.store(other.base_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+}
+
+RecentLatencyWindow &
+RecentLatencyWindow::operator=(const RecentLatencyWindow &other)
+{
+    if (this == &other)
+        return *this;
+    std::vector<std::atomic<double>> fresh(other.ring_.size());
+    for (size_t i = 0; i < fresh.size(); ++i)
+        fresh[i].store(other.ring_[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    ring_ = std::move(fresh);
+    next_.store(other.next_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    base_.store(other.base_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+}
+
 void
 RecentLatencyWindow::add(double latency_ns)
 {
-    ring_[next_] = latency_ns;
-    next_ = (next_ + 1) % ring_.size();
-    count_ = std::min(count_ + 1, ring_.size());
+    uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+    ring_[slot % ring_.size()].store(latency_ns,
+                                     std::memory_order_relaxed);
 }
 
 void
 RecentLatencyWindow::clear()
 {
-    next_ = 0;
-    count_ = 0;
+    // Retiring the window is just advancing the base: old slots stay
+    // written but fall outside (base_, next_] and age out of every
+    // later percentile query.
+    base_.store(next_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+}
+
+size_t
+RecentLatencyWindow::count() const
+{
+    uint64_t next = next_.load(std::memory_order_relaxed);
+    uint64_t base = base_.load(std::memory_order_relaxed);
+    uint64_t live = next > base ? next - base : 0;
+    return static_cast<size_t>(
+        std::min<uint64_t>(live, ring_.size()));
 }
 
 double
 RecentLatencyWindow::percentileNs(double q) const
 {
     QUAC_ASSERT(q > 0.0 && q <= 1.0, "q=%f", q);
-    if (count_ == 0)
+    uint64_t next = next_.load(std::memory_order_relaxed);
+    uint64_t base = base_.load(std::memory_order_relaxed);
+    uint64_t live = next > base ? next - base : 0;
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(live, ring_.size()));
+    if (n == 0)
         return 0.0;
-    std::vector<double> sorted(ring_.begin(),
-                               ring_.begin() +
-                                   static_cast<ptrdiff_t>(count_));
-    size_t rank = nearestRank(q, count_);
+    // Snapshot the live slots (a racing add may replace a sample
+    // mid-copy with a newer one: both were real latencies, and a
+    // one-sample wobble is noise to a percentile signal).
+    std::vector<double> sorted(n);
+    for (size_t i = 0; i < n; ++i) {
+        sorted[i] =
+            ring_[(next - n + i) % ring_.size()].load(
+                std::memory_order_relaxed);
+    }
+    size_t rank = nearestRank(q, n);
     std::nth_element(sorted.begin(),
                      sorted.begin() + static_cast<ptrdiff_t>(rank),
                      sorted.end());

@@ -16,7 +16,9 @@
 #ifndef QUAC_SERVICE_LATENCY_MODEL_HH
 #define QUAC_SERVICE_LATENCY_MODEL_HH
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -85,19 +87,27 @@ class LatencyDistribution
  * "what has this shard done for its clients lately" signal the
  * placement policy and SLO-driven migration consume. Percentiles are
  * nearest-rank over the window only, so old congestion ages out once
- * a shard recovers. Not internally synchronized — the service guards
- * each shard's window with that shard's mutex.
+ * a shard recovers.
+ *
+ * Lock-free: the service's lock-free data plane records hit
+ * latencies without taking the shard mutex, so adds, clears, and
+ * percentile queries may all race. Every slot and cursor is a
+ * relaxed atomic — a racing reader sees a well-defined (if
+ * momentarily stale) window, never undefined behaviour, which is
+ * exactly the contract a load-balancing *signal* needs.
  */
 class RecentLatencyWindow
 {
   public:
     explicit RecentLatencyWindow(size_t capacity = 128);
+    RecentLatencyWindow(const RecentLatencyWindow &other);
+    RecentLatencyWindow &operator=(const RecentLatencyWindow &other);
 
     void add(double latency_ns);
     void clear();
 
     /** Samples currently in the window (<= capacity). */
-    size_t count() const { return count_; }
+    size_t count() const;
     size_t capacity() const { return ring_.size(); }
 
     /** Nearest-rank percentile over the window; 0 when empty. */
@@ -106,9 +116,14 @@ class RecentLatencyWindow
     double p99Ns() const { return percentileNs(0.99); }
 
   private:
-    std::vector<double> ring_;
-    size_t next_ = 0;
-    size_t count_ = 0;
+    /** Slot values, written with relaxed stores by add(). */
+    std::vector<std::atomic<double>> ring_;
+    /** Monotonic count of samples ever added; a sample lands in
+     * slot (next % capacity). */
+    std::atomic<uint64_t> next_{0};
+    /** clear() raises the base to next_: the live window is the
+     * samples in (base_, next_], capped at the ring size. */
+    std::atomic<uint64_t> base_{0};
 };
 
 } // namespace quac::service

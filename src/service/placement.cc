@@ -26,8 +26,9 @@ SloMigrator::tick()
 {
     ++tickIndex_;
     size_t nshards = service_.shardCount();
-    // One snapshot per shard per tick (a single lock acquisition
-    // each): every decision below sees the same picture.
+    // One snapshot per shard per tick (a wait-free cursor read each
+    // on the lock-free plane): every decision below sees the same
+    // picture.
     std::vector<double> load(nshards);
     std::vector<double> p95(nshards);
     std::vector<double> p99(nshards);

@@ -192,6 +192,59 @@ TEST(Sha256, ShaNiIncrementalMatchesOneShot)
               Sha256::hex(Sha256::hash(data)));
 }
 
+TEST(Sha256, InterleavedBatchMatchesScalarHashes)
+{
+    // Force the four-lane schedule (SHA-NI off) over a length mix
+    // that exercises lockstep data blocks, materialized padding
+    // blocks (incl. the 55/56-byte boundary), and the scalar tails
+    // of uneven lanes -- plus equal-length lanes, the TRNG's shape,
+    // where even the padding block runs interleaved.
+    HwGuard guard(false);
+    std::vector<size_t> lens = {0,   1,   55,  56,   63,   64,  65,
+                                120, 128, 512, 8192, 8192, 8192};
+    std::vector<std::vector<uint8_t>> msgs;
+    for (size_t i = 0; i < lens.size(); ++i) {
+        std::vector<uint8_t> msg(lens[i]);
+        for (size_t k = 0; k < msg.size(); ++k)
+            msg[k] = static_cast<uint8_t>(31 * i + k);
+        msgs.push_back(std::move(msg));
+    }
+    std::vector<Sha256::Job> jobs;
+    for (const std::vector<uint8_t> &msg : msgs)
+        jobs.push_back({msg.data(), msg.size()});
+    std::vector<Sha256::Digest> batch(jobs.size());
+    Sha256::hashBatch(jobs.data(), jobs.size(), batch.data());
+    for (size_t i = 0; i < msgs.size(); ++i) {
+        EXPECT_EQ(Sha256::hex(batch[i]),
+                  Sha256::hex(Sha256::hash(msgs[i])))
+            << "lane " << i << " length " << lens[i];
+    }
+}
+
+TEST(Sha256, InterleavedBatchMatchesHardwarePath)
+{
+    if (!Sha256::hwAvailable())
+        GTEST_SKIP() << "no SHA-NI on this host/build";
+    std::vector<uint8_t> data(4 * 512);
+    for (size_t k = 0; k < data.size(); ++k)
+        data[k] = static_cast<uint8_t>(k * 7);
+    std::vector<Sha256::Job> jobs;
+    for (int l = 0; l < 4; ++l)
+        jobs.push_back({data.data() + l * 512, 512});
+
+    std::vector<Sha256::Digest> scalar(4), hw(4);
+    {
+        HwGuard guard(false);
+        Sha256::hashBatch(jobs.data(), jobs.size(), scalar.data());
+    }
+    {
+        HwGuard guard(true);
+        Sha256::hashBatch(jobs.data(), jobs.size(), hw.data());
+    }
+    for (int l = 0; l < 4; ++l)
+        EXPECT_EQ(Sha256::hex(scalar[l]), Sha256::hex(hw[l]));
+}
+
 TEST(Sha256, HwToggleRoundTrips)
 {
     bool initial = Sha256::hwEnabled();

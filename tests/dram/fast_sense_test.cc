@@ -257,6 +257,70 @@ TEST(SaturationFastPath, SaturatedProbabilityRowsAreExactConstants)
     EXPECT_TRUE(metastable);
 }
 
+TEST(SaturationFastPath, MixedResidualRaceResolvesFromResidualBits)
+{
+    // RowClone from a MIXED-content source row: the residual bits
+    // span both tails, so the whole-row saturation test can never
+    // fire -- only the residual-dominated race path can skip the
+    // probability row. It must stay bit-identical to the full Phi
+    // batch (whose per-bitline snapping it reproduces) and keep the
+    // noise streams aligned (no draws on either side).
+    DramModule with(specWithSaturation(true));
+    DramModule without(specWithSaturation(false));
+    uint32_t nbits = with.geometry().bitlinesPerRow;
+
+    std::vector<std::vector<uint64_t>> rows;
+    for (DramModule *module : {&with, &without}) {
+        softmc::SoftMcHost host(*module);
+        pokeNoiseRow(module->bank(0), 8, nbits, 7);   // mixed source
+        pokeNoiseRow(module->bank(0), 16, nbits, 99); // destination
+        host.rowCloneCopy(0, 8, 16);
+        rows.push_back(module->bank(0).peekRow(16));
+        std::vector<uint64_t> quac_row(
+            module->geometry().wordsPerRow());
+        runQuac(*module, host, 9, 0b1110, quac_row);
+        rows.push_back(quac_row);
+    }
+    EXPECT_EQ(rows[0], rows[2]) << "RowClone rows differ";
+    EXPECT_EQ(rows[1], rows[3]) << "post-RowClone QUAC rows differ";
+
+    EXPECT_GT(with.bank(0).residRaceFastPaths(), 0u);
+    EXPECT_EQ(without.bank(0).residRaceFastPaths(), 0u);
+}
+
+TEST(SaturationFastPath, DecayedResidualRaceStaysOnFullPath)
+{
+    // Stretch the PRE -> ACT gap so the residual decays to barely
+    // above the race threshold: the cells' pull dominates, the
+    // saturation margin cannot hold, and the race must resolve
+    // through the full probability path -- identically with the fast
+    // path enabled or disabled.
+    DramModule with(specWithSaturation(true));
+    DramModule without(specWithSaturation(false));
+    uint32_t nbits = with.geometry().bitlinesPerRow;
+    const dram::Calibration &cal = with.calibration();
+
+    std::vector<std::vector<uint64_t>> rows;
+    for (DramModule *module : {&with, &without}) {
+        softmc::SoftMcHost host(*module);
+        host.writeRowFill(0, 8, true);
+        pokeNoiseRow(module->bank(0), 16, nbits, 31);
+        host.act(0, 8);
+        host.wait(cal.rowCloneSrcOpenNs);
+        host.pre(0);
+        // railMv * exp(-10 / tauEqNs) ~ 2 mV: still a race, far from
+        // dominating the ~singleRowKickMv cell pull.
+        host.wait(10.0);
+        host.act(0, 16);
+        host.wait(host.timing().tRAS);
+        host.preObeyed(0);
+        rows.push_back(module->bank(0).peekRow(16));
+    }
+    EXPECT_EQ(rows[0], rows[1]) << "decayed-race rows differ";
+    EXPECT_EQ(with.bank(0).residRaceFastPaths(), 0u);
+    EXPECT_EQ(without.bank(0).residRaceFastPaths(), 0u);
+}
+
 TEST(SaturationFastPath, UncachedOracleScansOffsetsAndStaysIdentical)
 {
     // The fast-path must also work (and stay bit-identical) when the
