@@ -1037,17 +1037,23 @@ scenarioStreamsMatch(const std::vector<std::vector<uint8_t>> &ref,
     return true;
 }
 
-/** Drive every admitted flash-crowd client once, recording served
- * bytes into the per-shard streams (serve order matters for the
- * replay-identity check). */
+/** Drive every admitted flash-crowd client once at its issuing
+ * phase's request size (@p fallback_bytes for an untagged client),
+ * recording served bytes into the per-shard streams (serve order
+ * matters for the replay-identity check). */
 void
 driveCrowd(const scenario::ScenarioEngine &engine, double tick_start,
-           size_t bytes, std::vector<std::vector<uint8_t>> &served)
+           size_t fallback_bytes,
+           std::vector<std::vector<uint8_t>> &served)
 {
-    std::vector<uint8_t> buf(bytes);
+    std::vector<uint8_t> buf;
     size_t idx = 0;
-    for (service::EntropyService::Client client :
+    for (const scenario::ScenarioEngine::CrowdClient &crowd :
          engine.crowdClients()) {
+        service::EntropyService::Client client = crowd.client;
+        size_t bytes = crowd.requestBytes > 0 ? crowd.requestBytes
+                                              : fallback_bytes;
+        buf.resize(bytes);
         auto result = client.requestAt(
             buf.data(), bytes,
             tick_start + 1.0e3 * static_cast<double>(++idx));

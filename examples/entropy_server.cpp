@@ -190,12 +190,9 @@ main(int argc, char **argv)
               "would go undetected)");
     bool campaign_crowd = false;
     bool campaign_drift = false;
-    size_t crowd_bytes = 1024;
     for (const scenario::PhaseSpec &phase : campaign.phases) {
-        if (phase.kind == scenario::PhaseKind::FlashCrowd) {
+        if (phase.kind == scenario::PhaseKind::FlashCrowd)
             campaign_crowd = true;
-            crowd_bytes = std::max(crowd_bytes, phase.requestBytes);
-        }
         if (phase.kind == scenario::PhaseKind::ThermalDrift)
             campaign_drift = true;
     }
@@ -395,11 +392,14 @@ main(int argc, char **argv)
             // produced) and before the refill; admitted crowd
             // clients drain bulk bytes late in each tick.
             size_t idx = 0;
-            for (service::EntropyService::Client crowd :
+            for (const scenario::ScenarioEngine::CrowdClient &crowd :
                  engine->crowdClients()) {
-                crowd.requestAt(sink.data(), crowd_bytes,
-                                tick_start + 0.9 * rcfg.tickNs +
-                                    static_cast<double>(idx++));
+                service::EntropyService::Client client = crowd.client;
+                size_t bytes =
+                    crowd.requestBytes > 0 ? crowd.requestBytes : 1024;
+                client.requestAt(sink.data(), bytes,
+                                 tick_start + 0.9 * rcfg.tickNs +
+                                     static_cast<double>(idx++));
             }
             engine->beginTick(t);
         }

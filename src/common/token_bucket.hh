@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic token-bucket pacer.
+ *
+ * Time is supplied by the caller in nanoseconds (wall clock on the
+ * network hot path, a synthetic clock in tests), so refill is exact
+ * and replayable: same (rate, burst, call sequence) => same
+ * decisions. A zero rate means unlimited — tryTake always succeeds —
+ * so the disabled case costs one branch and no clock read.
+ */
+
+#ifndef QUAC_COMMON_TOKEN_BUCKET_HH
+#define QUAC_COMMON_TOKEN_BUCKET_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace quac
+{
+
+/** Token bucket over a caller-supplied clock. */
+class TokenBucket
+{
+  public:
+    /** Unlimited (tryTake always succeeds). */
+    TokenBucket() = default;
+
+    /**
+     * @param tokens_per_sec refill rate (<= 0 = unlimited).
+     * @param burst bucket capacity; the bucket starts full. A
+     *        non-positive burst with a positive rate falls back to
+     *        one second's worth of tokens.
+     */
+    TokenBucket(double tokens_per_sec, double burst)
+        : rate_(tokens_per_sec),
+          burst_(burst > 0.0 ? burst : tokens_per_sec),
+          tokens_(burst_)
+    {
+    }
+
+    bool unlimited() const { return rate_ <= 0.0; }
+
+    /**
+     * Refill for the time elapsed since the previous call, then
+     * take @p tokens if available. The first call anchors the
+     * clock. @p now_ns must be monotonic; a backwards step refills
+     * nothing (never throws tokens away).
+     */
+    bool tryTake(double tokens, uint64_t now_ns)
+    {
+        if (unlimited())
+            return true;
+        if (!primed_) {
+            primed_ = true;
+            lastNs_ = now_ns;
+        }
+        if (now_ns > lastNs_) {
+            tokens_ = std::min(
+                burst_, tokens_ + rate_ * 1e-9 *
+                            static_cast<double>(now_ns - lastNs_));
+            lastNs_ = now_ns;
+        }
+        if (tokens_ < tokens)
+            return false;
+        tokens_ -= tokens;
+        return true;
+    }
+
+    /**
+     * Return @p tokens to the bucket (bounded by burst). Used to
+     * refund a charge that a later gate rejected — e.g. a per-client
+     * take undone because the global cap said no.
+     */
+    void credit(double tokens)
+    {
+        if (!unlimited())
+            tokens_ = std::min(burst_, tokens_ + tokens);
+    }
+
+    /** Current level (burst_ before the first tryTake). */
+    double tokens() const { return unlimited() ? 0.0 : tokens_; }
+
+  private:
+    double rate_ = 0.0;
+    double burst_ = 0.0;
+    double tokens_ = 0.0;
+    uint64_t lastNs_ = 0;
+    bool primed_ = false;
+};
+
+} // namespace quac
+
+#endif // QUAC_COMMON_TOKEN_BUCKET_HH

@@ -1,0 +1,195 @@
+#include "net/wire.hh"
+
+#include <cstring>
+
+namespace quac::net
+{
+
+namespace
+{
+
+void
+pack16(uint8_t *out, uint16_t v)
+{
+    out[0] = static_cast<uint8_t>(v);
+    out[1] = static_cast<uint8_t>(v >> 8);
+}
+
+void
+pack32(uint8_t *out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void
+pack64(uint8_t *out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint16_t
+unpack16(const uint8_t *in)
+{
+    return static_cast<uint16_t>(in[0] | (in[1] << 8));
+}
+
+uint32_t
+unpack32(const uint8_t *in)
+{
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | in[i];
+    return v;
+}
+
+uint64_t
+unpack64(const uint8_t *in)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | in[i];
+    return v;
+}
+
+/**
+ * Shared 32-byte header layout:
+ *   0  u32 magic
+ *   4  u8  version
+ *   5  u8  priority (request) / status (response)
+ *   6  u16 reserved = 0
+ *   8  u64 client id
+ *  16  u64 nonce
+ *  24  u32 requested bytes (request) / payload bytes (response)
+ *  28  u32 reserved = 0
+ */
+ParseError
+checkHeader(const uint8_t *data, size_t len)
+{
+    if (len < kRequestBytes)
+        return ParseError::Truncated;
+    if (unpack32(data + 0) != kMagic)
+        return ParseError::BadMagic;
+    if (data[4] != kVersion)
+        return ParseError::BadVersion;
+    if (unpack16(data + 6) != 0 || unpack32(data + 28) != 0)
+        return ParseError::BadReserved;
+    return ParseError::None;
+}
+
+void
+packHeader(uint8_t *out, uint8_t code, uint64_t client_id,
+           uint64_t nonce, uint32_t bytes)
+{
+    pack32(out + 0, kMagic);
+    out[4] = kVersion;
+    out[5] = code;
+    pack16(out + 6, 0);
+    pack64(out + 8, client_id);
+    pack64(out + 16, nonce);
+    pack32(out + 24, bytes);
+    pack32(out + 28, 0);
+}
+
+} // anonymous namespace
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+    case Status::Ok: return "ok";
+    case Status::Partial: return "partial";
+    case Status::DenyThrottled: return "deny-throttled";
+    case Status::DenyGlobal: return "deny-global";
+    case Status::DenyAdmission: return "deny-admission";
+    case Status::DenyBusy: return "deny-busy";
+    case Status::DenyOversized: return "deny-oversized";
+    case Status::DenyReplay: return "deny-replay";
+    case Status::DenyService: return "deny-service";
+    }
+    return "unknown";
+}
+
+bool
+isDeny(Status status)
+{
+    return status != Status::Ok && status != Status::Partial;
+}
+
+const char *
+parseErrorName(ParseError error)
+{
+    switch (error) {
+    case ParseError::None: return "none";
+    case ParseError::Truncated: return "truncated";
+    case ParseError::Oversized: return "oversized";
+    case ParseError::BadMagic: return "bad-magic";
+    case ParseError::BadVersion: return "bad-version";
+    case ParseError::BadPriority: return "bad-priority";
+    case ParseError::BadReserved: return "bad-reserved";
+    }
+    return "unknown";
+}
+
+ParseError
+parseRequest(const uint8_t *data, size_t len, Request &out)
+{
+    // Size first: a datagram of the wrong size is classified by its
+    // size alone, so a truncated copy of a valid request still
+    // reads as Truncated, not as whatever its magic happens to say.
+    if (len < kRequestBytes)
+        return ParseError::Truncated;
+    if (len > kRequestBytes)
+        return ParseError::Oversized;
+    ParseError err = checkHeader(data, len);
+    if (err != ParseError::None)
+        return err;
+    if (data[5] > 2)
+        return ParseError::BadPriority;
+    out.priority = data[5];
+    out.clientId = unpack64(data + 8);
+    out.nonce = unpack64(data + 16);
+    out.bytes = unpack32(data + 24);
+    return ParseError::None;
+}
+
+size_t
+encodeRequest(uint8_t *out, const Request &request)
+{
+    packHeader(out, request.priority, request.clientId,
+               request.nonce, request.bytes);
+    return kRequestBytes;
+}
+
+size_t
+encodeResponseHeader(uint8_t *out, Status status, uint64_t client_id,
+                     uint64_t nonce, uint32_t payload_bytes)
+{
+    packHeader(out, static_cast<uint8_t>(status), client_id, nonce,
+               payload_bytes);
+    return kResponseHeaderBytes;
+}
+
+ParseError
+parseResponse(const uint8_t *data, size_t len, Response &out)
+{
+    ParseError err = checkHeader(data, len);
+    if (err != ParseError::None)
+        return err;
+    if (data[5] >= kStatusCount)
+        return ParseError::BadPriority; // status out of range
+    uint32_t payload = unpack32(data + 24);
+    if (len != kResponseHeaderBytes + payload) {
+        return len < kResponseHeaderBytes + payload
+                   ? ParseError::Truncated
+                   : ParseError::Oversized;
+    }
+    out.status = static_cast<Status>(data[5]);
+    out.clientId = unpack64(data + 8);
+    out.nonce = unpack64(data + 16);
+    out.payloadBytes = payload;
+    return ParseError::None;
+}
+
+} // namespace quac::net

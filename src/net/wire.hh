@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Compact UDP wire protocol for the entropy front end.
+ *
+ * One datagram carries one request or one response. A request is a
+ * fixed 32-byte header (magic + version + priority + client id +
+ * sequence nonce + requested bytes); a response echoes the client id
+ * and nonce — the client matches responses to requests and detects
+ * drops/reordering from nonce gaps, the keyid/nonce idiom of
+ * janmojzis/pok's nk.c scaled down to an unencrypted entropy feed.
+ * All integers are little-endian; reserved fields must be zero so
+ * the format can grow without a version bump.
+ *
+ * Parsing never allocates and never touches the service: a
+ * malformed, truncated, or oversized datagram is classified and
+ * dropped before any client-table or shard state is consulted
+ * (a garbage blast must not evict live clients or drain entropy).
+ * Well-formed requests, by contract, always produce exactly one
+ * response — overload is an explicit DENY status, never silence.
+ */
+
+#ifndef QUAC_NET_WIRE_HH
+#define QUAC_NET_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace quac::net
+{
+
+/** "QTRN" in the first four bytes of every datagram. */
+constexpr uint32_t kMagic = 0x4E525451u; // LE bytes: 'Q' 'T' 'R' 'N'
+
+/** Protocol version carried in byte 4. */
+constexpr uint8_t kVersion = 1;
+
+/** Exact request datagram size in bytes. */
+constexpr size_t kRequestBytes = 32;
+
+/** Response header size; entropy payload follows immediately. */
+constexpr size_t kResponseHeaderBytes = 32;
+
+/**
+ * Hard per-request payload cap: header + payload stays under the
+ * 1280-byte IPv6 minimum MTU, so a response datagram never
+ * fragments on any sane path.
+ */
+constexpr size_t kMaxPayloadBytes = 1184;
+
+/** Response status codes (byte 5 of a response). */
+enum class Status : uint8_t
+{
+    /** Full requested payload follows. */
+    Ok = 0,
+    /** Bulk backpressure: a shorter-than-requested payload follows
+     * (possibly empty); retry after the next refill. */
+    Partial = 1,
+    /** Per-client token bucket empty: paced, retry later. */
+    DenyThrottled = 2,
+    /** Global bytes/s cap exhausted: retry later. */
+    DenyGlobal = 3,
+    /** Admission gate rejected the connect outright (retry queue
+     * full). */
+    DenyAdmission = 4,
+    /** Connect parked in the admission retry queue: not yet
+     * admitted, retry later. */
+    DenyBusy = 5,
+    /** Requested bytes exceed the server's payload cap. */
+    DenyOversized = 6,
+    /** Stale or duplicate sequence nonce (replay). */
+    DenyReplay = 7,
+    /** The service itself denied the request (no servable bank, or
+     * a backend failure surfaced mid-fill). */
+    DenyService = 8,
+};
+
+/** Number of distinct Status values (stat-array size). */
+constexpr size_t kStatusCount = 9;
+
+/** Display name ("ok", "partial", "deny-throttled", ...). */
+const char *statusName(Status status);
+
+/** True for every Deny* status (accounting: ok+partial+denies). */
+bool isDeny(Status status);
+
+/** Why a datagram failed to parse. */
+enum class ParseError : uint8_t
+{
+    None = 0,
+    /** Datagram shorter than the fixed header. */
+    Truncated = 1,
+    /** Datagram longer than the fixed header (requests) or than the
+     * header + declared payload (responses). */
+    Oversized = 2,
+    BadMagic = 3,
+    BadVersion = 4,
+    /** Priority byte outside {0, 1, 2}. */
+    BadPriority = 5,
+    /** Reserved fields not zero. */
+    BadReserved = 6,
+};
+
+/** Number of distinct ParseError values (stat-array size). */
+constexpr size_t kParseErrorCount = 7;
+
+/** Display name ("truncated", "bad-magic", ...). */
+const char *parseErrorName(ParseError error);
+
+/** A decoded request. */
+struct Request
+{
+    /** Wire priority: 0 interactive, 1 standard, 2 bulk. */
+    uint8_t priority = 1;
+    /** Caller-chosen 64-bit client identity. */
+    uint64_t clientId = 0;
+    /** Per-client strictly increasing sequence nonce. */
+    uint64_t nonce = 0;
+    /** Requested entropy bytes. */
+    uint32_t bytes = 0;
+};
+
+/** A decoded response header. */
+struct Response
+{
+    Status status = Status::Ok;
+    uint64_t clientId = 0;
+    /** Echo of the request nonce. */
+    uint64_t nonce = 0;
+    /** Payload bytes following the header. */
+    uint32_t payloadBytes = 0;
+};
+
+/**
+ * Validate and decode a request datagram. @p len is the datagram
+ * size as received (a truncating read must be detected by the
+ * caller and reported as Oversized). No allocation; @p out is only
+ * written when the result is ParseError::None.
+ */
+ParseError parseRequest(const uint8_t *data, size_t len,
+                        Request &out);
+
+/** Encode a request into @p out (>= kRequestBytes). Returns
+ * kRequestBytes. */
+size_t encodeRequest(uint8_t *out, const Request &request);
+
+/**
+ * Encode a response *header* into @p out (>= kResponseHeaderBytes).
+ * The payload is written separately — normally it is already in
+ * place, served straight into out + kResponseHeaderBytes by the
+ * shard ring's zero-copy claim. Returns kResponseHeaderBytes.
+ */
+size_t encodeResponseHeader(uint8_t *out, Status status,
+                            uint64_t client_id, uint64_t nonce,
+                            uint32_t payload_bytes);
+
+/**
+ * Validate and decode a response datagram (client side). @p len
+ * must equal kResponseHeaderBytes + payloadBytes exactly.
+ */
+ParseError parseResponse(const uint8_t *data, size_t len,
+                         Response &out);
+
+} // namespace quac::net
+
+#endif // QUAC_NET_WIRE_HH

@@ -395,14 +395,18 @@ ScenarioEngine::beginTick(uint64_t tick)
                     ++counters_.crowdAttempted;
                     service::EntropyService::AdmissionOutcome
                         outcome = service_.admit(
-                            std::move(name),
-                            service::Priority::Bulk);
+                            name, service::Priority::Bulk);
                     switch (outcome.decision) {
                     case service::AdmissionDecision::Admitted:
-                        crowd_.push_back(*outcome.client);
+                        crowd_.push_back(
+                            {*outcome.client, phase.requestBytes});
                         ++counters_.crowdAdmitted;
                         break;
                     case service::AdmissionDecision::Queued:
+                        // Remember the issuing phase's request size
+                        // so the client is adopted with it when the
+                        // queue releases the connect.
+                        queuedBytes_[name] = phase.requestBytes;
                         ++counters_.crowdQueued;
                         break;
                     case service::AdmissionDecision::Denied:
@@ -422,7 +426,13 @@ ScenarioEngine::beginTick(uint64_t tick)
     // is a crowd client).
     for (service::EntropyService::Client &client :
          service_.admissionTick()) {
-        crowd_.push_back(client);
+        size_t bytes = 0;
+        auto queued = queuedBytes_.find(client.name());
+        if (queued != queuedBytes_.end()) {
+            bytes = queued->second;
+            queuedBytes_.erase(queued);
+        }
+        crowd_.push_back({client, bytes});
         ++counters_.crowdAdmitted;
     }
 }

@@ -43,6 +43,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/fault_injection.hh"
@@ -194,12 +195,25 @@ class ScenarioEngine
     const ScenarioSpec &spec() const { return spec_; }
 
     /**
-     * Flash-crowd clients admitted so far (burst admissions plus
-     * clients the admission queue released). The study loop drives
-     * their requests; the engine only owns the handles.
+     * One admitted flash-crowd client, tagged with the request size
+     * of the phase that issued its connect — overlapping campaigns
+     * can run a small-request crowd and a large-request crowd
+     * side by side, and the study loop drives each client with its
+     * own phase's size instead of one size for everyone.
      */
-    const std::vector<service::EntropyService::Client> &
-    crowdClients() const
+    struct CrowdClient
+    {
+        service::EntropyService::Client client;
+        size_t requestBytes = 0;
+    };
+
+    /**
+     * Flash-crowd clients admitted so far (burst admissions plus
+     * clients the admission queue released), each carrying its
+     * phase's request size. The study loop drives their requests;
+     * the engine only owns the handles.
+     */
+    const std::vector<CrowdClient> &crowdClients() const
     {
         return crowd_;
     }
@@ -211,7 +225,11 @@ class ScenarioEngine
     core::ThermalGovernor *thermal_;
     ScenarioEngineConfig cfg_;
     Counters counters_;
-    std::vector<service::EntropyService::Client> crowd_;
+    std::vector<CrowdClient> crowd_;
+    /** Request size of each connect parked in the admission queue,
+     * by client name, so a queue-released client is adopted with
+     * its issuing phase's size. */
+    std::unordered_map<std::string, size_t> queuedBytes_;
     uint64_t nextTick_ = 0;
 };
 

@@ -126,6 +126,8 @@ EntropyService::EntropyService(std::vector<core::Trng *> backends,
         fatal("refill threads must be >= 1 (1 = serial refill)");
     if (cfg_.placementLatencyWeight < 0.0)
         fatal("placement latency weight must be >= 0");
+    if (cfg_.placementBusyWeight < 0.0)
+        fatal("placement busy weight must be >= 0");
     if (cfg_.recentLatencyWindow == 0)
         fatal("recent latency window must hold at least one sample");
     if (cfg_.admission.enabled) {
@@ -142,6 +144,10 @@ EntropyService::EntropyService(std::vector<core::Trng *> backends,
         if (cfg_.admission.maxBackoffTicks <
             cfg_.admission.retryBackoffTicks)
             fatal("admission backoff ceiling below the base backoff");
+        if (cfg_.admission.tailDecayPerSample < 0.0 ||
+            cfg_.admission.tailDecayPerSample >= 1.0)
+            fatal("admission tail decay must be in [0, 1) "
+                  "(0 disables the decayed estimate)");
     }
     admissionStats_.enabled = cfg_.admission.enabled;
 
@@ -735,10 +741,25 @@ EntropyService::deficitFraction(const Shard &shard) const
 }
 
 double
+EntropyService::busyHorizonNs(const Shard &shard) const
+{
+    // Modelled work the shard's backend is already committed to but
+    // has not yet drained. busyUntilNs only ever moves forward under
+    // the shard mutex; latestArrivalNs_ is the service-wide modelled
+    // "now". Untimed workloads never advance either, so the horizon
+    // stays 0 and the score reduces to deficit + p95 exactly.
+    return std::max(0.0,
+                    shard.busyUntilNs.load(std::memory_order_relaxed) -
+                        latestArrivalNs_.load(
+                            std::memory_order_relaxed));
+}
+
+double
 EntropyService::loadOf(const Shard &shard) const
 {
     return deficitFraction(shard) +
-           shard.recent.p95Ns() * cfg_.placementLatencyWeight;
+           shard.recent.p95Ns() * cfg_.placementLatencyWeight +
+           busyHorizonNs(shard) * cfg_.placementBusyWeight;
 }
 
 double
@@ -765,7 +786,8 @@ EntropyService::shardLoadSnapshot(size_t shard) const
     snapshot.recentP99Ns = sampled.recent.p99Ns();
     snapshot.load =
         deficitFraction(sampled) +
-        snapshot.recentP95Ns * cfg_.placementLatencyWeight;
+        snapshot.recentP95Ns * cfg_.placementLatencyWeight +
+        busyHorizonNs(sampled) * cfg_.placementBusyWeight;
     return snapshot;
 }
 
@@ -829,11 +851,26 @@ EntropyService::migrateClient(const Client &client, size_t shard)
 }
 
 double
+EntropyService::shardDecayedTailNs(size_t shard) const
+{
+    QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
+    return shards_[shard]->decayedTailNs.load(
+        std::memory_order_relaxed);
+}
+
+double
 EntropyService::interactiveHeadroomP99Ns() const
 {
+    // Worst of the windowed p99 and the decayed estimate across
+    // shards: the window is the precise signal while it has samples,
+    // the decayed max is the memory that survives a full top-up
+    // clearing the window (the gate must not snap open the instant a
+    // refill retires its evidence).
     double worst = 0.0;
-    for (size_t s = 0; s < shards_.size(); ++s)
+    for (size_t s = 0; s < shards_.size(); ++s) {
         worst = std::max(worst, shardRecentPercentileNs(s, 0.99));
+        worst = std::max(worst, shardDecayedTailNs(s));
+    }
     return worst;
 }
 
@@ -893,6 +930,22 @@ EntropyService::admissionTick()
     std::vector<Client> admitted;
     if (!cfg_.admission.enabled)
         return admitted;
+    // Age the decayed tail estimates: per-sample decay needs traffic
+    // to make progress, and a shard whose clients all went quiet
+    // would otherwise pin the gate shut forever. Each tick is one
+    // more decay step, so parked connects' own retry probing is what
+    // eventually reopens the gate.
+    double decay = cfg_.admission.tailDecayPerSample;
+    if (decay > 0.0) {
+        for (const std::unique_ptr<Shard> &shard : shards_) {
+            double cur =
+                shard->decayedTailNs.load(std::memory_order_relaxed);
+            while (cur > 0.0 &&
+                   !shard->decayedTailNs.compare_exchange_weak(
+                       cur, cur * decay, std::memory_order_relaxed)) {
+            }
+        }
+    }
     bool headroom = admissionHeadroom();
     std::unique_lock<std::mutex> lock(admissionMutex_);
     ++admissionTickIndex_;
@@ -1135,6 +1188,13 @@ EntropyService::finishRequest(Client::State &client, Shard &shard,
             missNsPerByte_.load(std::memory_order_relaxed);
         double ns_per_byte =
             installed > 0.0 ? installed : cfg_.latency.missNsPerByte;
+        // Advance the service-wide modelled "now" (monotonic max):
+        // the placement busy-horizon is measured against it.
+        double seen = latestArrivalNs_.load(std::memory_order_relaxed);
+        while (arrival_ns > seen &&
+               !latestArrivalNs_.compare_exchange_weak(
+                   seen, arrival_ns, std::memory_order_relaxed)) {
+        }
         double start = std::max(
             arrival_ns,
             shard.busyUntilNs.load(std::memory_order_relaxed));
@@ -1148,8 +1208,26 @@ EntropyService::finishRequest(Client::State &client, Shard &shard,
         // Bulk requests never sync-fill, so their near-constant hit
         // cost would dilute the shard's tail-latency signal; the
         // window tracks what a latency-sensitive client experiences.
-        if (client.priority != Priority::Bulk)
+        if (client.priority != Priority::Bulk) {
             shard.recent.add(result.modeledLatencyNs);
+            double decay = cfg_.admission.tailDecayPerSample;
+            if (cfg_.admission.enabled && decay > 0.0) {
+                // Decaying max: the admission gate's congestion
+                // memory. Survives the recent-window reset a full
+                // top-up performs (CAS because timed requests on the
+                // same shard race each other here).
+                double sample = result.modeledLatencyNs;
+                double cur = shard.decayedTailNs.load(
+                    std::memory_order_relaxed);
+                for (;;) {
+                    double next = std::max(sample, cur * decay);
+                    if (next == cur ||
+                        shard.decayedTailNs.compare_exchange_weak(
+                            cur, next, std::memory_order_relaxed))
+                        break;
+                }
+            }
+        }
         shard.latencyByClass[static_cast<size_t>(client.priority)]
             .add(result.modeledLatencyNs);
     }
@@ -1379,6 +1457,31 @@ EntropyService::Client::request(uint8_t *out, size_t len)
 {
     return service_->requestOn(
         *state_, out, len, std::numeric_limits<double>::quiet_NaN());
+}
+
+RequestResult
+EntropyService::Client::serveInto(uint8_t *out, size_t len) noexcept
+{
+    // The network front end's entry point: identical to request()
+    // — the payload is claimed straight off the lock-free shard
+    // ring into the caller's response buffer — except that a
+    // backend failure escaping the retry ladder surfaces as a
+    // denied result. A wire server must answer DENY; an exception
+    // unwinding through its epoll loop would kill every client.
+    try {
+        return service_->requestOn(
+            *state_, out, len,
+            std::numeric_limits<double>::quiet_NaN());
+    } catch (...) {
+        RequestResult result;
+        result.denied = true;
+        // The throwing path aborted before finishRequest's
+        // bookkeeping; count the request and the denial here so
+        // wire-side and service-side accounting stay reconciled.
+        state_->requests.fetch_add(1, std::memory_order_relaxed);
+        state_->denials.fetch_add(1, std::memory_order_relaxed);
+        return result;
+    }
 }
 
 RequestResult

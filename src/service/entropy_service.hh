@@ -143,6 +143,22 @@ struct AdmissionConfig
      * parked connect keeps probing and is eventually admitted once
      * headroom returns. */
     uint32_t maxBackoffTicks = 16;
+    /**
+     * Decay factor of the per-shard decayed tail-latency estimate
+     * (in [0, 1); 0 disables). The windowed p99 the gate reads goes
+     * blind when a full top-up retires the recent window
+     * (shard.recent.clear()); the decayed estimate — a decaying max
+     * updated as max(sample, estimate * decay) per non-bulk timed
+     * request and decayed once more per admissionTick — survives
+     * the reset, so the gate keeps seeing recent congestion until
+     * it genuinely ages out instead of snapping open on the first
+     * tick after a refill. The default halves the estimate per good
+     * sample (0.5^4 ~= 0.06 across one small window): strong enough
+     * to bridge the top-up blind spot, weak enough that a genuinely
+     * recovered shard reopens the gate within about one window of
+     * good samples.
+     */
+    double tailDecayPerSample = 0.5;
 };
 
 /** Service configuration. */
@@ -186,6 +202,19 @@ struct EntropyServiceConfig
      * momentarily full.
      */
     double placementLatencyWeight = 1.0e-3;
+    /**
+     * Weight of a shard's queued modelled work in its load score, in
+     * load units per nanosecond of busy horizon. The horizon is
+     * max(0, busyUntilNs - latest modelled arrival): how far the
+     * shard's backend is booked into the modelled future by
+     * synchronous fills that have not yet drained. The windowed p95
+     * only sees *completed* requests, so a shard that just absorbed
+     * a burst of misses looks idle to it until those latencies
+     * retire; the horizon term repels placements from work that is
+     * already committed but not yet visible. 0 restores the
+     * deficit + p95 score byte-for-byte.
+     */
+    double placementBusyWeight = 1.0e-3;
     /**
      * Per-shard recent-latency window size (samples) feeding
      * shardRecentPercentileNs() and the load score.
@@ -298,6 +327,18 @@ class EntropyService
          * receive what the shard buffer holds.
          */
         RequestResult request(uint8_t *out, size_t len);
+
+        /**
+         * Zero-copy network serving entry: request() with a
+         * no-throw guarantee. The payload lands directly in @p out
+         * (a response datagram's payload region — buffered bytes
+         * are claimed straight off the lock-free shard ring with no
+         * intermediate copy), and a backend failure that request()
+         * would propagate as an exception is returned as a denied
+         * result instead, because a wire server must answer DENY
+         * rather than unwind its event loop.
+         */
+        RequestResult serveInto(uint8_t *out, size_t len) noexcept;
 
         /**
          * Timestamped request: like request(), but the request
@@ -489,6 +530,13 @@ class EntropyService
     {
         return shardRecentPercentileNs(shard, 0.95);
     }
+
+    /**
+     * The shard's decayed tail-latency estimate (see
+     * AdmissionConfig::tailDecayPerSample). Maintained only while
+     * admission is enabled with a nonzero decay; 0 otherwise.
+     */
+    double shardDecayedTailNs(size_t shard) const;
 
     /** The shard connect() would pick for an interactive client
      * under LeastLoaded placement (min shardLoad, ties by index). */
@@ -729,6 +777,14 @@ class EntropyService
          */
         RecentLatencyWindow recent;
         /**
+         * Decaying max of the non-bulk modelled latencies — the
+         * admission gate's congestion memory. Unlike `recent`, it is
+         * never cleared by a full top-up; it only ages out through
+         * per-sample and per-admissionTick decay
+         * (AdmissionConfig::tailDecayPerSample).
+         */
+        std::atomic<double> decayedTailNs{0.0};
+        /**
          * Per-priority end-to-end latency distributions, sharded so
          * the timed path never crosses a service-global lock;
          * latencySnapshot() merges them across shards.
@@ -833,6 +889,10 @@ class EntropyService
      * wait-free (atomic cursor reads). */
     double deficitFraction(const Shard &shard) const;
 
+    /** Queued modelled work in ns (busyUntilNs past the latest
+     * modelled arrival, clamped at 0); wait-free. */
+    double busyHorizonNs(const Shard &shard) const;
+
     /** Placement load score; wait-free. */
     double loadOf(const Shard &shard) const;
 
@@ -916,6 +976,13 @@ class EntropyService
 
     /** Installed sync-fill rate; 0 = use cfg_.latency default. */
     std::atomic<double> missNsPerByte_{0.0};
+
+    /**
+     * Latest modelled arrival timestamp seen by any timed request —
+     * the load score's "now": a shard's queued-work horizon is
+     * busyUntilNs minus this (clamped at 0). Monotonic CAS-max.
+     */
+    std::atomic<double> latestArrivalNs_{0.0};
 
     /** Guards the refillThread_ object itself (start/stop/running);
      * refillMutex_ only covers the worker's stop-flag wait. */

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the deterministic token bucket: refill over a
+ * caller-supplied clock, burst bounding, the unlimited mode, refund
+ * via credit(), and robustness to a non-monotonic clock.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/token_bucket.hh"
+
+namespace quac
+{
+namespace
+{
+
+constexpr uint64_t kSecond = 1000000000ull;
+
+TEST(TokenBucket, DefaultAndZeroRateAreUnlimited)
+{
+    TokenBucket none;
+    EXPECT_TRUE(none.unlimited());
+    EXPECT_TRUE(none.tryTake(1e18, 0));
+
+    TokenBucket zero(0.0, 100.0);
+    EXPECT_TRUE(zero.unlimited());
+    EXPECT_TRUE(zero.tryTake(1e18, 5));
+}
+
+TEST(TokenBucket, StartsFullAndDrainsToDenial)
+{
+    TokenBucket bucket(1000.0, 100.0);
+    EXPECT_FALSE(bucket.unlimited());
+    // Burst of 100 available immediately; the clock has not moved.
+    EXPECT_TRUE(bucket.tryTake(60.0, 0));
+    EXPECT_TRUE(bucket.tryTake(40.0, 0));
+    EXPECT_FALSE(bucket.tryTake(1.0, 0));
+}
+
+TEST(TokenBucket, RefillsAtRateBoundedByBurst)
+{
+    TokenBucket bucket(1000.0, 100.0);
+    ASSERT_TRUE(bucket.tryTake(100.0, 0));
+    // 50 ms at 1000 tokens/s = 50 tokens.
+    EXPECT_FALSE(bucket.tryTake(60.0, kSecond / 20));
+    EXPECT_TRUE(bucket.tryTake(50.0, kSecond / 20));
+    // A long idle period refills to burst, never beyond.
+    EXPECT_FALSE(bucket.tryTake(101.0, 100 * kSecond));
+    EXPECT_TRUE(bucket.tryTake(100.0, 100 * kSecond));
+}
+
+TEST(TokenBucket, ZeroBurstFallsBackToOneSecondOfRate)
+{
+    TokenBucket bucket(250.0, 0.0);
+    EXPECT_TRUE(bucket.tryTake(250.0, 0));
+    EXPECT_FALSE(bucket.tryTake(1.0, 0));
+}
+
+TEST(TokenBucket, FirstCallAnchorsTheClock)
+{
+    TokenBucket bucket(1000.0, 10.0);
+    // First call at a huge timestamp must not count as elapsed time.
+    ASSERT_TRUE(bucket.tryTake(10.0, 500 * kSecond));
+    EXPECT_FALSE(bucket.tryTake(1.0, 500 * kSecond));
+    EXPECT_TRUE(bucket.tryTake(1.0, 500 * kSecond + kSecond / 100));
+}
+
+TEST(TokenBucket, BackwardsClockRefillsNothing)
+{
+    TokenBucket bucket(1000.0, 10.0);
+    ASSERT_TRUE(bucket.tryTake(10.0, kSecond));
+    // Clock steps backwards: no refill, and no tokens thrown away.
+    EXPECT_FALSE(bucket.tryTake(1.0, kSecond / 2));
+    EXPECT_TRUE(bucket.tryTake(1.0, kSecond + kSecond / 500));
+}
+
+TEST(TokenBucket, CreditRefundsBoundedByBurst)
+{
+    TokenBucket bucket(1000.0, 100.0);
+    ASSERT_TRUE(bucket.tryTake(100.0, 0));
+    // The global-cap-rejected pattern: a per-client take is undone.
+    bucket.credit(30.0);
+    EXPECT_TRUE(bucket.tryTake(30.0, 0));
+    EXPECT_FALSE(bucket.tryTake(1.0, 0));
+    // A refund can never push the level above burst.
+    bucket.credit(1e9);
+    EXPECT_TRUE(bucket.tryTake(100.0, 0));
+    EXPECT_FALSE(bucket.tryTake(1.0, 0));
+    // credit() on an unlimited bucket is a no-op.
+    TokenBucket none;
+    none.credit(5.0);
+    EXPECT_EQ(none.tokens(), 0.0);
+}
+
+} // namespace
+} // namespace quac

@@ -282,9 +282,29 @@ TEST(ScenarioEngine, FlashCrowdSpreadsConnectsAcrossTheWindow)
     EXPECT_EQ(engine.counters().crowdAdmitted, 6u);
     EXPECT_EQ(engine.counters().crowdQueued, 0u);
     ASSERT_EQ(engine.crowdClients().size(), 6u);
-    EXPECT_EQ(engine.crowdClients()[0].name(), "crowd-0");
-    EXPECT_EQ(engine.crowdClients()[5].name(), "crowd-5");
-    EXPECT_EQ(engine.crowdClients()[2].priority(), Priority::Bulk);
+    EXPECT_EQ(engine.crowdClients()[0].client.name(), "crowd-0");
+    EXPECT_EQ(engine.crowdClients()[5].client.name(), "crowd-5");
+    EXPECT_EQ(engine.crowdClients()[2].client.priority(),
+              Priority::Bulk);
+}
+
+TEST(ScenarioEngine, CrowdClientsCarryPerPhaseRequestSizes)
+{
+    Harness harness;
+    // Two non-overlapping crowds with different request sizes: the
+    // engine tags each connected client with its own phase's size,
+    // so the driver does not flatten every crowd to one number.
+    ScenarioEngine engine(
+        *harness.service, *harness.scheduler,
+        ScenarioSpec::parse("crowd:0:1:2:64,crowd:3:1:2:512"));
+    for (uint64_t t = 0; t < 5; ++t)
+        engine.beginTick(t);
+    ASSERT_EQ(engine.crowdClients().size(), 4u);
+    EXPECT_EQ(engine.crowdClients()[0].requestBytes, 64u);
+    EXPECT_EQ(engine.crowdClients()[1].requestBytes, 64u);
+    EXPECT_EQ(engine.crowdClients()[2].requestBytes, 512u);
+    EXPECT_EQ(engine.crowdClients()[3].requestBytes, 512u);
+    EXPECT_EQ(engine.crowdClients()[3].client.name(), "crowd-3");
 }
 
 TEST(ScenarioEngine, CrowdFlowsThroughAdmissionGateWhenThin)
@@ -319,6 +339,9 @@ TEST(ScenarioEngine, CrowdFlowsThroughAdmissionGateWhenThin)
     EXPECT_EQ(engine.counters().crowdAdmitted, 3u);
     EXPECT_EQ(engine.crowdClients().size(), 3u);
     EXPECT_EQ(harness.service->admissionStats().queuedNow, 0u);
+    // Adoption from the queue preserves the phase's request size.
+    for (const auto &crowd : engine.crowdClients())
+        EXPECT_EQ(crowd.requestBytes, 64u);
 }
 
 TEST(ScenarioEngine, CampaignsReplayDeterministically)

@@ -239,6 +239,57 @@ TEST(Admission, ReleasedClientsServeNormally)
     EXPECT_EQ(got.size(), 64u);
 }
 
+TEST(Admission, DecayedTailSurvivesFullTopUp)
+{
+    core::SoftwareTrng backend(9);
+    EntropyService svc({&backend}, admissionConfig());
+    EntropyService::Client probe =
+        svc.connect("probe", Priority::Interactive, 0);
+    inflateTail(svc, probe, 4);
+    ASSERT_FALSE(svc.admissionHeadroom());
+    double inflamed = svc.shardDecayedTailNs(0);
+    EXPECT_GT(inflamed, 400.0);
+
+    // A full top-up clears the windowed tail, but congestion this
+    // recent must not vanish from the gate's view the instant the
+    // buffer is replenished: the decayed estimate bridges the blind
+    // spot and keeps bulk connects parked.
+    svc.refillBelowWatermark();
+    EXPECT_DOUBLE_EQ(svc.shardRecentP95Ns(0), 0.0);
+    EXPECT_FALSE(svc.admissionHeadroom());
+    EXPECT_EQ(svc.admit("early", Priority::Bulk).decision,
+              AdmissionDecision::Queued);
+
+    // With no further traffic at all, per-tick decay reopens the
+    // gate; the parked connect's own retry probing finds it open.
+    std::vector<EntropyService::Client> released;
+    for (int t = 0; t < 8 && released.empty(); ++t)
+        released = svc.admissionTick();
+    ASSERT_EQ(released.size(), 1u);
+    EXPECT_EQ(released[0].name(), "early");
+    EXPECT_TRUE(svc.admissionHeadroom());
+    EXPECT_LT(svc.shardDecayedTailNs(0), 200.0);
+}
+
+TEST(Admission, ZeroDecayRestoresWindowOnlyGate)
+{
+    core::SoftwareTrng backend(10);
+    EntropyServiceConfig cfg = admissionConfig();
+    cfg.admission.tailDecayPerSample = 0.0;
+    EntropyService svc({&backend}, cfg);
+    EntropyService::Client probe =
+        svc.connect("probe", Priority::Interactive, 0);
+    inflateTail(svc, probe, 4);
+    ASSERT_FALSE(svc.admissionHeadroom());
+    EXPECT_DOUBLE_EQ(svc.shardDecayedTailNs(0), 0.0);
+
+    // Legacy behaviour: the top-up alone reopens the gate.
+    svc.refillBelowWatermark();
+    EXPECT_TRUE(svc.admissionHeadroom());
+    EXPECT_EQ(svc.admit("bulk", Priority::Bulk).decision,
+              AdmissionDecision::Admitted);
+}
+
 TEST(Admission, ConfigValidatedThroughServiceCtor)
 {
     core::SoftwareTrng backend(8);
@@ -260,6 +311,14 @@ TEST(Admission, ConfigValidatedThroughServiceCtor)
 
     cfg = admissionConfig();
     cfg.admission.maxBackoffTicks = 0; // < retryBackoffTicks
+    EXPECT_THROW(EntropyService({&backend}, cfg), FatalError);
+
+    cfg = admissionConfig();
+    cfg.admission.tailDecayPerSample = 1.0; // must be < 1
+    EXPECT_THROW(EntropyService({&backend}, cfg), FatalError);
+
+    cfg = admissionConfig();
+    cfg.admission.tailDecayPerSample = -0.1;
     EXPECT_THROW(EntropyService({&backend}, cfg), FatalError);
 
     // The same nonsense with the gate disabled is accepted (knobs

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the bounded wire-client table: LRU eviction at capacity,
+ * admission-gate mapping (Queued / Denied / adoption via pump),
+ * nonce replay and gap accounting, per-client pacing buckets, and
+ * the wire-name round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/fault_injection.hh"
+#include "service/client_table.hh"
+#include "service/entropy_service.hh"
+
+namespace quac::service
+{
+namespace
+{
+
+EntropyServiceConfig
+plainConfig()
+{
+    EntropyServiceConfig cfg;
+    cfg.shards = 1;
+    cfg.shardCapacityBytes = 4096;
+    cfg.refillWatermark = 1.0;
+    return cfg;
+}
+
+/** One shard, admission gate on, tiny queue (see admission_test). */
+EntropyServiceConfig
+gatedConfig()
+{
+    EntropyServiceConfig cfg = plainConfig();
+    cfg.shardCapacityBytes = 1024;
+    cfg.recentLatencyWindow = 4;
+    cfg.syncFillBackoff = std::chrono::microseconds(0);
+    cfg.admission.enabled = true;
+    cfg.admission.interactiveSloNs = 400.0;
+    cfg.admission.headroomFraction = 0.5;
+    cfg.admission.maxQueuedConnects = 2;
+    cfg.admission.retryBackoffTicks = 1;
+    cfg.admission.maxBackoffTicks = 4;
+    return cfg;
+}
+
+TEST(ClientTable, AcquireCreatesThenHits)
+{
+    core::SoftwareTrng backend(30);
+    EntropyService svc({&backend}, plainConfig());
+    ClientTable table(svc, {.capacity = 4});
+
+    ClientTable::Acquire first =
+        table.acquire(7, Priority::Standard, 0);
+    ASSERT_EQ(first.status, ClientTable::AcquireStatus::Created);
+    ASSERT_NE(first.entry, nullptr);
+    EXPECT_EQ(first.entry->id, 7u);
+    EXPECT_EQ(first.entry->client.name(), table.wireName(7));
+    EXPECT_EQ(first.entry->client.priority(), Priority::Standard);
+    EXPECT_TRUE(first.entry->bucket.unlimited()) << "unpaced";
+
+    ClientTable::Acquire again =
+        table.acquire(7, Priority::Bulk, 0);
+    EXPECT_EQ(again.status, ClientTable::AcquireStatus::Existing);
+    // The priority of the first admission sticks.
+    EXPECT_EQ(again.entry->client.priority(), Priority::Standard);
+    EXPECT_EQ(table.size(), 1u);
+    EXPECT_EQ(table.stats().inserts, 1u);
+    EXPECT_EQ(table.stats().hits, 1u);
+    EXPECT_EQ(table.stats().lookups, 2u);
+}
+
+TEST(ClientTable, EvictsLeastRecentlySeenAtCapacity)
+{
+    core::SoftwareTrng backend(31);
+    EntropyService svc({&backend}, plainConfig());
+    ClientTable table(svc, {.capacity = 2});
+
+    table.acquire(1, Priority::Standard, 0);
+    table.acquire(2, Priority::Standard, 0);
+    // Touch 1 so 2 becomes the LRU victim.
+    table.acquire(1, Priority::Standard, 0);
+    ClientTable::Acquire third =
+        table.acquire(3, Priority::Standard, 0);
+    EXPECT_EQ(third.status, ClientTable::AcquireStatus::Created);
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_EQ(table.stats().evictions, 1u);
+
+    // 1 survived; 2 was forgotten and re-enters as a fresh client
+    // with a fresh nonce window.
+    EXPECT_EQ(table.acquire(1, Priority::Standard, 0).status,
+              ClientTable::AcquireStatus::Existing);
+    ClientTable::Acquire back =
+        table.acquire(2, Priority::Standard, 0);
+    EXPECT_EQ(back.status, ClientTable::AcquireStatus::Created);
+    EXPECT_FALSE(back.entry->seenNonce);
+    EXPECT_EQ(table.stats().evictions, 2u);
+}
+
+TEST(ClientTable, NonceSequenceAccounting)
+{
+    core::SoftwareTrng backend(32);
+    EntropyService svc({&backend}, plainConfig());
+    ClientTable table(svc, {.capacity = 4});
+    ClientTable::Entry &entry =
+        *table.acquire(9, Priority::Standard, 0).entry;
+
+    // First nonce seen anchors the window at any value.
+    EXPECT_EQ(table.checkNonce(entry, 5),
+              ClientTable::NonceCheck::Fresh);
+    EXPECT_EQ(table.checkNonce(entry, 6),
+              ClientTable::NonceCheck::Fresh);
+    // Jumping ahead is served but recorded as client-side loss.
+    EXPECT_EQ(table.checkNonce(entry, 10),
+              ClientTable::NonceCheck::Gap);
+    EXPECT_EQ(entry.nonceGaps, 1u);
+    EXPECT_EQ(entry.missingSeqs, 3u); // 7, 8, 9
+    // At or below the high-water mark: replay, lastNonce untouched.
+    EXPECT_EQ(table.checkNonce(entry, 10),
+              ClientTable::NonceCheck::Replay);
+    EXPECT_EQ(table.checkNonce(entry, 3),
+              ClientTable::NonceCheck::Replay);
+    EXPECT_EQ(entry.lastNonce, 10u);
+    EXPECT_EQ(entry.replays, 2u);
+    EXPECT_EQ(table.checkNonce(entry, 11),
+              ClientTable::NonceCheck::Fresh);
+
+    EXPECT_EQ(table.stats().replays, 2u);
+    EXPECT_EQ(table.stats().nonceGaps, 1u);
+    EXPECT_EQ(table.stats().missingSeqs, 3u);
+}
+
+TEST(ClientTable, PerClientPacingBucketFromConfig)
+{
+    core::SoftwareTrng backend(33);
+    EntropyService svc({&backend}, plainConfig());
+    ClientTableConfig cfg;
+    cfg.capacity = 4;
+    cfg.perClientBytesPerSec = 1000.0;
+    cfg.perClientBurstBytes = 100.0;
+    ClientTable table(svc, cfg);
+
+    ClientTable::Entry &entry =
+        *table.acquire(1, Priority::Standard, 0).entry;
+    ASSERT_FALSE(entry.bucket.unlimited());
+    EXPECT_TRUE(entry.bucket.tryTake(100.0, 0));
+    EXPECT_FALSE(entry.bucket.tryTake(1.0, 0));
+    // Each client gets its own bucket.
+    ClientTable::Entry &other =
+        *table.acquire(2, Priority::Standard, 0).entry;
+    EXPECT_TRUE(other.bucket.tryTake(100.0, 0));
+}
+
+TEST(ClientTable, BulkMapsThroughAdmissionGate)
+{
+    core::SoftwareTrng backend(34);
+    EntropyService svc({&backend}, gatedConfig());
+
+    // Close the gate: timed 256-byte misses inflate the tail.
+    EntropyService::Client probe =
+        svc.connect("probe", Priority::Interactive, 0);
+    std::vector<uint8_t> out(256);
+    for (int i = 0; i < 4; ++i)
+        probe.requestAt(out.data(), out.size(), 0.0);
+    ASSERT_FALSE(svc.admissionHeadroom());
+
+    ClientTable table(svc, {.capacity = 8});
+    // Interactive bypasses the gate even when thin.
+    EXPECT_EQ(table.acquire(1, Priority::Interactive, 0).status,
+              ClientTable::AcquireStatus::Created);
+
+    // Bulk parks; retries of the same id do not multiply queue
+    // entries; the queue overflows into an outright denial.
+    EXPECT_EQ(table.acquire(2, Priority::Bulk, 0).status,
+              ClientTable::AcquireStatus::Queued);
+    EXPECT_EQ(table.acquire(2, Priority::Bulk, 0).status,
+              ClientTable::AcquireStatus::Queued);
+    EXPECT_EQ(svc.admissionStats().queuedNow, 1u);
+    EXPECT_EQ(table.acquire(3, Priority::Bulk, 0).status,
+              ClientTable::AcquireStatus::Queued);
+    EXPECT_EQ(table.acquire(4, Priority::Bulk, 0).status,
+              ClientTable::AcquireStatus::Denied);
+    // Retries of a parked id are answered from queuedIds_, not
+    // re-queued: only the two distinct ids count.
+    EXPECT_EQ(table.stats().queued, 2u);
+    EXPECT_EQ(table.stats().denied, 1u);
+
+    // Restore headroom; pump() adopts the released connects, which
+    // install on each client's next datagram.
+    svc.refillBelowWatermark();
+    for (int i = 0; i < 4; ++i)
+        probe.requestAt(out.data(), 16, 1.0e12 + 1.0e3 * i);
+    ASSERT_TRUE(svc.admissionHeadroom());
+    size_t adopted = 0;
+    for (int t = 0; t < 16 && adopted < 2; ++t)
+        adopted += table.pump();
+    EXPECT_EQ(adopted, 2u);
+    EXPECT_EQ(table.stats().adopted, 2u);
+
+    ClientTable::Acquire two = table.acquire(2, Priority::Bulk, 0);
+    EXPECT_EQ(two.status, ClientTable::AcquireStatus::Created);
+    EXPECT_EQ(two.entry->client.priority(), Priority::Bulk);
+    EXPECT_EQ(table.acquire(3, Priority::Bulk, 0).status,
+              ClientTable::AcquireStatus::Created);
+    EXPECT_EQ(svc.admissionStats().queuedNow, 0u);
+}
+
+TEST(ClientTable, WireNameRoundTrip)
+{
+    core::SoftwareTrng backend(35);
+    EntropyService svc({&backend}, plainConfig());
+    ClientTable table(svc, {.capacity = 2, .namePrefix = "edge"});
+
+    std::string name = table.wireName(0xDEADBEEFull);
+    EXPECT_EQ(name, "edge-00000000deadbeef");
+    uint64_t id = 0;
+    ASSERT_TRUE(table.parseWireName(name, id));
+    EXPECT_EQ(id, 0xDEADBEEFull);
+
+    EXPECT_FALSE(table.parseWireName("other-00000000deadbeef", id));
+    EXPECT_FALSE(table.parseWireName("edge-xyz", id));
+    EXPECT_FALSE(table.parseWireName("edge-", id));
+    EXPECT_FALSE(table.parseWireName("", id));
+}
+
+} // namespace
+} // namespace quac::service

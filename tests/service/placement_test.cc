@@ -131,6 +131,98 @@ TEST(Placement, LoadScoreIncludesRecentLatencyTail)
     EXPECT_EQ(service.leastLoadedShard(), 1u);
 }
 
+TEST(Placement, LoadScoreIncludesQueuedWorkHorizon)
+{
+    TaggedTrng b0(10, 64);
+    TaggedTrng b1(20, 64);
+    EntropyServiceConfig cfg;
+    cfg.shardCapacityBytes = 128;
+    cfg.latency = {20.0, 5.0, 2.0};
+    EntropyService service({&b0, &b1}, cfg);
+
+    // Timed misses commit backend work past the newest arrival; a
+    // full top-up then clears the latency window and equalizes the
+    // levels, so the only signal that shard 0 is still digesting a
+    // backlog is the queued-work horizon.
+    auto victim = service.connect("victim", Priority::Standard, 0);
+    uint8_t out[512];
+    for (int i = 0; i < 4; ++i)
+        victim.requestAt(out, sizeof(out), 0.0);
+    service.refillBelowWatermark();
+    EXPECT_EQ(service.level(0), service.level(1));
+    EXPECT_DOUBLE_EQ(service.shardRecentP95Ns(0), 0.0);
+    EXPECT_GT(service.shardLoad(0), service.shardLoad(1));
+    EXPECT_EQ(service.leastLoadedShard(), 1u);
+
+    // Advancing the modelled clock past the backlog retires it.
+    auto clock = service.connect("clock", Priority::Bulk, 1);
+    clock.requestAt(out, 0, 1.0e9);
+    EXPECT_DOUBLE_EQ(service.shardLoad(0), service.shardLoad(1));
+}
+
+TEST(Placement, BusyWeightZeroDisablesTheHorizonTerm)
+{
+    TaggedTrng b0(10, 64);
+    TaggedTrng b1(20, 64);
+    EntropyServiceConfig cfg;
+    cfg.shardCapacityBytes = 128;
+    cfg.latency = {20.0, 5.0, 2.0};
+    cfg.placementBusyWeight = 0.0;
+    EntropyService service({&b0, &b1}, cfg);
+
+    // Same backlog as above, yet the scores stay a dead heat and
+    // ties break to the lowest index, exactly as before the term
+    // existed.
+    auto victim = service.connect("victim", Priority::Standard, 0);
+    uint8_t out[512];
+    for (int i = 0; i < 4; ++i)
+        victim.requestAt(out, sizeof(out), 0.0);
+    service.refillBelowWatermark();
+    EXPECT_DOUBLE_EQ(service.shardLoad(0), service.shardLoad(1));
+    EXPECT_EQ(service.leastLoadedShard(), 0u);
+
+    EntropyServiceConfig bad = cfg;
+    bad.placementBusyWeight = -1.0;
+    EXPECT_THROW(EntropyService({&b0, &b1}, bad), FatalError);
+}
+
+TEST(Placement, UntimedWorkloadsAreByteIdenticalAcrossBusyWeight)
+{
+    // Untimed requests never advance the modelled clock, so the
+    // horizon term must contribute exactly zero: the same workload
+    // replayed under the default weight and under weight 0 has to
+    // produce identical placements and identical byte streams (this
+    // is what keeps the recorded fig12 campaigns reproducible).
+    auto run = [](double weight) {
+        TaggedTrng b0(10, 64);
+        TaggedTrng b1(20, 64);
+        EntropyServiceConfig cfg;
+        cfg.shardCapacityBytes = 256;
+        cfg.placement = PlacementPolicy::LeastLoaded;
+        cfg.placementBusyWeight = weight;
+        EntropyService service({&b0, &b1}, cfg);
+        service.refillBelowWatermark();
+
+        std::vector<uint8_t> bytes;
+        auto append = [&bytes](std::vector<uint8_t> got) {
+            bytes.insert(bytes.end(), got.begin(), got.end());
+        };
+        auto first = service.connect("first", Priority::Interactive);
+        bytes.push_back(static_cast<uint8_t>(first.shard()));
+        append(first.request(96));
+        auto drain =
+            service.connect("drain", Priority::Bulk, first.shard());
+        append(drain.request(128));
+        auto second =
+            service.connect("second", Priority::Interactive);
+        bytes.push_back(static_cast<uint8_t>(second.shard()));
+        append(second.request(64));
+        append(first.request(32));
+        return bytes;
+    };
+    EXPECT_EQ(run(1.0e-3), run(0.0));
+}
+
 TEST(Placement, FullRefillRetiresStaleLatencyTail)
 {
     // Congestion history must not outlive the condition it measured:
@@ -153,6 +245,12 @@ TEST(Placement, FullRefillRetiresStaleLatencyTail)
 
     service.refillBelowWatermark();
     EXPECT_DOUBLE_EQ(service.shardRecentP95Ns(0), 0.0);
+    // The busy-horizon term still sees the last miss's committed
+    // backend time until the modelled clock passes it; advance "now"
+    // with a zero-byte timed bulk request (no window sample, no
+    // drain), after which the loads must be identical.
+    auto clock = service.connect("clock", Priority::Bulk, 1);
+    clock.requestAt(out, 0, 1.0e9);
     EXPECT_DOUBLE_EQ(service.shardLoad(0), service.shardLoad(1));
 }
 
