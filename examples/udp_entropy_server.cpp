@@ -139,6 +139,7 @@ main(int argc, char **argv)
     if (!quiet) {
         status = std::thread([&] {
             uint64_t last = 0;
+            // relaxed: shutdown flag; no data is published through it.
             while (!done.load(std::memory_order_relaxed)) {
                 std::this_thread::sleep_for(
                     std::chrono::seconds(1));
@@ -156,6 +157,7 @@ main(int argc, char **argv)
     }
 
     server.run();
+    // relaxed: shutdown flag; the join below synchronizes.
     done.store(true, std::memory_order_relaxed);
     if (status.joinable())
         status.join();

@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace quac
 {
@@ -28,13 +29,17 @@ parallelFor(size_t begin, size_t end,
 
     std::atomic<size_t> next(begin);
     std::atomic<bool> failed(false);
+    // error is guarded by error_mutex until the joins below publish
+    // it to this thread (GUARDED_BY does not apply to locals).
+    Mutex error_mutex;
     std::exception_ptr error;
-    std::mutex error_mutex;
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
         workers.emplace_back([&]() {
             for (;;) {
+                // relaxed: best-effort early exit; a worker that
+                // misses the flag just runs one more iteration.
                 if (failed.load(std::memory_order_relaxed))
                     return;
                 size_t i = next.fetch_add(1);
@@ -43,9 +48,11 @@ parallelFor(size_t begin, size_t end,
                 try {
                     fn(i);
                 } catch (...) {
-                    std::lock_guard<std::mutex> lock(error_mutex);
+                    MutexLock lock(error_mutex);
                     if (!error)
                         error = std::current_exception();
+                    // relaxed: the join below is what publishes
+                    // `error` to the caller; the flag only trims work.
                     failed.store(true, std::memory_order_relaxed);
                     return;
                 }

@@ -55,9 +55,20 @@ class TokenBucket
             lastNs_ = now_ns;
         }
         if (now_ns > lastNs_) {
-            tokens_ = std::min(
-                burst_, tokens_ + rate_ * 1e-9 *
-                            static_cast<double>(now_ns - lastNs_));
+            /* A huge clock jump (caller switched clock sources, or a
+             * synthetic test clock leapt by ~2^63 ns) can make
+             * rate * elapsed overflow to +inf, which would poison
+             * tokens_ for every later arithmetic step. Any elapsed
+             * span long enough to refill the whole bucket just
+             * saturates at burst_ instead. */
+            double const elapsed_ns =
+                static_cast<double>(now_ns - lastNs_);
+            double const full_refill_ns = burst_ / rate_ * 1e9;
+            if (elapsed_ns >= full_refill_ns)
+                tokens_ = burst_;
+            else
+                tokens_ = std::min(
+                    burst_, tokens_ + rate_ * 1e-9 * elapsed_ns);
             lastNs_ = now_ns;
         }
         if (tokens_ < tokens)

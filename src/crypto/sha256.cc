@@ -271,6 +271,8 @@ bool
 Sha256::hwEnabled()
 {
     return hwAvailable() &&
+           // relaxed: one-time CPU-feature probe result; any thread
+           // computes the same value.
            shaNiEnabled.load(std::memory_order_relaxed);
 }
 

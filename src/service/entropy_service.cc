@@ -106,7 +106,7 @@ struct EntropyService::Client::State
 
 EntropyService::EntropyService(std::vector<core::Trng *> backends,
                                EntropyServiceConfig cfg)
-    : cfg_(cfg), backends_(std::move(backends))
+    : cfg_(std::move(cfg)), backends_(std::move(backends))
 {
     if (backends_.empty())
         fatal("EntropyService needs at least one backend");
@@ -161,13 +161,15 @@ EntropyService::EntropyService(std::vector<core::Trng *> backends,
     size_t nshards = cfg_.shards ? cfg_.shards : backends_.size();
     backendLocks_.reserve(backends_.size());
     for (size_t b = 0; b < backends_.size(); ++b)
-        backendLocks_.push_back(std::make_unique<std::mutex>());
+        backendLocks_.push_back(std::make_unique<Mutex>());
 
     sourcingCount_.assign(backends_.size(), 0);
     shards_.reserve(nshards);
     for (size_t i = 0; i < nshards; ++i) {
         auto shard = std::make_unique<Shard>();
         size_t backend_index = i % backends_.size();
+        // relaxed: construction is single-threaded; the service is
+        // published to other threads after the constructor returns.
         shard->backendIndex.store(backend_index,
                                   std::memory_order_relaxed);
         shard->homeBackend = backend_index;
@@ -188,7 +190,9 @@ EntropyService::chunkLocked(Shard &shard)
             // construction stays cheap and setup sees the module
             // state at refill time, exactly as the original
             // RngService behaved.
-            std::lock_guard<std::mutex> backend_lock(
+            MutexLock backend_lock(
+                // relaxed: backendIndex only changes under the shard
+                // mutex held here.
                 *backendLocks_[shard.backendIndex.load(
                     std::memory_order_relaxed)]);
             shard.chunk = shard.backend->preferredChunkBytes();
@@ -218,6 +222,8 @@ EntropyService::~EntropyService()
 size_t
 EntropyService::levelOf(const Shard &shard)
 {
+    // relaxed: paired with the acquire load of tail above; a stale
+    // claim only under-reports the level.
     uint64_t tail = shard.tail.load(std::memory_order_acquire);
     uint64_t claim = shard.claim.load(std::memory_order_relaxed);
     if (cursorGen(tail) != cursorGen(claim))
@@ -235,6 +241,8 @@ EntropyService::ringTake(Shard &shard, uint8_t *out, size_t len,
 {
     if (len == 0)
         return 0;
+    // relaxed: first guess only; the CAS below is the synchronizing
+    // operation.
     uint64_t claim = shard.claim.load(std::memory_order_relaxed);
     uint64_t gen, pos;
     size_t take;
@@ -250,6 +258,8 @@ EntropyService::ringTake(Shard &shard, uint8_t *out, size_t len,
         take = static_cast<size_t>(std::min<uint64_t>(len, avail));
         if (take == 0 || (all_or_nothing && take < len))
             return 0;
+        // relaxed: CAS failure order — the reloaded claim is retried;
+        // success publishes with acq_rel.
         if (shard.claim.compare_exchange_weak(
                 claim, packCursor(gen, pos + take),
                 std::memory_order_acq_rel,
@@ -282,6 +292,8 @@ EntropyService::ringTake(Shard &shard, uint8_t *out, size_t len,
 
 size_t
 EntropyService::ringFlushLocked(Shard &shard)
+// relaxed: the mutex held here is what fences producers and resets; the
+// CAS below orders the claim jump.
 {
     uint64_t tail = shard.tail.load(std::memory_order_relaxed);
     uint64_t claim = shard.claim.load(std::memory_order_relaxed);
@@ -292,6 +304,7 @@ EntropyService::ringFlushLocked(Shard &shard)
         uint64_t dropped = cursorPos(tail) - cursorPos(claim);
         if (dropped == 0)
             return 0;
+        // relaxed: CAS failure order of the retry loop.
         if (shard.claim.compare_exchange_weak(
                 claim, tail, std::memory_order_acq_rel,
                 std::memory_order_relaxed))
@@ -314,6 +327,8 @@ EntropyService::ringFlushLocked(Shard &shard)
 void
 EntropyService::ringResetLocked(Shard &shard)
 {
+    // relaxed: the generation bump is published by the acq_rel exchange
+    // below, not this read.
     uint64_t fresh = packCursor(
         cursorGen(shard.claim.load(std::memory_order_relaxed)) + 1,
         0);
@@ -324,6 +339,8 @@ EntropyService::ringResetLocked(Shard &shard)
     uint64_t drained =
         shard.claim.exchange(fresh, std::memory_order_acq_rel);
     while (shard.readDone.load(std::memory_order_acquire) != drained)
+        // relaxed: readers resynchronize through the release store of
+        // tail below.
         std::this_thread::yield();
     shard.readDone.store(fresh, std::memory_order_relaxed);
     shard.tail.store(fresh, std::memory_order_release);
@@ -337,6 +354,8 @@ EntropyService::pullLocked(Shard &shard, size_t want)
     size_t cap = shard.ring.size();
     QUAC_ASSERT(levelOf(shard) + want <= cap,
                 "ring overflow: %zu + %zu > %zu", levelOf(shard),
+                // relaxed: tail is producer-private — only mutex-
+                // holding threads store it, and we hold the mutex.
                 want, cap);
     uint64_t tail = shard.tail.load(std::memory_order_relaxed);
     uint64_t gen = cursorGen(tail);
@@ -355,12 +374,14 @@ EntropyService::pullLocked(Shard &shard, size_t want)
     }
     size_t start = static_cast<size_t>(tail_pos % cap);
     size_t first = std::min(want, cap - start);
+    // relaxed: backendIndex only changes under the shard mutex held
+    // here.
     size_t backend_index =
         shard.backendIndex.load(std::memory_order_relaxed);
     bool failed = false;
     bool healthy = true;
     {
-        std::lock_guard<std::mutex> backend_lock(
+        MutexLock backend_lock(
             *backendLocks_[backend_index]);
         try {
             shard.backend->fill(shard.ring.data() + start, first);
@@ -396,6 +417,8 @@ EntropyService::pullLocked(Shard &shard, size_t want)
             healthy = !changed && monitor_->servable(backend_index);
         }
     }
+    // relaxed: monotonic stats counter(s); readers take snapshots and
+    // need no ordering.
     if (failed) {
         refillFailures_.fetch_add(1, std::memory_order_relaxed);
         if (monitor_ && monitor_->reportReadFailure(backend_index))
@@ -413,6 +436,8 @@ EntropyService::pullLocked(Shard &shard, size_t want)
         // This very pull detected the collapse: the pulled bytes
         // were never published (tail unmoved), everything still
         // buffered from the bank is dropped unserved, and the shard
+        // relaxed: monotonic stats counter(s); readers take snapshots
+        // and need no ordering.
         // moves to a servable bank.
         unhealthyBytesDropped_.fetch_add(
             want + ringFlushLocked(shard),
@@ -439,10 +464,12 @@ void
 EntropyService::moveShardLocked(Shard &shard, size_t target)
 {
     QUAC_ASSERT(levelOf(shard) == 0,
+                // relaxed: backendIndex only changes under the shard
+                // mutex held here.
                 "re-sourcing a non-flushed shard");
     size_t old = shard.backendIndex.load(std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lock(sourcingMutex_);
+        MutexLock lock(sourcingMutex_);
         --sourcingCount_[old];
         ++sourcingCount_[target];
     }
@@ -450,18 +477,21 @@ EntropyService::moveShardLocked(Shard &shard, size_t target)
     shard.backend = backends_[target];
     // Chunk granularity differs per backend; re-resolve lazily (the
     // resize in chunkLocked is safe: the ring is empty).
+    // relaxed: monotonic stats counter(s); readers take snapshots and
+    // need no ordering.
     shard.chunkKnown = false;
     resourcings_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
 EntropyService::resourceShardLocked(Shard &shard)
+// relaxed: backendIndex only changes under the shard mutex held here.
 {
     size_t old = shard.backendIndex.load(std::memory_order_relaxed);
     size_t best = old;
     size_t best_count = std::numeric_limits<size_t>::max();
     {
-        std::lock_guard<std::mutex> lock(sourcingMutex_);
+        MutexLock lock(sourcingMutex_);
         for (size_t b = 0; b < backends_.size(); ++b) {
             if (b == old)
                 continue;
@@ -487,6 +517,9 @@ EntropyService::revalidateLocked(Shard &shard)
 {
     if (!monitor_)
         return;
+    // relaxed: seenEpoch and backendIndex only change under the shard
+    // mutex held here; the acquire on resourceEpoch_ above orders the
+    // comparison.
     uint64_t epoch = resourceEpoch_.load(std::memory_order_acquire);
     if (shard.seenEpoch.load(std::memory_order_relaxed) == epoch)
         return;
@@ -536,13 +569,15 @@ EntropyService::deficitLocked(Shard &shard, double frac)
 size_t
 EntropyService::refillShard(Shard &shard)
 {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     revalidateLocked(shard);
     size_t want = deficitLocked(shard, cfg_.refillWatermark);
     if (want == 0)
         return 0;
     size_t added = pullLocked(shard, want);
     if (added == 0)
+        // relaxed: monotonic stats counter(s); readers take snapshots
+        // and need no ordering.
         return 0;
     refills_.fetch_add(1, std::memory_order_relaxed);
     bytesRefilled_.fetch_add(added, std::memory_order_relaxed);
@@ -560,6 +595,8 @@ EntropyService::refillBelowWatermark()
     }
     std::atomic<size_t> added{0};
     parallelFor(0, shards_.size(), [&](size_t i) {
+        // relaxed: the worker join inside parallelFor publishes the
+        // sum.
         added.fetch_add(refillShard(*shards_[i]),
                         std::memory_order_relaxed);
     }, cfg_.refillThreads);
@@ -596,7 +633,7 @@ EntropyService::refillTick(size_t budget_bytes,
         if (budget_bytes == 0)
             break;
         Shard &shard = *shards_[index];
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         revalidateLocked(shard);
         size_t want = deficitLocked(shard, cfg_.refillWatermark);
         if (want == 0)
@@ -611,6 +648,8 @@ EntropyService::refillTick(size_t budget_bytes,
             pullLocked(shard, std::min(want, chunks * step));
         if (pulled == 0)
             continue;
+        // relaxed: monotonic stats counter(s); readers take snapshots
+        // and need no ordering.
         budget_bytes -= std::min(budget_bytes, pulled);
         refills_.fetch_add(1, std::memory_order_relaxed);
         bytesRefilled_.fetch_add(pulled, std::memory_order_relaxed);
@@ -646,7 +685,7 @@ EntropyService::refillDemand(const std::vector<size_t> &shards)
     for (size_t index : shards) {
         QUAC_ASSERT(index < shards_.size(), "shard=%zu", index);
         Shard &shard = *shards_[index];
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         size_t deficit = deficitLocked(shard, cfg_.refillWatermark);
         size_t urgent = deficitLocked(shard, cfg_.panicWatermark);
         demand.bytes += deficit;
@@ -661,20 +700,23 @@ EntropyService::refillDemand(const std::vector<size_t> &shards)
 void
 EntropyService::startAutoRefill(std::chrono::microseconds period)
 {
-    std::lock_guard<std::mutex> control(refillControlMutex_);
+    MutexLock control(refillControlMutex_);
     if (refillThread_.joinable())
         return;
     {
-        std::lock_guard<std::mutex> lock(refillMutex_);
+        MutexLock lock(refillMutex_);
         stopRefill_ = false;
     }
     refillThread_ = std::thread([this, period]() {
-        std::unique_lock<std::mutex> lock(refillMutex_);
-        for (;;) {
-            refillCv_.wait_for(lock, period,
-                               [this]() { return stopRefill_; });
+        // The stop-flag recheck lives in the loop, not in a wait
+        // predicate: a predicate lambda cannot carry the REQUIRES
+        // annotation, and the analysis follows this shape. A
+        // spurious wakeup at worst runs one top-up early.
+        MutexLock lock(refillMutex_);
+        while (!stopRefill_) {
+            refillCv_.waitFor(refillMutex_, period);
             if (stopRefill_)
-                return;
+                break;
             lock.unlock();
             refillBelowWatermark();
             // Probation draws and eager transition propagation ride
@@ -688,14 +730,14 @@ EntropyService::startAutoRefill(std::chrono::microseconds period)
 void
 EntropyService::stopAutoRefill()
 {
-    std::lock_guard<std::mutex> control(refillControlMutex_);
+    MutexLock control(refillControlMutex_);
     if (!refillThread_.joinable())
         return;
     {
-        std::lock_guard<std::mutex> lock(refillMutex_);
+        MutexLock lock(refillMutex_);
         stopRefill_ = true;
     }
-    refillCv_.notify_all();
+    refillCv_.notifyAll();
     refillThread_.join();
     refillThread_ = std::thread();
 }
@@ -703,7 +745,7 @@ EntropyService::stopAutoRefill()
 bool
 EntropyService::autoRefillRunning() const
 {
-    std::lock_guard<std::mutex> control(refillControlMutex_);
+    MutexLock control(refillControlMutex_);
     return refillThread_.joinable();
 }
 
@@ -727,8 +769,9 @@ size_t
 EntropyService::shardChunkBytes(size_t shard)
 {
     QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
-    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
-    return chunkLocked(*shards_[shard]);
+    Shard &target = *shards_[shard];
+    MutexLock lock(target.mutex);
+    return chunkLocked(target);
 }
 
 double
@@ -748,6 +791,8 @@ EntropyService::busyHorizonNs(const Shard &shard) const
     // the shard mutex; latestArrivalNs_ is the service-wide modelled
     // "now". Untimed workloads never advance either, so the horizon
     // stays 0 and the score reduces to deficit + p95 exactly.
+    // relaxed: heuristic load-signal reads; momentary staleness only
+    // perturbs a placement score.
     return std::max(0.0,
                     shard.busyUntilNs.load(std::memory_order_relaxed) -
                         latestArrivalNs_.load(
@@ -810,7 +855,7 @@ EntropyService::Client
 EntropyService::connect(std::string name, Priority priority,
                         size_t shard)
 {
-    std::lock_guard<std::mutex> lock(clientsMutex_);
+    MutexLock lock(clientsMutex_);
     if (shard == autoShard) {
         // Least-loaded placement only steers the latency-critical
         // class: interactive clients avoid drained/slow shards,
@@ -845,6 +890,8 @@ EntropyService::migrateClient(const Client &client, size_t shard)
     Client::State &state = *client.state_;
     if (state.shard.exchange(shard, std::memory_order_acq_rel) ==
         shard)
+        // relaxed: monotonic stats counter(s); readers take snapshots
+        // and need no ordering.
         return false;
     state.migrations.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -854,6 +901,8 @@ double
 EntropyService::shardDecayedTailNs(size_t shard) const
 {
     QUAC_ASSERT(shard < shards_.size(), "shard=%zu", shard);
+    // relaxed: admission signal read; staleness is tolerated by the
+    // gate.
     return shards_[shard]->decayedTailNs.load(
         std::memory_order_relaxed);
 }
@@ -896,7 +945,7 @@ EntropyService::admit(std::string name, Priority priority,
     // Probe headroom before taking the admission lock: the probe
     // walks the shard locks and must never nest inside it.
     bool headroom = admissionHeadroom();
-    std::unique_lock<std::mutex> lock(admissionMutex_);
+    MutexLock lock(admissionMutex_);
     ++admissionStats_.attempts;
     if (headroom && admissionQueue_.empty()) {
         ++admissionStats_.admitted;
@@ -937,6 +986,8 @@ EntropyService::admissionTick()
     // eventually reopens the gate.
     double decay = cfg_.admission.tailDecayPerSample;
     if (decay > 0.0) {
+        // relaxed: decaying a heuristic signal; racing samples may
+        // interleave in any order.
         for (const std::unique_ptr<Shard> &shard : shards_) {
             double cur =
                 shard->decayedTailNs.load(std::memory_order_relaxed);
@@ -947,7 +998,7 @@ EntropyService::admissionTick()
         }
     }
     bool headroom = admissionHeadroom();
-    std::unique_lock<std::mutex> lock(admissionMutex_);
+    MutexLock lock(admissionMutex_);
     ++admissionTickIndex_;
     // Strict FIFO: the queue head gates everyone behind it, so a
     // connect that arrived first is admitted first — starvation-free
@@ -984,7 +1035,7 @@ EntropyService::admissionTick()
 EntropyService::AdmissionStats
 EntropyService::admissionStats() const
 {
-    std::lock_guard<std::mutex> lock(admissionMutex_);
+    MutexLock lock(admissionMutex_);
     AdmissionStats stats = admissionStats_;
     stats.queuedNow = admissionQueue_.size();
     return stats;
@@ -998,7 +1049,7 @@ EntropyService::retuneBackend(size_t backend,
     if (reconfigure) {
         // Under the backend lock: no fill is in flight while the
         // generator's geometry changes.
-        std::lock_guard<std::mutex> backend_lock(
+        MutexLock backend_lock(
             *backendLocks_[backend]);
         if (!reconfigure())
             return 0;
@@ -1006,7 +1057,10 @@ EntropyService::retuneBackend(size_t backend,
     size_t dropped = 0;
     for (auto &shard_ptr : shards_) {
         Shard &shard = *shard_ptr;
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        // relaxed: a shard being re-sourced concurrently is re-flushed
+        // by its own revalidation; this pass only needs the current
+        // view.
+        MutexLock lock(shard.mutex);
         if (shard.backendIndex.load(std::memory_order_relaxed) !=
             backend)
             continue;
@@ -1021,6 +1075,8 @@ EntropyService::retuneBackend(size_t backend,
         // as a re-sourcing does.
         shard.chunkKnown = false;
     }
+    // relaxed: monotonic stats counter(s); readers take snapshots and
+    // need no ordering.
     suspectBytesDropped_.fetch_add(dropped,
                                    std::memory_order_relaxed);
     return dropped;
@@ -1035,6 +1091,8 @@ EntropyService::markBackendSuspect(size_t backend)
 void
 EntropyService::setMissLatencyNsPerByte(double ns_per_byte)
 {
+    // relaxed: model parameter install; in-flight requests may price
+    // with the old rate.
     QUAC_ASSERT(ns_per_byte >= 0.0, "ns_per_byte=%f", ns_per_byte);
     missNsPerByte_.store(ns_per_byte, std::memory_order_relaxed);
 }
@@ -1074,7 +1132,9 @@ EntropyService::syncFillLegacyLocked(Shard &shard, uint8_t *out,
     // legacy contract that callers see persistent failures holds.
     for (uint32_t attempt = 0;; ++attempt) {
         try {
-            std::lock_guard<std::mutex> backend_lock(
+            MutexLock backend_lock(
+                // relaxed: backendIndex only changes under the shard
+                // mutex held here.
                 *backendLocks_[shard.backendIndex.load(
                     std::memory_order_relaxed)]);
             shard.backend->fill(out, need);
@@ -1109,10 +1169,12 @@ EntropyService::syncFillLocked(Shard &shard, uint8_t *out,
     for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
         bool ok = true;
         bool changed = false;
+        // relaxed: backendIndex only changes under the shard mutex held
+        // here.
         size_t backend_index =
             shard.backendIndex.load(std::memory_order_relaxed);
         {
-            std::lock_guard<std::mutex> backend_lock(
+            MutexLock backend_lock(
                 *backendLocks_[backend_index]);
             try {
                 shard.backend->fill(out, need);
@@ -1127,6 +1189,8 @@ EntropyService::syncFillLocked(Shard &shard, uint8_t *out,
                         1, std::memory_order_acq_rel);
             }
         }
+        // relaxed: monotonic stats counter(s); readers take snapshots
+        // and need no ordering.
         if (!ok) {
             refillFailures_.fetch_add(1, std::memory_order_relaxed);
             if (monitor_->reportReadFailure(backend_index))
@@ -1141,6 +1205,9 @@ EntropyService::syncFillLocked(Shard &shard, uint8_t *out,
             // @p out were never handed to the client — drop them
             // with the ring and refill wholesale from a new bank.
             unhealthyBytesDropped_.fetch_add(
+                // relaxed: monotonic stats counter(s); readers take
+                // snapshots and need no ordering. backendIndex is re-
+                // read under the shard mutex held here.
                 (ok ? need : 0) + ringFlushLocked(shard),
                 std::memory_order_relaxed);
             resourceShardLocked(shard);
@@ -1168,6 +1235,8 @@ EntropyService::finishRequest(Client::State &client, Shard &shard,
     // detected-unhealthy bytes out of every serve path; this counts
     // any leak instead of hiding it.
     if (monitor_ && result.bytes > 0 &&
+        // relaxed: tripwire probe; a racing re-source at worst counts
+        // one in-flight serve, which is the point.
         !monitor_->servable(
             shard.backendIndex.load(std::memory_order_relaxed))) {
         unhealthyBytesServed_.fetch_add(result.bytes,
@@ -1184,6 +1253,9 @@ EntropyService::finishRequest(Client::State &client, Shard &shard,
         // under the shard mutex; lock-free hits read it relaxed — a
         // hit racing a miss may miss the very newest queue depth,
         // which is the modelling precision a lock-free plane trades.
+        // relaxed: all model state below (busyUntilNs,
+        // latestArrivalNs_, the miss rate) is heuristic signal whose
+        // tolerated staleness is described above.
         double installed =
             missNsPerByte_.load(std::memory_order_relaxed);
         double ns_per_byte =
@@ -1217,6 +1289,8 @@ EntropyService::finishRequest(Client::State &client, Shard &shard,
                 // top-up performs (CAS because timed requests on the
                 // same shard race each other here).
                 double sample = result.modeledLatencyNs;
+                // relaxed: CAS-max over a decaying signal; order
+                // between racing samples is immaterial.
                 double cur = shard.decayedTailNs.load(
                     std::memory_order_relaxed);
                 for (;;) {
@@ -1231,6 +1305,10 @@ EntropyService::finishRequest(Client::State &client, Shard &shard,
         shard.latencyByClass[static_cast<size_t>(client.priority)]
             .add(result.modeledLatencyNs);
     }
+
+// relaxed: per-client accumulators; a concurrent snapshot may tear
+
+// between fields, each field is exact.
 
     client.requests.fetch_add(1, std::memory_order_relaxed);
     client.bytesFromBuffer.fetch_add(result.bytesFromBuffer,
@@ -1266,6 +1344,8 @@ EntropyService::requestOn(Client::State &client, uint8_t *out,
 
     RequestResult result;
     if (cfg_.maxRequestBytes && len > cfg_.maxRequestBytes) {
+        // relaxed: per-client accumulators; a concurrent snapshot may
+        // tear between fields, each field is exact.
         result.denied = true;
         client.requests.fetch_add(1, std::memory_order_relaxed);
         client.denials.fetch_add(1, std::memory_order_relaxed);
@@ -1297,7 +1377,7 @@ EntropyService::requestOn(Client::State &client, uint8_t *out,
     // Slow path: miss (sync fill), stale epoch, bulk under reset, or
     // lock-free reads disabled. The mutex serializes against
     // resourcing, retune, and the refill producer's slow paths.
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     revalidateLocked(shard);
 
     size_t from_buffer = ringTake(shard, out, len,
@@ -1355,7 +1435,7 @@ EntropyService::healthTick()
             continue;
         bool ok = true;
         {
-            std::lock_guard<std::mutex> backend_lock(
+            MutexLock backend_lock(
                 *backendLocks_[b]);
             try {
                 backends_[b]->fill(scratch.data(), window_bytes);
@@ -1367,6 +1447,8 @@ EntropyService::healthTick()
                 resourceEpoch_.fetch_add(1,
                                          std::memory_order_acq_rel);
         }
+        // relaxed: monotonic stats counter(s); readers take snapshots
+        // and need no ordering.
         if (!ok) {
             refillFailures_.fetch_add(1, std::memory_order_relaxed);
             if (monitor_->reportReadFailure(b))
@@ -1376,9 +1458,10 @@ EntropyService::healthTick()
     }
     // Eagerly propagate pending transitions: without this a shard
     // would only flush/re-source on its next request or refill.
-    for (auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mutex);
-        revalidateLocked(*shard);
+    for (auto &shard_ptr : shards_) {
+        Shard &shard = *shard_ptr;
+        MutexLock lock(shard.mutex);
+        revalidateLocked(shard);
     }
 }
 
@@ -1391,6 +1474,8 @@ EntropyService::healthStats() const
         stats.quarantines = monitor_->quarantines();
         stats.readmissions = monitor_->readmissions();
     }
+    // relaxed: stats snapshot; counters may tear between fields, each
+    // is exact.
     stats.refillFailures =
         refillFailures_.load(std::memory_order_relaxed);
     stats.unhealthyBytesDropped =
@@ -1413,8 +1498,10 @@ EntropyService::shardBackendIndex(size_t shard) const
 uint64_t
 EntropyService::requestsServed() const
 {
-    std::lock_guard<std::mutex> lock(clientsMutex_);
+    MutexLock lock(clientsMutex_);
     uint64_t total = 0;
+    // relaxed: per-client accumulators; a concurrent snapshot may tear
+    // between fields, each field is exact.
     for (const auto &client : clients_)
         total += client->requests.load(std::memory_order_relaxed);
     return total;
@@ -1423,8 +1510,10 @@ EntropyService::requestsServed() const
 uint64_t
 EntropyService::bufferHits() const
 {
-    std::lock_guard<std::mutex> lock(clientsMutex_);
+    MutexLock lock(clientsMutex_);
     uint64_t total = 0;
+    // relaxed: per-client accumulators; a concurrent snapshot may tear
+    // between fields, each field is exact.
     for (const auto &client : clients_)
         total += client->bufferHits.load(std::memory_order_relaxed);
     return total;
@@ -1433,9 +1522,11 @@ EntropyService::bufferHits() const
 uint64_t
 EntropyService::synchronousFills() const
 {
-    std::lock_guard<std::mutex> lock(clientsMutex_);
+    MutexLock lock(clientsMutex_);
     uint64_t total = 0;
     for (const auto &client : clients_) {
+        // relaxed: per-client accumulators; a concurrent snapshot may
+        // tear between fields, each field is exact.
         total +=
             client->synchronousFills.load(std::memory_order_relaxed);
     }
@@ -1445,8 +1536,10 @@ EntropyService::synchronousFills() const
 uint64_t
 EntropyService::denials() const
 {
-    std::lock_guard<std::mutex> lock(clientsMutex_);
+    MutexLock lock(clientsMutex_);
     uint64_t total = 0;
+    // relaxed: per-client accumulators; a concurrent snapshot may tear
+    // between fields, each field is exact.
     for (const auto &client : clients_)
         total += client->denials.load(std::memory_order_relaxed);
     return total;
@@ -1477,6 +1570,8 @@ EntropyService::Client::serveInto(uint8_t *out, size_t len) noexcept
         result.denied = true;
         // The throwing path aborted before finishRequest's
         // bookkeeping; count the request and the denial here so
+        // relaxed: per-client accumulators; a concurrent snapshot may
+        // tear between fields, each field is exact.
         // wire-side and service-side accounting stay reconciled.
         state_->requests.fetch_add(1, std::memory_order_relaxed);
         state_->denials.fetch_add(1, std::memory_order_relaxed);
@@ -1523,6 +1618,8 @@ ClientStats
 EntropyService::Client::stats() const
 {
     const State &state = *state_;
+    // relaxed: per-client accumulators; a concurrent snapshot may tear
+    // between fields, each field is exact.
     ClientStats stats;
     stats.requests = state.requests.load(std::memory_order_relaxed);
     stats.bufferHits =

@@ -43,17 +43,16 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "core/trng.hh"
 #include "service/health.hh"
 #include "service/latency_model.hh"
@@ -478,6 +477,7 @@ class EntropyService
     /** Suspect bytes dropped by retuning so far (never served). */
     uint64_t suspectBytesDropped() const
     {
+        // relaxed: monotonic stats counter; readers need no ordering.
         return suspectBytesDropped_.load(std::memory_order_relaxed);
     }
 
@@ -744,20 +744,29 @@ class EntropyService
      */
     struct Shard
     {
-        mutable std::mutex mutex;
-        core::Trng *backend = nullptr;
+        mutable Mutex mutex;
+        core::Trng *backend QUAC_GUARDED_BY(mutex) = nullptr;
         /** Atomic because the lock-free serve path reads it for the
          * unhealthy-serve tripwire; written under the mutex. */
         std::atomic<size_t> backendIndex{0};
         /** The bank this shard was constructed on; a re-sourced
          * shard returns here once the bank is re-admitted. */
-        size_t homeBackend = 0;
+        size_t homeBackend QUAC_GUARDED_BY(mutex) = 0;
         /** Last resourceEpoch_ this shard revalidated against; the
          * lock-free path compares it before claiming and falls to
          * the mutex path on any pending transition. */
         std::atomic<uint64_t> seenEpoch{0};
-        size_t chunk = 0;
-        bool chunkKnown = false;
+        size_t chunk QUAC_GUARDED_BY(mutex) = 0;
+        bool chunkKnown QUAC_GUARDED_BY(mutex) = false;
+        /**
+         * Ring storage. Deliberately NOT GUARDED_BY(mutex): byte
+         * ranges are owned by the SPMC claim protocol on the atomic
+         * cursors below (a lock-free reader copies a claimed range
+         * with no lock held), so a mutex annotation would be a lie
+         * requiring NO_THREAD_SAFETY_ANALYSIS escapes on the hot
+         * path. Resizing/replacing the vector itself does require
+         * the mutex AND the generation fence (ringResetLocked).
+         */
         std::vector<uint8_t> ring;
         /** SPMC cursors; see the struct comment. */
         std::atomic<uint64_t> claim{0};
@@ -797,7 +806,7 @@ class EntropyService
      * first use (Trng::preferredChunkBytes may run the backend's
      * one-time characterization); also sizes the ring storage.
      */
-    size_t chunkLocked(Shard &shard);
+    size_t chunkLocked(Shard &shard) QUAC_REQUIRES(shard.mutex);
 
     /** Buffered, unclaimed bytes (tail - claim); wait-free. */
     static size_t levelOf(const Shard &shard);
@@ -816,7 +825,8 @@ class EntropyService
 
     /** Discard the buffered bytes (claim -> tail); shard mutex
      * held. Returns the bytes dropped. */
-    size_t ringFlushLocked(Shard &shard);
+    size_t ringFlushLocked(Shard &shard)
+        QUAC_REQUIRES(shard.mutex);
 
     /**
      * Fence lock-free readers off the ring storage: bump the cursor
@@ -826,7 +836,8 @@ class EntropyService
      * flushed. Only needed when the storage itself is about to be
      * replaced (chunk re-resolution after re-sourcing/retuning).
      */
-    void ringResetLocked(Shard &shard);
+    void ringResetLocked(Shard &shard)
+        QUAC_REQUIRES(shard.mutex);
 
     /**
      * Pull @p want bytes from the backend into the ring, observing
@@ -836,7 +847,8 @@ class EntropyService
      * detected unhealthy by this very pull (the bytes and the ring
      * are dropped and the shard re-sources).
      */
-    size_t pullLocked(Shard &shard, size_t want);
+    size_t pullLocked(Shard &shard, size_t want)
+        QUAC_REQUIRES(shard.mutex);
 
     /**
      * Catch up with quarantine/re-admission transitions (cheap
@@ -844,7 +856,8 @@ class EntropyService
      * ring and re-sources; a re-sourced shard whose home bank was
      * re-admitted returns home. Shard mutex held.
      */
-    void revalidateLocked(Shard &shard);
+    void revalidateLocked(Shard &shard)
+        QUAC_REQUIRES(shard.mutex);
 
     /**
      * Move the shard off its current bank onto the servable bank
@@ -853,11 +866,13 @@ class EntropyService
      * Stays put when no alternative servable bank exists. Shard
      * mutex held, ring already flushed.
      */
-    void resourceShardLocked(Shard &shard);
+    void resourceShardLocked(Shard &shard)
+        QUAC_REQUIRES(shard.mutex);
 
     /** Rebind the shard to @p target (sourcing bookkeeping + lazy
      * chunk re-resolution). Shard mutex held, ring flushed. */
-    void moveShardLocked(Shard &shard, size_t target);
+    void moveShardLocked(Shard &shard, size_t target)
+        QUAC_REQUIRES(shard.mutex);
 
     /**
      * Complete a miss synchronously into @p out, re-sourcing away
@@ -868,7 +883,8 @@ class EntropyService
      * exception is retried (syncFillLegacyLocked) and then
      * propagates to the caller as before.
      */
-    bool syncFillLocked(Shard &shard, uint8_t *out, size_t need);
+    bool syncFillLocked(Shard &shard, uint8_t *out, size_t need)
+        QUAC_REQUIRES(shard.mutex);
 
     /**
      * The health-off miss path: catch backend exceptions, count
@@ -876,14 +892,16 @@ class EntropyService
      * exponential backoff, then surface the last error.
      */
     bool syncFillLegacyLocked(Shard &shard, uint8_t *out,
-                              size_t need);
+                              size_t need)
+        QUAC_REQUIRES(shard.mutex);
 
     /**
      * Deficit if the shard is at/below @p frac, rounded up to whole
      * backend chunks. Resolves the chunk lazily, and only when a
      * deficit exists.
      */
-    size_t deficitLocked(Shard &shard, double frac);
+    size_t deficitLocked(Shard &shard, double frac)
+        QUAC_REQUIRES(shard.mutex);
 
     /** Missing buffered bytes as a fraction of capacity (0..1);
      * wait-free (atomic cursor reads). */
@@ -922,16 +940,18 @@ class EntropyService
     /** The backend pool (not owned); re-sourcing picks from here. */
     std::vector<core::Trng *> backends_;
     std::vector<std::unique_ptr<Shard>> shards_;
-    /** One lock per backend: shards sharing a backend serialize. */
-    std::vector<std::unique_ptr<std::mutex>> backendLocks_;
+    /** One lock per backend: shards sharing a backend serialize.
+     * Lock order: Shard::mutex -> backend lock -> monitor mutex. */
+    std::vector<std::unique_ptr<Mutex>> backendLocks_;
 
     /** Null unless cfg.health.enabled. */
     std::unique_ptr<HealthMonitor> monitor_;
     /** Guards sourcingCount_ and the donor pick (never nested
      * inside a backend lock). */
-    std::mutex sourcingMutex_;
+    Mutex sourcingMutex_;
     /** Shards currently sourced from each bank. */
-    std::vector<size_t> sourcingCount_;
+    std::vector<size_t> sourcingCount_
+        QUAC_GUARDED_BY(sourcingMutex_);
     /**
      * Bumped on every monitor state transition; shards compare it
      * against their seenEpoch under their own lock (revalidateLocked)
@@ -946,9 +966,10 @@ class EntropyService
 
     /** Guards the registry only; mutable so the aggregate-stat sums
      * (over per-client accumulators) stay const. */
-    mutable std::mutex clientsMutex_;
-    std::vector<std::unique_ptr<Client::State>> clients_;
-    size_t nextShard_ = 0;
+    mutable Mutex clientsMutex_;
+    std::vector<std::unique_ptr<Client::State>> clients_
+        QUAC_GUARDED_BY(clientsMutex_);
+    size_t nextShard_ QUAC_GUARDED_BY(clientsMutex_) = 0;
 
     /** One connect parked by admission control. */
     struct PendingConnect
@@ -966,10 +987,11 @@ class EntropyService
      * connect() (clientsMutex_) or shard locks: the headroom probe
      * runs before it is taken, and admit/admissionTick release it
      * around the actual connect. */
-    mutable std::mutex admissionMutex_;
-    std::deque<PendingConnect> admissionQueue_;
-    uint64_t admissionTickIndex_ = 0;
-    AdmissionStats admissionStats_;
+    mutable Mutex admissionMutex_;
+    std::deque<PendingConnect> admissionQueue_
+        QUAC_GUARDED_BY(admissionMutex_);
+    uint64_t admissionTickIndex_ QUAC_GUARDED_BY(admissionMutex_) = 0;
+    AdmissionStats admissionStats_ QUAC_GUARDED_BY(admissionMutex_);
 
     std::atomic<uint64_t> refills_{0};
     std::atomic<uint64_t> bytesRefilled_{0};
@@ -986,11 +1008,11 @@ class EntropyService
 
     /** Guards the refillThread_ object itself (start/stop/running);
      * refillMutex_ only covers the worker's stop-flag wait. */
-    mutable std::mutex refillControlMutex_;
-    std::thread refillThread_;
-    std::mutex refillMutex_;
-    std::condition_variable refillCv_;
-    bool stopRefill_ = false;
+    mutable Mutex refillControlMutex_;
+    std::thread refillThread_ QUAC_GUARDED_BY(refillControlMutex_);
+    Mutex refillMutex_;
+    CondVar refillCv_;
+    bool stopRefill_ QUAC_GUARDED_BY(refillMutex_) = false;
 };
 
 } // namespace quac::service

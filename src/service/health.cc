@@ -53,6 +53,7 @@ HealthMonitor::HealthMonitor(size_t banks, HealthConfig cfg)
 
     // The tester constructor validates windowBits/entropy/alpha and
     // computes the cutoffs; construct one per bank.
+    bankCount_ = banks;
     perBank_.reserve(banks);
     for (size_t b = 0; b < banks; ++b)
         perBank_.emplace_back(tester_cfg);
@@ -178,8 +179,8 @@ HealthMonitor::windowCleanLocked(size_t bank, Bank &state)
 bool
 HealthMonitor::observe(size_t bank, const uint8_t *bytes, size_t len)
 {
-    QUAC_ASSERT(bank < perBank_.size(), "bank=%zu", bank);
-    std::lock_guard<std::mutex> lock(mutex_);
+    QUAC_ASSERT(bank < bankCount_, "bank=%zu", bank);
+    MutexLock lock(mutex_);
     Bank &state = perBank_[bank];
     // A successful read clears the consecutive-failure streak.
     state.score.consecutiveReadFailures = 0;
@@ -208,8 +209,8 @@ HealthMonitor::observe(size_t bank, const uint8_t *bytes, size_t len)
 bool
 HealthMonitor::reportReadFailure(size_t bank)
 {
-    QUAC_ASSERT(bank < perBank_.size(), "bank=%zu", bank);
-    std::lock_guard<std::mutex> lock(mutex_);
+    QUAC_ASSERT(bank < bankCount_, "bank=%zu", bank);
+    MutexLock lock(mutex_);
     Bank &state = perBank_[bank];
     BankScore &score = state.score;
     ++score.readFailures;
@@ -240,8 +241,8 @@ HealthMonitor::reportReadFailure(size_t bank)
 bool
 HealthMonitor::servable(size_t bank) const
 {
-    QUAC_ASSERT(bank < perBank_.size(), "bank=%zu", bank);
-    std::lock_guard<std::mutex> lock(mutex_);
+    QUAC_ASSERT(bank < bankCount_, "bank=%zu", bank);
+    MutexLock lock(mutex_);
     BankState s = perBank_[bank].score.state;
     return s == BankState::Healthy || s == BankState::Flagged;
 }
@@ -249,30 +250,30 @@ HealthMonitor::servable(size_t bank) const
 size_t
 HealthMonitor::servableCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return servableCountLocked();
 }
 
 BankState
 HealthMonitor::state(size_t bank) const
 {
-    QUAC_ASSERT(bank < perBank_.size(), "bank=%zu", bank);
-    std::lock_guard<std::mutex> lock(mutex_);
+    QUAC_ASSERT(bank < bankCount_, "bank=%zu", bank);
+    MutexLock lock(mutex_);
     return perBank_[bank].score.state;
 }
 
 BankScore
 HealthMonitor::score(size_t bank) const
 {
-    QUAC_ASSERT(bank < perBank_.size(), "bank=%zu", bank);
-    std::lock_guard<std::mutex> lock(mutex_);
+    QUAC_ASSERT(bank < bankCount_, "bank=%zu", bank);
+    MutexLock lock(mutex_);
     return perBank_[bank].score;
 }
 
 std::vector<BankScore>
 HealthMonitor::scores() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<BankScore> out;
     out.reserve(perBank_.size());
     for (const Bank &bank : perBank_)
@@ -283,21 +284,21 @@ HealthMonitor::scores() const
 std::vector<HealthEvent>
 HealthMonitor::events() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return events_;
 }
 
 uint64_t
 HealthMonitor::quarantines() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return totalQuarantines_;
 }
 
 uint64_t
 HealthMonitor::readmissions() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return totalReadmissions_;
 }
 

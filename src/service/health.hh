@@ -41,10 +41,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "nist/health90b.hh"
 
 namespace quac::service
@@ -188,7 +188,11 @@ class HealthMonitor
     uint64_t quarantines() const;
     uint64_t readmissions() const;
 
-    size_t banks() const { return perBank_.size(); }
+    /* Latent issue surfaced by the annotation pass: this used to
+     * read perBank_.size() — a mutex_-guarded container — with no
+     * lock. The bank count is fixed at construction, so it lives in
+     * its own immutable member instead of the guarded vector. */
+    size_t banks() const { return bankCount_; }
     const HealthConfig &config() const { return cfg_; }
 
     /** Configured continuous-test cutoffs (stats surfacing). */
@@ -207,34 +211,41 @@ class HealthMonitor
         }
     };
 
-    /** A window failed: advance the state machine. Lock held. */
-    void windowFailedLocked(size_t bank, Bank &state, double min_p);
+    /** A window failed: advance the state machine. */
+    void windowFailedLocked(size_t bank, Bank &state, double min_p)
+        QUAC_REQUIRES(mutex_);
 
-    /** A window passed: advance the state machine. Lock held. */
-    void windowCleanLocked(size_t bank, Bank &state);
+    /** A window passed: advance the state machine. */
+    void windowCleanLocked(size_t bank, Bank &state)
+        QUAC_REQUIRES(mutex_);
 
-    /** Quarantine or (last servable bank) flag. Lock held. */
+    /** Quarantine or (last servable bank) flag. */
     void quarantineLocked(size_t bank, Bank &state, double min_p,
-                          const std::string &reason);
+                          const std::string &reason)
+        QUAC_REQUIRES(mutex_);
 
-    /** Servable-bank count; lock held. */
-    size_t servableCountLocked() const;
+    /** Servable-bank count. */
+    size_t servableCountLocked() const QUAC_REQUIRES(mutex_);
 
     void recordLocked(HealthEvent::Kind kind, size_t bank,
                       const Bank &state, double min_p,
-                      std::string reason);
+                      std::string reason) QUAC_REQUIRES(mutex_);
 
+    /* Set in the constructor, read-only afterwards: safe to read
+     * without mutex_. */
     HealthConfig cfg_;
+    size_t bankCount_ = 0;
     uint64_t rctCutoff_ = 0;
     uint64_t aptCutoff_ = 0;
 
-    mutable std::mutex mutex_;
-    std::vector<Bank> perBank_;
-    std::vector<HealthEvent> events_;
-    uint64_t totalQuarantines_ = 0;
-    uint64_t totalReadmissions_ = 0;
+    mutable Mutex mutex_;
+    std::vector<Bank> perBank_ QUAC_GUARDED_BY(mutex_);
+    std::vector<HealthEvent> events_ QUAC_GUARDED_BY(mutex_);
+    uint64_t totalQuarantines_ QUAC_GUARDED_BY(mutex_) = 0;
+    uint64_t totalReadmissions_ QUAC_GUARDED_BY(mutex_) = 0;
     /** Scratch for completed-window results (reused). */
-    std::vector<nist::HealthWindowResult> completed_;
+    std::vector<nist::HealthWindowResult> completed_
+        QUAC_GUARDED_BY(mutex_);
 };
 
 } // namespace quac::service

@@ -25,7 +25,7 @@ nearestRank(double q, size_t n)
 LatencyDistribution::LatencyDistribution(
     const LatencyDistribution &other)
 {
-    std::lock_guard<std::mutex> lock(other.mutex_);
+    MutexLock lock(other.mutex_);
     samples_ = other.samples_;
     sorted_ = other.sorted_;
     sum_ = other.sum_;
@@ -37,18 +37,34 @@ LatencyDistribution::operator=(const LatencyDistribution &other)
 {
     if (this == &other)
         return *this;
-    std::scoped_lock lock(mutex_, other.mutex_);
-    samples_ = other.samples_;
-    sorted_ = other.sorted_;
-    sum_ = other.sum_;
-    max_ = other.max_;
+    // Snapshot `other` under its own lock, then apply under ours.
+    // Two short critical sections instead of one two-mutex
+    // scoped_lock: only one distribution mutex is ever held at a
+    // time, so there is no A=B vs B=A lock-order hazard and the
+    // thread-safety analysis can check both sections.
+    std::vector<double> their_samples;
+    bool their_sorted;
+    double their_sum;
+    double their_max;
+    {
+        MutexLock lock(other.mutex_);
+        their_samples = other.samples_;
+        their_sorted = other.sorted_;
+        their_sum = other.sum_;
+        their_max = other.max_;
+    }
+    MutexLock lock(mutex_);
+    samples_ = std::move(their_samples);
+    sorted_ = their_sorted;
+    sum_ = their_sum;
+    max_ = their_max;
     return *this;
 }
 
 void
 LatencyDistribution::add(double latency_ns)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     samples_.push_back(latency_ns);
     sorted_ = samples_.size() == 1;
     sum_ += latency_ns;
@@ -58,32 +74,38 @@ LatencyDistribution::add(double latency_ns)
 void
 LatencyDistribution::merge(const LatencyDistribution &other)
 {
-    if (this == &other) {
-        // Self-merge doubles the samples; snapshot first so the
-        // insert does not read the vector it is growing.
-        LatencyDistribution copy(other);
-        merge(copy);
-        return;
+    // Same snapshot-then-apply shape as operator=; it also makes
+    // self-merge (doubling the samples) safe without a special case,
+    // because the insert reads the snapshot, not the vector it is
+    // growing.
+    std::vector<double> their_samples;
+    double their_sum;
+    double their_max;
+    {
+        MutexLock lock(other.mutex_);
+        their_samples = other.samples_;
+        their_sum = other.sum_;
+        their_max = other.max_;
     }
-    std::scoped_lock lock(mutex_, other.mutex_);
-    samples_.insert(samples_.end(), other.samples_.begin(),
-                    other.samples_.end());
+    MutexLock lock(mutex_);
+    samples_.insert(samples_.end(), their_samples.begin(),
+                    their_samples.end());
     sorted_ = samples_.empty();
-    sum_ += other.sum_;
-    max_ = std::max(max_, other.max_);
+    sum_ += their_sum;
+    max_ = std::max(max_, their_max);
 }
 
 size_t
 LatencyDistribution::count() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return samples_.size();
 }
 
 double
 LatencyDistribution::meanNs() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return samples_.empty()
                ? 0.0
                : sum_ / static_cast<double>(samples_.size());
@@ -92,7 +114,7 @@ LatencyDistribution::meanNs() const
 double
 LatencyDistribution::maxNs() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return max_;
 }
 
@@ -100,7 +122,7 @@ double
 LatencyDistribution::percentileNs(double q) const
 {
     QUAC_ASSERT(q > 0.0 && q <= 1.0, "q=%f", q);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (samples_.empty())
         return 0.0;
     if (!sorted_) {
@@ -119,6 +141,8 @@ RecentLatencyWindow::RecentLatencyWindow(
     const RecentLatencyWindow &other)
     : ring_(other.ring_.size())
 {
+    // relaxed: copying a statistics window; a torn-in-time snapshot
+    // of independent slots is an acceptable signal, not a data race.
     for (size_t i = 0; i < ring_.size(); ++i)
         ring_[i].store(other.ring_[i].load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
@@ -134,6 +158,7 @@ RecentLatencyWindow::operator=(const RecentLatencyWindow &other)
     if (this == &other)
         return *this;
     std::vector<std::atomic<double>> fresh(other.ring_.size());
+    // relaxed: same snapshot-copy contract as the copy constructor.
     for (size_t i = 0; i < fresh.size(); ++i)
         fresh[i].store(other.ring_[i].load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
@@ -148,6 +173,8 @@ RecentLatencyWindow::operator=(const RecentLatencyWindow &other)
 void
 RecentLatencyWindow::add(double latency_ns)
 {
+    // relaxed: slots carry independent samples and readers tolerate
+    // stale or mid-update windows; no ordering with other data needed.
     uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
     ring_[slot % ring_.size()].store(latency_ns,
                                      std::memory_order_relaxed);
@@ -159,6 +186,8 @@ RecentLatencyWindow::clear()
     // Retiring the window is just advancing the base: old slots stay
     // written but fall outside (base_, next_] and age out of every
     // later percentile query.
+    // relaxed: cursor-only update; racing queries may see the old or
+    // new window boundary, both are valid signal states.
     base_.store(next_.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
 }
@@ -166,6 +195,8 @@ RecentLatencyWindow::clear()
 size_t
 RecentLatencyWindow::count() const
 {
+    // relaxed: the pair of cursors need not be mutually consistent;
+    // the `next > base` guard bounds any momentary skew at zero.
     uint64_t next = next_.load(std::memory_order_relaxed);
     uint64_t base = base_.load(std::memory_order_relaxed);
     uint64_t live = next > base ? next - base : 0;
@@ -177,6 +208,8 @@ double
 RecentLatencyWindow::percentileNs(double q) const
 {
     QUAC_ASSERT(q > 0.0 && q <= 1.0, "q=%f", q);
+    // relaxed: see count(); the snapshot loop below likewise accepts
+    // a racing add replacing one sample with a newer real one.
     uint64_t next = next_.load(std::memory_order_relaxed);
     uint64_t base = base_.load(std::memory_order_relaxed);
     uint64_t live = next > base ? next - base : 0;
@@ -184,9 +217,9 @@ RecentLatencyWindow::percentileNs(double q) const
         std::min<uint64_t>(live, ring_.size()));
     if (n == 0)
         return 0.0;
-    // Snapshot the live slots (a racing add may replace a sample
-    // mid-copy with a newer one: both were real latencies, and a
-    // one-sample wobble is noise to a percentile signal).
+    // relaxed: snapshot of the live slots — a racing add may replace
+    // a sample mid-copy with a newer one, but both were real
+    // latencies, and a one-sample wobble is noise to a percentile.
     std::vector<double> sorted(n);
     for (size_t i = 0; i < n; ++i) {
         sorted[i] =

@@ -19,8 +19,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace quac::service
 {
@@ -73,13 +74,16 @@ class LatencyDistribution
     double p99Ns() const { return percentileNs(0.99); }
 
   private:
-    /** Guards every member below (copy/merge lock both objects). */
-    mutable std::mutex mutex_;
+    /** Guards every member below. Cross-object operations (copy,
+     * assign, merge) snapshot the source under its own lock and then
+     * apply under ours, so at most one LatencyDistribution mutex is
+     * ever held at a time. */
+    mutable Mutex mutex_;
     /** Sorted lazily by percentileNs; add() marks dirty. */
-    mutable std::vector<double> samples_;
-    mutable bool sorted_ = true;
-    double sum_ = 0.0;
-    double max_ = 0.0;
+    mutable std::vector<double> samples_ QUAC_GUARDED_BY(mutex_);
+    mutable bool sorted_ QUAC_GUARDED_BY(mutex_) = true;
+    double sum_ QUAC_GUARDED_BY(mutex_) = 0.0;
+    double max_ QUAC_GUARDED_BY(mutex_) = 0.0;
 };
 
 /**

@@ -86,6 +86,12 @@ struct MigrationEvent
  * the clients whose placement it may manage, then call tick() once
  * per control interval (typically right after the refill scheduler's
  * tick, with the same cadence).
+ *
+ * Thread contract: confined to the single control thread that calls
+ * tick(), like MultiChannelRefillScheduler. The shard-latency
+ * snapshots it reads and the migrations it performs go through the
+ * EntropyService's annotated mutexes; the migrator itself holds no
+ * locks, so it must never be ticked from two threads.
  */
 class SloMigrator
 {

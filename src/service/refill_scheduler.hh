@@ -173,7 +173,16 @@ struct RefillAccounting
     void accumulate(const RefillAccounting &tick);
 };
 
-/** The per-channel refill scheduler pool driving one service. */
+/**
+ * The per-channel refill scheduler pool driving one service.
+ *
+ * Thread contract: confined to the single control thread that calls
+ * tick() — it holds no locks of its own, and the thread-safety
+ * analysis has no capability for thread confinement, so the contract
+ * is this comment plus the lint ban on raw mutexes here. All real
+ * concurrency flows through the EntropyService's annotated mutexes
+ * when tick() calls into it.
+ */
 class MultiChannelRefillScheduler
 {
   public:

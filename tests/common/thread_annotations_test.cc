@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Behavior tests for the annotated lock types in
+ * common/thread_annotations.hh: Mutex exclusion, MutexLock scoping
+ * and manual unlock()/lock(), and CondVar timeout/notify wakeups.
+ * The compile-time half of the contract (GUARDED_BY/REQUIRES
+ * violations breaking the build) is exercised by the CI
+ * clang-thread-safety job, not here — these tests pin down the
+ * runtime semantics the wrappers must keep identical to the std
+ * types they hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.hh"
+
+namespace quac
+{
+namespace
+{
+
+TEST(ThreadAnnotations, MutexProvidesExclusion)
+{
+    Mutex mutex;
+    int counter = 0;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([&]() {
+            for (int i = 0; i < 10000; ++i) {
+                MutexLock lock(mutex);
+                ++counter;
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+    MutexLock lock(mutex);
+    EXPECT_EQ(counter, 40000);
+}
+
+TEST(ThreadAnnotations, TryLockReflectsOwnership)
+{
+    Mutex mutex;
+    ASSERT_TRUE(mutex.try_lock());
+    // Contended try_lock from another thread must fail.
+    bool other_got_it = true;
+    std::thread prober(
+        [&]() { other_got_it = mutex.try_lock(); });
+    prober.join();
+    EXPECT_FALSE(other_got_it);
+    mutex.unlock();
+    EXPECT_TRUE(mutex.try_lock());
+    mutex.unlock();
+}
+
+TEST(ThreadAnnotations, ManualUnlockReleasesMidScope)
+{
+    // The drop-the-lock-across-a-blocking-call pattern
+    // (EntropyService::admit): after lock.unlock() another thread
+    // can take the mutex; lock.lock() re-acquires; the destructor
+    // must not double-unlock.
+    Mutex mutex;
+    std::atomic<bool> other_held{false};
+    {
+        MutexLock lock(mutex);
+        lock.unlock();
+        std::thread other([&]() {
+            MutexLock inner(mutex);
+            other_held.store(true);
+        });
+        other.join();
+        EXPECT_TRUE(other_held.load());
+        lock.lock();
+    }
+    // Scope exit released it exactly once: it is takeable again.
+    EXPECT_TRUE(mutex.try_lock());
+    mutex.unlock();
+}
+
+TEST(ThreadAnnotations, DestructorAfterManualUnlockDoesNotUnlock)
+{
+    Mutex mutex;
+    {
+        MutexLock lock(mutex);
+        lock.unlock();
+        // Destructor runs with held_ == false: no second unlock on a
+        // mutex this thread no longer owns.
+    }
+    EXPECT_TRUE(mutex.try_lock());
+    mutex.unlock();
+}
+
+TEST(ThreadAnnotations, CondVarTimesOutWithoutNotify)
+{
+    Mutex mutex;
+    CondVar cv;
+    auto start = std::chrono::steady_clock::now();
+    {
+        MutexLock lock(mutex);
+        cv.waitFor(mutex, std::chrono::milliseconds(10));
+    }
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_GE(elapsed, std::chrono::milliseconds(5));
+    // The mutex was re-acquired across the wait and released on
+    // scope exit.
+    EXPECT_TRUE(mutex.try_lock());
+    mutex.unlock();
+}
+
+TEST(ThreadAnnotations, CondVarNotifyWakesWaiter)
+{
+    // The auto-refill worker shape: a guarded stop flag re-checked
+    // in a loop around a predicate-free timed wait.
+    Mutex mutex;
+    CondVar cv;
+    bool stop = false;
+    std::atomic<int> wakeups{0};
+    std::thread waiter([&]() {
+        MutexLock lock(mutex);
+        while (!stop) {
+            cv.waitFor(mutex, std::chrono::seconds(5));
+            wakeups.fetch_add(1);
+        }
+    });
+    // Let the waiter reach the wait, then stop it; a generous-timeout
+    // wait that returns promptly proves the notify got through.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    {
+        MutexLock lock(mutex);
+        stop = true;
+    }
+    cv.notifyAll();
+    waiter.join();
+    EXPECT_GE(wakeups.load(), 1);
+}
+
+} // namespace
+} // namespace quac

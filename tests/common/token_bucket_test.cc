@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/token_bucket.hh"
 
 namespace quac
@@ -90,6 +92,35 @@ TEST(TokenBucket, CreditRefundsBoundedByBurst)
     TokenBucket none;
     none.credit(5.0);
     EXPECT_EQ(none.tokens(), 0.0);
+}
+
+TEST(TokenBucket, HugeClockJumpSaturatesAtBurst)
+{
+    // A ~2^63 ns jump (clock-source switch, synthetic test clock)
+    // used to compute rate * elapsed into a huge intermediate; the
+    // saturation guard must land exactly on burst with no inf/NaN.
+    TokenBucket bucket(1e12, 100.0);
+    ASSERT_TRUE(bucket.tryTake(100.0, 0));
+    uint64_t const huge = UINT64_MAX - 2;
+    EXPECT_TRUE(bucket.tryTake(100.0, huge));
+    EXPECT_EQ(bucket.tokens(), 0.0);
+    EXPECT_FALSE(bucket.tryTake(1.0, huge));
+    // The bucket keeps working at the new clock anchor.
+    EXPECT_TRUE(bucket.tryTake(1.0, huge + 1));
+    EXPECT_TRUE(std::isfinite(bucket.tokens()));
+}
+
+TEST(TokenBucket, ExtremeRateAndJumpStayFinite)
+{
+    // rate * elapsed would be ~1.8e19 * 1.8e10 ~ 3e29 tokens — far
+    // past any burst. The level must clamp to burst, never inf.
+    TokenBucket bucket(1.8e19, 1e6);
+    ASSERT_TRUE(bucket.tryTake(1e6, 0));
+    EXPECT_TRUE(bucket.tryTake(1e6, UINT64_MAX));
+    EXPECT_TRUE(std::isfinite(bucket.tokens()));
+    EXPECT_EQ(bucket.tokens(), 0.0);
+    bucket.credit(2e6);
+    EXPECT_EQ(bucket.tokens(), 1e6);
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 #include "common/error.hh"
 #include "core/thermal_governor.hh"
 #include "core/trng.hh"
+#include "service/entropy_service.hh"
 
 namespace quac::core
 {
@@ -138,6 +139,94 @@ TEST(ThermalGovernor, TemperaturesBeyondRangeClampToEdgeBands)
     EXPECT_EQ(governor.bandIndex(), 0u);
     governor.setTemperature(120.0);
     EXPECT_EQ(governor.bandIndex(), 2u);
+}
+
+TEST(ThermalGovernor, OutOfBandReportsClampAndStillSwitchOnce)
+{
+    // A mis-reading sensor can report anywhere in the module's
+    // physical range [-40, 125] while the tables only cover
+    // [30, 90). The governor must clamp to the edge bands — and a
+    // crossing INTO an out-of-band regime is still a real band
+    // switch (the caller flushes suspect spans), while drift that
+    // stays beyond the same edge never re-switches.
+    dram::DramModule module(testSpec());
+    QuacTrng trng(module, testConfig());
+    ThermalGovernor governor(module, trng, governorConfig(2));
+    governor.setTemperature(40.0);
+    ASSERT_EQ(governor.bandIndex(), 0u);
+
+    // Physical floor: clamps to band 0, no switch (already there).
+    EXPECT_FALSE(governor.setTemperature(-40.0));
+    EXPECT_EQ(governor.bandIndex(), 0u);
+    EXPECT_DOUBLE_EQ(governor.temperature(), -40.0);
+
+    // Leap straight from the cold floor past the hot edge: one
+    // switch into the top band.
+    EXPECT_TRUE(governor.setTemperature(125.0));
+    EXPECT_EQ(governor.bandIndex(), 1u);
+    EXPECT_EQ(governor.bandSwitches(), 1u);
+
+    // Wobble beyond the hot edge: clamped to the same band, no
+    // further switches, and the generator keeps serving.
+    for (double t : {125.0, 91.0, 124.9, 90.0}) {
+        EXPECT_FALSE(governor.setTemperature(t)) << t;
+        EXPECT_EQ(governor.bandIndex(), 1u);
+    }
+    EXPECT_EQ(governor.bandSwitches(), 1u);
+    EXPECT_EQ(trng.generate(64).size(), 64u);
+
+    // Reports outside the module's physical range are rejected
+    // outright (fatal), not clamped: that is a broken sensor, not a
+    // hot part.
+    EXPECT_THROW(governor.setTemperature(125.1), FatalError);
+    EXPECT_THROW(governor.setTemperature(-40.5), FatalError);
+    // The failed report changed nothing.
+    EXPECT_EQ(governor.bandIndex(), 1u);
+    EXPECT_EQ(governor.bandSwitches(), 1u);
+}
+
+TEST(ThermalGovernor, OutOfBandSwitchStillFlushesSuspectSpans)
+{
+    // The service-facing half of the mis-read-band story: a retune
+    // driven by an out-of-band report must flush the bytes buffered
+    // across the switch exactly like an in-range one — the spans
+    // predate the new column sets and are suspect either way.
+    dram::DramModule module(testSpec());
+    QuacTrng trng(module, testConfig());
+    ThermalGovernor governor(module, trng, governorConfig(2));
+    governor.setTemperature(40.0);
+    ASSERT_EQ(governor.bandIndex(), 0u);
+
+    service::EntropyServiceConfig cfg;
+    cfg.shards = 1;
+    cfg.shardCapacityBytes = 512;
+    service::EntropyService svc({&trng}, cfg);
+    svc.refillBelowWatermark();
+    ASSERT_GT(svc.level(0), 0u);
+
+    // In-band wobble: no switch, nothing flushed.
+    size_t dropped = svc.retuneBackend(
+        0, [&]() { return governor.setTemperature(45.0); });
+    EXPECT_EQ(dropped, 0u);
+    EXPECT_EQ(svc.suspectBytesDropped(), 0u);
+
+    // Out-of-band leap: the clamped switch flushes the buffer.
+    size_t buffered = svc.level(0);
+    dropped = svc.retuneBackend(
+        0, [&]() { return governor.setTemperature(120.0); });
+    EXPECT_EQ(governor.bandIndex(), 1u);
+    EXPECT_EQ(dropped, buffered);
+    EXPECT_EQ(svc.suspectBytesDropped(), buffered);
+    EXPECT_EQ(svc.level(0), 0u);
+
+    // The service recovers: the next request refills under the new
+    // band's column sets and serves.
+    service::EntropyService::Client client =
+        svc.connect("c", service::Priority::Standard, 0);
+    std::vector<uint8_t> buf(64);
+    service::RequestResult res = client.request(buf.data(), 64);
+    EXPECT_EQ(res.bytes, 64u);
+    EXPECT_FALSE(res.denied);
 }
 
 TEST(ThermalGovernor, ConfigValidated)

@@ -563,6 +563,8 @@ TEST(ServiceHealth, MigrateClientRacesQuarantineResource)
         std::vector<uint8_t> out(48);
         for (int i = 0; i < 1500; ++i) {
             RequestResult r = client.request(out.data(), out.size());
+            // relaxed: test counter; the worker joins publish the final
+            // value.
             served.fetch_add(r.bytes, std::memory_order_relaxed);
         }
         done.store(true, std::memory_order_release);
@@ -582,6 +584,43 @@ TEST(ServiceHealth, MigrateClientRacesQuarantineResource)
     EXPECT_GE(svc.healthStats().shardResourcings, 1u);
     EXPECT_EQ(svc.healthStats().unhealthyBytesServed, 0u);
     EXPECT_GE(client.stats().migrations, 100u);
+}
+
+TEST(ServiceHealth, ReadOnlyAccessorsRaceObserveWithoutLock)
+{
+    // Regression for two latent races the thread-safety annotation
+    // pass surfaced: banks() read perBank_.size() — a mutex-guarded
+    // vector — with no lock, and the bounds asserts in
+    // observe()/servable()/score() did the same before taking the
+    // mutex. Both now read an immutable bankCount_ set in the
+    // constructor. Hammer the accessors against a writer mutating
+    // the guarded state; TSan (CI) verifies racelessness, and the
+    // values must stay exact throughout.
+    HealthMonitor monitor(3, testHealthConfig());
+    std::atomic<bool> done{false};
+    std::thread writer([&]() {
+        std::vector<uint8_t> good = goodWindow(77);
+        for (int i = 0; i < 400; ++i) {
+            monitor.observe(i % 3, good.data(), good.size());
+            monitor.reportReadFailure(1);
+        }
+        done.store(true, std::memory_order_release);
+    });
+    uint64_t checks = 0;
+    while (!done.load(std::memory_order_acquire)) {
+        ASSERT_EQ(monitor.banks(), 3u);
+        // The pre-lock bounds asserts ride the same immutable count.
+        monitor.servable(2);
+        monitor.state(0);
+        monitor.score(1);
+        ++checks;
+    }
+    writer.join();
+    EXPECT_GT(checks, 0u);
+    EXPECT_EQ(monitor.banks(), 3u);
+    // Out-of-range banks still trip the assert after the fix.
+    EXPECT_THROW(monitor.servable(3), PanicError);
+    EXPECT_THROW(monitor.score(99), PanicError);
 }
 
 } // anonymous namespace

@@ -241,6 +241,7 @@ TEST(LockFreeRing, HammerQuarantineResourcingUnderLoad)
     std::vector<std::thread> threads;
     threads.emplace_back([&] {
         std::vector<uint8_t> buf(96);
+        // relaxed: test stop flag; no data is published through it.
         while (!stop.load(std::memory_order_relaxed)) {
             RequestResult res = c0.request(buf.data(), 80);
             if (!isStreamContiguous(buf.data(), res.bytes))
@@ -269,6 +270,7 @@ TEST(LockFreeRing, HammerQuarantineResourcingUnderLoad)
             break;
         std::this_thread::yield();
     }
+    // relaxed: stop flag only; the joins below synchronize.
     stop.store(true, std::memory_order_relaxed);
     for (std::thread &thread : threads)
         thread.join();
